@@ -1,0 +1,47 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race bench cover fmt vet experiments examples explore viz
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem .
+
+cover:
+	go test -cover ./...
+
+fmt:
+	gofmt -w .
+
+vet:
+	go vet ./...
+
+# Regenerate the full evaluation tables (the source of EXPERIMENTS.md).
+experiments:
+	go run ./cmd/rdpbench
+
+explore:
+	go run ./cmd/rdpexplore -schedules 2000
+	go run ./cmd/rdpexplore -exhaustive
+
+# Draw the paper's Figures 3 and 4 as space-time diagrams.
+viz:
+	go run ./cmd/rdpviz -scenario fig3
+	go run ./cmd/rdpviz -scenario fig4
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/traffic
+	go run ./examples/subscribe
+	go run ./examples/loadbalance
+	go run ./examples/groupchat
+	go run ./examples/tcp

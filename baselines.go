@@ -1,0 +1,39 @@
+package rdp
+
+import (
+	"repro/internal/itcp"
+	"repro/internal/mobileip"
+)
+
+// Comparison baselines (paper §4). Both expose self-contained simulation
+// worlds driven the same way as the RDP World; the experiment harness
+// runs identical workloads over all three.
+type (
+	// MobileIPConfig parameterizes the Mobile IP-style baseline: fixed
+	// home agents, care-of tunneling, no delivery guarantee.
+	MobileIPConfig = mobileip.Config
+	// MobileIPWorld is the Mobile IP simulation world.
+	MobileIPWorld = mobileip.World
+	// MobileIPStats aggregates the baseline's measurements.
+	MobileIPStats = mobileip.Stats
+
+	// ITCPConfig parameterizes the I-TCP-style baseline: the respMss
+	// holds the host's full session image and ships it on every hand-off.
+	ITCPConfig = itcp.Config
+	// ITCPWorld is the I-TCP simulation world.
+	ITCPWorld = itcp.World
+	// ITCPStats aggregates the baseline's measurements.
+	ITCPStats = itcp.Stats
+)
+
+// DefaultMobileIPConfig mirrors DefaultConfig's network parameters.
+func DefaultMobileIPConfig() MobileIPConfig { return mobileip.DefaultConfig() }
+
+// NewMobileIPWorld builds a Mobile IP world.
+func NewMobileIPWorld(cfg MobileIPConfig) *MobileIPWorld { return mobileip.NewWorld(cfg) }
+
+// DefaultITCPConfig mirrors DefaultConfig's network parameters.
+func DefaultITCPConfig() ITCPConfig { return itcp.DefaultConfig() }
+
+// NewITCPWorld builds an I-TCP world.
+func NewITCPWorld(cfg ITCPConfig) *ITCPWorld { return itcp.NewWorld(cfg) }

@@ -1,0 +1,197 @@
+// Command rdpbench regenerates the evaluation of the RDP paper: every
+// experiment of DESIGN.md (E1–E8) as a printed table. Run all of them,
+// or a subset:
+//
+//	rdpbench                 # everything, standard scale
+//	rdpbench -exp e3,e5      # selected experiments
+//	rdpbench -quick          # reduced scale (seconds instead of minutes)
+//	rdpbench -seed 7         # different random seed
+//
+// The tables printed here are the source of EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rdpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rdpbench", flag.ContinueOnError)
+	var (
+		expFlag = fs.String("exp", "all", "comma-separated experiments to run (e1..e9, or all)")
+		seed    = fs.Int64("seed", 1, "random seed")
+		quick   = fs.Bool("quick", false, "reduced scale for a fast pass")
+		csv     = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	emitCSV = *csv
+	sc := experiments.DefaultScale()
+	if *quick {
+		sc = experiments.SmallScale()
+	}
+
+	want := make(map[string]bool)
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	runs := []struct {
+		name string
+		fn   func()
+	}{
+		{"e1", func() { printE1(*seed, sc) }},
+		{"e2", func() { printE2(*seed, sc) }},
+		{"e3", func() { printE3(*seed, sc) }},
+		{"e4", func() { printE4(*seed, sc) }},
+		{"e5", func() { printE5(*seed, sc) }},
+		{"e6", func() { printE6(*seed, sc) }},
+		{"e7", func() { printE7(*seed, sc) }},
+		{"e8", func() { printE8(*seed, sc) }},
+		{"e9", func() { printE9(*seed, sc) }},
+	}
+	ran := 0
+	for _, r := range runs {
+		if all || want[r.name] {
+			r.fn()
+			ran++
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched %q (use e1..e9 or all)", *expFlag)
+	}
+	return nil
+}
+
+// emitCSV switches table rendering to CSV (-csv).
+var emitCSV bool
+
+// emit prints a table in the selected format.
+func emit(t *metrics.Table) {
+	if emitCSV {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Print(t.String())
+}
+
+func header(id, claim string) {
+	fmt.Printf("\n=== %s — %s ===\n\n", id, claim)
+}
+
+func f(v float64, prec int) string { return strconv.FormatFloat(v, 'f', prec, 64) }
+func d(v int64) string             { return strconv.FormatInt(v, 10) }
+func dur(v time.Duration) string   { return v.Round(time.Millisecond).String() }
+
+func printE1(seed int64, sc experiments.Scale) {
+	header("E1", "reliability: every result delivered despite migrations and inactivity (§5)")
+	t := metrics.NewTable("residence", "inactive-p", "issued", "delivered", "ratio", "handoffs", "retrans")
+	for _, r := range experiments.E1Reliability(seed, sc) {
+		t.AddRow(dur(r.MeanResidence), f(r.InactiveProb, 2), d(r.Issued), d(r.Delivered),
+			f(r.Ratio, 4), d(r.Handoffs), d(r.Retrans))
+	}
+	emit(t)
+}
+
+func printE2(seed int64, sc experiments.Scale) {
+	header("E2", "exactly-once needs causal order + ack priority (§5)")
+	t := metrics.NewTable("variant", "issued", "delivered", "duplicates", "violations", "ignored-acks")
+	for _, r := range experiments.E2ExactlyOnce(seed, sc) {
+		t.AddRow(r.Name, d(r.Issued), d(r.Delivered), d(r.Duplicates), d(r.Violations), d(r.IgnoredAcks))
+	}
+	emit(t)
+}
+
+func printE3(seed int64, sc experiments.Scale) {
+	header("E3", "retransmissions vanish once residence exceeds t_wired+t_wireless (§5)")
+	t := metrics.NewTable("residence", "res/threshold", "results", "retrans", "retrans/result")
+	for _, r := range experiments.E3RetransmissionThreshold(seed, sc) {
+		t.AddRow(dur(r.MeanResidence), f(r.ThresholdRatio, 1), d(r.Results), d(r.Retrans), f(r.RetransPerResult, 4))
+	}
+	emit(t)
+}
+
+func printE4(seed int64, sc experiments.Scale) {
+	header("E4", "overhead = one update per migration/reactivation + one relayed ack per result (§5)")
+	t := metrics.NewTable("residence", "updates", "predicted", "coverage", "ack-fwds", "predicted", "match")
+	for _, r := range experiments.E4Overhead(seed, sc) {
+		t.AddRow(dur(r.MeanResidence), d(r.UpdateCurrLocs), d(r.PredictedUpdates), f(r.UpdateCoverage, 3),
+			d(r.AckForwards), d(r.PredictedAcks), fmt.Sprint(r.Match))
+	}
+	emit(t)
+}
+
+func printE5(seed int64, sc experiments.Scale) {
+	header("E5", "dynamic proxies balance forwarding load; fixed home agents concentrate it (§1, §4)")
+	t := metrics.NewTable("protocol", "jain-index", "max/mean", "per-station load")
+	for _, r := range experiments.E5LoadBalance(seed, sc) {
+		loads := make([]string, len(r.Loads))
+		for i, l := range r.Loads {
+			loads[i] = f(l, 0)
+		}
+		t.AddRow(r.Protocol, f(r.Jain, 3), f(r.MaxOverMean, 2), strings.Join(loads, " "))
+	}
+	emit(t)
+
+	fmt.Println("\nE5b — population shift: share of forwarding work carried by the 2 hotspot cells")
+	t2 := metrics.NewTable("protocol", "roaming phase", "after shift downtown")
+	for _, r := range experiments.E5DynamicShift(seed, sc) {
+		t2.AddRow(r.Protocol, f(r.Phase1Hotspot, 3), f(r.Phase2Hotspot, 3))
+	}
+	emit(t2)
+}
+
+func printE6(seed int64, sc experiments.Scale) {
+	header("E6", "hand-off state: RDP ships one pref; indirect images grow with load (§4, §5)")
+	t := metrics.NewTable("pending", "rdp B/handoff", "itcp B/handoff", "rdp p95", "itcp p95", "rdp-del", "itcp-del")
+	for _, r := range experiments.E6HandoffState(seed, sc) {
+		t.AddRow(strconv.Itoa(r.PendingRequests), f(r.RDPBytesPerHO, 0), f(r.ITCPBytesPerHO, 0),
+			dur(r.RDPHandoffP95), dur(r.ITCPHandoffP95), d(r.RDPDelivered), d(r.ITCPDelivered))
+	}
+	emit(t)
+}
+
+func printE7(seed int64, sc experiments.Scale) {
+	header("E7", "Mobile IP loses datagrams under mobility; upper-layer recovery costs latency (§4)")
+	t := metrics.NewTable("protocol", "residence", "issued", "delivered", "ratio", "mean-lat", "p50", "p95", "p99")
+	for _, r := range experiments.E7VsMobileIP(seed, sc) {
+		t.AddRow(r.Protocol, dur(r.MeanResidence), d(r.Issued), d(r.Delivered),
+			f(r.Ratio, 4), dur(r.MeanLatency), dur(r.P50Latency), dur(r.P95Latency), dur(r.P99Latency))
+	}
+	emit(t)
+}
+
+func printE9(seed int64, sc experiments.Scale) {
+	header("E9", "ablation: holding results for inactive hosts saves retransmissions (§5 fn.3)")
+	t := metrics.NewTable("inactive-p", "hold", "delivered", "retrans", "drops", "held", "mean-lat", "updates")
+	for _, r := range experiments.E9HoldForInactive(seed, sc) {
+		t.AddRow(f(r.InactiveProb, 2), fmt.Sprint(r.Hold), d(r.Delivered), d(r.Retrans),
+			d(r.WirelessDrops), d(r.HeldResults), dur(r.MeanLatency), d(r.UpdateCurrLocs))
+	}
+	emit(t)
+}
+
+func printE8(seed int64, sc experiments.Scale) {
+	header("E8", "asynchronous subscription notifications reach roaming subscribers (§3)")
+	t := metrics.NewTable("residence", "subs", "fired", "received", "ratio", "remote-ops", "mean-hops")
+	for _, r := range experiments.E8Subscriptions(seed, sc) {
+		t.AddRow(dur(r.MeanResidence), d(r.Subscriptions), d(r.Fired), d(r.Received),
+			f(r.Ratio, 4), d(r.RemoteOps), f(r.MeanHops, 2))
+	}
+	emit(t)
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("read pipe: %v", err)
+	}
+	return string(out), runErr
+}
+
+// TestQuickSingleExperiment runs one experiment at reduced scale and
+// checks the table header reaches stdout.
+func TestQuickSingleExperiment(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-quick", "-exp", "e1"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "E1") {
+		t.Errorf("output missing E1 header:\n%s", out)
+	}
+	if strings.Contains(out, "E2") {
+		t.Error("-exp e1 also ran E2")
+	}
+}
+
+// TestQuickExperimentList runs a comma-separated subset.
+func TestQuickExperimentList(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-quick", "-exp", "e4, e6"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"E4", "E6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %s header", want)
+		}
+	}
+}
+
+// TestCSVMode checks the -csv rendering path.
+func TestCSVMode(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-quick", "-exp", "e6", "-csv"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, ",") {
+		t.Errorf("CSV output has no commas:\n%s", out)
+	}
+}
+
+// TestQuickAll runs the complete evaluation at reduced scale — the same
+// path `rdpbench -quick` takes — and checks every experiment header is
+// present.
+func TestQuickAll(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-quick"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} {
+		if !strings.Contains(out, "=== "+want) {
+			t.Errorf("full run missing %s header", want)
+		}
+	}
+}
+
+// TestNoMatch rejects experiment names that match nothing.
+func TestNoMatch(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-exp", "e42"}) }); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-nope"}) }); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

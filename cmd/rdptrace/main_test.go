@@ -1,0 +1,67 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("read pipe: %v", err)
+	}
+	return string(out), runErr
+}
+
+func TestFig3Trace(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-scenario", "fig3"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"Figure 3", "retransmissions=1", "violations=0", "deleted=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig3 output missing %q", want)
+		}
+	}
+}
+
+func TestFig4Trace(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-scenario", "fig4", "-all"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// "del-pref(" is the del-pref-only special message of §3.3 (distinct
+	// from the del-pref flag riding on result-fwd/result messages).
+	for _, want := range []string{"Figure 4", "del-pref(proxy(mss1#1),mh1)", "del-proxy=true", "violations=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig4 output missing %q", want)
+		}
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	_, err := capture(t, func() error { return run([]string{"-scenario", "fig9"}) })
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	_, err := capture(t, func() error { return run([]string{"-definitely-not-a-flag"}) })
+	if err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("read pipe: %v", err)
+	}
+	return string(out), runErr
+}
+
+func TestFig3Diagram(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-scenario", "fig3"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// The diagram must show the protocol's signature sequence as lanes
+	// and labeled arrows: greet, dereg, deregack, update, retransmitted
+	// result, final ack.
+	for _, want := range []string{"mh1", "mss3", "srv1", "greet", "dereg", "result", "ack"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig3 diagram missing %q", want)
+		}
+	}
+	if !strings.Contains(out, "-->") && !strings.Contains(out, "->") {
+		t.Error("fig3 diagram has no arrows")
+	}
+}
+
+func TestFig4DiagramWithDrops(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-scenario", "fig4", "-drops", "-width", "16"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"Figure 4", "del-pref"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig4 diagram missing %q", want)
+		}
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-scenario", "nope"}) }); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-zzz"}) }); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

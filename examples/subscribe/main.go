@@ -1,0 +1,97 @@
+// Subscribe: asynchronous notifications to a moving subscriber
+// (paper §1, §3).
+//
+// A commuter subscribes to congestion alerts for the region around home,
+// then drives across town, parks, and turns the device off for a while.
+// Meanwhile traffic staff feed updates; each threshold-crossing change
+// fires a notification that RDP delivers wherever (and whenever) the
+// commuter can next receive — including the one that waits out the
+// power-off.
+//
+//	go run ./examples/subscribe
+package main
+
+import (
+	"fmt"
+	"time"
+
+	rdp "repro"
+)
+
+const homeRegion = 5
+
+func main() {
+	cfg := rdp.DefaultConfig()
+	cfg.NumMSS = 4
+	cfg.NumServers = 3
+	world := rdp.NewWorld(cfg)
+	net := rdp.InstallSidam(world, rdp.SidamConfig{
+		Regions:           12,
+		LocalProc:         rdp.Constant(25 * time.Millisecond),
+		HopProc:           rdp.Constant(8 * time.Millisecond),
+		InitialCongestion: 0,
+	})
+
+	commuter := world.AddMH(1, 1)
+	staff := world.AddMH(2, 4)
+	entry := net.TISList()[0]
+
+	now := func() time.Duration { return time.Duration(world.Kernel.Now()).Round(time.Millisecond) }
+
+	// Re-subscribe after every notification for a continuous feed.
+	var resubscribe func()
+	resubscribe = func() {
+		commuter.IssueRequest(entry, rdp.SubscribePayload(homeRegion, 25))
+	}
+	received := 0
+	commuter.OnResult(func(_ rdp.RequestID, payload []byte, dup bool) {
+		if dup {
+			return
+		}
+		received++
+		r, err := rdp.ParseReading(payload)
+		if err != nil {
+			return
+		}
+		fmt.Printf("t=%-7v ALERT at cell %v (active=%t): region %d congestion now %d%%\n",
+			now(), world.Location(1), world.IsActive(1), r.Region, r.Congestion)
+		world.Schedule(0, resubscribe)
+	})
+	world.Schedule(0, resubscribe)
+
+	// The commute: cells 1 -> 2 -> 3, then parked and powered off.
+	world.Schedule(2*time.Second, func() { world.Migrate(1, 2); fmt.Printf("t=%-7v commuter in cell 2\n", now()) })
+	world.Schedule(4*time.Second, func() { world.Migrate(1, 3); fmt.Printf("t=%-7v commuter in cell 3\n", now()) })
+	world.Schedule(6*time.Second, func() {
+		world.SetActive(1, false)
+		fmt.Printf("t=%-7v commuter powered off\n", now())
+	})
+	world.Schedule(11*time.Second, func() {
+		world.SetActive(1, true)
+		fmt.Printf("t=%-7v commuter powered on again\n", now())
+	})
+
+	// Staff updates: two threshold-crossing jumps — one while driving,
+	// one while the device is off.
+	for i, update := range []struct {
+		at    time.Duration
+		value int32
+	}{
+		{1 * time.Second, 10},  // small: no alert
+		{3 * time.Second, 45},  // +35: alert while driving
+		{8 * time.Second, 90},  // +45: alert fired while powered off
+		{13 * time.Second, 95}, // +5: no alert
+	} {
+		u := update
+		_ = i
+		world.Schedule(u.at, func() {
+			staff.IssueRequest(entry, rdp.UpdatePayload(homeRegion, u.value))
+			fmt.Printf("t=%-7v staff set region %d to %d%%\n", now(), homeRegion, u.value)
+		})
+	}
+
+	world.RunUntil(20 * time.Second)
+
+	fmt.Printf("\nnotifications fired=%d received=%d retransmissions=%d (the power-off alert waited for reactivation)\n",
+		net.Stats.Notifications.Value(), received, world.Stats.Retransmissions.Value())
+}

@@ -1,0 +1,80 @@
+// Traffic: the SIDAM scenario that motivated RDP (paper §1).
+//
+// A driver crosses São Paulo — cell to cell — querying the distributed
+// Traffic Information Service about the regions ahead, while a traffic
+// engineering helicopter feeds congestion updates. Queries entered at
+// any TIS are routed through the server ring to the owning TIS; the
+// replies chase the moving driver through the proxy.
+//
+//	go run ./examples/traffic
+package main
+
+import (
+	"fmt"
+	"time"
+
+	rdp "repro"
+)
+
+func main() {
+	cfg := rdp.DefaultConfig()
+	cfg.NumMSS = 6     // six cells along the driver's route
+	cfg.NumServers = 4 // four Traffic Information Servers
+	world := rdp.NewWorld(cfg)
+	net := rdp.InstallSidam(world, rdp.SidamConfig{
+		Regions:           24,
+		LocalProc:         rdp.Constant(40 * time.Millisecond),
+		HopProc:           rdp.Constant(10 * time.Millisecond),
+		InitialCongestion: 70,
+	})
+
+	driver := world.AddMH(1, 1)
+	heli := world.AddMH(2, 6) // the helicopter hovers in cell 6
+
+	driver.OnResult(func(_ rdp.RequestID, payload []byte, dup bool) {
+		if dup {
+			return
+		}
+		r, err := rdp.ParseReading(payload)
+		if err != nil {
+			return
+		}
+		fmt.Printf("t=%-6v driver (cell %v): region %2d congestion %3d%%\n",
+			time.Duration(world.Kernel.Now()).Round(time.Millisecond), world.Location(1), r.Region, r.Congestion)
+	})
+
+	// The driver's route: one cell every 2s, querying the region ahead
+	// just before each move.
+	entry := net.TISList()[0]
+	for leg := 0; leg < 5; leg++ {
+		leg := leg
+		world.Schedule(time.Duration(leg)*2*time.Second+500*time.Millisecond, func() {
+			region := uint32((leg*4 + 7) % 24)
+			driver.IssueRequest(entry, rdp.QueryPayload(region))
+		})
+		world.Schedule(time.Duration(leg+1)*2*time.Second, func() {
+			world.Migrate(1, rdp.MSS(leg+2))
+			fmt.Printf("t=%-6v driver entered cell %d\n",
+				time.Duration(world.Kernel.Now()).Round(time.Millisecond), leg+2)
+		})
+	}
+
+	// The helicopter reports worsening congestion in region 11.
+	for i := 0; i < 4; i++ {
+		i := i
+		world.Schedule(time.Duration(i)*2500*time.Millisecond+time.Second, func() {
+			heli.IssueRequest(entry, rdp.UpdatePayload(11, int32(40+i*15)))
+		})
+	}
+	// The driver checks region 11 near the end of the trip.
+	world.Schedule(9*time.Second, func() {
+		driver.IssueRequest(entry, rdp.QueryPayload(11))
+	})
+
+	world.RunUntil(15 * time.Second)
+
+	fmt.Printf("\nqueries=%d updates=%d remote-ops=%d inter-TIS hops=%d; deliveries=%d duplicates=%d\n",
+		net.Stats.Queries.Value(), net.Stats.Updates.Value(),
+		net.Stats.RemoteOps.Value(), net.Stats.HopsTotal.Value(),
+		world.Stats.ResultsDelivered.Value(), world.Stats.DuplicateDeliveries.Value())
+}

@@ -1,0 +1,214 @@
+// Package causal implements causal-order point-to-point message delivery
+// for a fixed group of processes, using the Raynal–Schiper–Toueg (RST)
+// algorithm with matrix clocks.
+//
+// The paper's system model (assumption 1) requires that "communication
+// among the MSSs is reliable and message delivery is in causal order";
+// the exactly-once argument of §5 leans on it directly (the Ack forwarded
+// by the old MSS must reach the proxy before the new MSS's
+// update_currentLoc). Rather than assuming the property, this package
+// provides it over any reliable FIFO-less transport, and lets experiment
+// E2 switch it off to demonstrate the duplicate deliveries the paper
+// predicts.
+//
+// RST sketch: every process i keeps SENT[j][k] — the number of messages
+// sent from j to k that i knows about — and DELIV[j], the number of
+// messages from j it has delivered. A message from i to j piggybacks i's
+// SENT matrix taken before the send; the receiver delays delivery until
+// DELIV[k] >= ST[k][receiver] for every k, i.e. until it has delivered
+// every message destined to it that the sender knew about.
+package causal
+
+import (
+	"fmt"
+)
+
+// Matrix is an n×n counter matrix; Matrix[j][k] counts messages sent
+// from process j to process k.
+type Matrix [][]uint64
+
+// NewMatrix returns a zero n×n matrix backed by one allocation.
+func NewMatrix(n int) Matrix {
+	backing := make([]uint64, n*n)
+	m := make(Matrix, n)
+	for i := range m {
+		m[i] = backing[i*n : (i+1)*n : (i+1)*n]
+	}
+	return m
+}
+
+// Clone returns a deep copy of the matrix.
+func (m Matrix) Clone() Matrix {
+	c := NewMatrix(len(m))
+	for i := range m {
+		copy(c[i], m[i])
+	}
+	return c
+}
+
+// MaxInPlace sets m to the element-wise maximum of m and o.
+func (m Matrix) MaxInPlace(o Matrix) {
+	for i := range m {
+		for j := range m[i] {
+			if o[i][j] > m[i][j] {
+				m[i][j] = o[i][j]
+			}
+		}
+	}
+}
+
+// Stamp is the causal metadata piggybacked on each message.
+type Stamp struct {
+	From int    // sending process index
+	Sent Matrix // sender's SENT matrix, snapshot taken before the send
+}
+
+// Deliver is the callback invoked when a buffered message becomes
+// deliverable. The payload is whatever was passed to Endpoint.Receive.
+type Deliver func(payload any)
+
+// pending is a received-but-not-yet-deliverable message.
+type pending struct {
+	st      Stamp
+	payload any
+	seq     uint64 // arrival order, for stable delivery of concurrent msgs
+}
+
+// Endpoint is one process's view of the causal group. Endpoints are not
+// safe for concurrent use; the simulation kernel serializes access, and
+// the livenet runtime guards each endpoint with the owning node's loop.
+type Endpoint struct {
+	idx     int
+	n       int
+	sent    Matrix
+	deliv   []uint64
+	buffer  []*pending
+	nextSeq uint64
+	deliver Deliver
+
+	// Buffered counts the high-water mark of the delay buffer, exported
+	// for the causal-layer micro-bench.
+	Buffered int
+}
+
+// Group creates n endpoints forming one causal group. deliver is invoked
+// on each endpoint's behalf when a message becomes deliverable; it
+// receives the destination endpoint index via closure (callers typically
+// create one closure per endpoint with MakeDeliver).
+func Group(n int, deliver func(dst int, payload any)) []*Endpoint {
+	eps := make([]*Endpoint, n)
+	for i := 0; i < n; i++ {
+		i := i
+		eps[i] = &Endpoint{
+			idx:     i,
+			n:       n,
+			sent:    NewMatrix(n),
+			deliv:   make([]uint64, n),
+			deliver: func(p any) { deliver(i, p) },
+		}
+	}
+	return eps
+}
+
+// Index returns the endpoint's process index within the group.
+func (e *Endpoint) Index() int { return e.idx }
+
+// Send records a send from this endpoint to process dst and returns the
+// stamp to piggyback on the message. dst must be a valid process index.
+func (e *Endpoint) Send(dst int) Stamp {
+	if dst < 0 || dst >= e.n {
+		panic(fmt.Sprintf("causal: destination %d out of range [0,%d)", dst, e.n))
+	}
+	st := Stamp{From: e.idx, Sent: e.sent.Clone()}
+	e.sent[e.idx][dst]++
+	return st
+}
+
+// Receive hands an arrived message to the endpoint. If the causal
+// delivery condition holds it is delivered immediately (and buffered
+// messages that become deliverable are flushed, in arrival order);
+// otherwise it is buffered.
+func (e *Endpoint) Receive(st Stamp, payload any) {
+	p := &pending{st: st, payload: payload, seq: e.nextSeq}
+	e.nextSeq++
+	e.buffer = append(e.buffer, p)
+	if len(e.buffer) > e.Buffered {
+		e.Buffered = len(e.buffer)
+	}
+	e.flush()
+}
+
+// deliverable reports whether the RST condition holds for p at e:
+// e has delivered every message to itself the sender knew of.
+func (e *Endpoint) deliverable(p *pending) bool {
+	for k := 0; k < e.n; k++ {
+		if e.deliv[k] < p.st.Sent[k][e.idx] {
+			return false
+		}
+	}
+	return true
+}
+
+// flush delivers buffered messages until none is deliverable. Among
+// simultaneously deliverable (hence concurrent) messages, arrival order
+// wins, keeping the simulation deterministic.
+func (e *Endpoint) flush() {
+	for {
+		best := -1
+		for i, p := range e.buffer {
+			if !e.deliverable(p) {
+				continue
+			}
+			if best == -1 || e.buffer[i].seq < e.buffer[best].seq {
+				best = i
+			}
+		}
+		if best == -1 {
+			return
+		}
+		p := e.buffer[best]
+		e.buffer = append(e.buffer[:best], e.buffer[best+1:]...)
+		e.deliv[p.st.From]++
+		e.sent.MaxInPlace(p.st.Sent)
+		// Record knowledge of the just-delivered message itself: its
+		// stamp was taken before the sender's own increment, so the merge
+		// above does not include it. For a self-addressed message the
+		// sender's Send() already bumped this very cell — incrementing
+		// again would inflate sent[i][i] past what can ever be delivered
+		// and wedge every later message from other senders.
+		if p.st.From != e.idx {
+			e.sent[p.st.From][e.idx]++
+		}
+		e.deliver(p.payload)
+	}
+}
+
+// Queued returns the number of messages currently waiting in the delay
+// buffer (used by tests and the E2 ablation report).
+func (e *Endpoint) Queued() int { return len(e.buffer) }
+
+// QueuedPayloads returns the buffered (undeliverable) payloads together
+// with the dependency that blocks each: the sender index and how many
+// more of that sender's messages must be delivered first. Diagnostic.
+func (e *Endpoint) QueuedPayloads() []QueuedInfo {
+	out := make([]QueuedInfo, 0, len(e.buffer))
+	for _, p := range e.buffer {
+		info := QueuedInfo{From: p.st.From, Payload: p.payload}
+		for k := 0; k < e.n; k++ {
+			if e.deliv[k] < p.st.Sent[k][e.idx] {
+				info.BlockedOn = append(info.BlockedOn, k)
+				info.Missing = append(info.Missing, p.st.Sent[k][e.idx]-e.deliv[k])
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// QueuedInfo describes one blocked message (see QueuedPayloads).
+type QueuedInfo struct {
+	From      int
+	Payload   any
+	BlockedOn []int
+	Missing   []uint64
+}

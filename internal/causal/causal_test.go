@@ -1,0 +1,332 @@
+package causal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// harness wires a group of endpoints to an in-test "network" in which
+// the test controls arrival order explicitly.
+type harness struct {
+	eps       []*Endpoint
+	delivered [][]any // per destination, in delivery order
+}
+
+func newHarness(n int) *harness {
+	h := &harness{delivered: make([][]any, n)}
+	h.eps = Group(n, func(dst int, payload any) {
+		h.delivered[dst] = append(h.delivered[dst], payload)
+	})
+	return h
+}
+
+// inFlight is a message on the wire.
+type inFlight struct {
+	st      Stamp
+	dst     int
+	payload any
+}
+
+func (h *harness) send(from, to int, payload any) inFlight {
+	return inFlight{st: h.eps[from].Send(to), dst: to, payload: payload}
+}
+
+func (h *harness) arrive(m inFlight) {
+	h.eps[m.dst].Receive(m.st, m.payload)
+}
+
+func TestDirectDependencyHeldBack(t *testing.T) {
+	// P0 sends m1 to P2, then m2 to P1; P1 delivers m2 and sends m3 to
+	// P2. m3 causally follows m1 (via P0's send order? No — m1 -> m2 is
+	// program order at P0, m2 -> m3 is deliver-then-send at P1, so
+	// m1 -> m3). If m3 arrives at P2 before m1, it must be buffered.
+	h := newHarness(3)
+	m1 := h.send(0, 2, "m1")
+	m2 := h.send(0, 1, "m2")
+	h.arrive(m2)
+	m3 := h.send(1, 2, "m3")
+
+	h.arrive(m3) // out of causal order
+	if got := len(h.delivered[2]); got != 0 {
+		t.Fatalf("m3 delivered before its causal predecessor m1 (delivered=%v)", h.delivered[2])
+	}
+	if h.eps[2].Queued() != 1 {
+		t.Fatalf("Queued = %d, want 1", h.eps[2].Queued())
+	}
+	h.arrive(m1)
+	want := []any{"m1", "m3"}
+	if len(h.delivered[2]) != 2 || h.delivered[2][0] != want[0] || h.delivered[2][1] != want[1] {
+		t.Fatalf("delivery order = %v, want %v", h.delivered[2], want)
+	}
+}
+
+func TestFIFOBetweenPair(t *testing.T) {
+	// Two messages from the same sender to the same receiver are causally
+	// ordered; reversing arrival must not reverse delivery.
+	h := newHarness(2)
+	a := h.send(0, 1, "a")
+	b := h.send(0, 1, "b")
+	h.arrive(b)
+	if len(h.delivered[1]) != 0 {
+		t.Fatal("second message delivered before first")
+	}
+	h.arrive(a)
+	if len(h.delivered[1]) != 2 || h.delivered[1][0] != "a" || h.delivered[1][1] != "b" {
+		t.Fatalf("delivery order = %v", h.delivered[1])
+	}
+}
+
+func TestConcurrentMessagesDeliverInArrivalOrder(t *testing.T) {
+	// P0 and P1 send to P2 with no causal relation; arrival order rules.
+	h := newHarness(3)
+	a := h.send(0, 2, "a")
+	b := h.send(1, 2, "b")
+	h.arrive(b)
+	h.arrive(a)
+	if len(h.delivered[2]) != 2 || h.delivered[2][0] != "b" || h.delivered[2][1] != "a" {
+		t.Fatalf("delivery order = %v, want [b a]", h.delivered[2])
+	}
+}
+
+func TestPaperHandoffScenario(t *testing.T) {
+	// The exactly-once argument of §5:
+	//   send(Ack)@MssO -> send(Ack,del-proxy)@MssO -> send(update_currl)@MssN
+	// The proxy host must deliver the forwarded Ack before the
+	// update_currentLoc even if the update arrives first.
+	//
+	// Processes: 0 = MssO, 1 = MssN, 2 = MssP (proxy host).
+	h := newHarness(3)
+	ack := h.send(0, 2, "ack-fwd")         // MssO forwards the MH's ack to the proxy
+	dereg := h.send(0, 1, "deregack")      // then completes hand-off with MssN
+	h.arrive(dereg)                        // MssN learns of the hand-off...
+	update := h.send(1, 2, "update-currl") // ...and updates the proxy
+
+	h.arrive(update) // network delivers update first
+	h.arrive(ack)
+	got := h.delivered[2]
+	if len(got) != 2 || got[0] != "ack-fwd" || got[1] != "update-currl" {
+		t.Fatalf("proxy delivery order = %v, want [ack-fwd update-currl]", got)
+	}
+}
+
+func TestSendToSelfPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range destination must panic")
+		}
+	}()
+	h := newHarness(2)
+	h.eps[0].Send(5)
+}
+
+// causalPred records, for a randomized run, which messages causally
+// precede which, so the property test can verify delivery respects it.
+func TestRandomizedCausalOrderProperty(t *testing.T) {
+	const (
+		nodes  = 5
+		nMsgs  = 300
+		trials = 30
+	)
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		h := newHarness(nodes)
+
+		type sentMsg struct {
+			id   int
+			vc   []uint64 // Lamport vector timestamp of the send event
+			dst  int
+			wire inFlight
+		}
+
+		// Shadow vector clocks track ground-truth causality independently
+		// of the implementation under test.
+		vcs := make([][]uint64, nodes)
+		for i := range vcs {
+			vcs[i] = make([]uint64, nodes)
+		}
+		tick := func(i int) []uint64 {
+			vcs[i][i]++
+			c := make([]uint64, nodes)
+			copy(c, vcs[i])
+			return c
+		}
+		merge := func(i int, v []uint64) {
+			for k := range v {
+				if v[k] > vcs[i][k] {
+					vcs[i][k] = v[k]
+				}
+			}
+		}
+		leq := func(a, b []uint64) bool {
+			for k := range a {
+				if a[k] > b[k] {
+					return false
+				}
+			}
+			return true
+		}
+
+		var wire []sentMsg
+		sentVC := make(map[int][]uint64)
+		deliveredOrder := make(map[int][]int) // per-destination message ids
+		h2 := &harness{delivered: make([][]any, nodes)}
+		h2.eps = Group(nodes, func(dst int, payload any) {
+			id := payload.(int)
+			deliveredOrder[dst] = append(deliveredOrder[dst], id)
+			merge(dst, sentVC[id])
+			vcs[dst][dst]++
+		})
+		h = h2
+
+		nextID := 0
+		for len(wire) > 0 || nextID < nMsgs {
+			// Randomly either send a new message or deliver one in flight.
+			if nextID < nMsgs && (len(wire) == 0 || rng.Intn(2) == 0) {
+				from := rng.Intn(nodes)
+				to := rng.Intn(nodes)
+				for to == from {
+					to = rng.Intn(nodes)
+				}
+				vc := tick(from)
+				m := sentMsg{id: nextID, vc: vc, dst: to, wire: h.send(from, to, nextID)}
+				sentVC[nextID] = vc
+				nextID++
+				wire = append(wire, m)
+				continue
+			}
+			i := rng.Intn(len(wire))
+			m := wire[i]
+			wire = append(wire[:i], wire[i+1:]...)
+			h.arrive(m.wire)
+		}
+
+		// All messages must eventually be delivered (reliability).
+		total := 0
+		for _, order := range deliveredOrder {
+			total += len(order)
+		}
+		if total != nMsgs {
+			t.Fatalf("trial %d: delivered %d of %d messages", trial, total, nMsgs)
+		}
+
+		// Causal order: if send(a) -> send(b) and same destination, a is
+		// delivered before b.
+		for dst, order := range deliveredOrder {
+			pos := make(map[int]int, len(order))
+			for p, id := range order {
+				pos[id] = p
+			}
+			for _, a := range order {
+				for _, b := range order {
+					if a == b {
+						continue
+					}
+					if leq(sentVC[a], sentVC[b]) && !leq(sentVC[b], sentVC[a]) {
+						if pos[a] > pos[b] {
+							t.Fatalf("trial %d dst %d: causal order violated: %d delivered after %d", trial, dst, a, b)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	m := NewMatrix(3)
+	m[1][2] = 7
+	c := m.Clone()
+	c[1][2] = 9
+	if m[1][2] != 7 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestMatrixMaxInPlace(t *testing.T) {
+	a := NewMatrix(2)
+	b := NewMatrix(2)
+	a[0][1] = 3
+	b[0][1] = 5
+	b[1][0] = 2
+	a.MaxInPlace(b)
+	if a[0][1] != 5 || a[1][0] != 2 {
+		t.Errorf("MaxInPlace = %v", a)
+	}
+}
+
+func BenchmarkCausalSendReceive(b *testing.B) {
+	eps := Group(8, func(int, any) {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		from := i % 8
+		to := (i + 1) % 8
+		st := eps[from].Send(to)
+		eps[to].Receive(st, i)
+	}
+}
+
+func TestSelfSendDoesNotWedgeOtherSenders(t *testing.T) {
+	// Regression for a double count found by the adversarial explorer: a
+	// process sending to itself must not inflate sent[i][i], or every
+	// later message from other senders (whose stamps merge the inflated
+	// count) blocks forever.
+	h := newHarness(2)
+	// P1 sends to itself twice and delivers both.
+	s1 := h.send(1, 1, "self-a")
+	h.arrive(s1)
+	s2 := h.send(1, 1, "self-b")
+	h.arrive(s2)
+	if len(h.delivered[1]) != 2 {
+		t.Fatalf("self deliveries = %d, want 2", len(h.delivered[1]))
+	}
+	// P1 tells P0 about its state; P0's later message to P1 must still
+	// be deliverable.
+	toP0 := h.send(1, 0, "state")
+	h.arrive(toP0)
+	fromP0 := h.send(0, 1, "hello")
+	h.arrive(fromP0)
+	if len(h.delivered[1]) != 3 || h.delivered[1][2] != "hello" {
+		t.Fatalf("message from P0 wedged: delivered=%v queued=%d", h.delivered[1], h.eps[1].Queued())
+	}
+}
+
+func TestIndexReportsPosition(t *testing.T) {
+	h := newHarness(4)
+	for i, ep := range h.eps {
+		if ep.Index() != i {
+			t.Errorf("endpoint %d reports Index %d", i, ep.Index())
+		}
+	}
+}
+
+func TestQueuedPayloadsDiagnostics(t *testing.T) {
+	// Same shape as TestDirectDependencyHeldBack; while m3 is blocked the
+	// diagnostics must name the missing predecessor's sender (P0) and the
+	// shortfall (1 message).
+	h := newHarness(3)
+	m1 := h.send(0, 2, "m1")
+	m2 := h.send(0, 1, "m2")
+	h.arrive(m2)
+	m3 := h.send(1, 2, "m3")
+	h.arrive(m3)
+
+	infos := h.eps[2].QueuedPayloads()
+	if len(infos) != 1 {
+		t.Fatalf("QueuedPayloads = %d entries, want 1", len(infos))
+	}
+	info := infos[0]
+	if info.From != 1 || info.Payload != "m3" {
+		t.Errorf("blocked message = from %d payload %v, want from 1 payload m3", info.From, info.Payload)
+	}
+	if len(info.BlockedOn) != 1 || info.BlockedOn[0] != 0 {
+		t.Errorf("BlockedOn = %v, want [0]", info.BlockedOn)
+	}
+	if len(info.Missing) != 1 || info.Missing[0] != 1 {
+		t.Errorf("Missing = %v, want [1]", info.Missing)
+	}
+
+	h.arrive(m1)
+	if got := h.eps[2].QueuedPayloads(); len(got) != 0 {
+		t.Errorf("QueuedPayloads after unblocking = %v, want empty", got)
+	}
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/mobileip"
+	"repro/internal/netsim"
+	"repro/internal/rdpcore"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// E5ShiftRow reports, for one protocol, the fraction of forwarding work
+// carried by the hotspot stations in each phase of the population-shift
+// experiment.
+type E5ShiftRow struct {
+	Protocol      string
+	Phase1Hotspot float64 // load share of the hotspot cells while users roam everywhere
+	Phase2Hotspot float64 // load share after every user confines itself to the hotspot
+}
+
+// E5DynamicShift sharpens E5's *dynamic* claim: half-way through the
+// run, every user's movement confines itself to two "downtown" cells.
+// RDP's forwarding work follows them there (new proxies are created
+// where requests are issued); Mobile IP's stays wherever the home
+// agents were assigned, however well that assignment matched the old
+// population. The measured quantity is the share of forwarding work the
+// two hotspot stations carry in each phase.
+func E5DynamicShift(seed int64, sc Scale) []E5ShiftRow {
+	cfg := baseConfig(seed)
+	hotspot := []ids.MSS{1, 2}
+
+	// RDP run.
+	w := rdpcore.NewWorld(cfg)
+	var rdpPhase1 []float64
+	w.Schedule(sc.Horizon/2, func() {
+		rdpPhase1 = w.Stats.ForwardLoads(w.StationList())
+	})
+	drivePhased(rdpDriver{w}, w.Kernel.RNG().Fork, sc)
+	w.RunUntil(sc.Horizon + sc.Horizon/4)
+	rdpPhase2 := diff(w.Stats.ForwardLoads(w.StationList()), rdpPhase1)
+
+	// Mobile IP run with homes spread round-robin (its best static case).
+	mcfg := mobileip.DefaultConfig()
+	mcfg.Seed = seed
+	mcfg.NumMSS = cfg.NumMSS
+	mcfg.NumServers = cfg.NumServers
+	mcfg.WiredLatency = cfg.WiredLatency
+	mcfg.WirelessLatency = cfg.WirelessLatency
+	mcfg.ServerProc = cfg.ServerProc
+	mcfg.RequestTimeout = 2 * time.Second
+	mw := mobileip.NewWorld(mcfg)
+	var mipPhase1 []float64
+	mw.Kernel.After(sc.Horizon/2, func() {
+		mipPhase1 = tunnelLoads(mw)
+	})
+	drivePhased(mipDriver{mw, mcfg.NumMSS}, mw.Kernel.RNG().Fork, sc)
+	mw.RunUntil(sc.Horizon + sc.Horizon/4)
+	mipPhase2 := diff(tunnelLoads(mw), mipPhase1)
+
+	return []E5ShiftRow{
+		{
+			Protocol:      "RDP (proxies follow users)",
+			Phase1Hotspot: share(rdpPhase1, hotspot),
+			Phase2Hotspot: share(rdpPhase2, hotspot),
+		},
+		{
+			Protocol:      "Mobile IP (spread homes)",
+			Phase1Hotspot: share(mipPhase1, hotspot),
+			Phase2Hotspot: share(mipPhase2, hotspot),
+		},
+	}
+}
+
+// protocolDriver abstracts the two worlds for the shared phased driver.
+type protocolDriver interface {
+	stations() []ids.MSS
+	addHost(id ids.MH, cell ids.MSS)
+	schedule(at time.Duration, fn func())
+	migrate(id ids.MH, cell ids.MSS)
+	request(id ids.MH, srv ids.Server, payload []byte)
+}
+
+type rdpDriver struct{ w *rdpcore.World }
+
+func (d rdpDriver) stations() []ids.MSS { return d.w.StationList() }
+func (d rdpDriver) addHost(id ids.MH, cell ids.MSS) {
+	d.w.AddMH(id, cell)
+}
+func (d rdpDriver) schedule(at time.Duration, fn func()) { d.w.Schedule(at, fn) }
+func (d rdpDriver) migrate(id ids.MH, cell ids.MSS)      { d.w.Migrate(id, cell) }
+func (d rdpDriver) request(id ids.MH, srv ids.Server, payload []byte) {
+	d.w.MHs[id].IssueRequest(srv, payload)
+}
+
+type mipDriver struct {
+	w    *mobileip.World
+	mssN int
+}
+
+func (d mipDriver) stations() []ids.MSS { return d.w.StationList() }
+func (d mipDriver) addHost(id ids.MH, cell ids.MSS) {
+	d.w.AddMH(id, cell, ids.MSS(int(id)%d.mssN+1))
+}
+func (d mipDriver) schedule(at time.Duration, fn func()) { d.w.Kernel.After(at, fn) }
+func (d mipDriver) migrate(id ids.MH, cell ids.MSS)      { d.w.Migrate(id, cell) }
+
+func (d mipDriver) request(id ids.MH, srv ids.Server, payload []byte) {
+	d.w.Node(id).IssueRequest(srv, payload)
+}
+
+// drivePhased runs the two-phase workload: phase 1 roams all cells,
+// phase 2 confines every host to the first two.
+func drivePhased(d protocolDriver, fork func() *sim.RNG, sc Scale) {
+	cells := d.stations()
+	hotspot := cells[:2]
+	res := 800 * time.Millisecond
+	for i := 1; i <= sc.MHs; i++ {
+		id := ids.MH(i)
+		rng := fork()
+		d.addHost(id, cells[rng.Intn(len(cells))])
+
+		phase1 := workload.Itinerary(rng, workload.Mobility{
+			Picker:    workload.UniformCells{Cells: cells},
+			Residence: netsim.Exponential{MeanDelay: res, Floor: res / 10},
+		}, cells[0], sc.Horizon/2)
+		for _, ev := range phase1 {
+			ev := ev
+			if ev.Kind == workload.EvMigrate {
+				d.schedule(ev.At, func() { d.migrate(id, ev.Cell) })
+			}
+		}
+		// Phase boundary: everyone relocates downtown.
+		start2 := hotspot[rng.Intn(len(hotspot))]
+		d.schedule(sc.Horizon/2, func() { d.migrate(id, start2) })
+		phase2 := workload.Itinerary(rng, workload.Mobility{
+			Picker:    workload.UniformCells{Cells: hotspot},
+			Residence: netsim.Exponential{MeanDelay: res, Floor: res / 10},
+		}, start2, sc.Horizon/2)
+		for _, ev := range phase2 {
+			ev := ev
+			if ev.Kind == workload.EvMigrate {
+				d.schedule(sc.Horizon/2+ev.At, func() { d.migrate(id, ev.Cell) })
+			}
+		}
+
+		reqs := workload.Schedule(rng, workload.Requests{
+			Interarrival: netsim.Exponential{MeanDelay: 700 * time.Millisecond, Floor: 20 * time.Millisecond},
+			Servers:      []ids.Server{1, 2},
+			PayloadBytes: 24,
+		}, sc.Horizon)
+		for _, a := range reqs {
+			a := a
+			d.schedule(a.At, func() { d.request(id, a.Server, a.Payload) })
+		}
+	}
+}
+
+func tunnelLoads(mw *mobileip.World) []float64 {
+	out := make([]float64, 0, len(mw.StationList()))
+	for _, st := range mw.StationList() {
+		out = append(out, float64(mw.Stats.TunnelLoad[st]))
+	}
+	return out
+}
+
+// diff returns cur - prev element-wise (prev may be nil).
+func diff(cur, prev []float64) []float64 {
+	out := make([]float64, len(cur))
+	for i := range cur {
+		out[i] = cur[i]
+		if i < len(prev) {
+			out[i] -= prev[i]
+		}
+	}
+	return out
+}
+
+// share returns the fraction of total load carried by the given
+// stations (station i is index i-1).
+func share(loads []float64, stations []ids.MSS) float64 {
+	var total, hot float64
+	for i, l := range loads {
+		total += l
+		for _, s := range stations {
+			if int(s) == i+1 {
+				hot += l
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return hot / total
+}

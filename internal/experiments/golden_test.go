@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// The figure replays are pinned to golden traces: every event (sends,
+// deliveries, drops), its timing, endpoints and flags must match the
+// checked-in files byte for byte. This freezes both the protocol
+// behaviour and the simulator's determinism; any intentional protocol
+// change must regenerate the goldens consciously.
+func TestFigureReplaysMatchGoldenTraces(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		run  func(rec *trace.Recorder)
+	}{
+		{"fig3", func(rec *trace.Recorder) { ReplayFigure3(rec.Observe) }},
+		{"fig4", func(rec *trace.Recorder) { ReplayFigure4(rec.Observe) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := trace.New()
+			tc.run(rec)
+			got := rec.String()
+			goldenPath := filepath.Join("testdata", tc.name+".trace")
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("read golden: %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("trace diverged from %s;\nregenerate deliberately if the protocol changed.\ngot:\n%s", goldenPath, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,260 @@
+package explore
+
+import (
+	"repro/internal/ids"
+	"repro/internal/rdpcore"
+	"repro/internal/sim"
+)
+
+// This file adds systematic exploration: instead of random walks over
+// the schedule tree, RunExhaustive enumerates schedules depth-first by
+// replaying the scenario from scratch for every choice prefix. Replay
+// is cheap (the worlds are tiny and deterministic), so full enumeration
+// is feasible for scenarios with a few concurrent messages — where it
+// proves that *no* delivery order violates the checked properties, not
+// merely that none of N samples does.
+
+// scriptedChooser follows a recorded choice prefix, then always picks
+// option 0, recording the fanout seen at every decision point.
+type scriptedChooser struct {
+	prefix  []int
+	step    int
+	fanouts []int
+}
+
+// choose returns the branch to take among n options at this decision
+// point and records n.
+func (s *scriptedChooser) choose(n int) int {
+	s.fanouts = append(s.fanouts, n)
+	pick := 0
+	if s.step < len(s.prefix) {
+		pick = s.prefix[s.step]
+	}
+	s.step++
+	if pick >= n {
+		pick = n - 1
+	}
+	return pick
+}
+
+// ExhaustiveResult summarizes a systematic exploration.
+type ExhaustiveResult struct {
+	// Schedules is the number of complete schedules executed.
+	Schedules int
+	// Complete reports whether the whole tree was enumerated (false when
+	// the budget ran out first).
+	Complete bool
+	// MaxDepth is the longest decision sequence seen.
+	MaxDepth int
+}
+
+// RunExhaustive enumerates the scenario's schedule tree depth-first,
+// executing every complete schedule up to budget runs, checking the
+// same properties as Run on each. Choice points are (a) take the next
+// world action vs. fire a delivery, and (b) which eligible delivery to
+// fire.
+func RunExhaustive(sc Scenario, budget, maxRefresh int, errf func(format string, args ...any)) ExhaustiveResult {
+	res := ExhaustiveResult{}
+	prefix := []int{}
+	for {
+		if res.Schedules >= budget {
+			return res
+		}
+		chooser := &scriptedChooser{prefix: prefix}
+		runScheduled(sc, chooser, maxRefresh, res.Schedules, errf)
+		res.Schedules++
+		if len(chooser.fanouts) > res.MaxDepth {
+			res.MaxDepth = len(chooser.fanouts)
+		}
+		// Advance the prefix like an odometer over the recorded fanouts:
+		// find the deepest decision that can still take a later branch.
+		full := chooser.fanouts
+		next := make([]int, len(full))
+		copy(next, prefix)
+		for i := len(next); i < len(full); i++ {
+			next = append(next, 0)
+		}
+		i := len(full) - 1
+		for i >= 0 {
+			if next[i]+1 < full[i] {
+				next[i]++
+				next = next[:i+1]
+				break
+			}
+			i--
+		}
+		if i < 0 {
+			res.Complete = true
+			return res
+		}
+		prefix = next
+	}
+}
+
+// runScheduled executes one schedule driven by the chooser.
+func runScheduled(sc Scenario, chooser *scriptedChooser, maxRefresh, scheduleID int, errf func(format string, args ...any)) {
+	ctl := NewController(sim.NewRNG(1)) // rng unused: choices come from the chooser
+	cfg := rdpcore.DefaultConfig()
+	cfg.NumMSS = sc.Stations
+	cfg.NumServers = 1
+	cfg.WiredSeq = ctl
+	cfg.WirelessSeq = ctl
+	w := rdpcore.NewWorld(cfg)
+
+	actions, requests := sc.Build(w)
+	drain := func() { w.Run() }
+	drain()
+
+	checkSafety := func(at string) {
+		if err := w.CheckInvariants(); err != nil {
+			errf("%s: exhaustive schedule %d (%s): invariants: %v", sc.Name, scheduleID, at, err)
+		}
+		if v := w.Stats.Violations.Value(); v != 0 {
+			errf("%s: exhaustive schedule %d (%s): violations = %d", sc.Name, scheduleID, at, v)
+		}
+	}
+
+	ai := 0
+	for ai < len(actions) || ctl.Eligible() > 0 {
+		// Enumerate the combined choice: option 0 = next action (when one
+		// remains), options 1..k = the k eligible deliveries.
+		actionOpt := 0
+		if ai < len(actions) {
+			actionOpt = 1
+		}
+		k := ctl.Eligible()
+		pick := chooser.choose(actionOpt + k)
+		if actionOpt == 1 && pick == 0 {
+			actions[ai]()
+			ai++
+		} else {
+			ctl.StepAt(pick - actionOpt)
+		}
+		drain()
+		checkSafety("mid-run")
+	}
+
+	delivered := func() bool {
+		for mh, reqs := range requests() {
+			for _, r := range reqs {
+				if !w.MHs[mh].Seen(r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rounds := 0
+	for !delivered() && rounds < maxRefresh {
+		rounds++
+		for mh := range requests() {
+			w.SetActive(mh, true)
+			w.Refresh(mh)
+			for ctl.Eligible() > 0 {
+				// Settlement order is not enumerated (it would explode the
+				// tree); deliveries fire head-first deterministically.
+				ctl.StepAt(0)
+				drain()
+			}
+			drain()
+		}
+	}
+	if !delivered() {
+		errf("%s: exhaustive schedule %d: undelivered after %d refresh rounds", sc.Name, scheduleID, maxRefresh)
+	}
+	checkSafety("end")
+	if err := w.CheckQuiescent(); err != nil {
+		errf("%s: exhaustive schedule %d: %v", sc.Name, scheduleID, err)
+	}
+}
+
+// StepAt fires the idx-th eligible delivery (0-based over the same
+// ordering Eligible counts: pooled wired deliveries first, then the
+// lane heads in stable key order). It panics on an out-of-range index.
+func (c *Controller) StepAt(idx int) {
+	if idx < len(c.pool) {
+		p := c.pool[idx]
+		c.pool = append(c.pool[:idx], c.pool[idx+1:]...)
+		p.fire()
+		return
+	}
+	idx -= len(c.pool)
+	keys := c.laneKeys()
+	k := keys[idx]
+	lane := c.lanes[k]
+	p := lane[0]
+	if len(lane) == 1 {
+		delete(c.lanes, k)
+	} else {
+		c.lanes[k] = lane[1:]
+	}
+	p.fire()
+}
+
+// Tiny returns the smallest interesting scenario — one request and one
+// migration racing it — whose schedule tree RunExhaustive can enumerate
+// completely.
+func Tiny() Scenario {
+	return Scenario{
+		Name:     "tiny-request-vs-migration",
+		Stations: 2,
+		Build: func(w *rdpcore.World) ([]func(), func() map[ids.MH][]ids.RequestID) {
+			mh := w.AddMH(1, 1)
+			var reqs []ids.RequestID
+			actions := []func(){
+				func() { reqs = append(reqs, mh.IssueRequest(1, []byte("q"))) },
+				func() { w.Migrate(1, 2) },
+			}
+			return actions, func() map[ids.MH][]ids.RequestID {
+				return map[ids.MH][]ids.RequestID{1: reqs}
+			}
+		},
+	}
+}
+
+// TinySleep is the second exhaustively enumerable scenario: one request
+// racing an inactivity window (§3.2's "MH becomes inactive" case and §5
+// footnote 3's motivation). The result may reach the cell before the
+// host sleeps, while it sleeps, or after it wakes — every interleaving
+// of the induced messages must still deliver exactly once at-least.
+func TinySleep() Scenario {
+	return Scenario{
+		Name:     "tiny-request-vs-sleep",
+		Stations: 2,
+		Build: func(w *rdpcore.World) ([]func(), func() map[ids.MH][]ids.RequestID) {
+			mh := w.AddMH(1, 1)
+			var reqs []ids.RequestID
+			actions := []func(){
+				func() { reqs = append(reqs, mh.IssueRequest(1, []byte("q"))) },
+				func() { w.SetActive(1, false) },
+				func() { w.SetActive(1, true) },
+			}
+			return actions, func() map[ids.MH][]ids.RequestID {
+				return map[ids.MH][]ids.RequestID{1: reqs}
+			}
+		},
+	}
+}
+
+// TinyHandoffBack is the third exhaustively enumerable scenario: a
+// request issued at the old station races a there-and-back migration
+// (the bounce that motivates the ignoreAcks/arriving machinery of
+// §3.2's hand-off, compressed to its smallest instance).
+func TinyHandoffBack() Scenario {
+	return Scenario{
+		Name:     "tiny-request-vs-bounce",
+		Stations: 2,
+		Build: func(w *rdpcore.World) ([]func(), func() map[ids.MH][]ids.RequestID) {
+			mh := w.AddMH(1, 1)
+			var reqs []ids.RequestID
+			actions := []func(){
+				func() { reqs = append(reqs, mh.IssueRequest(1, []byte("q"))) },
+				func() { w.Migrate(1, 2) },
+				func() { w.Migrate(1, 1) },
+			}
+			return actions, func() map[ids.MH][]ids.RequestID {
+				return map[ids.MH][]ids.RequestID{1: reqs}
+			}
+		},
+	}
+}

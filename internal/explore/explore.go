@@ -1,0 +1,253 @@
+// Package explore is a message-order adversary for the RDP protocol: a
+// lightweight model-checking harness that replaces the latency-driven
+// delivery schedule with controller-chosen orders.
+//
+// Under the simulation kernel, message interleavings are limited to
+// those some latency assignment can produce. The explorer removes that
+// restriction: every in-flight delivery is held in a pool and fired in
+// an order chosen by the schedule (random walks over the choice tree),
+// subject only to the physical constraints that genuinely hold — per
+// radio-link FIFO, and the causal wired layer's own delivery buffering.
+// Scenario checks then assert the protocol's safety properties
+// (cross-node invariants, zero violations) on every explored schedule,
+// and its liveness property (all results delivered) after bounded
+// registration-refresh rounds, mirroring how a real deployment's
+// periodic beacons bound recovery time.
+package explore
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/rdpcore"
+	"repro/internal/sim"
+)
+
+// pendingFire is one controller-held delivery.
+type pendingFire struct {
+	layer netsim.Layer
+	from  ids.NodeID
+	to    ids.NodeID
+	fire  func()
+}
+
+// Controller implements netsim.Sequencer: it pools offered deliveries
+// and fires them in adversarially chosen order. Wireless deliveries
+// respect per-directed-link FIFO (one radio channel per direction);
+// wired deliveries are unconstrained — with the causal layer enabled,
+// causally-premature arrivals are buffered by the endpoints themselves,
+// so the explorer covers exactly the orders a causal network permits.
+type Controller struct {
+	rng   *sim.RNG
+	lanes map[linkKey][]*pendingFire // wireless FIFO lanes
+	pool  []*pendingFire             // wired (unordered)
+}
+
+type linkKey struct{ from, to ids.NodeID }
+
+// NewController returns a controller drawing schedule choices from rng.
+func NewController(rng *sim.RNG) *Controller {
+	return &Controller{rng: rng, lanes: make(map[linkKey][]*pendingFire)}
+}
+
+// Offer implements netsim.Sequencer.
+func (c *Controller) Offer(layer netsim.Layer, from, to ids.NodeID, fire func()) {
+	p := &pendingFire{layer: layer, from: from, to: to, fire: fire}
+	if layer == netsim.LayerWireless {
+		k := linkKey{from: from, to: to}
+		c.lanes[k] = append(c.lanes[k], p)
+		return
+	}
+	c.pool = append(c.pool, p)
+}
+
+// Eligible returns the number of deliveries that may fire next: every
+// pooled wired delivery plus each wireless lane's head.
+func (c *Controller) Eligible() int {
+	n := len(c.pool)
+	for _, lane := range c.lanes {
+		if len(lane) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Step fires one randomly chosen eligible delivery; it reports whether
+// anything fired.
+func (c *Controller) Step() bool {
+	n := c.Eligible()
+	if n == 0 {
+		return false
+	}
+	pick := c.rng.Intn(n)
+	if pick < len(c.pool) {
+		p := c.pool[pick]
+		c.pool = append(c.pool[:pick], c.pool[pick+1:]...)
+		p.fire()
+		return true
+	}
+	pick -= len(c.pool)
+	// Deterministic lane order for reproducibility.
+	keys := c.laneKeys()
+	k := keys[pick]
+	lane := c.lanes[k]
+	p := lane[0]
+	if len(lane) == 1 {
+		delete(c.lanes, k)
+	} else {
+		c.lanes[k] = lane[1:]
+	}
+	p.fire()
+	return true
+}
+
+// laneKeys returns the non-empty lane keys in a stable order.
+func (c *Controller) laneKeys() []linkKey {
+	keys := make([]linkKey, 0, len(c.lanes))
+	for k, lane := range c.lanes {
+		if len(lane) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	// Sort by (from, to) tuples for determinism across map iteration.
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keyLess(keys[j], keys[i]) {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	return keys
+}
+
+func keyLess(a, b linkKey) bool {
+	if a.from != b.from {
+		return nodeLess(a.from, b.from)
+	}
+	return nodeLess(a.to, b.to)
+}
+
+func nodeLess(a, b ids.NodeID) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Num < b.Num
+}
+
+// Scenario is one explorable protocol situation.
+type Scenario struct {
+	Name string
+	// Hosts is the number of stations in the world.
+	Stations int
+	// Build populates the world and returns the ordered world actions
+	// (migrations, requests, activity flips) the adversary interleaves
+	// with deliveries, plus the request set whose delivery the liveness
+	// check demands.
+	Build func(w *rdpcore.World) (actions []func(), requests func() map[ids.MH][]ids.RequestID)
+}
+
+// Result summarizes one exploration.
+type Result struct {
+	Schedules     int
+	MaxRefreshes  int // worst-case settlement rounds needed
+	TotalFirings  int
+	TotalRecovery int // schedules that needed at least one refresh round
+}
+
+// Run explores the scenario under `schedules` random delivery orders
+// and reports via errf (typically t.Errorf) on any property violation.
+//
+// Properties checked per schedule:
+//
+//	safety   — cross-node invariants and Violations == 0 at every
+//	           quiescent point;
+//	liveness — all of the scenario's requests delivered within
+//	           maxRefresh registration-refresh rounds after the action
+//	           script ends (each round models one refresh beacon).
+func Run(sc Scenario, seed int64, schedules, maxRefresh int, errf func(format string, args ...any)) Result {
+	res := Result{Schedules: schedules}
+	for i := 0; i < schedules; i++ {
+		rng := sim.NewRNG(seed + int64(i)*7919)
+		ctl := NewController(rng.Fork())
+
+		cfg := rdpcore.DefaultConfig()
+		cfg.Seed = seed + int64(i)
+		cfg.NumMSS = sc.Stations
+		cfg.NumServers = 1
+		// Latencies are irrelevant under the controller (they would only
+		// order what the controller now orders), but kernel timers still
+		// drive server processing.
+		cfg.WiredSeq = ctl
+		cfg.WirelessSeq = ctl
+		w := rdpcore.NewWorld(cfg)
+
+		actions, requests := sc.Build(w)
+		drain := func() { w.Run() }
+		drain()
+
+		checkSafety := func(at string) {
+			if err := w.CheckInvariants(); err != nil {
+				errf("%s: schedule %d (%s): invariants: %v", sc.Name, i, at, err)
+			}
+			if v := w.Stats.Violations.Value(); v != 0 {
+				errf("%s: schedule %d (%s): violations = %d", sc.Name, i, at, v)
+			}
+		}
+
+		// Interleave actions and deliveries adversarially.
+		ai := 0
+		for ai < len(actions) || ctl.Eligible() > 0 {
+			takeAction := ai < len(actions) &&
+				(ctl.Eligible() == 0 || rng.Prob(0.4))
+			if takeAction {
+				actions[ai]()
+				ai++
+			} else {
+				ctl.Step()
+			}
+			drain()
+			res.TotalFirings++
+			checkSafety("mid-run")
+		}
+
+		// Settlement: fire refresh beacons until everything is delivered
+		// (each round is one greet per host, as a real refresh would be).
+		delivered := func() bool {
+			for mh, reqs := range requests() {
+				for _, r := range reqs {
+					if !w.MHs[mh].Seen(r) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		rounds := 0
+		for !delivered() && rounds < maxRefresh {
+			rounds++
+			for mh := range requests() {
+				w.SetActive(mh, true) // no-op when already active
+				w.Refresh(mh)
+				for ctl.Eligible() > 0 {
+					ctl.Step()
+					drain()
+				}
+				drain()
+			}
+			checkSafety(fmt.Sprintf("refresh round %d", rounds))
+		}
+		if rounds > res.MaxRefreshes {
+			res.MaxRefreshes = rounds
+		}
+		if rounds > 0 {
+			res.TotalRecovery++
+		}
+		if !delivered() {
+			errf("%s: schedule %d: requests undelivered after %d refresh rounds", sc.Name, i, maxRefresh)
+		}
+		checkSafety("end")
+	}
+	return res
+}

@@ -1,0 +1,135 @@
+package ids
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValuesInvalid(t *testing.T) {
+	if NoMH.Valid() {
+		t.Error("NoMH must be invalid")
+	}
+	if NoMSS.Valid() {
+		t.Error("NoMSS must be invalid")
+	}
+	if NoServer.Valid() {
+		t.Error("NoServer must be invalid")
+	}
+	if NoNode.Valid() {
+		t.Error("NoNode must be invalid")
+	}
+	if NoProxy.Valid() {
+		t.Error("NoProxy must be invalid")
+	}
+	if NoRequest.Valid() {
+		t.Error("NoRequest must be invalid")
+	}
+}
+
+func TestNodeRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		node NodeID
+		back NodeID
+	}{
+		{"mh", MH(7).Node(), MH(7).Node().MH().Node()},
+		{"mss", MSS(3).Node(), MSS(3).Node().MSS().Node()},
+		{"server", Server(2).Node(), Server(2).Node().Server().Node()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.node != tt.back {
+				t.Errorf("round trip changed node: %v -> %v", tt.node, tt.back)
+			}
+		})
+	}
+}
+
+func TestNodeConversionMismatch(t *testing.T) {
+	n := MH(5).Node()
+	if got := n.MSS(); got != NoMSS {
+		t.Errorf("MH node converted to MSS %v, want NoMSS", got)
+	}
+	if got := n.Server(); got != NoServer {
+		t.Errorf("MH node converted to Server %v, want NoServer", got)
+	}
+	if got := MSS(5).Node().MH(); got != NoMH {
+		t.Errorf("MSS node converted to MH %v, want NoMH", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	tests := []struct {
+		give interface{ String() string }
+		want string
+	}{
+		{MH(3), "mh3"},
+		{MSS(2), "mss2"},
+		{Server(1), "srv1"},
+		{NodeID{}, "none"},
+		{MH(4).Node(), "mh4"},
+		{ProxyID{Host: 2, Seq: 1}, "proxy(mss2#1)"},
+		{NoProxy, "proxy(nil)"},
+		{RequestID{Origin: 3, Seq: 7}, "req(mh3#7)"},
+		{NoRequest, "req(nil)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestRequestIDLess(t *testing.T) {
+	a := RequestID{Origin: 1, Seq: 2}
+	b := RequestID{Origin: 1, Seq: 3}
+	c := RequestID{Origin: 2, Seq: 1}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("seq ordering broken")
+	}
+	if !b.Less(c) || c.Less(b) {
+		t.Error("origin ordering broken")
+	}
+	if a.Less(a) {
+		t.Error("Less must be irreflexive")
+	}
+}
+
+func TestRequestIDLessIsStrictOrder(t *testing.T) {
+	// Property: Less is a strict total order (trichotomy + transitivity
+	// checked pairwise on random triples).
+	f := func(o1, s1, o2, s2, o3, s3 uint32) bool {
+		a := RequestID{Origin: MH(o1), Seq: s1}
+		b := RequestID{Origin: MH(o2), Seq: s2}
+		c := RequestID{Origin: MH(o3), Seq: s3}
+		// trichotomy
+		if a != b && !a.Less(b) && !b.Less(a) {
+			return false
+		}
+		if a == b && (a.Less(b) || b.Less(a)) {
+			return false
+		}
+		// transitivity
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeIDMapKey(t *testing.T) {
+	m := map[NodeID]int{
+		MH(1).Node():     1,
+		MSS(1).Node():    2,
+		Server(1).Node(): 3,
+	}
+	if len(m) != 3 {
+		t.Fatalf("distinct kinds with same number must be distinct keys, got %d entries", len(m))
+	}
+	if m[MSS(1).Node()] != 2 {
+		t.Error("lookup by reconstructed key failed")
+	}
+}

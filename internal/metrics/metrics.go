@@ -1,0 +1,214 @@
+// Package metrics provides the measurement primitives used by the
+// experiment harness: counters, duration histograms with quantile
+// queries, and the Jain fairness index used by the load-balancing
+// experiment (E5).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use.
+type Counter struct {
+	n int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta (which must be >= 0).
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: negative counter delta")
+	}
+	c.n += delta
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Histogram collects duration samples and answers mean/quantile queries.
+// The zero value is ready to use. Samples are kept exactly; the
+// experiment sweeps are small enough (≤ millions of samples) that exact
+// quantiles are affordable and reproducible.
+type Histogram struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range h.samples {
+		sum += float64(s)
+	}
+	return time.Duration(sum / float64(len(h.samples)))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank, or 0
+// with no samples.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.samples[idx]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() time.Duration { return h.Quantile(1) }
+
+// Summary renders count/mean/p50/p95/p99/max on one line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+}
+
+// JainIndex computes the Jain fairness index of a load vector:
+// (Σx)² / (n·Σx²). It is 1.0 for a perfectly even distribution and
+// approaches 1/n as load concentrates on a single element. An empty or
+// all-zero vector yields 1.0 (vacuously fair).
+func JainIndex(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range loads {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(loads)) * sumSq)
+}
+
+// MaxOverMean returns max(loads)/mean(loads), another concentration
+// measure reported by E5 (1.0 = perfectly balanced). It returns 0 for an
+// empty or all-zero vector.
+func MaxOverMean(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, x := range loads {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return max / (sum / float64(len(loads)))
+}
+
+// Table is a minimal fixed-width text table used by cmd/rdpbench to
+// print experiment results in the shape of a paper table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; cells beyond the header width are dropped,
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// CSV renders the table as comma-separated values (cells containing
+// commas or quotes are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString("\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\"")
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterNegativeDeltaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delta must panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramMeanAndQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Errorf("Mean = %v, want 50.5ms", got)
+	}
+	if got := h.Quantile(0.5); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", got)
+	}
+	if got := h.Quantile(0.95); got != 95*time.Millisecond {
+		t.Errorf("p95 = %v, want 95ms", got)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Errorf("Max = %v, want 100ms", got)
+	}
+	if got := h.Quantile(0); got != time.Millisecond {
+		t.Errorf("p0 = %v, want 1ms", got)
+	}
+}
+
+func TestHistogramObserveAfterQuantile(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Second)
+	_ = h.Quantile(0.5)
+	h.Observe(1 * time.Second) // must re-sort
+	if got := h.Quantile(0); got != time.Second {
+		t.Errorf("min after late observe = %v, want 1s", got)
+	}
+}
+
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint32, q1f, q2f float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		q1 := math.Abs(math.Mod(q1f, 1))
+		q2 := math.Abs(math.Mod(q2f, 1))
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		var h Histogram
+		for _, r := range raw {
+			h.Observe(time.Duration(r))
+		}
+		return h.Quantile(q1) <= h.Quantile(q2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	tests := []struct {
+		name  string
+		loads []float64
+		want  float64
+	}{
+		{"even", []float64{5, 5, 5, 5}, 1.0},
+		{"concentrated", []float64{10, 0, 0, 0}, 0.25},
+		{"empty", nil, 1.0},
+		{"all-zero", []float64{0, 0}, 1.0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := JainIndex(tt.loads); math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("JainIndex = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestJainIndexBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		loads := make([]float64, len(raw))
+		for i, r := range raw {
+			loads[i] = float64(r)
+		}
+		j := JainIndex(loads)
+		return j >= 1/float64(len(loads))-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxOverMean(t *testing.T) {
+	if got := MaxOverMean([]float64{2, 2, 2}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("balanced MaxOverMean = %v, want 1", got)
+	}
+	if got := MaxOverMean([]float64{9, 0, 0}); math.Abs(got-3) > 1e-9 {
+		t.Errorf("concentrated MaxOverMean = %v, want 3", got)
+	}
+	if got := MaxOverMean(nil); got != 0 {
+		t.Errorf("empty MaxOverMean = %v, want 0", got)
+	}
+	if got := MaxOverMean([]float64{0}); got != 0 {
+		t.Errorf("zero MaxOverMean = %v, want 0", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("col", "value")
+	tbl.AddRow("a", "1")
+	tbl.AddRow("longer", "2")
+	tbl.AddRow("short") // missing cell
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "col") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+	// Columns must be aligned: "value" column starts at the same offset
+	// in every row.
+	off := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][off:], "1") {
+		t.Errorf("misaligned row: %q", lines[2])
+	}
+}
+
+func TestHistogramSummaryMentionsCount(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Second)
+	if s := h.Summary(); !strings.Contains(s, "n=1") {
+		t.Errorf("Summary = %q", s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("a", "b")
+	tbl.AddRow("1", "plain")
+	tbl.AddRow("2", `with,comma and "quote"`)
+	got := tbl.CSV()
+	want := "a,b\n1,plain\n2,\"with,comma and \"\"quote\"\"\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,386 @@
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/ids"
+)
+
+// Wire format: one version byte, one kind byte, then the message fields
+// in declaration order. Integers are big-endian; byte slices and lists
+// are length-prefixed with a uint32. The format is intentionally simple:
+// the simulator moves millions of messages and the codec sits on the hot
+// path of the livenet runtime.
+const codecVersion = 1
+
+// Codec errors. ErrTruncated and ErrBadMessage are matched by callers
+// that inject corruption in tests.
+var (
+	ErrBadVersion = errors.New("msg: unsupported codec version")
+	ErrBadKind    = errors.New("msg: unknown message kind")
+	ErrTruncated  = errors.New("msg: truncated message")
+	ErrTrailing   = errors.New("msg: trailing bytes after message")
+)
+
+// maxSliceLen bounds decoded slice lengths to keep a corrupted length
+// prefix from causing a huge allocation.
+const maxSliceLen = 1 << 24
+
+// Encode serializes a message. It never fails for messages constructed
+// through this package's types; the error return guards against a
+// user-defined Message implementation with an unknown kind.
+func Encode(m Message) ([]byte, error) {
+	e := encoder{buf: make([]byte, 0, 64)}
+	e.u8(codecVersion)
+	e.u8(uint8(m.Kind()))
+	switch v := m.(type) {
+	case Join:
+		e.u32(uint32(v.MH))
+	case Leave:
+		e.u32(uint32(v.MH))
+	case Greet:
+		e.u32(uint32(v.MH))
+		e.u32(uint32(v.OldMSS))
+	case Request:
+		e.req(v.Req)
+		e.u32(uint32(v.Server))
+		e.bytes(v.Payload)
+	case ResultDeliver:
+		e.req(v.Req)
+		e.bytes(v.Payload)
+		e.bool(v.DelPref)
+	case AckMH:
+		e.u32(uint32(v.MH))
+		e.req(v.Req)
+		e.bool(v.HaveOutstanding)
+	case Dereg:
+		e.u32(uint32(v.MH))
+		e.u32(uint32(v.NewMSS))
+	case DeregAck:
+		e.u32(uint32(v.MH))
+		e.pref(v.Pref)
+	case RequestForward:
+		e.proxy(v.Proxy)
+		e.req(v.Req)
+		e.u32(uint32(v.Server))
+		e.bytes(v.Payload)
+	case UpdateCurrentLoc:
+		e.proxy(v.Proxy)
+		e.u32(uint32(v.MH))
+		e.u32(uint32(v.NewLoc))
+	case ResultForward:
+		e.proxy(v.Proxy)
+		e.u32(uint32(v.MH))
+		e.req(v.Req)
+		e.bytes(v.Payload)
+		e.bool(v.DelPref)
+	case AckForward:
+		e.proxy(v.Proxy)
+		e.u32(uint32(v.MH))
+		e.req(v.Req)
+		e.bool(v.DelProxy)
+	case DelPrefOnly:
+		e.proxy(v.Proxy)
+		e.u32(uint32(v.MH))
+	case ServerRequest:
+		e.proxy(v.Proxy)
+		e.req(v.Req)
+		e.bytes(v.Payload)
+	case ServerResult:
+		e.proxy(v.Proxy)
+		e.req(v.Req)
+		e.bytes(v.Payload)
+	case ServerAck:
+		e.req(v.Req)
+	case MIPRegister:
+		e.u32(uint32(v.MH))
+		e.u32(uint32(v.CareOf))
+	case MIPData:
+		e.u32(uint32(v.MH))
+		e.req(v.Req)
+		e.bytes(v.Payload)
+	case MIPTunnel:
+		e.u32(uint32(v.MH))
+		e.req(v.Req)
+		e.bytes(v.Payload)
+	case ImageTransfer:
+		e.u32(uint32(v.MH))
+		e.u32(uint32(len(v.Pending)))
+		for _, r := range v.Pending {
+			e.req(r)
+		}
+		e.u32(uint32(len(v.Results)))
+		for _, b := range v.Results {
+			e.bytes(b)
+		}
+	case TISQuery:
+		e.u64(v.QID)
+		e.u32(uint32(v.Origin))
+		e.u8(uint8(v.Op))
+		e.u32(v.Region)
+		e.u32(uint32(v.Value))
+		e.u8(v.Hops)
+		e.proxy(v.Proxy)
+		e.req(v.Req)
+		e.bytes(v.Data)
+	case TISDeliver:
+		e.u32(uint32(v.Member))
+		e.u32(v.Group)
+		e.u64(v.Seq)
+		e.bytes(v.Data)
+	case TISReply:
+		e.u64(v.QID)
+		e.u32(v.Region)
+		e.u32(uint32(v.Value))
+		e.u64(uint64(v.Stamp))
+		e.u8(v.Hops)
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrBadKind, m)
+	}
+	return e.buf, nil
+}
+
+// Decode parses a message previously produced by Encode. It rejects
+// unknown versions and kinds, truncated input, and trailing bytes.
+func Decode(b []byte) (Message, error) {
+	d := decoder{buf: b}
+	if v := d.u8(); d.err == nil && v != codecVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	kind := Kind(d.u8())
+	var m Message
+	switch kind {
+	case KindJoin:
+		m = Join{MH: ids.MH(d.u32())}
+	case KindLeave:
+		m = Leave{MH: ids.MH(d.u32())}
+	case KindGreet:
+		m = Greet{MH: ids.MH(d.u32()), OldMSS: ids.MSS(d.u32())}
+	case KindRequest:
+		m = Request{Req: d.req(), Server: ids.Server(d.u32()), Payload: d.bytes()}
+	case KindResultDeliver:
+		m = ResultDeliver{Req: d.req(), Payload: d.bytes(), DelPref: d.bool()}
+	case KindAckMH:
+		m = AckMH{MH: ids.MH(d.u32()), Req: d.req(), HaveOutstanding: d.bool()}
+	case KindDereg:
+		m = Dereg{MH: ids.MH(d.u32()), NewMSS: ids.MSS(d.u32())}
+	case KindDeregAck:
+		m = DeregAck{MH: ids.MH(d.u32()), Pref: d.pref()}
+	case KindRequestForward:
+		m = RequestForward{Proxy: d.proxy(), Req: d.req(), Server: ids.Server(d.u32()), Payload: d.bytes()}
+	case KindUpdateCurrentLoc:
+		m = UpdateCurrentLoc{Proxy: d.proxy(), MH: ids.MH(d.u32()), NewLoc: ids.MSS(d.u32())}
+	case KindResultForward:
+		m = ResultForward{Proxy: d.proxy(), MH: ids.MH(d.u32()), Req: d.req(), Payload: d.bytes(), DelPref: d.bool()}
+	case KindAckForward:
+		m = AckForward{Proxy: d.proxy(), MH: ids.MH(d.u32()), Req: d.req(), DelProxy: d.bool()}
+	case KindDelPrefOnly:
+		m = DelPrefOnly{Proxy: d.proxy(), MH: ids.MH(d.u32())}
+	case KindServerRequest:
+		m = ServerRequest{Proxy: d.proxy(), Req: d.req(), Payload: d.bytes()}
+	case KindServerResult:
+		m = ServerResult{Proxy: d.proxy(), Req: d.req(), Payload: d.bytes()}
+	case KindServerAck:
+		m = ServerAck{Req: d.req()}
+	case KindMIPRegister:
+		m = MIPRegister{MH: ids.MH(d.u32()), CareOf: ids.MSS(d.u32())}
+	case KindMIPData:
+		m = MIPData{MH: ids.MH(d.u32()), Req: d.req(), Payload: d.bytes()}
+	case KindMIPTunnel:
+		m = MIPTunnel{MH: ids.MH(d.u32()), Req: d.req(), Payload: d.bytes()}
+	case KindImageTransfer:
+		it := ImageTransfer{MH: ids.MH(d.u32())}
+		n := d.len()
+		for i := 0; i < n && d.err == nil; i++ {
+			it.Pending = append(it.Pending, d.req())
+		}
+		n = d.len()
+		for i := 0; i < n && d.err == nil; i++ {
+			it.Results = append(it.Results, d.bytes())
+		}
+		m = it
+	case KindTISQuery:
+		m = TISQuery{
+			QID:    d.u64(),
+			Origin: ids.Server(d.u32()),
+			Op:     TISOp(d.u8()),
+			Region: d.u32(),
+			Value:  int32(d.u32()),
+			Hops:   d.u8(),
+			Proxy:  d.proxy(),
+			Req:    d.req(),
+			Data:   d.bytes(),
+		}
+	case KindTISDeliver:
+		m = TISDeliver{
+			Member: ids.MH(d.u32()),
+			Group:  d.u32(),
+			Seq:    d.u64(),
+			Data:   d.bytes(),
+		}
+	case KindTISReply:
+		m = TISReply{
+			QID:    d.u64(),
+			Region: d.u32(),
+			Value:  int32(d.u32()),
+			Stamp:  int64(d.u64()),
+			Hops:   d.u8(),
+		}
+	default:
+		if d.err != nil {
+			return nil, d.err
+		}
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, uint8(kind))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != d.off {
+		return nil, ErrTrailing
+	}
+	return m, nil
+}
+
+// encoder appends fields to a buffer.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *encoder) req(r ids.RequestID) {
+	e.u32(uint32(r.Origin))
+	e.u32(r.Seq)
+}
+
+func (e *encoder) proxy(p ids.ProxyID) {
+	e.u32(uint32(p.Host))
+	e.u32(p.Seq)
+}
+
+func (e *encoder) pref(p Pref) {
+	e.proxy(p.Proxy)
+	e.bool(p.RKpR)
+}
+
+// decoder consumes fields from a buffer, latching the first error.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrTruncated
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+1 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+4 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) bool() bool { return d.u8() != 0 }
+
+// len decodes a u32 length prefix, bounding it against both the sanity
+// cap and the remaining input so corrupted prefixes fail fast.
+func (d *decoder) len() int {
+	n := d.u32()
+	if d.err != nil {
+		return 0
+	}
+	if n > maxSliceLen || int(n) > len(d.buf)-d.off {
+		d.fail()
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.len()
+	if d.err != nil {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.off:d.off+n])
+	d.off += n
+	return b
+}
+
+func (d *decoder) req() ids.RequestID {
+	return ids.RequestID{Origin: ids.MH(d.u32()), Seq: d.u32()}
+}
+
+func (d *decoder) proxy() ids.ProxyID {
+	return ids.ProxyID{Host: ids.MSS(d.u32()), Seq: d.u32()}
+}
+
+func (d *decoder) pref() Pref {
+	return Pref{Proxy: d.proxy(), RKpR: d.bool()}
+}
+
+// WireSize returns the encoded size of a message in bytes without
+// retaining the encoding. It is used by the metrics layer to account
+// hand-off state volume (experiment E6).
+func WireSize(m Message) int {
+	b, err := Encode(m)
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}

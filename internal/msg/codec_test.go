@@ -1,0 +1,378 @@
+package msg
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+)
+
+// sampleMessages returns one populated instance of every message kind.
+func sampleMessages() []Message {
+	req := ids.RequestID{Origin: 3, Seq: 41}
+	prx := ids.ProxyID{Host: 2, Seq: 5}
+	return []Message{
+		Join{MH: 3},
+		Leave{MH: 3},
+		Greet{MH: 3, OldMSS: 2},
+		Request{Req: req, Server: 1, Payload: []byte("query traffic zone 4")},
+		ResultDeliver{Req: req, Payload: []byte("result"), DelPref: true},
+		AckMH{MH: 3, Req: req},
+		Dereg{MH: 3, NewMSS: 4},
+		DeregAck{MH: 3, Pref: Pref{Proxy: prx, RKpR: true}},
+		RequestForward{Proxy: prx, Req: req, Server: 1, Payload: []byte("p")},
+		UpdateCurrentLoc{Proxy: prx, MH: 3, NewLoc: 4},
+		ResultForward{Proxy: prx, MH: 3, Req: req, Payload: []byte("r"), DelPref: true},
+		AckForward{Proxy: prx, MH: 3, Req: req, DelProxy: true},
+		DelPrefOnly{Proxy: prx, MH: 3},
+		ServerRequest{Proxy: prx, Req: req, Payload: []byte("sq")},
+		ServerResult{Proxy: prx, Req: req, Payload: []byte("sr")},
+		ServerAck{Req: req},
+		MIPRegister{MH: 3, CareOf: 2},
+		MIPData{MH: 3, Req: req, Payload: []byte("d")},
+		MIPTunnel{MH: 3, Req: req, Payload: []byte("t")},
+		ImageTransfer{
+			MH:      3,
+			Pending: []ids.RequestID{req, {Origin: 3, Seq: 42}},
+			Results: [][]byte{[]byte("a"), []byte("bb")},
+		},
+		TISQuery{QID: 9, Origin: 2, Op: TISOpSubscribe, Region: 14, Value: 30, Hops: 2, Proxy: prx, Req: req},
+		TISQuery{QID: 10, Origin: 2, Op: TISOpMulticast, Region: 3, Hops: 1, Proxy: prx, Req: req, Data: []byte("to the fleet")},
+		TISReply{QID: 9, Region: 14, Value: 72, Stamp: 123456789, Hops: 3},
+		TISDeliver{Member: 3, Group: 7, Seq: 42, Data: []byte("msg")},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, m := range sampleMessages() {
+		t.Run(m.Kind().String(), func(t *testing.T) {
+			b, err := Encode(m)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			got, err := Decode(b)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if !reflect.DeepEqual(got, m) {
+				t.Errorf("round trip changed message:\n got %#v\nwant %#v", got, m)
+			}
+		})
+	}
+}
+
+func TestEveryKindCovered(t *testing.T) {
+	seen := make(map[Kind]bool)
+	for _, m := range sampleMessages() {
+		seen[m.Kind()] = true
+	}
+	for k := KindInvalid + 1; k < kindSentinel; k++ {
+		if !seen[k] {
+			t.Errorf("sampleMessages misses kind %v; codec round-trip untested", k)
+		}
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	b, err := Encode(Join{MH: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[0] = codecVersion + 1
+	if _, err := Decode(b); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("Decode = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestDecodeRejectsBadKind(t *testing.T) {
+	b := []byte{codecVersion, byte(kindSentinel), 0, 0, 0, 1}
+	if _, err := Decode(b); !errors.Is(err, ErrBadKind) {
+		t.Errorf("Decode = %v, want ErrBadKind", err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	for _, m := range sampleMessages() {
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every strict prefix must fail cleanly, never panic.
+		for i := 0; i < len(b); i++ {
+			if _, err := Decode(b[:i]); err == nil {
+				t.Errorf("%v: Decode of %d/%d-byte prefix succeeded", m.Kind(), i, len(b))
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	b, err := Encode(AckMH{MH: 1, Req: ids.RequestID{Origin: 1, Seq: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = append(b, 0xFF)
+	if _, err := Decode(b); !errors.Is(err, ErrTrailing) {
+		t.Errorf("Decode = %v, want ErrTrailing", err)
+	}
+}
+
+func TestDecodeRejectsHugeLengthPrefix(t *testing.T) {
+	// A Request whose payload length prefix claims more bytes than the
+	// buffer holds must fail with ErrTruncated, not allocate.
+	e := encoder{}
+	e.u8(codecVersion)
+	e.u8(uint8(KindRequest))
+	e.req(ids.RequestID{Origin: 1, Seq: 1})
+	e.u32(1)
+	e.u32(0xFFFFFFFF) // absurd payload length
+	if _, err := Decode(e.buf); !errors.Is(err, ErrTruncated) {
+		t.Errorf("Decode = %v, want ErrTruncated", err)
+	}
+}
+
+func TestDecodeCorruptionNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	msgs := sampleMessages()
+	for trial := 0; trial < 2000; trial++ {
+		m := msgs[rng.Intn(len(msgs))]
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Flip up to three random bytes; Decode must return either a
+		// valid message or an error, never panic.
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+		}
+		_, _ = Decode(b)
+	}
+}
+
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(origin, seq, server uint32, payload []byte) bool {
+		m := Request{
+			Req:     ids.RequestID{Origin: ids.MH(origin), Seq: seq},
+			Server:  ids.Server(server),
+			Payload: payload,
+		}
+		b, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		gr, ok := got.(Request)
+		if !ok {
+			return false
+		}
+		// nil and empty payloads are both decoded as nil.
+		if len(payload) == 0 {
+			return gr.Payload == nil && gr.Req == m.Req && gr.Server == m.Server
+		}
+		return reflect.DeepEqual(gr, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImageTransferRoundTripProperty(t *testing.T) {
+	f := func(mh uint32, seqs []uint32, results [][]byte) bool {
+		m := ImageTransfer{MH: ids.MH(mh)}
+		for _, s := range seqs {
+			m.Pending = append(m.Pending, ids.RequestID{Origin: ids.MH(mh), Seq: s})
+		}
+		for _, r := range results {
+			if len(r) == 0 {
+				r = nil // codec normalizes empty to nil
+			}
+			m.Results = append(m.Results, r)
+		}
+		b, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	// DeregAck (RDP hand-off state) must be constant-size, independent of
+	// the number of pending requests — the core of experiment E6.
+	small := DeregAck{MH: 1, Pref: Pref{Proxy: ids.ProxyID{Host: 1, Seq: 1}}}
+	if got := WireSize(small); got == 0 {
+		t.Fatal("WireSize returned 0 for a valid message")
+	}
+	img := ImageTransfer{MH: 1}
+	for i := 0; i < 50; i++ {
+		img.Pending = append(img.Pending, ids.RequestID{Origin: 1, Seq: uint32(i)})
+		img.Results = append(img.Results, make([]byte, 100))
+	}
+	if WireSize(img) <= WireSize(small)*10 {
+		t.Error("image transfer should dwarf the RDP pref hand-off")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if got := KindUpdateCurrentLoc.String(); got != "update-currl" {
+		t.Errorf("Kind.String() = %q, want %q", got, "update-currl")
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Errorf("Kind.String() = %q, want %q", got, "kind(200)")
+	}
+}
+
+func TestKindValid(t *testing.T) {
+	if KindInvalid.Valid() {
+		t.Error("KindInvalid must not be valid")
+	}
+	if kindSentinel.Valid() {
+		t.Error("sentinel must not be valid")
+	}
+	if !KindGreet.Valid() {
+		t.Error("KindGreet must be valid")
+	}
+}
+
+func TestPrefString(t *testing.T) {
+	if got := (Pref{}).String(); got != "pref(nil)" {
+		t.Errorf("empty pref String() = %q", got)
+	}
+	p := Pref{Proxy: ids.ProxyID{Host: 2, Seq: 1}, RKpR: true}
+	if got := p.String(); got != "pref(proxy(mss2#1),RKpR=true)" {
+		t.Errorf("pref String() = %q", got)
+	}
+}
+
+func BenchmarkEncodeResultForward(b *testing.B) {
+	m := ResultForward{
+		Proxy:   ids.ProxyID{Host: 2, Seq: 5},
+		MH:      3,
+		Req:     ids.RequestID{Origin: 3, Seq: 41},
+		Payload: make([]byte, 256),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeResultForward(b *testing.B) {
+	m := ResultForward{
+		Proxy:   ids.ProxyID{Host: 2, Seq: 5},
+		MH:      3,
+		Req:     ids.RequestID{Origin: 3, Seq: 41},
+		Payload: make([]byte, 256),
+	}
+	buf, err := Encode(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// FuzzDecode feeds arbitrary bytes to the decoder: it must never panic
+// and, when it succeeds, re-encoding must round-trip.
+func FuzzDecode(f *testing.F) {
+	for _, m := range sampleMessages() {
+		b, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{codecVersion})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Decode(b)
+		if err != nil {
+			return
+		}
+		b2, err := Encode(m)
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		m2, err := Decode(b2)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip diverged:\n%#v\n%#v", m, m2)
+		}
+	})
+}
+
+// TestStringRendering exercises every message's trace rendering: each
+// must be non-empty, parenthesized, and distinct per kind (traces rely
+// on the prefix to name the message type).
+func TestStringRendering(t *testing.T) {
+	seen := make(map[string]Kind)
+	for _, m := range sampleMessages() {
+		s := fmt.Sprint(m)
+		if s == "" {
+			t.Errorf("%v renders empty", m.Kind())
+			continue
+		}
+		if !strings.Contains(s, "(") || !strings.HasSuffix(s, ")") {
+			t.Errorf("%v renders %q; want name(...) form", m.Kind(), s)
+		}
+		prefix := s[:strings.Index(s, "(")]
+		if prev, dup := seen[prefix]; dup && prev != m.Kind() {
+			t.Errorf("prefix %q used by both %v and %v", prefix, prev, m.Kind())
+		}
+		seen[prefix] = m.Kind()
+	}
+}
+
+// TestWireSizeEveryKind checks WireSize is consistent with Encode for
+// every message kind (it is defined as the encoded length).
+func TestWireSizeEveryKind(t *testing.T) {
+	for _, m := range sampleMessages() {
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatalf("encode %v: %v", m.Kind(), err)
+		}
+		if got := WireSize(m); got != len(b) {
+			t.Errorf("WireSize(%v) = %d, want %d", m.Kind(), got, len(b))
+		}
+	}
+}
+
+// TestTISOpString names every operation and the unknown fallback.
+func TestTISOpString(t *testing.T) {
+	want := map[TISOp]string{
+		TISOpQuery:     "query",
+		TISOpUpdate:    "update",
+		TISOpSubscribe: "subscribe",
+		TISOpMailbox:   "mailbox",
+		TISOpMulticast: "multicast",
+		TISOp(99):      "tisop(99)",
+	}
+	for op, s := range want {
+		if got := op.String(); got != s {
+			t.Errorf("TISOp(%d).String() = %q, want %q", uint8(op), got, s)
+		}
+	}
+}

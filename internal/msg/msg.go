@@ -1,0 +1,520 @@
+// Package msg defines every message exchanged by the Result Delivery
+// Protocol (RDP), by its substrates, and by the comparison baselines
+// (Mobile IP-style tunneling and I-TCP-style image hand-off), together
+// with a compact, versioned binary codec.
+//
+// Message taxonomy (paper section in parentheses):
+//
+//	Wireless, MH <-> respMss:
+//	    Join, Leave (§2), Greet (§2, §3.2), Request (§3.1),
+//	    ResultDeliver (§3.1, carries del-pref §3.3), AckMH (§3.1)
+//	Wired, MSS <-> MSS (Hand-off, §3.2):
+//	    Dereg, DeregAck (carries the pref)
+//	Wired, MSS <-> proxy-hosting MSS (§3.1, §3.3):
+//	    RequestForward, UpdateCurrentLoc, ResultForward (del-pref),
+//	    AckForward (del-proxy), DelPrefOnly (Fig. 4 special message)
+//	Wired, proxy <-> application server (§3.1):
+//	    ServerRequest, ServerResult, ServerAck
+//	Baselines (§4 comparison):
+//	    MIPRegister, MIPData, MIPTunnel (Mobile IP);
+//	    ImageTransfer (I-TCP-style indirect image hand-off)
+package msg
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+)
+
+// Kind discriminates message types on the wire and in traces.
+type Kind uint8
+
+// Message kinds. Values are part of the wire format; append only.
+const (
+	KindInvalid Kind = iota
+
+	// Wireless MH <-> MSS.
+	KindJoin
+	KindLeave
+	KindGreet
+	KindRequest
+	KindResultDeliver
+	KindAckMH
+
+	// Wired MSS <-> MSS hand-off.
+	KindDereg
+	KindDeregAck
+
+	// Wired MSS <-> proxy host.
+	KindRequestForward
+	KindUpdateCurrentLoc
+	KindResultForward
+	KindAckForward
+	KindDelPrefOnly
+
+	// Wired proxy <-> server.
+	KindServerRequest
+	KindServerResult
+	KindServerAck
+
+	// Mobile IP baseline.
+	KindMIPRegister
+	KindMIPData
+	KindMIPTunnel
+
+	// I-TCP-style baseline.
+	KindImageTransfer
+
+	// SIDAM inter-TIS protocol (paper §1: "queries may eventually
+	// require time-consuming data location and retrieval protocols
+	// among the servers").
+	KindTISQuery
+	KindTISReply
+	KindTISDeliver
+
+	kindSentinel // one past the last valid kind
+)
+
+var kindNames = [...]string{
+	KindInvalid:          "invalid",
+	KindJoin:             "join",
+	KindLeave:            "leave",
+	KindGreet:            "greet",
+	KindRequest:          "request",
+	KindResultDeliver:    "result",
+	KindAckMH:            "ack",
+	KindDereg:            "dereg",
+	KindDeregAck:         "deregack",
+	KindRequestForward:   "request-fwd",
+	KindUpdateCurrentLoc: "update-currl",
+	KindResultForward:    "result-fwd",
+	KindAckForward:       "ack-fwd",
+	KindDelPrefOnly:      "del-pref",
+	KindServerRequest:    "srv-request",
+	KindServerResult:     "srv-result",
+	KindServerAck:        "srv-ack",
+	KindMIPRegister:      "mip-register",
+	KindMIPData:          "mip-data",
+	KindMIPTunnel:        "mip-tunnel",
+	KindImageTransfer:    "image-transfer",
+	KindTISQuery:         "tis-query",
+	KindTISReply:         "tis-reply",
+	KindTISDeliver:       "tis-deliver",
+}
+
+// String returns the trace tag of the kind, e.g. "update-currl".
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Valid reports whether k names a defined message kind.
+func (k Kind) Valid() bool { return k > KindInvalid && k < kindSentinel }
+
+// Message is implemented by every protocol message.
+type Message interface {
+	// Kind returns the wire discriminator of the message.
+	Kind() Kind
+	// String renders the message for traces and test failures.
+	String() string
+}
+
+// Pref is the proxy reference held by an MH's respMss and handed over on
+// every migration (paper §3.1). A zero Proxy means the MH currently has
+// no proxy (the paper's "null address"). RKpR is the "Ready to Kill pref"
+// flag (§3.3).
+type Pref struct {
+	Proxy ids.ProxyID
+	RKpR  bool
+}
+
+// HasProxy reports whether the reference points at a live proxy.
+func (p Pref) HasProxy() bool { return p.Proxy.Valid() }
+
+// String renders the pref for traces.
+func (p Pref) String() string {
+	if !p.HasProxy() {
+		return "pref(nil)"
+	}
+	return fmt.Sprintf("pref(%v,RKpR=%t)", p.Proxy, p.RKpR)
+}
+
+// ---------------------------------------------------------------------
+// Wireless MH <-> MSS messages.
+
+// Join announces a mobile host entering the system in the receiving
+// station's cell (paper §2).
+type Join struct {
+	MH ids.MH
+}
+
+// Leave announces a mobile host leaving the system. Assumption 6: an MH
+// only leaves after acknowledging every message from its respMss.
+type Leave struct {
+	MH ids.MH
+}
+
+// Greet is sent by an MH entering a new cell, or on reactivation in the
+// same cell. OldMSS is the station responsible for the cell the MH is
+// leaving; if OldMSS equals the receiving station no hand-off is started
+// (paper §2, §3.2).
+type Greet struct {
+	MH     ids.MH
+	OldMSS ids.MSS
+}
+
+// Request is a service request from an MH to its respMss, to be routed
+// to (or creating) the MH's proxy (paper §3.1).
+type Request struct {
+	Req     ids.RequestID
+	Server  ids.Server
+	Payload []byte
+}
+
+// ResultDeliver carries a request result over the wireless link from the
+// respMss to the MH. DelPref is the piggy-backed del-pref flag: true when
+// the proxy has no other pending request (paper §3.3).
+type ResultDeliver struct {
+	Req     ids.RequestID
+	Payload []byte
+	DelPref bool
+}
+
+// AckMH is the MH's acknowledgment for a delivered result (paper
+// assumption 4). HaveOutstanding reports whether the MH still awaits
+// results for other requests it has issued. §3.3 confirms proxy removal
+// only on "an Ack from MH that is not preceded by any new request" —
+// a property of the MH's own send stream. The respMss can observe it
+// only for requests routed through itself; a request issued just before
+// a migration travels via the previous station and would be invisible
+// to the new one, so the MH states the property explicitly.
+type AckMH struct {
+	MH              ids.MH
+	Req             ids.RequestID
+	HaveOutstanding bool
+}
+
+// ---------------------------------------------------------------------
+// Wired MSS <-> MSS hand-off messages (paper §3.2).
+
+// Dereg asks the old respMss to de-register an MH and return its pref.
+type Dereg struct {
+	MH     ids.MH
+	NewMSS ids.MSS
+}
+
+// DeregAck transfers responsibility for the MH (with its pref) to the
+// new respMss.
+type DeregAck struct {
+	MH   ids.MH
+	Pref Pref
+}
+
+// ---------------------------------------------------------------------
+// Wired MSS <-> proxy-hosting MSS messages.
+
+// RequestForward routes a new request from the MH's respMss to the MSS
+// hosting the MH's proxy (paper §3.1, §3.3: "all new requests must be
+// forwarded to the MSS hosting the proxy").
+type RequestForward struct {
+	Proxy   ids.ProxyID
+	Req     ids.RequestID
+	Server  ids.Server
+	Payload []byte
+}
+
+// UpdateCurrentLoc updates the proxy's currentLoc variable after a
+// completed hand-off or a reactivation (paper §3.1, §3.2). Its arrival
+// triggers retransmission of every un-acked result.
+type UpdateCurrentLoc struct {
+	Proxy  ids.ProxyID
+	MH     ids.MH
+	NewLoc ids.MSS
+}
+
+// ResultForward carries a stored result from the proxy to the MH's
+// current respMss. DelPref is piggy-backed when this is the result of the
+// proxy's last pending request (paper §3.3).
+type ResultForward struct {
+	Proxy   ids.ProxyID
+	MH      ids.MH
+	Req     ids.RequestID
+	Payload []byte
+	DelPref bool
+}
+
+// AckForward relays an MH's Ack from its respMss to the proxy. DelProxy
+// is piggy-backed when the respMss confirms proxy removal (RKpR held and
+// no new request intervened; paper §3.3).
+type AckForward struct {
+	Proxy    ids.ProxyID
+	MH       ids.MH
+	Req      ids.RequestID
+	DelProxy bool
+}
+
+// DelPrefOnly is the Fig. 4 special message: the proxy's last pending
+// result has already been forwarded (and acked at the proxy later than
+// forwarded), so the proxy sends the del-pref flag alone to the respMss.
+type DelPrefOnly struct {
+	Proxy ids.ProxyID
+	MH    ids.MH
+}
+
+// ---------------------------------------------------------------------
+// Wired proxy <-> server messages (paper §3.1: "from the server's point
+// of view, the service is being requested from a fixed client").
+
+// ServerRequest is issued by a proxy to an application server on behalf
+// of an MH.
+type ServerRequest struct {
+	Proxy   ids.ProxyID
+	Req     ids.RequestID
+	Payload []byte
+}
+
+// ServerResult is the server's reply, addressed to the proxy that issued
+// the request.
+type ServerResult struct {
+	Proxy   ids.ProxyID
+	Req     ids.RequestID
+	Payload []byte
+}
+
+// ServerAck is the optional application-level acknowledgment sent by the
+// proxy to the server once the MH acknowledged the result (paper §3.1:
+// "possibly sends an acknowledgment to the server, depending on the
+// particular application-level protocol").
+type ServerAck struct {
+	Req ids.RequestID
+}
+
+// ---------------------------------------------------------------------
+// Mobile IP baseline messages (paper §4 comparison).
+
+// MIPRegister registers a new care-of address (the foreign agent's MSS)
+// with the MH's home agent.
+type MIPRegister struct {
+	MH     ids.MH
+	CareOf ids.MSS
+}
+
+// MIPData is a datagram addressed to a mobile node, sent by a
+// correspondent (server) to the MH's home agent.
+type MIPData struct {
+	MH      ids.MH
+	Req     ids.RequestID
+	Payload []byte
+}
+
+// MIPTunnel is a datagram tunneled by the home agent to the registered
+// care-of address for final wireless delivery.
+type MIPTunnel struct {
+	MH      ids.MH
+	Req     ids.RequestID
+	Payload []byte
+}
+
+// ---------------------------------------------------------------------
+// I-TCP-style baseline message.
+
+// ImageTransfer ships the full per-MH session image (pending requests
+// and buffered results) between support stations during a hand-off, the
+// way indirect-protocol systems such as I-TCP move the MH's image
+// (paper §4). RDP's equivalent transfer is the single Pref in DeregAck.
+type ImageTransfer struct {
+	MH      ids.MH
+	Pending []ids.RequestID
+	Results [][]byte
+}
+
+// ---------------------------------------------------------------------
+// SIDAM inter-TIS messages.
+
+// TISOp discriminates inter-TIS operations.
+type TISOp uint8
+
+// Inter-TIS operations.
+const (
+	TISOpQuery TISOp = iota + 1
+	TISOpUpdate
+	TISOpSubscribe
+	TISOpMailbox   // park a member's mailbox request at its mailbox TIS
+	TISOpMulticast // submit a group message to the group's owning TIS
+)
+
+// String names the operation.
+func (o TISOp) String() string {
+	switch o {
+	case TISOpQuery:
+		return "query"
+	case TISOpUpdate:
+		return "update"
+	case TISOpSubscribe:
+		return "subscribe"
+	case TISOpMailbox:
+		return "mailbox"
+	case TISOpMulticast:
+		return "multicast"
+	default:
+		return fmt.Sprintf("tisop(%d)", uint8(o))
+	}
+}
+
+// TISQuery routes an operation hop-by-hop through the Traffic
+// Information Server network toward the owner of a region (or of a
+// group / member mailbox for the multicast operations). Proxy and Req
+// identify the RDP proxy awaiting the outcome, so the owner can answer
+// (or notify) the client's proxy directly. Data carries the message
+// body of a multicast submission.
+type TISQuery struct {
+	QID    uint64
+	Origin ids.Server
+	Op     TISOp
+	Region uint32 // region id, or group id for multicast ops
+	Value  int32  // update payload / subscription threshold
+	Hops   uint8
+	Proxy  ids.ProxyID
+	Req    ids.RequestID
+	Data   []byte
+}
+
+// TISDeliver carries one group message from the group's owning TIS to a
+// member's mailbox TIS. Seq is the owner's per-group serialization
+// number: every member observes group messages in Seq order, giving the
+// multicast operation its total order.
+type TISDeliver struct {
+	Member ids.MH
+	Group  uint32
+	Seq    uint64
+	Data   []byte
+}
+
+// TISReply answers a routed TISQuery back to its origin TIS.
+type TISReply struct {
+	QID    uint64
+	Region uint32
+	Value  int32
+	Stamp  int64 // virtual-time nanoseconds of the reading
+	Hops   uint8
+}
+
+// ---------------------------------------------------------------------
+// Kind methods.
+
+func (Join) Kind() Kind             { return KindJoin }
+func (Leave) Kind() Kind            { return KindLeave }
+func (Greet) Kind() Kind            { return KindGreet }
+func (Request) Kind() Kind          { return KindRequest }
+func (ResultDeliver) Kind() Kind    { return KindResultDeliver }
+func (AckMH) Kind() Kind            { return KindAckMH }
+func (Dereg) Kind() Kind            { return KindDereg }
+func (DeregAck) Kind() Kind         { return KindDeregAck }
+func (RequestForward) Kind() Kind   { return KindRequestForward }
+func (UpdateCurrentLoc) Kind() Kind { return KindUpdateCurrentLoc }
+func (ResultForward) Kind() Kind    { return KindResultForward }
+func (AckForward) Kind() Kind       { return KindAckForward }
+func (DelPrefOnly) Kind() Kind      { return KindDelPrefOnly }
+func (ServerRequest) Kind() Kind    { return KindServerRequest }
+func (ServerResult) Kind() Kind     { return KindServerResult }
+func (ServerAck) Kind() Kind        { return KindServerAck }
+func (MIPRegister) Kind() Kind      { return KindMIPRegister }
+func (MIPData) Kind() Kind          { return KindMIPData }
+func (MIPTunnel) Kind() Kind        { return KindMIPTunnel }
+func (ImageTransfer) Kind() Kind    { return KindImageTransfer }
+func (TISQuery) Kind() Kind         { return KindTISQuery }
+func (TISReply) Kind() Kind         { return KindTISReply }
+func (TISDeliver) Kind() Kind       { return KindTISDeliver }
+
+// ---------------------------------------------------------------------
+// String methods (trace rendering).
+
+func (m Join) String() string  { return fmt.Sprintf("join(%v)", m.MH) }
+func (m Leave) String() string { return fmt.Sprintf("leave(%v)", m.MH) }
+func (m Greet) String() string { return fmt.Sprintf("greet(%v,old=%v)", m.MH, m.OldMSS) }
+func (m Request) String() string {
+	return fmt.Sprintf("request(%v->%v,%dB)", m.Req, m.Server, len(m.Payload))
+}
+func (m ResultDeliver) String() string {
+	return fmt.Sprintf("result(%v,%dB,del-pref=%t)", m.Req, len(m.Payload), m.DelPref)
+}
+func (m AckMH) String() string {
+	return fmt.Sprintf("ack(%v,%v,outst=%t)", m.MH, m.Req, m.HaveOutstanding)
+}
+func (m Dereg) String() string { return fmt.Sprintf("dereg(%v,new=%v)", m.MH, m.NewMSS) }
+func (m DeregAck) String() string {
+	return fmt.Sprintf("deregack(%v,%v)", m.MH, m.Pref)
+}
+func (m RequestForward) String() string {
+	return fmt.Sprintf("request-fwd(%v,%v->%v)", m.Proxy, m.Req, m.Server)
+}
+func (m UpdateCurrentLoc) String() string {
+	return fmt.Sprintf("update-currl(%v,%v@%v)", m.Proxy, m.MH, m.NewLoc)
+}
+func (m ResultForward) String() string {
+	return fmt.Sprintf("result-fwd(%v,%v,del-pref=%t)", m.Proxy, m.Req, m.DelPref)
+}
+func (m AckForward) String() string {
+	return fmt.Sprintf("ack-fwd(%v,%v,del-proxy=%t)", m.Proxy, m.Req, m.DelProxy)
+}
+func (m DelPrefOnly) String() string {
+	return fmt.Sprintf("del-pref(%v,%v)", m.Proxy, m.MH)
+}
+func (m ServerRequest) String() string {
+	return fmt.Sprintf("srv-request(%v,%v,%dB)", m.Proxy, m.Req, len(m.Payload))
+}
+func (m ServerResult) String() string {
+	return fmt.Sprintf("srv-result(%v,%v,%dB)", m.Proxy, m.Req, len(m.Payload))
+}
+func (m ServerAck) String() string { return fmt.Sprintf("srv-ack(%v)", m.Req) }
+func (m MIPRegister) String() string {
+	return fmt.Sprintf("mip-register(%v@%v)", m.MH, m.CareOf)
+}
+func (m MIPData) String() string {
+	return fmt.Sprintf("mip-data(%v,%v,%dB)", m.MH, m.Req, len(m.Payload))
+}
+func (m MIPTunnel) String() string {
+	return fmt.Sprintf("mip-tunnel(%v,%v,%dB)", m.MH, m.Req, len(m.Payload))
+}
+func (m ImageTransfer) String() string {
+	return fmt.Sprintf("image-transfer(%v,pending=%d,results=%d)", m.MH, len(m.Pending), len(m.Results))
+}
+
+func (m TISQuery) String() string {
+	return fmt.Sprintf("tis-query(%d,%v,%v,region=%d,hops=%d)", m.QID, m.Op, m.Origin, m.Region, m.Hops)
+}
+func (m TISReply) String() string {
+	return fmt.Sprintf("tis-reply(%d,region=%d,value=%d,hops=%d)", m.QID, m.Region, m.Value, m.Hops)
+}
+func (m TISDeliver) String() string {
+	return fmt.Sprintf("tis-deliver(%v,group=%d,seq=%d,%dB)", m.Member, m.Group, m.Seq, len(m.Data))
+}
+
+// Compile-time interface checks.
+var (
+	_ Message = Join{}
+	_ Message = Leave{}
+	_ Message = Greet{}
+	_ Message = Request{}
+	_ Message = ResultDeliver{}
+	_ Message = AckMH{}
+	_ Message = Dereg{}
+	_ Message = DeregAck{}
+	_ Message = RequestForward{}
+	_ Message = UpdateCurrentLoc{}
+	_ Message = ResultForward{}
+	_ Message = AckForward{}
+	_ Message = DelPrefOnly{}
+	_ Message = ServerRequest{}
+	_ Message = ServerResult{}
+	_ Message = ServerAck{}
+	_ Message = MIPRegister{}
+	_ Message = MIPData{}
+	_ Message = MIPTunnel{}
+	_ Message = ImageTransfer{}
+	_ Message = TISQuery{}
+	_ Message = TISReply{}
+	_ Message = TISDeliver{}
+)

@@ -1,0 +1,83 @@
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/sim"
+)
+
+// LatencyModel samples per-message transmission delays.
+type LatencyModel interface {
+	// Sample draws one delay. Implementations must return >= 0.
+	Sample(rng *sim.RNG) time.Duration
+	// Mean returns the model's expected delay, used by the analytical
+	// retransmission-threshold experiment (E3: retransmissions occur only
+	// if mean residence < t_wired + t_wireless).
+	Mean() time.Duration
+}
+
+// Constant is a fixed delay.
+type Constant time.Duration
+
+// Sample returns the fixed delay.
+func (c Constant) Sample(*sim.RNG) time.Duration { return time.Duration(c) }
+
+// Mean returns the fixed delay.
+func (c Constant) Mean() time.Duration { return time.Duration(c) }
+
+// Uniform draws uniformly from [Lo, Hi].
+type Uniform struct {
+	Lo, Hi time.Duration
+}
+
+// Sample draws from the uniform range.
+func (u Uniform) Sample(rng *sim.RNG) time.Duration { return rng.Uniform(u.Lo, u.Hi) }
+
+// Mean returns (Lo+Hi)/2.
+func (u Uniform) Mean() time.Duration { return (u.Lo + u.Hi) / 2 }
+
+// Exponential draws exponentially distributed delays with the given
+// mean, shifted by Floor so delays never go below a propagation minimum.
+type Exponential struct {
+	MeanDelay time.Duration
+	Floor     time.Duration
+}
+
+// Sample draws Floor + Exp(MeanDelay - Floor).
+func (e Exponential) Sample(rng *sim.RNG) time.Duration {
+	extra := e.MeanDelay - e.Floor
+	if extra < 0 {
+		extra = 0
+	}
+	return e.Floor + rng.Exp(extra)
+}
+
+// Mean returns the configured mean (never below Floor).
+func (e Exponential) Mean() time.Duration {
+	if e.MeanDelay < e.Floor {
+		return e.Floor
+	}
+	return e.MeanDelay
+}
+
+// RingLatency returns a PairLatency function modelling a metropolitan
+// ring of n stations: the delay between two stations is base plus
+// perHop times their ring distance (servers and other non-station hosts
+// fall back to the wired default). Stations are ids.MSS(1..n).
+func RingLatency(n int, base, perHop time.Duration) func(from, to ids.NodeID) LatencyModel {
+	return func(from, to ids.NodeID) LatencyModel {
+		a, b := from.MSS(), to.MSS()
+		if !a.Valid() || !b.Valid() {
+			return nil
+		}
+		d := int(a) - int(b)
+		if d < 0 {
+			d = -d
+		}
+		if n-d < d {
+			d = n - d
+		}
+		return Constant(base + time.Duration(d)*perHop)
+	}
+}

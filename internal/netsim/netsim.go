@@ -1,0 +1,419 @@
+// Package netsim models the two communication substrates of the paper's
+// system (§2) on top of the discrete-event kernel:
+//
+//   - Wired: the static network connecting MSSs and servers. It is
+//     reliable and, per assumption 1, delivers messages among static
+//     hosts in causal order (implemented with the causal package; can be
+//     downgraded to arrival order for the E2 ablation).
+//   - Wireless: the per-cell link between an MSS and the mobile hosts
+//     currently in its cell. Delivery requires the MH to be in the cell
+//     and active at delivery time, and may additionally fail with a
+//     configurable loss probability.
+//
+// The package is protocol-agnostic: it moves msg.Message values between
+// ids.NodeID addresses and reports every event to an optional Observer,
+// which the metrics and trace layers hook into.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/causal"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// Handler consumes messages delivered to a node.
+type Handler interface {
+	HandleMessage(from ids.NodeID, m msg.Message)
+}
+
+// WiredTransport is the interface the protocol layer needs from the
+// static network. Wired implements it over the simulation kernel;
+// tcpnet implements it over real TCP sockets.
+type WiredTransport interface {
+	Send(from, to ids.NodeID, m msg.Message)
+	Register(n ids.NodeID, h Handler)
+}
+
+// WirelessTransport is the interface the protocol layer needs from the
+// per-cell radio links.
+type WirelessTransport interface {
+	SendDownlink(from ids.MSS, to ids.MH, m msg.Message)
+	SendUplink(from ids.MH, to ids.MSS, m msg.Message)
+	RegisterMH(mh ids.MH, h Handler)
+	RegisterMSS(mss ids.MSS, h Handler)
+}
+
+var (
+	_ WiredTransport    = (*Wired)(nil)
+	_ WirelessTransport = (*Wireless)(nil)
+)
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from ids.NodeID, m msg.Message)
+
+// HandleMessage calls f.
+func (f HandlerFunc) HandleMessage(from ids.NodeID, m msg.Message) { f(from, m) }
+
+// Layer identifies which substrate carried a message.
+type Layer uint8
+
+// Substrate layers.
+const (
+	LayerWired Layer = iota + 1
+	LayerWireless
+)
+
+// String returns "wired" or "wireless".
+func (l Layer) String() string {
+	if l == LayerWired {
+		return "wired"
+	}
+	return "wireless"
+}
+
+// EventKind classifies observer callbacks.
+type EventKind uint8
+
+// Observer event kinds. A wireless message is Dropped either by random
+// loss or because the destination MH was unreachable (left the cell or
+// inactive) at delivery time.
+const (
+	EventSent EventKind = iota + 1
+	EventDelivered
+	EventDropped
+)
+
+// String names the event kind.
+func (e EventKind) String() string {
+	switch e {
+	case EventSent:
+		return "sent"
+	case EventDelivered:
+		return "delivered"
+	default:
+		return "dropped"
+	}
+}
+
+// Observer receives a callback for every message event on either layer.
+type Observer func(at sim.Time, layer Layer, kind EventKind, from, to ids.NodeID, m msg.Message)
+
+// Reachability reports whether mh can currently receive from (or be
+// heard by) the station mss: it must be located in mss's cell and be
+// active. The world model owns this state.
+type Reachability func(mss ids.MSS, mh ids.MH) bool
+
+// Sequencer intercepts message deliveries for adversarial-order testing
+// (see internal/explore). When configured, a transport hands every
+// delivery to the sequencer as a fire closure instead of scheduling it
+// on the clock; the sequencer decides when (and in what order) each one
+// fires. Gating that belongs to delivery time (wireless reachability,
+// random loss) runs inside the closure, so it reflects the world state
+// at fire time.
+type Sequencer interface {
+	Offer(layer Layer, from, to ids.NodeID, fire func())
+}
+
+// WiredConfig parameterizes the wired network.
+type WiredConfig struct {
+	// Latency models per-message delay between static hosts.
+	Latency LatencyModel
+	// Causal enables causal-order delivery (paper assumption 1). When
+	// false, messages are handed up in raw arrival order (E2 ablation).
+	Causal bool
+	// Seq, when set, sequences deliveries adversarially instead of by
+	// latency (testing hook; see Sequencer).
+	Seq Sequencer
+	// PairLatency, when set, overrides Latency per directed host pair —
+	// e.g. distance-dependent delays over a metropolitan ring topology
+	// (see RingLatency). Pairs for which it returns nil fall back to
+	// Latency.
+	PairLatency func(from, to ids.NodeID) LatencyModel
+}
+
+// Wired is the reliable static network among MSSs and servers.
+type Wired struct {
+	k        sim.Scheduler
+	cfg      WiredConfig
+	rng      *sim.RNG
+	index    map[ids.NodeID]int
+	members  []ids.NodeID
+	handlers []Handler
+	eps      []*causal.Endpoint
+	observer Observer
+}
+
+// wiredPayload is what travels through the causal layer.
+type wiredPayload struct {
+	from ids.NodeID
+	to   ids.NodeID
+	m    msg.Message
+}
+
+// NewWired builds the wired network for a fixed membership of static
+// hosts. Membership is fixed because the causal group's matrix clocks
+// are sized at creation (the paper likewise fixes the set of MSSs).
+func NewWired(k sim.Scheduler, members []ids.NodeID, cfg WiredConfig, obs Observer) *Wired {
+	if cfg.Latency == nil {
+		cfg.Latency = Constant(0)
+	}
+	w := &Wired{
+		k:        k,
+		cfg:      cfg,
+		rng:      k.RNG().Fork(),
+		index:    make(map[ids.NodeID]int, len(members)),
+		members:  append([]ids.NodeID(nil), members...),
+		handlers: make([]Handler, len(members)),
+		observer: obs,
+	}
+	for i, n := range members {
+		if n.Kind == ids.KindMH {
+			panic(fmt.Sprintf("netsim: mobile host %v cannot be a wired member", n))
+		}
+		if _, dup := w.index[n]; dup {
+			panic(fmt.Sprintf("netsim: duplicate wired member %v", n))
+		}
+		w.index[n] = i
+	}
+	w.eps = causal.Group(len(members), func(dst int, payload any) {
+		p := payload.(wiredPayload)
+		w.deliver(p)
+	})
+	return w
+}
+
+// Register installs the message handler for a member node. Every member
+// must be registered before it can receive.
+func (w *Wired) Register(n ids.NodeID, h Handler) {
+	i, ok := w.index[n]
+	if !ok {
+		panic(fmt.Sprintf("netsim: %v is not a wired member", n))
+	}
+	w.handlers[i] = h
+}
+
+// Send transmits m from one static host to another. Both must be
+// members. Delivery is reliable; order is causal when configured.
+func (w *Wired) Send(from, to ids.NodeID, m msg.Message) {
+	fi, ok := w.index[from]
+	if !ok {
+		panic(fmt.Sprintf("netsim: wired send from non-member %v", from))
+	}
+	ti, ok := w.index[to]
+	if !ok {
+		panic(fmt.Sprintf("netsim: wired send to non-member %v", to))
+	}
+	w.observe(EventSent, from, to, m)
+	p := wiredPayload{from: from, to: to, m: m}
+	var fire func()
+	if w.cfg.Causal {
+		st := w.eps[fi].Send(ti)
+		fire = func() { w.eps[ti].Receive(st, p) }
+	} else {
+		fire = func() { w.deliver(p) }
+	}
+	if w.cfg.Seq != nil {
+		w.cfg.Seq.Offer(LayerWired, from, to, fire)
+		return
+	}
+	lat := w.cfg.Latency
+	if w.cfg.PairLatency != nil {
+		if pl := w.cfg.PairLatency(from, to); pl != nil {
+			lat = pl
+		}
+	}
+	w.k.After(lat.Sample(w.rng), fire)
+}
+
+// deliver hands a message to its destination handler.
+func (w *Wired) deliver(p wiredPayload) {
+	h := w.handlers[w.index[p.to]]
+	if h == nil {
+		panic(fmt.Sprintf("netsim: wired member %v has no handler", p.to))
+	}
+	w.observe(EventDelivered, p.from, p.to, p.m)
+	h.HandleMessage(p.from, p.m)
+}
+
+func (w *Wired) observe(kind EventKind, from, to ids.NodeID, m msg.Message) {
+	if w.observer != nil {
+		w.observer(w.k.Now(), LayerWired, kind, from, to, m)
+	}
+}
+
+// MeanLatency exposes the configured mean wired delay (t_wired in the
+// paper's §5 retransmission condition).
+func (w *Wired) MeanLatency() time.Duration { return w.cfg.Latency.Mean() }
+
+// CausalQueue reports the causally blocked messages buffered at a
+// member's endpoint (diagnostic; empty without the causal layer).
+func (w *Wired) CausalQueue(n ids.NodeID) []causal.QueuedInfo {
+	i, ok := w.index[n]
+	if !ok || w.eps == nil {
+		return nil
+	}
+	return w.eps[i].QueuedPayloads()
+}
+
+// MemberName resolves a causal process index back to the member node
+// (diagnostic companion to CausalQueue).
+func (w *Wired) MemberName(idx int) ids.NodeID {
+	if idx < 0 || idx >= len(w.members) {
+		return ids.NoNode
+	}
+	return w.members[idx]
+}
+
+// WirelessConfig parameterizes the per-cell wireless links.
+type WirelessConfig struct {
+	// Latency models the over-the-air delay.
+	Latency LatencyModel
+	// LossProb is the probability that a frame is lost even though the
+	// destination is reachable.
+	LossProb float64
+	// Reachable gates downlink delivery: the MH must be in the sending
+	// station's cell and active at delivery time. Uplink frames are gated
+	// on the same predicate at send time (an MH can only transmit to the
+	// station whose cell it occupies while active).
+	Reachable Reachability
+	// Seq, when set, sequences deliveries adversarially instead of by
+	// latency (testing hook; see Sequencer). Per-link FIFO remains the
+	// sequencer's responsibility.
+	Seq Sequencer
+}
+
+// Wireless models every cell's radio link. There is one Wireless value
+// for the whole world; cells are distinguished by the sending MSS.
+//
+// Each (sender, receiver) pair is FIFO: a frame never overtakes an
+// earlier frame on the same link. A mobile host talks to a station over
+// a single radio channel, so in-order delivery per direction is the
+// physical reality — and the protocol depends on it (a request must not
+// arrive at the new station before the greet that announces the MH).
+type Wireless struct {
+	k        sim.Scheduler
+	cfg      WirelessConfig
+	rng      *sim.RNG
+	mhs      map[ids.MH]Handler
+	stations map[ids.MSS]Handler
+	observer Observer
+	lastRx   map[linkKey]sim.Time // per-link FIFO horizon
+}
+
+// linkKey identifies one directed radio link.
+type linkKey struct {
+	from ids.NodeID
+	to   ids.NodeID
+}
+
+// NewWireless builds the wireless substrate.
+func NewWireless(k sim.Scheduler, cfg WirelessConfig, obs Observer) *Wireless {
+	if cfg.Latency == nil {
+		cfg.Latency = Constant(0)
+	}
+	if cfg.Reachable == nil {
+		panic("netsim: WirelessConfig.Reachable is required")
+	}
+	return &Wireless{
+		k:        k,
+		cfg:      cfg,
+		rng:      k.RNG().Fork(),
+		mhs:      make(map[ids.MH]Handler),
+		stations: make(map[ids.MSS]Handler),
+		observer: obs,
+		lastRx:   make(map[linkKey]sim.Time),
+	}
+}
+
+// RegisterMH installs the radio handler of a mobile host.
+func (w *Wireless) RegisterMH(mh ids.MH, h Handler) { w.mhs[mh] = h }
+
+// RegisterMSS installs the radio handler of a support station.
+func (w *Wireless) RegisterMSS(mss ids.MSS, h Handler) { w.stations[mss] = h }
+
+// SendDownlink transmits from a station to a mobile host in its cell.
+// The frame is lost if the MH is unreachable at delivery time (it
+// migrated away or turned inactive while the frame was in flight), or by
+// random loss. Loss is silent, exactly as in the paper: "the respMss
+// does not attempt any new forwarding of the result" — recovery is the
+// proxy's job.
+func (w *Wireless) SendDownlink(from ids.MSS, to ids.MH, m msg.Message) {
+	w.observe(EventSent, from.Node(), to.Node(), m)
+	fire := func() {
+		if !w.cfg.Reachable(from, to) || w.rng.Prob(w.cfg.LossProb) {
+			w.observe(EventDropped, from.Node(), to.Node(), m)
+			return
+		}
+		h := w.mhs[to]
+		if h == nil {
+			w.observe(EventDropped, from.Node(), to.Node(), m)
+			return
+		}
+		w.observe(EventDelivered, from.Node(), to.Node(), m)
+		h.HandleMessage(from.Node(), m)
+	}
+	if w.cfg.Seq != nil {
+		w.cfg.Seq.Offer(LayerWireless, from.Node(), to.Node(), fire)
+		return
+	}
+	w.k.After(w.fifoDelay(from.Node(), to.Node()), fire)
+}
+
+// SendUplink transmits from a mobile host to a station. The MH must be
+// reachable from that station when transmitting (same-cell, active);
+// random loss applies too — except for registration control messages
+// (join, leave, greet), which model the link-layer-reliable beacon
+// exchange the paper abstracts over in §2 ("we abstract from the details
+// of how a MH learns that it is entering or leaving a cell").
+func (w *Wireless) SendUplink(from ids.MH, to ids.MSS, m msg.Message) {
+	w.observe(EventSent, from.Node(), to.Node(), m)
+	lossy := true
+	switch m.Kind() {
+	case msg.KindJoin, msg.KindLeave, msg.KindGreet:
+		lossy = false
+	}
+	if !w.cfg.Reachable(to, from) || (lossy && w.rng.Prob(w.cfg.LossProb)) {
+		w.observe(EventDropped, from.Node(), to.Node(), m)
+		return
+	}
+	fire := func() {
+		h := w.stations[to]
+		if h == nil {
+			w.observe(EventDropped, from.Node(), to.Node(), m)
+			return
+		}
+		w.observe(EventDelivered, from.Node(), to.Node(), m)
+		h.HandleMessage(from.Node(), m)
+	}
+	if w.cfg.Seq != nil {
+		w.cfg.Seq.Offer(LayerWireless, from.Node(), to.Node(), fire)
+		return
+	}
+	w.k.After(w.fifoDelay(from.Node(), to.Node()), fire)
+}
+
+// fifoDelay samples a link delay and stretches it so this frame arrives
+// no earlier than the previous frame on the same directed link.
+func (w *Wireless) fifoDelay(from, to ids.NodeID) time.Duration {
+	key := linkKey{from: from, to: to}
+	arrival := w.k.Now() + sim.Time(w.cfg.Latency.Sample(w.rng))
+	if prev := w.lastRx[key]; arrival < prev {
+		arrival = prev
+	}
+	w.lastRx[key] = arrival
+	return time.Duration(arrival - w.k.Now())
+}
+
+func (w *Wireless) observe(kind EventKind, from, to ids.NodeID, m msg.Message) {
+	if w.observer != nil {
+		w.observer(w.k.Now(), LayerWireless, kind, from, to, m)
+	}
+}
+
+// MeanLatency exposes the configured mean wireless delay (t_wireless in
+// the paper's §5 retransmission condition).
+func (w *Wireless) MeanLatency() time.Duration { return w.cfg.Latency.Mean() }

@@ -1,0 +1,160 @@
+// Package qrpc implements a Rover-style Queued RPC client on top of an
+// RDP mobile host. The paper (§4) positions the two as complements: "In
+// QRPC (asynchronous RPC) the actual sending of the RPC request is
+// de-coupled from the QRPC invocation and is performed as soon as the
+// MH has established a good communication link with a base station...
+// While the first guarantees reliable sending of requests, RDP
+// guarantees reliable result delivery."
+//
+// A Client therefore accepts invocations at any time — connected,
+// sleeping, mid-hand-off — queues them durably on the host, transmits
+// whenever the host is active, and retransmits on an exponential
+// backoff until the result arrives through the RDP proxy. Combined with
+// RDP's delivery guarantee this closes the loop end to end: every
+// invocation eventually completes.
+package qrpc
+
+import (
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+	"repro/internal/rdpcore"
+)
+
+// Options tunes the sending discipline.
+type Options struct {
+	// Timeout is the initial retransmission timeout; each retry doubles
+	// it up to MaxBackoff. Defaults: 1s and 16s.
+	Timeout    time.Duration
+	MaxBackoff time.Duration
+}
+
+func (o *Options) fill() {
+	if o.Timeout <= 0 {
+		o.Timeout = time.Second
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 16 * time.Second
+	}
+}
+
+// Stats counts the client's sending activity.
+type Stats struct {
+	Invoked   metrics.Counter
+	Sent      metrics.Counter // first transmissions
+	Retries   metrics.Counter
+	Completed metrics.Counter
+}
+
+// ReplyFunc consumes an invocation's result payload.
+type ReplyFunc func(payload []byte)
+
+// invocation is one queued RPC.
+type invocation struct {
+	req     ids.RequestID
+	server  ids.Server
+	payload []byte
+	onReply ReplyFunc
+	backoff time.Duration
+}
+
+// Client is the queued-RPC layer for one mobile host. It installs
+// itself as the host's result observer; install any application
+// callback through Invoke's reply function rather than
+// MobileHost.OnResult.
+//
+// Like all protocol state, a Client must only be used from scheduler
+// callbacks (or a live runtime's Do).
+type Client struct {
+	world *rdpcore.World
+	mh    *rdpcore.MHNode
+	id    ids.MH
+	opts  Options
+	Stats Stats
+
+	pending map[ids.RequestID]*invocation
+	order   []ids.RequestID
+}
+
+// New wraps a mobile host in a queued-RPC client.
+func New(world *rdpcore.World, mh *rdpcore.MHNode, opts Options) *Client {
+	opts.fill()
+	c := &Client{
+		world:   world,
+		mh:      mh,
+		id:      mh.ID(),
+		opts:    opts,
+		pending: make(map[ids.RequestID]*invocation),
+	}
+	mh.OnResult(c.onResult)
+	return c
+}
+
+// Pending returns the number of invocations still awaiting results.
+func (c *Client) Pending() int { return len(c.pending) }
+
+// Invoke queues one RPC. The invocation is accepted regardless of
+// connectivity; onReply (optional) runs when the result arrives. The
+// returned identifier can be matched against MobileHost.Seen.
+func (c *Client) Invoke(server ids.Server, payload []byte, onReply ReplyFunc) ids.RequestID {
+	c.Stats.Invoked.Inc()
+	// The RDP request is created up-front (it pins the request id and
+	// the issue timestamp) and enters the sending pipeline immediately:
+	// the MH transmits it now if active, or queues it for its next
+	// activation. Either way the invocation is on its way, so it counts
+	// as sent; the backoff timer only produces retries.
+	req := c.mh.IssueRequest(server, payload)
+	c.Stats.Sent.Inc()
+	inv := &invocation{
+		req: req, server: server, payload: payload,
+		onReply: onReply, backoff: c.opts.Timeout,
+	}
+	c.pending[req] = inv
+	c.order = append(c.order, req)
+	c.schedule(inv)
+	return req
+}
+
+// schedule arms the retransmission timer for one invocation.
+func (c *Client) schedule(inv *invocation) {
+	c.world.Kernel.After(inv.backoff, func() { c.fire(inv) })
+}
+
+// fire retransmits an unanswered invocation when possible and re-arms
+// its backoff.
+func (c *Client) fire(inv *invocation) {
+	if _, waiting := c.pending[inv.req]; !waiting {
+		return
+	}
+	if c.world.IsActive(c.id) && c.mh.Joined() {
+		c.Stats.Retries.Inc()
+		c.mh.Retransmit(inv.req, inv.server, inv.payload)
+	}
+	if inv.backoff < c.opts.MaxBackoff {
+		inv.backoff *= 2
+		if inv.backoff > c.opts.MaxBackoff {
+			inv.backoff = c.opts.MaxBackoff
+		}
+	}
+	c.schedule(inv)
+}
+
+// onResult completes invocations as their results arrive.
+func (c *Client) onResult(req ids.RequestID, payload []byte, duplicate bool) {
+	inv, ok := c.pending[req]
+	if !ok || duplicate {
+		return
+	}
+	delete(c.pending, req)
+	for i, r := range c.order {
+		if r == req {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.Stats.Completed.Inc()
+	if inv.onReply != nil {
+		inv.onReply(payload)
+	}
+}

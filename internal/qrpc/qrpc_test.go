@@ -1,0 +1,151 @@
+package qrpc
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/rdpcore"
+)
+
+func build(mutate func(*rdpcore.Config)) *rdpcore.World {
+	cfg := rdpcore.DefaultConfig()
+	cfg.NumMSS = 4
+	cfg.WiredLatency = netsim.Constant(5 * time.Millisecond)
+	cfg.WirelessLatency = netsim.Constant(10 * time.Millisecond)
+	cfg.ServerProc = netsim.Constant(50 * time.Millisecond)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return rdpcore.NewWorld(cfg)
+}
+
+func TestInvokeWhileConnected(t *testing.T) {
+	w := build(nil)
+	mh := w.AddMH(1, 1)
+	c := New(w, mh, Options{})
+	var reply []byte
+	w.Schedule(0, func() {
+		c.Invoke(1, []byte("hi"), func(p []byte) { reply = p })
+	})
+	w.RunUntil(2 * time.Second)
+	if string(reply) != "re:hi" {
+		t.Fatalf("reply = %q, want %q", reply, "re:hi")
+	}
+	if c.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", c.Pending())
+	}
+	if c.Stats.Sent.Value() != 1 || c.Stats.Retries.Value() != 0 {
+		t.Errorf("sent=%d retries=%d, want 1/0", c.Stats.Sent.Value(), c.Stats.Retries.Value())
+	}
+}
+
+func TestInvokeWhileDisconnectedQueuesAndDrains(t *testing.T) {
+	// "the actual sending of the RPC request is de-coupled from the QRPC
+	// invocation and is performed as soon as the MH has established a
+	// good communication link" (§4).
+	w := build(nil)
+	mh := w.AddMH(1, 1)
+	c := New(w, mh, Options{Timeout: 200 * time.Millisecond})
+	var replies int
+	w.Schedule(0, func() { w.SetActive(1, false) })
+	for i := 0; i < 3; i++ {
+		at := time.Duration(i+1) * 50 * time.Millisecond
+		w.Schedule(at, func() {
+			c.Invoke(1, []byte("q"), func([]byte) { replies++ })
+		})
+	}
+	w.RunUntil(time.Second)
+	if replies != 0 {
+		t.Fatal("replies arrived while the host slept and never transmitted")
+	}
+	w.Schedule(0, func() { w.SetActive(1, true) })
+	w.RunUntil(5 * time.Second)
+	if replies != 3 {
+		t.Fatalf("replies = %d, want 3 after reconnection", replies)
+	}
+	if c.Stats.Completed.Value() != 3 {
+		t.Errorf("Completed = %d, want 3", c.Stats.Completed.Value())
+	}
+}
+
+func TestBackoffRecoversFromLoss(t *testing.T) {
+	w := build(func(cfg *rdpcore.Config) { cfg.WirelessLoss = 0.5; cfg.Seed = 3 })
+	mh := w.AddMH(1, 1)
+	c := New(w, mh, Options{Timeout: 300 * time.Millisecond, MaxBackoff: 2 * time.Second})
+	done := 0
+	w.Schedule(0, func() {
+		for i := 0; i < 10; i++ {
+			c.Invoke(1, []byte(fmt.Sprintf("q%d", i)), func([]byte) { done++ })
+		}
+	})
+	w.RunUntil(2 * time.Minute)
+	if done != 10 {
+		t.Fatalf("completed %d of 10 under 50%% loss", done)
+	}
+	if c.Stats.Retries.Value() == 0 {
+		t.Error("no retries under heavy loss; backoff inactive")
+	}
+}
+
+func TestInvokeSurvivesMigrations(t *testing.T) {
+	w := build(func(cfg *rdpcore.Config) { cfg.ServerProc = netsim.Constant(400 * time.Millisecond) })
+	mh := w.AddMH(1, 1)
+	c := New(w, mh, Options{})
+	got := 0
+	w.Schedule(0, func() { c.Invoke(1, []byte("x"), func([]byte) { got++ }) })
+	for i := 1; i <= 8; i++ {
+		cell := ids.MSS(i%4 + 1)
+		w.Schedule(time.Duration(i)*60*time.Millisecond, func() { w.Migrate(1, cell) })
+	}
+	w.RunUntil(5 * time.Second)
+	if got != 1 {
+		t.Fatalf("completed %d, want 1", got)
+	}
+	if c.Stats.Retries.Value() != 0 {
+		// Request sending needed no retries: RDP's result delivery did
+		// the hard part.
+		t.Logf("retries = %d (harmless)", c.Stats.Retries.Value())
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	// A host that stays disconnected keeps the invocation pending; once
+	// awake, the first transmission goes out within MaxBackoff.
+	w := build(nil)
+	mh := w.AddMH(1, 1)
+	c := New(w, mh, Options{Timeout: 100 * time.Millisecond, MaxBackoff: 800 * time.Millisecond})
+	w.Schedule(0, func() { w.SetActive(1, false) })
+	w.Schedule(10*time.Millisecond, func() { c.Invoke(1, []byte("q"), nil) })
+	w.RunUntil(10 * time.Second) // long sleep: backoff fires, nothing transmits
+	if c.Pending() != 1 {
+		t.Fatalf("Pending = %d while disconnected, want 1", c.Pending())
+	}
+	if c.Stats.Retries.Value() != 0 {
+		t.Fatalf("Retries = %d while disconnected, want 0 (no radio to retry on)", c.Stats.Retries.Value())
+	}
+	w.Schedule(0, func() { w.SetActive(1, true) })
+	w.RunUntil(12 * time.Second)
+	if c.Pending() != 0 {
+		t.Fatalf("invocation still pending %v after reconnect", c.Pending())
+	}
+	if c.Stats.Sent.Value() != 1 {
+		t.Errorf("Sent = %d, want 1", c.Stats.Sent.Value())
+	}
+}
+
+func TestDuplicateResultsIgnored(t *testing.T) {
+	// Aggressive timeout forces duplicate server flows; the reply
+	// callback must run exactly once.
+	w := build(func(cfg *rdpcore.Config) { cfg.Seed = 9 })
+	mh := w.AddMH(1, 1)
+	c := New(w, mh, Options{Timeout: 30 * time.Millisecond})
+	replies := 0
+	w.Schedule(0, func() { c.Invoke(1, []byte("q"), func([]byte) { replies++ }) })
+	w.RunUntil(3 * time.Second)
+	if replies != 1 {
+		t.Fatalf("replies = %d, want exactly 1", replies)
+	}
+}

@@ -1,0 +1,223 @@
+package rdpcore
+
+import (
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// MHNode is a mobile host (§2): a disconnected computer with a
+// system-wide unique identification that is either active or inactive,
+// joins and leaves the system, migrates between cells, issues requests
+// through its respMss, and acknowledges every message received from it
+// (assumption 4). Duplicate detection (assumption 5) is implemented with
+// the set of request identifiers already answered.
+type MHNode struct {
+	id      ids.MH
+	w       *World
+	respMss ids.MSS
+	joined  bool
+
+	nextSeq  uint32
+	seen     map[ids.RequestID]bool
+	issuedAt map[ids.RequestID]sim.Time
+	// outstanding holds requests issued whose results have not yet been
+	// received; its emptiness is piggybacked on every Ack (see
+	// msg.AckMH.HaveOutstanding).
+	outstanding map[ids.RequestID]bool
+
+	// queued holds requests issued while inactive; they are transmitted
+	// on the next activation (a minimal QRPC-style request queue; the
+	// paper cites Rover's QRPC as the complementary mechanism for
+	// reliable request sending).
+	queued []msg.Request
+
+	// onResult, when set, observes every result delivery (first or
+	// duplicate) for application callbacks and tests.
+	onResult func(req ids.RequestID, payload []byte, duplicate bool)
+}
+
+// newMHNode constructs a mobile host bound to a world.
+func newMHNode(id ids.MH, w *World) *MHNode {
+	return &MHNode{
+		id:          id,
+		w:           w,
+		seen:        make(map[ids.RequestID]bool),
+		issuedAt:    make(map[ids.RequestID]sim.Time),
+		outstanding: make(map[ids.RequestID]bool),
+	}
+}
+
+// ID returns the mobile host identifier.
+func (h *MHNode) ID() ids.MH { return h.id }
+
+// RespMss returns the station the MH currently considers responsible
+// for it.
+func (h *MHNode) RespMss() ids.MSS { return h.respMss }
+
+// Joined reports whether the MH is part of the system.
+func (h *MHNode) Joined() bool { return h.joined }
+
+// Seen reports whether the result of req has been received.
+func (h *MHNode) Seen(req ids.RequestID) bool { return h.seen[req] }
+
+// OnResult installs the result observer callback.
+func (h *MHNode) OnResult(fn func(req ids.RequestID, payload []byte, duplicate bool)) {
+	h.onResult = fn
+}
+
+// join sends the join message to the station of the current cell (§2).
+func (h *MHNode) join(cell ids.MSS) {
+	h.respMss = cell
+	h.joined = true
+	h.uplink(msg.Join{MH: h.id})
+	if h.w.cfg.GreetRefresh > 0 {
+		h.scheduleRefresh()
+	}
+}
+
+// scheduleRefresh re-greets the current respMss on a fixed period while
+// the MH is active (see Config.GreetRefresh).
+func (h *MHNode) scheduleRefresh() {
+	h.w.Kernel.After(h.w.cfg.GreetRefresh, func() {
+		if !h.joined {
+			return
+		}
+		if h.w.IsActive(h.id) {
+			h.uplink(msg.Greet{MH: h.id, OldMSS: h.respMss})
+		}
+		h.scheduleRefresh()
+	})
+}
+
+// leave exits the system (§2). Assumption 6 requires all results to have
+// been acknowledged; the responsible MSS checks and records a violation
+// otherwise.
+func (h *MHNode) leave() {
+	if !h.joined {
+		return
+	}
+	h.uplink(msg.Leave{MH: h.id})
+	h.joined = false
+}
+
+// IssueRequest creates a new service request and transmits it through
+// the current respMss (§3.1). While inactive the request is queued and
+// sent on the next activation. The returned identifier lets callers
+// correlate the eventual result.
+func (h *MHNode) IssueRequest(server ids.Server, payload []byte) ids.RequestID {
+	h.nextSeq++
+	req := ids.RequestID{Origin: h.id, Seq: h.nextSeq}
+	h.issuedAt[req] = h.w.Kernel.Now()
+	h.outstanding[req] = true
+	h.w.Stats.RequestsIssued.Inc()
+	m := msg.Request{Req: req, Server: server, Payload: payload}
+	if h.w.IsActive(h.id) && h.joined {
+		h.uplink(m)
+	} else {
+		h.queued = append(h.queued, m)
+	}
+	if h.w.cfg.RequestTimeout > 0 {
+		h.scheduleRetry(m)
+	}
+	return req
+}
+
+// scheduleRetry re-sends a request whose result has not arrived within
+// the configured timeout. This client-side shim covers the one gap RDP
+// leaves open by design — reliable *request* sending (the paper assigns
+// it to QRPC, §4) — and lets a stationary MH recover a result whose
+// wireless delivery was lost (the proxy re-forwards the stored result on
+// a duplicate request).
+func (h *MHNode) scheduleRetry(m msg.Request) {
+	h.w.Kernel.After(h.w.cfg.RequestTimeout, func() {
+		if h.seen[m.Req] || !h.joined {
+			return
+		}
+		if h.w.IsActive(h.id) {
+			h.w.Stats.RequestRetries.Inc()
+			h.uplink(m)
+		}
+		h.scheduleRetry(m)
+	})
+}
+
+// Retransmit re-sends a previously issued request through the current
+// respMss — the hook the queued-RPC layer (internal/qrpc) uses for its
+// backoff resends. It is a no-op once the result has been received or
+// while the host cannot transmit. The proxy deduplicates re-arrivals
+// and re-forwards a stored result, so retransmission is always safe.
+func (h *MHNode) Retransmit(req ids.RequestID, server ids.Server, payload []byte) {
+	if h.seen[req] || !h.joined || !h.w.IsActive(h.id) {
+		return
+	}
+	h.w.Stats.RequestRetries.Inc()
+	h.uplink(msg.Request{Req: req, Server: server, Payload: payload})
+}
+
+// onMigrate is invoked by the World when the (active) MH enters a new
+// cell: it greets the new station, naming the old one so the Hand-off
+// can start (§2, §3.2). From this moment the MH answers only the new
+// station.
+func (h *MHNode) onMigrate(newCell ids.MSS) {
+	old := h.respMss
+	h.respMss = newCell
+	h.uplink(msg.Greet{MH: h.id, OldMSS: old})
+}
+
+// onActivate is invoked by the World when the MH becomes active. It
+// greets the station of the cell it woke up in — the same station (no
+// hand-off; §3.2) or a new one if it was carried while inactive — and
+// flushes requests queued during inactivity.
+func (h *MHNode) onActivate(cell ids.MSS) {
+	old := h.respMss
+	h.respMss = cell
+	h.uplink(msg.Greet{MH: h.id, OldMSS: old})
+	queued := h.queued
+	h.queued = nil
+	for _, m := range queued {
+		h.uplink(m)
+	}
+}
+
+// HandleMessage implements netsim.Handler for the MH's radio. Per §3.2,
+// after greeting a new station the MH "must not reply to any message
+// from any MSS other than" it, so traffic from other stations is
+// dropped.
+func (h *MHNode) HandleMessage(from ids.NodeID, m msg.Message) {
+	if from != h.respMss.Node() {
+		h.w.Stats.OrphanMessages.Inc()
+		return
+	}
+	r, ok := m.(msg.ResultDeliver)
+	if !ok {
+		h.w.Stats.OrphanMessages.Inc()
+		return
+	}
+	duplicate := h.seen[r.Req]
+	h.seen[r.Req] = true
+	delete(h.outstanding, r.Req)
+	if duplicate {
+		h.w.Stats.DuplicateDeliveries.Inc()
+	} else {
+		h.w.Stats.ResultsDelivered.Inc()
+		if at, known := h.issuedAt[r.Req]; known {
+			h.w.Stats.ResultLatency.Observe(time.Duration(h.w.Kernel.Now() - at))
+		}
+	}
+	// Assumption 4: an active MH acknowledges every message from its
+	// respMss — including retransmissions, or the proxy would re-send
+	// forever. The Ack states whether other requests are still awaiting
+	// results (§3.3's "not preceded by any new request" condition).
+	h.uplink(msg.AckMH{MH: h.id, Req: r.Req, HaveOutstanding: len(h.outstanding) > 0})
+	if h.onResult != nil {
+		h.onResult(r.Req, r.Payload, duplicate)
+	}
+}
+
+// uplink transmits over the wireless link to the current respMss.
+func (h *MHNode) uplink(m msg.Message) {
+	h.w.Wireless.SendUplink(h.id, h.respMss, m)
+}

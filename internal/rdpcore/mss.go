@@ -1,0 +1,630 @@
+package rdpcore
+
+import (
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// arrival tracks a mobile host whose greet has been received but whose
+// hand-off has not yet completed (dereg sent, deregack pending). Paper
+// §2 assumption 4: during the hand-off the MH "may be considered
+// inactive by both" stations, so traffic from it is buffered rather than
+// processed.
+//
+// A fast-moving host can leave and re-enter cells while earlier
+// hand-offs are still settling, producing greets and deregs that arrive
+// at a station whose own registration for that host is pending. Those
+// control messages are recorded in deferred, in arrival order, and
+// replayed once the registration completes — reconstructing the host's
+// true migration chronology one hand-off at a time (see
+// handleDeregAck). The paper's presentation assumes hand-offs complete
+// before the next migration starts; this queue is the completing
+// decision for when they do not.
+type arrival struct {
+	greetAt  sim.Time
+	buffered []inboxItem // wireless data (requests, acks) from the MH
+	deferred []inboxItem // greets/deregs awaiting our registration
+}
+
+// inboxItem is one queued message at an MSS.
+type inboxItem struct {
+	from ids.NodeID
+	m    msg.Message
+}
+
+// MSSNode is a mobile support station (§2): it serves one cell, holds
+// the prefs of the MHs it is responsible for, hosts proxies, runs the
+// Hand-off protocol, and translates between the wired and wireless
+// substrates (the indirect model of Badrinath et al.).
+type MSSNode struct {
+	id ids.MSS
+	w  *World
+
+	// localMhs is the set of MHs this station is responsible for (§2).
+	localMhs map[ids.MH]bool
+	// prefs holds one proxy reference per responsible MH (§3.1).
+	prefs map[ids.MH]*msg.Pref
+	// outstanding tracks, per MH, the requests this station has routed
+	// whose Acks it has not yet seen. §3.3 confirms proxy removal "only
+	// if ... RKpR = true and for all of MH's requests the corresponding
+	// Ack has been received" — the RKpR flag alone is not enough, because
+	// a request can pass through before the del-pref result arrives and
+	// arms the flag. Like the pref's other local context, this knowledge
+	// is not transferred on hand-off.
+	outstanding map[ids.MH]map[ids.RequestID]bool
+	// proxies are the proxy objects hosted at this station, by sequence.
+	proxies      map[uint32]*Proxy
+	nextProxySeq uint32
+	// ignoreAcks marks MHs whose dereg has been processed: "it will
+	// ignore all future Ack messages from this MH" (§3.1).
+	ignoreAcks map[ids.MH]bool
+	// forwardTo records, per de-registered MH, the station that took over
+	// responsibility (learned from the Dereg). A request can be in flight
+	// over the old cell's radio when the hand-off completes; dropping it
+	// would break the delivery guarantee for that request, and unlike
+	// Acks (which retransmission covers) nothing would ever re-create it.
+	// The paper does not discuss this in-flight case; forwarding along
+	// the hand-off chain is the completing decision (cf. DESIGN.md).
+	forwardTo map[ids.MH]ids.MSS
+	// arriving tracks in-flight hand-offs keyed by MH.
+	arriving map[ids.MH]*arrival
+	// pendingDeregs holds deregs for MHs this station knows nothing
+	// about *yet*. An MH only names a station as its old respMss after
+	// greeting it, so such a dereg means our own greet (and hand-off)
+	// for that MH is still in flight, merely overtaken on another radio
+	// link; the dereg is served once the greet lands (it moves into that
+	// arrival's deferred queue) or a join registers the MH. Answering
+	// immediately with an empty pref would fabricate a registration and
+	// lose the real proxy reference.
+	pendingDeregs map[ids.MH][]inboxItem
+	// held stores results kept for inactive MHs when the §5 footnote 3
+	// optimization is enabled. heldAcksPending tracks which of the
+	// just-delivered held results still await their Ack, and
+	// deferredUpdate marks MHs whose reactivation update_currentLoc is
+	// postponed until those Acks have passed through — otherwise the
+	// update would reach the proxy before the Acks and trigger exactly
+	// the retransmission the optimization exists to save.
+	held            map[ids.MH][]msg.ResultDeliver
+	heldAcksPending map[ids.MH]map[ids.RequestID]bool
+	deferredUpdate  map[ids.MH]bool
+
+	// inbox implements the priority rule of §3.1 ("higher priority is
+	// given to forwarding Ack messages than to engaging in any new
+	// Hand-off transactions") when per-message processing delay is
+	// configured; with zero delay messages are processed on arrival.
+	inbox         []inboxItem
+	procScheduled bool
+}
+
+// newMSSNode constructs a station bound to a world.
+func newMSSNode(id ids.MSS, w *World) *MSSNode {
+	return &MSSNode{
+		id:              id,
+		w:               w,
+		localMhs:        make(map[ids.MH]bool),
+		prefs:           make(map[ids.MH]*msg.Pref),
+		outstanding:     make(map[ids.MH]map[ids.RequestID]bool),
+		proxies:         make(map[uint32]*Proxy),
+		ignoreAcks:      make(map[ids.MH]bool),
+		forwardTo:       make(map[ids.MH]ids.MSS),
+		arriving:        make(map[ids.MH]*arrival),
+		pendingDeregs:   make(map[ids.MH][]inboxItem),
+		held:            make(map[ids.MH][]msg.ResultDeliver),
+		heldAcksPending: make(map[ids.MH]map[ids.RequestID]bool),
+		deferredUpdate:  make(map[ids.MH]bool),
+	}
+}
+
+// ID returns the station identifier.
+func (n *MSSNode) ID() ids.MSS { return n.id }
+
+// Responsible reports whether the station currently holds
+// responsibility for mh.
+func (n *MSSNode) Responsible(mh ids.MH) bool { return n.localMhs[mh] }
+
+// PrefOf returns a copy of the pref held for mh and whether one exists
+// (test and invariant-checking hook).
+func (n *MSSNode) PrefOf(mh ids.MH) (msg.Pref, bool) {
+	p, ok := n.prefs[mh]
+	if !ok {
+		return msg.Pref{}, false
+	}
+	return *p, true
+}
+
+// HostedProxies returns the number of proxies currently hosted here.
+func (n *MSSNode) HostedProxies() int { return len(n.proxies) }
+
+// ProxyByID returns a hosted proxy (tests and invariant checks).
+func (n *MSSNode) ProxyByID(id ids.ProxyID) *Proxy {
+	if id.Host != n.id {
+		return nil
+	}
+	return n.proxies[id.Seq]
+}
+
+// HandleMessage implements netsim.Handler for both substrates.
+func (n *MSSNode) HandleMessage(from ids.NodeID, m msg.Message) {
+	if n.w.cfg.ProcDelay <= 0 {
+		n.process(from, m)
+		return
+	}
+	n.inbox = append(n.inbox, inboxItem{from: from, m: m})
+	n.scheduleProcessing()
+}
+
+func (n *MSSNode) scheduleProcessing() {
+	if n.procScheduled || len(n.inbox) == 0 {
+		return
+	}
+	n.procScheduled = true
+	n.w.Kernel.After(n.w.cfg.ProcDelay, n.processNext)
+}
+
+// processNext pops one inbox item — Acks first when the §3.1 priority
+// rule is enabled — and processes it.
+func (n *MSSNode) processNext() {
+	n.procScheduled = false
+	if len(n.inbox) == 0 {
+		return
+	}
+	idx := 0
+	if n.w.cfg.AckPriority {
+		for i, it := range n.inbox {
+			if it.m.Kind() == msg.KindAckMH {
+				idx = i
+				break
+			}
+		}
+	}
+	it := n.inbox[idx]
+	n.inbox = append(n.inbox[:idx], n.inbox[idx+1:]...)
+	n.process(it.from, it.m)
+	n.scheduleProcessing()
+}
+
+// process dispatches one message.
+func (n *MSSNode) process(from ids.NodeID, m msg.Message) {
+	switch v := m.(type) {
+	case msg.Join:
+		n.handleJoin(v)
+	case msg.Leave:
+		n.handleLeave(v)
+	case msg.Greet:
+		n.handleGreet(v)
+	case msg.Request:
+		n.handleRequest(from, v)
+	case msg.AckMH:
+		n.handleAckMH(from, v)
+	case msg.Dereg:
+		n.handleDereg(from, v)
+	case msg.DeregAck:
+		n.handleDeregAck(v)
+	case msg.RequestForward:
+		n.handleRequestForward(v)
+	case msg.UpdateCurrentLoc:
+		n.handleUpdateCurrentLoc(v)
+	case msg.ResultForward:
+		n.handleResultForward(v)
+	case msg.DelPrefOnly:
+		n.handleDelPrefOnly(v)
+	case msg.AckForward:
+		n.handleAckForward(v)
+	case msg.ServerResult:
+		n.handleServerResult(v)
+	default:
+		n.w.Stats.OrphanMessages.Inc()
+	}
+}
+
+// handleJoin registers a new MH in the cell (§2).
+func (n *MSSNode) handleJoin(m msg.Join) {
+	n.localMhs[m.MH] = true
+	delete(n.ignoreAcks, m.MH)
+	delete(n.forwardTo, m.MH)
+	if _, ok := n.prefs[m.MH]; !ok {
+		n.prefs[m.MH] = &msg.Pref{}
+	}
+	// Serve deregs that were parked while we knew nothing about the MH:
+	// now registered, the normal responsible path answers them.
+	if parked := n.pendingDeregs[m.MH]; len(parked) > 0 {
+		delete(n.pendingDeregs, m.MH)
+		for _, it := range parked {
+			n.process(it.from, it.m)
+		}
+	}
+}
+
+// handleLeave removes an MH from the system. Assumption 6 guarantees it
+// has acknowledged everything; a live proxy at departure is a protocol
+// violation.
+func (n *MSSNode) handleLeave(m msg.Leave) {
+	if p, ok := n.prefs[m.MH]; ok && p.HasProxy() {
+		n.w.Stats.Violations.Inc()
+	}
+	delete(n.localMhs, m.MH)
+	delete(n.prefs, m.MH)
+	delete(n.held, m.MH)
+	delete(n.heldAcksPending, m.MH)
+	delete(n.deferredUpdate, m.MH)
+	delete(n.outstanding, m.MH)
+}
+
+// handleGreet implements §3.2: a greet from a new cell starts the
+// Hand-off; a greet naming this station is a reactivation in place and
+// triggers only an update_currentLoc (plus delivery of any held
+// results).
+func (n *MSSNode) handleGreet(m msg.Greet) {
+	if arr, ok := n.arriving[m.MH]; ok {
+		// The MH re-entered this cell (or reactivated here) while our own
+		// registration for it is still pending; replay the greet once the
+		// registration lands so the hand-off chain stays chronological.
+		arr.deferred = append(arr.deferred, inboxItem{from: m.MH.Node(), m: m})
+		return
+	}
+	if m.OldMSS == n.id {
+		// Reactivation within the same cell: "no Hand-off is initiated".
+		n.w.Stats.Reactivations.Inc()
+		if !n.localMhs[m.MH] {
+			if next, ok := n.forwardTo[m.MH]; ok {
+				// The MH believes it is registered here, but an earlier
+				// hand-off chain (greets reordered across radio links)
+				// carried the registration elsewhere. Fetch it back: run
+				// a normal hand-off toward the station we forwarded to;
+				// the dereg follows the chain to the current holder.
+				n.arriving[m.MH] = &arrival{greetAt: n.w.Kernel.Now()}
+				n.sendWired(next.Node(), msg.Dereg{MH: m.MH, NewMSS: n.id})
+				return
+			}
+			// Genuinely unknown MH with no trace of a registration: there
+			// is no state to reactivate; register it like a join.
+			n.handleJoin(msg.Join{MH: m.MH})
+		}
+		delete(n.deferredUpdate, m.MH) // recomputed below
+		if pref, ok := n.prefs[m.MH]; ok && pref.HasProxy() {
+			if len(n.held[m.MH]) > 0 {
+				// Held results are about to be delivered; defer the
+				// update_currentLoc until their Acks pass through so the
+				// proxy is not prompted into a redundant retransmission.
+				n.deferredUpdate[m.MH] = true
+			} else {
+				n.sendUpdateCurrLoc(pref.Proxy, m.MH)
+			}
+		}
+		n.deliverHeld(m.MH)
+		return
+	}
+	// Migration into this cell: start the Hand-off with the old station.
+	// Deregs that overtook this greet join the arrival's deferred queue.
+	arr := &arrival{greetAt: n.w.Kernel.Now(), deferred: n.pendingDeregs[m.MH]}
+	delete(n.pendingDeregs, m.MH)
+	n.arriving[m.MH] = arr
+	n.sendWired(m.OldMSS.Node(), msg.Dereg{MH: m.MH, NewMSS: n.id})
+}
+
+// handleRequest implements §3.1/§3.3 request routing: create a proxy
+// locally when the pref is empty, otherwise forward to the proxy, and in
+// all cases clear RKpR — a new request keeps the proxy alive.
+func (n *MSSNode) handleRequest(from ids.NodeID, m msg.Request) {
+	mh := m.Req.Origin
+	if arr, ok := n.arriving[mh]; ok {
+		arr.buffered = append(arr.buffered, inboxItem{from: from, m: m})
+		return
+	}
+	if !n.localMhs[mh] {
+		// In flight across a completed hand-off: pass it along the chain
+		// of responsibility; it ends at the MH's current (or arriving)
+		// station.
+		if next, ok := n.forwardTo[mh]; ok {
+			n.sendWired(next.Node(), m)
+			return
+		}
+		n.w.Stats.OrphanMessages.Inc()
+		return
+	}
+	pref := n.prefs[mh]
+	if pref == nil {
+		pref = &msg.Pref{}
+		n.prefs[mh] = pref
+	}
+	pref.RKpR = false // §3.3: a new request re-arms the proxy
+	if n.outstanding[mh] == nil {
+		n.outstanding[mh] = make(map[ids.RequestID]bool)
+	}
+	n.outstanding[mh][m.Req] = true
+	if !pref.HasProxy() {
+		n.nextProxySeq++
+		id := ids.ProxyID{Host: n.id, Seq: n.nextProxySeq}
+		p := newProxy(id, mh, n)
+		n.proxies[id.Seq] = p
+		pref.Proxy = id
+		n.w.Stats.ProxiesCreated.Inc()
+		n.w.Stats.ProxyCreations[n.id]++
+		p.addRequest(m.Req, m.Server, m.Payload)
+		return
+	}
+	if pref.Proxy.Host == n.id {
+		if p := n.proxies[pref.Proxy.Seq]; p != nil {
+			p.addRequest(m.Req, m.Server, m.Payload)
+			return
+		}
+		n.w.Stats.Violations.Inc() // pref points at a proxy we no longer host
+		return
+	}
+	n.sendWired(pref.Proxy.Host.Node(),
+		msg.RequestForward{Proxy: pref.Proxy, Req: m.Req, Server: m.Server, Payload: m.Payload})
+}
+
+// handleAckMH relays an MH's Ack to its proxy (§3.1), confirming proxy
+// removal when RKpR is armed and no new request intervened (§3.3).
+func (n *MSSNode) handleAckMH(from ids.NodeID, m msg.AckMH) {
+	// A hand-off back to this station may be in flight: the MH greeted
+	// us again, so we are its next respMss and must buffer (not ignore)
+	// its traffic until the deregack arrives — the ignore rule below
+	// applies only to our *old* respMss role.
+	if arr, ok := n.arriving[m.MH]; ok {
+		arr.buffered = append(arr.buffered, inboxItem{from: from, m: m})
+		return
+	}
+	if n.ignoreAcks[m.MH] {
+		n.w.Stats.IgnoredAcks.Inc()
+		return
+	}
+	if !n.localMhs[m.MH] {
+		n.w.Stats.OrphanMessages.Inc()
+		return
+	}
+	pref := n.prefs[m.MH]
+	if pref == nil || !pref.HasProxy() {
+		// Ack for an already-completed request (duplicate delivery ack
+		// after the proxy was confirmed dead); nothing to relay.
+		n.w.Stats.OrphanMessages.Inc()
+		n.noteHeldAck(m.MH, m.Req)
+		return
+	}
+	if set := n.outstanding[m.MH]; set != nil {
+		delete(set, m.Req)
+		if len(set) == 0 {
+			delete(n.outstanding, m.MH)
+		}
+	}
+	// §3.3 removal condition: RKpR armed AND every request of the MH has
+	// been answered — judged both from this station's routing knowledge
+	// and from the MH's own statement on the Ack (the latter covers
+	// requests routed through a previous respMss and still in flight).
+	delProxy := pref.RKpR && len(n.outstanding[m.MH]) == 0 && !m.HaveOutstanding
+	proxy := pref.Proxy
+	if delProxy {
+		// §3.3: erase the proxy address and confirm removal.
+		pref.Proxy = ids.NoProxy
+		pref.RKpR = false
+	}
+	n.w.Stats.AckForwards.Inc()
+	n.sendToStation(proxy.Host,
+		msg.AckForward{Proxy: proxy, MH: m.MH, Req: m.Req, DelProxy: delProxy})
+	// Release a deferred reactivation update only after the Ack relay
+	// above, so the proxy sees the Ack before any update_currentLoc.
+	n.noteHeldAck(m.MH, m.Req)
+}
+
+// handleDereg implements the old-station side of the Hand-off (§3.2):
+// return the pref, drop responsibility, and ignore the MH's later acks.
+//
+// Fast migration chains require three further cases. A station that is
+// still responsible serves the dereg immediately even while its own
+// (re-)registration for the same MH is pending — deferring there would
+// deadlock two stations waiting on each other's deregack. A station the
+// MH has already left forwards the dereg along the hand-off chain to
+// wherever it sent the pref. Only a station that is itself *about to
+// receive* the pref defers the dereg until its registration completes.
+func (n *MSSNode) handleDereg(from ids.NodeID, m msg.Dereg) {
+	if n.localMhs[m.MH] {
+		n.ignoreAcks[m.MH] = true
+		n.forwardTo[m.MH] = m.NewMSS
+		var pref msg.Pref
+		if p, ok := n.prefs[m.MH]; ok {
+			pref = *p
+		}
+		delete(n.localMhs, m.MH)
+		delete(n.prefs, m.MH)
+		delete(n.held, m.MH)
+		delete(n.heldAcksPending, m.MH)
+		delete(n.deferredUpdate, m.MH)
+		delete(n.outstanding, m.MH)
+		n.sendWired(m.NewMSS.Node(), msg.DeregAck{MH: m.MH, Pref: pref})
+		return
+	}
+	if next, ok := n.forwardTo[m.MH]; ok {
+		n.sendWired(next.Node(), m)
+		return
+	}
+	if arr, ok := n.arriving[m.MH]; ok {
+		arr.deferred = append(arr.deferred, inboxItem{from: from, m: m})
+		return
+	}
+	// Unknown MH: our own greet for it must still be in flight (an MH
+	// names us as old respMss only after greeting us); park the dereg
+	// until that greet or a join arrives.
+	n.pendingDeregs[m.MH] = append(n.pendingDeregs[m.MH], inboxItem{from: from, m: m})
+}
+
+// handleDeregAck completes the Hand-off on the new station (§3.2):
+// responsibility is officially transferred, the pref is installed, the
+// proxy learns the new location, and traffic buffered during the
+// hand-off is processed.
+func (n *MSSNode) handleDeregAck(m msg.DeregAck) {
+	arr := n.arriving[m.MH]
+	delete(n.arriving, m.MH)
+	n.localMhs[m.MH] = true
+	delete(n.ignoreAcks, m.MH)
+	delete(n.forwardTo, m.MH)
+	pref := m.Pref
+	n.prefs[m.MH] = &pref
+	n.w.Stats.Handoffs.Inc()
+	if arr != nil {
+		n.w.Stats.HandoffLatency.Observe(time.Duration(n.w.Kernel.Now() - arr.greetAt))
+	}
+	if pref.HasProxy() {
+		n.sendUpdateCurrLoc(pref.Proxy, m.MH)
+	}
+	if arr != nil {
+		for _, it := range arr.buffered {
+			n.process(it.from, it.m)
+		}
+		// Replay deferred greets/deregs in arrival order. Processing one
+		// may start the next hand-off of the chain (re-entering the
+		// arriving state); the rest of the queue then carries over to
+		// that new arrival record and replays after *its* registration.
+		for i, it := range arr.deferred {
+			n.process(it.from, it.m)
+			if next, ok := n.arriving[m.MH]; ok {
+				next.deferred = append(next.deferred, arr.deferred[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// sendUpdateCurrLoc notifies the proxy of the MH's new respMss (§3.1).
+func (n *MSSNode) sendUpdateCurrLoc(proxy ids.ProxyID, mh ids.MH) {
+	n.w.Stats.UpdateCurrLocs.Inc()
+	n.sendToStation(proxy.Host, msg.UpdateCurrentLoc{Proxy: proxy, MH: mh, NewLoc: n.id})
+}
+
+// handleRequestForward delivers a forwarded request to a hosted proxy.
+func (n *MSSNode) handleRequestForward(m msg.RequestForward) {
+	p := n.proxies[m.Proxy.Seq]
+	if p == nil || p.id != m.Proxy {
+		n.w.Stats.OrphanMessages.Inc()
+		return
+	}
+	p.addRequest(m.Req, m.Server, m.Payload)
+}
+
+// handleUpdateCurrentLoc updates a hosted proxy's currentLoc.
+func (n *MSSNode) handleUpdateCurrentLoc(m msg.UpdateCurrentLoc) {
+	p := n.proxies[m.Proxy.Seq]
+	if p == nil || p.id != m.Proxy {
+		n.w.Stats.OrphanMessages.Inc()
+		return
+	}
+	p.onUpdateLoc(m.NewLoc)
+}
+
+// handleResultForward is the respMss side of result delivery (§3.1,
+// §3.3): arm RKpR if del-pref rides along and the pref matches, then
+// attempt exactly one wireless forward — or hold the result for an
+// inactive MH when the §5 footnote 3 optimization is on. The station
+// keeps no copy: "the MSS can discard the result message after a single
+// attempt to forward it".
+func (n *MSSNode) handleResultForward(m msg.ResultForward) {
+	if m.DelPref {
+		if pref, ok := n.prefs[m.MH]; ok && pref.Proxy == m.Proxy {
+			pref.RKpR = true
+		}
+	}
+	deliver := msg.ResultDeliver{Req: m.Req, Payload: m.Payload, DelPref: m.DelPref}
+	if n.w.cfg.HoldForInactive && n.localMhs[m.MH] &&
+		n.w.InCell(m.MH, n.id) && !n.w.IsActive(m.MH) {
+		n.held[m.MH] = append(n.held[m.MH], deliver)
+		n.w.Stats.HeldResults.Inc()
+		return
+	}
+	n.w.Wireless.SendDownlink(n.id, m.MH, deliver)
+}
+
+// deliverHeld flushes results held for an inactive MH (footnote 3),
+// recording which Acks the deferred update_currentLoc is waiting on.
+func (n *MSSNode) deliverHeld(mh ids.MH) {
+	held := n.held[mh]
+	if len(held) == 0 {
+		return
+	}
+	delete(n.held, mh)
+	pending := n.heldAcksPending[mh]
+	if pending == nil {
+		pending = make(map[ids.RequestID]bool, len(held))
+		n.heldAcksPending[mh] = pending
+	}
+	for _, r := range held {
+		pending[r.Req] = true
+		n.w.Wireless.SendDownlink(n.id, mh, r)
+	}
+}
+
+// noteHeldAck updates the held-result bookkeeping on an incoming Ack and
+// releases the deferred update_currentLoc once all held results are
+// acknowledged.
+func (n *MSSNode) noteHeldAck(mh ids.MH, req ids.RequestID) {
+	set := n.heldAcksPending[mh]
+	if set == nil {
+		return
+	}
+	delete(set, req)
+	if len(set) > 0 {
+		return
+	}
+	delete(n.heldAcksPending, mh)
+	if !n.deferredUpdate[mh] {
+		return
+	}
+	delete(n.deferredUpdate, mh)
+	if pref, ok := n.prefs[mh]; ok && pref.HasProxy() {
+		n.sendUpdateCurrLoc(pref.Proxy, mh)
+	}
+}
+
+// handleDelPrefOnly arms RKpR without a result payload (Fig. 4 case).
+func (n *MSSNode) handleDelPrefOnly(m msg.DelPrefOnly) {
+	if pref, ok := n.prefs[m.MH]; ok && pref.Proxy == m.Proxy {
+		pref.RKpR = true
+		return
+	}
+	n.w.Stats.OrphanMessages.Inc()
+}
+
+// handleAckForward hands a relayed Ack to a hosted proxy, deleting the
+// proxy when del-proxy is confirmed (§3.3).
+func (n *MSSNode) handleAckForward(m msg.AckForward) {
+	p := n.proxies[m.Proxy.Seq]
+	if p == nil || p.id != m.Proxy {
+		n.w.Stats.OrphanMessages.Inc()
+		return
+	}
+	if p.onAck(m.Req, m.DelProxy) {
+		delete(n.proxies, m.Proxy.Seq)
+		n.w.Stats.ProxiesDeleted.Inc()
+		n.w.Stats.ProxySeconds[n.id] += time.Duration(n.w.Kernel.Now() - p.createdAt)
+	}
+}
+
+// handleServerResult hands a server reply to the addressed proxy.
+func (n *MSSNode) handleServerResult(m msg.ServerResult) {
+	p := n.proxies[m.Proxy.Seq]
+	if p == nil || p.id != m.Proxy {
+		n.w.Stats.OrphanMessages.Inc()
+		return
+	}
+	p.onServerResult(m.Req, m.Payload)
+}
+
+// sendWired transmits to another static host over the wired network.
+func (n *MSSNode) sendWired(to ids.NodeID, m msg.Message) {
+	n.w.Wired.Send(n.id.Node(), to, m)
+}
+
+// sendToStation transmits to another MSS, short-circuiting delivery when
+// the destination is this station itself (a proxy talking to its own
+// host needs no network hop; cf. Fig. 3, where proxy and respMss start
+// co-located).
+func (n *MSSNode) sendToStation(to ids.MSS, m msg.Message) {
+	if to == n.id {
+		local := m
+		n.w.Kernel.After(0, func() { n.process(n.id.Node(), local) })
+		return
+	}
+	n.sendWired(to.Node(), m)
+}

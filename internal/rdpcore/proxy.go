@@ -1,0 +1,165 @@
+package rdpcore
+
+import (
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// proxyReq is one entry of the proxy's requestList. A request is
+// "pending" from insertion until its Ack arrives (§3.1); the stored
+// result, once present, survives until then so it can be re-sent on
+// every location update.
+type proxyReq struct {
+	server    ids.Server
+	payload   []byte
+	result    []byte
+	hasResult bool
+	forwarded bool // result forwarded at least once (retransmission accounting)
+}
+
+// Proxy is the paper's proxy-for-requests (§3.1): created at the MH's
+// respMss when it issues a request and has none, it provides the fixed
+// wired-network location for server replies, tracks pending requests,
+// stores results, and forwards them to the MH's current respMss. It
+// lives inside its hosting MSSNode and communicates through it.
+type Proxy struct {
+	id         ids.ProxyID
+	mh         ids.MH
+	host       *MSSNode
+	currentLoc ids.MSS
+	reqs       map[ids.RequestID]*proxyReq
+	order      []ids.RequestID // insertion order; keeps iteration deterministic
+	createdAt  sim.Time
+}
+
+// newProxy creates a proxy hosted at host on behalf of mh. Its
+// currentLoc starts as the hosting station itself, since the proxy is
+// always created at the MH's current respMss (§3.1).
+func newProxy(id ids.ProxyID, mh ids.MH, host *MSSNode) *Proxy {
+	return &Proxy{
+		id:         id,
+		mh:         mh,
+		host:       host,
+		currentLoc: host.id,
+		reqs:       make(map[ids.RequestID]*proxyReq),
+		createdAt:  host.w.Kernel.Now(),
+	}
+}
+
+// ID returns the proxy identifier.
+func (p *Proxy) ID() ids.ProxyID { return p.id }
+
+// MH returns the mobile host this proxy represents.
+func (p *Proxy) MH() ids.MH { return p.mh }
+
+// CurrentLoc returns the respMss the proxy currently forwards to.
+func (p *Proxy) CurrentLoc() ids.MSS { return p.currentLoc }
+
+// Pending returns the number of pending (un-acked) requests.
+func (p *Proxy) Pending() int { return len(p.reqs) }
+
+// addRequest registers a request and issues it to the server. From the
+// server's perspective the proxy is a fixed client (§3.1). A duplicate
+// registration (client-side retry) is not re-issued to the server; if
+// the result is already stored it is re-forwarded instead, which is what
+// lets a stationary MH recover from a lost wireless delivery.
+func (p *Proxy) addRequest(req ids.RequestID, server ids.Server, payload []byte) {
+	if r, ok := p.reqs[req]; ok {
+		if r.hasResult {
+			p.forwardResult(req, r)
+		}
+		return
+	}
+	r := &proxyReq{server: server, payload: payload}
+	p.reqs[req] = r
+	p.order = append(p.order, req)
+	p.host.sendWired(server.Node(), msg.ServerRequest{Proxy: p.id, Req: req, Payload: payload})
+}
+
+// onServerResult stores the server's reply and forwards it to the MH's
+// current location (§3.1). Late or duplicate server replies (for
+// requests already acked and removed) are dropped.
+func (p *Proxy) onServerResult(req ids.RequestID, payload []byte) {
+	r, ok := p.reqs[req]
+	if !ok {
+		p.host.w.Stats.OrphanMessages.Inc()
+		return
+	}
+	if r.hasResult {
+		// Duplicate server reply; the stored copy wins.
+		return
+	}
+	r.result = payload
+	r.hasResult = true
+	p.forwardResult(req, r)
+}
+
+// forwardResult sends one stored result to currentLoc, piggybacking
+// del-pref when this is the proxy's only pending request (§3.3: the
+// flag rides on "the result of the last pending request").
+func (p *Proxy) forwardResult(req ids.RequestID, r *proxyReq) {
+	delPref := len(p.reqs) == 1
+	if r.forwarded {
+		p.host.w.Stats.Retransmissions.Inc()
+	}
+	r.forwarded = true
+	p.host.w.Stats.ResultForwards[p.host.id]++
+	fwd := msg.ResultForward{Proxy: p.id, MH: p.mh, Req: req, Payload: r.result, DelPref: delPref}
+	p.host.sendToStation(p.currentLoc, fwd)
+}
+
+// onUpdateLoc handles update_currentLoc: record the MH's new respMss and
+// re-send every stored, not-yet-acknowledged result to it (§3.1: "causes
+// the variable currentLoc to be updated and any non-acknowledged results
+// from pending requests to be re-sent to the new location").
+func (p *Proxy) onUpdateLoc(newLoc ids.MSS) {
+	p.currentLoc = newLoc
+	for _, req := range p.order {
+		r, ok := p.reqs[req]
+		if !ok || !r.hasResult {
+			continue
+		}
+		p.forwardResult(req, r)
+	}
+}
+
+// onAck processes a relayed Ack: the request is completed and removed
+// from the requestList (§3.1); an application-level ack may be owed to
+// the server. It reports whether the proxy must now be deleted (del-proxy
+// piggybacked; §3.3).
+//
+// Fig. 4 rule: if after removal exactly one pending request remains and
+// its result has already been forwarded, the proxy sends the special
+// del-pref-only message so the respMss can arm RKpR.
+func (p *Proxy) onAck(req ids.RequestID, delProxy bool) (deleted bool) {
+	r, ok := p.reqs[req]
+	if ok {
+		delete(p.reqs, req)
+		for i, q := range p.order {
+			if q == req {
+				p.order = append(p.order[:i], p.order[i+1:]...)
+				break
+			}
+		}
+		if p.host.w.cfg.ServerAcks {
+			p.host.sendWired(r.server.Node(), msg.ServerAck{Req: req})
+			p.host.w.Stats.ServerAcks.Inc()
+		}
+	}
+	if delProxy {
+		if len(p.reqs) != 0 {
+			// del-proxy may only be confirmed when no request is pending
+			// (§3.3); a violation indicates a protocol bug.
+			p.host.w.Stats.Violations.Inc()
+		}
+		return true
+	}
+	if ok && len(p.reqs) == 1 {
+		sole := p.reqs[p.order[0]]
+		if sole.hasResult && sole.forwarded {
+			p.host.sendToStation(p.currentLoc, msg.DelPrefOnly{Proxy: p.id, MH: p.mh})
+		}
+	}
+	return false
+}

@@ -1,0 +1,189 @@
+package rdpcore
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// TestRandomOpSequences drives worlds with randomly generated operation
+// sequences — joins, migrations, activity flips, requests, clean leaves
+// — and checks the protocol's global properties after a drain:
+//
+//  1. cross-node invariants hold at checkpoints and at the end;
+//  2. no protocol violations;
+//  3. every request issued by a host that is present and awake at the
+//     end was answered;
+//  4. identical seeds produce identical statistics (determinism).
+//
+// This is schedule-space fuzzing on top of the scenario tests: the
+// operations land at arbitrary instants relative to one another, probing
+// interleavings no hand-written test enumerates.
+func TestRandomOpSequences(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			first := runRandomOps(t, seed)
+			second := runRandomOps(t, seed)
+			if first != second {
+				t.Errorf("determinism broken:\n%v\nvs\n%v", first, second)
+			}
+		})
+	}
+}
+
+// opCounters summarizes one run for the determinism check.
+type opCounters struct {
+	issued, delivered, dups, retrans, handoffs int64
+}
+
+func runRandomOps(t *testing.T, seed int64) opCounters {
+	w := runRandomOpsDebug(t, seed)
+	return opCounters{
+		issued:    w.Stats.RequestsIssued.Value(),
+		delivered: w.Stats.ResultsDelivered.Value(),
+		dups:      w.Stats.DuplicateDeliveries.Value(),
+		retrans:   w.Stats.Retransmissions.Value(),
+		handoffs:  w.Stats.Handoffs.Value(),
+	}
+}
+
+func runRandomOpsDebug(t *testing.T, seed int64) *World {
+	t.Helper()
+	const (
+		cells   = 5
+		hosts   = 8
+		horizon = 20 * time.Second
+		drain   = 15 * time.Second
+	)
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumMSS = cells
+	cfg.NumServers = 2
+	cfg.WiredLatency = netsim.Uniform{Lo: time.Millisecond, Hi: 12 * time.Millisecond}
+	cfg.WirelessLatency = netsim.Uniform{Lo: 4 * time.Millisecond, Hi: 22 * time.Millisecond}
+	cfg.ServerProc = netsim.Exponential{MeanDelay: 250 * time.Millisecond, Floor: 10 * time.Millisecond}
+	// Registration-refresh beacons give recovery liveness even when
+	// greets reorder across radio links (see Config.GreetRefresh).
+	cfg.GreetRefresh = 2 * time.Second
+	w := NewWorld(cfg)
+	rng := sim.NewRNG(seed * 7717)
+
+	type hostState struct {
+		mh     *MHNode
+		reqs   []ids.RequestID
+		gone   bool // left the system
+		asleep bool
+	}
+	states := make(map[ids.MH]*hostState, hosts)
+	for i := 1; i <= hosts; i++ {
+		id := ids.MH(i)
+		states[id] = &hostState{mh: w.AddMH(id, ids.MSS(rng.Intn(cells)+1))}
+	}
+
+	// Generate a random op schedule. Ops are pre-scheduled (the schedule
+	// itself is independent of execution, keeping runs reproducible).
+	nOps := 300 + rng.Intn(200)
+	for i := 0; i < nOps; i++ {
+		at := time.Duration(rng.Int63() % int64(horizon))
+		id := ids.MH(rng.Intn(hosts) + 1)
+		st := states[id]
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // migrate
+			cell := ids.MSS(rng.Intn(cells) + 1)
+			w.Schedule(at, func() {
+				if !st.gone {
+					w.Migrate(id, cell)
+				}
+			})
+		case 4: // deactivate
+			w.Schedule(at, func() {
+				if !st.gone {
+					st.asleep = true
+					w.SetActive(id, false)
+				}
+			})
+		case 5: // activate
+			w.Schedule(at, func() {
+				if !st.gone {
+					st.asleep = false
+					w.SetActive(id, true)
+				}
+			})
+		default: // issue a request
+			srv := ids.Server(rng.Intn(2) + 1)
+			w.Schedule(at, func() {
+				if !st.gone {
+					st.reqs = append(st.reqs, st.mh.IssueRequest(srv, []byte("r")))
+				}
+			})
+		}
+	}
+	// One host leaves cleanly mid-run: wait until it has no unanswered
+	// requests, then leave (assumption 6).
+	leaver := ids.MH(rng.Intn(hosts) + 1)
+	var tryLeave func()
+	tryLeave = func() {
+		st := states[leaver]
+		if st.gone {
+			return
+		}
+		for _, r := range st.reqs {
+			if !st.mh.Seen(r) {
+				w.Schedule(500*time.Millisecond, tryLeave)
+				return
+			}
+		}
+		if !w.IsActive(leaver) {
+			w.SetActive(leaver, true)
+		}
+		st.gone = true
+		w.Leave(leaver)
+	}
+	w.Schedule(horizon+time.Second, tryLeave)
+
+	// Invariant checkpoints while the system is hot.
+	for i := 1; i <= 4; i++ {
+		at := horizon * time.Duration(i) / 5
+		w.Schedule(at, func() {
+			if err := w.CheckInvariants(); err != nil {
+				t.Errorf("seed %d: invariants at %v: %v", seed, at, err)
+			}
+		})
+	}
+	// Wake everyone for the drain so pending results can deliver.
+	for i := 1; i <= hosts; i++ {
+		id := ids.MH(i)
+		st := states[id]
+		w.Schedule(horizon+500*time.Millisecond, func() {
+			if !st.gone {
+				st.asleep = false
+				w.SetActive(id, true)
+			}
+		})
+	}
+
+	w.RunUntil(horizon + drain)
+
+	if err := w.CheckInvariants(); err != nil {
+		t.Errorf("seed %d: invariants at end: %v", seed, err)
+	}
+	if got := w.Stats.Violations.Value(); got != 0 {
+		t.Errorf("seed %d: Violations = %d, want 0", seed, got)
+	}
+	for id, st := range states {
+		if st.gone {
+			continue
+		}
+		for _, r := range st.reqs {
+			if !st.mh.Seen(r) {
+				t.Errorf("seed %d: %v never received result of %v", seed, id, r)
+			}
+		}
+	}
+	return w
+}

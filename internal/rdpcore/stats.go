@@ -1,0 +1,112 @@
+// Package rdpcore implements the Result Delivery Protocol itself: the
+// proxy object and its life-cycle, the proxy reference (pref), the
+// mobile support station (MSS) and mobile host (MH) state machines, the
+// Hand-off protocol, and the World that wires them onto the simulated
+// network substrates.
+//
+// The package follows the paper's §2–§3 closely; doc comments cite the
+// relevant section for every protocol rule.
+package rdpcore
+
+import (
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+)
+
+// Stats aggregates every protocol-level measurement the experiments
+// report. One Stats value is shared by all nodes of a World.
+type Stats struct {
+	// RequestsIssued counts client requests created at MHs.
+	RequestsIssued metrics.Counter
+	// RequestRetries counts client-side request retransmissions (the
+	// QRPC-style reliable-sending shim; see World.Config.RequestTimeout).
+	RequestRetries metrics.Counter
+	// ResultsDelivered counts first-time deliveries of results at MHs.
+	ResultsDelivered metrics.Counter
+	// DuplicateDeliveries counts redundant result deliveries at MHs
+	// (at-least-once slack; §5 predicts 0 under causal order + ack
+	// priority + reliable wireless).
+	DuplicateDeliveries metrics.Counter
+	// Retransmissions counts proxy re-forwards of a result that had
+	// already been forwarded once (§5 threshold analysis, E3).
+	Retransmissions metrics.Counter
+	// UpdateCurrLocs counts update_currentLoc messages (overhead term 1
+	// of §5: one per migration or reactivation of an MH with a proxy).
+	UpdateCurrLocs metrics.Counter
+	// AckForwards counts Ack messages relayed respMss -> proxy (overhead
+	// term 2 of §5: one per acknowledged result).
+	AckForwards metrics.Counter
+	// ServerAcks counts application-level acks sent proxy -> server.
+	ServerAcks metrics.Counter
+	// Handoffs counts completed Hand-off protocol runs (deregack
+	// processed at the new MSS).
+	Handoffs metrics.Counter
+	// Reactivations counts same-cell greet messages (inactive -> active).
+	Reactivations metrics.Counter
+	// ProxiesCreated and ProxiesDeleted track the proxy life-cycle.
+	ProxiesCreated metrics.Counter
+	ProxiesDeleted metrics.Counter
+	// HeldResults counts results an MSS held for an inactive MH instead
+	// of attempting wireless delivery (§5 footnote 3 optimization).
+	HeldResults metrics.Counter
+	// OrphanMessages counts messages that reached a node with no state to
+	// process them (stale forwards after proxy deletion, requests from
+	// unregistered MHs, ...). They are dropped.
+	OrphanMessages metrics.Counter
+	// IgnoredAcks counts MH acks dropped by an MSS that had already
+	// received a dereg for that MH (§3.1).
+	IgnoredAcks metrics.Counter
+	// Violations counts internal invariant breaches. It must stay zero;
+	// experiments assert on it.
+	Violations metrics.Counter
+	// WirelessDrops counts frames lost on the wireless layer (random
+	// loss, migration or inactivity at delivery time).
+	WirelessDrops metrics.Counter
+	// HandoffStateBytes accumulates the wire size of hand-off state
+	// transfers (DeregAck for RDP; ImageTransfer for the I-TCP baseline),
+	// the E6 measurement.
+	HandoffStateBytes metrics.Counter
+
+	// ResultLatency measures issue -> first wireless delivery per request.
+	ResultLatency metrics.Histogram
+	// HandoffLatency measures greet -> deregack completion per hand-off.
+	HandoffLatency metrics.Histogram
+
+	// ProxySeconds integrates, per station, virtual time spent hosting
+	// proxies (E5 load metric). ProxyCreations counts proxy placements
+	// per station; ResultForwards counts result forwards issued by
+	// proxies per hosting station.
+	ProxySeconds   map[ids.MSS]time.Duration
+	ProxyCreations map[ids.MSS]int64
+	ResultForwards map[ids.MSS]int64
+}
+
+// NewStats returns an initialized Stats.
+func NewStats() *Stats {
+	return &Stats{
+		ProxySeconds:   make(map[ids.MSS]time.Duration),
+		ProxyCreations: make(map[ids.MSS]int64),
+		ResultForwards: make(map[ids.MSS]int64),
+	}
+}
+
+// HostLoads returns the per-station proxy-seconds for the given stations
+// as a float vector (for fairness computations), in the order given.
+func (s *Stats) HostLoads(stations []ids.MSS) []float64 {
+	out := make([]float64, len(stations))
+	for i, m := range stations {
+		out[i] = float64(s.ProxySeconds[m])
+	}
+	return out
+}
+
+// ForwardLoads returns per-station result-forward counts as floats.
+func (s *Stats) ForwardLoads(stations []ids.MSS) []float64 {
+	out := make([]float64, len(stations))
+	for i, m := range stations {
+		out[i] = float64(s.ResultForwards[m])
+	}
+	return out
+}

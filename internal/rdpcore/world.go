@@ -1,0 +1,471 @@
+package rdpcore
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// Config parameterizes a World. DefaultConfig supplies values matching
+// the paper's operating assumptions (reliable causal wired network, ack
+// priority on, no wireless loss).
+type Config struct {
+	// Seed drives the deterministic kernel.
+	Seed int64
+	// NumMSS and NumServers size the static network. Stations are
+	// ids.MSS(1..NumMSS); servers are ids.Server(1..NumServers).
+	NumMSS     int
+	NumServers int
+
+	// WiredLatency and WirelessLatency model the substrates; defaults
+	// are 5ms wired, 20ms wireless (t_wired and t_wireless of §5).
+	WiredLatency    netsim.LatencyModel
+	WirelessLatency netsim.LatencyModel
+	// WiredPairLatency, when set, overrides WiredLatency per host pair —
+	// e.g. netsim.RingLatency for a metropolitan ring topology.
+	WiredPairLatency func(from, to ids.NodeID) netsim.LatencyModel
+	// WirelessLoss is the random frame loss probability.
+	WirelessLoss float64
+	// Causal enables causal-order wired delivery (assumption 1). Off for
+	// the E2 ablation.
+	Causal bool
+	// AckPriority enables §3.1's ack-before-handoff processing priority.
+	// It only has observable effect with ProcDelay > 0.
+	AckPriority bool
+	// ProcDelay is the per-message processing delay at each MSS; zero
+	// means messages are processed the instant they arrive.
+	ProcDelay time.Duration
+	// HoldForInactive enables the §5 footnote 3 optimization: an MSS that
+	// can detect the destination MH is inactive keeps the result and
+	// delivers it on reactivation, saving a proxy retransmission.
+	HoldForInactive bool
+	// ServerAcks makes proxies send application-level acks to servers
+	// once the MH acknowledged a result (§3.1 "depending on the
+	// particular application-level client-server protocol").
+	ServerAcks bool
+	// RequestTimeout, when positive, enables client-side request retry
+	// (QRPC-style shim); zero disables it.
+	RequestTimeout time.Duration
+	// GreetRefresh, when positive, makes every active MH periodically
+	// re-greet its respMss (a registration-refresh beacon, standard in
+	// real mobility systems and abstracted over by §2). Each refresh is
+	// treated as a reactivation, prompting an update_currentLoc and
+	// thereby a retransmission of any stranded results; it also
+	// reconciles a registration that drifted to another station after
+	// greets reordered across radio links. Zero disables it (the
+	// paper-pure protocol, where recovery waits for the next migration
+	// or reactivation).
+	GreetRefresh time.Duration
+	// ServerProc models server-side request processing time (the paper
+	// targets services with "long request processing times").
+	ServerProc netsim.LatencyModel
+	// ServerHandler computes reply payloads; nil means server.Echo.
+	ServerHandler server.Handler
+	// Observer, when set, receives every network event (tracing).
+	Observer netsim.Observer
+	// WiredSeq and WirelessSeq install adversarial delivery sequencers
+	// on the substrates (testing hook; see internal/explore).
+	WiredSeq    netsim.Sequencer
+	WirelessSeq netsim.Sequencer
+}
+
+// DefaultConfig returns a configuration matching the paper's model: 3
+// stations, 1 server, causal wired delivery, ack priority, reliable
+// wireless, 5ms/20ms/150ms wired/wireless/server-processing times.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		NumMSS:          3,
+		NumServers:      1,
+		WiredLatency:    netsim.Constant(5 * time.Millisecond),
+		WirelessLatency: netsim.Constant(20 * time.Millisecond),
+		Causal:          true,
+		AckPriority:     true,
+		ServerProc:      netsim.Constant(150 * time.Millisecond),
+	}
+}
+
+// World assembles the full system model of §2: stations, servers, the
+// wired and wireless substrates, and the mobile hosts with their
+// location/activity ground truth. It owns the simulation kernel.
+type World struct {
+	cfg   Config
+	Stats *Stats
+
+	Kernel   sim.Scheduler
+	Wired    netsim.WiredTransport
+	Wireless netsim.WirelessTransport
+
+	MSSs    map[ids.MSS]*MSSNode
+	Servers map[ids.Server]*server.AppServer
+	MHs     map[ids.MH]*MHNode
+
+	mssList []ids.MSS
+	loc     map[ids.MH]ids.MSS
+	active  map[ids.MH]bool
+}
+
+// NewWorld builds a world from cfg on a deterministic discrete-event
+// kernel seeded with cfg.Seed. It panics on structurally invalid
+// configurations (no stations); experiments construct worlds from code,
+// so a bad shape is a programming error.
+func NewWorld(cfg Config) *World {
+	return NewWorldOn(sim.NewKernel(cfg.Seed), cfg)
+}
+
+// NewWorldOn builds a world on an explicit scheduler — the simulation
+// kernel or a live goroutine runtime. The scheduler must not be running
+// callbacks concurrently with this call.
+func NewWorldOn(sched sim.Scheduler, cfg Config) *World {
+	return NewWorldWith(sched, cfg, nil, nil)
+}
+
+// NewWorldWith builds a world on an explicit scheduler and, optionally,
+// explicit transports (nil transports default to the netsim substrates,
+// configured from cfg). Custom transports — e.g. tcpnet's real TCP
+// sockets — must deliver messages serialized on the given scheduler.
+func NewWorldWith(sched sim.Scheduler, cfg Config, wired netsim.WiredTransport, wireless netsim.WirelessTransport) *World {
+	if cfg.NumMSS < 1 {
+		panic("rdpcore: Config.NumMSS must be >= 1")
+	}
+	w := &World{
+		cfg:     cfg,
+		Stats:   NewStats(),
+		Kernel:  sched,
+		MSSs:    make(map[ids.MSS]*MSSNode, cfg.NumMSS),
+		Servers: make(map[ids.Server]*server.AppServer, cfg.NumServers),
+		MHs:     make(map[ids.MH]*MHNode),
+		loc:     make(map[ids.MH]ids.MSS),
+		active:  make(map[ids.MH]bool),
+	}
+
+	members := make([]ids.NodeID, 0, cfg.NumMSS+cfg.NumServers)
+	for i := 1; i <= cfg.NumMSS; i++ {
+		w.mssList = append(w.mssList, ids.MSS(i))
+		members = append(members, ids.MSS(i).Node())
+	}
+	for i := 1; i <= cfg.NumServers; i++ {
+		members = append(members, ids.Server(i).Node())
+	}
+
+	obs := w.statsObserver(cfg.Observer)
+	if wired == nil {
+		wired = netsim.NewWired(w.Kernel, members, netsim.WiredConfig{
+			Latency:     cfg.WiredLatency,
+			Causal:      cfg.Causal,
+			Seq:         cfg.WiredSeq,
+			PairLatency: cfg.WiredPairLatency,
+		}, obs)
+	}
+	w.Wired = wired
+	if wireless == nil {
+		wireless = netsim.NewWireless(w.Kernel, netsim.WirelessConfig{
+			Latency:   cfg.WirelessLatency,
+			LossProb:  cfg.WirelessLoss,
+			Reachable: w.reachable,
+			Seq:       cfg.WirelessSeq,
+		}, obs)
+	}
+	w.Wireless = wireless
+
+	for _, id := range w.mssList {
+		n := newMSSNode(id, w)
+		w.MSSs[id] = n
+		w.Wired.Register(id.Node(), n)
+		w.Wireless.RegisterMSS(id, n)
+	}
+	for i := 1; i <= cfg.NumServers; i++ {
+		id := ids.Server(i)
+		s := server.New(id, w.Kernel, w.Wired, cfg.ServerProc, cfg.ServerHandler)
+		w.Servers[id] = s
+		w.Wired.Register(id.Node(), s)
+	}
+	return w
+}
+
+// statsObserver chains the world's internal accounting with an optional
+// external observer.
+func (w *World) statsObserver(ext netsim.Observer) netsim.Observer {
+	return func(at sim.Time, layer netsim.Layer, kind netsim.EventKind, from, to ids.NodeID, m msg.Message) {
+		if layer == netsim.LayerWireless && kind == netsim.EventDropped {
+			w.Stats.WirelessDrops.Inc()
+		}
+		if layer == netsim.LayerWired && kind == netsim.EventSent {
+			switch m.Kind() {
+			case msg.KindDeregAck, msg.KindImageTransfer:
+				w.Stats.HandoffStateBytes.Add(int64(msg.WireSize(m)))
+			}
+		}
+		if ext != nil {
+			ext(at, layer, kind, from, to, m)
+		}
+	}
+}
+
+// Config returns the world's configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// ReplaceServer swaps the wired-network node behind a server identifier
+// for a custom implementation (the SIDAM substrate registers its
+// Traffic Information Servers this way). The identifier must belong to
+// one of the servers the world was configured with.
+func (w *World) ReplaceServer(id ids.Server, h netsim.Handler) {
+	if _, ok := w.Servers[id]; !ok {
+		panic(fmt.Sprintf("rdpcore: unknown server %v", id))
+	}
+	delete(w.Servers, id)
+	w.Wired.Register(id.Node(), h)
+}
+
+// StationList returns the station identifiers in ascending order.
+func (w *World) StationList() []ids.MSS {
+	return append([]ids.MSS(nil), w.mssList...)
+}
+
+// AddMH creates a mobile host in the given cell; the host immediately
+// joins the system, active. It panics on duplicate ids or unknown cells.
+func (w *World) AddMH(id ids.MH, cell ids.MSS) *MHNode {
+	if !id.Valid() {
+		panic("rdpcore: invalid MH id")
+	}
+	if _, dup := w.MHs[id]; dup {
+		panic(fmt.Sprintf("rdpcore: duplicate MH %v", id))
+	}
+	if _, ok := w.MSSs[cell]; !ok {
+		panic(fmt.Sprintf("rdpcore: unknown cell %v", cell))
+	}
+	h := newMHNode(id, w)
+	w.MHs[id] = h
+	w.Wireless.RegisterMH(id, h)
+	w.loc[id] = cell
+	w.active[id] = true
+	h.join(cell)
+	return h
+}
+
+// Leave makes the MH exit the system (§2); assumption 6 is checked by
+// the responsible station.
+func (w *World) Leave(id ids.MH) {
+	if h, ok := w.MHs[id]; ok {
+		h.leave()
+	}
+}
+
+// Rejoin brings back a mobile host that previously left the system
+// (§2's join, for a host whose identity the world already knows). The
+// host re-enters the given cell, active, with fresh protocol state at
+// its station — a clean leave (assumption 6) guarantees nothing was
+// pending.
+func (w *World) Rejoin(id ids.MH, cell ids.MSS) {
+	h, ok := w.MHs[id]
+	if !ok {
+		panic(fmt.Sprintf("rdpcore: unknown MH %v", id))
+	}
+	if h.Joined() {
+		panic(fmt.Sprintf("rdpcore: %v is still joined", id))
+	}
+	if _, ok := w.MSSs[cell]; !ok {
+		panic(fmt.Sprintf("rdpcore: unknown cell %v", cell))
+	}
+	w.loc[id] = cell
+	w.active[id] = true
+	h.join(cell)
+}
+
+// Migrate moves the MH to a new cell. For an active MH this triggers the
+// greet/Hand-off machinery; an inactive MH is carried silently and
+// greets on reactivation (§2: the greet is sent "whenever a MH enters a
+// new cell" or "when it becomes active again").
+func (w *World) Migrate(id ids.MH, cell ids.MSS) {
+	h, ok := w.MHs[id]
+	if !ok {
+		panic(fmt.Sprintf("rdpcore: unknown MH %v", id))
+	}
+	if _, ok := w.MSSs[cell]; !ok {
+		panic(fmt.Sprintf("rdpcore: unknown cell %v", cell))
+	}
+	if w.loc[id] == cell {
+		return
+	}
+	w.loc[id] = cell
+	if w.active[id] {
+		h.onMigrate(cell)
+	}
+}
+
+// SetActive switches the MH between the active and inactive states of
+// §2. Activation greets the station of the current cell.
+func (w *World) SetActive(id ids.MH, activeNow bool) {
+	h, ok := w.MHs[id]
+	if !ok {
+		panic(fmt.Sprintf("rdpcore: unknown MH %v", id))
+	}
+	if w.active[id] == activeNow {
+		return
+	}
+	w.active[id] = activeNow
+	if activeNow {
+		h.onActivate(w.loc[id])
+	}
+}
+
+// Refresh makes an active, joined MH re-greet its respMss immediately —
+// a single registration-refresh beacon, the manual form of
+// Config.GreetRefresh. It is a no-op for inactive or departed hosts.
+func (w *World) Refresh(id ids.MH) {
+	h, ok := w.MHs[id]
+	if !ok || !h.joined || !w.active[id] {
+		return
+	}
+	h.uplink(msg.Greet{MH: h.id, OldMSS: h.respMss})
+}
+
+// InCell reports whether the MH is currently located in the cell of the
+// given station.
+func (w *World) InCell(id ids.MH, cell ids.MSS) bool { return w.loc[id] == cell }
+
+// IsActive reports the MH's activity state.
+func (w *World) IsActive(id ids.MH) bool { return w.active[id] }
+
+// Location returns the MH's current cell.
+func (w *World) Location(id ids.MH) ids.MSS { return w.loc[id] }
+
+// reachable implements the wireless gate: in the station's cell and
+// active.
+func (w *World) reachable(mss ids.MSS, mh ids.MH) bool {
+	return w.loc[mh] == mss && w.active[mh]
+}
+
+// Reachable reports whether the mobile host is currently radio-reachable
+// from the station (in its cell and active). Custom transports built
+// with NewWorldWith install this as their radio gate.
+func (w *World) Reachable(mss ids.MSS, mh ids.MH) bool { return w.reachable(mss, mh) }
+
+// Schedule runs fn after the given delay of scheduler time — the way
+// driver code injects actions (requests, migrations) into a running
+// world.
+func (w *World) Schedule(after time.Duration, fn func()) { w.Kernel.After(after, fn) }
+
+// RunUntil advances the simulation to the given virtual instant. It
+// panics on a live-runtime world, which advances by itself in real time.
+func (w *World) RunUntil(t time.Duration) { w.kernel().RunUntil(sim.Time(t)) }
+
+// Run drains every scheduled event (only safe without client retry
+// timers, which re-arm themselves). It panics on a live-runtime world.
+func (w *World) Run() { w.kernel().Run() }
+
+// kernel returns the underlying discrete-event kernel.
+func (w *World) kernel() *sim.Kernel {
+	k, ok := w.Kernel.(*sim.Kernel)
+	if !ok {
+		panic("rdpcore: world runs on a live scheduler; it cannot be stepped")
+	}
+	return k
+}
+
+// TotalProxies returns the number of proxies currently hosted anywhere
+// (invariant checks: at most one per MH, §3.1).
+func (w *World) TotalProxies() int {
+	n := 0
+	for _, m := range w.MSSs {
+		n += m.HostedProxies()
+	}
+	return n
+}
+
+// CheckInvariants verifies cross-node protocol invariants that hold at
+// every instant, and returns a descriptive error on the first violation
+// found. Tests call it after (and during) randomized runs.
+//
+// Invariants checked:
+//  1. Each MH has at most one proxy *referenced by a pref* (§3.1: "at
+//     any time each MH is associated with at most one proxy"). An
+//     additional unreferenced proxy may exist transiently: once the
+//     respMss confirms removal it erases the pref immediately, but the
+//     del-proxy Ack is still in flight to the proxy host, and a new
+//     request may legally create the successor proxy in that window.
+//     CheckQuiescent rules the orphan out once traffic has drained.
+//  2. Each MH is the responsibility of at most one station, except
+//     transiently during a hand-off (old deregistered, new pending).
+//  3. Every pref pointing at a proxy refers to a proxy that exists at
+//     the named host.
+func (w *World) CheckInvariants() error {
+	refOwner := make(map[ids.MH]ids.ProxyID)
+	for _, id := range w.mssList {
+		st := w.MSSs[id]
+		for mh, pref := range st.prefs {
+			if !pref.HasProxy() {
+				continue
+			}
+			if prev, dup := refOwner[mh]; dup && prev != pref.Proxy {
+				return fmt.Errorf("invariant 1: %v referenced by prefs for both %v and %v", mh, prev, pref.Proxy)
+			}
+			refOwner[mh] = pref.Proxy
+		}
+	}
+	respOwner := make(map[ids.MH]ids.MSS)
+	for _, id := range w.mssList {
+		st := w.MSSs[id]
+		for mh := range st.localMhs {
+			if prev, dup := respOwner[mh]; dup {
+				return fmt.Errorf("invariant 2: %v responsible at both %v and %v", mh, prev, id)
+			}
+			respOwner[mh] = id
+		}
+	}
+	for _, id := range w.mssList {
+		st := w.MSSs[id]
+		for mh, pref := range st.prefs {
+			if !pref.HasProxy() {
+				continue
+			}
+			host, ok := w.MSSs[pref.Proxy.Host]
+			if !ok {
+				return fmt.Errorf("invariant 3: pref of %v names unknown host %v", mh, pref.Proxy.Host)
+			}
+			if host.proxies[pref.Proxy.Seq] == nil {
+				return fmt.Errorf("invariant 3: pref of %v names dead proxy %v", mh, pref.Proxy)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckQuiescent verifies the stronger invariants that hold once all
+// traffic has drained (no in-flight messages, no pending hand-offs):
+// everything CheckInvariants demands, plus that no proxy exists without
+// a pref referencing it — in-flight deletions and hand-overs have
+// settled, so an orphan proxy would be a leak.
+func (w *World) CheckQuiescent() error {
+	if err := w.CheckInvariants(); err != nil {
+		return err
+	}
+	referenced := make(map[ids.ProxyID]bool)
+	for _, st := range w.MSSs {
+		for _, pref := range st.prefs {
+			if pref.HasProxy() {
+				referenced[pref.Proxy] = true
+			}
+		}
+	}
+	for _, id := range w.mssList {
+		st := w.MSSs[id]
+		for _, p := range st.proxies {
+			if !referenced[p.id] {
+				return fmt.Errorf("quiescence: proxy %v for %v is orphaned (pending=%d)", p.id, p.mh, p.Pending())
+			}
+		}
+		if len(st.arriving) > 0 {
+			return fmt.Errorf("quiescence: %v still has %d pending hand-offs", id, len(st.arriving))
+		}
+		if len(st.pendingDeregs) > 0 {
+			return fmt.Errorf("quiescence: %v still has parked deregs", id)
+		}
+	}
+	return nil
+}

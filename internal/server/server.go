@@ -1,0 +1,126 @@
+// Package server provides the wired-network application servers of the
+// system model (§2): fixed-address services that process requests —
+// possibly slowly, as in the SIDAM traffic-information scenario whose
+// "queries may eventually require time-consuming data location and
+// retrieval protocols" — and reply to whoever asked. Under RDP the asker
+// is always a proxy, so "from the server's point of view, the service is
+// being requested from a fixed client" (§5).
+//
+// The package also provides the directory service through which clients
+// obtain server addresses (§2).
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+	"repro/internal/msg"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Handler computes a reply payload for a request payload. It runs after
+// the configured processing delay has elapsed.
+type Handler func(req []byte) []byte
+
+// Echo is the default handler: it returns the request payload prefixed
+// with "re:".
+func Echo(req []byte) []byte {
+	out := make([]byte, 0, len(req)+3)
+	out = append(out, "re:"...)
+	return append(out, req...)
+}
+
+// AppServer is one application server on the wired network.
+type AppServer struct {
+	id      ids.Server
+	kernel  sim.Scheduler
+	wired   netsim.WiredTransport
+	proc    netsim.LatencyModel
+	rng     *sim.RNG
+	handler Handler
+
+	// Served counts completed requests; Acked counts application-level
+	// acks received from proxies.
+	Served metrics.Counter
+	Acked  metrics.Counter
+}
+
+// New constructs a server. proc models per-request processing time; a
+// nil handler defaults to Echo.
+func New(id ids.Server, kernel sim.Scheduler, wired netsim.WiredTransport, proc netsim.LatencyModel, handler Handler) *AppServer {
+	if proc == nil {
+		proc = netsim.Constant(0)
+	}
+	if handler == nil {
+		handler = Echo
+	}
+	return &AppServer{
+		id:      id,
+		kernel:  kernel,
+		wired:   wired,
+		proc:    proc,
+		rng:     kernel.RNG().Fork(),
+		handler: handler,
+	}
+}
+
+// ID returns the server identifier.
+func (s *AppServer) ID() ids.Server { return s.id }
+
+// SetHandler replaces the request handler (used by the SIDAM substrate
+// to plug query processing into a generic server).
+func (s *AppServer) SetHandler(h Handler) { s.handler = h }
+
+// HandleMessage implements netsim.Handler: process ServerRequest after
+// the sampled processing delay and reply to the proxy's hosting station;
+// record ServerAck.
+func (s *AppServer) HandleMessage(from ids.NodeID, m msg.Message) {
+	switch v := m.(type) {
+	case msg.ServerRequest:
+		delay := s.proc.Sample(s.rng)
+		s.kernel.After(delay, func() {
+			s.Served.Inc()
+			reply := s.handler(v.Payload)
+			s.wired.Send(s.id.Node(), v.Proxy.Host.Node(),
+				msg.ServerResult{Proxy: v.Proxy, Req: v.Req, Payload: reply})
+		})
+	case msg.ServerAck:
+		s.Acked.Inc()
+	}
+}
+
+// Directory is the name service of §2: "each server maintains a fixed
+// address which can be obtained by querying a directory service".
+type Directory struct {
+	byName map[string]ids.Server
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{byName: make(map[string]ids.Server)}
+}
+
+// Register binds a name to a server; re-registering a name overwrites.
+func (d *Directory) Register(name string, s ids.Server) { d.byName[name] = s }
+
+// Lookup resolves a name.
+func (d *Directory) Lookup(name string) (ids.Server, error) {
+	s, ok := d.byName[name]
+	if !ok {
+		return ids.NoServer, fmt.Errorf("directory: no server named %q", name)
+	}
+	return s, nil
+}
+
+// Names lists registered names in sorted order.
+func (d *Directory) Names() []string {
+	out := make([]string, 0, len(d.byName))
+	for n := range d.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,256 @@
+package sidam
+
+import (
+	"encoding/binary"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+)
+
+// This file implements the fourth client operation of §1, multicast:
+// "The user provides its identification, the identification of a group
+// of users (previously configured) and a message to be sent to the
+// group."
+//
+// Groups are configured ahead of time (§1's "previously configured") at
+// the TIS that owns the group id. Each member keeps a *mailbox request*
+// parked at its mailbox TIS — an ordinary RDP request whose result is
+// the member's next group message, exactly the standing-request pattern
+// the paper uses for subscribe. A multicast submission routes to the
+// group's owner, which serializes it (per-group sequence numbers) and
+// fans one TISDeliver per member out to the members' mailbox TISes;
+// messages queue there until the member parks its next mailbox request,
+// so nothing is lost while a member is catching up. Because the owner
+// serializes and both the wired network and each mailbox queue are
+// order-preserving, every member observes each group's messages in the
+// same order — the total-order property of the atomic multicast the
+// paper cites ([7], Endler's Dial M '99 protocol), minus its
+// membership-change machinery (groups here are static).
+
+// Additional client operations (continuing the Op constants in
+// sidam.go).
+const (
+	// OpMailbox parks the caller's mailbox request; the result is the
+	// next group message addressed to it.
+	OpMailbox Op = iota + 4
+	// OpMulticast submits a message to a group; the result acknowledges
+	// the fan-out with the member count.
+	OpMulticast
+)
+
+// EncodeMailbox builds the payload of a mailbox request.
+func EncodeMailbox() []byte {
+	return encodeOp(OpMailbox, 0, 0)
+}
+
+// EncodeMulticast builds the payload of a multicast submission.
+func EncodeMulticast(group uint32, data []byte) []byte {
+	b := make([]byte, 5+len(data))
+	b[0] = byte(OpMulticast)
+	binary.BigEndian.PutUint32(b[1:], group)
+	copy(b[5:], data)
+	return b
+}
+
+// DecodeMulticast parses a multicast submission payload.
+func DecodeMulticast(b []byte) (group uint32, data []byte, err error) {
+	if len(b) < 5 || Op(b[0]) != OpMulticast {
+		return 0, nil, ErrBadPayload
+	}
+	group = binary.BigEndian.Uint32(b[1:])
+	if len(b) > 5 {
+		data = append([]byte(nil), b[5:]...)
+	}
+	return group, data, nil
+}
+
+// groupMsgTag marks result payloads that carry a group message rather
+// than a Reading.
+const groupMsgTag = 0xD7 // arbitrary marker distinguishing group messages from Readings
+
+// EncodeGroupMsg builds the result payload delivered to a member's
+// mailbox request.
+func EncodeGroupMsg(group uint32, seq uint64, data []byte) []byte {
+	b := make([]byte, 13+len(data))
+	b[0] = groupMsgTag
+	binary.BigEndian.PutUint32(b[1:], group)
+	binary.BigEndian.PutUint64(b[5:], seq)
+	copy(b[13:], data)
+	return b
+}
+
+// DecodeGroupMsg parses a mailbox result payload.
+func DecodeGroupMsg(b []byte) (group uint32, seq uint64, data []byte, err error) {
+	if len(b) < 13 || b[0] != groupMsgTag {
+		return 0, 0, nil, ErrBadPayload
+	}
+	group = binary.BigEndian.Uint32(b[1:])
+	seq = binary.BigEndian.Uint64(b[5:])
+	if len(b) > 13 {
+		data = append([]byte(nil), b[13:]...)
+	}
+	return group, seq, data, nil
+}
+
+// groupInfo is the owner-side state of one configured group.
+type groupInfo struct {
+	members []ids.MH
+	nextSeq uint64
+}
+
+// mailbox is the member-side delivery point at the member's mailbox TIS.
+type mailbox struct {
+	parked *pendingOp       // the member's waiting mailbox request
+	queue  []msg.TISDeliver // messages awaiting the next park
+}
+
+// ConfigureGroup installs a group at its owning TIS ("previously
+// configured", §1). Reconfiguring a group id replaces its membership.
+func (n *Network) ConfigureGroup(group uint32, members []ids.MH) {
+	t := n.tises[n.GroupOwner(group)]
+	if t.groups == nil {
+		t.groups = make(map[uint32]*groupInfo)
+	}
+	t.groups[group] = &groupInfo{members: append([]ids.MH(nil), members...)}
+}
+
+// GroupOwner returns the TIS that owns (serializes) a group.
+func (n *Network) GroupOwner(group uint32) ids.Server {
+	return n.order[int(group)%len(n.order)]
+}
+
+// MailboxOwner returns the TIS holding a member's mailbox.
+func (n *Network) MailboxOwner(mh ids.MH) ids.Server {
+	return n.order[int(mh)%len(n.order)]
+}
+
+// routeOrExec sends a TISQuery toward the TIS at ownerIdx's ring slot,
+// or executes exec immediately (after local processing delay) when that
+// TIS is this one.
+func (t *TIS) routeOrExec(owner ids.Server, q msg.TISQuery, exec func()) {
+	if owner == t.id {
+		delay := t.net.cfg.LocalProc.Sample(t.ensureRNG())
+		t.kernel().After(delay, exec)
+		return
+	}
+	t.net.Stats.RemoteOps.Inc()
+	t.nextQID++
+	q.QID = t.nextQID
+	q.Origin = t.id
+	t.forward(q)
+}
+
+// handleMailboxOp processes a client mailbox request arriving at any
+// TIS: route to the member's mailbox TIS, then park or answer.
+func (t *TIS) handleMailboxOp(v msg.ServerRequest) {
+	member := v.Req.Origin
+	owner := t.net.MailboxOwner(member)
+	q := msg.TISQuery{
+		Op: msg.TISOpMailbox, Region: uint32(member), Proxy: v.Proxy, Req: v.Req,
+	}
+	t.routeOrExec(owner, q, func() { t.parkMailbox(v.Proxy, v.Req) })
+}
+
+// handleMulticastOp processes a client multicast submission arriving at
+// any TIS: route to the group's owner, then serialize and fan out.
+func (t *TIS) handleMulticastOp(v msg.ServerRequest) {
+	group, data, err := DecodeMulticast(v.Payload)
+	if err != nil {
+		t.reply(v.Proxy, v.Req, Reading{Congestion: -1})
+		return
+	}
+	owner := t.net.GroupOwner(group)
+	q := msg.TISQuery{
+		Op: msg.TISOpMulticast, Region: group, Proxy: v.Proxy, Req: v.Req, Data: data,
+	}
+	t.routeOrExec(owner, q, func() { t.execMulticast(group, data, v.Proxy, v.Req) })
+}
+
+// parkMailbox installs (or immediately answers) a member's mailbox
+// request at its mailbox TIS.
+func (t *TIS) parkMailbox(proxy ids.ProxyID, req ids.RequestID) {
+	member := req.Origin
+	if t.mailboxes == nil {
+		t.mailboxes = make(map[ids.MH]*mailbox)
+	}
+	mb := t.mailboxes[member]
+	if mb == nil {
+		mb = &mailbox{}
+		t.mailboxes[member] = mb
+	}
+	t.net.Stats.MailboxParks.Inc()
+	if len(mb.queue) > 0 {
+		d := mb.queue[0]
+		mb.queue = mb.queue[1:]
+		t.deliverGroupMsg(proxy, req, d)
+		return
+	}
+	if mb.parked != nil {
+		// A duplicate park (client retry): keep the newest request and
+		// fail the old one with an empty message so its proxy entry is
+		// not stranded.
+		t.reply(mb.parked.proxy, mb.parked.req, Reading{Congestion: -1})
+	}
+	mb.parked = &pendingOp{proxy: proxy, req: req}
+}
+
+// execMulticast serializes one group message at the owning TIS and fans
+// it out to every member's mailbox TIS (§1 footnote 2).
+func (t *TIS) execMulticast(group uint32, data []byte, proxy ids.ProxyID, req ids.RequestID) {
+	g := t.groups[group]
+	if g == nil {
+		t.reply(proxy, req, Reading{Region: group, Congestion: -1})
+		return
+	}
+	g.nextSeq++
+	t.net.Stats.Multicasts.Inc()
+	for _, member := range g.members {
+		d := msg.TISDeliver{Member: member, Group: group, Seq: g.nextSeq, Data: data}
+		owner := t.net.MailboxOwner(member)
+		if owner == t.id {
+			t.handleTISDeliver(d)
+			continue
+		}
+		t.net.world.Wired.Send(t.id.Node(), owner.Node(), d)
+	}
+	// Acknowledge the sender with the fan-out size.
+	t.reply(proxy, req, Reading{Region: group, Congestion: int32(len(g.members))})
+}
+
+// handleTISDeliver hands one serialized group message to a member's
+// mailbox: answer the parked request if one waits, otherwise queue.
+func (t *TIS) handleTISDeliver(d msg.TISDeliver) {
+	if t.mailboxes == nil {
+		t.mailboxes = make(map[ids.MH]*mailbox)
+	}
+	mb := t.mailboxes[d.Member]
+	if mb == nil {
+		mb = &mailbox{}
+		t.mailboxes[d.Member] = mb
+	}
+	if mb.parked != nil {
+		p := *mb.parked
+		mb.parked = nil
+		t.deliverGroupMsg(p.proxy, p.req, d)
+		return
+	}
+	mb.queue = append(mb.queue, d)
+}
+
+// deliverGroupMsg answers a mailbox request with one group message.
+func (t *TIS) deliverGroupMsg(proxy ids.ProxyID, req ids.RequestID, d msg.TISDeliver) {
+	t.net.Stats.GroupDeliveries.Inc()
+	t.net.world.Wired.Send(t.id.Node(), proxy.Host.Node(), msg.ServerResult{
+		Proxy: proxy, Req: req, Payload: EncodeGroupMsg(d.Group, d.Seq, d.Data),
+	})
+}
+
+// MailboxDepth reports a member's queued (undelivered) group messages
+// at its mailbox TIS (test hook).
+func (n *Network) MailboxDepth(mh ids.MH) int {
+	t := n.tises[n.MailboxOwner(mh)]
+	if t.mailboxes == nil || t.mailboxes[mh] == nil {
+		return 0
+	}
+	return len(t.mailboxes[mh].queue)
+}

@@ -1,0 +1,282 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a virtual clock, an event queue with stable tie-breaking, cancellable
+// timers and a seeded random source.
+//
+// The kernel is single-threaded by design. All protocol actors run as
+// event handlers; two runs with the same seed and the same schedule of
+// calls produce byte-identical traces, which the scenario tests
+// (Figures 3 and 4 of the paper) and the experiment sweeps rely on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual instant, expressed as the duration elapsed since the
+// start of the simulation.
+type Time time.Duration
+
+// String renders the instant as a duration, e.g. "1.5s".
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is one scheduled callback.
+type event struct {
+	at       Time
+	seq      uint64 // insertion order; breaks ties deterministically
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the discrete-event scheduler. It is not safe for concurrent
+// use; all interaction must happen from the goroutine driving Run (or
+// from within event callbacks, which amounts to the same thing).
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	rng     *RNG
+	nextSeq uint64
+	stopped bool
+	steps   uint64
+}
+
+// NewKernel returns a kernel whose random source is seeded with seed.
+// Equal seeds yield identical simulations.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// RNG returns the kernel's deterministic random source.
+func (k *Kernel) RNG() *RNG { return k.rng }
+
+// Steps returns the number of events executed so far.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// Pending returns the number of events still scheduled.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, e := range k.queue {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Timer is a handle to a scheduled event.
+type Timer struct {
+	e *event
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op. It reports whether the event was
+// still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.e == nil || t.e.canceled || t.e.index == -1 {
+		return false
+	}
+	t.e.canceled = true
+	return true
+}
+
+// After schedules fn to run after delay of virtual time. A negative
+// delay is treated as zero (fn runs at the current instant, after any
+// events already scheduled for it).
+func (k *Kernel) After(delay time.Duration, fn func()) Canceler {
+	if delay < 0 {
+		delay = 0
+	}
+	return k.At(k.now+Time(delay), fn)
+}
+
+// At schedules fn for the given absolute virtual instant. Instants in
+// the past are clamped to now.
+func (k *Kernel) At(at Time, fn func()) Canceler {
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	if at < k.now {
+		at = k.now
+	}
+	e := &event{at: at, seq: k.nextSeq, fn: fn}
+	k.nextSeq++
+	heap.Push(&k.queue, e)
+	return &Timer{e: e}
+}
+
+// Step executes the next pending event. It reports whether an event was
+// executed (false means the queue is empty or the kernel was stopped).
+func (k *Kernel) Step() bool {
+	if k.stopped {
+		return false
+	}
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*event)
+		if e.canceled {
+			continue
+		}
+		k.now = e.at
+		k.steps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances
+// the clock to deadline. Events scheduled beyond deadline stay queued.
+func (k *Kernel) RunUntil(deadline Time) {
+	for !k.stopped {
+		next := k.peek()
+		if next == nil || next.at > deadline {
+			break
+		}
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// RunLimit executes at most n events; it reports how many ran. It guards
+// experiment loops against livelock bugs.
+func (k *Kernel) RunLimit(n uint64) uint64 {
+	var ran uint64
+	for ran < n && k.Step() {
+		ran++
+	}
+	return ran
+}
+
+// Stop halts Run after the current event. Further Step calls return
+// false until Resume.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Resume clears a Stop.
+func (k *Kernel) Resume() { k.stopped = false }
+
+// peek returns the earliest non-cancelled event without popping it.
+func (k *Kernel) peek() *event {
+	for len(k.queue) > 0 {
+		if e := k.queue[0]; !e.canceled {
+			return e
+		}
+		heap.Pop(&k.queue)
+	}
+	return nil
+}
+
+// RNG is a deterministic random source with the distributions the
+// workload models need. It wraps math/rand so all draws flow through a
+// single stream, keeping runs reproducible.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a source seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Intn returns a uniform int in [0, n). n must be > 0.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative uniform int64.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Prob reports true with probability p (clamped to [0, 1]).
+func (g *RNG) Prob(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// Uniform returns a duration uniformly distributed in [lo, hi]. If
+// hi <= lo it returns lo.
+func (g *RNG) Uniform(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(g.r.Int63n(int64(hi-lo)+1))
+}
+
+// Exp returns an exponentially distributed duration with the given mean.
+// A non-positive mean returns 0.
+func (g *RNG) Exp(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	d := time.Duration(g.r.ExpFloat64() * float64(mean))
+	// Guard against pathological draws overflowing downstream arithmetic.
+	const cap = time.Duration(math.MaxInt64 / 4)
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// Perm returns a deterministic random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Fork returns an independent source derived from this one. Forked
+// sources let subsystems draw without perturbing each other's streams
+// while remaining reproducible.
+func (g *RNG) Fork() *RNG { return NewRNG(g.r.Int63()) }
+
+// Ensure Time formats sensibly even at extreme values (documentation of
+// intent; exercised in tests).
+var _ = fmt.Stringer(Time(0))

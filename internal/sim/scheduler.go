@@ -1,0 +1,30 @@
+package sim
+
+import "time"
+
+// Canceler cancels a scheduled event. Cancel reports whether the event
+// was still pending.
+type Canceler interface {
+	Cancel() bool
+}
+
+// Scheduler is the execution substrate the protocol code runs on: a
+// clock, deferred execution and a random source. Two implementations
+// exist — the deterministic discrete-event Kernel in this package
+// (virtual time, used by all experiments) and livenet.Runtime
+// (goroutines and wall-clock time, used to demonstrate the same
+// protocol code running live).
+//
+// Implementations must serialize all scheduled callbacks: protocol
+// state machines rely on running one event at a time.
+type Scheduler interface {
+	// Now returns the current (virtual or wall-clock) time since start.
+	Now() Time
+	// After schedules fn to run after delay; fn runs serialized with all
+	// other callbacks.
+	After(delay time.Duration, fn func()) Canceler
+	// RNG returns the scheduler's deterministic random source.
+	RNG() *RNG
+}
+
+var _ Scheduler = (*Kernel)(nil)

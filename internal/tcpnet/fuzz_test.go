@@ -1,0 +1,74 @@
+package tcpnet
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/causal"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/netsim"
+)
+
+// FuzzReadFrame feeds arbitrary byte streams to the frame reader: it
+// must never panic or over-allocate, and every frame it does accept
+// must re-encode to the same bytes it consumed (when it consumed the
+// whole input).
+func FuzzReadFrame(f *testing.F) {
+	seed := []frame{
+		{
+			layer: netsim.LayerWired,
+			from:  ids.MSS(1).Node(), to: ids.Server(1).Node(),
+			m:        msg.ServerRequest{Proxy: ids.ProxyID{Host: 1, Seq: 1}, Req: ids.RequestID{Origin: 1, Seq: 9}, Payload: []byte("fuzz")},
+			hasStamp: true, stampFrom: 1, stamp: causal.NewMatrix(3),
+		},
+		{
+			layer: netsim.LayerWireless,
+			from:  ids.MH(2).Node(), to: ids.MSS(1).Node(),
+			m: msg.AckMH{MH: 2, Req: ids.RequestID{Origin: 2, Seq: 4}},
+		},
+	}
+	for _, fr := range seed {
+		b, err := encodeFrame(fr)
+		if err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		got, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		if got.m == nil {
+			t.Fatal("readFrame returned a frame with a nil message and no error")
+		}
+		// Accepted frames must re-encode (possibly canonicalizing loose
+		// input, e.g. non-zero-or-one bool bytes), and the re-encoding
+		// must be a fixed point: decode(encode(f)) == encode(f).
+		re, err := encodeFrame(got)
+		if err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		got2, err := readFrame(bytes.NewReader(re))
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if got2.layer != got.layer || got2.from != got.from || got2.to != got.to ||
+			got2.hasStamp != got.hasStamp || got2.stampFrom != got.stampFrom ||
+			got2.m.Kind() != got.m.Kind() {
+			t.Fatalf("round trip changed the frame: %+v vs %+v", got, got2)
+		}
+		re2, err := encodeFrame(got2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("encoding not a fixed point:\n first  %x\n second %x", re, re2)
+		}
+	})
+}

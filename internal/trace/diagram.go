@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+)
+
+// DiagramOptions tunes the space-time rendering.
+type DiagramOptions struct {
+	// LaneWidth is the number of columns per node lane (minimum 8;
+	// default 14).
+	LaneWidth int
+	// ShowDrops includes dropped frames, drawn with an 'x' head where
+	// the frame died.
+	ShowDrops bool
+}
+
+func (o *DiagramOptions) fill() {
+	if o.LaneWidth == 0 {
+		o.LaneWidth = 14
+	}
+	if o.LaneWidth < 8 {
+		o.LaneWidth = 8
+	}
+}
+
+// Diagram renders delivered (and optionally dropped) messages as an
+// ASCII space-time diagram in the style of the paper's Figures 3 and 4:
+// one vertical lane per node, time flowing downward, one arrow per
+// message labeled with its kind. Example:
+//
+//	time       mh1        mss1       mss2
+//	10ms        |--request->|          |
+//	15ms        |           |--dereg-->|
+//
+// Arrows are drawn at delivery time (the instant the paper's figures
+// place the receiving end of each arrow).
+func Diagram(entries []Entry, opts DiagramOptions) string {
+	opts.fill()
+	lanes := diagramLanes(entries)
+	if len(lanes) == 0 {
+		return "(empty trace)\n"
+	}
+	col := make(map[ids.NodeID]int, len(lanes))
+	for i, n := range lanes {
+		col[n] = i
+	}
+	w := opts.LaneWidth
+	center := func(lane int) int { return lane*w + w/2 }
+	width := len(lanes) * w
+
+	var b strings.Builder
+
+	// Header: node names centered over their lanes.
+	b.WriteString(pad("time", 11))
+	header := make([]byte, width)
+	for i := range header {
+		header[i] = ' '
+	}
+	for i, n := range lanes {
+		name := n.String()
+		if len(name) > w-2 {
+			name = name[:w-2]
+		}
+		start := center(i) - len(name)/2
+		copy(header[start:], name)
+	}
+	b.Write(bytes.TrimRight(header, " "))
+	b.WriteByte('\n')
+
+	for _, e := range entries {
+		var head byte
+		switch {
+		case e.Kind == netsim.EventDelivered:
+			head = '>'
+		case e.Kind == netsim.EventDropped && opts.ShowDrops:
+			head = 'x'
+		default:
+			continue
+		}
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for i := range lanes {
+			row[center(i)] = '|'
+		}
+		c1, ok1 := col[e.From]
+		c2, ok2 := col[e.To]
+		if !ok1 || !ok2 || c1 == c2 {
+			continue
+		}
+		lo, hi := center(c1), center(c2)
+		rightward := lo < hi
+		if !rightward {
+			lo, hi = hi, lo
+		}
+		for i := lo + 1; i < hi; i++ {
+			row[i] = '-'
+		}
+		if rightward {
+			row[hi-1] = head
+		} else {
+			if head == '>' {
+				head = '<'
+			}
+			row[lo+1] = head
+		}
+		label := e.Msg.Kind().String()
+		span := hi - lo - 3 // keep the head and one dash visible
+		if span > 0 {
+			if len(label) > span {
+				label = label[:span]
+			}
+			start := lo + 1 + (hi-lo-1-len(label))/2
+			copy(row[start:], label)
+		}
+		b.WriteString(pad(fmt.Sprint(e.At), 11))
+		b.Write(bytes.TrimRight(row, " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Diagram renders the recorder's trace; see the package-level Diagram.
+func (r *Recorder) Diagram(opts DiagramOptions) string {
+	return Diagram(r.entries, opts)
+}
+
+// diagramLanes orders the participating nodes: mobile hosts first, then
+// stations, then servers, each by number — matching the left-to-right
+// layout of the paper's figures.
+func diagramLanes(entries []Entry) []ids.NodeID {
+	seen := make(map[ids.NodeID]bool)
+	var lanes []ids.NodeID
+	add := func(n ids.NodeID) {
+		if n.Valid() && !seen[n] {
+			seen[n] = true
+			lanes = append(lanes, n)
+		}
+	}
+	for _, e := range entries {
+		add(e.From)
+		add(e.To)
+	}
+	rank := func(n ids.NodeID) int {
+		switch n.Kind {
+		case ids.KindMH:
+			return 0
+		case ids.KindMSS:
+			return 1
+		default:
+			return 2
+		}
+	}
+	sort.Slice(lanes, func(i, j int) bool {
+		if rank(lanes[i]) != rank(lanes[j]) {
+			return rank(lanes[i]) < rank(lanes[j])
+		}
+		return lanes[i].Num < lanes[j].Num
+	})
+	return lanes
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s[:n-1] + " "
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}

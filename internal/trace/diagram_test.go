@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func delivered(at sim.Time, from, to ids.NodeID, m msg.Message) Entry {
+	return Entry{At: at, Layer: netsim.LayerWired, Kind: netsim.EventDelivered, From: from, To: to, Msg: m}
+}
+
+func TestDiagramBasicArrows(t *testing.T) {
+	entries := []Entry{
+		delivered(0, ids.MH(1).Node(), ids.MSS(1).Node(), msg.Join{MH: 1}),
+		delivered(sim.Time(5e6), ids.MSS(1).Node(), ids.Server(1).Node(),
+			msg.ServerRequest{Proxy: ids.ProxyID{Host: 1, Seq: 1}, Req: ids.RequestID{Origin: 1, Seq: 1}}),
+		delivered(sim.Time(9e6), ids.Server(1).Node(), ids.MSS(1).Node(),
+			msg.ServerResult{Proxy: ids.ProxyID{Host: 1, Seq: 1}, Req: ids.RequestID{Origin: 1, Seq: 1}}),
+	}
+	out := Diagram(entries, DiagramOptions{})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("diagram has %d lines, want header + 3 arrows:\n%s", len(lines), out)
+	}
+	header := lines[0]
+	for _, lane := range []string{"mh1", "mss1", "srv1"} {
+		if !strings.Contains(header, lane) {
+			t.Errorf("header %q missing lane %s", header, lane)
+		}
+	}
+	// Lanes must be ordered MH, MSS, server.
+	if !(strings.Index(header, "mh1") < strings.Index(header, "mss1") &&
+		strings.Index(header, "mss1") < strings.Index(header, "srv1")) {
+		t.Errorf("lane order wrong: %q", header)
+	}
+	if !strings.Contains(lines[1], "join") || !strings.Contains(lines[1], ">") {
+		t.Errorf("first arrow %q missing join label or head", lines[1])
+	}
+	// The server's reply travels leftward.
+	if !strings.Contains(lines[3], "<") {
+		t.Errorf("reply arrow %q has no leftward head", lines[3])
+	}
+}
+
+func TestDiagramDropRendering(t *testing.T) {
+	entries := []Entry{
+		{
+			At: 0, Layer: netsim.LayerWireless, Kind: netsim.EventDropped,
+			From: ids.MSS(1).Node(), To: ids.MH(1).Node(),
+			Msg: msg.ResultDeliver{Req: ids.RequestID{Origin: 1, Seq: 1}},
+		},
+	}
+	if out := Diagram(entries, DiagramOptions{}); strings.Count(out, "\n") != 1 {
+		t.Errorf("drop rendered without ShowDrops:\n%s", out)
+	}
+	out := Diagram(entries, DiagramOptions{ShowDrops: true})
+	if !strings.Contains(out, "x") {
+		t.Errorf("drop has no 'x' head:\n%s", out)
+	}
+}
+
+func TestDiagramEmptyAndNarrow(t *testing.T) {
+	if out := Diagram(nil, DiagramOptions{}); !strings.Contains(out, "empty") {
+		t.Errorf("empty trace rendered %q", out)
+	}
+	// A sub-minimum lane width must be clamped, not panic.
+	entries := []Entry{
+		delivered(0, ids.MH(1).Node(), ids.MSS(1).Node(),
+			msg.UpdateCurrentLoc{Proxy: ids.ProxyID{Host: 1, Seq: 1}, MH: 1, NewLoc: 2}),
+	}
+	out := Diagram(entries, DiagramOptions{LaneWidth: 3})
+	if !strings.Contains(out, ">") {
+		t.Errorf("narrow diagram lost its arrow:\n%s", out)
+	}
+}
+
+// TestDiagramLongLabelTruncated keeps labels inside their arrow span.
+func TestDiagramLongLabelTruncated(t *testing.T) {
+	entries := []Entry{
+		delivered(0, ids.MSS(1).Node(), ids.MSS(2).Node(),
+			msg.UpdateCurrentLoc{Proxy: ids.ProxyID{Host: 1, Seq: 1}, MH: 1, NewLoc: 2}),
+	}
+	out := Diagram(entries, DiagramOptions{LaneWidth: 8})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	arrow := lines[1]
+	if len(arrow) > 11+2*8 {
+		t.Errorf("arrow row wider than the lanes: %q", arrow)
+	}
+}
+
+// TestRecorderDiagram checks the recorder convenience method agrees
+// with the package function.
+func TestRecorderDiagram(t *testing.T) {
+	r := New()
+	r.Observe(0, netsim.LayerWired, netsim.EventDelivered,
+		ids.MSS(1).Node(), ids.Server(1).Node(), msg.ServerAck{Req: ids.RequestID{Origin: 1, Seq: 1}})
+	if r.Diagram(DiagramOptions{}) != Diagram(r.Entries(), DiagramOptions{}) {
+		t.Error("Recorder.Diagram diverges from Diagram(Entries())")
+	}
+}

@@ -1,0 +1,24 @@
+package rdp
+
+import (
+	"repro/internal/qrpc"
+	"repro/internal/rdpcore"
+)
+
+// Queued RPC (the Rover-style complement the paper pairs RDP with in
+// §4: QRPC guarantees reliable request *sending*, RDP reliable result
+// *delivery*).
+type (
+	// QRPCClient queues invocations through disconnections and
+	// retransmits on a backoff until the RDP-delivered result arrives.
+	QRPCClient = qrpc.Client
+	// QRPCOptions tunes the retransmission discipline.
+	QRPCOptions = qrpc.Options
+)
+
+// NewQRPC wraps a mobile host in a queued-RPC client. The client
+// installs itself as the host's result observer; deliver application
+// replies through Invoke's callback instead of MobileHost.OnResult.
+func NewQRPC(world *rdpcore.World, mh *rdpcore.MHNode, opts QRPCOptions) *QRPCClient {
+	return qrpc.New(world, mh, opts)
+}

@@ -1,0 +1,62 @@
+package rdp
+
+import (
+	"repro/internal/rdpcore"
+	"repro/internal/sidam"
+)
+
+// SIDAM application types (the paper's motivating traffic-information
+// service; see internal/sidam for the full semantics).
+type (
+	// SidamConfig parameterizes the Traffic Information Server network.
+	SidamConfig = sidam.Config
+	// SidamNetwork is the installed TIS overlay.
+	SidamNetwork = sidam.Network
+	// Reading is one region's traffic state.
+	Reading = sidam.Reading
+)
+
+// DefaultSidamConfig returns a 64-region network with 20ms local
+// processing and 5ms per-hop forwarding.
+func DefaultSidamConfig() SidamConfig { return sidam.DefaultConfig() }
+
+// InstallSidam replaces the world's generic servers with a ring of
+// Traffic Information Servers partitioning cfg.Regions among them.
+func InstallSidam(world *rdpcore.World, cfg SidamConfig) *SidamNetwork {
+	return sidam.Install(world, cfg)
+}
+
+// SIDAM request payload constructors. Pass the returned payload to
+// MobileHost.IssueRequest targeting any TIS; the reading (or
+// notification) comes back as the request's result payload, parsed with
+// ParseReading.
+var (
+	// QueryPayload asks for a region's current reading.
+	QueryPayload = sidam.EncodeQuery
+	// UpdatePayload writes a region's congestion value.
+	UpdatePayload = sidam.EncodeUpdate
+	// SubscribePayload watches a region for a congestion change of at
+	// least threshold; the first matching change answers the request.
+	SubscribePayload = sidam.EncodeSubscribe
+)
+
+// ParseReading decodes a SIDAM result payload.
+func ParseReading(b []byte) (Reading, error) { return sidam.DecodeReading(b) }
+
+// Group multicast (§1's fourth operation). Configure a group on the
+// network, have each member keep a MailboxPayload request parked, and
+// send with MulticastPayload; members receive each message as the
+// result of their parked request, parsed with ParseGroupMsg, in the same
+// total order.
+var (
+	// MailboxPayload parks the caller's mailbox request.
+	MailboxPayload = sidam.EncodeMailbox
+	// MulticastPayload submits a message to a previously configured group.
+	MulticastPayload = sidam.EncodeMulticast
+)
+
+// ParseGroupMsg decodes a mailbox result payload into the group id, the
+// owner's serialization number and the message body.
+func ParseGroupMsg(b []byte) (group uint32, seq uint64, data []byte, err error) {
+	return sidam.DecodeGroupMsg(b)
+}
