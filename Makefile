@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench cover fmt vet experiments examples explore viz
+.PHONY: all build test test-race race bench cover fmt vet check experiments examples explore viz
 
 all: build test
 
@@ -10,7 +10,22 @@ build:
 test:
 	go test ./...
 
-race:
+# The race detector matters most for the substrates with real
+# concurrency — livenet's dispatcher/timer goroutines and tcpnet's
+# socket read loops — but the whole tree runs under it.
+test-race:
+	go test -race ./...
+
+race: test-race
+
+# check is the full pre-commit gate: formatting, vet, build, tests,
+# and the race sweep.
+check:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi
+	go vet ./...
+	go build ./...
+	go test ./...
 	go test -race ./...
 
 bench:
@@ -45,3 +60,4 @@ examples:
 	go run ./examples/loadbalance
 	go run ./examples/groupchat
 	go run ./examples/tcp
+	go run ./examples/chaos

@@ -222,3 +222,34 @@ func BenchmarkE9HoldForInactive(b *testing.B) {
 	b.ReportMetric(off, "retrans-off")
 	b.ReportMetric(on, "retrans-on")
 }
+
+// BenchmarkE10WiredFaults regenerates E10: delivery under injected
+// wired loss and MSS crashes, recovery stack on vs off. Reported
+// metrics: worst recovery-row delivery ratio across the sweep (must be
+// 1.0), total recovery-row duplicates (must be 0), and the mean
+// ablation ratio (measurably below 1).
+func BenchmarkE10WiredFaults(b *testing.B) {
+	var worstRecovery, recoveryDups, ablationMean float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.E10WiredFaults(int64(i+1), benchScale())
+		worstRecovery, recoveryDups, ablationMean = 1, 0, 0
+		var ablations int
+		for _, r := range rows {
+			if r.Recovery {
+				if r.Ratio < worstRecovery {
+					worstRecovery = r.Ratio
+				}
+				recoveryDups += float64(r.Duplicates)
+			} else {
+				ablationMean += r.Ratio
+				ablations++
+			}
+		}
+		if ablations > 0 {
+			ablationMean /= float64(ablations)
+		}
+	}
+	b.ReportMetric(worstRecovery, "recovery-ratio")
+	b.ReportMetric(recoveryDups, "recovery-dups")
+	b.ReportMetric(ablationMean, "ablation-ratio")
+}

@@ -1,5 +1,5 @@
 // Command rdpbench regenerates the evaluation of the RDP paper: every
-// experiment of DESIGN.md (E1–E8) as a printed table. Run all of them,
+// experiment of DESIGN.md (E1–E10) as a printed table. Run all of them,
 // or a subset:
 //
 //	rdpbench                 # everything, standard scale
@@ -32,7 +32,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rdpbench", flag.ContinueOnError)
 	var (
-		expFlag = fs.String("exp", "all", "comma-separated experiments to run (e1..e9, or all)")
+		expFlag = fs.String("exp", "all", "comma-separated experiments to run (e1..e10, or all)")
 		seed    = fs.Int64("seed", 1, "random seed")
 		quick   = fs.Bool("quick", false, "reduced scale for a fast pass")
 		csv     = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
@@ -64,6 +64,7 @@ func run(args []string) error {
 		{"e7", func() { printE7(*seed, sc) }},
 		{"e8", func() { printE8(*seed, sc) }},
 		{"e9", func() { printE9(*seed, sc) }},
+		{"e10", func() { printE10(*seed, sc) }},
 	}
 	ran := 0
 	for _, r := range runs {
@@ -73,7 +74,7 @@ func run(args []string) error {
 		}
 	}
 	if ran == 0 {
-		return fmt.Errorf("no experiment matched %q (use e1..e9 or all)", *expFlag)
+		return fmt.Errorf("no experiment matched %q (use e1..e10 or all)", *expFlag)
 	}
 	return nil
 }
@@ -182,6 +183,16 @@ func printE9(seed int64, sc experiments.Scale) {
 	for _, r := range experiments.E9HoldForInactive(seed, sc) {
 		t.AddRow(f(r.InactiveProb, 2), fmt.Sprint(r.Hold), d(r.Delivered), d(r.Retrans),
 			d(r.WirelessDrops), d(r.HeldResults), dur(r.MeanLatency), d(r.UpdateCurrLocs))
+	}
+	emit(t)
+}
+
+func printE10(seed int64, sc experiments.Scale) {
+	header("E10", "wired faults + MSS crashes: ARQ + checkpoint recovery restores exactly-once delivery")
+	t := metrics.NewTable("loss", "crashes", "recovery", "issued", "delivered", "ratio", "dups", "wired-drops", "rec-resends", "ho-reissues", "ckpt-ops")
+	for _, r := range experiments.E10WiredFaults(seed, sc) {
+		t.AddRow(f(r.Loss, 2), strconv.Itoa(r.Crashes), fmt.Sprint(r.Recovery), d(r.Issued), d(r.Delivered),
+			f(r.Ratio, 4), d(r.Duplicates), d(r.WiredDrops), d(r.RecoveryResends), d(r.HandoffReissues), d(r.CheckpointOps))
 	}
 	emit(t)
 }

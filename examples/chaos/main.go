@@ -1,0 +1,30 @@
+// Command chaos demonstrates experiment E10's machinery through the
+// public API: a lossy, partition-prone backbone with a station crash,
+// countered by the wired ARQ and checkpoint recovery.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	rdp "repro"
+)
+
+func main() {
+	cfg := rdp.DefaultConfig()
+	cfg.WiredARQ = rdp.ARQConfig{Enabled: true, RTO: 30 * time.Millisecond}
+	cfg.Checkpoint = true
+	cfg.RecoveryGrace = 200 * time.Millisecond
+	cfg.ServerProc = rdp.Constant(300 * time.Millisecond)
+	w, inj := rdp.NewFaultedWorld(cfg, rdp.FaultPlan{
+		Default: rdp.LinkFaults{DropProb: 0.2, DupProb: 0.05},
+		Crashes: []rdp.Crash{{MSS: 1, At: 100 * time.Millisecond, RestartAt: 500 * time.Millisecond}},
+	})
+	mh := w.AddMH(1, 1)
+	var req rdp.RequestID
+	w.Schedule(0, func() { req = mh.IssueRequest(1, []byte("through the storm")) })
+	w.RunUntil(5 * time.Second)
+	fmt.Printf("delivered=%v injected drops=%d dups=%d crashes=%d checkpoint writes=%d\n",
+		mh.Seen(req), inj.Stats.Drops.Value(), inj.Stats.Dups.Value(),
+		w.Stats.MSSCrashes.Value(), w.CheckpointWrites())
+}

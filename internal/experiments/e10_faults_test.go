@@ -1,0 +1,68 @@
+package experiments
+
+import "testing"
+
+// TestE10RecoveryRestoresGuarantee is the acceptance test for E10: with
+// the recovery stack (wired ARQ + checkpointing + hand-off timeouts +
+// registration confirmation) every swept fault point — wired loss up to
+// 20%, one or two MSS crash/restart windows — delivers every issued
+// request exactly once; the ablation, which is the paper's protocol on
+// the faulty network it assumes away, measurably loses results.
+func TestE10RecoveryRestoresGuarantee(t *testing.T) {
+	rows := E10WiredFaults(1, SmallScale())
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12 (3 loss rates x 2 crash counts x on/off)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Issued == 0 {
+			t.Fatalf("loss=%.2f crashes=%d recovery=%v: no requests issued", r.Loss, r.Crashes, r.Recovery)
+		}
+		if r.WiredDrops == 0 {
+			t.Errorf("loss=%.2f crashes=%d recovery=%v: fault injector never dropped a frame", r.Loss, r.Crashes, r.Recovery)
+		}
+		if r.Recovery {
+			if r.Delivered != r.Issued {
+				t.Errorf("loss=%.2f crashes=%d: recovery delivered %d of %d", r.Loss, r.Crashes, r.Delivered, r.Issued)
+			}
+			if r.Duplicates != 0 {
+				t.Errorf("loss=%.2f crashes=%d: recovery produced %d duplicate deliveries, want 0", r.Loss, r.Crashes, r.Duplicates)
+			}
+			if r.CheckpointOps == 0 {
+				t.Errorf("loss=%.2f crashes=%d: checkpointing never wrote", r.Loss, r.Crashes)
+			}
+		} else {
+			if r.Ratio > 0.9 {
+				t.Errorf("loss=%.2f crashes=%d: ablation delivered %.2f%%; faults should measurably degrade it",
+					r.Loss, r.Crashes, 100*r.Ratio)
+			}
+		}
+	}
+	// Within each loss rate the ablation should not improve when a second
+	// station crash is added (weak monotonicity: more faults, no more
+	// delivery than the single-crash recovery run's 100%).
+	for i := 0; i+3 < len(rows); i += 4 {
+		one, two := rows[i+1], rows[i+3] // recovery=false rows
+		if one.Recovery || two.Recovery {
+			t.Fatalf("row layout changed; update the test")
+		}
+		if two.Ratio > 1.0 || one.Ratio > 1.0 {
+			t.Errorf("ablation ratio above 1: %.4f %.4f", one.Ratio, two.Ratio)
+		}
+	}
+}
+
+// TestE10Deterministic reruns one seed and expects identical counters:
+// the fault injector forks the world's seeded RNG, so the whole chaos
+// schedule is a pure function of (seed, plan).
+func TestE10Deterministic(t *testing.T) {
+	a := E10WiredFaults(2, SmallScale())
+	b := E10WiredFaults(2, SmallScale())
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("row %d differs between runs:\n  %+v\n  %+v", i, a[i], b[i])
+		}
+	}
+}

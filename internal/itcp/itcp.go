@@ -121,7 +121,7 @@ func NewWorld(cfg Config) *World {
 		members = append(members, ids.Server(i).Node())
 	}
 	obs := func(at sim.Time, layer netsim.Layer, kind netsim.EventKind, from, to ids.NodeID, m msg.Message) {
-		if layer == netsim.LayerWireless && kind == netsim.EventDropped {
+		if layer == netsim.LayerWireless && kind.IsDrop() {
 			w.Stats.WirelessDrops.Inc()
 		}
 		if layer == netsim.LayerWired && kind == netsim.EventSent && m.Kind() == msg.KindImageTransfer {

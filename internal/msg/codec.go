@@ -22,6 +22,7 @@ var (
 	ErrBadKind    = errors.New("msg: unknown message kind")
 	ErrTruncated  = errors.New("msg: truncated message")
 	ErrTrailing   = errors.New("msg: trailing bytes after message")
+	ErrBadNesting = errors.New("msg: link frame may not nest a link-layer message")
 )
 
 // maxSliceLen bounds decoded slice lengths to keep a corrupted length
@@ -136,6 +137,23 @@ func Encode(m Message) ([]byte, error) {
 		e.u32(uint32(v.Value))
 		e.u64(uint64(v.Stamp))
 		e.u8(v.Hops)
+	case LinkFrame:
+		if v.Inner == nil {
+			return nil, fmt.Errorf("%w: nil inner message", ErrBadKind)
+		}
+		if k := v.Inner.Kind(); k == KindLinkFrame || k == KindLinkAck {
+			return nil, ErrBadNesting
+		}
+		inner, err := Encode(v.Inner)
+		if err != nil {
+			return nil, err
+		}
+		e.u64(v.Seq)
+		e.bytes(inner)
+	case LinkAck:
+		e.u64(v.Seq)
+	case RegConfirm:
+		e.u32(uint32(v.MH))
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrBadKind, m)
 	}
@@ -228,6 +246,24 @@ func Decode(b []byte) (Message, error) {
 			Stamp:  int64(d.u64()),
 			Hops:   d.u8(),
 		}
+	case KindLinkFrame:
+		seq := d.u64()
+		body := d.bytes()
+		if d.err != nil {
+			return nil, d.err
+		}
+		inner, err := Decode(body)
+		if err != nil {
+			return nil, fmt.Errorf("msg: link frame inner: %w", err)
+		}
+		if k := inner.Kind(); k == KindLinkFrame || k == KindLinkAck {
+			return nil, ErrBadNesting
+		}
+		m = LinkFrame{Seq: seq, Inner: inner}
+	case KindLinkAck:
+		m = LinkAck{Seq: d.u64()}
+	case KindRegConfirm:
+		m = RegConfirm{MH: ids.MH(d.u32())}
 	default:
 		if d.err != nil {
 			return nil, d.err

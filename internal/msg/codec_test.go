@@ -45,6 +45,9 @@ func sampleMessages() []Message {
 		TISQuery{QID: 10, Origin: 2, Op: TISOpMulticast, Region: 3, Hops: 1, Proxy: prx, Req: req, Data: []byte("to the fleet")},
 		TISReply{QID: 9, Region: 14, Value: 72, Stamp: 123456789, Hops: 3},
 		TISDeliver{Member: 3, Group: 7, Seq: 42, Data: []byte("msg")},
+		LinkFrame{Seq: 17, Inner: Dereg{MH: 3, NewMSS: 4}},
+		LinkAck{Seq: 17},
+		RegConfirm{MH: 3},
 	}
 }
 

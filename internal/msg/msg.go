@@ -72,6 +72,15 @@ const (
 	KindTISReply
 	KindTISDeliver
 
+	// Wired link layer (ARQ): per-link framing and positive acks that
+	// restore assumption 1 (reliable causal MSS communication) over a
+	// lossy backbone.
+	KindLinkFrame
+	KindLinkAck
+
+	// Wireless MSS -> MH registration confirmation (crash recovery).
+	KindRegConfirm
+
 	kindSentinel // one past the last valid kind
 )
 
@@ -100,6 +109,9 @@ var kindNames = [...]string{
 	KindTISQuery:         "tis-query",
 	KindTISReply:         "tis-reply",
 	KindTISDeliver:       "tis-deliver",
+	KindLinkFrame:        "link-frame",
+	KindLinkAck:          "link-ack",
+	KindRegConfirm:       "reg-confirm",
 }
 
 // String returns the trace tag of the kind, e.g. "update-currl".
@@ -402,6 +414,35 @@ type TISReply struct {
 }
 
 // ---------------------------------------------------------------------
+// Wired link-layer (ARQ) messages.
+
+// LinkFrame wraps one wired protocol message with a per-directed-link
+// sequence number. The sender retransmits the frame until it receives a
+// matching LinkAck; the receiver acks every copy and delivers the inner
+// message at most once. Inner must not itself be a link-layer message.
+type LinkFrame struct {
+	Seq   uint64
+	Inner Message
+}
+
+// LinkAck positively acknowledges the LinkFrame with the same Seq on the
+// reverse direction of the link.
+type LinkAck struct {
+	Seq uint64
+}
+
+// ---------------------------------------------------------------------
+// Registration confirmation (crash recovery).
+
+// RegConfirm is sent downlink by a station once it has durably recorded
+// responsibility for the MH. Until the MH sees it, the MH keeps naming
+// its last *confirmed* station as OldMSS in greets, so a station that
+// crashed before persisting the registration is simply bypassed.
+type RegConfirm struct {
+	MH ids.MH
+}
+
+// ---------------------------------------------------------------------
 // Kind methods.
 
 func (Join) Kind() Kind             { return KindJoin }
@@ -427,6 +468,9 @@ func (ImageTransfer) Kind() Kind    { return KindImageTransfer }
 func (TISQuery) Kind() Kind         { return KindTISQuery }
 func (TISReply) Kind() Kind         { return KindTISReply }
 func (TISDeliver) Kind() Kind       { return KindTISDeliver }
+func (LinkFrame) Kind() Kind        { return KindLinkFrame }
+func (LinkAck) Kind() Kind          { return KindLinkAck }
+func (RegConfirm) Kind() Kind       { return KindRegConfirm }
 
 // ---------------------------------------------------------------------
 // String methods (trace rendering).
@@ -492,6 +536,12 @@ func (m TISDeliver) String() string {
 	return fmt.Sprintf("tis-deliver(%v,group=%d,seq=%d,%dB)", m.Member, m.Group, m.Seq, len(m.Data))
 }
 
+func (m LinkFrame) String() string {
+	return fmt.Sprintf("link-frame(seq=%d,%v)", m.Seq, m.Inner)
+}
+func (m LinkAck) String() string    { return fmt.Sprintf("link-ack(seq=%d)", m.Seq) }
+func (m RegConfirm) String() string { return fmt.Sprintf("reg-confirm(%v)", m.MH) }
+
 // Compile-time interface checks.
 var (
 	_ Message = Join{}
@@ -517,4 +567,7 @@ var (
 	_ Message = TISQuery{}
 	_ Message = TISReply{}
 	_ Message = TISDeliver{}
+	_ Message = LinkFrame{}
+	_ Message = LinkAck{}
+	_ Message = RegConfirm{}
 )

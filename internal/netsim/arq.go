@@ -1,0 +1,154 @@
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ARQConfig parameterizes the wired link-layer retransmission protocol
+// (positive acks, timeout-driven retransmission with capped exponential
+// backoff, receiver-side dedup). With ARQ layered under the causal
+// delivery, internal/causal sees a reliable stream again even when the
+// backbone drops or duplicates frames — restoring paper assumption 1
+// over a faulty network.
+type ARQConfig struct {
+	// Enabled turns the ARQ layer on.
+	Enabled bool
+	// RTO is the initial retransmission timeout (default 50ms). It must
+	// exceed the round-trip time of the link or every frame is sent at
+	// least twice.
+	RTO time.Duration
+	// MaxBackoff caps the exponential backoff between retransmissions
+	// (default 2s).
+	MaxBackoff time.Duration
+}
+
+func (c ARQConfig) rto() time.Duration {
+	if c.RTO > 0 {
+		return c.RTO
+	}
+	return 50 * time.Millisecond
+}
+
+func (c ARQConfig) maxBackoff() time.Duration {
+	if c.MaxBackoff > 0 {
+		return c.MaxBackoff
+	}
+	return 2 * time.Second
+}
+
+// backoff returns the wait before the next retransmission after the
+// given attempt number (1-based): RTO doubled per attempt, capped.
+func (c ARQConfig) backoff(attempt int) time.Duration {
+	d := c.rto()
+	max := c.maxBackoff()
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// ARQSender is the send half of the link-layer ARQ for one directed
+// link. It assigns sequence numbers, calls transmit for the first copy
+// and every retransmission, and keeps retransmitting until Ack. It is
+// substrate-agnostic: Wired drives it with simulated frames, tcpnet
+// with real sockets.
+type ARQSender struct {
+	k        sim.Scheduler
+	cfg      ARQConfig
+	transmit func(seq uint64, attempt int)
+	nextSeq  uint64
+	pending  map[uint64]*arqPending
+	// Retransmits counts timeout-driven re-sends on this link.
+	Retransmits int64
+}
+
+type arqPending struct {
+	attempt int
+	timer   sim.Canceler
+}
+
+// NewARQSender builds a sender that transmits via the given callback.
+func NewARQSender(k sim.Scheduler, cfg ARQConfig, transmit func(seq uint64, attempt int)) *ARQSender {
+	return &ARQSender{k: k, cfg: cfg, transmit: transmit, pending: make(map[uint64]*arqPending)}
+}
+
+// Send assigns the next sequence number, calls prepare with it (so the
+// caller can register the frame payload before the first transmission),
+// transmits, and arms the retransmission timer. It returns the sequence
+// number.
+func (s *ARQSender) Send(prepare func(seq uint64)) uint64 {
+	s.nextSeq++
+	seq := s.nextSeq
+	if prepare != nil {
+		prepare(seq)
+	}
+	p := &arqPending{attempt: 1}
+	s.pending[seq] = p
+	s.transmit(seq, 1)
+	s.arm(seq, p)
+	return seq
+}
+
+func (s *ARQSender) arm(seq uint64, p *arqPending) {
+	p.timer = s.k.After(s.cfg.backoff(p.attempt), func() {
+		if _, live := s.pending[seq]; !live {
+			return
+		}
+		p.attempt++
+		s.Retransmits++
+		s.transmit(seq, p.attempt)
+		s.arm(seq, p)
+	})
+}
+
+// Ack confirms receipt of a frame and stops its retransmission. Acking
+// an unknown or already-acked sequence number is a no-op (acks are
+// themselves duplicated by a faulty link).
+func (s *ARQSender) Ack(seq uint64) {
+	p, ok := s.pending[seq]
+	if !ok {
+		return
+	}
+	if p.timer != nil {
+		p.timer.Cancel()
+	}
+	delete(s.pending, seq)
+}
+
+// Outstanding reports the number of un-acked frames.
+func (s *ARQSender) Outstanding() int { return len(s.pending) }
+
+// ARQReceiver is the receive half: at-most-once delivery by sequence
+// number. Because the sender assigns contiguous numbers and every frame
+// is eventually delivered, the seen-set is compacted into a contiguous
+// watermark plus a (transient) set of out-of-order arrivals.
+type ARQReceiver struct {
+	contig uint64 // every seq <= contig has been accepted
+	ahead  map[uint64]bool
+}
+
+// NewARQReceiver returns an empty receiver.
+func NewARQReceiver() *ARQReceiver {
+	return &ARQReceiver{ahead: make(map[uint64]bool)}
+}
+
+// Accept reports whether seq is seen for the first time, recording it.
+func (r *ARQReceiver) Accept(seq uint64) bool {
+	if seq <= r.contig || r.ahead[seq] {
+		return false
+	}
+	r.ahead[seq] = true
+	for r.ahead[r.contig+1] {
+		delete(r.ahead, r.contig+1)
+		r.contig++
+	}
+	return true
+}

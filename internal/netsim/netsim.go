@@ -78,13 +78,17 @@ func (l Layer) String() string {
 // EventKind classifies observer callbacks.
 type EventKind uint8
 
-// Observer event kinds. A wireless message is Dropped either by random
-// loss or because the destination MH was unreachable (left the cell or
-// inactive) at delivery time.
+// Observer event kinds. Drops carry a reason: EventDroppedUnreachable
+// when the destination could not receive (an MH that left the cell or
+// turned inactive, a crashed static host, an unregistered node) and
+// EventDroppedLoss for random loss or an injected link fault. The bare
+// EventDropped remains for unclassified drops.
 const (
 	EventSent EventKind = iota + 1
 	EventDelivered
 	EventDropped
+	EventDroppedUnreachable
+	EventDroppedLoss
 )
 
 // String names the event kind.
@@ -94,9 +98,18 @@ func (e EventKind) String() string {
 		return "sent"
 	case EventDelivered:
 		return "delivered"
+	case EventDroppedUnreachable:
+		return "dropped-unreachable"
+	case EventDroppedLoss:
+		return "dropped-loss"
 	default:
 		return "dropped"
 	}
+}
+
+// IsDrop reports whether the event is a drop of any reason.
+func (e EventKind) IsDrop() bool {
+	return e == EventDropped || e == EventDroppedUnreachable || e == EventDroppedLoss
 }
 
 // Observer receives a callback for every message event on either layer.
@@ -118,6 +131,23 @@ type Sequencer interface {
 	Offer(layer Layer, from, to ids.NodeID, fire func())
 }
 
+// LinkFault is the fault decision for one physical transmission attempt
+// on a wired link: lose the frame, deliver an extra copy, and/or add
+// extra latency (which also reorders the frame against its neighbours).
+type LinkFault struct {
+	Drop      bool
+	Duplicate bool
+	Delay     time.Duration
+}
+
+// FaultHook decides faults on the wired substrate. It is consulted once
+// per physical transmission attempt — including ARQ retransmissions and
+// ack frames — so loss probabilities apply per attempt, as on a real
+// link. internal/faults provides the standard seeded implementation.
+type FaultHook interface {
+	OnWired(from, to ids.NodeID, m msg.Message) LinkFault
+}
+
 // WiredConfig parameterizes the wired network.
 type WiredConfig struct {
 	// Latency models per-message delay between static hosts.
@@ -126,16 +156,32 @@ type WiredConfig struct {
 	// false, messages are handed up in raw arrival order (E2 ablation).
 	Causal bool
 	// Seq, when set, sequences deliveries adversarially instead of by
-	// latency (testing hook; see Sequencer).
+	// latency (testing hook; see Sequencer). The sequencer path bypasses
+	// Faults, ARQ and Down.
 	Seq Sequencer
 	// PairLatency, when set, overrides Latency per directed host pair —
 	// e.g. distance-dependent delays over a metropolitan ring topology
 	// (see RingLatency). Pairs for which it returns nil fall back to
 	// Latency.
 	PairLatency func(from, to ids.NodeID) LatencyModel
+	// Faults, when set, injects per-attempt link faults. Without ARQ a
+	// dropped frame is simply lost (and, under Causal, permanently wedges
+	// all causally-later messages at the destination — the failure mode
+	// the E10 ablation demonstrates).
+	Faults FaultHook
+	// ARQ enables the link-layer retransmission protocol that makes the
+	// wired network reliable again under Faults and crashes.
+	ARQ ARQConfig
+	// Down, when set, reports that a static member is currently crashed.
+	// Frames arriving at a down member are dropped; under ARQ they stay
+	// un-acked and retransmit until the member restarts. Link-layer ARQ
+	// state itself is part of the network fabric and survives crashes.
+	Down func(ids.NodeID) bool
 }
 
-// Wired is the reliable static network among MSSs and servers.
+// Wired is the static network among MSSs and servers: reliable by
+// default, faulty when a FaultHook is configured, and reliable again on
+// top of faults when the ARQ layer is enabled.
 type Wired struct {
 	k        sim.Scheduler
 	cfg      WiredConfig
@@ -145,6 +191,23 @@ type Wired struct {
 	handlers []Handler
 	eps      []*causal.Endpoint
 	observer Observer
+	links    map[linkKey]*wiredLink
+}
+
+// wiredLink is the ARQ state of one directed wired link.
+type wiredLink struct {
+	sender   *ARQSender
+	recv     *ARQReceiver
+	inflight map[uint64]wiredFrame // un-acked frames by seq (sender side)
+}
+
+// wiredFrame is one protocol message in flight on an ARQ link. fire
+// performs the delivery (through the causal endpoint when configured);
+// it is reused verbatim on retransmission so the causal stamp is
+// assigned exactly once per message.
+type wiredFrame struct {
+	fire func()
+	p    wiredPayload
 }
 
 // wiredPayload is what travels through the causal layer.
@@ -169,6 +232,7 @@ func NewWired(k sim.Scheduler, members []ids.NodeID, cfg WiredConfig, obs Observ
 		members:  append([]ids.NodeID(nil), members...),
 		handlers: make([]Handler, len(members)),
 		observer: obs,
+		links:    make(map[linkKey]*wiredLink),
 	}
 	for i, n := range members {
 		if n.Kind == ids.KindMH {
@@ -197,7 +261,8 @@ func (w *Wired) Register(n ids.NodeID, h Handler) {
 }
 
 // Send transmits m from one static host to another. Both must be
-// members. Delivery is reliable; order is causal when configured.
+// members. Delivery is reliable (under faults: reliable iff ARQ is on);
+// order is causal when configured.
 func (w *Wired) Send(from, to ids.NodeID, m msg.Message) {
 	fi, ok := w.index[from]
 	if !ok {
@@ -220,13 +285,136 @@ func (w *Wired) Send(from, to ids.NodeID, m msg.Message) {
 		w.cfg.Seq.Offer(LayerWired, from, to, fire)
 		return
 	}
+	if w.cfg.ARQ.Enabled {
+		l := w.link(from, to)
+		l.sender.Send(func(seq uint64) {
+			l.inflight[seq] = wiredFrame{fire: fire, p: p}
+		})
+		return
+	}
+	w.transmitRaw(from, to, p.m, fire)
+}
+
+// transmitRaw is the non-ARQ physical path: one attempt, subject to
+// faults and the Down gate. Without ARQ a lost frame stays lost.
+func (w *Wired) transmitRaw(from, to ids.NodeID, m msg.Message, fire func()) {
+	f := w.fault(from, to, m)
+	if f.Drop {
+		w.observe(EventDroppedLoss, from, to, m)
+		return
+	}
+	deliver := func() {
+		if w.cfg.Down != nil && w.cfg.Down(to) {
+			w.observe(EventDroppedUnreachable, from, to, m)
+			return
+		}
+		fire()
+	}
+	w.k.After(w.sampleLatency(from, to)+f.Delay, deliver)
+	if f.Duplicate {
+		w.k.After(w.sampleLatency(from, to)+f.Delay, deliver)
+	}
+}
+
+// link returns (creating on first use) the ARQ state of a directed link.
+func (w *Wired) link(from, to ids.NodeID) *wiredLink {
+	key := linkKey{from: from, to: to}
+	l, ok := w.links[key]
+	if !ok {
+		l = &wiredLink{recv: NewARQReceiver(), inflight: make(map[uint64]wiredFrame)}
+		l.sender = NewARQSender(w.k, w.cfg.ARQ, func(seq uint64, attempt int) {
+			fr, live := l.inflight[seq]
+			if !live {
+				return
+			}
+			w.transmitFrame(from, to, seq, fr)
+		})
+		w.links[key] = l
+	}
+	return l
+}
+
+// transmitFrame is one physical transmission attempt of an ARQ frame.
+func (w *Wired) transmitFrame(from, to ids.NodeID, seq uint64, fr wiredFrame) {
+	frame := msg.LinkFrame{Seq: seq, Inner: fr.p.m}
+	f := w.fault(from, to, frame)
+	if f.Drop {
+		w.observe(EventDroppedLoss, from, to, frame)
+		return
+	}
+	deliver := func() { w.receiveFrame(from, to, seq, fr) }
+	w.k.After(w.sampleLatency(from, to)+f.Delay, deliver)
+	if f.Duplicate {
+		w.k.After(w.sampleLatency(from, to)+f.Delay, deliver)
+	}
+}
+
+// receiveFrame runs at the receiving end of an ARQ link. A frame that
+// arrives at a down host is dropped un-acked, so it keeps retransmitting
+// until the host restarts. Every accepted arrival is acked — including
+// duplicates, whose first ack may have been lost.
+func (w *Wired) receiveFrame(from, to ids.NodeID, seq uint64, fr wiredFrame) {
+	if w.cfg.Down != nil && w.cfg.Down(to) {
+		w.observe(EventDroppedUnreachable, from, to, msg.LinkFrame{Seq: seq, Inner: fr.p.m})
+		return
+	}
+	w.sendAck(from, to, seq)
+	if !w.link(from, to).recv.Accept(seq) {
+		return
+	}
+	fr.fire()
+}
+
+// sendAck transmits a LinkAck on the reverse direction of the link. Ack
+// frames are subject to the same faults; a lost ack just costs one
+// retransmission. Acks are processed regardless of the original
+// sender's up/down state: the link-layer state lives in the network
+// fabric, not in the crashing host.
+func (w *Wired) sendAck(origFrom, origTo ids.NodeID, seq uint64) {
+	ack := msg.LinkAck{Seq: seq}
+	f := w.fault(origTo, origFrom, ack)
+	if f.Drop {
+		w.observe(EventDroppedLoss, origTo, origFrom, ack)
+		return
+	}
+	deliver := func() {
+		l := w.link(origFrom, origTo)
+		l.sender.Ack(seq)
+		delete(l.inflight, seq)
+	}
+	w.k.After(w.sampleLatency(origTo, origFrom)+f.Delay, deliver)
+	if f.Duplicate {
+		w.k.After(w.sampleLatency(origTo, origFrom)+f.Delay, deliver)
+	}
+}
+
+// fault consults the fault hook, if any.
+func (w *Wired) fault(from, to ids.NodeID, m msg.Message) LinkFault {
+	if w.cfg.Faults == nil {
+		return LinkFault{}
+	}
+	return w.cfg.Faults.OnWired(from, to, m)
+}
+
+// sampleLatency draws the link delay for one attempt.
+func (w *Wired) sampleLatency(from, to ids.NodeID) time.Duration {
 	lat := w.cfg.Latency
 	if w.cfg.PairLatency != nil {
 		if pl := w.cfg.PairLatency(from, to); pl != nil {
 			lat = pl
 		}
 	}
-	w.k.After(lat.Sample(w.rng), fire)
+	return lat.Sample(w.rng)
+}
+
+// ARQStats sums link-layer retransmissions and still-outstanding
+// (un-acked) frames over all links.
+func (w *Wired) ARQStats() (retransmits int64, outstanding int) {
+	for _, l := range w.links {
+		retransmits += l.sender.Retransmits
+		outstanding += l.sender.Outstanding()
+	}
+	return retransmits, outstanding
 }
 
 // deliver hands a message to its destination handler.
@@ -284,6 +472,11 @@ type WirelessConfig struct {
 	// latency (testing hook; see Sequencer). Per-link FIFO remains the
 	// sequencer's responsibility.
 	Seq Sequencer
+	// DropFilter, when set, force-drops matching frames (testing hook
+	// for targeted single-frame loss). It is consulted at delivery time
+	// on the downlink and at send time on the uplink, alongside random
+	// loss; a filtered frame is observed as EventDroppedLoss.
+	DropFilter func(from, to ids.NodeID, m msg.Message) bool
 }
 
 // Wireless models every cell's radio link. There is one Wireless value
@@ -344,13 +537,17 @@ func (w *Wireless) RegisterMSS(mss ids.MSS, h Handler) { w.stations[mss] = h }
 func (w *Wireless) SendDownlink(from ids.MSS, to ids.MH, m msg.Message) {
 	w.observe(EventSent, from.Node(), to.Node(), m)
 	fire := func() {
-		if !w.cfg.Reachable(from, to) || w.rng.Prob(w.cfg.LossProb) {
-			w.observe(EventDropped, from.Node(), to.Node(), m)
+		if !w.cfg.Reachable(from, to) {
+			w.observe(EventDroppedUnreachable, from.Node(), to.Node(), m)
+			return
+		}
+		if w.rng.Prob(w.cfg.LossProb) || w.filtered(from.Node(), to.Node(), m) {
+			w.observe(EventDroppedLoss, from.Node(), to.Node(), m)
 			return
 		}
 		h := w.mhs[to]
 		if h == nil {
-			w.observe(EventDropped, from.Node(), to.Node(), m)
+			w.observe(EventDroppedUnreachable, from.Node(), to.Node(), m)
 			return
 		}
 		w.observe(EventDelivered, from.Node(), to.Node(), m)
@@ -376,14 +573,18 @@ func (w *Wireless) SendUplink(from ids.MH, to ids.MSS, m msg.Message) {
 	case msg.KindJoin, msg.KindLeave, msg.KindGreet:
 		lossy = false
 	}
-	if !w.cfg.Reachable(to, from) || (lossy && w.rng.Prob(w.cfg.LossProb)) {
-		w.observe(EventDropped, from.Node(), to.Node(), m)
+	if !w.cfg.Reachable(to, from) {
+		w.observe(EventDroppedUnreachable, from.Node(), to.Node(), m)
+		return
+	}
+	if lossy && (w.rng.Prob(w.cfg.LossProb) || w.filtered(from.Node(), to.Node(), m)) {
+		w.observe(EventDroppedLoss, from.Node(), to.Node(), m)
 		return
 	}
 	fire := func() {
 		h := w.stations[to]
 		if h == nil {
-			w.observe(EventDropped, from.Node(), to.Node(), m)
+			w.observe(EventDroppedUnreachable, from.Node(), to.Node(), m)
 			return
 		}
 		w.observe(EventDelivered, from.Node(), to.Node(), m)
@@ -406,6 +607,11 @@ func (w *Wireless) fifoDelay(from, to ids.NodeID) time.Duration {
 	}
 	w.lastRx[key] = arrival
 	return time.Duration(arrival - w.k.Now())
+}
+
+// filtered consults the DropFilter test hook, if any.
+func (w *Wireless) filtered(from, to ids.NodeID, m msg.Message) bool {
+	return w.cfg.DropFilter != nil && w.cfg.DropFilter(from, to, m)
 }
 
 func (w *Wireless) observe(kind EventKind, from, to ids.NodeID, m msg.Message) {

@@ -194,8 +194,8 @@ func TestWirelessDownlinkLostWhenMigratedMidFlight(t *testing.T) {
 	if len(got) != 0 {
 		t.Fatal("frame delivered despite mid-flight migration")
 	}
-	if len(events) != 2 || events[1] != EventDropped {
-		t.Fatalf("events = %v, want [sent dropped]", events)
+	if len(events) != 2 || events[1] != EventDroppedUnreachable {
+		t.Fatalf("events = %v, want [sent dropped-unreachable]", events)
 	}
 }
 
@@ -547,7 +547,7 @@ func TestWirelessUnregisteredHandlersDrop(t *testing.T) {
 	k := sim.NewKernel(1)
 	drops := 0
 	obs := func(_ sim.Time, _ Layer, kind EventKind, _, _ ids.NodeID, _ msg.Message) {
-		if kind == EventDropped {
+		if kind.IsDrop() {
 			drops++
 		}
 	}

@@ -1,0 +1,351 @@
+package rdpcore
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// recoveryConfig returns a Config with the full E10 recovery stack on:
+// wired ARQ, stable-store checkpointing, hand-off timeouts, registration
+// confirmations and the client-side shims that make delivery eventual
+// under crashes.
+func recoveryConfig(seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.WiredARQ = netsim.ARQConfig{Enabled: true, RTO: 60 * time.Millisecond, MaxBackoff: 500 * time.Millisecond}
+	cfg.Checkpoint = true
+	cfg.RecoveryGrace = 600 * time.Millisecond
+	cfg.HandoffTimeout = 500 * time.Millisecond
+	cfg.RegConfirm = true
+	return cfg
+}
+
+// TestCrashRecoveryRedeliversResult crashes the station hosting an MH's
+// proxy while the server is still processing. The wired ARQ holds the
+// reply addressed to the down station and delivers it after the
+// checkpointed restart; the restored proxy forwards it exactly once.
+func TestCrashRecoveryRedeliversResult(t *testing.T) {
+	cfg := recoveryConfig(1)
+	cfg.NumMSS = 2
+	cfg.ServerProc = netsim.Constant(300 * time.Millisecond)
+	w := NewWorld(cfg)
+	mh := w.AddMH(1, 1)
+
+	var req ids.RequestID
+	w.Schedule(0, func() { req = mh.IssueRequest(1, []byte("crash")) })
+	w.Schedule(100*time.Millisecond, func() { w.CrashMSS(1) })
+	w.Schedule(400*time.Millisecond, func() { w.RestartMSS(1) })
+	w.RunUntil(3 * time.Second)
+
+	if !mh.Seen(req) {
+		t.Fatalf("result not delivered after crash/restart (delivered=%d wiredDrops=%d)",
+			w.Stats.ResultsDelivered.Value(), w.Stats.WiredDrops.Value())
+	}
+	if got := w.Stats.DuplicateDeliveries.Value(); got != 0 {
+		t.Errorf("DuplicateDeliveries = %d, want 0", got)
+	}
+	if c, r := w.Stats.MSSCrashes.Value(), w.Stats.MSSRestarts.Value(); c != 1 || r != 1 {
+		t.Errorf("crashes/restarts = %d/%d, want 1/1", c, r)
+	}
+	if w.Stats.WiredDrops.Value() == 0 {
+		t.Error("no wired drops recorded; the reply should have hit the down station")
+	}
+	if w.CheckpointWrites() == 0 {
+		t.Error("no checkpoint writes recorded despite Config.Checkpoint")
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCrashRecoveryReissuesServerRequest disables the wired ARQ, so the
+// server reply that hits the down station is lost for good. The
+// checkpointed journal still knows the request has no result: the
+// post-restart recovery pass re-issues it to the server.
+func TestCrashRecoveryReissuesServerRequest(t *testing.T) {
+	cfg := recoveryConfig(1)
+	// No ARQ — and therefore no causal order either: a permanently
+	// dropped frame would wedge every causally-later message at the
+	// destination (see netsim.WiredConfig.Faults).
+	cfg.WiredARQ = netsim.ARQConfig{}
+	cfg.Causal = false
+	cfg.NumMSS = 2
+	cfg.ServerProc = netsim.Constant(300 * time.Millisecond)
+	w := NewWorld(cfg)
+	mh := w.AddMH(1, 1)
+
+	var req ids.RequestID
+	w.Schedule(0, func() { req = mh.IssueRequest(1, []byte("lost-reply")) })
+	w.Schedule(100*time.Millisecond, func() { w.CrashMSS(1) })
+	w.Schedule(400*time.Millisecond, func() { w.RestartMSS(1) })
+	w.RunUntil(3 * time.Second)
+
+	if !mh.Seen(req) {
+		t.Fatalf("result not recovered via re-issued server request (recoveryResends=%d)",
+			w.Stats.RecoveryResends.Value())
+	}
+	if got := w.Stats.RecoveryResends.Value(); got == 0 {
+		t.Error("RecoveryResends = 0; recovery pass should have re-issued the request")
+	}
+	if got := w.Stats.DuplicateDeliveries.Value(); got != 0 {
+		t.Errorf("DuplicateDeliveries = %d, want 0", got)
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCrashAmnesiaLosesResult is the ablation: same outage, but without
+// checkpointing or ARQ the restarted station remembers nothing and the
+// lost reply is never recovered.
+func TestCrashAmnesiaLosesResult(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumMSS = 2
+	cfg.ServerProc = netsim.Constant(300 * time.Millisecond)
+	w := NewWorld(cfg)
+	mh := w.AddMH(1, 1)
+
+	var req ids.RequestID
+	w.Schedule(0, func() { req = mh.IssueRequest(1, []byte("doomed")) })
+	w.Schedule(100*time.Millisecond, func() { w.CrashMSS(1) })
+	w.Schedule(400*time.Millisecond, func() { w.RestartMSS(1) })
+	w.RunUntil(3 * time.Second)
+
+	if mh.Seen(req) {
+		t.Error("amnesiac restart delivered the result; ablation should lose it")
+	}
+	if got := w.Stats.ResultsDelivered.Value(); got != 0 {
+		t.Errorf("ResultsDelivered = %d, want 0 without checkpoint/ARQ", got)
+	}
+}
+
+// TestHandoffTimeoutUnsticksCrashedOldStation migrates an MH away from a
+// station that crashed with its dereg unreachable (no ARQ). The new
+// station's hand-off timer re-issues the dereg until the old one
+// restarts, replays its journal and serves it.
+func TestHandoffTimeoutUnsticksCrashedOldStation(t *testing.T) {
+	cfg := recoveryConfig(1)
+	cfg.WiredARQ = netsim.ARQConfig{} // with causal order off, as above
+	cfg.Causal = false
+	cfg.HandoffTimeout = 150 * time.Millisecond
+	cfg.NumMSS = 2
+	cfg.ServerProc = netsim.Constant(time.Second)
+	w := NewWorld(cfg)
+	mh := w.AddMH(1, 1)
+
+	var req ids.RequestID
+	w.Schedule(0, func() { req = mh.IssueRequest(1, []byte("handoff")) })
+	w.Schedule(100*time.Millisecond, func() { w.CrashMSS(1) })
+	w.Schedule(200*time.Millisecond, func() { w.Migrate(1, 2) })
+	w.Schedule(600*time.Millisecond, func() { w.RestartMSS(1) })
+	w.RunUntil(5 * time.Second)
+
+	if !mh.Seen(req) {
+		t.Fatalf("result not delivered after hand-off across crash (reissues=%d handoffs=%d)",
+			w.Stats.HandoffReissues.Value(), w.Stats.Handoffs.Value())
+	}
+	if got := w.Stats.HandoffReissues.Value(); got == 0 {
+		t.Error("HandoffReissues = 0; the dereg to the down station should have been re-issued")
+	}
+	if got := w.Stats.DuplicateDeliveries.Value(); got != 0 {
+		t.Errorf("DuplicateDeliveries = %d, want 0", got)
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// chaosParams configures one randomized fault-injected run.
+type chaosParams struct {
+	seed     int64
+	mhs      int
+	cells    int
+	recovery bool
+	horizon  time.Duration
+	drainFor time.Duration
+}
+
+// chaosPlan builds the fault schedule for a run: lossy, duplicating,
+// reordering wired links, one two-second partition, and two MSS outages
+// that both restart well before the horizon.
+func chaosPlan() faults.Plan {
+	return faults.Plan{
+		Default: faults.LinkFaults{
+			DropProb:  0.10,
+			DupProb:   0.03,
+			DelayProb: 0.10,
+			DelayMax:  20 * time.Millisecond,
+		},
+		Partitions: []faults.Partition{
+			{Start: 10 * time.Second, End: 12 * time.Second, A: []ids.MSS{1, 2}, B: []ids.MSS{3, 4}},
+		},
+		Crashes: []faults.Crash{
+			{MSS: 2, At: 15 * time.Second, RestartAt: 18 * time.Second},
+			{MSS: 4, At: 25 * time.Second, RestartAt: 28 * time.Second},
+		},
+	}
+}
+
+// chaos drives a randomized world under an adversarial fault plan. With
+// p.recovery the full ARQ + checkpoint + timeout stack is on and every
+// issued request must be delivered by the end of the drain; without it
+// the run is the ablation and the caller asserts degradation instead.
+// Invariants are checked only at the end: while a station is down, prefs
+// legitimately reference proxies whose host has (transiently) forgotten
+// them.
+func chaos(t *testing.T, p chaosParams) (w *World, missing, total int) {
+	t.Helper()
+	var cfg Config
+	if p.recovery {
+		cfg = recoveryConfig(p.seed)
+		cfg.GreetRefresh = 2 * time.Second
+		cfg.RequestTimeout = 3 * time.Second
+	} else {
+		cfg = DefaultConfig()
+		cfg.Seed = p.seed
+		// The ablation drops frames for good; causal order would turn
+		// each drop into a permanent wedge of the destination, so it is
+		// off here (the E10 ablation configuration).
+		cfg.Causal = false
+	}
+	cfg.NumMSS = p.cells
+	cfg.NumServers = 2
+	cfg.WiredLatency = netsim.Uniform{Lo: time.Millisecond, Hi: 15 * time.Millisecond}
+	cfg.WirelessLatency = netsim.Constant(20 * time.Millisecond)
+	cfg.ServerProc = netsim.Exponential{MeanDelay: 300 * time.Millisecond, Floor: 20 * time.Millisecond}
+
+	// The injector draws from its own forked RNG stream, so the workload
+	// below is identical with and without recovery.
+	k := sim.NewKernel(cfg.Seed)
+	inj := faults.New(k, chaosPlan())
+	cfg.WiredFaults = inj
+	w = NewWorldOn(k, cfg)
+	inj.Schedule(w.CrashMSS, w.RestartMSS)
+
+	cells := w.StationList()
+	issueUntil := p.horizon - p.drainFor
+	reqs := make(map[ids.MH][]ids.RequestID)
+	for i := 1; i <= p.mhs; i++ {
+		mhID := ids.MH(i)
+		rng := w.Kernel.RNG().Fork()
+		start := cells[rng.Intn(len(cells))]
+		mh := w.AddMH(mhID, start)
+		mob := workload.Mobility{
+			Picker:    workload.UniformCells{Cells: cells},
+			Residence: netsim.Exponential{MeanDelay: 1500 * time.Millisecond, Floor: 100 * time.Millisecond},
+		}
+		for _, ev := range workload.Itinerary(rng, mob, start, issueUntil) {
+			ev := ev
+			w.Kernel.After(ev.At, func() {
+				if ev.Kind == workload.EvMigrate {
+					w.Migrate(mhID, ev.Cell)
+				}
+			})
+		}
+		reqCfg := workload.Requests{
+			Interarrival: netsim.Exponential{MeanDelay: 900 * time.Millisecond, Floor: 10 * time.Millisecond},
+			Servers:      []ids.Server{1, 2},
+			PayloadBytes: 24,
+		}
+		for _, a := range workload.Schedule(rng, reqCfg, issueUntil) {
+			a := a
+			w.Kernel.After(a.At, func() {
+				reqs[mhID] = append(reqs[mhID], mh.IssueRequest(a.Server, a.Payload))
+			})
+		}
+	}
+
+	w.RunUntil(p.horizon)
+
+	for mhID, rs := range reqs {
+		mh := w.MHs[mhID]
+		for _, r := range rs {
+			total++
+			if !mh.Seen(r) {
+				missing++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("chaos issued no requests; parameters degenerate")
+	}
+	if got := w.Stats.MSSCrashes.Value(); got != 2 {
+		t.Errorf("MSSCrashes = %d, want 2 (plan executed?)", got)
+	}
+	return w, missing, total
+}
+
+// TestChaosSoakRecovery asserts the headline E10 guarantee at soak
+// scale: under 10% wired loss, duplication, reordering, a partition and
+// two MSS crash/restart windows, the recovery stack still delivers every
+// result, with bounded duplicates.
+func TestChaosSoakRecovery(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w, missing, total := chaos(t, chaosParams{
+				seed: seed, mhs: 8, cells: 5, recovery: true,
+				horizon: 60 * time.Second, drainFor: 30 * time.Second,
+			})
+			if missing != 0 {
+				t.Errorf("%d of %d requests undelivered under chaos (delivered=%d wiredDrops=%d recoveryResends=%d)",
+					missing, total, w.Stats.ResultsDelivered.Value(),
+					w.Stats.WiredDrops.Value(), w.Stats.RecoveryResends.Value())
+			}
+			// Crash-window races and client retries may duplicate a few
+			// deliveries; the MH detects all of them (assumption 5). Only a
+			// storm would be a bug.
+			if dup, del := w.Stats.DuplicateDeliveries.Value(), w.Stats.ResultsDelivered.Value(); dup*10 > del {
+				t.Errorf("DuplicateDeliveries = %d of %d delivered; duplicate storm", dup, del)
+			}
+			if err := w.CheckInvariants(); err != nil {
+				t.Errorf("invariants at end: %v", err)
+			}
+			if w.Stats.WiredDrops.Value() == 0 {
+				t.Error("no wired drops recorded; fault plan inactive?")
+			}
+		})
+	}
+}
+
+// TestChaosAblationDegrades runs the identical fault plan with the whole
+// recovery stack off: permanent wired drops and amnesiac restarts must
+// lose results.
+func TestChaosAblationDegrades(t *testing.T) {
+	_, missing, total := chaos(t, chaosParams{
+		seed: 1, mhs: 8, cells: 5, recovery: false,
+		horizon: 60 * time.Second, drainFor: 30 * time.Second,
+	})
+	if missing == 0 {
+		t.Errorf("ablation delivered all %d requests; faults should have lost some", total)
+	}
+}
+
+// TestChaosDeterminism replays the same seed twice and demands identical
+// counters — the fault injector, ARQ timers and recovery passes must all
+// draw from the deterministic kernel.
+func TestChaosDeterminism(t *testing.T) {
+	run := func() [5]int64 {
+		w, missing, _ := chaos(t, chaosParams{
+			seed: 2, mhs: 6, cells: 5, recovery: true,
+			horizon: 45 * time.Second, drainFor: 20 * time.Second,
+		})
+		return [5]int64{
+			w.Stats.RequestsIssued.Value(),
+			w.Stats.ResultsDelivered.Value(),
+			w.Stats.WiredDrops.Value(),
+			w.Stats.Handoffs.Value(),
+			int64(missing),
+		}
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed diverged: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,133 @@
+package rdpcore
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+)
+
+// TestResultLostToSameTickMigration loses a ResultDeliver to a migration
+// racing its wireless flight: the result leaves mss1's radio while the
+// MH is still in cell 1 but the MH has entered cell 2 by delivery time.
+// The drop must be classified "unreachable" (satellite of the
+// EventDropped split), and the hand-off must recover the result: dereg →
+// deregack → update_currentLoc → re-forwarded result at the new station.
+func TestResultLostToSameTickMigration(t *testing.T) {
+	rec := trace.New()
+	cfg := DefaultConfig() // constant 5ms/20ms/150ms timings
+	cfg.Observer = rec.Observe
+	w := NewWorld(cfg)
+	mh := w.AddMH(1, 1)
+
+	var req ids.RequestID
+	w.Schedule(0, func() { req = mh.IssueRequest(1, []byte("race")) })
+	// Result timeline: uplink 20ms, server 25ms, +150ms processing, reply
+	// back at 180ms, ResultDeliver in flight 180→200ms. Migrating at
+	// 190ms puts the MH in cell 2 before the frame lands.
+	w.Schedule(190*time.Millisecond, func() { w.Migrate(1, 2) })
+	w.RunUntil(2 * time.Second)
+
+	if !mh.Seen(req) {
+		t.Fatal("result not recovered by the hand-off after the in-flight loss")
+	}
+	var unreachableDrops int
+	for _, e := range rec.Drops() {
+		if e.Msg.Kind() == msg.KindResultDeliver {
+			if e.Kind != netsim.EventDroppedUnreachable {
+				t.Errorf("ResultDeliver drop classified %v, want dropped-unreachable", e.Kind)
+			}
+			unreachableDrops++
+		}
+	}
+	if unreachableDrops != 1 {
+		t.Errorf("ResultDeliver drops = %d, want exactly 1\n%s", unreachableDrops, rec.String())
+	}
+	mss1, mss2 := ids.MSS(1).Node(), ids.MSS(2).Node()
+	if err := rec.ExpectSequence([]trace.Step{
+		{Kind: msg.KindGreet, To: mss2, Note: "MH greets the new station"},
+		{Kind: msg.KindDereg, From: mss2, To: mss1, Note: "hand-off starts"},
+		{Kind: msg.KindDeregAck, From: mss1, To: mss2, Note: "pref transferred"},
+		{Kind: msg.KindUpdateCurrentLoc, From: mss2, To: mss1, Note: "proxy learns the new location"},
+		{Kind: msg.KindResultForward, From: mss1, To: mss2, Note: "stored result re-forwarded"},
+		{Kind: msg.KindResultDeliver, From: mss2, Note: "delivery at the new cell"},
+		{Kind: msg.KindAckMH, To: mss2, Note: "MH acknowledges"},
+	}); err != nil {
+		t.Error(err)
+	}
+	if got := w.Stats.Retransmissions.Value(); got != 1 {
+		t.Errorf("Retransmissions = %d, want 1 (the recovery re-forward)", got)
+	}
+	if got := w.Stats.DuplicateDeliveries.Value(); got != 0 {
+		t.Errorf("DuplicateDeliveries = %d, want 0 (first copy never arrived)", got)
+	}
+	if err := w.CheckQuiescent(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAckLostAfterDelivery loses the MH's AckMH after a successful
+// delivery: the proxy still counts the request as pending, so the next
+// update_currentLoc (here a manual registration refresh) must make it
+// re-send the stored result; the MH detects the duplicate and re-acks.
+func TestAckLostAfterDelivery(t *testing.T) {
+	rec := trace.New()
+	cfg := DefaultConfig()
+	cfg.Observer = rec.Observe
+	acksDropped := 0
+	cfg.WirelessDropFilter = func(from, to ids.NodeID, m msg.Message) bool {
+		if m.Kind() == msg.KindAckMH && acksDropped == 0 {
+			acksDropped++
+			return true
+		}
+		return false
+	}
+	w := NewWorld(cfg)
+	mh := w.AddMH(1, 1)
+
+	var req ids.RequestID
+	w.Schedule(0, func() { req = mh.IssueRequest(1, []byte("lost-ack")) })
+	// Delivery (and the doomed ack) happen at 200ms; refresh well after.
+	w.Schedule(time.Second, func() { w.Refresh(1) })
+	w.RunUntil(3 * time.Second)
+
+	if !mh.Seen(req) {
+		t.Fatal("result never delivered")
+	}
+	if acksDropped != 1 {
+		t.Fatalf("filter dropped %d acks, want 1", acksDropped)
+	}
+	var ackDrops int
+	for _, e := range rec.Drops() {
+		if e.Msg.Kind() == msg.KindAckMH {
+			if e.Kind != netsim.EventDroppedLoss {
+				t.Errorf("AckMH drop classified %v, want dropped-loss", e.Kind)
+			}
+			ackDrops++
+		}
+	}
+	if ackDrops != 1 {
+		t.Errorf("AckMH drops in trace = %d, want 1", ackDrops)
+	}
+	mss1 := ids.MSS(1).Node()
+	if err := rec.ExpectSequence([]trace.Step{
+		{Kind: msg.KindResultDeliver, From: mss1, Note: "first delivery (ack will be lost)"},
+		{Kind: msg.KindGreet, To: mss1, Note: "registration refresh"},
+		{Kind: msg.KindResultDeliver, From: mss1, Note: "proxy re-sends on update_currentLoc"},
+		{Kind: msg.KindAckMH, To: mss1, Note: "duplicate detected and re-acked"},
+	}); err != nil {
+		t.Error(err)
+	}
+	if got := w.Stats.Retransmissions.Value(); got != 1 {
+		t.Errorf("Retransmissions = %d, want 1", got)
+	}
+	if got := w.Stats.DuplicateDeliveries.Value(); got != 1 {
+		t.Errorf("DuplicateDeliveries = %d, want 1 (the re-sent copy)", got)
+	}
+	if err := w.CheckQuiescent(); err != nil {
+		t.Error(err)
+	}
+}

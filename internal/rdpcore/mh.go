@@ -19,6 +19,11 @@ type MHNode struct {
 	w       *World
 	respMss ids.MSS
 	joined  bool
+	// regOld is the last station that *confirmed* a registration (see
+	// Config.RegConfirm). With confirmations on, greets name it as the
+	// old respMss: a station that never actually registered the MH (its
+	// greet was lost to a crash) must not anchor the hand-off chain.
+	regOld ids.MSS
 
 	nextSeq  uint32
 	seen     map[ids.RequestID]bool
@@ -72,10 +77,26 @@ func (h *MHNode) OnResult(fn func(req ids.RequestID, payload []byte, duplicate b
 func (h *MHNode) join(cell ids.MSS) {
 	h.respMss = cell
 	h.joined = true
+	h.regOld = 0 // no confirmed registration yet in this membership
 	h.uplink(msg.Join{MH: h.id})
 	if h.w.cfg.GreetRefresh > 0 {
 		h.scheduleRefresh()
 	}
+}
+
+// greetOld picks the old respMss a greet should name: the last confirmed
+// station when confirmations are on (falling back to the believed one
+// before the first confirmation), else the believed one.
+func (h *MHNode) greetOld(prev ids.MSS) ids.MSS {
+	if h.w.cfg.RegConfirm && h.regOld != 0 {
+		return h.regOld
+	}
+	return prev
+}
+
+// refreshGreet re-sends a registration beacon to the current respMss.
+func (h *MHNode) refreshGreet() {
+	h.uplink(msg.Greet{MH: h.id, OldMSS: h.greetOld(h.respMss)})
 }
 
 // scheduleRefresh re-greets the current respMss on a fixed period while
@@ -86,7 +107,7 @@ func (h *MHNode) scheduleRefresh() {
 			return
 		}
 		if h.w.IsActive(h.id) {
-			h.uplink(msg.Greet{MH: h.id, OldMSS: h.respMss})
+			h.refreshGreet()
 		}
 		h.scheduleRefresh()
 	})
@@ -162,7 +183,7 @@ func (h *MHNode) Retransmit(req ids.RequestID, server ids.Server, payload []byte
 // can start (§2, §3.2). From this moment the MH answers only the new
 // station.
 func (h *MHNode) onMigrate(newCell ids.MSS) {
-	old := h.respMss
+	old := h.greetOld(h.respMss)
 	h.respMss = newCell
 	h.uplink(msg.Greet{MH: h.id, OldMSS: old})
 }
@@ -172,7 +193,7 @@ func (h *MHNode) onMigrate(newCell ids.MSS) {
 // hand-off; §3.2) or a new one if it was carried while inactive — and
 // flushes requests queued during inactivity.
 func (h *MHNode) onActivate(cell ids.MSS) {
-	old := h.respMss
+	old := h.greetOld(h.respMss)
 	h.respMss = cell
 	h.uplink(msg.Greet{MH: h.id, OldMSS: old})
 	queued := h.queued
@@ -189,6 +210,12 @@ func (h *MHNode) onActivate(cell ids.MSS) {
 func (h *MHNode) HandleMessage(from ids.NodeID, m msg.Message) {
 	if from != h.respMss.Node() {
 		h.w.Stats.OrphanMessages.Inc()
+		return
+	}
+	if _, ok := m.(msg.RegConfirm); ok {
+		// The station confirmed our registration; future greets may
+		// anchor their hand-off chain here (see Config.RegConfirm).
+		h.regOld = h.respMss
 		return
 	}
 	r, ok := m.(msg.ResultDeliver)

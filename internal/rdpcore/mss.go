@@ -25,6 +25,7 @@ import (
 // decision for when they do not.
 type arrival struct {
 	greetAt  sim.Time
+	oldMSS   ids.MSS     // the greet's old respMss (dedups refresh beacons)
 	buffered []inboxItem // wireless data (requests, acks) from the MH
 	deferred []inboxItem // greets/deregs awaiting our registration
 }
@@ -90,6 +91,18 @@ type MSSNode struct {
 	held            map[ids.MH][]msg.ResultDeliver
 	heldAcksPending map[ids.MH]map[ids.RequestID]bool
 	deferredUpdate  map[ids.MH]bool
+	// lastAttempt and reqAttempt record when this station last sent a
+	// ResultDeliver to each (then-reachable) MH, overall and per request.
+	// With registration-refresh beacons on (Config.GreetRefresh), a
+	// refresh arriving inside the delivery round trip must not prompt the
+	// proxy into re-sending a result whose Ack is simply still in the
+	// air — and a redundant forward of a result whose own delivery
+	// attempt is still in flight (e.g. an ARQ-held forward racing a
+	// recovery re-send after a restart) is not re-transmitted over the
+	// radio. Volatile: lost on crash, like the rest of the radio-side
+	// bookkeeping.
+	lastAttempt map[ids.MH]sim.Time
+	reqAttempt  map[ids.RequestID]sim.Time
 
 	// inbox implements the priority rule of §3.1 ("higher priority is
 	// given to forwarding Ack messages than to engaging in any new
@@ -115,6 +128,8 @@ func newMSSNode(id ids.MSS, w *World) *MSSNode {
 		held:            make(map[ids.MH][]msg.ResultDeliver),
 		heldAcksPending: make(map[ids.MH]map[ids.RequestID]bool),
 		deferredUpdate:  make(map[ids.MH]bool),
+		lastAttempt:     make(map[ids.MH]sim.Time),
+		reqAttempt:      make(map[ids.RequestID]sim.Time),
 	}
 }
 
@@ -188,6 +203,12 @@ func (n *MSSNode) processNext() {
 
 // process dispatches one message.
 func (n *MSSNode) process(from ids.NodeID, m msg.Message) {
+	// A crashed host loses whatever was addressed to it: the network
+	// substrates gate external traffic, and this guard covers the
+	// remaining internal paths (self-sends and timers armed pre-crash).
+	if n.w.down[n.id] {
+		return
+	}
 	switch v := m.(type) {
 	case msg.Join:
 		n.handleJoin(v)
@@ -228,6 +249,8 @@ func (n *MSSNode) handleJoin(m msg.Join) {
 	if _, ok := n.prefs[m.MH]; !ok {
 		n.prefs[m.MH] = &msg.Pref{}
 	}
+	n.persistMH(m.MH)
+	n.sendRegConfirm(m.MH)
 	// Serve deregs that were parked while we knew nothing about the MH:
 	// now registered, the normal responsible path answers them.
 	if parked := n.pendingDeregs[m.MH]; len(parked) > 0 {
@@ -251,6 +274,7 @@ func (n *MSSNode) handleLeave(m msg.Leave) {
 	delete(n.heldAcksPending, m.MH)
 	delete(n.deferredUpdate, m.MH)
 	delete(n.outstanding, m.MH)
+	n.persistMH(m.MH)
 }
 
 // handleGreet implements §3.2: a greet from a new cell starts the
@@ -259,6 +283,12 @@ func (n *MSSNode) handleLeave(m msg.Leave) {
 // results).
 func (n *MSSNode) handleGreet(m msg.Greet) {
 	if arr, ok := n.arriving[m.MH]; ok {
+		if n.w.cfg.RegConfirm && m.OldMSS == arr.oldMSS {
+			// A registration-refresh beacon repeating the greet that
+			// started the pending hand-off; deferring it would replay a
+			// redundant hand-off per beacon once we register.
+			return
+		}
 		// The MH re-entered this cell (or reactivated here) while our own
 		// registration for it is still pending; replay the greet once the
 		// registration lands so the hand-off chain stays chronological.
@@ -275,34 +305,102 @@ func (n *MSSNode) handleGreet(m msg.Greet) {
 				// carried the registration elsewhere. Fetch it back: run
 				// a normal hand-off toward the station we forwarded to;
 				// the dereg follows the chain to the current holder.
-				n.arriving[m.MH] = &arrival{greetAt: n.w.Kernel.Now()}
-				n.sendWired(next.Node(), msg.Dereg{MH: m.MH, NewMSS: n.id})
+				n.arriving[m.MH] = &arrival{greetAt: n.w.Kernel.Now(), oldMSS: m.OldMSS}
+				n.sendDereg(next, m.MH)
 				return
 			}
 			// Genuinely unknown MH with no trace of a registration: there
 			// is no state to reactivate; register it like a join.
 			n.handleJoin(msg.Join{MH: m.MH})
+		} else {
+			n.sendRegConfirm(m.MH)
 		}
-		delete(n.deferredUpdate, m.MH) // recomputed below
-		if pref, ok := n.prefs[m.MH]; ok && pref.HasProxy() {
-			if len(n.held[m.MH]) > 0 {
-				// Held results are about to be delivered; defer the
-				// update_currentLoc until their Acks pass through so the
-				// proxy is not prompted into a redundant retransmission.
-				n.deferredUpdate[m.MH] = true
-			} else {
-				n.sendUpdateCurrLoc(pref.Proxy, m.MH)
-			}
-		}
-		n.deliverHeld(m.MH)
+		n.reactivateInPlace(m.MH)
+		return
+	}
+	if n.w.cfg.RegConfirm && n.localMhs[m.MH] {
+		// Already responsible although the MH names another old station:
+		// its confirmation for our registration was lost, or the deregack
+		// re-establishing us outran this greet after our restart. Starting
+		// a hand-off toward the named station would chase a pref that is
+		// already here; re-confirm and treat it as a reactivation.
+		n.w.Stats.Reactivations.Inc()
+		n.sendRegConfirm(m.MH)
+		n.reactivateInPlace(m.MH)
 		return
 	}
 	// Migration into this cell: start the Hand-off with the old station.
 	// Deregs that overtook this greet join the arrival's deferred queue.
-	arr := &arrival{greetAt: n.w.Kernel.Now(), deferred: n.pendingDeregs[m.MH]}
+	arr := &arrival{greetAt: n.w.Kernel.Now(), oldMSS: m.OldMSS, deferred: n.pendingDeregs[m.MH]}
 	delete(n.pendingDeregs, m.MH)
 	n.arriving[m.MH] = arr
-	n.sendWired(m.OldMSS.Node(), msg.Dereg{MH: m.MH, NewMSS: n.id})
+	n.sendDereg(m.OldMSS, m.MH)
+}
+
+// reactivateInPlace runs the reactivation tail for a responsible MH:
+// prompt the proxy with an update_currentLoc (or defer it behind held
+// deliveries) and flush held results.
+func (n *MSSNode) reactivateInPlace(mh ids.MH) {
+	delete(n.deferredUpdate, mh) // recomputed below
+	if pref, ok := n.prefs[mh]; ok && pref.HasProxy() {
+		if n.w.cfg.GreetRefresh > 0 {
+			// With refresh beacons on, a greet can land between a
+			// delivery attempt to the (reachable) MH and the return of
+			// its Ack; prompting the proxy then re-sends a result that is
+			// merely in flight. Skip the update while the last attempt's
+			// round trip can still complete — if that delivery was in
+			// fact lost, the next beacon falls outside the window and
+			// recovers it.
+			if at, ok := n.lastAttempt[mh]; ok &&
+				n.w.Kernel.Now()-at < n.deliveryWindow() {
+				n.deliverHeld(mh)
+				return
+			}
+		}
+		if len(n.held[mh]) > 0 {
+			// Held results are about to be delivered; defer the
+			// update_currentLoc until their Acks pass through so the
+			// proxy is not prompted into a redundant retransmission.
+			n.deferredUpdate[mh] = true
+		} else {
+			n.sendUpdateCurrLoc(pref.Proxy, mh)
+		}
+	}
+	n.deliverHeld(mh)
+}
+
+// sendDereg starts (or continues) a hand-off toward the station believed
+// to hold the pref and, when peer-outage detection is configured, arms a
+// timer that re-issues the Dereg while the hand-off stays pending — the
+// old station may have crashed before serving it.
+func (n *MSSNode) sendDereg(old ids.MSS, mh ids.MH) {
+	n.sendWired(old.Node(), msg.Dereg{MH: mh, NewMSS: n.id})
+	if n.w.cfg.HandoffTimeout > 0 {
+		n.armHandoffTimer(old, mh)
+	}
+}
+
+func (n *MSSNode) armHandoffTimer(old ids.MSS, mh ids.MH) {
+	n.w.Kernel.After(n.w.cfg.HandoffTimeout, func() {
+		if n.w.down[n.id] {
+			return // we crashed ourselves; the arrival is gone
+		}
+		if _, pending := n.arriving[mh]; !pending {
+			return
+		}
+		n.w.Stats.HandoffReissues.Inc()
+		n.sendWired(old.Node(), msg.Dereg{MH: mh, NewMSS: n.id})
+		n.armHandoffTimer(old, mh)
+	})
+}
+
+// sendRegConfirm confirms a registration to the MH over the downlink
+// (see Config.RegConfirm).
+func (n *MSSNode) sendRegConfirm(mh ids.MH) {
+	if !n.w.cfg.RegConfirm {
+		return
+	}
+	n.w.Wireless.SendDownlink(n.id, mh, msg.RegConfirm{MH: mh})
 }
 
 // handleRequest implements §3.1/§3.3 request routing: create a proxy
@@ -337,15 +435,18 @@ func (n *MSSNode) handleRequest(from ids.NodeID, m msg.Request) {
 	n.outstanding[mh][m.Req] = true
 	if !pref.HasProxy() {
 		n.nextProxySeq++
+		n.persistSeq()
 		id := ids.ProxyID{Host: n.id, Seq: n.nextProxySeq}
 		p := newProxy(id, mh, n)
 		n.proxies[id.Seq] = p
 		pref.Proxy = id
+		n.persistMH(mh)
 		n.w.Stats.ProxiesCreated.Inc()
 		n.w.Stats.ProxyCreations[n.id]++
 		p.addRequest(m.Req, m.Server, m.Payload)
 		return
 	}
+	n.persistMH(mh)
 	if pref.Proxy.Host == n.id {
 		if p := n.proxies[pref.Proxy.Seq]; p != nil {
 			p.addRequest(m.Req, m.Server, m.Payload)
@@ -372,6 +473,13 @@ func (n *MSSNode) handleAckMH(from ids.NodeID, m msg.AckMH) {
 	if n.ignoreAcks[m.MH] {
 		n.w.Stats.IgnoredAcks.Inc()
 		return
+	}
+	if n.w.cfg.GreetRefresh > 0 {
+		// The Ack is proof of a completed delivery. Refresh (don't clear)
+		// the attempt record: a redundant forward of the same result may
+		// still be in the backbone — dropped once and resurrected by the
+		// ARQ well after the Ack — and must be suppressed when it lands.
+		n.reqAttempt[m.Req] = n.w.Kernel.Now()
 	}
 	if !n.localMhs[m.MH] {
 		n.w.Stats.OrphanMessages.Inc()
@@ -402,6 +510,7 @@ func (n *MSSNode) handleAckMH(from ids.NodeID, m msg.AckMH) {
 		pref.Proxy = ids.NoProxy
 		pref.RKpR = false
 	}
+	n.persistMH(m.MH)
 	n.w.Stats.AckForwards.Inc()
 	n.sendToStation(proxy.Host,
 		msg.AckForward{Proxy: proxy, MH: m.MH, Req: m.Req, DelProxy: delProxy})
@@ -421,6 +530,17 @@ func (n *MSSNode) handleAckMH(from ids.NodeID, m msg.AckMH) {
 // wherever it sent the pref. Only a station that is itself *about to
 // receive* the pref defers the dereg until its registration completes.
 func (n *MSSNode) handleDereg(from ids.NodeID, m msg.Dereg) {
+	if m.NewMSS == n.id && n.localMhs[m.MH] && n.arriving[m.MH] == nil {
+		// A re-issued Dereg of ours returned along the forwarding chain
+		// after its hand-off already completed (the deregack outran it,
+		// typically held by ARQ across our crash window): we are
+		// responsible and expect no further deregack, so serving our own
+		// Dereg would just churn responsibility through a self round
+		// trip. Drop it. (A dereg reaching its own NewMSS *while* an
+		// arrival is pending is the fast-migration chain case and takes
+		// the normal path below.)
+		return
+	}
 	if n.localMhs[m.MH] {
 		n.ignoreAcks[m.MH] = true
 		n.forwardTo[m.MH] = m.NewMSS
@@ -434,6 +554,7 @@ func (n *MSSNode) handleDereg(from ids.NodeID, m msg.Dereg) {
 		delete(n.heldAcksPending, m.MH)
 		delete(n.deferredUpdate, m.MH)
 		delete(n.outstanding, m.MH)
+		n.persistMH(m.MH)
 		n.sendWired(m.NewMSS.Node(), msg.DeregAck{MH: m.MH, Pref: pref})
 		return
 	}
@@ -463,6 +584,8 @@ func (n *MSSNode) handleDeregAck(m msg.DeregAck) {
 	delete(n.forwardTo, m.MH)
 	pref := m.Pref
 	n.prefs[m.MH] = &pref
+	n.persistMH(m.MH)
+	n.sendRegConfirm(m.MH)
 	n.w.Stats.Handoffs.Inc()
 	if arr != nil {
 		n.w.Stats.HandoffLatency.Observe(time.Duration(n.w.Kernel.Now() - arr.greetAt))
@@ -524,6 +647,7 @@ func (n *MSSNode) handleResultForward(m msg.ResultForward) {
 	if m.DelPref {
 		if pref, ok := n.prefs[m.MH]; ok && pref.Proxy == m.Proxy {
 			pref.RKpR = true
+			n.persistMH(m.MH)
 		}
 	}
 	deliver := msg.ResultDeliver{Req: m.Req, Payload: m.Payload, DelPref: m.DelPref}
@@ -533,7 +657,32 @@ func (n *MSSNode) handleResultForward(m msg.ResultForward) {
 		n.w.Stats.HeldResults.Inc()
 		return
 	}
+	if n.w.cfg.GreetRefresh > 0 && n.w.Reachable(n.id, m.MH) {
+		now := n.w.Kernel.Now()
+		if at, ok := n.reqAttempt[m.Req]; ok && now-at < n.deliveryWindow() {
+			// A delivery attempt for this very result went out to the
+			// reachable MH within the last round trip; this forward is a
+			// redundant copy (beacon- or recovery-prompted) whose
+			// original may still be acknowledged.
+			return
+		}
+		n.lastAttempt[m.MH] = now
+		n.reqAttempt[m.Req] = now
+	}
 	n.w.Wireless.SendDownlink(n.id, m.MH, deliver)
+}
+
+// deliveryWindow is how long a downlink delivery attempt to a reachable
+// MH may remain unconfirmed before the refresh machinery treats it as
+// lost: two wireless legs (result out, Ack back) with slack, plus — when
+// the backbone runs the ARQ — enough room for a redundant forward that
+// was dropped on the wire to be resurrected by retransmission.
+func (n *MSSNode) deliveryWindow() sim.Time {
+	w := sim.Time(4 * n.w.cfg.WirelessLatency.Mean())
+	if n.w.cfg.WiredARQ.Enabled {
+		w += sim.Time(2 * n.w.cfg.WiredARQ.MaxBackoff)
+	}
+	return w
 }
 
 // deliverHeld flushes results held for an inactive MH (footnote 3),
@@ -581,6 +730,7 @@ func (n *MSSNode) noteHeldAck(mh ids.MH, req ids.RequestID) {
 func (n *MSSNode) handleDelPrefOnly(m msg.DelPrefOnly) {
 	if pref, ok := n.prefs[m.MH]; ok && pref.Proxy == m.Proxy {
 		pref.RKpR = true
+		n.persistMH(m.MH)
 		return
 	}
 	n.w.Stats.OrphanMessages.Inc()
@@ -596,6 +746,7 @@ func (n *MSSNode) handleAckForward(m msg.AckForward) {
 	}
 	if p.onAck(m.Req, m.DelProxy) {
 		delete(n.proxies, m.Proxy.Seq)
+		n.unpersistProxy(m.Proxy.Seq)
 		n.w.Stats.ProxiesDeleted.Inc()
 		n.w.Stats.ProxySeconds[n.id] += time.Duration(n.w.Kernel.Now() - p.createdAt)
 	}

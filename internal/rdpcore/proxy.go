@@ -74,6 +74,7 @@ func (p *Proxy) addRequest(req ids.RequestID, server ids.Server, payload []byte)
 	r := &proxyReq{server: server, payload: payload}
 	p.reqs[req] = r
 	p.order = append(p.order, req)
+	p.host.persistProxy(p)
 	p.host.sendWired(server.Node(), msg.ServerRequest{Proxy: p.id, Req: req, Payload: payload})
 }
 
@@ -104,6 +105,7 @@ func (p *Proxy) forwardResult(req ids.RequestID, r *proxyReq) {
 		p.host.w.Stats.Retransmissions.Inc()
 	}
 	r.forwarded = true
+	p.host.persistProxy(p) // result + forwarded flag reach stable store
 	p.host.w.Stats.ResultForwards[p.host.id]++
 	fwd := msg.ResultForward{Proxy: p.id, MH: p.mh, Req: req, Payload: r.result, DelPref: delPref}
 	p.host.sendToStation(p.currentLoc, fwd)
@@ -115,6 +117,7 @@ func (p *Proxy) forwardResult(req ids.RequestID, r *proxyReq) {
 // from pending requests to be re-sent to the new location").
 func (p *Proxy) onUpdateLoc(newLoc ids.MSS) {
 	p.currentLoc = newLoc
+	p.host.persistProxy(p)
 	for _, req := range p.order {
 		r, ok := p.reqs[req]
 		if !ok || !r.hasResult {
@@ -146,6 +149,7 @@ func (p *Proxy) onAck(req ids.RequestID, delProxy bool) (deleted bool) {
 			p.host.sendWired(r.server.Node(), msg.ServerAck{Req: req})
 			p.host.w.Stats.ServerAcks.Inc()
 		}
+		p.host.persistProxy(p)
 	}
 	if delProxy {
 		if len(p.reqs) != 0 {

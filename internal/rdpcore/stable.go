@@ -1,0 +1,257 @@
+package rdpcore
+
+import (
+	"sort"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// This file implements MSS crash/recovery. The paper assumes support
+// stations never fail; E10 removes that assumption. Stations journal
+// their protocol state — responsibility, prefs with life-cycle flags,
+// forwarding pointers, outstanding-request routing knowledge, and the
+// full requestList of every hosted proxy — to an in-sim stable store on
+// every mutation (write-through snapshots per entity). A crash wipes
+// the station's memory; a restart replays the journal and, after a
+// grace period, re-issues whatever the journal shows incomplete.
+
+// mhRecord is the journaled per-MH state of one station.
+type mhRecord struct {
+	responsible bool
+	pref        msg.Pref
+	hasPref     bool
+	ignoreAcks  bool
+	forwardTo   ids.MSS
+	hasForward  bool
+	outstanding map[ids.RequestID]bool
+}
+
+// proxyReqRecord is one journaled requestList entry.
+type proxyReqRecord struct {
+	req       ids.RequestID
+	server    ids.Server
+	payload   []byte
+	result    []byte
+	hasResult bool
+	forwarded bool
+}
+
+// proxyRecord is the journaled image of one hosted proxy.
+type proxyRecord struct {
+	id         ids.ProxyID
+	mh         ids.MH
+	currentLoc ids.MSS
+	reqs       []proxyReqRecord // insertion order
+}
+
+// stationRecord is one station's journal.
+type stationRecord struct {
+	mhs     map[ids.MH]*mhRecord
+	proxies map[uint32]*proxyRecord
+	nextSeq uint32
+}
+
+// stableStore is the world's stable storage: per-station journals that
+// survive crashes by construction (the store lives in the World, not in
+// the stations).
+type stableStore struct {
+	stations map[ids.MSS]*stationRecord
+	writes   int64
+}
+
+func newStableStore() *stableStore {
+	return &stableStore{stations: make(map[ids.MSS]*stationRecord)}
+}
+
+func (s *stableStore) station(id ids.MSS) *stationRecord {
+	rec := s.stations[id]
+	if rec == nil {
+		rec = &stationRecord{
+			mhs:     make(map[ids.MH]*mhRecord),
+			proxies: make(map[uint32]*proxyRecord),
+		}
+		s.stations[id] = rec
+	}
+	return rec
+}
+
+// persistMH journals this station's complete per-MH state for mh. Call
+// it after any mutation of localMhs/prefs/ignoreAcks/forwardTo/
+// outstanding for that MH; a snapshot with nothing left to remember
+// erases the record.
+func (n *MSSNode) persistMH(mh ids.MH) {
+	if !n.w.cfg.Checkpoint {
+		return
+	}
+	rec := n.w.store.station(n.id)
+	r := &mhRecord{
+		responsible: n.localMhs[mh],
+		ignoreAcks:  n.ignoreAcks[mh],
+	}
+	if p, ok := n.prefs[mh]; ok {
+		r.pref, r.hasPref = *p, true
+	}
+	if f, ok := n.forwardTo[mh]; ok {
+		r.forwardTo, r.hasForward = f, true
+	}
+	if set := n.outstanding[mh]; len(set) > 0 {
+		r.outstanding = make(map[ids.RequestID]bool, len(set))
+		for req := range set {
+			r.outstanding[req] = true
+		}
+	}
+	if !r.responsible && !r.hasPref && !r.ignoreAcks && !r.hasForward {
+		delete(rec.mhs, mh)
+	} else {
+		rec.mhs[mh] = r
+	}
+	n.w.store.writes++
+}
+
+// persistProxy journals the full image of a hosted proxy. Call it after
+// any requestList or currentLoc mutation.
+func (n *MSSNode) persistProxy(p *Proxy) {
+	if !n.w.cfg.Checkpoint {
+		return
+	}
+	rec := n.w.store.station(n.id)
+	pr := &proxyRecord{id: p.id, mh: p.mh, currentLoc: p.currentLoc}
+	for _, req := range p.order {
+		r := p.reqs[req]
+		pr.reqs = append(pr.reqs, proxyReqRecord{
+			req: req, server: r.server, payload: r.payload,
+			result: r.result, hasResult: r.hasResult, forwarded: r.forwarded,
+		})
+	}
+	rec.proxies[p.id.Seq] = pr
+	n.w.store.writes++
+}
+
+// unpersistProxy erases a deleted proxy's journal entry.
+func (n *MSSNode) unpersistProxy(seq uint32) {
+	if !n.w.cfg.Checkpoint {
+		return
+	}
+	delete(n.w.store.station(n.id).proxies, seq)
+	n.w.store.writes++
+}
+
+// persistSeq journals the proxy sequence counter so a restarted station
+// never reuses a proxy identifier.
+func (n *MSSNode) persistSeq() {
+	if !n.w.cfg.Checkpoint {
+		return
+	}
+	n.w.store.station(n.id).nextSeq = n.nextProxySeq
+	n.w.store.writes++
+}
+
+// crash wipes the station's memory. Volatile state — message queues,
+// pending hand-offs and parked deregs, held results, deferred-update
+// bookkeeping — is gone in every configuration; the protocol state is
+// gone too, but recoverable from the journal when Checkpoint is on.
+// nextProxySeq deliberately survives (a monotonic boot counter): reusing
+// a proxy identifier after an amnesiac restart would alias stale prefs
+// elsewhere onto a fresh proxy.
+func (n *MSSNode) crash() {
+	n.inbox = nil
+	n.arriving = make(map[ids.MH]*arrival)
+	n.pendingDeregs = make(map[ids.MH][]inboxItem)
+	n.held = make(map[ids.MH][]msg.ResultDeliver)
+	n.heldAcksPending = make(map[ids.MH]map[ids.RequestID]bool)
+	n.deferredUpdate = make(map[ids.MH]bool)
+	n.lastAttempt = make(map[ids.MH]sim.Time)
+	n.reqAttempt = make(map[ids.RequestID]sim.Time)
+	n.localMhs = make(map[ids.MH]bool)
+	n.prefs = make(map[ids.MH]*msg.Pref)
+	n.outstanding = make(map[ids.MH]map[ids.RequestID]bool)
+	n.proxies = make(map[uint32]*Proxy)
+	n.ignoreAcks = make(map[ids.MH]bool)
+	n.forwardTo = make(map[ids.MH]ids.MSS)
+}
+
+// restoreFromStore replays the journal into memory after a restart.
+func (n *MSSNode) restoreFromStore() {
+	rec := n.w.store.station(n.id)
+	for mh, r := range rec.mhs {
+		if r.responsible {
+			n.localMhs[mh] = true
+		}
+		if r.hasPref {
+			pref := r.pref
+			n.prefs[mh] = &pref
+		}
+		if r.ignoreAcks {
+			n.ignoreAcks[mh] = true
+		}
+		if r.hasForward {
+			n.forwardTo[mh] = r.forwardTo
+		}
+		if len(r.outstanding) > 0 {
+			set := make(map[ids.RequestID]bool, len(r.outstanding))
+			for req := range r.outstanding {
+				set[req] = true
+			}
+			n.outstanding[mh] = set
+		}
+	}
+	if rec.nextSeq > n.nextProxySeq {
+		n.nextProxySeq = rec.nextSeq
+	}
+	for seq, pr := range rec.proxies {
+		// createdAt restarts at the restart instant; the station's
+		// ProxySeconds accounting loses the pre-crash span.
+		p := newProxy(pr.id, pr.mh, n)
+		p.currentLoc = pr.currentLoc
+		for _, rr := range pr.reqs {
+			p.reqs[rr.req] = &proxyReq{
+				server: rr.server, payload: rr.payload,
+				result: rr.result, hasResult: rr.hasResult, forwarded: rr.forwarded,
+			}
+			p.order = append(p.order, rr.req)
+		}
+		n.proxies[seq] = p
+	}
+}
+
+// recoveryResend runs after RecoveryGrace: for every restored proxy it
+// re-issues the server request of each result-less entry (covers a
+// reply lost with the crash when the backbone has no ARQ) and
+// re-forwards each stored, still-unacked result; for every responsible
+// MH whose proxy lives elsewhere it re-announces this station as the
+// MH's location, prompting that proxy to re-send anything stranded.
+// Iteration is sorted so recovery traffic is deterministic.
+func (n *MSSNode) recoveryResend() {
+	seqs := make([]int, 0, len(n.proxies))
+	for seq := range n.proxies {
+		seqs = append(seqs, int(seq))
+	}
+	sort.Ints(seqs)
+	for _, seq := range seqs {
+		p := n.proxies[uint32(seq)]
+		for _, req := range p.order {
+			r := p.reqs[req]
+			n.w.Stats.RecoveryResends.Inc()
+			if r.hasResult {
+				p.forwardResult(req, r)
+			} else {
+				n.sendWired(r.server.Node(), msg.ServerRequest{Proxy: p.id, Req: req, Payload: r.payload})
+			}
+		}
+	}
+	mhs := make([]int, 0, len(n.localMhs))
+	for mh := range n.localMhs {
+		mhs = append(mhs, int(mh))
+	}
+	sort.Ints(mhs)
+	for _, m := range mhs {
+		mh := ids.MH(m)
+		pref := n.prefs[mh]
+		if pref != nil && pref.HasProxy() && pref.Proxy.Host != n.id {
+			n.w.Stats.RecoveryResends.Inc()
+			n.sendUpdateCurrLoc(pref.Proxy, mh)
+		}
+	}
+}

@@ -64,6 +64,22 @@ type Stats struct {
 	// WirelessDrops counts frames lost on the wireless layer (random
 	// loss, migration or inactivity at delivery time).
 	WirelessDrops metrics.Counter
+	// WiredDrops counts frames lost on the wired layer: injected faults,
+	// partitions, and frames addressed to a crashed station. Zero under
+	// the paper's assumption 1; E10 removes it.
+	WiredDrops metrics.Counter
+	// MSSCrashes and MSSRestarts count station outages executed by the
+	// World (E10's failure model; the paper assumes MSSs never fail).
+	MSSCrashes  metrics.Counter
+	MSSRestarts metrics.Counter
+	// RecoveryResends counts messages a restarted station re-issued while
+	// replaying its stable-store journal (server re-requests and result
+	// re-forwards).
+	RecoveryResends metrics.Counter
+	// HandoffReissues counts Dereg retransmissions sent by a new station
+	// whose hand-off timed out (peer-outage detection; see
+	// Config.HandoffTimeout).
+	HandoffReissues metrics.Counter
 	// HandoffStateBytes accumulates the wire size of hand-off state
 	// transfers (DeregAck for RDP; ImageTransfer for the I-TCP baseline),
 	// the E6 measurement.

@@ -66,6 +66,40 @@ type Config struct {
 	ServerProc netsim.LatencyModel
 	// ServerHandler computes reply payloads; nil means server.Echo.
 	ServerHandler server.Handler
+	// WiredFaults, when set, injects per-attempt faults (drop, duplicate,
+	// delay, partition) on every wired transmission — typically a
+	// faults.Injector. Nil keeps the paper's reliable backbone.
+	WiredFaults netsim.FaultHook
+	// WiredARQ enables the wired link-layer retransmission protocol, which
+	// restores reliable causal delivery under WiredFaults (the E10
+	// recovery configuration). Off, an injected drop is permanent.
+	WiredARQ netsim.ARQConfig
+	// Checkpoint makes every station journal its protocol state (prefs,
+	// responsibility, forwarding pointers, proxies) to an in-sim stable
+	// store on every mutation, and replay the journal on restart after a
+	// crash. Off, a crashed station restarts amnesiac (the E10 ablation).
+	Checkpoint bool
+	// RecoveryGrace is the pause between a checkpointed station's restart
+	// and its recovery resends (re-issued server requests, re-forwarded
+	// results, re-announced locations). The grace lets ARQ-held inbound
+	// traffic — acks in particular — drain first, so the recovery pass
+	// does not re-send results that were delivered just before the crash.
+	RecoveryGrace time.Duration
+	// HandoffTimeout, when positive, makes a new station re-issue its
+	// Dereg while the hand-off is still pending after the timeout — the
+	// peer-outage detection that unsticks hand-offs whose old station
+	// crashed mid-transfer. Zero trusts the backbone (paper assumption 1).
+	HandoffTimeout time.Duration
+	// RegConfirm makes stations confirm every registration to the MH over
+	// the downlink; the MH then names its last *confirmed* station as the
+	// old respMss in greets. Without it, a greet lost to a crashed station
+	// leaves the MH pointing its hand-off chain at a station that never
+	// registered it.
+	RegConfirm bool
+	// WirelessDropFilter, when set, force-drops matching wireless frames
+	// (delivery-time on the downlink, send-time on the uplink) — a
+	// deterministic testing hook for targeted-loss scenarios.
+	WirelessDropFilter func(from, to ids.NodeID, m msg.Message) bool
 	// Observer, when set, receives every network event (tracing).
 	Observer netsim.Observer
 	// WiredSeq and WirelessSeq install adversarial delivery sequencers
@@ -108,6 +142,12 @@ type World struct {
 	mssList []ids.MSS
 	loc     map[ids.MH]ids.MSS
 	active  map[ids.MH]bool
+
+	// down marks crashed stations; see CrashMSS/RestartMSS. store is the
+	// in-sim stable storage stations journal to when Config.Checkpoint is
+	// on — it survives crashes by construction.
+	down  map[ids.MSS]bool
+	store *stableStore
 }
 
 // NewWorld builds a world from cfg on a deterministic discrete-event
@@ -142,6 +182,8 @@ func NewWorldWith(sched sim.Scheduler, cfg Config, wired netsim.WiredTransport, 
 		MHs:     make(map[ids.MH]*MHNode),
 		loc:     make(map[ids.MH]ids.MSS),
 		active:  make(map[ids.MH]bool),
+		down:    make(map[ids.MSS]bool),
+		store:   newStableStore(),
 	}
 
 	members := make([]ids.NodeID, 0, cfg.NumMSS+cfg.NumServers)
@@ -160,15 +202,19 @@ func NewWorldWith(sched sim.Scheduler, cfg Config, wired netsim.WiredTransport, 
 			Causal:      cfg.Causal,
 			Seq:         cfg.WiredSeq,
 			PairLatency: cfg.WiredPairLatency,
+			Faults:      cfg.WiredFaults,
+			ARQ:         cfg.WiredARQ,
+			Down:        w.nodeDown,
 		}, obs)
 	}
 	w.Wired = wired
 	if wireless == nil {
 		wireless = netsim.NewWireless(w.Kernel, netsim.WirelessConfig{
-			Latency:   cfg.WirelessLatency,
-			LossProb:  cfg.WirelessLoss,
-			Reachable: w.reachable,
-			Seq:       cfg.WirelessSeq,
+			Latency:    cfg.WirelessLatency,
+			LossProb:   cfg.WirelessLoss,
+			Reachable:  w.reachable,
+			Seq:        cfg.WirelessSeq,
+			DropFilter: cfg.WirelessDropFilter,
 		}, obs)
 	}
 	w.Wireless = wireless
@@ -192,8 +238,11 @@ func NewWorldWith(sched sim.Scheduler, cfg Config, wired netsim.WiredTransport, 
 // external observer.
 func (w *World) statsObserver(ext netsim.Observer) netsim.Observer {
 	return func(at sim.Time, layer netsim.Layer, kind netsim.EventKind, from, to ids.NodeID, m msg.Message) {
-		if layer == netsim.LayerWireless && kind == netsim.EventDropped {
+		if layer == netsim.LayerWireless && kind.IsDrop() {
 			w.Stats.WirelessDrops.Inc()
+		}
+		if layer == netsim.LayerWired && kind.IsDrop() {
+			w.Stats.WiredDrops.Inc()
 		}
 		if layer == netsim.LayerWired && kind == netsim.EventSent {
 			switch m.Kind() {
@@ -322,7 +371,7 @@ func (w *World) Refresh(id ids.MH) {
 	if !ok || !h.joined || !w.active[id] {
 		return
 	}
-	h.uplink(msg.Greet{MH: h.id, OldMSS: h.respMss})
+	h.refreshGreet()
 }
 
 // InCell reports whether the MH is currently located in the cell of the
@@ -336,10 +385,65 @@ func (w *World) IsActive(id ids.MH) bool { return w.active[id] }
 func (w *World) Location(id ids.MH) ids.MSS { return w.loc[id] }
 
 // reachable implements the wireless gate: in the station's cell and
-// active.
+// active, and the station's radio itself up (a crashed station neither
+// transmits nor receives).
 func (w *World) reachable(mss ids.MSS, mh ids.MH) bool {
-	return w.loc[mh] == mss && w.active[mh]
+	return w.loc[mh] == mss && w.active[mh] && !w.down[mss]
 }
+
+// nodeDown is the wired substrate's down gate: frames addressed to a
+// crashed station are dropped un-acked (the ARQ sender keeps
+// retransmitting them until the station restarts).
+func (w *World) nodeDown(node ids.NodeID) bool {
+	return node.Kind == ids.KindMSS && w.down[ids.MSS(node.Num)]
+}
+
+// IsDown reports whether the station is currently crashed.
+func (w *World) IsDown(id ids.MSS) bool { return w.down[id] }
+
+// CrashMSS fail-stops a station: its volatile state (message queues,
+// pending hand-offs, held results — and, without Config.Checkpoint, all
+// protocol state) is lost, and both its radio and its wired interface go
+// dead until RestartMSS. A crash strikes between simulation events, so
+// checkpointed mutations are atomic. No-op if already down.
+func (w *World) CrashMSS(id ids.MSS) {
+	n, ok := w.MSSs[id]
+	if !ok || w.down[id] {
+		return
+	}
+	w.down[id] = true
+	w.Stats.MSSCrashes.Inc()
+	n.crash()
+}
+
+// RestartMSS brings a crashed station back. With Config.Checkpoint the
+// station replays its stable-store journal immediately and, after
+// Config.RecoveryGrace, re-issues whatever the journal shows incomplete:
+// server requests without results, un-acked result forwards, and
+// update_currentLoc announcements for its responsible MHs with remote
+// proxies. Without Checkpoint it restarts amnesiac. No-op if not down.
+func (w *World) RestartMSS(id ids.MSS) {
+	n, ok := w.MSSs[id]
+	if !ok || !w.down[id] {
+		return
+	}
+	delete(w.down, id)
+	w.Stats.MSSRestarts.Inc()
+	if !w.cfg.Checkpoint {
+		return
+	}
+	n.restoreFromStore()
+	w.Kernel.After(w.cfg.RecoveryGrace, func() {
+		if w.down[id] {
+			return
+		}
+		n.recoveryResend()
+	})
+}
+
+// CheckpointWrites returns the number of journal writes stations have
+// made to stable storage (zero unless Config.Checkpoint).
+func (w *World) CheckpointWrites() int64 { return w.store.writes }
 
 // Reachable reports whether the mobile host is currently radio-reachable
 // from the station (in its cell and active). Custom transports built

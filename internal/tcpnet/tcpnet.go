@@ -11,7 +11,9 @@
 // per-connection TCP FIFO alone does not give cross-host causal order).
 // Wireless frames also ride TCP here, with the radio semantics —
 // delivery gated on cell membership and activity — enforced at the
-// receiving edge, mirroring netsim.
+// receiving edge, mirroring netsim. EnableARQ layers netsim's link-layer
+// retransmission protocol under the causal stamps, for deployments where
+// frames can be lost between the endpoints despite TCP.
 package tcpnet
 
 import (
@@ -54,6 +56,13 @@ type Net struct {
 	mssHandlers   map[ids.MSS]netsim.Handler
 
 	reachable func(ids.MSS, ids.MH) bool
+
+	// Link-layer ARQ (EnableARQ), sharing netsim's sender/receiver halves.
+	// All three fields are dispatcher-only, like the protocol state.
+	arqCfg    netsim.ARQConfig
+	arqOut    map[connKey]*arqLink
+	arqIn     map[connKey]*netsim.ARQReceiver
+	wiredLoss func(from, to ids.NodeID, m msg.Message) bool
 
 	stats struct {
 		sync.Mutex
@@ -133,6 +142,65 @@ type wiredDelivery struct {
 // oracle). Must be set before traffic flows.
 func (n *Net) SetReachable(f func(ids.MSS, ids.MH) bool) { n.reachable = f }
 
+// --- wired link-layer ARQ ---
+
+// arqLink is the send half of the ARQ for one directed TCP link plus the
+// framed payloads awaiting acknowledgement, kept verbatim (causal stamp
+// included) so retransmissions are byte-identical to the original.
+type arqLink struct {
+	s      *netsim.ARQSender
+	frames map[uint64]frame
+}
+
+// EnableARQ layers the netsim link-layer ARQ — sequence numbers,
+// positive acks, capped-exponential retransmission, receiver dedup —
+// over every wired TCP link, exactly as Wired layers it over simulated
+// links. TCP is already reliable per connection, so the ARQ earns its
+// keep only when frames can vanish between the endpoints: a lossy
+// overlay installed with SetWiredLoss, or a peer process crash taking
+// its accepted-but-unprocessed frames with it. Retransmission timers run
+// on the runtime's dispatcher. Call before Start.
+func (n *Net) EnableARQ(cfg netsim.ARQConfig) {
+	cfg.Enabled = true
+	n.arqCfg = cfg
+	n.arqOut = make(map[connKey]*arqLink)
+	n.arqIn = make(map[connKey]*netsim.ARQReceiver)
+}
+
+// SetWiredLoss installs a wired loss filter for fault testing: a frame
+// for which it returns true is silently discarded instead of written
+// (the TCP analogue of netsim's injected drops). Call before Start; the
+// filter runs on the dispatcher.
+func (n *Net) SetWiredLoss(f func(from, to ids.NodeID, m msg.Message) bool) {
+	n.wiredLoss = f
+}
+
+// ARQRetransmits sums timeout-driven re-sends across all wired links.
+// Dispatcher-only, like the ARQ state it reads.
+func (n *Net) ARQRetransmits() int64 {
+	var total int64
+	for _, l := range n.arqOut {
+		total += l.s.Retransmits
+	}
+	return total
+}
+
+// arqLinkFor returns (creating on first use) the send-side ARQ state of
+// the from→to link.
+func (n *Net) arqLinkFor(key connKey) *arqLink {
+	l := n.arqOut[key]
+	if l == nil {
+		l = &arqLink{frames: make(map[uint64]frame)}
+		l.s = netsim.NewARQSender(n.rt, n.arqCfg, func(seq uint64, attempt int) {
+			if fr, ok := l.frames[seq]; ok {
+				n.write(fr)
+			}
+		})
+		n.arqOut[key] = l
+	}
+	return l
+}
+
 // Start opens one loopback TCP listener per member and begins accepting.
 func (n *Net) Start() error {
 	n.mu.Lock()
@@ -194,6 +262,32 @@ func (n *Net) readLoop(conn net.Conn) {
 func (n *Net) dispatch(f frame) {
 	switch f.layer {
 	case netsim.LayerWired:
+		// The ARQ layer sits under causal delivery: frames are unwrapped
+		// (and deduped) here, acks are consumed here, and only first
+		// copies of inner messages continue up the stack.
+		if n.arqCfg.Enabled {
+			switch lm := f.m.(type) {
+			case msg.LinkFrame:
+				// Ack every copy — the ack for an earlier one may be lost.
+				n.write(frame{layer: netsim.LayerWired, from: f.to, to: f.from, m: msg.LinkAck{Seq: lm.Seq}})
+				key := connKey{from: f.from, to: f.to}
+				r := n.arqIn[key]
+				if r == nil {
+					r = netsim.NewARQReceiver()
+					n.arqIn[key] = r
+				}
+				if !r.Accept(lm.Seq) {
+					return // retransmitted copy of a frame already delivered
+				}
+				f.m = lm.Inner
+			case msg.LinkAck:
+				if l := n.arqOut[connKey{from: f.to, to: f.from}]; l != nil {
+					l.s.Ack(lm.Seq)
+					delete(l.frames, lm.Seq)
+				}
+				return
+			}
+		}
 		ti, ok := n.index[f.to]
 		if !ok {
 			return
@@ -239,9 +333,21 @@ func (n *Net) Send(from, to ids.NodeID, m msg.Message) {
 		panic(fmt.Sprintf("tcpnet: wired send to non-member %v", to))
 	}
 	st := n.eps[fi].Send(ti)
-	n.write(frame{
+	f := frame{
 		layer: netsim.LayerWired, from: from, to: to, m: m,
 		hasStamp: true, stampFrom: st.From, stamp: st.Sent,
+	}
+	if !n.arqCfg.Enabled {
+		n.write(f)
+		return
+	}
+	// The causal stamp is taken once, here; every retransmission carries
+	// the original stamp so the receiver's causal layer sees one send.
+	l := n.arqLinkFor(connKey{from: from, to: to})
+	l.s.Send(func(seq uint64) {
+		wf := f
+		wf.m = msg.LinkFrame{Seq: seq, Inner: m}
+		l.frames[seq] = wf
 	})
 }
 
@@ -283,6 +389,9 @@ var (
 // write frames and sends a message over the (lazily dialed) connection
 // toward the endpoint that must process it.
 func (n *Net) write(f frame) {
+	if f.layer == netsim.LayerWired && n.wiredLoss != nil && n.wiredLoss(f.from, f.to, f.m) {
+		return
+	}
 	dest := f.to
 	if f.via.Valid() {
 		// Wireless frames terminate at the serving station's endpoint:

@@ -78,7 +78,7 @@ func Diagram(entries []Entry, opts DiagramOptions) string {
 		switch {
 		case e.Kind == netsim.EventDelivered:
 			head = '>'
-		case e.Kind == netsim.EventDropped && opts.ShowDrops:
+		case e.Kind.IsDrop() && opts.ShowDrops:
 			head = 'x'
 		default:
 			continue

@@ -62,7 +62,7 @@ func (r *Recorder) Deliveries() []Entry {
 func (r *Recorder) Drops() []Entry {
 	var out []Entry
 	for _, e := range r.entries {
-		if e.Kind == netsim.EventDropped {
+		if e.Kind.IsDrop() {
 			out = append(out, e)
 		}
 	}

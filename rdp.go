@@ -39,6 +39,7 @@ package rdp
 import (
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/ids"
 	"repro/internal/livenet"
 	"repro/internal/metrics"
@@ -230,3 +231,41 @@ const (
 	KindServerRequest    = msg.KindServerRequest
 	KindServerResult     = msg.KindServerResult
 )
+
+// Fault injection and the recovery stack (experiment E10).
+type (
+	// FaultPlan declares the wired faults of a run: per-link drop/
+	// duplicate/delay probabilities, timed partitions between station
+	// groups, and scheduled station crash/restart windows.
+	FaultPlan = faults.Plan
+	// LinkFaults is the per-link fault distribution of a FaultPlan.
+	LinkFaults = faults.LinkFaults
+	// FaultLink addresses one directed wired link in FaultPlan.Links.
+	FaultLink = faults.Link
+	// Partition is a timed bidirectional partition between MSS groups.
+	Partition = faults.Partition
+	// Crash schedules one station crash/restart window.
+	Crash = faults.Crash
+	// FaultInjector executes a FaultPlan; its Stats field counts the
+	// injected faults.
+	FaultInjector = faults.Injector
+	// ARQConfig parameterizes the wired link-layer retransmission
+	// protocol (Config.WiredARQ, TCPNet.EnableARQ).
+	ARQConfig = netsim.ARQConfig
+)
+
+// NewFaultedWorld builds a deterministic simulated world whose wired
+// backbone executes the given fault plan. The injector draws from a
+// fork of the world's seeded RNG, so equal (seed, plan) pairs give
+// byte-identical chaos. Counter the injected faults with Config.WiredARQ
+// (frame loss), Config.Checkpoint + RecoveryGrace + HandoffTimeout
+// (station crashes), or measure the unprotected protocol by leaving
+// them off — see experiments.E10WiredFaults for the full sweep.
+func NewFaultedWorld(cfg Config, plan FaultPlan) (*World, *FaultInjector) {
+	k := sim.NewKernel(cfg.Seed)
+	inj := faults.New(k, plan)
+	cfg.WiredFaults = inj
+	w := rdpcore.NewWorldOn(k, cfg)
+	inj.Schedule(w.CrashMSS, w.RestartMSS)
+	return w, inj
+}

@@ -238,3 +238,31 @@ func TestDefaultSidamConfig(t *testing.T) {
 		t.Fatal("no Traffic Information Servers installed")
 	}
 }
+
+// TestPublicFaultInjection drives the E10 machinery through the public
+// API: a lossy backbone plus one station crash, countered by the wired
+// ARQ and checkpoint recovery.
+func TestPublicFaultInjection(t *testing.T) {
+	cfg := rdp.DefaultConfig()
+	cfg.WiredARQ = rdp.ARQConfig{Enabled: true, RTO: 30 * time.Millisecond}
+	cfg.Checkpoint = true
+	cfg.RecoveryGrace = 200 * time.Millisecond
+	cfg.ServerProc = rdp.Constant(300 * time.Millisecond)
+	w, inj := rdp.NewFaultedWorld(cfg, rdp.FaultPlan{
+		Default: rdp.LinkFaults{DropProb: 0.2},
+		Crashes: []rdp.Crash{{MSS: 1, At: 100 * time.Millisecond, RestartAt: 500 * time.Millisecond}},
+	})
+	mh := w.AddMH(1, 1)
+	var req rdp.RequestID
+	w.Schedule(0, func() { req = mh.IssueRequest(1, []byte("chaos")) })
+	w.RunUntil(5 * time.Second)
+	if !mh.Seen(req) {
+		t.Fatal("result lost despite ARQ + crash recovery")
+	}
+	if inj.Stats.Drops.Value() == 0 {
+		t.Error("injector reported no drops at 20% loss")
+	}
+	if got := w.Stats.MSSCrashes.Value(); got != 1 {
+		t.Errorf("MSSCrashes = %d, want 1", got)
+	}
+}
