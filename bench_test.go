@@ -253,3 +253,28 @@ func BenchmarkE10WiredFaults(b *testing.B) {
 	b.ReportMetric(recoveryDups, "recovery-dups")
 	b.ReportMetric(ablationMean, "ablation-ratio")
 }
+
+// BenchmarkE11Overload regenerates E11: goodput at 2x the hot station's
+// capacity with the overload-protection stack on vs off. Reported
+// metrics: protected goodput (plateau near 100% of capacity),
+// unprotected goodput (collapse well below it), and admitted requests
+// lost under protection (must be 0).
+func BenchmarkE11Overload(b *testing.B) {
+	var protGoodput, unprotGoodput, lostAdmitted float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.E11Overload(int64(i+1), benchScale())
+		for _, r := range rows {
+			if r.OfferedX == 2 {
+				if r.Protected {
+					protGoodput = r.GoodputPct
+					lostAdmitted = float64(r.LostAdmitted)
+				} else {
+					unprotGoodput = r.GoodputPct
+				}
+			}
+		}
+	}
+	b.ReportMetric(protGoodput, "protected-goodput%")
+	b.ReportMetric(unprotGoodput, "unprotected-goodput%")
+	b.ReportMetric(lostAdmitted, "lost-admitted")
+}

@@ -1,5 +1,5 @@
 // Command rdpbench regenerates the evaluation of the RDP paper: every
-// experiment of DESIGN.md (E1–E10) as a printed table. Run all of them,
+// experiment of DESIGN.md (E1–E11) as a printed table. Run all of them,
 // or a subset:
 //
 //	rdpbench                 # everything, standard scale
@@ -32,7 +32,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rdpbench", flag.ContinueOnError)
 	var (
-		expFlag = fs.String("exp", "all", "comma-separated experiments to run (e1..e10, or all)")
+		expFlag = fs.String("exp", "all", "comma-separated experiments to run (e1..e11, or all)")
 		seed    = fs.Int64("seed", 1, "random seed")
 		quick   = fs.Bool("quick", false, "reduced scale for a fast pass")
 		csv     = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
@@ -65,6 +65,7 @@ func run(args []string) error {
 		{"e8", func() { printE8(*seed, sc) }},
 		{"e9", func() { printE9(*seed, sc) }},
 		{"e10", func() { printE10(*seed, sc) }},
+		{"e11", func() { printE11(*seed, sc) }},
 	}
 	ran := 0
 	for _, r := range runs {
@@ -74,7 +75,7 @@ func run(args []string) error {
 		}
 	}
 	if ran == 0 {
-		return fmt.Errorf("no experiment matched %q (use e1..e10 or all)", *expFlag)
+		return fmt.Errorf("no experiment matched %q (use e1..e11 or all)", *expFlag)
 	}
 	return nil
 }
@@ -193,6 +194,17 @@ func printE10(seed int64, sc experiments.Scale) {
 	for _, r := range experiments.E10WiredFaults(seed, sc) {
 		t.AddRow(f(r.Loss, 2), strconv.Itoa(r.Crashes), fmt.Sprint(r.Recovery), d(r.Issued), d(r.Delivered),
 			f(r.Ratio, 4), d(r.Duplicates), d(r.WiredDrops), d(r.RecoveryResends), d(r.HandoffReissues), d(r.CheckpointOps))
+	}
+	emit(t)
+}
+
+func printE11(seed int64, sc experiments.Scale) {
+	header("E11", "overload: admission + priorities + backoff plateau at capacity; retries alone collapse")
+	t := metrics.NewTable("offered-x", "protected", "issued", "delivered", "refusals", "retries", "abandoned", "dups", "goodput%", "p99-lat", "inbox-peak", "shed", "lost-admitted")
+	for _, r := range experiments.E11Overload(seed, sc) {
+		t.AddRow(f(r.OfferedX, 1), fmt.Sprint(r.Protected), d(r.Issued), d(r.Delivered),
+			d(r.Refusals), d(r.ClientRetries), d(r.Abandoned), d(r.Duplicates),
+			f(r.GoodputPct, 1), dur(r.P99Latency), d(r.InboxPeak), d(r.NetworkShed), d(r.LostAdmitted))
 	}
 	emit(t)
 }

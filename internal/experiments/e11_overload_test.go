@@ -1,0 +1,90 @@
+package experiments
+
+import "testing"
+
+// TestE11ProtectionPlateausCollapseWithout is the acceptance test for
+// E11. Below saturation the protected and unprotected variants match.
+// At 2× saturation the unprotected station must collapse (goodput well
+// under capacity, unbounded inbox growth from retry storms) while the
+// protected stack plateaus near capacity with a bounded inbox, refuses
+// or abandons the excess explicitly, and never loses an admitted
+// request.
+func TestE11ProtectionPlateausCollapseWithout(t *testing.T) {
+	rows := E11Overload(7, SmallScale())
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 offered multiples x on/off)", len(rows))
+	}
+	byPoint := map[float64]map[bool]E11Row{}
+	for _, r := range rows {
+		if r.Issued == 0 {
+			t.Fatalf("x=%.1f protected=%v: no requests issued", r.OfferedX, r.Protected)
+		}
+		if r.LostAdmitted != 0 {
+			t.Errorf("x=%.1f protected=%v: %d admitted requests lost, want 0",
+				r.OfferedX, r.Protected, r.LostAdmitted)
+		}
+		if byPoint[r.OfferedX] == nil {
+			byPoint[r.OfferedX] = map[bool]E11Row{}
+		}
+		byPoint[r.OfferedX][r.Protected] = r
+	}
+
+	// Below saturation: protection is invisible — everything delivered,
+	// nothing refused or abandoned.
+	for _, x := range []float64{0.5} {
+		for _, prot := range []bool{true, false} {
+			r := byPoint[x][prot]
+			if r.Delivered != r.Issued || r.Abandoned != 0 {
+				t.Errorf("x=%.1f protected=%v: delivered %d of %d (abandoned %d), want all",
+					x, prot, r.Delivered, r.Issued, r.Abandoned)
+			}
+		}
+	}
+
+	over, under := byPoint[2][true], byPoint[2][false]
+	if over.GoodputPct < 90 {
+		t.Errorf("protected goodput at 2x = %.1f%% of capacity, want >= 90%% (plateau)", over.GoodputPct)
+	}
+	if under.GoodputPct > 50 {
+		t.Errorf("unprotected goodput at 2x = %.1f%% of capacity, want <= 50%% (collapse)", under.GoodputPct)
+	}
+	if over.Refusals == 0 || over.Abandoned == 0 {
+		t.Errorf("protected 2x: refusals=%d abandoned=%d; excess load must be explicitly refused",
+			over.Refusals, over.Abandoned)
+	}
+	// Every issued request is accounted for: delivered or abandoned
+	// (both can hold for a request admitted by an in-flight re-offer
+	// after its deadline fired, hence >= rather than ==).
+	if over.Delivered+over.Abandoned < over.Issued {
+		t.Errorf("protected 2x: delivered %d + abandoned %d < issued %d: unaccounted shortfall",
+			over.Delivered, over.Abandoned, over.Issued)
+	}
+	// Queue growth: bounded near the high-watermark with admission,
+	// unbounded without.
+	if over.InboxPeak > 4*32 {
+		t.Errorf("protected 2x inbox peak = %d, want near the high-watermark (32)", over.InboxPeak)
+	}
+	if under.InboxPeak < 10*over.InboxPeak {
+		t.Errorf("unprotected 2x inbox peak = %d vs protected %d; expected unbounded growth",
+			under.InboxPeak, over.InboxPeak)
+	}
+	if under.ClientRetries == 0 {
+		t.Error("unprotected 2x: no timeout retries; the collapse amplifier never engaged")
+	}
+}
+
+// TestE11Deterministic reruns one seed and expects identical rows: the
+// workload, backoff jitter and admission decisions all flow from forked
+// streams of the world's seeded RNG.
+func TestE11Deterministic(t *testing.T) {
+	a := E11Overload(3, SmallScale())
+	b := E11Overload(3, SmallScale())
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("row %d differs between runs:\n  %+v\n  %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -58,6 +58,26 @@ type Crash struct {
 	RestartAt time.Duration
 }
 
+// Slowdown makes one MSS process every inbox message Extra slower
+// during [Start, End) — the slow-station fault mode of E11 (an
+// overloaded or thermally throttled support station, not a crashed
+// one: the station stays up, its queue just grows).
+type Slowdown struct {
+	MSS   ids.MSS
+	Start time.Duration
+	End   time.Duration
+	Extra time.Duration
+}
+
+// LoadSpike multiplies the offered client load by Factor during
+// [Start, End). The injector only reports the factor (LoadFactor);
+// the workload driver samples it when spacing requests.
+type LoadSpike struct {
+	Start  time.Duration
+	End    time.Duration
+	Factor float64
+}
+
 // Plan is a complete declarative fault schedule.
 type Plan struct {
 	// Default applies to every wired link without a Links override.
@@ -68,6 +88,10 @@ type Plan struct {
 	Partitions []Partition
 	// Crashes lists MSS crash/restart windows.
 	Crashes []Crash
+	// Slowdowns lists timed per-station processing slowdowns.
+	Slowdowns []Slowdown
+	// Spikes lists timed offered-load multipliers.
+	Spikes []LoadSpike
 }
 
 // Stats counts what the injector actually did, for the metrics layer.
@@ -159,6 +183,33 @@ func contains(set []ids.MSS, m ids.MSS) bool {
 		}
 	}
 	return false
+}
+
+// ExtraProcDelay returns the processing slowdown in force for the
+// station at the current instant (the sum of overlapping windows).
+// Assign it to rdpcore's Config.StationDelayHook.
+func (inj *Injector) ExtraProcDelay(m ids.MSS) time.Duration {
+	var extra time.Duration
+	now := time.Duration(inj.k.Now())
+	for _, s := range inj.plan.Slowdowns {
+		if s.MSS == m && now >= s.Start && now < s.End {
+			extra += s.Extra
+		}
+	}
+	return extra
+}
+
+// LoadFactor returns the offered-load multiplier in force at the given
+// instant (the product of overlapping spikes; 1 with none active).
+// Workload drivers divide their inter-request gaps by it.
+func (inj *Injector) LoadFactor(at time.Duration) float64 {
+	factor := 1.0
+	for _, s := range inj.plan.Spikes {
+		if at >= s.Start && at < s.End && s.Factor > 0 {
+			factor *= s.Factor
+		}
+	}
+	return factor
 }
 
 // Schedule arms the plan's crash/restart windows on the kernel. The

@@ -31,7 +31,8 @@ func TestInjectorDeterministic(t *testing.T) {
 		inj.OnWired(ids.MSS(1).Node(), ids.MSS(2).Node(), msg.LinkAck{Seq: uint64(i)})
 	}
 	if inj.Stats.Drops.Value() == 0 || inj.Stats.Dups.Value() == 0 || inj.Stats.Delays.Value() == 0 {
-		t.Errorf("expected every fault type to fire over 200 draws: %+v", inj.Stats)
+		t.Errorf("expected every fault type to fire over 200 draws: drops=%d dups=%d delays=%d",
+			inj.Stats.Drops.Value(), inj.Stats.Dups.Value(), inj.Stats.Delays.Value())
 	}
 }
 
@@ -117,6 +118,49 @@ func TestScheduleCrashWindows(t *testing.T) {
 		}
 	}
 	if inj.Stats.Crashes.Value() != 2 || inj.Stats.Restarts.Value() != 1 {
-		t.Errorf("stats = %+v, want 2 crashes, 1 restart", inj.Stats)
+		t.Errorf("stats = %d crashes, %d restarts; want 2, 1",
+			inj.Stats.Crashes.Value(), inj.Stats.Restarts.Value())
+	}
+}
+
+func TestSlowdownWindow(t *testing.T) {
+	k := sim.NewKernel(1)
+	inj := New(k, Plan{Slowdowns: []Slowdown{
+		{MSS: 1, Start: 100 * time.Millisecond, End: 200 * time.Millisecond, Extra: 30 * time.Millisecond},
+		{MSS: 1, Start: 150 * time.Millisecond, End: 250 * time.Millisecond, Extra: 10 * time.Millisecond},
+		{MSS: 2, Start: 0, End: time.Second, Extra: 5 * time.Millisecond},
+	}})
+	var before, during, overlap, after time.Duration
+	k.After(50*time.Millisecond, func() { before = inj.ExtraProcDelay(1) })
+	k.After(120*time.Millisecond, func() { during = inj.ExtraProcDelay(1) })
+	k.After(170*time.Millisecond, func() { overlap = inj.ExtraProcDelay(1) })
+	k.After(300*time.Millisecond, func() { after = inj.ExtraProcDelay(1) })
+	k.Run()
+	if before != 0 || during != 30*time.Millisecond ||
+		overlap != 40*time.Millisecond || after != 0 {
+		t.Errorf("ExtraProcDelay windows wrong: before=%v during=%v overlap=%v after=%v",
+			before, during, overlap, after)
+	}
+}
+
+func TestLoadFactorSpikes(t *testing.T) {
+	inj := New(sim.NewKernel(1), Plan{Spikes: []LoadSpike{
+		{Start: 100 * time.Millisecond, End: 300 * time.Millisecond, Factor: 2},
+		{Start: 200 * time.Millisecond, End: 400 * time.Millisecond, Factor: 3},
+	}})
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{50 * time.Millisecond, 1},
+		{150 * time.Millisecond, 2},
+		{250 * time.Millisecond, 6}, // overlapping spikes compound
+		{350 * time.Millisecond, 3},
+		{450 * time.Millisecond, 1},
+	}
+	for _, c := range cases {
+		if got := inj.LoadFactor(c.at); got != c.want {
+			t.Errorf("LoadFactor(%v) = %v, want %v", c.at, got, c.want)
+		}
 	}
 }

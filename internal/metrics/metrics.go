@@ -9,64 +9,119 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
 // Counter is a monotonically increasing event count. The zero value is
-// ready to use.
+// ready to use. Counters are safe for concurrent use: the simulated
+// worlds mutate them from the single kernel goroutine, but the tcpnet
+// substrate shares them across its socket read loops.
 type Counter struct {
-	n int64
+	n atomic.Int64
 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Add adds delta (which must be >= 0).
 func (c *Counter) Add(delta int64) {
 	if delta < 0 {
 		panic("metrics: negative counter delta")
 	}
-	c.n += delta
+	c.n.Add(delta)
 }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 { return c.n }
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Peak is a high-watermark gauge: it remembers the largest value ever
+// observed. The zero value is ready to use and, like Counter, it is safe
+// for concurrent use.
+type Peak struct {
+	v atomic.Int64
+}
+
+// Observe raises the watermark to v if v exceeds it.
+func (p *Peak) Observe(v int64) {
+	for {
+		cur := p.v.Load()
+		if v <= cur || p.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the largest value observed, or 0 if none.
+func (p *Peak) Value() int64 { return p.v.Load() }
+
+// reservoirCap bounds the samples a Histogram retains. Runs below the
+// cap get exact quantiles; above it, Algorithm R keeps a uniform sample
+// (driven by a deterministic generator, so equal observation sequences
+// give equal quantiles). Count, Mean and Max stay exact at any size.
+const reservoirCap = 8192
 
 // Histogram collects duration samples and answers mean/quantile queries.
-// The zero value is ready to use. Samples are kept exactly; the
-// experiment sweeps are small enough (≤ millions of samples) that exact
-// quantiles are affordable and reproducible.
+// The zero value is ready to use. Memory is bounded: at most
+// reservoirCap samples are retained, so overload experiments can feed a
+// histogram millions of observations without it becoming the leak they
+// are hunting.
 type Histogram struct {
-	samples []time.Duration
+	samples []time.Duration // reservoir (exact below reservoirCap)
+	n       int64           // total observations
+	sum     float64
+	max     time.Duration
+	rng     uint64 // xorshift64 state; fixed seed keeps runs reproducible
 	sorted  bool
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(d time.Duration) {
-	h.samples = append(h.samples, d)
-	h.sorted = false
+	h.n++
+	h.sum += float64(d)
+	if h.n == 1 || d > h.max {
+		h.max = d
+	}
+	if len(h.samples) < reservoirCap {
+		h.samples = append(h.samples, d)
+		h.sorted = false
+		return
+	}
+	// Algorithm R: keep d with probability cap/n, evicting uniformly.
+	if h.rng == 0 {
+		h.rng = 0x9e3779b97f4a7c15
+	}
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	if j := h.rng % uint64(h.n); j < reservoirCap {
+		h.samples[j] = d
+		h.sorted = false
+	}
 }
 
-// Count returns the number of samples.
-func (h *Histogram) Count() int { return len(h.samples) }
+// Count returns the number of samples observed (not retained).
+func (h *Histogram) Count() int { return int(h.n) }
 
-// Mean returns the average sample, or 0 with no samples.
+// Mean returns the average sample, or 0 with no samples. It is exact
+// regardless of reservoir evictions.
 func (h *Histogram) Mean() time.Duration {
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
 	}
-	var sum float64
-	for _, s := range h.samples {
-		sum += float64(s)
-	}
-	return time.Duration(sum / float64(len(h.samples)))
+	return time.Duration(h.sum / float64(h.n))
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank, or 0
-// with no samples.
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank over
+// the retained samples, or 0 with none. Exact while the observation
+// count is within the reservoir; an unbiased estimate beyond it. The
+// 1-quantile is always the exact maximum.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
+	}
+	if q >= 1 {
+		return h.max
 	}
 	if !h.sorted {
 		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
@@ -75,9 +130,6 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if q <= 0 {
 		return h.samples[0]
 	}
-	if q >= 1 {
-		return h.samples[len(h.samples)-1]
-	}
 	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
 	if idx < 0 {
 		idx = 0
@@ -85,7 +137,7 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.samples[idx]
 }
 
-// Max returns the largest sample, or 0 with no samples.
+// Max returns the largest sample, or 0 with no samples. Always exact.
 func (h *Histogram) Max() time.Duration { return h.Quantile(1) }
 
 // Summary renders count/mean/p50/p95/p99/max on one line.

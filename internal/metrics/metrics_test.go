@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -171,6 +172,124 @@ func TestHistogramSummaryMentionsCount(t *testing.T) {
 	h.Observe(time.Second)
 	if s := h.Summary(); !strings.Contains(s, "n=1") {
 		t.Errorf("Summary = %q", s)
+	}
+}
+
+// TestCounterConcurrent hammers one counter from many goroutines; the
+// race detector (make test-race) is the real assertion, the final value
+// the sanity check.
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if i%2 == 0 {
+					c.Inc()
+				} else {
+					c.Add(1)
+				}
+				_ = c.Value()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Errorf("Value = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestPeak(t *testing.T) {
+	var p Peak
+	if p.Value() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	p.Observe(5)
+	p.Observe(3)
+	p.Observe(9)
+	p.Observe(9)
+	if got := p.Value(); got != 9 {
+		t.Errorf("Value = %d, want 9", got)
+	}
+}
+
+func TestPeakConcurrent(t *testing.T) {
+	var p Peak
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.Observe(int64(g*1000 + i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Value(); got != 7999 {
+		t.Errorf("Value = %d, want 7999", got)
+	}
+}
+
+// TestHistogramBoundedMemory feeds far more samples than the reservoir
+// holds: retention must stay capped while Count/Mean/Max stay exact.
+func TestHistogramBoundedMemory(t *testing.T) {
+	var h Histogram
+	const total = 10 * reservoirCap
+	for i := 1; i <= total; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if got := len(h.samples); got > reservoirCap {
+		t.Errorf("retained %d samples, cap is %d", got, reservoirCap)
+	}
+	if got := h.Count(); got != total {
+		t.Errorf("Count = %d, want %d", got, total)
+	}
+	wantMean := time.Duration(total+1) * time.Microsecond / 2
+	if got := h.Mean(); got != wantMean {
+		t.Errorf("Mean = %v, want %v", got, wantMean)
+	}
+	if got := h.Max(); got != total*time.Microsecond {
+		t.Errorf("Max = %v, want %v", got, total*time.Microsecond)
+	}
+}
+
+// TestHistogramReservoirQuantileTolerance checks the sampled quantiles
+// track the true ones on a known uniform distribution.
+func TestHistogramReservoirQuantileTolerance(t *testing.T) {
+	var h Histogram
+	const total = 5 * reservoirCap
+	for i := 1; i <= total; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := float64(h.Quantile(q))
+		want := q * total * float64(time.Microsecond)
+		if math.Abs(got-want) > 0.05*total*float64(time.Microsecond) {
+			t.Errorf("Quantile(%v) = %v, want %v ±5%%", q, time.Duration(got), time.Duration(want))
+		}
+	}
+	if got := h.Quantile(1); got != total*time.Microsecond {
+		t.Errorf("Quantile(1) = %v, want exact max %v", got, total*time.Microsecond)
+	}
+}
+
+// TestHistogramReservoirDeterministic: same observation sequence, same
+// quantiles — the eviction RNG must not depend on process state.
+func TestHistogramReservoirDeterministic(t *testing.T) {
+	run := func() [3]time.Duration {
+		var h Histogram
+		for i := 0; i < 3*reservoirCap; i++ {
+			h.Observe(time.Duration(i*7919%100000) * time.Microsecond)
+		}
+		return [3]time.Duration{h.Quantile(0.5), h.Quantile(0.99), h.Max()}
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same sequence diverged: %v vs %v", a, b)
 	}
 }
 

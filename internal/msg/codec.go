@@ -154,6 +154,10 @@ func Encode(m Message) ([]byte, error) {
 		e.u64(v.Seq)
 	case RegConfirm:
 		e.u32(uint32(v.MH))
+	case Busy:
+		e.req(v.Req)
+	case Admit:
+		e.req(v.Req)
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrBadKind, m)
 	}
@@ -264,6 +268,10 @@ func Decode(b []byte) (Message, error) {
 		m = LinkAck{Seq: d.u64()}
 	case KindRegConfirm:
 		m = RegConfirm{MH: ids.MH(d.u32())}
+	case KindBusy:
+		m = Busy{Req: d.req()}
+	case KindAdmit:
+		m = Admit{Req: d.req()}
 	default:
 		if d.err != nil {
 			return nil, d.err

@@ -48,6 +48,8 @@ func sampleMessages() []Message {
 		LinkFrame{Seq: 17, Inner: Dereg{MH: 3, NewMSS: 4}},
 		LinkAck{Seq: 17},
 		RegConfirm{MH: 3},
+		Busy{Req: req},
+		Admit{Req: req},
 	}
 }
 

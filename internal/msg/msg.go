@@ -81,6 +81,11 @@ const (
 	// Wireless MSS -> MH registration confirmation (crash recovery).
 	KindRegConfirm
 
+	// Wireless MSS -> MH admission control (overload protection): a
+	// busy-NACK refusing a request, and the positive admission ack.
+	KindBusy
+	KindAdmit
+
 	kindSentinel // one past the last valid kind
 )
 
@@ -112,6 +117,8 @@ var kindNames = [...]string{
 	KindLinkFrame:        "link-frame",
 	KindLinkAck:          "link-ack",
 	KindRegConfirm:       "reg-confirm",
+	KindBusy:             "busy",
+	KindAdmit:            "admit",
 }
 
 // String returns the trace tag of the kind, e.g. "update-currl".
@@ -443,6 +450,27 @@ type RegConfirm struct {
 }
 
 // ---------------------------------------------------------------------
+// Admission control (overload protection).
+
+// Busy is the station's NACK for a request it refuses to admit — its
+// inbox is past the high-watermark or its proxy storage is at quota.
+// The request was not enqueued and no proxy exists for it; the MH backs
+// off and re-issues. Refusal is explicit so overload never silently
+// breaks the delivery guarantee: a request is either admitted (and then
+// delivered at least once) or visibly refused.
+type Busy struct {
+	Req ids.RequestID
+}
+
+// Admit is the station's positive admission acknowledgement: the
+// request is past admission control and a proxy is (or already was)
+// responsible for it. From this point the delivery guarantee covers the
+// request, and the MH stops its busy-retry/deadline machinery.
+type Admit struct {
+	Req ids.RequestID
+}
+
+// ---------------------------------------------------------------------
 // Kind methods.
 
 func (Join) Kind() Kind             { return KindJoin }
@@ -471,6 +499,8 @@ func (TISDeliver) Kind() Kind       { return KindTISDeliver }
 func (LinkFrame) Kind() Kind        { return KindLinkFrame }
 func (LinkAck) Kind() Kind          { return KindLinkAck }
 func (RegConfirm) Kind() Kind       { return KindRegConfirm }
+func (Busy) Kind() Kind             { return KindBusy }
+func (Admit) Kind() Kind            { return KindAdmit }
 
 // ---------------------------------------------------------------------
 // String methods (trace rendering).
@@ -541,6 +571,8 @@ func (m LinkFrame) String() string {
 }
 func (m LinkAck) String() string    { return fmt.Sprintf("link-ack(seq=%d)", m.Seq) }
 func (m RegConfirm) String() string { return fmt.Sprintf("reg-confirm(%v)", m.MH) }
+func (m Busy) String() string       { return fmt.Sprintf("busy(%v)", m.Req) }
+func (m Admit) String() string      { return fmt.Sprintf("admit(%v)", m.Req) }
 
 // Compile-time interface checks.
 var (
@@ -570,4 +602,6 @@ var (
 	_ Message = LinkFrame{}
 	_ Message = LinkAck{}
 	_ Message = RegConfirm{}
+	_ Message = Busy{}
+	_ Message = Admit{}
 )

@@ -80,15 +80,17 @@ type EventKind uint8
 
 // Observer event kinds. Drops carry a reason: EventDroppedUnreachable
 // when the destination could not receive (an MH that left the cell or
-// turned inactive, a crashed static host, an unregistered node) and
-// EventDroppedLoss for random loss or an injected link fault. The bare
-// EventDropped remains for unclassified drops.
+// turned inactive, a crashed static host, an unregistered node),
+// EventDroppedLoss for random loss or an injected link fault, and
+// EventShed when a bounded link queue was full (overload protection).
+// The bare EventDropped remains for unclassified drops.
 const (
 	EventSent EventKind = iota + 1
 	EventDelivered
 	EventDropped
 	EventDroppedUnreachable
 	EventDroppedLoss
+	EventShed
 )
 
 // String names the event kind.
@@ -102,6 +104,8 @@ func (e EventKind) String() string {
 		return "dropped-unreachable"
 	case EventDroppedLoss:
 		return "dropped-loss"
+	case EventShed:
+		return "shed"
 	default:
 		return "dropped"
 	}
@@ -109,7 +113,8 @@ func (e EventKind) String() string {
 
 // IsDrop reports whether the event is a drop of any reason.
 func (e EventKind) IsDrop() bool {
-	return e == EventDropped || e == EventDroppedUnreachable || e == EventDroppedLoss
+	return e == EventDropped || e == EventDroppedUnreachable || e == EventDroppedLoss ||
+		e == EventShed
 }
 
 // Observer receives a callback for every message event on either layer.
@@ -177,6 +182,14 @@ type WiredConfig struct {
 	// un-acked and retransmit until the member restarts. Link-layer ARQ
 	// state itself is part of the network fabric and survives crashes.
 	Down func(ids.NodeID) bool
+	// QueueLimit, when positive, bounds the frames concurrently in
+	// flight on each directed link (a model of a finite send queue). A
+	// frame offered to a full link is shed — observed as EventShed — at
+	// the physical layer, below the ARQ: with ARQ enabled a shed frame
+	// stays un-acked and the sender's timeout re-offers it once the
+	// queue has drained, so bounded links are backpressure, not loss.
+	// Without ARQ a shed frame is lost like any other drop.
+	QueueLimit int
 }
 
 // Wired is the static network among MSSs and servers: reliable by
@@ -192,6 +205,8 @@ type Wired struct {
 	eps      []*causal.Endpoint
 	observer Observer
 	links    map[linkKey]*wiredLink
+	queued   map[linkKey]int // frames in flight per directed link
+	shed     int64           // frames shed by full link queues
 }
 
 // wiredLink is the ARQ state of one directed wired link.
@@ -233,6 +248,7 @@ func NewWired(k sim.Scheduler, members []ids.NodeID, cfg WiredConfig, obs Observ
 		handlers: make([]Handler, len(members)),
 		observer: obs,
 		links:    make(map[linkKey]*wiredLink),
+		queued:   make(map[linkKey]int),
 	}
 	for i, n := range members {
 		if n.Kind == ids.KindMH {
@@ -310,11 +326,35 @@ func (w *Wired) transmitRaw(from, to ids.NodeID, m msg.Message, fire func()) {
 		}
 		fire()
 	}
-	w.k.After(w.sampleLatency(from, to)+f.Delay, deliver)
+	w.enqueue(from, to, m, f, deliver)
+}
+
+// enqueue schedules the physical delivery attempts of one frame (one
+// attempt, or two under a duplication fault), each subject to the
+// per-link queue bound: an attempt that finds the link full is shed —
+// observed as EventShed and never scheduled.
+func (w *Wired) enqueue(from, to ids.NodeID, m msg.Message, f LinkFault, deliver func()) {
+	key := linkKey{from: from, to: to}
+	attempt := func() {
+		if w.cfg.QueueLimit > 0 && w.queued[key] >= w.cfg.QueueLimit {
+			w.shed++
+			w.observe(EventShed, from, to, m)
+			return
+		}
+		w.queued[key]++
+		w.k.After(w.sampleLatency(from, to)+f.Delay, func() {
+			w.queued[key]--
+			deliver()
+		})
+	}
+	attempt()
 	if f.Duplicate {
-		w.k.After(w.sampleLatency(from, to)+f.Delay, deliver)
+		attempt()
 	}
 }
+
+// Shed returns the number of frames shed by full link queues.
+func (w *Wired) Shed() int64 { return w.shed }
 
 // link returns (creating on first use) the ARQ state of a directed link.
 func (w *Wired) link(from, to ids.NodeID) *wiredLink {
@@ -334,7 +374,9 @@ func (w *Wired) link(from, to ids.NodeID) *wiredLink {
 	return l
 }
 
-// transmitFrame is one physical transmission attempt of an ARQ frame.
+// transmitFrame is one physical transmission attempt of an ARQ frame. A
+// shed attempt (full link queue) leaves the frame un-acked; the ARQ
+// timeout re-offers it after the queue has had time to drain.
 func (w *Wired) transmitFrame(from, to ids.NodeID, seq uint64, fr wiredFrame) {
 	frame := msg.LinkFrame{Seq: seq, Inner: fr.p.m}
 	f := w.fault(from, to, frame)
@@ -342,11 +384,7 @@ func (w *Wired) transmitFrame(from, to ids.NodeID, seq uint64, fr wiredFrame) {
 		w.observe(EventDroppedLoss, from, to, frame)
 		return
 	}
-	deliver := func() { w.receiveFrame(from, to, seq, fr) }
-	w.k.After(w.sampleLatency(from, to)+f.Delay, deliver)
-	if f.Duplicate {
-		w.k.After(w.sampleLatency(from, to)+f.Delay, deliver)
-	}
+	w.enqueue(from, to, frame, f, func() { w.receiveFrame(from, to, seq, fr) })
 }
 
 // receiveFrame runs at the receiving end of an ARQ link. A frame that
@@ -377,15 +415,11 @@ func (w *Wired) sendAck(origFrom, origTo ids.NodeID, seq uint64) {
 		w.observe(EventDroppedLoss, origTo, origFrom, ack)
 		return
 	}
-	deliver := func() {
+	w.enqueue(origTo, origFrom, ack, f, func() {
 		l := w.link(origFrom, origTo)
 		l.sender.Ack(seq)
 		delete(l.inflight, seq)
-	}
-	w.k.After(w.sampleLatency(origTo, origFrom)+f.Delay, deliver)
-	if f.Duplicate {
-		w.k.After(w.sampleLatency(origTo, origFrom)+f.Delay, deliver)
-	}
+	})
 }
 
 // fault consults the fault hook, if any.
@@ -477,6 +511,18 @@ type WirelessConfig struct {
 	// on the downlink and at send time on the uplink, alongside random
 	// loss; a filtered frame is observed as EventDroppedLoss.
 	DropFilter func(from, to ids.NodeID, m msg.Message) bool
+	// QueueLimit, when positive, bounds the data frames concurrently in
+	// flight on each directed radio link. A frame offered to a full
+	// link is shed (EventShed) — extra loss, which the protocol's
+	// recovery machinery (proxy re-forwarding, client retries) absorbs.
+	// Registration and admission signaling (join, leave, greet up;
+	// reg-confirm, admit, busy down) rides the link-layer beacon
+	// exchange the paper abstracts over: it is never shed and does not
+	// occupy the bounded data queue. Without the exemption a beacon
+	// reply can pin a limit-1 downlink exactly when the re-forwarded
+	// result arrives, shedding it on every recovery cycle — a livelock
+	// the control plane must not be able to cause.
+	QueueLimit int
 }
 
 // Wireless models every cell's radio link. There is one Wireless value
@@ -495,6 +541,8 @@ type Wireless struct {
 	stations map[ids.MSS]Handler
 	observer Observer
 	lastRx   map[linkKey]sim.Time // per-link FIFO horizon
+	queued   map[linkKey]int      // frames in flight per directed link
+	shed     int64                // frames shed by full link queues
 }
 
 // linkKey identifies one directed radio link.
@@ -519,7 +567,41 @@ func NewWireless(k sim.Scheduler, cfg WirelessConfig, obs Observer) *Wireless {
 		stations: make(map[ids.MSS]Handler),
 		observer: obs,
 		lastRx:   make(map[linkKey]sim.Time),
+		queued:   make(map[linkKey]int),
 	}
+}
+
+// Shed returns the number of frames shed by full radio link queues.
+func (w *Wireless) Shed() int64 { return w.shed }
+
+// wirelessControl reports whether m is registration or admission
+// signaling that rides the link-layer beacon exchange: never shed and
+// not counted against the bounded data queue (it still observes the
+// per-link FIFO delay).
+func wirelessControl(m msg.Message) bool {
+	switch m.Kind() {
+	case msg.KindJoin, msg.KindLeave, msg.KindGreet,
+		msg.KindRegConfirm, msg.KindAdmit, msg.KindBusy:
+		return true
+	}
+	return false
+}
+
+// sendOrShed schedules fire after the link's FIFO delay, unless the
+// directed link already has QueueLimit frames in flight, in which case
+// the frame is shed.
+func (w *Wireless) sendOrShed(from, to ids.NodeID, m msg.Message, fire func()) {
+	key := linkKey{from: from, to: to}
+	if w.cfg.QueueLimit > 0 && w.queued[key] >= w.cfg.QueueLimit {
+		w.shed++
+		w.observe(EventShed, from, to, m)
+		return
+	}
+	w.queued[key]++
+	w.k.After(w.fifoDelay(from, to), func() {
+		w.queued[key]--
+		fire()
+	})
 }
 
 // RegisterMH installs the radio handler of a mobile host.
@@ -557,7 +639,14 @@ func (w *Wireless) SendDownlink(from ids.MSS, to ids.MH, m msg.Message) {
 		w.cfg.Seq.Offer(LayerWireless, from.Node(), to.Node(), fire)
 		return
 	}
-	w.k.After(w.fifoDelay(from.Node(), to.Node()), fire)
+	if wirelessControl(m) {
+		// Admission signaling (reg-confirm, admit, busy) rides the
+		// beacon exchange: outside the bounded data queue, so a control
+		// reply can never pin the link and starve a result delivery.
+		w.k.After(w.fifoDelay(from.Node(), to.Node()), fire)
+		return
+	}
+	w.sendOrShed(from.Node(), to.Node(), m, fire)
 }
 
 // SendUplink transmits from a mobile host to a station. The MH must be
@@ -594,7 +683,14 @@ func (w *Wireless) SendUplink(from ids.MH, to ids.MSS, m msg.Message) {
 		w.cfg.Seq.Offer(LayerWireless, from.Node(), to.Node(), fire)
 		return
 	}
-	w.k.After(w.fifoDelay(from.Node(), to.Node()), fire)
+	if !lossy {
+		// Registration control rides the reliable beacon exchange; it is
+		// never shed and does not occupy the bounded data queue (a lost
+		// join would desynchronize the cell model).
+		w.k.After(w.fifoDelay(from.Node(), to.Node()), fire)
+		return
+	}
+	w.sendOrShed(from.Node(), to.Node(), m, fire)
 }
 
 // fifoDelay samples a link delay and stretches it so this frame arrives

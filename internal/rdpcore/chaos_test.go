@@ -168,6 +168,11 @@ type chaosParams struct {
 	mhs      int
 	cells    int
 	recovery bool
+	// overload layers the E11 protection stack (admission control,
+	// priority classes, busy backoff, bounded link queues) over the
+	// recovery stack and adds station slowdowns plus an offered-load
+	// spike to the fault plan.
+	overload bool
 	horizon  time.Duration
 	drainFor time.Duration
 }
@@ -200,7 +205,7 @@ func chaosPlan() faults.Plan {
 // Invariants are checked only at the end: while a station is down, prefs
 // legitimately reference proxies whose host has (transiently) forgotten
 // them.
-func chaos(t *testing.T, p chaosParams) (w *World, missing, total int) {
+func chaos(t *testing.T, p chaosParams) (w *World, missing, total, admittedLost int) {
 	t.Helper()
 	var cfg Config
 	if p.recovery {
@@ -221,11 +226,31 @@ func chaos(t *testing.T, p chaosParams) (w *World, missing, total int) {
 	cfg.WirelessLatency = netsim.Constant(20 * time.Millisecond)
 	cfg.ServerProc = netsim.Exponential{MeanDelay: 300 * time.Millisecond, Floor: 20 * time.Millisecond}
 
+	plan := chaosPlan()
+	if p.overload {
+		cfg.ProcDelay = 3 * time.Millisecond
+		cfg.PriorityClasses = true
+		cfg.AdmissionHighWater = 8
+		cfg.BusyRetryBase = 200 * time.Millisecond
+		cfg.WiredQueueLimit = 4
+		cfg.WirelessQueueLimit = 1
+		plan.Slowdowns = []faults.Slowdown{
+			{MSS: 1, Start: 20 * time.Second, End: 32 * time.Second, Extra: 15 * time.Millisecond},
+			{MSS: 3, Start: 24 * time.Second, End: 36 * time.Second, Extra: 15 * time.Millisecond},
+		}
+		plan.Spikes = []faults.LoadSpike{
+			{Start: 20 * time.Second, End: 30 * time.Second, Factor: 3},
+		}
+	}
+
 	// The injector draws from its own forked RNG stream, so the workload
 	// below is identical with and without recovery.
 	k := sim.NewKernel(cfg.Seed)
-	inj := faults.New(k, chaosPlan())
+	inj := faults.New(k, plan)
 	cfg.WiredFaults = inj
+	if p.overload {
+		cfg.StationDelayHook = inj.ExtraProcDelay
+	}
 	w = NewWorldOn(k, cfg)
 	inj.Schedule(w.CrashMSS, w.RestartMSS)
 
@@ -256,9 +281,21 @@ func chaos(t *testing.T, p chaosParams) (w *World, missing, total int) {
 		}
 		for _, a := range workload.Schedule(rng, reqCfg, issueUntil) {
 			a := a
-			w.Kernel.After(a.At, func() {
-				reqs[mhID] = append(reqs[mhID], mh.IssueRequest(a.Server, a.Payload))
-			})
+			// An active load spike multiplies the offered rate by issuing
+			// extra copies of the arrival (overload mode only; the copies
+			// draw no randomness, so the base schedule stays identical).
+			copies := 1
+			if p.overload {
+				if f := int(inj.LoadFactor(a.At)); f > copies {
+					copies = f
+				}
+			}
+			for c := 0; c < copies; c++ {
+				at := a.At + time.Duration(c)*7*time.Millisecond
+				w.Kernel.After(at, func() {
+					reqs[mhID] = append(reqs[mhID], mh.IssueRequest(a.Server, a.Payload))
+				})
+			}
 		}
 	}
 
@@ -270,6 +307,9 @@ func chaos(t *testing.T, p chaosParams) (w *World, missing, total int) {
 			total++
 			if !mh.Seen(r) {
 				missing++
+				if mh.Admitted(r) {
+					admittedLost++
+				}
 			}
 		}
 	}
@@ -279,7 +319,7 @@ func chaos(t *testing.T, p chaosParams) (w *World, missing, total int) {
 	if got := w.Stats.MSSCrashes.Value(); got != 2 {
 		t.Errorf("MSSCrashes = %d, want 2 (plan executed?)", got)
 	}
-	return w, missing, total
+	return w, missing, total, admittedLost
 }
 
 // TestChaosSoakRecovery asserts the headline E10 guarantee at soak
@@ -289,7 +329,7 @@ func chaos(t *testing.T, p chaosParams) (w *World, missing, total int) {
 func TestChaosSoakRecovery(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			w, missing, total := chaos(t, chaosParams{
+			w, missing, total, _ := chaos(t, chaosParams{
 				seed: seed, mhs: 8, cells: 5, recovery: true,
 				horizon: 60 * time.Second, drainFor: 30 * time.Second,
 			})
@@ -318,7 +358,7 @@ func TestChaosSoakRecovery(t *testing.T) {
 // recovery stack off: permanent wired drops and amnesiac restarts must
 // lose results.
 func TestChaosAblationDegrades(t *testing.T) {
-	_, missing, total := chaos(t, chaosParams{
+	_, missing, total, _ := chaos(t, chaosParams{
 		seed: 1, mhs: 8, cells: 5, recovery: false,
 		horizon: 60 * time.Second, drainFor: 30 * time.Second,
 	})
@@ -327,12 +367,53 @@ func TestChaosAblationDegrades(t *testing.T) {
 	}
 }
 
+// TestChaosOverloadAdmittedNeverLost is the property soak for the E11
+// protection stack under full chaos: random wired loss, duplication and
+// reordering, a partition, two MSS crash/restart windows, station
+// slowdowns, an offered-load spike, and bounded queues shedding frames
+// on both substrates. The property: a request whose admission was
+// acknowledged to the client is never lost (and the MH's duplicate
+// detection keeps every delivery exactly-once at the application); with
+// the client-side retry machinery on top, every issued request is in
+// fact delivered, and the overload shows up only as explicit busy
+// refusals and recovered sheds.
+func TestChaosOverloadAdmittedNeverLost(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w, missing, total, admittedLost := chaos(t, chaosParams{
+				seed: seed, mhs: 8, cells: 5, recovery: true, overload: true,
+				horizon: 60 * time.Second, drainFor: 30 * time.Second,
+			})
+			if admittedLost != 0 {
+				t.Errorf("%d admitted requests lost under shedding chaos, want 0", admittedLost)
+			}
+			if missing != 0 {
+				t.Errorf("%d of %d requests undelivered (refusals=%d shed=%d busyRetries=%d)",
+					missing, total, w.Stats.BusyRefusals.Value(),
+					w.Stats.NetworkShed.Value(), w.Stats.BusyRetries.Value())
+			}
+			if w.Stats.BusyRefusals.Value() == 0 {
+				t.Error("no busy refusals; the overload machinery never engaged")
+			}
+			if w.Stats.NetworkShed.Value() == 0 {
+				t.Error("no network sheds; bounded queues never engaged")
+			}
+			if dup, del := w.Stats.DuplicateDeliveries.Value(), w.Stats.ResultsDelivered.Value(); dup*10 > del {
+				t.Errorf("DuplicateDeliveries = %d of %d delivered; duplicate storm", dup, del)
+			}
+			if err := w.CheckInvariants(); err != nil {
+				t.Errorf("invariants at end: %v", err)
+			}
+		})
+	}
+}
+
 // TestChaosDeterminism replays the same seed twice and demands identical
 // counters — the fault injector, ARQ timers and recovery passes must all
 // draw from the deterministic kernel.
 func TestChaosDeterminism(t *testing.T) {
 	run := func() [5]int64 {
-		w, missing, _ := chaos(t, chaosParams{
+		w, missing, _, _ := chaos(t, chaosParams{
 			seed: 2, mhs: 6, cells: 5, recovery: true,
 			horizon: 45 * time.Second, drainFor: 20 * time.Second,
 		})

@@ -39,6 +39,24 @@ type MHNode struct {
 	// reliable request sending).
 	queued []msg.Request
 
+	// admitted marks requests the responsible MSS acknowledged past
+	// admission control (msg.Admit): they are covered by the delivery
+	// guarantee and are never abandoned or busy-retried again.
+	admitted map[ids.RequestID]bool
+	// abandoned marks never-admitted requests whose per-request deadline
+	// expired (Config.RequestDeadline); the client gave up on them.
+	abandoned map[ids.RequestID]bool
+	// pending retains the full request message while it may still need a
+	// busy re-issue (a Busy NACK only carries the request identifier).
+	pending map[ids.RequestID]msg.Request
+	// busyAttempts counts Busy NACKs per request, driving the capped
+	// exponential backoff.
+	busyAttempts map[ids.RequestID]int
+	// rng is a lazily forked random stream for backoff jitter. Lazy so
+	// configurations without busy-retry never draw from the kernel
+	// stream (golden traces depend on the default draw order).
+	rng *sim.RNG
+
 	// onResult, when set, observes every result delivery (first or
 	// duplicate) for application callbacks and tests.
 	onResult func(req ids.RequestID, payload []byte, duplicate bool)
@@ -47,11 +65,15 @@ type MHNode struct {
 // newMHNode constructs a mobile host bound to a world.
 func newMHNode(id ids.MH, w *World) *MHNode {
 	return &MHNode{
-		id:          id,
-		w:           w,
-		seen:        make(map[ids.RequestID]bool),
-		issuedAt:    make(map[ids.RequestID]sim.Time),
-		outstanding: make(map[ids.RequestID]bool),
+		id:           id,
+		w:            w,
+		seen:         make(map[ids.RequestID]bool),
+		issuedAt:     make(map[ids.RequestID]sim.Time),
+		outstanding:  make(map[ids.RequestID]bool),
+		admitted:     make(map[ids.RequestID]bool),
+		abandoned:    make(map[ids.RequestID]bool),
+		pending:      make(map[ids.RequestID]msg.Request),
+		busyAttempts: make(map[ids.RequestID]int),
 	}
 }
 
@@ -67,6 +89,15 @@ func (h *MHNode) Joined() bool { return h.joined }
 
 // Seen reports whether the result of req has been received.
 func (h *MHNode) Seen(req ids.RequestID) bool { return h.seen[req] }
+
+// Admitted reports whether the responsible MSS acknowledged req past
+// admission control (overload protection, E11). A request that was
+// delivered counts as admitted even if the explicit Admit was lost.
+func (h *MHNode) Admitted(req ids.RequestID) bool { return h.admitted[req] || h.seen[req] }
+
+// Abandoned reports whether the client gave up on a never-admitted
+// request at its deadline (see Config.RequestDeadline).
+func (h *MHNode) Abandoned(req ids.RequestID) bool { return h.abandoned[req] }
 
 // OnResult installs the result observer callback.
 func (h *MHNode) OnResult(fn func(req ids.RequestID, payload []byte, duplicate bool)) {
@@ -135,6 +166,9 @@ func (h *MHNode) IssueRequest(server ids.Server, payload []byte) ids.RequestID {
 	h.outstanding[req] = true
 	h.w.Stats.RequestsIssued.Inc()
 	m := msg.Request{Req: req, Server: server, Payload: payload}
+	if h.w.cfg.BusyRetryBase > 0 {
+		h.pending[req] = m
+	}
 	if h.w.IsActive(h.id) && h.joined {
 		h.uplink(m)
 	} else {
@@ -143,7 +177,27 @@ func (h *MHNode) IssueRequest(server ids.Server, payload []byte) ids.RequestID {
 	if h.w.cfg.RequestTimeout > 0 {
 		h.scheduleRetry(m)
 	}
+	if h.w.cfg.RequestDeadline > 0 {
+		h.scheduleDeadline(req)
+	}
 	return req
+}
+
+// scheduleDeadline abandons a request that is still un-admitted when its
+// deadline expires (see Config.RequestDeadline). Admitted requests are
+// covered by the delivery guarantee and are never abandoned; abandoning
+// stops the busy-retry machinery for this request.
+func (h *MHNode) scheduleDeadline(req ids.RequestID) {
+	h.w.Kernel.After(h.w.cfg.RequestDeadline, func() {
+		if h.seen[req] || h.admitted[req] {
+			return
+		}
+		h.abandoned[req] = true
+		delete(h.outstanding, req)
+		delete(h.pending, req)
+		delete(h.busyAttempts, req)
+		h.w.Stats.RequestsAbandoned.Inc()
+	})
 }
 
 // scheduleRetry re-sends a request whose result has not arrived within
@@ -154,7 +208,7 @@ func (h *MHNode) IssueRequest(server ids.Server, payload []byte) ids.RequestID {
 // a duplicate request).
 func (h *MHNode) scheduleRetry(m msg.Request) {
 	h.w.Kernel.After(h.w.cfg.RequestTimeout, func() {
-		if h.seen[m.Req] || !h.joined {
+		if h.seen[m.Req] || h.abandoned[m.Req] || !h.joined {
 			return
 		}
 		if h.w.IsActive(h.id) {
@@ -171,7 +225,7 @@ func (h *MHNode) scheduleRetry(m msg.Request) {
 // while the host cannot transmit. The proxy deduplicates re-arrivals
 // and re-forwards a stored result, so retransmission is always safe.
 func (h *MHNode) Retransmit(req ids.RequestID, server ids.Server, payload []byte) {
-	if h.seen[req] || !h.joined || !h.w.IsActive(h.id) {
+	if h.seen[req] || h.abandoned[req] || !h.joined || !h.w.IsActive(h.id) {
 		return
 	}
 	h.w.Stats.RequestRetries.Inc()
@@ -218,6 +272,18 @@ func (h *MHNode) HandleMessage(from ids.NodeID, m msg.Message) {
 		h.regOld = h.respMss
 		return
 	}
+	if a, ok := m.(msg.Admit); ok {
+		// The request is past admission control: the delivery guarantee
+		// now covers it, so the busy-retry machinery stands down.
+		h.admitted[a.Req] = true
+		delete(h.pending, a.Req)
+		delete(h.busyAttempts, a.Req)
+		return
+	}
+	if b, ok := m.(msg.Busy); ok {
+		h.onBusy(b.Req)
+		return
+	}
 	r, ok := m.(msg.ResultDeliver)
 	if !ok {
 		h.w.Stats.OrphanMessages.Inc()
@@ -226,6 +292,8 @@ func (h *MHNode) HandleMessage(from ids.NodeID, m msg.Message) {
 	duplicate := h.seen[r.Req]
 	h.seen[r.Req] = true
 	delete(h.outstanding, r.Req)
+	delete(h.pending, r.Req)
+	delete(h.busyAttempts, r.Req)
 	if duplicate {
 		h.w.Stats.DuplicateDeliveries.Inc()
 	} else {
@@ -242,6 +310,52 @@ func (h *MHNode) HandleMessage(from ids.NodeID, m msg.Message) {
 	if h.onResult != nil {
 		h.onResult(r.Req, r.Payload, duplicate)
 	}
+}
+
+// onBusy reacts to an admission refusal: re-issue the request after a
+// capped exponential backoff with jitter (overload protection, E11).
+// The retry is event-driven — each re-issue either gets admitted, gets
+// another Busy (scheduling the next, longer backoff), or dies with a
+// lost frame, in which case the request deadline is the backstop.
+func (h *MHNode) onBusy(req ids.RequestID) {
+	m, ok := h.pending[req]
+	if !ok || h.seen[req] || h.admitted[req] || h.abandoned[req] {
+		return
+	}
+	attempt := h.busyAttempts[req]
+	h.busyAttempts[req] = attempt + 1
+	h.w.Kernel.After(h.backoff(attempt), func() {
+		if _, live := h.pending[req]; !live || h.seen[req] || h.admitted[req] || h.abandoned[req] {
+			return
+		}
+		if !h.joined || !h.w.IsActive(h.id) {
+			return
+		}
+		h.w.Stats.BusyRetries.Inc()
+		h.uplink(m)
+	})
+}
+
+// backoff returns min(BusyRetryBase·2^attempt, BusyRetryMax) plus up to
+// 50% uniform jitter, so synchronized refused clients don't re-offer
+// their load in lockstep.
+func (h *MHNode) backoff(attempt int) time.Duration {
+	base := h.w.cfg.BusyRetryBase
+	max := h.w.cfg.BusyRetryMax
+	if max <= 0 {
+		max = 32 * base
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if h.rng == nil {
+		h.rng = h.w.Kernel.RNG().Fork()
+	}
+	return d + h.rng.Uniform(0, d/2)
 }
 
 // uplink transmits over the wireless link to the current respMss.

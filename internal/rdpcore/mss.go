@@ -108,8 +108,49 @@ type MSSNode struct {
 	// given to forwarding Ack messages than to engaging in any new
 	// Hand-off transactions") when per-message processing delay is
 	// configured; with zero delay messages are processed on arrival.
-	inbox         []inboxItem
+	// Config.PriorityClasses generalizes the rule into three classes
+	// (control/acks, admitted result traffic, new requests); see classOf.
+	inbox         classInbox
 	procScheduled bool
+}
+
+// classInbox is the station's priority inbox: one FIFO queue per
+// processing class, drained lowest class first. Within a class, arrival
+// order is preserved. With a single class in use it degenerates to the
+// plain FIFO inbox of earlier revisions.
+type classInbox struct {
+	q    [3][]inboxItem
+	head [3]int
+}
+
+func (b *classInbox) push(class int, it inboxItem) {
+	b.q[class] = append(b.q[class], it)
+}
+
+// len returns the queued (not yet popped) item count.
+func (b *classInbox) len() int {
+	n := 0
+	for c := range b.q {
+		n += len(b.q[c]) - b.head[c]
+	}
+	return n
+}
+
+// pop removes the head of the lowest-numbered non-empty class.
+func (b *classInbox) pop() (inboxItem, bool) {
+	for c := range b.q {
+		if b.head[c] < len(b.q[c]) {
+			it := b.q[c][b.head[c]]
+			b.q[c][b.head[c]] = inboxItem{} // release references
+			b.head[c]++
+			if b.head[c] == len(b.q[c]) {
+				b.q[c] = b.q[c][:0]
+				b.head[c] = 0
+			}
+			return it, true
+		}
+	}
+	return inboxItem{}, false
 }
 
 // newMSSNode constructs a station bound to a world.
@@ -161,42 +202,129 @@ func (n *MSSNode) ProxyByID(id ids.ProxyID) *Proxy {
 	return n.proxies[id.Seq]
 }
 
-// HandleMessage implements netsim.Handler for both substrates.
+// HandleMessage implements netsim.Handler for both substrates. New
+// requests pass admission control at ingress: a refused request is
+// NACKed without ever occupying an inbox slot or a processing turn —
+// refusal must stay cheap for shedding to raise, not lower, goodput.
 func (n *MSSNode) HandleMessage(from ids.NodeID, m msg.Message) {
-	if n.w.cfg.ProcDelay <= 0 {
+	if req, ok := m.(msg.Request); ok && n.refuseAdmission(req) {
+		return
+	}
+	if n.procDelay() <= 0 {
 		n.process(from, m)
 		return
 	}
-	n.inbox = append(n.inbox, inboxItem{from: from, m: m})
+	n.inbox.push(n.classOf(m), inboxItem{from: from, m: m})
+	n.w.Stats.InboxPeak.Observe(int64(n.inbox.len()))
 	n.scheduleProcessing()
 }
 
+// procDelay is the station's current per-message processing time: the
+// configured base plus any injected slowdown (Config.StationDelayHook).
+func (n *MSSNode) procDelay() time.Duration {
+	d := n.w.cfg.ProcDelay
+	if n.w.cfg.StationDelayHook != nil {
+		d += n.w.cfg.StationDelayHook(n.id)
+	}
+	return d
+}
+
+// classOf assigns a message its inbox priority class. With
+// Config.PriorityClasses the paper's Ack-priority rule is generalized:
+// class 0 is acks, hand-off and other control traffic (completing work
+// and releasing state), class 1 is result traffic and forwarded —
+// already admitted — requests (work in progress), class 2 is new
+// requests (work not yet begun). Under overload the station therefore
+// finishes what it started before accepting more. Without
+// PriorityClasses, the classic AckPriority rule (acks ahead of
+// everything) or plain FIFO applies.
+func (n *MSSNode) classOf(m msg.Message) int {
+	if n.w.cfg.PriorityClasses {
+		switch m.Kind() {
+		case msg.KindRequest:
+			return 2
+		case msg.KindServerResult, msg.KindResultForward, msg.KindRequestForward:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if n.w.cfg.AckPriority && m.Kind() != msg.KindAckMH {
+		return 1
+	}
+	return 0
+}
+
+// admissionEnabled reports whether any admission-control bound is
+// configured.
+func (n *MSSNode) admissionEnabled() bool {
+	return n.w.cfg.AdmissionHighWater > 0 || n.w.cfg.ProxyQuota > 0
+}
+
+// refuseAdmission decides, at ingress, whether a new request must be
+// refused with a busy-NACK. Only requests this station is responsible
+// for and has not already admitted are candidates: retries of admitted
+// requests, requests buffered during a hand-off, and requests merely
+// passing through along the forwarding chain are never refused here
+// (the chain's end runs its own admission check on arrival). Refusal
+// grounds are a full inbox (past the high-watermark) or exhausted proxy
+// storage (at quota, and this request needs a new proxy).
+func (n *MSSNode) refuseAdmission(m msg.Request) bool {
+	if !n.admissionEnabled() || n.w.down[n.id] {
+		return false
+	}
+	mh := m.Req.Origin
+	if _, ok := n.arriving[mh]; ok {
+		return false
+	}
+	if !n.localMhs[mh] {
+		return false
+	}
+	if n.outstanding[mh][m.Req] {
+		return false // already admitted; the delivery guarantee covers it
+	}
+	refuse := false
+	if hw := n.w.cfg.AdmissionHighWater; hw > 0 && n.inbox.len() >= hw {
+		refuse = true
+	}
+	if q := n.w.cfg.ProxyQuota; q > 0 && len(n.proxies) >= q {
+		if pref := n.prefs[mh]; pref == nil || !pref.HasProxy() {
+			refuse = true // needs a proxy we have no room for
+		}
+	}
+	if refuse {
+		n.w.Stats.BusyRefusals.Inc()
+		n.w.Wireless.SendDownlink(n.id, mh, msg.Busy{Req: m.Req})
+	}
+	return refuse
+}
+
+// sendAdmit confirms admission to the MH once its request is routed
+// (only when admission control is on; the message is what stops the
+// MH's busy-retry and deadline machinery).
+func (n *MSSNode) sendAdmit(mh ids.MH, req ids.RequestID) {
+	if !n.admissionEnabled() {
+		return
+	}
+	n.w.Wireless.SendDownlink(n.id, mh, msg.Admit{Req: req})
+}
+
 func (n *MSSNode) scheduleProcessing() {
-	if n.procScheduled || len(n.inbox) == 0 {
+	if n.procScheduled || n.inbox.len() == 0 {
 		return
 	}
 	n.procScheduled = true
-	n.w.Kernel.After(n.w.cfg.ProcDelay, n.processNext)
+	n.w.Kernel.After(n.procDelay(), n.processNext)
 }
 
-// processNext pops one inbox item — Acks first when the §3.1 priority
-// rule is enabled — and processes it.
+// processNext pops one inbox item — lowest priority class first — and
+// processes it.
 func (n *MSSNode) processNext() {
 	n.procScheduled = false
-	if len(n.inbox) == 0 {
+	it, ok := n.inbox.pop()
+	if !ok {
 		return
 	}
-	idx := 0
-	if n.w.cfg.AckPriority {
-		for i, it := range n.inbox {
-			if it.m.Kind() == msg.KindAckMH {
-				idx = i
-				break
-			}
-		}
-	}
-	it := n.inbox[idx]
-	n.inbox = append(n.inbox[:idx], n.inbox[idx+1:]...)
 	n.process(it.from, it.m)
 	n.scheduleProcessing()
 }
@@ -444,12 +572,14 @@ func (n *MSSNode) handleRequest(from ids.NodeID, m msg.Request) {
 		n.w.Stats.ProxiesCreated.Inc()
 		n.w.Stats.ProxyCreations[n.id]++
 		p.addRequest(m.Req, m.Server, m.Payload)
+		n.sendAdmit(mh, m.Req)
 		return
 	}
 	n.persistMH(mh)
 	if pref.Proxy.Host == n.id {
 		if p := n.proxies[pref.Proxy.Seq]; p != nil {
 			p.addRequest(m.Req, m.Server, m.Payload)
+			n.sendAdmit(mh, m.Req)
 			return
 		}
 		n.w.Stats.Violations.Inc() // pref points at a proxy we no longer host
@@ -457,6 +587,7 @@ func (n *MSSNode) handleRequest(from ids.NodeID, m msg.Request) {
 	}
 	n.sendWired(pref.Proxy.Host.Node(),
 		msg.RequestForward{Proxy: pref.Proxy, Req: m.Req, Server: m.Server, Payload: m.Payload})
+	n.sendAdmit(mh, m.Req)
 }
 
 // handleAckMH relays an MH's Ack to its proxy (§3.1), confirming proxy

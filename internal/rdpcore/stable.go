@@ -156,7 +156,7 @@ func (n *MSSNode) persistSeq() {
 // a proxy identifier after an amnesiac restart would alias stale prefs
 // elsewhere onto a fresh proxy.
 func (n *MSSNode) crash() {
-	n.inbox = nil
+	n.inbox = classInbox{}
 	n.arriving = make(map[ids.MH]*arrival)
 	n.pendingDeregs = make(map[ids.MH][]inboxItem)
 	n.held = make(map[ids.MH][]msg.ResultDeliver)

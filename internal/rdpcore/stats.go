@@ -84,6 +84,26 @@ type Stats struct {
 	// transfers (DeregAck for RDP; ImageTransfer for the I-TCP baseline),
 	// the E6 measurement.
 	HandoffStateBytes metrics.Counter
+	// BusyRefusals counts requests refused at admission control with a
+	// busy-NACK (overload protection, E11). Refused requests never enter
+	// the delivery guarantee; they are the protocol's explicit,
+	// accounted casualty under overload.
+	BusyRefusals metrics.Counter
+	// BusyRetries counts client re-issues of a busy-refused request
+	// after backoff (see Config.BusyRetryBase).
+	BusyRetries metrics.Counter
+	// RequestsAbandoned counts requests whose per-request deadline
+	// expired before any admission (see Config.RequestDeadline). Only
+	// never-admitted requests can be abandoned.
+	RequestsAbandoned metrics.Counter
+	// NetworkShed counts frames shed by bounded link queues on either
+	// substrate (netsim.EventShed).
+	NetworkShed metrics.Counter
+
+	// InboxPeak tracks the deepest station inbox seen anywhere: the
+	// queue-growth measurement of E11 (unbounded growth past saturation
+	// without admission control; bounded by the high-watermark with it).
+	InboxPeak metrics.Peak
 
 	// ResultLatency measures issue -> first wireless delivery per request.
 	ResultLatency metrics.Histogram

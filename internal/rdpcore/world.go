@@ -106,6 +106,51 @@ type Config struct {
 	// on the substrates (testing hook; see internal/explore).
 	WiredSeq    netsim.Sequencer
 	WirelessSeq netsim.Sequencer
+
+	// --- Overload protection (E11) ---
+
+	// PriorityClasses generalizes §3.1's Ack-priority rule into a
+	// three-class station inbox: control and acks first, admitted
+	// result traffic second, new requests last. Under overload the
+	// station finishes work in progress before starting more. Only
+	// observable with ProcDelay > 0; overrides AckPriority when set.
+	PriorityClasses bool
+	// AdmissionHighWater, when positive, is the station inbox depth at
+	// which new requests are refused with a busy-NACK instead of
+	// enqueued. Retries of already-admitted requests are never refused.
+	AdmissionHighWater int
+	// ProxyQuota, when positive, bounds the proxies a station will
+	// host: a request needing a new proxy beyond the quota is refused
+	// with a busy-NACK (proxy storage is the station resource the paper
+	// assumes infinite).
+	ProxyQuota int
+	// BusyRetryBase, when positive, makes an MH whose request was
+	// busy-refused re-issue it after a capped exponential backoff with
+	// jitter: base·2^attempt, clamped to BusyRetryMax, plus up to 50%
+	// jitter. Zero disables client busy-retry (a refused request is
+	// simply dropped — the E11 ablation's client behavior under
+	// refusal, though the ablation normally disables admission
+	// entirely).
+	BusyRetryBase time.Duration
+	// BusyRetryMax clamps the busy-retry backoff; defaults to
+	// 32×BusyRetryBase when zero.
+	BusyRetryMax time.Duration
+	// RequestDeadline, when positive, abandons a request that has not
+	// been admitted by any station within the deadline of its issue:
+	// retries stop and the request is counted in RequestsAbandoned.
+	// Admitted requests are never abandoned — the delivery guarantee
+	// covers them until the result arrives.
+	RequestDeadline time.Duration
+	// StationDelayHook, when set, adds per-station extra processing
+	// delay on top of ProcDelay (the slow/overloaded-station fault
+	// mode; see faults.Plan.Slowdowns). Consulted on every message.
+	StationDelayHook func(ids.MSS) time.Duration
+	// WiredQueueLimit and WirelessQueueLimit bound the frames in flight
+	// per directed link on each substrate (netsim queue bounds; frames
+	// past the bound are shed and counted in Stats.NetworkShed). Zero
+	// means unbounded, the paper's model.
+	WiredQueueLimit    int
+	WirelessQueueLimit int
 }
 
 // DefaultConfig returns a configuration matching the paper's model: 3
@@ -205,6 +250,7 @@ func NewWorldWith(sched sim.Scheduler, cfg Config, wired netsim.WiredTransport, 
 			Faults:      cfg.WiredFaults,
 			ARQ:         cfg.WiredARQ,
 			Down:        w.nodeDown,
+			QueueLimit:  cfg.WiredQueueLimit,
 		}, obs)
 	}
 	w.Wired = wired
@@ -215,6 +261,7 @@ func NewWorldWith(sched sim.Scheduler, cfg Config, wired netsim.WiredTransport, 
 			Reachable:  w.reachable,
 			Seq:        cfg.WirelessSeq,
 			DropFilter: cfg.WirelessDropFilter,
+			QueueLimit: cfg.WirelessQueueLimit,
 		}, obs)
 	}
 	w.Wireless = wireless
@@ -238,10 +285,13 @@ func NewWorldWith(sched sim.Scheduler, cfg Config, wired netsim.WiredTransport, 
 // external observer.
 func (w *World) statsObserver(ext netsim.Observer) netsim.Observer {
 	return func(at sim.Time, layer netsim.Layer, kind netsim.EventKind, from, to ids.NodeID, m msg.Message) {
-		if layer == netsim.LayerWireless && kind.IsDrop() {
+		if kind == netsim.EventShed {
+			// Sheds are drops of a distinct cause (a full bounded queue);
+			// account them separately from loss and unreachability.
+			w.Stats.NetworkShed.Inc()
+		} else if layer == netsim.LayerWireless && kind.IsDrop() {
 			w.Stats.WirelessDrops.Inc()
-		}
-		if layer == netsim.LayerWired && kind.IsDrop() {
+		} else if layer == netsim.LayerWired && kind.IsDrop() {
 			w.Stats.WiredDrops.Inc()
 		}
 		if layer == netsim.LayerWired && kind == netsim.EventSent {

@@ -63,11 +63,13 @@ type Net struct {
 	arqOut    map[connKey]*arqLink
 	arqIn     map[connKey]*netsim.ARQReceiver
 	wiredLoss func(from, to ids.NodeID, m msg.Message) bool
+	sendLimit int
 
 	stats struct {
 		sync.Mutex
 		wiredFrames, wiredBytes       uint64
 		wirelessFrames, wirelessBytes uint64
+		wiredShed                     uint64
 	}
 }
 
@@ -78,6 +80,9 @@ type Net struct {
 type Stats struct {
 	WiredFrames, WiredBytes       uint64
 	WirelessFrames, WirelessBytes uint64
+	// WiredShed counts initial transmissions skipped by the bounded
+	// send queue (SetSendQueueLimit); the ARQ re-offers them later.
+	WiredShed uint64
 }
 
 // Stats returns a snapshot of the wire-level counters.
@@ -87,7 +92,14 @@ func (n *Net) Stats() Stats {
 	return Stats{
 		WiredFrames: n.stats.wiredFrames, WiredBytes: n.stats.wiredBytes,
 		WirelessFrames: n.stats.wirelessFrames, WirelessBytes: n.stats.wirelessBytes,
+		WiredShed: n.stats.wiredShed,
 	}
+}
+
+func (n *Net) countShed() {
+	n.stats.Lock()
+	defer n.stats.Unlock()
+	n.stats.wiredShed++
 }
 
 func (n *Net) countFrame(layer netsim.Layer, bytes int) {
@@ -175,6 +187,17 @@ func (n *Net) SetWiredLoss(f func(from, to ids.NodeID, m msg.Message) bool) {
 	n.wiredLoss = f
 }
 
+// SetSendQueueLimit bounds the number of un-acked frames in flight on
+// each directed wired link — the TCP deployment's mirror of netsim's
+// WiredConfig.QueueLimit. When a new send would exceed the limit its
+// initial transmission is skipped (counted in Stats.WiredShed); the
+// frame stays registered with the ARQ sender, whose retransmission
+// timer re-offers it once acks have drained the queue, so the limit is
+// backpressure, not loss. Requires EnableARQ (ignored without it, since
+// shedding below a bare TCP link would silently lose the frame). Call
+// before Start.
+func (n *Net) SetSendQueueLimit(limit int) { n.sendLimit = limit }
+
 // ARQRetransmits sums timeout-driven re-sends across all wired links.
 // Dispatcher-only, like the ARQ state it reads.
 func (n *Net) ARQRetransmits() int64 {
@@ -192,9 +215,19 @@ func (n *Net) arqLinkFor(key connKey) *arqLink {
 	if l == nil {
 		l = &arqLink{frames: make(map[uint64]frame)}
 		l.s = netsim.NewARQSender(n.rt, n.arqCfg, func(seq uint64, attempt int) {
-			if fr, ok := l.frames[seq]; ok {
-				n.write(fr)
+			fr, ok := l.frames[seq]
+			if !ok {
+				return
 			}
+			// Bounded send queue: shed the *initial* attempt when the
+			// link already carries sendLimit un-acked frames (the frame
+			// itself is counted, hence the strict >). Retransmissions
+			// always go out so the queue is guaranteed to drain.
+			if n.sendLimit > 0 && attempt == 1 && len(l.frames) > n.sendLimit {
+				n.countShed()
+				return
+			}
+			n.write(fr)
 		})
 		n.arqOut[key] = l
 	}

@@ -230,6 +230,8 @@ const (
 	KindDelPrefOnly      = msg.KindDelPrefOnly
 	KindServerRequest    = msg.KindServerRequest
 	KindServerResult     = msg.KindServerResult
+	KindBusy             = msg.KindBusy
+	KindAdmit            = msg.KindAdmit
 )
 
 // Fault injection and the recovery stack (experiment E10).
@@ -246,6 +248,12 @@ type (
 	Partition = faults.Partition
 	// Crash schedules one station crash/restart window.
 	Crash = faults.Crash
+	// Slowdown is a timed per-station processing slowdown window
+	// (overload experiments; wire it up via Config.StationDelayHook).
+	Slowdown = faults.Slowdown
+	// LoadSpike is a timed offered-load multiplier window for workload
+	// generators (see FaultInjector.LoadFactor).
+	LoadSpike = faults.LoadSpike
 	// FaultInjector executes a FaultPlan; its Stats field counts the
 	// injected faults.
 	FaultInjector = faults.Injector
