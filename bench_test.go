@@ -1,6 +1,6 @@
 // Benchmarks regenerating the paper's evaluation: one Benchmark per
-// experiment table (DESIGN.md E1–E8) plus the Figure 3/4 scenario
-// replays. Each iteration runs the full experiment at test scale and
+// experiment table (DESIGN.md E1–E12) plus the Figure 3/4 and
+// migration scenario replays. Each iteration runs the full experiment at test scale and
 // reports its headline quantity as a custom metric, so
 //
 //	go test -bench=. -benchmem
@@ -171,6 +171,44 @@ func BenchmarkFigure4Replay(b *testing.B) {
 		w := experiments.ReplayFigure4(nil)
 		if w.Stats.ResultsDelivered.Value() != 3 {
 			b.Fatal("figure 4 replay did not deliver")
+		}
+	}
+}
+
+// BenchmarkE12Migration regenerates E12: route stretch and placement
+// fairness under proxy migration on the ring. Reported metrics: mean
+// forwarding hops with the proxy fixed vs migrating at hop threshold 1,
+// and duplicates across all RDP variants (must be 0 — migration must
+// not cost exactly-once).
+func BenchmarkE12Migration(b *testing.B) {
+	var fixedHops, k1Hops, dups float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.E12Migration(int64(i+1), benchScale())
+		dups = 0
+		for _, r := range rows {
+			switch r.Policy {
+			case "RDP fixed proxy":
+				fixedHops = r.MeanHops
+			case "RDP hop k=1":
+				k1Hops = r.MeanHops
+			}
+			if r.Policy != "MobileIP home=start" {
+				dups += float64(r.Dups)
+			}
+		}
+	}
+	b.ReportMetric(fixedHops, "mean-hops-fixed")
+	b.ReportMetric(k1Hops, "mean-hops-k1")
+	b.ReportMetric(dups, "rdp-duplicates")
+}
+
+// BenchmarkMigrationReplay regenerates the mig1 worked example
+// (trace-pinned in internal/experiments' golden tests).
+func BenchmarkMigrationReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := experiments.ReplayMigration1(nil)
+		if w.Stats.MigCompleted.Value() != 1 {
+			b.Fatal("migration replay did not complete a migration")
 		}
 	}
 }

@@ -1,5 +1,5 @@
 // Command rdpbench regenerates the evaluation of the RDP paper: every
-// experiment of DESIGN.md (E1–E11) as a printed table. Run all of them,
+// experiment of DESIGN.md (E1–E12) as a printed table. Run all of them,
 // or a subset:
 //
 //	rdpbench                 # everything, standard scale
@@ -32,7 +32,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rdpbench", flag.ContinueOnError)
 	var (
-		expFlag = fs.String("exp", "all", "comma-separated experiments to run (e1..e11, or all)")
+		expFlag = fs.String("exp", "all", "comma-separated experiments to run (e1..e12, or all)")
 		seed    = fs.Int64("seed", 1, "random seed")
 		quick   = fs.Bool("quick", false, "reduced scale for a fast pass")
 		csv     = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
@@ -66,6 +66,7 @@ func run(args []string) error {
 		{"e9", func() { printE9(*seed, sc) }},
 		{"e10", func() { printE10(*seed, sc) }},
 		{"e11", func() { printE11(*seed, sc) }},
+		{"e12", func() { printE12(*seed, sc) }},
 	}
 	ran := 0
 	for _, r := range runs {
@@ -75,7 +76,7 @@ func run(args []string) error {
 		}
 	}
 	if ran == 0 {
-		return fmt.Errorf("no experiment matched %q (use e1..e11 or all)", *expFlag)
+		return fmt.Errorf("no experiment matched %q (use e1..e12 or all)", *expFlag)
 	}
 	return nil
 }
@@ -205,6 +206,17 @@ func printE11(seed int64, sc experiments.Scale) {
 		t.AddRow(f(r.OfferedX, 1), fmt.Sprint(r.Protected), d(r.Issued), d(r.Delivered),
 			d(r.Refusals), d(r.ClientRetries), d(r.Abandoned), d(r.Duplicates),
 			f(r.GoodputPct, 1), dur(r.P99Latency), d(r.InboxPeak), d(r.NetworkShed), d(r.LostAdmitted))
+	}
+	emit(t)
+}
+
+func printE12(seed int64, sc experiments.Scale) {
+	header("E12", "proxy migration bounds forwarding hops and spreads placement; static anchors drift")
+	t := metrics.NewTable("policy", "issued", "delivered", "ratio", "mean-hops", "worst", "mean-lat", "p95-lat", "migrations", "refused", "mig-msgs", "mig-bytes", "jain", "dups")
+	for _, r := range experiments.E12Migration(seed, sc) {
+		t.AddRow(r.Policy, d(r.Issued), d(r.Delivered), f(r.Ratio, 4), f(r.MeanHops, 2), d(r.WorstHops),
+			dur(r.MeanLatency), dur(r.P95Latency), d(r.Migrations), d(r.Refused),
+			d(r.MigMsgs), d(r.MigBytes), f(r.Jain, 3), d(r.Dups))
 	}
 	emit(t)
 }

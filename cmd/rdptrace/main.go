@@ -4,6 +4,7 @@
 //
 //	rdptrace -scenario fig3     # single request, two migrations
 //	rdptrace -scenario fig4     # three requests, proxy life-cycle
+//	rdptrace -scenario mig1     # proxy migration: offer/commit/state/redirect/gc
 //	rdptrace -scenario fig3 -all   # include sent/dropped events too
 package main
 
@@ -27,7 +28,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rdptrace", flag.ContinueOnError)
 	var (
-		scenario = fs.String("scenario", "fig3", "scenario to replay: fig3 or fig4")
+		scenario = fs.String("scenario", "fig3", "scenario to replay: fig3, fig4 or mig1")
 		all      = fs.Bool("all", false, "print sent and dropped events, not only deliveries")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -49,8 +50,16 @@ func run(args []string) error {
 		fmt.Println("special message after AckB; AckC finally carries del-proxy.")
 		fmt.Println()
 		w = experiments.ReplayFigure4(rec.Observe)
+	case "mig1":
+		fmt.Println("Migration — two requests share a proxy at mss1; the MH moves to mss2 at 50ms.")
+		fmt.Println("The fast result's remote forward fires the hop trigger: watch mig-offer,")
+		fmt.Println("mig-commit, mig-state move the proxy, pref-redirect rebind the pending server")
+		fmt.Println("(and its confirm echo), and mig-gc collect the tombstone. The slow result")
+		fmt.Println("then takes the direct path from the migrated proxy.")
+		fmt.Println()
+		w = experiments.ReplayMigration1(rec.Observe)
 	default:
-		return fmt.Errorf("unknown scenario %q (fig3 or fig4)", *scenario)
+		return fmt.Errorf("unknown scenario %q (fig3, fig4 or mig1)", *scenario)
 	}
 
 	entries := rec.Deliveries()
@@ -61,9 +70,9 @@ func run(args []string) error {
 		fmt.Println(e)
 	}
 
-	fmt.Printf("\nsummary: delivered=%d duplicates=%d retransmissions=%d proxies created=%d deleted=%d violations=%d\n",
+	fmt.Printf("\nsummary: delivered=%d duplicates=%d retransmissions=%d proxies created=%d deleted=%d migrations=%d violations=%d\n",
 		w.Stats.ResultsDelivered.Value(), w.Stats.DuplicateDeliveries.Value(),
 		w.Stats.Retransmissions.Value(), w.Stats.ProxiesCreated.Value(),
-		w.Stats.ProxiesDeleted.Value(), w.Stats.Violations.Value())
+		w.Stats.ProxiesDeleted.Value(), w.Stats.MigCompleted.Value(), w.Stats.Violations.Value())
 	return nil
 }

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+	"repro/internal/mobileip"
+	"repro/internal/msg"
+	"repro/internal/netsim"
+	"repro/internal/proxymig"
+	"repro/internal/rdpcore"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// E12 topology: a metropolitan ring of stations with distance-dependent
+// backbone latency, the setting where a statically anchored proxy pays
+// an ever-longer triangle route as its MH walks away. Servers hang off
+// the ring at the flat wired latency.
+const (
+	e12Stations   = 12
+	e12RingBase   = 2 * time.Millisecond
+	e12RingPerHop = 2 * time.Millisecond
+)
+
+// E12Row is one policy variant of experiment E12.
+type E12Row struct {
+	Policy    string
+	Issued    int64
+	Delivered int64
+	Ratio     float64
+	// MeanHops and WorstHops measure route stretch: ring hops crossed by
+	// each result forward (RDP) or home-agent tunnel (Mobile IP).
+	MeanHops    float64
+	WorstHops   int64
+	MeanLatency time.Duration
+	P95Latency  time.Duration
+	// Migrations counts completed proxy migrations, Refused the offers
+	// the target declined; MigMsgs/MigBytes are the control-plane cost.
+	Migrations int64
+	Refused    int64
+	MigMsgs    int64
+	MigBytes   int64
+	// Jain is the fairness of where delivery state lived and worked:
+	// per-station proxy-seconds for RDP, per-station tunnel load for the
+	// Mobile IP baseline.
+	Jain float64
+	Dups int64
+}
+
+// e12Config assembles the ring world for one RDP policy variant. Slow
+// servers (≈2s) and short cell residence (≈500ms, set by the driver)
+// mean an MH typically crosses several cells while a request is in
+// service — the high-migration-rate regime the subsystem targets.
+func e12Config(seed int64, pol proxymig.Policy) rdpcore.Config {
+	cfg := baseConfig(seed)
+	cfg.NumMSS = e12Stations
+	cfg.WiredLatency = netsim.Constant(5 * time.Millisecond) // server links
+	cfg.WiredPairLatency = netsim.RingLatency(e12Stations, e12RingBase, e12RingPerHop)
+	cfg.WirelessLatency = netsim.Constant(10 * time.Millisecond)
+	cfg.ServerProc = netsim.Exponential{MeanDelay: 2 * time.Second, Floor: 200 * time.Millisecond}
+	cfg.Migration = pol
+	cfg.StationDistance = proxymig.RingDistance(e12Stations)
+	return cfg
+}
+
+// e12Drive runs the E12 workload: every MH walks the ring cell by cell
+// (workload.RingWalk) with ≈500ms residence, so its distance from any
+// fixed anchor drifts upward, issuing Poisson requests against the slow
+// servers.
+func e12Drive(w *rdpcore.World, sc Scale) (issued, delivered int64) {
+	cells := w.StationList()
+	horizon := sc.Horizon
+	type pendingReq struct {
+		mh  ids.MH
+		req ids.RequestID
+	}
+	var reqs []pendingReq
+	for i := 1; i <= sc.MHs; i++ {
+		mhID := ids.MH(i)
+		rng := w.Kernel.RNG().Fork()
+		start := cells[rng.Intn(len(cells))]
+		mh := w.AddMH(mhID, start)
+		mob := workload.Mobility{
+			Picker:    workload.RingWalk{Cells: cells},
+			Residence: netsim.Exponential{MeanDelay: 500 * time.Millisecond, Floor: 100 * time.Millisecond},
+		}
+		for _, ev := range workload.Itinerary(rng, mob, start, horizon) {
+			ev := ev
+			if ev.Kind == workload.EvMigrate {
+				w.Schedule(ev.At, func() { w.Migrate(mhID, ev.Cell) })
+			}
+		}
+		reqCfg := workload.Requests{
+			Interarrival: netsim.Exponential{MeanDelay: 1200 * time.Millisecond, Floor: 50 * time.Millisecond},
+			Servers:      serverList(w),
+			PayloadBytes: 32,
+		}
+		for _, a := range workload.Schedule(rng, reqCfg, horizon) {
+			a := a
+			w.Schedule(a.At, func() {
+				reqs = append(reqs, pendingReq{mh: mhID, req: mh.IssueRequest(a.Server, a.Payload)})
+			})
+		}
+	}
+	w.RunUntil(horizon + horizon/2)
+	for _, pr := range reqs {
+		issued++
+		if w.MHs[pr.mh].Seen(pr.req) {
+			delivered++
+		}
+	}
+	return issued, delivered
+}
+
+// E12Migration sweeps the proxy-migration policy — fixed proxy, hop
+// thresholds k ∈ {1,2,4,8}, load-driven — over the ring workload and
+// adds the Mobile IP baseline with each MH's home agent at its start
+// cell (the static-anchor analogue of the fixed proxy). Expected shape:
+// the fixed proxy's mean forwarding hops drift toward the ring mean
+// while hop-threshold migration bounds them near k at a quantified
+// message overhead; migration also spreads proxy residence across the
+// ring, beating the baseline's static anchors on Jain fairness — all
+// without giving up exactly-once delivery, which Mobile IP loses.
+func E12Migration(seed int64, sc Scale) []E12Row {
+	variants := []struct {
+		name string
+		pol  proxymig.Policy
+	}{
+		{"RDP fixed proxy", proxymig.Policy{}},
+		{"RDP hop k=1", proxymig.Policy{HopThreshold: 1, MinInterval: 250 * time.Millisecond}},
+		{"RDP hop k=2", proxymig.Policy{HopThreshold: 2, MinInterval: 250 * time.Millisecond}},
+		{"RDP hop k=4", proxymig.Policy{HopThreshold: 4, MinInterval: 250 * time.Millisecond}},
+		{"RDP hop k=8", proxymig.Policy{HopThreshold: 8, MinInterval: 250 * time.Millisecond}},
+		{"RDP load-driven", proxymig.Policy{LoadDriven: true, MinInterval: 250 * time.Millisecond}},
+	}
+	var rows []E12Row
+	for _, v := range variants {
+		w := rdpcore.NewWorld(e12Config(seed, v.pol))
+		issued, delivered := e12Drive(w, sc)
+		ratio := 0.0
+		if issued > 0 {
+			ratio = float64(delivered) / float64(issued)
+		}
+		meanHops := 0.0
+		if c := w.Stats.ForwardCount.Value(); c > 0 {
+			meanHops = float64(w.Stats.ForwardHops.Value()) / float64(c)
+		}
+		rows = append(rows, E12Row{
+			Policy:      v.name,
+			Issued:      issued,
+			Delivered:   delivered,
+			Ratio:       ratio,
+			MeanHops:    meanHops,
+			WorstHops:   w.Stats.ForwardHopMax.Value(),
+			MeanLatency: w.Stats.ResultLatency.Mean(),
+			P95Latency:  w.Stats.ResultLatency.Quantile(0.95),
+			Migrations:  w.Stats.MigCompleted.Value(),
+			Refused:     w.Stats.MigRefusals.Value(),
+			MigMsgs:     w.Stats.MigMessages.Value(),
+			MigBytes:    w.Stats.MigStateBytes.Value(),
+			Jain:        metrics.JainIndex(w.Stats.HostLoads(w.StationList())),
+			Dups:        w.Stats.DuplicateDeliveries.Value(),
+		})
+	}
+	return append(rows, e12MobileIP(seed, sc))
+}
+
+// e12MobileIP runs the same ring workload under the Mobile IP baseline.
+// Each MH's home agent is its starting station, exactly where RDP would
+// create (and pin) the first proxy; tunnel hops are measured by an
+// observer over the ring distance of every home-agent tunnel send.
+func e12MobileIP(seed int64, sc Scale) E12Row {
+	dist := proxymig.RingDistance(e12Stations)
+	var hopSum, worstHops int64
+	mcfg := mobileip.DefaultConfig()
+	mcfg.Seed = seed
+	mcfg.NumMSS = e12Stations
+	mcfg.NumServers = 2
+	mcfg.WiredLatency = netsim.Constant(5 * time.Millisecond)
+	mcfg.WiredPairLatency = netsim.RingLatency(e12Stations, e12RingBase, e12RingPerHop)
+	mcfg.WirelessLatency = netsim.Constant(10 * time.Millisecond)
+	mcfg.ServerProc = netsim.Exponential{MeanDelay: 2 * time.Second, Floor: 200 * time.Millisecond}
+	mcfg.RequestTimeout = 2 * time.Second // upper-layer recovery shim
+	mcfg.Observer = func(at sim.Time, layer netsim.Layer, kind netsim.EventKind, from, to ids.NodeID, m msg.Message) {
+		if layer != netsim.LayerWired || kind != netsim.EventSent || m.Kind() != msg.KindMIPTunnel {
+			return
+		}
+		d := int64(dist(from.MSS(), to.MSS()))
+		hopSum += d
+		if d > worstHops {
+			worstHops = d
+		}
+	}
+	mw := mobileip.NewWorld(mcfg)
+	cells := mw.StationList()
+	horizon := sc.Horizon
+	type pendingReq struct {
+		mn  *mobileip.MobileNode
+		req ids.RequestID
+	}
+	var reqs []pendingReq
+	for i := 1; i <= sc.MHs; i++ {
+		rng := mw.Kernel.RNG().Fork()
+		mhID := ids.MH(i)
+		start := cells[rng.Intn(len(cells))]
+		mn := mw.AddMH(mhID, start, start) // home agent = starting cell
+		mob := workload.Mobility{
+			Picker:    workload.RingWalk{Cells: cells},
+			Residence: netsim.Exponential{MeanDelay: 500 * time.Millisecond, Floor: 100 * time.Millisecond},
+		}
+		for _, ev := range workload.Itinerary(rng, mob, start, horizon) {
+			ev := ev
+			if ev.Kind == workload.EvMigrate {
+				mw.Kernel.After(ev.At, func() { mw.Migrate(mhID, ev.Cell) })
+			}
+		}
+		reqCfg := workload.Requests{
+			Interarrival: netsim.Exponential{MeanDelay: 1200 * time.Millisecond, Floor: 50 * time.Millisecond},
+			Servers:      []ids.Server{1, 2},
+			PayloadBytes: 32,
+		}
+		for _, a := range workload.Schedule(rng, reqCfg, horizon) {
+			a := a
+			mw.Kernel.After(a.At, func() {
+				reqs = append(reqs, pendingReq{mn: mn, req: mn.IssueRequest(a.Server, a.Payload)})
+			})
+		}
+	}
+	mw.RunUntil(horizon + horizon/2)
+	var issued, delivered int64
+	for _, pr := range reqs {
+		issued++
+		if pr.mn.Seen(pr.req) {
+			delivered++
+		}
+	}
+	ratio := 0.0
+	if issued > 0 {
+		ratio = float64(delivered) / float64(issued)
+	}
+	// Local tunnels (care-of = home) never hit the wire; they count as
+	// zero-hop forwards in the mean, same as an RDP proxy forwarding to
+	// its own cell.
+	meanHops := 0.0
+	if tn := mw.Stats.Tunnels.Value(); tn > 0 {
+		meanHops = float64(hopSum) / float64(tn)
+	}
+	loads := make([]float64, 0, len(cells))
+	for _, st := range cells {
+		loads = append(loads, float64(mw.Stats.TunnelLoad[st]))
+	}
+	return E12Row{
+		Policy:      "MobileIP home=start",
+		Issued:      issued,
+		Delivered:   delivered,
+		Ratio:       ratio,
+		MeanHops:    meanHops,
+		WorstHops:   worstHops,
+		MeanLatency: mw.Stats.ResultLatency.Mean(),
+		P95Latency:  mw.Stats.ResultLatency.Quantile(0.95),
+		Jain:        metrics.JainIndex(loads),
+		Dups:        mw.Stats.Duplicates.Value(),
+	}
+}
+
+// ReplayMigration1 reruns the migration worked example on the Figure 3
+// network (3 stations, 5ms wired, 10ms wireless): two requests share a
+// proxy at mss1 (server times 800ms and 250ms), the MH moves to mss2 at
+// 50ms, and the fast result's remote forward fires the hop-threshold
+// trigger. The full mig_offer → mig_commit → mig_state → pref_redirect
+// (+ confirm) → mig_gc exchange runs while the slow request is still at
+// the server; its result then takes the direct path from the migrated
+// proxy. Attach a trace recorder through obs to print the message flow
+// (cmd/rdptrace -scenario mig1).
+func ReplayMigration1(obs netsim.Observer) *rdpcore.World {
+	proc := &scriptedProc{delays: []time.Duration{800 * time.Millisecond, 250 * time.Millisecond}}
+	cfg := figureConfig(proc, obs)
+	cfg.Migration = proxymig.Policy{HopThreshold: 1}
+	w := rdpcore.NewWorld(cfg)
+	mh := w.AddMH(1, 1)
+	w.Schedule(0, func() { mh.IssueRequest(1, []byte("slow")) })
+	w.Schedule(5*time.Millisecond, func() { mh.IssueRequest(1, []byte("fast")) })
+	w.Schedule(50*time.Millisecond, func() { w.Migrate(1, 2) })
+	w.RunUntil(3 * time.Second)
+	return w
+}

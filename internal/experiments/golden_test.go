@@ -20,6 +20,7 @@ func TestFigureReplaysMatchGoldenTraces(t *testing.T) {
 	}{
 		{"fig3", func(rec *trace.Recorder) { ReplayFigure3(rec.Observe) }},
 		{"fig4", func(rec *trace.Recorder) { ReplayFigure4(rec.Observe) }},
+		{"mig1", func(rec *trace.Recorder) { ReplayMigration1(rec.Observe) }},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			rec := trace.New()

@@ -37,8 +37,12 @@ type Config struct {
 	NumServers      int
 	WiredLatency    netsim.LatencyModel
 	WirelessLatency netsim.LatencyModel
-	WirelessLoss    float64
-	ServerProc      netsim.LatencyModel
+	// WiredPairLatency, when set, overrides WiredLatency per host pair —
+	// e.g. netsim.RingLatency, so the baseline pays the same
+	// distance-dependent backbone costs as RDP on a ring topology (E12).
+	WiredPairLatency func(from, to ids.NodeID) netsim.LatencyModel
+	WirelessLoss     float64
+	ServerProc       netsim.LatencyModel
 	// RequestTimeout, when positive, enables the upper-layer retransmit
 	// shim at mobile nodes.
 	RequestTimeout time.Duration
@@ -133,7 +137,10 @@ func NewWorld(cfg Config) *World {
 	}
 	// Plain IP has no ordering guarantee; the wired net runs without the
 	// causal layer.
-	w.Wired = netsim.NewWired(w.Kernel, members, netsim.WiredConfig{Latency: cfg.WiredLatency}, obs)
+	w.Wired = netsim.NewWired(w.Kernel, members, netsim.WiredConfig{
+		Latency:     cfg.WiredLatency,
+		PairLatency: cfg.WiredPairLatency,
+	}, obs)
 	w.Wireless = netsim.NewWireless(w.Kernel, netsim.WirelessConfig{
 		Latency:   cfg.WirelessLatency,
 		LossProb:  cfg.WirelessLoss,

@@ -158,6 +158,41 @@ func Encode(m Message) ([]byte, error) {
 		e.req(v.Req)
 	case Admit:
 		e.req(v.Req)
+	case MigOffer:
+		e.proxy(v.Proxy)
+		e.u32(uint32(v.MH))
+		e.u32(v.Pending)
+		e.u32(v.HostLoad)
+		e.bool(v.LoadCheck)
+	case MigCommit:
+		e.proxy(v.Proxy)
+		e.proxy(v.NewProxy)
+		e.u32(uint32(v.MH))
+		e.bool(v.Accept)
+	case MigState:
+		e.proxy(v.Proxy)
+		e.proxy(v.NewProxy)
+		e.u32(uint32(v.MH))
+		e.u32(uint32(v.CurrentLoc))
+		e.u32(uint32(len(v.Reqs)))
+		for _, r := range v.Reqs {
+			e.req(r.Req)
+			e.u32(uint32(r.Server))
+			e.bytes(r.Payload)
+			e.bytes(r.Result)
+			e.bool(r.HasResult)
+			e.bool(r.Forwarded)
+		}
+	case PrefRedirect:
+		e.u32(uint32(v.MH))
+		e.proxy(v.OldProxy)
+		e.proxy(v.NewProxy)
+		e.req(v.Req)
+		e.bool(v.Confirm)
+	case MigGC:
+		e.proxy(v.OldProxy)
+		e.proxy(v.NewProxy)
+		e.u32(uint32(v.MH))
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrBadKind, m)
 	}
@@ -272,6 +307,28 @@ func Decode(b []byte) (Message, error) {
 		m = Busy{Req: d.req()}
 	case KindAdmit:
 		m = Admit{Req: d.req()}
+	case KindMigOffer:
+		m = MigOffer{Proxy: d.proxy(), MH: ids.MH(d.u32()), Pending: d.u32(), HostLoad: d.u32(), LoadCheck: d.bool()}
+	case KindMigCommit:
+		m = MigCommit{Proxy: d.proxy(), NewProxy: d.proxy(), MH: ids.MH(d.u32()), Accept: d.bool()}
+	case KindMigState:
+		ms := MigState{Proxy: d.proxy(), NewProxy: d.proxy(), MH: ids.MH(d.u32()), CurrentLoc: ids.MSS(d.u32())}
+		n := d.len()
+		for i := 0; i < n && d.err == nil; i++ {
+			ms.Reqs = append(ms.Reqs, MigReqState{
+				Req:       d.req(),
+				Server:    ids.Server(d.u32()),
+				Payload:   d.bytes(),
+				Result:    d.bytes(),
+				HasResult: d.bool(),
+				Forwarded: d.bool(),
+			})
+		}
+		m = ms
+	case KindPrefRedirect:
+		m = PrefRedirect{MH: ids.MH(d.u32()), OldProxy: d.proxy(), NewProxy: d.proxy(), Req: d.req(), Confirm: d.bool()}
+	case KindMigGC:
+		m = MigGC{OldProxy: d.proxy(), NewProxy: d.proxy(), MH: ids.MH(d.u32())}
 	default:
 		if d.err != nil {
 			return nil, d.err

@@ -50,6 +50,20 @@ func sampleMessages() []Message {
 		RegConfirm{MH: 3},
 		Busy{Req: req},
 		Admit{Req: req},
+		MigOffer{Proxy: prx, MH: 3, Pending: 2, HostLoad: 4, LoadCheck: true},
+		MigCommit{Proxy: prx, NewProxy: ids.ProxyID{Host: 4, Seq: 9}, MH: 3, Accept: true},
+		MigState{
+			Proxy:      prx,
+			NewProxy:   ids.ProxyID{Host: 4, Seq: 9},
+			MH:         3,
+			CurrentLoc: 4,
+			Reqs: []MigReqState{
+				{Req: req, Server: 1, Payload: []byte("q"), Result: []byte("r"), HasResult: true, Forwarded: true},
+				{Req: ids.RequestID{Origin: 3, Seq: 42}, Server: 2, Payload: []byte("q2")},
+			},
+		},
+		PrefRedirect{MH: 3, OldProxy: prx, NewProxy: ids.ProxyID{Host: 4, Seq: 9}, Req: req, Confirm: true},
+		MigGC{OldProxy: prx, NewProxy: ids.ProxyID{Host: 4, Seq: 9}, MH: 3},
 	}
 }
 

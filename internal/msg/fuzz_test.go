@@ -25,6 +25,21 @@ func FuzzDecodeLinkFrames(f *testing.F) {
 		}},
 		RegConfirm{MH: 5},
 		UpdateCurrentLoc{Proxy: ids.ProxyID{Host: 2, Seq: 1}, MH: 4, NewLoc: 6},
+		// Proxy-migration messages, bare and ARQ-framed, so the nested
+		// MigState requestList codec is fuzz-covered from day one.
+		MigOffer{Proxy: ids.ProxyID{Host: 1, Seq: 2}, MH: 3, Pending: 1, HostLoad: 2},
+		MigCommit{Proxy: ids.ProxyID{Host: 1, Seq: 2}, NewProxy: ids.ProxyID{Host: 2, Seq: 7}, MH: 3, Accept: true},
+		PrefRedirect{MH: 3, OldProxy: ids.ProxyID{Host: 1, Seq: 2}, NewProxy: ids.ProxyID{Host: 2, Seq: 7}, Req: ids.RequestID{Origin: 3, Seq: 9}},
+		MigGC{OldProxy: ids.ProxyID{Host: 1, Seq: 2}, NewProxy: ids.ProxyID{Host: 2, Seq: 7}, MH: 3},
+		LinkFrame{Seq: 11, Inner: MigState{
+			Proxy:      ids.ProxyID{Host: 1, Seq: 2},
+			NewProxy:   ids.ProxyID{Host: 2, Seq: 7},
+			MH:         3,
+			CurrentLoc: 2,
+			Reqs: []MigReqState{
+				{Req: ids.RequestID{Origin: 3, Seq: 9}, Server: 1, Payload: []byte("q"), Result: []byte("res"), HasResult: true, Forwarded: true},
+			},
+		}},
 	}
 	for _, m := range seeds {
 		b, err := Encode(m)

@@ -86,6 +86,15 @@ const (
 	KindBusy
 	KindAdmit
 
+	// Wired proxy migration (internal/proxymig): the offer/commit
+	// handshake, the state transfer, the pref-redirect announcements to
+	// servers and stale stations, and the tombstone garbage collection.
+	KindMigOffer
+	KindMigCommit
+	KindMigState
+	KindPrefRedirect
+	KindMigGC
+
 	kindSentinel // one past the last valid kind
 )
 
@@ -119,6 +128,11 @@ var kindNames = [...]string{
 	KindRegConfirm:       "reg-confirm",
 	KindBusy:             "busy",
 	KindAdmit:            "admit",
+	KindMigOffer:         "mig-offer",
+	KindMigCommit:        "mig-commit",
+	KindMigState:         "mig-state",
+	KindPrefRedirect:     "pref-redirect",
+	KindMigGC:            "mig-gc",
 }
 
 // String returns the trace tag of the kind, e.g. "update-currl".
@@ -471,6 +485,80 @@ type Admit struct {
 }
 
 // ---------------------------------------------------------------------
+// Proxy migration (internal/proxymig).
+
+// MigOffer asks the MH's current respMss to adopt the proxy. Pending and
+// HostLoad describe the proxy and its host so the target can decide
+// admission; LoadCheck marks a load-driven migration, which the target
+// only accepts when taking the proxy actually improves the balance.
+type MigOffer struct {
+	Proxy     ids.ProxyID
+	MH        ids.MH
+	Pending   uint32 // pending requests held by the proxy
+	HostLoad  uint32 // proxies hosted at the offering station
+	LoadCheck bool   // load-driven policy: accept only if balance improves
+}
+
+// MigCommit answers a MigOffer. On acceptance NewProxy names the
+// identity the target allocated (and durably reserved) for the adopted
+// proxy; the old host then ships MigState and tombstones the old id. On
+// refusal the old host simply keeps the proxy and backs off.
+type MigCommit struct {
+	Proxy    ids.ProxyID // the offered (old) proxy
+	NewProxy ids.ProxyID // allocated at the target; zero on refusal
+	MH       ids.MH
+	Accept   bool
+}
+
+// MigReqState is one entry of a migrating proxy's requestList: the
+// request, its target server, the original payload (for crash-recovery
+// re-issue), the stored result if the server already answered, and
+// whether that result has been forwarded toward the MH at least once.
+type MigReqState struct {
+	Req       ids.RequestID
+	Server    ids.Server
+	Payload   []byte
+	Result    []byte
+	HasResult bool
+	Forwarded bool
+}
+
+// MigState transfers the full proxy state from the old host to the
+// target that accepted the offer. CurrentLoc is the proxy's view of the
+// MH's station at snapshot time; Reqs is the requestList in issue order.
+type MigState struct {
+	Proxy      ids.ProxyID // old identity
+	NewProxy   ids.ProxyID // identity at the target
+	MH         ids.MH
+	CurrentLoc ids.MSS
+	Reqs       []MigReqState
+}
+
+// PrefRedirect announces that OldProxy has migrated to NewProxy. Three
+// roles share the message: the new host announces the move to every
+// server with a result-less pending request (Confirm=false, Req set to
+// the pending request); the server echoes it with Confirm=true to the
+// old host, feeding the tombstone's confirmation set; and the tombstone
+// sends it (Confirm=false) to any station that still addresses the old
+// proxy, lazily rebinding stale prefs.
+type PrefRedirect struct {
+	MH       ids.MH
+	OldProxy ids.ProxyID
+	NewProxy ids.ProxyID
+	Req      ids.RequestID // pending request being redirected; zero for pref rebinds
+	Confirm  bool
+}
+
+// MigGC closes a migration episode: the old host garbage-collected the
+// tombstone (every server confirmed and the linger window passed), so
+// the new host drops its inbound reservation bookkeeping.
+type MigGC struct {
+	OldProxy ids.ProxyID
+	NewProxy ids.ProxyID
+	MH       ids.MH
+}
+
+// ---------------------------------------------------------------------
 // Kind methods.
 
 func (Join) Kind() Kind             { return KindJoin }
@@ -501,6 +589,11 @@ func (LinkAck) Kind() Kind          { return KindLinkAck }
 func (RegConfirm) Kind() Kind       { return KindRegConfirm }
 func (Busy) Kind() Kind             { return KindBusy }
 func (Admit) Kind() Kind            { return KindAdmit }
+func (MigOffer) Kind() Kind         { return KindMigOffer }
+func (MigCommit) Kind() Kind        { return KindMigCommit }
+func (MigState) Kind() Kind         { return KindMigState }
+func (PrefRedirect) Kind() Kind     { return KindPrefRedirect }
+func (MigGC) Kind() Kind            { return KindMigGC }
 
 // ---------------------------------------------------------------------
 // String methods (trace rendering).
@@ -573,6 +666,24 @@ func (m LinkAck) String() string    { return fmt.Sprintf("link-ack(seq=%d)", m.S
 func (m RegConfirm) String() string { return fmt.Sprintf("reg-confirm(%v)", m.MH) }
 func (m Busy) String() string       { return fmt.Sprintf("busy(%v)", m.Req) }
 func (m Admit) String() string      { return fmt.Sprintf("admit(%v)", m.Req) }
+func (m MigOffer) String() string {
+	return fmt.Sprintf("mig-offer(%v,%v,pending=%d,load=%d,loadchk=%t)",
+		m.Proxy, m.MH, m.Pending, m.HostLoad, m.LoadCheck)
+}
+func (m MigCommit) String() string {
+	return fmt.Sprintf("mig-commit(%v->%v,%v,accept=%t)", m.Proxy, m.NewProxy, m.MH, m.Accept)
+}
+func (m MigState) String() string {
+	return fmt.Sprintf("mig-state(%v->%v,%v,currl=%v,reqs=%d)",
+		m.Proxy, m.NewProxy, m.MH, m.CurrentLoc, len(m.Reqs))
+}
+func (m PrefRedirect) String() string {
+	return fmt.Sprintf("pref-redirect(%v,%v->%v,%v,confirm=%t)",
+		m.MH, m.OldProxy, m.NewProxy, m.Req, m.Confirm)
+}
+func (m MigGC) String() string {
+	return fmt.Sprintf("mig-gc(%v->%v,%v)", m.OldProxy, m.NewProxy, m.MH)
+}
 
 // Compile-time interface checks.
 var (
@@ -604,4 +715,9 @@ var (
 	_ Message = RegConfirm{}
 	_ Message = Busy{}
 	_ Message = Admit{}
+	_ Message = MigOffer{}
+	_ Message = MigCommit{}
+	_ Message = MigState{}
+	_ Message = PrefRedirect{}
+	_ Message = MigGC{}
 )

@@ -1,0 +1,179 @@
+// Package proxymig decides when and where an RDP proxy migrates.
+//
+// The paper pins a proxy at the MSS that created it, so a long-lived
+// proxy triangle-routes every result through an ever-longer
+// proxy→currentLoc wired path — the same static-anchor cost the paper
+// criticizes in Mobile IP's home agent, merely deferred. This package
+// holds the policy layer of the migration subsystem: when a trigger
+// fires (forwarding-hop threshold, result-volume threshold, or MSS
+// load imbalance) the proxy's full state moves to the MH's current
+// respMss, leaving a forwarding tombstone at the old site.
+//
+// The mechanism — the mig_offer / mig_commit / mig_state /
+// pref_redirect / mig_gc exchange — lives in internal/rdpcore
+// (migration.go); this package is deliberately small and importable
+// from rdpcore without a cycle: it knows about identifiers, distances,
+// and durations, not about stations or messages.
+package proxymig
+
+import (
+	"time"
+
+	"repro/internal/ids"
+)
+
+// Reason names the policy trigger that fired a migration. It is carried
+// into traces and statistics so experiments can attribute migrations to
+// their cause.
+type Reason uint8
+
+// Migration reasons.
+const (
+	ReasonNone   Reason = iota
+	ReasonHops          // forwarding distance exceeded HopThreshold
+	ReasonVolume        // results forwarded remotely exceeded VolumeThreshold
+	ReasonLoad          // host proxy population imbalance (load-driven)
+)
+
+// String names the reason for traces.
+func (r Reason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonHops:
+		return "hops"
+	case ReasonVolume:
+		return "volume"
+	case ReasonLoad:
+		return "load"
+	default:
+		return "reason(?)"
+	}
+}
+
+// Policy configures when a proxy offers itself to the MH's current
+// station. The zero value disables migration entirely.
+type Policy struct {
+	// HopThreshold fires a migration when the topological distance from
+	// the proxy's host to the MH's current station reaches the
+	// threshold. Zero disables the trigger.
+	HopThreshold int
+
+	// VolumeThreshold fires a migration once the proxy has forwarded at
+	// least this many results to a remote station since it was created
+	// or last migrated. Zero disables the trigger.
+	VolumeThreshold int
+
+	// LoadDriven fires a migration whenever the proxy forwards remotely
+	// and moving it would improve the proxy-population balance between
+	// the two stations; the target enforces the improvement check at
+	// admission (see AcceptLoad).
+	LoadDriven bool
+
+	// MinInterval is the cooldown between migration attempts of the
+	// same proxy, so an MH ping-ponging between two cells does not drag
+	// its proxy back and forth on every hand-off. Zero means no
+	// cooldown.
+	MinInterval time.Duration
+
+	// TombstoneLinger is the quiet period the old host keeps the
+	// forwarding tombstone after every server confirmed the new pref.
+	// It covers stragglers from stations whose pref is still stale:
+	// FIFO ordering makes the server confirms safe against the servers'
+	// own in-flight replies, but a third station can hold a stale pref
+	// arbitrarily long. The timer re-arms whenever the tombstone
+	// redirects traffic. Zero selects DefaultTombstoneLinger.
+	TombstoneLinger time.Duration
+}
+
+// DefaultTombstoneLinger is the tombstone quiet period used when the
+// policy leaves TombstoneLinger zero.
+const DefaultTombstoneLinger = time.Second
+
+// Enabled reports whether any migration trigger is configured.
+func (p Policy) Enabled() bool {
+	return p.HopThreshold > 0 || p.VolumeThreshold > 0 || p.LoadDriven
+}
+
+// Linger returns the effective tombstone quiet period.
+func (p Policy) Linger() time.Duration {
+	if p.TombstoneLinger > 0 {
+		return p.TombstoneLinger
+	}
+	return DefaultTombstoneLinger
+}
+
+// Observation is what the proxy's host knows when a result is forwarded
+// remotely — the moment migration decisions are made.
+type Observation struct {
+	// Distance is the topological distance from the proxy's host to the
+	// MH's current station (at least 1: the observation is only made on
+	// remote forwards).
+	Distance int
+
+	// RemoteForwards counts results this proxy has forwarded to remote
+	// stations since creation or its last migration, including the one
+	// triggering the observation.
+	RemoteForwards int
+
+	// HostProxies is the number of proxies hosted at the observing
+	// station (including this one).
+	HostProxies int
+
+	// SinceAttempt is the time since this proxy's last migration
+	// attempt (or since its creation/installation if none).
+	SinceAttempt time.Duration
+}
+
+// Decide reports whether the observation fires a migration, and why.
+// The load-driven trigger only proposes; the target's AcceptLoad check
+// decides whether the move actually improves the balance.
+func (p Policy) Decide(o Observation) (Reason, bool) {
+	if !p.Enabled() || o.SinceAttempt < p.MinInterval {
+		return ReasonNone, false
+	}
+	if p.HopThreshold > 0 && o.Distance >= p.HopThreshold {
+		return ReasonHops, true
+	}
+	if p.VolumeThreshold > 0 && o.RemoteForwards >= p.VolumeThreshold {
+		return ReasonVolume, true
+	}
+	if p.LoadDriven {
+		return ReasonLoad, true
+	}
+	return ReasonNone, false
+}
+
+// AcceptLoad is the target-side admission check for a load-driven
+// offer: adopting the proxy must strictly improve the proxy-population
+// balance between the offering host (offerLoad proxies, including the
+// one on offer) and the target (targetLoad proxies, excluding it).
+// Moving one proxy from a host with L to a host with T helps exactly
+// when T+1 < L.
+func AcceptLoad(offerLoad, targetLoad int) bool {
+	return targetLoad+1 < offerLoad
+}
+
+// RingDistance returns a distance function for n stations arranged in a
+// ring (matching netsim.RingLatency): the hop count is the shorter way
+// around. Stations are ids.MSS(1..n); unknown stations are distance 1
+// from everything, the same fallback the flat default uses.
+func RingDistance(n int) func(a, b ids.MSS) int {
+	return func(a, b ids.MSS) int {
+		if a == b {
+			return 0
+		}
+		ai, bi := int(a)-1, int(b)-1
+		if ai < 0 || ai >= n || bi < 0 || bi >= n {
+			return 1
+		}
+		d := ai - bi
+		if d < 0 {
+			d = -d
+		}
+		if n-d < d {
+			d = n - d
+		}
+		return d
+	}
+}

@@ -1,0 +1,124 @@
+package proxymig
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+func TestPolicyEnabled(t *testing.T) {
+	if (Policy{}).Enabled() {
+		t.Error("zero policy must be disabled")
+	}
+	for _, p := range []Policy{
+		{HopThreshold: 1},
+		{VolumeThreshold: 5},
+		{LoadDriven: true},
+	} {
+		if !p.Enabled() {
+			t.Errorf("%+v must be enabled", p)
+		}
+	}
+}
+
+func TestDecideHopThreshold(t *testing.T) {
+	p := Policy{HopThreshold: 2}
+	if r, ok := p.Decide(Observation{Distance: 1, SinceAttempt: time.Hour}); ok {
+		t.Errorf("distance 1 < threshold 2 fired (%v)", r)
+	}
+	r, ok := p.Decide(Observation{Distance: 2, SinceAttempt: time.Hour})
+	if !ok || r != ReasonHops {
+		t.Errorf("distance 2 at threshold 2: got (%v,%t), want (hops,true)", r, ok)
+	}
+}
+
+func TestDecideVolumeThreshold(t *testing.T) {
+	p := Policy{VolumeThreshold: 3}
+	if _, ok := p.Decide(Observation{Distance: 1, RemoteForwards: 2, SinceAttempt: time.Hour}); ok {
+		t.Error("2 remote forwards fired a threshold of 3")
+	}
+	r, ok := p.Decide(Observation{Distance: 1, RemoteForwards: 3, SinceAttempt: time.Hour})
+	if !ok || r != ReasonVolume {
+		t.Errorf("got (%v,%t), want (volume,true)", r, ok)
+	}
+}
+
+func TestDecideLoadDriven(t *testing.T) {
+	p := Policy{LoadDriven: true}
+	r, ok := p.Decide(Observation{Distance: 1, SinceAttempt: time.Hour})
+	if !ok || r != ReasonLoad {
+		t.Errorf("got (%v,%t), want (load,true)", r, ok)
+	}
+}
+
+func TestDecideCooldown(t *testing.T) {
+	p := Policy{HopThreshold: 1, MinInterval: time.Second}
+	if _, ok := p.Decide(Observation{Distance: 5, SinceAttempt: 500 * time.Millisecond}); ok {
+		t.Error("migration fired inside the cooldown")
+	}
+	if _, ok := p.Decide(Observation{Distance: 5, SinceAttempt: time.Second}); !ok {
+		t.Error("migration suppressed after the cooldown elapsed")
+	}
+}
+
+func TestAcceptLoad(t *testing.T) {
+	// Moving one proxy from a host with 3 to a host with 1 gives (2,2):
+	// improvement. From 2 to 1 gives (1,2): not an improvement.
+	if !AcceptLoad(3, 1) {
+		t.Error("3->1 must be accepted")
+	}
+	if AcceptLoad(2, 1) {
+		t.Error("2->1 must be refused (no improvement)")
+	}
+	if AcceptLoad(1, 0) {
+		t.Error("1->0 must be refused (pure churn)")
+	}
+}
+
+func TestRingDistance(t *testing.T) {
+	d := RingDistance(8)
+	cases := []struct {
+		a, b ids.MSS
+		want int
+	}{
+		{1, 1, 0},
+		{1, 2, 1},
+		{1, 8, 1},  // wrap
+		{1, 5, 4},  // antipode
+		{2, 7, 3},  // shorter way around
+		{1, 99, 1}, // unknown station falls back to 1
+	}
+	for _, c := range cases {
+		if got := d(c.a, c.b); got != c.want {
+			t.Errorf("RingDistance(8)(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := d(c.b, c.a); got != c.want {
+			t.Errorf("RingDistance(8)(%v,%v) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestLinger(t *testing.T) {
+	if got := (Policy{}).Linger(); got != DefaultTombstoneLinger {
+		t.Errorf("zero linger = %v, want default %v", got, DefaultTombstoneLinger)
+	}
+	if got := (Policy{TombstoneLinger: 5 * time.Second}).Linger(); got != 5*time.Second {
+		t.Errorf("explicit linger = %v", got)
+	}
+}
+
+func TestReasonString(t *testing.T) {
+	want := map[Reason]string{
+		ReasonNone:   "none",
+		ReasonHops:   "hops",
+		ReasonVolume: "volume",
+		ReasonLoad:   "load",
+		Reason(99):   "reason(?)",
+	}
+	for r, s := range want {
+		if got := r.String(); got != s {
+			t.Errorf("Reason(%d).String() = %q, want %q", uint8(r), got, s)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/ids"
 	"repro/internal/netsim"
+	"repro/internal/proxymig"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -173,6 +174,10 @@ type chaosParams struct {
 	// recovery stack and adds station slowdowns plus an offered-load
 	// spike to the fault plan.
 	overload bool
+	// migrate turns on hop-threshold proxy migration, so migration
+	// episodes race the crash windows, the partition and (with overload)
+	// the load spike.
+	migrate  bool
 	horizon  time.Duration
 	drainFor time.Duration
 }
@@ -240,6 +245,18 @@ func chaos(t *testing.T, p chaosParams) (w *World, missing, total, admittedLost 
 		}
 		plan.Spikes = []faults.LoadSpike{
 			{Start: 20 * time.Second, End: 30 * time.Second, Factor: 3},
+		}
+	}
+
+	if p.migrate {
+		// The flat station metric makes every remote forward distance 1,
+		// so threshold 1 fires on any triangle route; the cooldown keeps
+		// an MH ping-ponging between cells from dragging its proxy along
+		// on every hand-off.
+		cfg.Migration = proxymig.Policy{
+			HopThreshold:    1,
+			MinInterval:     750 * time.Millisecond,
+			TombstoneLinger: 1500 * time.Millisecond,
 		}
 	}
 
@@ -405,6 +422,94 @@ func TestChaosOverloadAdmittedNeverLost(t *testing.T) {
 				t.Errorf("invariants at end: %v", err)
 			}
 		})
+	}
+}
+
+// TestChaosMigrationRecovery soaks proxy migration under the full E10
+// fault plan: migration episodes race 10% wired loss, duplication,
+// reordering, a partition, and two MSS crash/restart windows — one of
+// which can land mid-handshake, leaving tombstones and reservations to
+// the journal. Every request must still be delivered, without a
+// duplicate storm, and every migration that engaged must drain.
+func TestChaosMigrationRecovery(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w, missing, total, _ := chaos(t, chaosParams{
+				seed: seed, mhs: 8, cells: 5, recovery: true, migrate: true,
+				horizon: 60 * time.Second, drainFor: 30 * time.Second,
+			})
+			if missing != 0 {
+				t.Errorf("%d of %d requests undelivered with migration on (migOffers=%d migCompleted=%d recoveryResends=%d)",
+					missing, total, w.Stats.MigOffers.Value(),
+					w.Stats.MigCompleted.Value(), w.Stats.RecoveryResends.Value())
+			}
+			if w.Stats.MigCompleted.Value() == 0 {
+				t.Error("MigCompleted = 0; migration never engaged under chaos")
+			}
+			if dup, del := w.Stats.DuplicateDeliveries.Value(), w.Stats.ResultsDelivered.Value(); dup*10 > del {
+				t.Errorf("DuplicateDeliveries = %d of %d delivered; duplicate storm", dup, del)
+			}
+			if err := w.CheckInvariants(); err != nil {
+				t.Errorf("invariants at end: %v", err)
+			}
+		})
+	}
+}
+
+// TestChaosMigrationOverloadAdmittedNeverLost composes all three
+// subsystems: migration episodes fire during the E11 load spike and
+// station slowdowns while the E10 fault plan crashes stations.
+// Admission control must keep counting inbound migrations as proxy
+// pressure, migration control must survive shedding (it rides the
+// never-shed wired signaling class), and no admitted request may be
+// lost.
+func TestChaosMigrationOverloadAdmittedNeverLost(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w, missing, total, admittedLost := chaos(t, chaosParams{
+				seed: seed, mhs: 8, cells: 5, recovery: true, overload: true, migrate: true,
+				horizon: 60 * time.Second, drainFor: 30 * time.Second,
+			})
+			if admittedLost != 0 {
+				t.Errorf("%d admitted requests lost with migration + overload chaos, want 0", admittedLost)
+			}
+			if missing != 0 {
+				t.Errorf("%d of %d requests undelivered (refusals=%d shed=%d migOffers=%d)",
+					missing, total, w.Stats.BusyRefusals.Value(),
+					w.Stats.NetworkShed.Value(), w.Stats.MigOffers.Value())
+			}
+			if w.Stats.MigOffers.Value() == 0 {
+				t.Error("MigOffers = 0; migration never engaged")
+			}
+			if dup, del := w.Stats.DuplicateDeliveries.Value(), w.Stats.ResultsDelivered.Value(); dup*10 > del {
+				t.Errorf("DuplicateDeliveries = %d of %d delivered; duplicate storm", dup, del)
+			}
+			if err := w.CheckInvariants(); err != nil {
+				t.Errorf("invariants at end: %v", err)
+			}
+		})
+	}
+}
+
+// TestChaosMigrationDeterminism replays a migration-enabled chaos seed
+// twice: offers, transfers and tombstone GC must all be deterministic.
+func TestChaosMigrationDeterminism(t *testing.T) {
+	run := func() [5]int64 {
+		w, missing, _, _ := chaos(t, chaosParams{
+			seed: 3, mhs: 6, cells: 5, recovery: true, migrate: true,
+			horizon: 45 * time.Second, drainFor: 20 * time.Second,
+		})
+		return [5]int64{
+			w.Stats.ResultsDelivered.Value(),
+			w.Stats.MigOffers.Value(),
+			w.Stats.MigCompleted.Value(),
+			w.Stats.MigMessages.Value(),
+			int64(missing),
+		}
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed diverged with migration on: %v vs %v", a, b)
 	}
 }
 

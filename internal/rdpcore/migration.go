@@ -1,0 +1,389 @@
+package rdpcore
+
+import (
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/proxymig"
+)
+
+// This file implements the proxy-migration mechanism (policy layer:
+// internal/proxymig). When a trigger fires on a remote result forward,
+// the proxy's host offers the proxy to the MH's current respMss:
+//
+//	old host            target (MH's respMss)         servers
+//	  │ ── mig_offer ──────▶ │  admission: responsible,
+//	  │                      │  quota (incl. inbound), inbox,
+//	  │                      │  load-improvement check
+//	  │ ◀─ mig_commit ────── │  (allocates + reserves NewProxy)
+//	  │ ── mig_state ──────▶ │  installs proxy under NewProxy,
+//	  │  (tombstone up)      │  rebinds local pref, announces:
+//	  │ ◀───────────────────────── pref_redirect ──────▶ │
+//	  │ ◀─ pref_redirect(confirm) ─────────────────────  │
+//	  │  all confirmed + linger quiet period elapsed
+//	  │ ── mig_gc ─────────▶ │  (reservation closed)
+//
+// The tombstone left at the old host redirects in-flight server replies,
+// late Acks, stale request forwards and location updates to the new
+// host, rewriting the proxy identity on the way and lazily re-binding
+// the stale sender's pref. It is garbage-collected only after every
+// server with a pending request confirmed the new pref AND a linger
+// quiet period passed with no redirect traffic — FIFO ordering makes
+// the confirms safe against the servers' own in-flight replies, but a
+// stale pref at a third station can surface arbitrarily late.
+//
+// Composition with the rest of the stack:
+//   - E10 crashes: the tombstone (identity map + outstanding confirms)
+//     is journaled to stable store; mig_state/mig_commit in flight to a
+//     crashed peer are held by the wired ARQ like any other control
+//     message. The inbound reservation is volatile — losing it is safe
+//     because the allocated sequence number was persisted and a
+//     post-restart mig_state installs regardless.
+//   - E11 overload: an inbound reservation counts against ProxyQuota at
+//     both request admission and offer admission; migration control
+//     travels class 0 of the priority inbox (see classOf) and, being
+//     wired control traffic, is never silently shed (wired sheds are
+//     ARQ backpressure).
+
+// tombstone is the forwarding stub left at a proxy's old host after it
+// migrated: the old→new identity map, plus the set of servers that
+// still owed a reply at snapshot time and have not yet confirmed the
+// new pref.
+type tombstone struct {
+	oldProxy       ids.ProxyID
+	newProxy       ids.ProxyID
+	mh             ids.MH
+	pendingServers map[ids.Server]bool
+	gcEpoch        int // invalidates superseded linger timers
+}
+
+// migReservation is the target-side bookkeeping of an accepted offer:
+// the old identity it answers for, and proxy-addressed traffic that
+// arrived for the new identity before the mig_state did (a station that
+// learned the new pref early can legally race the state transfer).
+type migReservation struct {
+	oldProxy ids.ProxyID
+	buffered []inboxItem
+}
+
+// noteForward runs on every result forward a proxy issues: it accounts
+// the forwarding-path length and consults the migration policy.
+func (n *MSSNode) noteForward(p *Proxy) {
+	d := n.w.distance(n.id, p.currentLoc)
+	n.w.Stats.ForwardHops.Add(int64(d))
+	n.w.Stats.ForwardCount.Inc()
+	n.w.Stats.ForwardHopMax.Observe(int64(d))
+	if d == 0 {
+		return
+	}
+	p.remoteForwards++
+	n.maybeMigrate(p, d)
+}
+
+// maybeMigrate offers the proxy to the MH's current station when the
+// policy fires. At most one offer per proxy is in flight; a lost
+// offer/commit (possible only without the ARQ) simply leaves the proxy
+// fixed until the cooldown lets the next trigger re-offer.
+func (n *MSSNode) maybeMigrate(p *Proxy, dist int) {
+	pol := n.w.cfg.Migration
+	if !pol.Enabled() {
+		return
+	}
+	if at, pending := n.migOutbound[p.id.Seq]; pending &&
+		time.Duration(n.w.Kernel.Now()-at) < pol.Linger() {
+		return // offer in flight
+	}
+	reason, ok := pol.Decide(proxymig.Observation{
+		Distance:       dist,
+		RemoteForwards: p.remoteForwards,
+		HostProxies:    len(n.proxies),
+		SinceAttempt:   time.Duration(n.w.Kernel.Now() - p.lastMigAttempt),
+	})
+	if !ok {
+		return
+	}
+	p.lastMigAttempt = n.w.Kernel.Now()
+	n.migOutbound[p.id.Seq] = n.w.Kernel.Now()
+	n.w.Stats.MigOffers.Inc()
+	n.sendWired(p.currentLoc.Node(), msg.MigOffer{
+		Proxy:     p.id,
+		MH:        p.mh,
+		Pending:   uint32(len(p.reqs)),
+		HostLoad:  uint32(len(n.proxies)),
+		LoadCheck: reason == proxymig.ReasonLoad,
+	})
+}
+
+// handleMigOffer is the target-side admission decision. Refusal is
+// cheap and final for this offer; the old host's next trigger may try
+// again.
+func (n *MSSNode) handleMigOffer(m msg.MigOffer) {
+	refuse := !n.localMhs[m.MH] // the MH moved on (or never arrived)
+	if q := n.w.cfg.ProxyQuota; q > 0 && len(n.proxies)+len(n.migInbound) >= q {
+		refuse = true // inbound migration is proxy-quota pressure
+	}
+	if hw := n.w.cfg.AdmissionHighWater; hw > 0 && n.inbox.len() >= hw {
+		refuse = true // an overloaded station does not adopt more work
+	}
+	if m.LoadCheck && !proxymig.AcceptLoad(int(m.HostLoad), len(n.proxies)+len(n.migInbound)) {
+		refuse = true // load-driven move must improve the balance
+	}
+	if refuse {
+		n.w.Stats.MigRefusals.Inc()
+		n.sendWired(m.Proxy.Host.Node(), msg.MigCommit{Proxy: m.Proxy, MH: m.MH})
+		return
+	}
+	n.nextProxySeq++
+	n.persistSeq() // the identity must never be reused, even across a crash
+	newID := ids.ProxyID{Host: n.id, Seq: n.nextProxySeq}
+	n.migInbound[newID.Seq] = &migReservation{oldProxy: m.Proxy}
+	n.sendWired(m.Proxy.Host.Node(),
+		msg.MigCommit{Proxy: m.Proxy, NewProxy: newID, MH: m.MH, Accept: true})
+}
+
+// handleMigCommit completes (or abandons) the offer at the old host.
+func (n *MSSNode) handleMigCommit(m msg.MigCommit) {
+	delete(n.migOutbound, m.Proxy.Seq)
+	if !m.Accept {
+		return
+	}
+	p := n.proxies[m.Proxy.Seq]
+	if p == nil || p.id != m.Proxy {
+		// The proxy is gone — acked away, or migrated on an earlier
+		// commit. Cancel the target's reservation; the allocated
+		// sequence number is simply burnt.
+		n.sendWired(m.NewProxy.Host.Node(),
+			msg.MigGC{OldProxy: m.Proxy, NewProxy: m.NewProxy, MH: m.MH})
+		return
+	}
+	n.migrateOut(p, m.NewProxy)
+}
+
+// migrateOut atomically snapshots the proxy, ships the snapshot, and
+// replaces the proxy with a tombstone — all in one simulation event, so
+// a crash either precedes the whole step or follows it.
+func (n *MSSNode) migrateOut(p *Proxy, newID ids.ProxyID) {
+	st := msg.MigState{Proxy: p.id, NewProxy: newID, MH: p.mh, CurrentLoc: p.currentLoc}
+	t := &tombstone{
+		oldProxy:       p.id,
+		newProxy:       newID,
+		mh:             p.mh,
+		pendingServers: make(map[ids.Server]bool),
+	}
+	for _, req := range p.order {
+		r := p.reqs[req]
+		st.Reqs = append(st.Reqs, msg.MigReqState{
+			Req: req, Server: r.server, Payload: r.payload,
+			Result: r.result, HasResult: r.hasResult, Forwarded: r.forwarded,
+		})
+		if !r.hasResult {
+			t.pendingServers[r.server] = true
+		}
+	}
+	delete(n.proxies, p.id.Seq)
+	n.unpersistProxy(p.id.Seq)
+	n.tombstones[p.id.Seq] = t
+	n.persistTombstone(t)
+	n.w.Stats.ProxySeconds[n.id] += time.Duration(n.w.Kernel.Now() - p.createdAt)
+	n.sendWired(newID.Host.Node(), st)
+	if len(t.pendingServers) == 0 {
+		n.armTombstoneGC(t)
+	}
+}
+
+// handleMigState installs the transferred proxy at the target under its
+// new identity and announces the new pref.
+func (n *MSSNode) handleMigState(m msg.MigState) {
+	if m.NewProxy.Host != n.id {
+		n.w.Stats.OrphanMessages.Inc()
+		return
+	}
+	if n.proxies[m.NewProxy.Seq] != nil {
+		return // duplicate install
+	}
+	if n.tombstones[m.NewProxy.Seq] != nil {
+		return // stale duplicate: this identity already lived here and moved on
+	}
+	res := n.migInbound[m.NewProxy.Seq]
+	delete(n.migInbound, m.NewProxy.Seq)
+	// A missing reservation is legal: a crash on this station wiped it,
+	// but the sequence number was persisted at allocation, so the
+	// identity is still uniquely ours and the install proceeds.
+	p := newProxy(m.NewProxy, m.MH, n)
+	p.currentLoc = m.CurrentLoc
+	// The install itself counts as a migration attempt: an MH ping-ponging
+	// between cells must not drag its proxy along inside the cooldown.
+	p.lastMigAttempt = n.w.Kernel.Now()
+	for _, r := range m.Reqs {
+		p.reqs[r.Req] = &proxyReq{
+			server: r.Server, payload: r.Payload,
+			result: r.Result, hasResult: r.HasResult, forwarded: r.Forwarded,
+		}
+		p.order = append(p.order, r.Req)
+	}
+	n.proxies[m.NewProxy.Seq] = p
+	n.persistProxy(p)
+	n.w.Stats.ProxyCreations[n.id]++ // placement accounting (E12 fairness)
+	// Rebind the local pref, or chase it along the hand-off chain if the
+	// MH deregistered between commit and install.
+	if pref, ok := n.prefs[m.MH]; ok && n.localMhs[m.MH] && pref.Proxy == m.Proxy {
+		pref.Proxy = m.NewProxy
+		n.persistMH(m.MH)
+		n.w.Stats.PrefRedirects.Inc()
+	} else if next, ok := n.forwardTo[m.MH]; ok {
+		n.sendWired(next.Node(),
+			msg.PrefRedirect{MH: m.MH, OldProxy: m.Proxy, NewProxy: m.NewProxy})
+	}
+	// If the MH is here but the snapshot still points elsewhere, this is
+	// also a location update: stored results were forwarded to the wrong
+	// station and must be re-sent. When currentLoc already names this
+	// station (the common trigger case), the single forwarding attempt
+	// already happened toward here — re-sending would only manufacture
+	// duplicates.
+	if n.localMhs[m.MH] && p.currentLoc != n.id {
+		p.onUpdateLoc(n.id)
+	}
+	// Announce the new pref to every server still owing a reply; each
+	// confirms to the old host, draining the tombstone's confirm set.
+	for _, req := range p.order {
+		if r := p.reqs[req]; !r.hasResult {
+			n.sendWired(r.server.Node(),
+				msg.PrefRedirect{MH: m.MH, OldProxy: m.Proxy, NewProxy: m.NewProxy, Req: req})
+		}
+	}
+	// Traffic that arrived for the new identity before the state did.
+	if res != nil {
+		for _, it := range res.buffered {
+			n.process(it.from, it.m)
+		}
+	}
+}
+
+// handlePrefRedirect serves both directions of the redirect message at
+// a station: a server confirmation feeding a tombstone's confirm set,
+// or a rebind notice updating a stale pref (chasing the hand-off chain
+// if the MH has moved on).
+func (n *MSSNode) handlePrefRedirect(from ids.NodeID, m msg.PrefRedirect) {
+	if m.Confirm {
+		t := n.tombstones[m.OldProxy.Seq]
+		if t == nil || from.Kind != ids.KindServer {
+			return
+		}
+		srv := ids.Server(from.Num)
+		if !t.pendingServers[srv] {
+			return
+		}
+		delete(t.pendingServers, srv)
+		n.persistTombstone(t)
+		if len(t.pendingServers) == 0 {
+			n.armTombstoneGC(t)
+		}
+		return
+	}
+	if arr, ok := n.arriving[m.MH]; ok {
+		// Our registration for the MH is in flight; apply the rebind
+		// after the deregack installs the pref it should act on.
+		arr.deferred = append(arr.deferred, inboxItem{from: from, m: m})
+		return
+	}
+	if pref, ok := n.prefs[m.MH]; ok && pref.Proxy == m.OldProxy {
+		pref.Proxy = m.NewProxy
+		n.persistMH(m.MH)
+		n.w.Stats.PrefRedirects.Inc()
+		return
+	}
+	if next, ok := n.forwardTo[m.MH]; ok {
+		n.sendWired(next.Node(), m)
+	}
+	// Otherwise stale: the pref was already rebound, erased, or lives on
+	// a chain this station has no trace of; the tombstone covers it.
+}
+
+// handleMigGC closes the episode at the target: the tombstone is gone
+// (or the offer was cancelled before the state transfer), so the
+// reservation bookkeeping can be dropped.
+func (n *MSSNode) handleMigGC(m msg.MigGC) {
+	delete(n.migInbound, m.NewProxy.Seq)
+}
+
+// redirectOrHold gives proxy-addressed traffic whose proxy is not (or
+// no longer) hosted here a second chance: a tombstone redirects it to
+// the proxy's new home, an inbound reservation holds it until the
+// mig_state installs. It reports whether the message was consumed.
+func (n *MSSNode) redirectOrHold(id ids.ProxyID, from ids.NodeID, m msg.Message) bool {
+	if id.Host != n.id {
+		return false
+	}
+	if t := n.tombstones[id.Seq]; t != nil {
+		n.forwardThroughTombstone(t, from, m)
+		return true
+	}
+	if res := n.migInbound[id.Seq]; res != nil {
+		res.buffered = append(res.buffered, inboxItem{from: from, m: m})
+		return true
+	}
+	return false
+}
+
+// forwardThroughTombstone rewrites the proxy identity on a redirected
+// message, forwards it to the new host, lazily re-binds the stale
+// sender's pref, and extends the tombstone's quiet period.
+func (n *MSSNode) forwardThroughTombstone(t *tombstone, from ids.NodeID, m msg.Message) {
+	var fwd msg.Message
+	switch v := m.(type) {
+	case msg.ServerResult:
+		v.Proxy = t.newProxy
+		fwd = v
+	case msg.AckForward:
+		v.Proxy = t.newProxy
+		fwd = v
+	case msg.RequestForward:
+		v.Proxy = t.newProxy
+		fwd = v
+	case msg.UpdateCurrentLoc:
+		v.Proxy = t.newProxy
+		fwd = v
+	default:
+		n.w.Stats.OrphanMessages.Inc()
+		return
+	}
+	n.sendWired(t.newProxy.Host.Node(), fwd)
+	if from.Kind == ids.KindMSS && ids.MSS(from.Num) != n.id {
+		// The sender addressed a proxy that has moved: tell it the new
+		// identity so the next message goes direct.
+		n.sendWired(from,
+			msg.PrefRedirect{MH: t.mh, OldProxy: t.oldProxy, NewProxy: t.newProxy})
+	}
+	if len(t.pendingServers) == 0 {
+		n.armTombstoneGC(t) // redirect traffic re-opens the quiet period
+	}
+}
+
+// armTombstoneGC (re-)starts the tombstone's linger timer. Each arming
+// supersedes the previous one (gcEpoch); the tombstone dies only when a
+// full quiet period passes after the last confirmation or redirect.
+func (n *MSSNode) armTombstoneGC(t *tombstone) {
+	t.gcEpoch++
+	epoch := t.gcEpoch
+	n.w.Kernel.After(n.w.cfg.Migration.Linger(), func() {
+		if n.w.down[n.id] {
+			return // restoreFromStore re-arms journaled tombstones
+		}
+		cur := n.tombstones[t.oldProxy.Seq]
+		if cur != t || cur.gcEpoch != epoch || len(cur.pendingServers) > 0 {
+			return
+		}
+		n.gcTombstone(t)
+	})
+}
+
+// gcTombstone retires a fully-confirmed, quiet tombstone and tells the
+// new host the episode is over.
+func (n *MSSNode) gcTombstone(t *tombstone) {
+	delete(n.tombstones, t.oldProxy.Seq)
+	n.unpersistTombstone(t.oldProxy.Seq)
+	n.w.Stats.MigCompleted.Inc()
+	n.sendWired(t.newProxy.Host.Node(),
+		msg.MigGC{OldProxy: t.oldProxy, NewProxy: t.newProxy, MH: t.mh})
+}

@@ -59,6 +59,14 @@ type MSSNode struct {
 	// proxies are the proxy objects hosted at this station, by sequence.
 	proxies      map[uint32]*Proxy
 	nextProxySeq uint32
+	// tombstones are the forwarding stubs of proxies that migrated away,
+	// keyed by the departed proxy's sequence; migInbound reserves the
+	// identities of accepted inbound migrations whose mig_state has not
+	// yet arrived; migOutbound timestamps the in-flight offer (if any)
+	// per local proxy sequence. See migration.go.
+	tombstones  map[uint32]*tombstone
+	migInbound  map[uint32]*migReservation
+	migOutbound map[uint32]sim.Time
 	// ignoreAcks marks MHs whose dereg has been processed: "it will
 	// ignore all future Ack messages from this MH" (§3.1).
 	ignoreAcks map[ids.MH]bool
@@ -166,6 +174,9 @@ func newMSSNode(id ids.MSS, w *World) *MSSNode {
 		forwardTo:       make(map[ids.MH]ids.MSS),
 		arriving:        make(map[ids.MH]*arrival),
 		pendingDeregs:   make(map[ids.MH][]inboxItem),
+		tombstones:      make(map[uint32]*tombstone),
+		migInbound:      make(map[uint32]*migReservation),
+		migOutbound:     make(map[uint32]sim.Time),
 		held:            make(map[ids.MH][]msg.ResultDeliver),
 		heldAcksPending: make(map[ids.MH]map[ids.RequestID]bool),
 		deferredUpdate:  make(map[ids.MH]bool),
@@ -231,10 +242,11 @@ func (n *MSSNode) procDelay() time.Duration {
 
 // classOf assigns a message its inbox priority class. With
 // Config.PriorityClasses the paper's Ack-priority rule is generalized:
-// class 0 is acks, hand-off and other control traffic (completing work
-// and releasing state), class 1 is result traffic and forwarded —
-// already admitted — requests (work in progress), class 2 is new
-// requests (work not yet begun). Under overload the station therefore
+// class 0 is acks, hand-off, proxy-migration and other control traffic
+// (completing work and releasing state — migration control must never
+// queue behind the very result backlog it exists to relieve), class 1
+// is result traffic and forwarded — already admitted — requests (work
+// in progress), class 2 is new requests (work not yet begun). Under overload the station therefore
 // finishes what it started before accepting more. Without
 // PriorityClasses, the classic AckPriority rule (acks ahead of
 // everything) or plain FIFO applies.
@@ -287,7 +299,9 @@ func (n *MSSNode) refuseAdmission(m msg.Request) bool {
 	if hw := n.w.cfg.AdmissionHighWater; hw > 0 && n.inbox.len() >= hw {
 		refuse = true
 	}
-	if q := n.w.cfg.ProxyQuota; q > 0 && len(n.proxies) >= q {
+	// An accepted inbound migration is committed proxy storage the
+	// mig_state has merely not yet filled; it counts against the quota.
+	if q := n.w.cfg.ProxyQuota; q > 0 && len(n.proxies)+len(n.migInbound) >= q {
 		if pref := n.prefs[mh]; pref == nil || !pref.HasProxy() {
 			refuse = true // needs a proxy we have no room for
 		}
@@ -353,17 +367,27 @@ func (n *MSSNode) process(from ids.NodeID, m msg.Message) {
 	case msg.DeregAck:
 		n.handleDeregAck(v)
 	case msg.RequestForward:
-		n.handleRequestForward(v)
+		n.handleRequestForward(from, v)
 	case msg.UpdateCurrentLoc:
-		n.handleUpdateCurrentLoc(v)
+		n.handleUpdateCurrentLoc(from, v)
 	case msg.ResultForward:
 		n.handleResultForward(v)
 	case msg.DelPrefOnly:
 		n.handleDelPrefOnly(v)
 	case msg.AckForward:
-		n.handleAckForward(v)
+		n.handleAckForward(from, v)
 	case msg.ServerResult:
-		n.handleServerResult(v)
+		n.handleServerResult(from, v)
+	case msg.MigOffer:
+		n.handleMigOffer(v)
+	case msg.MigCommit:
+		n.handleMigCommit(v)
+	case msg.MigState:
+		n.handleMigState(v)
+	case msg.PrefRedirect:
+		n.handlePrefRedirect(from, v)
+	case msg.MigGC:
+		n.handleMigGC(v)
 	default:
 		n.w.Stats.OrphanMessages.Inc()
 	}
@@ -749,9 +773,12 @@ func (n *MSSNode) sendUpdateCurrLoc(proxy ids.ProxyID, mh ids.MH) {
 }
 
 // handleRequestForward delivers a forwarded request to a hosted proxy.
-func (n *MSSNode) handleRequestForward(m msg.RequestForward) {
+func (n *MSSNode) handleRequestForward(from ids.NodeID, m msg.RequestForward) {
 	p := n.proxies[m.Proxy.Seq]
 	if p == nil || p.id != m.Proxy {
+		if n.redirectOrHold(m.Proxy, from, m) {
+			return
+		}
 		n.w.Stats.OrphanMessages.Inc()
 		return
 	}
@@ -759,9 +786,12 @@ func (n *MSSNode) handleRequestForward(m msg.RequestForward) {
 }
 
 // handleUpdateCurrentLoc updates a hosted proxy's currentLoc.
-func (n *MSSNode) handleUpdateCurrentLoc(m msg.UpdateCurrentLoc) {
+func (n *MSSNode) handleUpdateCurrentLoc(from ids.NodeID, m msg.UpdateCurrentLoc) {
 	p := n.proxies[m.Proxy.Seq]
 	if p == nil || p.id != m.Proxy {
+		if n.redirectOrHold(m.Proxy, from, m) {
+			return
+		}
 		n.w.Stats.OrphanMessages.Inc()
 		return
 	}
@@ -869,9 +899,12 @@ func (n *MSSNode) handleDelPrefOnly(m msg.DelPrefOnly) {
 
 // handleAckForward hands a relayed Ack to a hosted proxy, deleting the
 // proxy when del-proxy is confirmed (§3.3).
-func (n *MSSNode) handleAckForward(m msg.AckForward) {
+func (n *MSSNode) handleAckForward(from ids.NodeID, m msg.AckForward) {
 	p := n.proxies[m.Proxy.Seq]
 	if p == nil || p.id != m.Proxy {
+		if n.redirectOrHold(m.Proxy, from, m) {
+			return
+		}
 		n.w.Stats.OrphanMessages.Inc()
 		return
 	}
@@ -884,9 +917,12 @@ func (n *MSSNode) handleAckForward(m msg.AckForward) {
 }
 
 // handleServerResult hands a server reply to the addressed proxy.
-func (n *MSSNode) handleServerResult(m msg.ServerResult) {
+func (n *MSSNode) handleServerResult(from ids.NodeID, m msg.ServerResult) {
 	p := n.proxies[m.Proxy.Seq]
 	if p == nil || p.id != m.Proxy {
+		if n.redirectOrHold(m.Proxy, from, m) {
+			return
+		}
 		n.w.Stats.OrphanMessages.Inc()
 		return
 	}

@@ -31,6 +31,16 @@ type Proxy struct {
 	reqs       map[ids.RequestID]*proxyReq
 	order      []ids.RequestID // insertion order; keeps iteration deterministic
 	createdAt  sim.Time
+
+	// remoteForwards counts results forwarded to a station other than the
+	// host since creation or installation here, and lastMigAttempt is the
+	// migration-policy cooldown clock (see internal/proxymig). A fresh
+	// proxy may offer immediately (the clock starts backdated by the
+	// cooldown); a migrated incarnation must sit out MinInterval first —
+	// the ping-pong guard (see handleMigState). Both are per-incarnation
+	// observations, deliberately volatile across crash recovery.
+	remoteForwards int
+	lastMigAttempt sim.Time
 }
 
 // newProxy creates a proxy hosted at host on behalf of mh. Its
@@ -38,12 +48,13 @@ type Proxy struct {
 // always created at the MH's current respMss (§3.1).
 func newProxy(id ids.ProxyID, mh ids.MH, host *MSSNode) *Proxy {
 	return &Proxy{
-		id:         id,
-		mh:         mh,
-		host:       host,
-		currentLoc: host.id,
-		reqs:       make(map[ids.RequestID]*proxyReq),
-		createdAt:  host.w.Kernel.Now(),
+		id:             id,
+		mh:             mh,
+		host:           host,
+		currentLoc:     host.id,
+		reqs:           make(map[ids.RequestID]*proxyReq),
+		createdAt:      host.w.Kernel.Now(),
+		lastMigAttempt: host.w.Kernel.Now() - sim.Time(host.w.cfg.Migration.MinInterval),
 	}
 }
 
@@ -109,6 +120,9 @@ func (p *Proxy) forwardResult(req ids.RequestID, r *proxyReq) {
 	p.host.w.Stats.ResultForwards[p.host.id]++
 	fwd := msg.ResultForward{Proxy: p.id, MH: p.mh, Req: req, Payload: r.result, DelPref: delPref}
 	p.host.sendToStation(p.currentLoc, fwd)
+	// Every forward is a migration-policy observation (migration.go); a
+	// fired trigger only sends an offer, so the proxy stays intact here.
+	p.host.noteForward(p)
 }
 
 // onUpdateLoc handles update_currentLoc: record the MH's new respMss and

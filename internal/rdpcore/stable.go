@@ -46,11 +46,24 @@ type proxyRecord struct {
 	reqs       []proxyReqRecord // insertion order
 }
 
+// tombstoneRecord is the journaled image of a migration tombstone: the
+// old-to-new identity map plus the servers still owing a pref
+// confirmation. A crash mid-migration must not lose the redirect — the
+// transferred proxy lives on at the new host, and stale prefs keep
+// addressing the old identity.
+type tombstoneRecord struct {
+	oldProxy       ids.ProxyID
+	newProxy       ids.ProxyID
+	mh             ids.MH
+	pendingServers map[ids.Server]bool
+}
+
 // stationRecord is one station's journal.
 type stationRecord struct {
-	mhs     map[ids.MH]*mhRecord
-	proxies map[uint32]*proxyRecord
-	nextSeq uint32
+	mhs        map[ids.MH]*mhRecord
+	proxies    map[uint32]*proxyRecord
+	tombstones map[uint32]*tombstoneRecord
+	nextSeq    uint32
 }
 
 // stableStore is the world's stable storage: per-station journals that
@@ -69,8 +82,9 @@ func (s *stableStore) station(id ids.MSS) *stationRecord {
 	rec := s.stations[id]
 	if rec == nil {
 		rec = &stationRecord{
-			mhs:     make(map[ids.MH]*mhRecord),
-			proxies: make(map[uint32]*proxyRecord),
+			mhs:        make(map[ids.MH]*mhRecord),
+			proxies:    make(map[uint32]*proxyRecord),
+			tombstones: make(map[uint32]*tombstoneRecord),
 		}
 		s.stations[id] = rec
 	}
@@ -138,6 +152,36 @@ func (n *MSSNode) unpersistProxy(seq uint32) {
 	n.w.store.writes++
 }
 
+// persistTombstone journals a migration tombstone's current state. Call
+// it when the tombstone is created and whenever its confirmation set
+// shrinks.
+func (n *MSSNode) persistTombstone(t *tombstone) {
+	if !n.w.cfg.Checkpoint {
+		return
+	}
+	tr := &tombstoneRecord{
+		oldProxy:       t.oldProxy,
+		newProxy:       t.newProxy,
+		mh:             t.mh,
+		pendingServers: make(map[ids.Server]bool, len(t.pendingServers)),
+	}
+	for s := range t.pendingServers {
+		tr.pendingServers[s] = true
+	}
+	n.w.store.station(n.id).tombstones[t.oldProxy.Seq] = tr
+	n.w.store.writes++
+}
+
+// unpersistTombstone erases a garbage-collected tombstone's journal
+// entry.
+func (n *MSSNode) unpersistTombstone(seq uint32) {
+	if !n.w.cfg.Checkpoint {
+		return
+	}
+	delete(n.w.store.station(n.id).tombstones, seq)
+	n.w.store.writes++
+}
+
 // persistSeq journals the proxy sequence counter so a restarted station
 // never reuses a proxy identifier.
 func (n *MSSNode) persistSeq() {
@@ -170,6 +214,14 @@ func (n *MSSNode) crash() {
 	n.proxies = make(map[uint32]*Proxy)
 	n.ignoreAcks = make(map[ids.MH]bool)
 	n.forwardTo = make(map[ids.MH]ids.MSS)
+	// Migration state: tombstones are recoverable from the journal;
+	// inbound reservations and outbound-offer clocks are volatile (the
+	// reserved sequence numbers were persisted at allocation, so a
+	// post-restart mig_state still installs under a unique identity, and
+	// a lost offer merely leaves the proxy fixed until the next trigger).
+	n.tombstones = make(map[uint32]*tombstone)
+	n.migInbound = make(map[uint32]*migReservation)
+	n.migOutbound = make(map[uint32]sim.Time)
 }
 
 // restoreFromStore replays the journal into memory after a restart.
@@ -213,6 +265,23 @@ func (n *MSSNode) restoreFromStore() {
 			p.order = append(p.order, rr.req)
 		}
 		n.proxies[seq] = p
+	}
+	for seq, tr := range rec.tombstones {
+		t := &tombstone{
+			oldProxy:       tr.oldProxy,
+			newProxy:       tr.newProxy,
+			mh:             tr.mh,
+			pendingServers: make(map[ids.Server]bool, len(tr.pendingServers)),
+		}
+		for s := range tr.pendingServers {
+			t.pendingServers[s] = true
+		}
+		n.tombstones[seq] = t
+		// A fully-confirmed tombstone restarts its quiet period; one still
+		// awaiting confirms re-arms when the ARQ redelivers them.
+		if len(t.pendingServers) == 0 {
+			n.armTombstoneGC(t)
+		}
 	}
 }
 

@@ -99,6 +99,30 @@ type Stats struct {
 	// NetworkShed counts frames shed by bounded link queues on either
 	// substrate (netsim.EventShed).
 	NetworkShed metrics.Counter
+	// MigOffers counts proxy-migration offers sent by proxy hosts;
+	// MigRefusals counts offers the target refused (not responsible, at
+	// quota, inbox past the high-watermark, or no load improvement);
+	// MigCompleted counts finished migration episodes (tombstone
+	// garbage-collected at the old host). See internal/proxymig and E12.
+	MigOffers    metrics.Counter
+	MigRefusals  metrics.Counter
+	MigCompleted metrics.Counter
+	// MigMessages counts migration-control messages put on the wired
+	// network (mig_offer, mig_commit, mig_state, pref_redirect, mig_gc)
+	// — the E12 overhead measurement. MigStateBytes accumulates the wire
+	// size of the mig_state transfers alone.
+	MigMessages   metrics.Counter
+	MigStateBytes metrics.Counter
+	// PrefRedirects counts pref rebinds applied at stations (a stale
+	// proxy reference updated to the migrated proxy's new identity).
+	PrefRedirects metrics.Counter
+	// ForwardHops sums the topological distance (Config.StationDistance)
+	// of every proxy result forward; ForwardCount counts those forwards
+	// and ForwardHopMax tracks the worst single path. Mean forwarding
+	// hops = ForwardHops/ForwardCount — the E12 route-stretch metric.
+	ForwardHops   metrics.Counter
+	ForwardCount  metrics.Counter
+	ForwardHopMax metrics.Peak
 
 	// InboxPeak tracks the deepest station inbox seen anywhere: the
 	// queue-growth measurement of E11 (unbounded growth past saturation

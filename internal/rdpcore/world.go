@@ -7,6 +7,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/msg"
 	"repro/internal/netsim"
+	"repro/internal/proxymig"
 	"repro/internal/server"
 	"repro/internal/sim"
 )
@@ -151,6 +152,22 @@ type Config struct {
 	// means unbounded, the paper's model.
 	WiredQueueLimit    int
 	WirelessQueueLimit int
+
+	// --- Proxy migration (E12; internal/proxymig) ---
+
+	// Migration configures proxy migration: when a policy trigger fires
+	// (forwarding-hop threshold, result-volume threshold, or load
+	// imbalance) the proxy's full state moves to the MH's current
+	// respMss, leaving a forwarding tombstone at the old host. The zero
+	// value keeps the paper's fixed-proxy behavior. Migration control
+	// relies on the reliable backbone (assumption 1 or the wired ARQ),
+	// the same trust DeregAck places in it.
+	Migration proxymig.Policy
+	// StationDistance is the topological distance between stations, used
+	// for forwarding-hop accounting and the hop-threshold trigger. Nil
+	// defaults to the flat metric (0 to itself, 1 to everyone else); E12
+	// installs proxymig.RingDistance to match its ring latency topology.
+	StationDistance func(a, b ids.MSS) int
 }
 
 // DefaultConfig returns a configuration matching the paper's model: 3
@@ -298,6 +315,11 @@ func (w *World) statsObserver(ext netsim.Observer) netsim.Observer {
 			switch m.Kind() {
 			case msg.KindDeregAck, msg.KindImageTransfer:
 				w.Stats.HandoffStateBytes.Add(int64(msg.WireSize(m)))
+			case msg.KindMigOffer, msg.KindMigCommit, msg.KindPrefRedirect, msg.KindMigGC:
+				w.Stats.MigMessages.Inc()
+			case msg.KindMigState:
+				w.Stats.MigMessages.Inc()
+				w.Stats.MigStateBytes.Add(int64(msg.WireSize(m)))
 			}
 		}
 		if ext != nil {
@@ -433,6 +455,19 @@ func (w *World) IsActive(id ids.MH) bool { return w.active[id] }
 
 // Location returns the MH's current cell.
 func (w *World) Location(id ids.MH) ids.MSS { return w.loc[id] }
+
+// distance returns the topological distance between two stations
+// (Config.StationDistance, defaulting to the flat metric): the unit of
+// the forwarding-hop accounting and of the hop-threshold trigger.
+func (w *World) distance(a, b ids.MSS) int {
+	if w.cfg.StationDistance != nil {
+		return w.cfg.StationDistance(a, b)
+	}
+	if a == b {
+		return 0
+	}
+	return 1
+}
 
 // reachable implements the wireless gate: in the station's cell and
 // active, and the station's radio itself up (a crashed station neither
@@ -578,16 +613,37 @@ func (w *World) CheckInvariants() error {
 			if !pref.HasProxy() {
 				continue
 			}
-			host, ok := w.MSSs[pref.Proxy.Host]
-			if !ok {
-				return fmt.Errorf("invariant 3: pref of %v names unknown host %v", mh, pref.Proxy.Host)
-			}
-			if host.proxies[pref.Proxy.Seq] == nil {
-				return fmt.Errorf("invariant 3: pref of %v names dead proxy %v", mh, pref.Proxy)
+			if err := w.resolveProxyRef(mh, pref.Proxy); err != nil {
+				return err
 			}
 		}
 	}
 	return nil
+}
+
+// resolveProxyRef checks invariant 3 for one proxy reference: following
+// migration tombstones (bounded, in case of a cycle bug), the reference
+// must reach a live proxy or an inbound-migration reservation whose
+// installation is in flight.
+func (w *World) resolveProxyRef(mh ids.MH, p ids.ProxyID) error {
+	for hops := 0; hops < 2*len(w.mssList)+2; hops++ {
+		host, ok := w.MSSs[p.Host]
+		if !ok {
+			return fmt.Errorf("invariant 3: pref of %v names unknown host %v", mh, p.Host)
+		}
+		if q := host.proxies[p.Seq]; q != nil && q.id == p {
+			return nil
+		}
+		if t := host.tombstones[p.Seq]; t != nil {
+			p = t.newProxy
+			continue
+		}
+		if _, reserved := host.migInbound[p.Seq]; reserved {
+			return nil // mig_state install in flight
+		}
+		return fmt.Errorf("invariant 3: pref of %v names dead proxy %v", mh, p)
+	}
+	return fmt.Errorf("invariant 3: pref of %v loops through tombstones at %v", mh, p)
 }
 
 // CheckQuiescent verifies the stronger invariants that hold once all
@@ -619,6 +675,12 @@ func (w *World) CheckQuiescent() error {
 		}
 		if len(st.pendingDeregs) > 0 {
 			return fmt.Errorf("quiescence: %v still has parked deregs", id)
+		}
+		if len(st.tombstones) > 0 {
+			return fmt.Errorf("quiescence: %v still has %d migration tombstones", id, len(st.tombstones))
+		}
+		if len(st.migInbound) > 0 {
+			return fmt.Errorf("quiescence: %v still has %d inbound migration reservations", id, len(st.migInbound))
 		}
 	}
 	return nil

@@ -42,6 +42,12 @@ type AppServer struct {
 	rng     *sim.RNG
 	handler Handler
 
+	// pending maps an in-service request to the proxy the reply must go
+	// to. A pref_redirect can rebind the entry while the request is still
+	// processing (its proxy migrated), so the reply chases the proxy's
+	// new home instead of the tombstone.
+	pending map[ids.RequestID]ids.ProxyID
+
 	// Served counts completed requests; Acked counts application-level
 	// acks received from proxies.
 	Served metrics.Counter
@@ -64,6 +70,7 @@ func New(id ids.Server, kernel sim.Scheduler, wired netsim.WiredTransport, proc 
 		proc:    proc,
 		rng:     kernel.RNG().Fork(),
 		handler: handler,
+		pending: make(map[ids.RequestID]ids.ProxyID),
 	}
 }
 
@@ -80,13 +87,34 @@ func (s *AppServer) SetHandler(h Handler) { s.handler = h }
 func (s *AppServer) HandleMessage(from ids.NodeID, m msg.Message) {
 	switch v := m.(type) {
 	case msg.ServerRequest:
+		s.pending[v.Req] = v.Proxy
 		delay := s.proc.Sample(s.rng)
 		s.kernel.After(delay, func() {
 			s.Served.Inc()
 			reply := s.handler(v.Payload)
-			s.wired.Send(s.id.Node(), v.Proxy.Host.Node(),
-				msg.ServerResult{Proxy: v.Proxy, Req: v.Req, Payload: reply})
+			// Read the live binding: a pref_redirect may have rebound it
+			// while the request was processing. A duplicate re-request
+			// (recovery) whose entry was already consumed replies to the
+			// proxy it named, matching the pre-migration behavior.
+			to, ok := s.pending[v.Req]
+			if !ok {
+				to = v.Proxy
+			}
+			delete(s.pending, v.Req)
+			s.wired.Send(s.id.Node(), to.Host.Node(),
+				msg.ServerResult{Proxy: to, Req: v.Req, Payload: reply})
 		})
+	case msg.PrefRedirect:
+		if v.Confirm {
+			return // echoes are station-bound; ignore a misdelivered one
+		}
+		if p, ok := s.pending[v.Req]; ok && p == v.OldProxy {
+			s.pending[v.Req] = v.NewProxy
+		}
+		// Always confirm, even when the reply already left (the tombstone
+		// redirects it): the old host blocks tombstone GC on this echo.
+		v.Confirm = true
+		s.wired.Send(s.id.Node(), v.OldProxy.Host.Node(), v)
 	case msg.ServerAck:
 		s.Acked.Inc()
 	}
