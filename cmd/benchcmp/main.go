@@ -1,0 +1,78 @@
+// Command benchcmp compares two rdpbench -json snapshots and fails on
+// regression. It is the gate behind `make bench-compare`:
+//
+//	benchcmp -base bench/baseline.json -new /tmp/current.json
+//
+// Allocation counts are gated strictly (the simulator is deterministic,
+// so allocs/op barely moves between runs of the same code), wall times
+// are reported but not gated by default (CI machines are noisy), and
+// the per-experiment headline metric must match the baseline
+// near-exactly — a seeded simulation that produces different numbers
+// has changed behavior, not just speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/benchcmp"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run returns the process exit code: 0 on pass, 1 on regression.
+func run(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
+	var (
+		basePath   = fs.String("base", "bench/baseline.json", "baseline snapshot")
+		newPath    = fs.String("new", "", "current snapshot (required)")
+		allocRatio = fs.Float64("alloc-ratio", 0, "allocs/op regression threshold (0 = default 1.25)")
+		nsRatio    = fs.Float64("ns-ratio", 0, "ns/op regression threshold (0 = report only)")
+		metricTol  = fs.Float64("metric-tol", 0, "headline metric relative tolerance (0 = default 1e-9)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *newPath == "" {
+		return 2, fmt.Errorf("missing -new snapshot")
+	}
+	base, err := benchcmp.Load(*basePath)
+	if err != nil {
+		return 2, err
+	}
+	cur, err := benchcmp.Load(*newPath)
+	if err != nil {
+		return 2, err
+	}
+	opts := benchcmp.DefaultOptions()
+	if *allocRatio > 0 {
+		opts.AllocRatio = *allocRatio
+	}
+	if *nsRatio > 0 {
+		opts.NsRatio = *nsRatio
+	}
+	if *metricTol > 0 {
+		opts.MetricTol = *metricTol
+	}
+	findings, failed := benchcmp.Compare(base, cur, opts)
+	fmt.Fprintf(stdout, "baseline %s (%s) vs current %s (%s)\n",
+		*basePath, base.Stamp, *newPath, cur.Stamp)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f.String())
+	}
+	if failed {
+		fmt.Fprintln(stdout, "FAIL: benchmark regression against baseline")
+		return 1, nil
+	}
+	fmt.Fprintln(stdout, "PASS: within thresholds")
+	return 0, nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchcmp"
+)
+
+func writeSnap(t *testing.T, dir, name string, allocsE1 float64) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	s := benchcmp.Snapshot{
+		Stamp: name,
+		Entries: []benchcmp.Entry{
+			{Name: "e1", NsOp: 1e6, AllocsOp: allocsE1, MetricName: "ratio", Metric: 1},
+		},
+	}
+	if err := benchcmp.Save(p, s); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return p
+}
+
+// TestPassAndFailExitCodes drives the CLI across a passing pair and a
+// synthetically regressed pair.
+func TestPassAndFailExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnap(t, dir, "base.json", 1000)
+	same := writeSnap(t, dir, "same.json", 1050)
+	worse := writeSnap(t, dir, "worse.json", 2000)
+
+	var out bytes.Buffer
+	code, err := run([]string{"-base", base, "-new", same}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("pass case: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Errorf("missing PASS line:\n%s", out.String())
+	}
+
+	out.Reset()
+	code, err = run([]string{"-base", base, "-new", worse}, &out)
+	if err != nil || code != 1 {
+		t.Fatalf("regression case: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("missing REGRESSED marker:\n%s", out.String())
+	}
+}
+
+// TestLooseThresholdOverride lets a caller widen the alloc gate.
+func TestLooseThresholdOverride(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnap(t, dir, "base.json", 1000)
+	worse := writeSnap(t, dir, "worse.json", 2000)
+	var out bytes.Buffer
+	code, err := run([]string{"-base", base, "-new", worse, "-alloc-ratio", "3"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("widened gate still failed: code=%d err=%v\n%s", code, err, out.String())
+	}
+}
+
+func TestMissingNewFlag(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run(nil, &out); err == nil {
+		t.Fatal("missing -new accepted")
+	}
+}

@@ -6,44 +6,86 @@
 //	rdpbench -exp e3,e5      # selected experiments
 //	rdpbench -quick          # reduced scale (seconds instead of minutes)
 //	rdpbench -seed 7         # different random seed
+//	rdpbench -parallel 4     # run experiments concurrently
+//	rdpbench -json           # write a BENCH_<stamp>.json snapshot
+//
+// Experiments are independent simulations, so -parallel runs them on
+// separate goroutines; each renders into its own buffer and the buffers
+// are emitted in experiment order, so the output is byte-identical to a
+// serial run. -json instead runs serially (timings would otherwise
+// contend) and records per-experiment wall time, allocations, and a
+// headline metric in the snapshot format compared by `make
+// bench-compare` (see internal/benchcmp).
 //
 // The tables printed here are the source of EXPERIMENTS.md.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/benchcmp"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "rdpbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// runSpec couples an experiment's table printer with its snapshot
+// measurement (the headline metric doubles as the measured workload).
+type runSpec struct {
+	name   string
+	print  func(r *renderer, seed int64, sc experiments.Scale)
+	metric func(seed int64, sc experiments.Scale) (string, float64)
+}
+
+var allRuns = []runSpec{
+	{"e1", printE1, metricE1},
+	{"e2", printE2, metricE2},
+	{"e3", printE3, metricE3},
+	{"e4", printE4, metricE4},
+	{"e5", printE5, metricE5},
+	{"e6", printE6, metricE6},
+	{"e7", printE7, metricE7},
+	{"e8", printE8, metricE8},
+	{"e9", printE9, metricE9},
+	{"e10", printE10, metricE10},
+	{"e11", printE11, metricE11},
+	{"e12", printE12, metricE12},
+}
+
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("rdpbench", flag.ContinueOnError)
 	var (
 		expFlag = fs.String("exp", "all", "comma-separated experiments to run (e1..e12, or all)")
 		seed    = fs.Int64("seed", 1, "random seed")
 		quick   = fs.Bool("quick", false, "reduced scale for a fast pass")
 		csv     = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		par     = fs.Int("parallel", 1, "experiments to run concurrently (output order is unchanged)")
+		jsonOut = fs.Bool("json", false, "write a benchmark snapshot instead of tables")
+		outFlag = fs.String("out", "", "snapshot path for -json (default BENCH_<stamp>.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	emitCSV = *csv
 	sc := experiments.DefaultScale()
+	scName := "default"
 	if *quick {
 		sc = experiments.SmallScale()
+		scName = "quick"
 	}
 
 	want := make(map[string]bool)
@@ -51,182 +93,348 @@ func run(args []string) error {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
 	}
 	all := want["all"]
-	runs := []struct {
-		name string
-		fn   func()
-	}{
-		{"e1", func() { printE1(*seed, sc) }},
-		{"e2", func() { printE2(*seed, sc) }},
-		{"e3", func() { printE3(*seed, sc) }},
-		{"e4", func() { printE4(*seed, sc) }},
-		{"e5", func() { printE5(*seed, sc) }},
-		{"e6", func() { printE6(*seed, sc) }},
-		{"e7", func() { printE7(*seed, sc) }},
-		{"e8", func() { printE8(*seed, sc) }},
-		{"e9", func() { printE9(*seed, sc) }},
-		{"e10", func() { printE10(*seed, sc) }},
-		{"e11", func() { printE11(*seed, sc) }},
-		{"e12", func() { printE12(*seed, sc) }},
-	}
-	ran := 0
-	for _, r := range runs {
+	var sel []runSpec
+	for _, r := range allRuns {
 		if all || want[r.name] {
-			r.fn()
-			ran++
+			sel = append(sel, r)
 		}
 	}
-	if ran == 0 {
+	if len(sel) == 0 {
 		return fmt.Errorf("no experiment matched %q (use e1..e12 or all)", *expFlag)
+	}
+
+	if *jsonOut {
+		return runJSON(stdout, sel, *seed, sc, scName, *outFlag)
+	}
+
+	n := *par
+	if n < 1 {
+		n = 1
+	}
+	if n == 1 {
+		rd := &renderer{w: stdout, csv: *csv}
+		for _, r := range sel {
+			r.print(rd, *seed, sc)
+		}
+		return nil
+	}
+
+	// Parallel: every experiment renders into a private buffer; buffers
+	// are then written in selection order, so output bytes are identical
+	// to the serial path regardless of scheduling.
+	bufs := make([]bytes.Buffer, len(sel))
+	sem := make(chan struct{}, n)
+	var wg sync.WaitGroup
+	for i, r := range sel {
+		wg.Add(1)
+		go func(i int, r runSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r.print(&renderer{w: &bufs[i], csv: *csv}, *seed, sc)
+		}(i, r)
+	}
+	wg.Wait()
+	for i := range bufs {
+		if _, err := stdout.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// emitCSV switches table rendering to CSV (-csv).
-var emitCSV bool
-
-// emit prints a table in the selected format.
-func emit(t *metrics.Table) {
-	if emitCSV {
-		fmt.Print(t.CSV())
-		return
+// runJSON measures each selected experiment serially — wall time,
+// allocation count (runtime.MemStats deltas), and headline metric — and
+// writes the snapshot to out (or BENCH_<stamp>.json).
+func runJSON(stdout io.Writer, sel []runSpec, seed int64, sc experiments.Scale, scName, out string) error {
+	snap := benchcmp.Snapshot{
+		Stamp: time.Now().UTC().Format("20060102T150405Z"),
+		Go:    runtime.Version(),
+		Scale: scName,
+		Seed:  seed,
 	}
-	fmt.Print(t.String())
+	var ms0, ms1 runtime.MemStats
+	for _, r := range sel {
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		name, val := r.metric(seed, sc)
+		ns := time.Since(t0).Nanoseconds()
+		runtime.ReadMemStats(&ms1)
+		snap.Entries = append(snap.Entries, benchcmp.Entry{
+			Name:       r.name,
+			NsOp:       float64(ns),
+			AllocsOp:   float64(ms1.Mallocs - ms0.Mallocs),
+			BytesOp:    float64(ms1.TotalAlloc - ms0.TotalAlloc),
+			MetricName: name,
+			Metric:     val,
+		})
+		fmt.Fprintf(stdout, "%-5s %12d ns %12d allocs  %s=%g\n",
+			r.name, ns, ms1.Mallocs-ms0.Mallocs, name, val)
+	}
+	if out == "" {
+		out = "BENCH_" + snap.Stamp + ".json"
+	}
+	if err := benchcmp.Save(out, snap); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", out)
+	return nil
 }
 
-func header(id, claim string) {
-	fmt.Printf("\n=== %s — %s ===\n\n", id, claim)
+// renderer writes one experiment's tables to its destination in the
+// selected format. Each concurrent experiment owns its renderer.
+type renderer struct {
+	w   io.Writer
+	csv bool
+}
+
+// emit prints a table in the selected format.
+func (r *renderer) emit(t *metrics.Table) {
+	if r.csv {
+		io.WriteString(r.w, t.CSV())
+		return
+	}
+	io.WriteString(r.w, t.String())
+}
+
+func (r *renderer) header(id, claim string) {
+	fmt.Fprintf(r.w, "\n=== %s — %s ===\n\n", id, claim)
 }
 
 func f(v float64, prec int) string { return strconv.FormatFloat(v, 'f', prec, 64) }
 func d(v int64) string             { return strconv.FormatInt(v, 10) }
 func dur(v time.Duration) string   { return v.Round(time.Millisecond).String() }
 
-func printE1(seed int64, sc experiments.Scale) {
-	header("E1", "reliability: every result delivered despite migrations and inactivity (§5)")
+func printE1(r *renderer, seed int64, sc experiments.Scale) {
+	r.header("E1", "reliability: every result delivered despite migrations and inactivity (§5)")
 	t := metrics.NewTable("residence", "inactive-p", "issued", "delivered", "ratio", "handoffs", "retrans")
-	for _, r := range experiments.E1Reliability(seed, sc) {
-		t.AddRow(dur(r.MeanResidence), f(r.InactiveProb, 2), d(r.Issued), d(r.Delivered),
-			f(r.Ratio, 4), d(r.Handoffs), d(r.Retrans))
+	for _, row := range experiments.E1Reliability(seed, sc) {
+		t.AddRow(dur(row.MeanResidence), f(row.InactiveProb, 2), d(row.Issued), d(row.Delivered),
+			f(row.Ratio, 4), d(row.Handoffs), d(row.Retrans))
 	}
-	emit(t)
+	r.emit(t)
 }
 
-func printE2(seed int64, sc experiments.Scale) {
-	header("E2", "exactly-once needs causal order + ack priority (§5)")
+func metricE1(seed int64, sc experiments.Scale) (string, float64) {
+	min := 1.0
+	for _, row := range experiments.E1Reliability(seed, sc) {
+		if row.Ratio < min {
+			min = row.Ratio
+		}
+	}
+	return "min_delivery_ratio", min
+}
+
+func printE2(r *renderer, seed int64, sc experiments.Scale) {
+	r.header("E2", "exactly-once needs causal order + ack priority (§5)")
 	t := metrics.NewTable("variant", "issued", "delivered", "duplicates", "violations", "ignored-acks")
-	for _, r := range experiments.E2ExactlyOnce(seed, sc) {
-		t.AddRow(r.Name, d(r.Issued), d(r.Delivered), d(r.Duplicates), d(r.Violations), d(r.IgnoredAcks))
+	for _, row := range experiments.E2ExactlyOnce(seed, sc) {
+		t.AddRow(row.Name, d(row.Issued), d(row.Delivered), d(row.Duplicates), d(row.Violations), d(row.IgnoredAcks))
 	}
-	emit(t)
+	r.emit(t)
 }
 
-func printE3(seed int64, sc experiments.Scale) {
-	header("E3", "retransmissions vanish once residence exceeds t_wired+t_wireless (§5)")
+func metricE2(seed int64, sc experiments.Scale) (string, float64) {
+	var dups int64
+	for _, row := range experiments.E2ExactlyOnce(seed, sc) {
+		dups += row.Duplicates
+	}
+	return "total_duplicates", float64(dups)
+}
+
+func printE3(r *renderer, seed int64, sc experiments.Scale) {
+	r.header("E3", "retransmissions vanish once residence exceeds t_wired+t_wireless (§5)")
 	t := metrics.NewTable("residence", "res/threshold", "results", "retrans", "retrans/result")
-	for _, r := range experiments.E3RetransmissionThreshold(seed, sc) {
-		t.AddRow(dur(r.MeanResidence), f(r.ThresholdRatio, 1), d(r.Results), d(r.Retrans), f(r.RetransPerResult, 4))
+	for _, row := range experiments.E3RetransmissionThreshold(seed, sc) {
+		t.AddRow(dur(row.MeanResidence), f(row.ThresholdRatio, 1), d(row.Results), d(row.Retrans), f(row.RetransPerResult, 4))
 	}
-	emit(t)
+	r.emit(t)
 }
 
-func printE4(seed int64, sc experiments.Scale) {
-	header("E4", "overhead = one update per migration/reactivation + one relayed ack per result (§5)")
+func metricE3(seed int64, sc experiments.Scale) (string, float64) {
+	var retrans int64
+	for _, row := range experiments.E3RetransmissionThreshold(seed, sc) {
+		retrans += row.Retrans
+	}
+	return "total_retrans", float64(retrans)
+}
+
+func printE4(r *renderer, seed int64, sc experiments.Scale) {
+	r.header("E4", "overhead = one update per migration/reactivation + one relayed ack per result (§5)")
 	t := metrics.NewTable("residence", "updates", "predicted", "coverage", "ack-fwds", "predicted", "match")
-	for _, r := range experiments.E4Overhead(seed, sc) {
-		t.AddRow(dur(r.MeanResidence), d(r.UpdateCurrLocs), d(r.PredictedUpdates), f(r.UpdateCoverage, 3),
-			d(r.AckForwards), d(r.PredictedAcks), fmt.Sprint(r.Match))
+	for _, row := range experiments.E4Overhead(seed, sc) {
+		t.AddRow(dur(row.MeanResidence), d(row.UpdateCurrLocs), d(row.PredictedUpdates), f(row.UpdateCoverage, 3),
+			d(row.AckForwards), d(row.PredictedAcks), fmt.Sprint(row.Match))
 	}
-	emit(t)
+	r.emit(t)
 }
 
-func printE5(seed int64, sc experiments.Scale) {
-	header("E5", "dynamic proxies balance forwarding load; fixed home agents concentrate it (§1, §4)")
+func metricE4(seed int64, sc experiments.Scale) (string, float64) {
+	var updates int64
+	for _, row := range experiments.E4Overhead(seed, sc) {
+		updates += row.UpdateCurrLocs
+	}
+	return "update_msgs", float64(updates)
+}
+
+func printE5(r *renderer, seed int64, sc experiments.Scale) {
+	r.header("E5", "dynamic proxies balance forwarding load; fixed home agents concentrate it (§1, §4)")
 	t := metrics.NewTable("protocol", "jain-index", "max/mean", "per-station load")
-	for _, r := range experiments.E5LoadBalance(seed, sc) {
-		loads := make([]string, len(r.Loads))
-		for i, l := range r.Loads {
+	for _, row := range experiments.E5LoadBalance(seed, sc) {
+		loads := make([]string, len(row.Loads))
+		for i, l := range row.Loads {
 			loads[i] = f(l, 0)
 		}
-		t.AddRow(r.Protocol, f(r.Jain, 3), f(r.MaxOverMean, 2), strings.Join(loads, " "))
+		t.AddRow(row.Protocol, f(row.Jain, 3), f(row.MaxOverMean, 2), strings.Join(loads, " "))
 	}
-	emit(t)
+	r.emit(t)
 
-	fmt.Println("\nE5b — population shift: share of forwarding work carried by the 2 hotspot cells")
+	fmt.Fprintln(r.w, "\nE5b — population shift: share of forwarding work carried by the 2 hotspot cells")
 	t2 := metrics.NewTable("protocol", "roaming phase", "after shift downtown")
-	for _, r := range experiments.E5DynamicShift(seed, sc) {
-		t2.AddRow(r.Protocol, f(r.Phase1Hotspot, 3), f(r.Phase2Hotspot, 3))
+	for _, row := range experiments.E5DynamicShift(seed, sc) {
+		t2.AddRow(row.Protocol, f(row.Phase1Hotspot, 3), f(row.Phase2Hotspot, 3))
 	}
-	emit(t2)
+	r.emit(t2)
 }
 
-func printE6(seed int64, sc experiments.Scale) {
-	header("E6", "hand-off state: RDP ships one pref; indirect images grow with load (§4, §5)")
+func metricE5(seed int64, sc experiments.Scale) (string, float64) {
+	best := 0.0
+	for _, row := range experiments.E5LoadBalance(seed, sc) {
+		if row.Jain > best {
+			best = row.Jain
+		}
+	}
+	// Include the population-shift half so E5's measured cost matches
+	// what the table path runs.
+	_ = experiments.E5DynamicShift(seed, sc)
+	return "max_jain", best
+}
+
+func printE6(r *renderer, seed int64, sc experiments.Scale) {
+	r.header("E6", "hand-off state: RDP ships one pref; indirect images grow with load (§4, §5)")
 	t := metrics.NewTable("pending", "rdp B/handoff", "itcp B/handoff", "rdp p95", "itcp p95", "rdp-del", "itcp-del")
-	for _, r := range experiments.E6HandoffState(seed, sc) {
-		t.AddRow(strconv.Itoa(r.PendingRequests), f(r.RDPBytesPerHO, 0), f(r.ITCPBytesPerHO, 0),
-			dur(r.RDPHandoffP95), dur(r.ITCPHandoffP95), d(r.RDPDelivered), d(r.ITCPDelivered))
+	for _, row := range experiments.E6HandoffState(seed, sc) {
+		t.AddRow(strconv.Itoa(row.PendingRequests), f(row.RDPBytesPerHO, 0), f(row.ITCPBytesPerHO, 0),
+			dur(row.RDPHandoffP95), dur(row.ITCPHandoffP95), d(row.RDPDelivered), d(row.ITCPDelivered))
 	}
-	emit(t)
+	r.emit(t)
 }
 
-func printE7(seed int64, sc experiments.Scale) {
-	header("E7", "Mobile IP loses datagrams under mobility; upper-layer recovery costs latency (§4)")
+func metricE6(seed int64, sc experiments.Scale) (string, float64) {
+	var bytes float64
+	for _, row := range experiments.E6HandoffState(seed, sc) {
+		bytes += row.RDPBytesPerHO
+	}
+	return "rdp_bytes_per_handoff_sum", bytes
+}
+
+func printE7(r *renderer, seed int64, sc experiments.Scale) {
+	r.header("E7", "Mobile IP loses datagrams under mobility; upper-layer recovery costs latency (§4)")
 	t := metrics.NewTable("protocol", "residence", "issued", "delivered", "ratio", "mean-lat", "p50", "p95", "p99")
-	for _, r := range experiments.E7VsMobileIP(seed, sc) {
-		t.AddRow(r.Protocol, dur(r.MeanResidence), d(r.Issued), d(r.Delivered),
-			f(r.Ratio, 4), dur(r.MeanLatency), dur(r.P50Latency), dur(r.P95Latency), dur(r.P99Latency))
+	for _, row := range experiments.E7VsMobileIP(seed, sc) {
+		t.AddRow(row.Protocol, dur(row.MeanResidence), d(row.Issued), d(row.Delivered),
+			f(row.Ratio, 4), dur(row.MeanLatency), dur(row.P50Latency), dur(row.P95Latency), dur(row.P99Latency))
 	}
-	emit(t)
+	r.emit(t)
 }
 
-func printE9(seed int64, sc experiments.Scale) {
-	header("E9", "ablation: holding results for inactive hosts saves retransmissions (§5 fn.3)")
-	t := metrics.NewTable("inactive-p", "hold", "delivered", "retrans", "drops", "held", "mean-lat", "updates")
-	for _, r := range experiments.E9HoldForInactive(seed, sc) {
-		t.AddRow(f(r.InactiveProb, 2), fmt.Sprint(r.Hold), d(r.Delivered), d(r.Retrans),
-			d(r.WirelessDrops), d(r.HeldResults), dur(r.MeanLatency), d(r.UpdateCurrLocs))
+func metricE7(seed int64, sc experiments.Scale) (string, float64) {
+	var delivered int64
+	for _, row := range experiments.E7VsMobileIP(seed, sc) {
+		delivered += row.Delivered
 	}
-	emit(t)
+	return "delivered_total", float64(delivered)
 }
 
-func printE10(seed int64, sc experiments.Scale) {
-	header("E10", "wired faults + MSS crashes: ARQ + checkpoint recovery restores exactly-once delivery")
-	t := metrics.NewTable("loss", "crashes", "recovery", "issued", "delivered", "ratio", "dups", "wired-drops", "rec-resends", "ho-reissues", "ckpt-ops")
-	for _, r := range experiments.E10WiredFaults(seed, sc) {
-		t.AddRow(f(r.Loss, 2), strconv.Itoa(r.Crashes), fmt.Sprint(r.Recovery), d(r.Issued), d(r.Delivered),
-			f(r.Ratio, 4), d(r.Duplicates), d(r.WiredDrops), d(r.RecoveryResends), d(r.HandoffReissues), d(r.CheckpointOps))
-	}
-	emit(t)
-}
-
-func printE11(seed int64, sc experiments.Scale) {
-	header("E11", "overload: admission + priorities + backoff plateau at capacity; retries alone collapse")
-	t := metrics.NewTable("offered-x", "protected", "issued", "delivered", "refusals", "retries", "abandoned", "dups", "goodput%", "p99-lat", "inbox-peak", "shed", "lost-admitted")
-	for _, r := range experiments.E11Overload(seed, sc) {
-		t.AddRow(f(r.OfferedX, 1), fmt.Sprint(r.Protected), d(r.Issued), d(r.Delivered),
-			d(r.Refusals), d(r.ClientRetries), d(r.Abandoned), d(r.Duplicates),
-			f(r.GoodputPct, 1), dur(r.P99Latency), d(r.InboxPeak), d(r.NetworkShed), d(r.LostAdmitted))
-	}
-	emit(t)
-}
-
-func printE12(seed int64, sc experiments.Scale) {
-	header("E12", "proxy migration bounds forwarding hops and spreads placement; static anchors drift")
-	t := metrics.NewTable("policy", "issued", "delivered", "ratio", "mean-hops", "worst", "mean-lat", "p95-lat", "migrations", "refused", "mig-msgs", "mig-bytes", "jain", "dups")
-	for _, r := range experiments.E12Migration(seed, sc) {
-		t.AddRow(r.Policy, d(r.Issued), d(r.Delivered), f(r.Ratio, 4), f(r.MeanHops, 2), d(r.WorstHops),
-			dur(r.MeanLatency), dur(r.P95Latency), d(r.Migrations), d(r.Refused),
-			d(r.MigMsgs), d(r.MigBytes), f(r.Jain, 3), d(r.Dups))
-	}
-	emit(t)
-}
-
-func printE8(seed int64, sc experiments.Scale) {
-	header("E8", "asynchronous subscription notifications reach roaming subscribers (§3)")
+func printE8(r *renderer, seed int64, sc experiments.Scale) {
+	r.header("E8", "asynchronous subscription notifications reach roaming subscribers (§3)")
 	t := metrics.NewTable("residence", "subs", "fired", "received", "ratio", "remote-ops", "mean-hops")
-	for _, r := range experiments.E8Subscriptions(seed, sc) {
-		t.AddRow(dur(r.MeanResidence), d(r.Subscriptions), d(r.Fired), d(r.Received),
-			f(r.Ratio, 4), d(r.RemoteOps), f(r.MeanHops, 2))
+	for _, row := range experiments.E8Subscriptions(seed, sc) {
+		t.AddRow(dur(row.MeanResidence), d(row.Subscriptions), d(row.Fired), d(row.Received),
+			f(row.Ratio, 4), d(row.RemoteOps), f(row.MeanHops, 2))
 	}
-	emit(t)
+	r.emit(t)
+}
+
+func metricE8(seed int64, sc experiments.Scale) (string, float64) {
+	var received int64
+	for _, row := range experiments.E8Subscriptions(seed, sc) {
+		received += row.Received
+	}
+	return "received_total", float64(received)
+}
+
+func printE9(r *renderer, seed int64, sc experiments.Scale) {
+	r.header("E9", "ablation: holding results for inactive hosts saves retransmissions (§5 fn.3)")
+	t := metrics.NewTable("inactive-p", "hold", "delivered", "retrans", "drops", "held", "mean-lat", "updates")
+	for _, row := range experiments.E9HoldForInactive(seed, sc) {
+		t.AddRow(f(row.InactiveProb, 2), fmt.Sprint(row.Hold), d(row.Delivered), d(row.Retrans),
+			d(row.WirelessDrops), d(row.HeldResults), dur(row.MeanLatency), d(row.UpdateCurrLocs))
+	}
+	r.emit(t)
+}
+
+func metricE9(seed int64, sc experiments.Scale) (string, float64) {
+	var retrans int64
+	for _, row := range experiments.E9HoldForInactive(seed, sc) {
+		retrans += row.Retrans
+	}
+	return "retrans_total", float64(retrans)
+}
+
+func printE10(r *renderer, seed int64, sc experiments.Scale) {
+	r.header("E10", "wired faults + MSS crashes: ARQ + checkpoint recovery restores exactly-once delivery")
+	t := metrics.NewTable("loss", "crashes", "recovery", "issued", "delivered", "ratio", "dups", "wired-drops", "rec-resends", "ho-reissues", "ckpt-ops")
+	for _, row := range experiments.E10WiredFaults(seed, sc) {
+		t.AddRow(f(row.Loss, 2), strconv.Itoa(row.Crashes), fmt.Sprint(row.Recovery), d(row.Issued), d(row.Delivered),
+			f(row.Ratio, 4), d(row.Duplicates), d(row.WiredDrops), d(row.RecoveryResends), d(row.HandoffReissues), d(row.CheckpointOps))
+	}
+	r.emit(t)
+}
+
+func metricE10(seed int64, sc experiments.Scale) (string, float64) {
+	var delivered int64
+	for _, row := range experiments.E10WiredFaults(seed, sc) {
+		delivered += row.Delivered
+	}
+	return "delivered_total", float64(delivered)
+}
+
+func printE11(r *renderer, seed int64, sc experiments.Scale) {
+	r.header("E11", "overload: admission + priorities + backoff plateau at capacity; retries alone collapse")
+	t := metrics.NewTable("offered-x", "protected", "issued", "delivered", "refusals", "retries", "abandoned", "dups", "goodput%", "p99-lat", "inbox-peak", "shed", "lost-admitted")
+	for _, row := range experiments.E11Overload(seed, sc) {
+		t.AddRow(f(row.OfferedX, 1), fmt.Sprint(row.Protected), d(row.Issued), d(row.Delivered),
+			d(row.Refusals), d(row.ClientRetries), d(row.Abandoned), d(row.Duplicates),
+			f(row.GoodputPct, 1), dur(row.P99Latency), d(row.InboxPeak), d(row.NetworkShed), d(row.LostAdmitted))
+	}
+	r.emit(t)
+}
+
+func metricE11(seed int64, sc experiments.Scale) (string, float64) {
+	var delivered int64
+	for _, row := range experiments.E11Overload(seed, sc) {
+		delivered += row.Delivered
+	}
+	return "delivered_total", float64(delivered)
+}
+
+func printE12(r *renderer, seed int64, sc experiments.Scale) {
+	r.header("E12", "proxy migration bounds forwarding hops and spreads placement; static anchors drift")
+	t := metrics.NewTable("policy", "issued", "delivered", "ratio", "mean-hops", "worst", "mean-lat", "p95-lat", "migrations", "refused", "mig-msgs", "mig-bytes", "jain", "dups")
+	for _, row := range experiments.E12Migration(seed, sc) {
+		t.AddRow(row.Policy, d(row.Issued), d(row.Delivered), f(row.Ratio, 4), f(row.MeanHops, 2), d(row.WorstHops),
+			dur(row.MeanLatency), dur(row.P95Latency), d(row.Migrations), d(row.Refused),
+			d(row.MigMsgs), d(row.MigBytes), f(row.Jain, 3), d(row.Dups))
+	}
+	r.emit(t)
+}
+
+func metricE12(seed int64, sc experiments.Scale) (string, float64) {
+	var delivered int64
+	for _, row := range experiments.E12Migration(seed, sc) {
+		delivered += row.Delivered
+	}
+	return "delivered_total", float64(delivered)
 }

@@ -1,35 +1,27 @@
 package main
 
 import (
-	"io"
+	"bytes"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/benchcmp"
 )
 
-// capture runs fn with os.Stdout redirected and returns what it printed.
-func capture(t *testing.T, fn func() error) (string, error) {
+// runBuf runs the CLI with output captured in a buffer.
+func runBuf(t *testing.T, args ...string) (string, error) {
 	t.Helper()
-	old := os.Stdout
-	r, w, err := os.Pipe()
-	if err != nil {
-		t.Fatalf("pipe: %v", err)
-	}
-	os.Stdout = w
-	defer func() { os.Stdout = old }()
-	runErr := fn()
-	w.Close()
-	out, err := io.ReadAll(r)
-	if err != nil {
-		t.Fatalf("read pipe: %v", err)
-	}
-	return string(out), runErr
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
 }
 
 // TestQuickSingleExperiment runs one experiment at reduced scale and
-// checks the table header reaches stdout.
+// checks the table header reaches the writer.
 func TestQuickSingleExperiment(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"-quick", "-exp", "e1"}) })
+	out, err := runBuf(t, "-quick", "-exp", "e1")
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -43,7 +35,7 @@ func TestQuickSingleExperiment(t *testing.T) {
 
 // TestQuickExperimentList runs a comma-separated subset.
 func TestQuickExperimentList(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"-quick", "-exp", "e4, e6"}) })
+	out, err := runBuf(t, "-quick", "-exp", "e4, e6")
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -56,7 +48,7 @@ func TestQuickExperimentList(t *testing.T) {
 
 // TestCSVMode checks the -csv rendering path.
 func TestCSVMode(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"-quick", "-exp", "e6", "-csv"}) })
+	out, err := runBuf(t, "-quick", "-exp", "e6", "-csv")
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -69,7 +61,7 @@ func TestCSVMode(t *testing.T) {
 // path `rdpbench -quick` takes — and checks every experiment header is
 // present.
 func TestQuickAll(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"-quick"}) })
+	out, err := runBuf(t, "-quick")
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -80,15 +72,83 @@ func TestQuickAll(t *testing.T) {
 	}
 }
 
+// TestParallelMatchesSerial is the determinism check for -parallel: the
+// concurrent run must produce byte-identical output to the serial one.
+// The subset spans both light and heavy experiments so buffers finish
+// out of order.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	args := []string{"-quick", "-exp", "e2,e4,e6,e8"}
+	serial, err := runBuf(t, args...)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	parallel, err := runBuf(t, append(args, "-parallel", "4")...)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if serial != parallel {
+		t.Errorf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestJSONSnapshot writes a snapshot and checks its shape.
+func TestJSONSnapshot(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "snap.json")
+	if _, err := runBuf(t, "-quick", "-exp", "e4,e6", "-json", "-out", out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	snap, err := benchcmp.Load(out)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(snap.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(snap.Entries))
+	}
+	for _, e := range snap.Entries {
+		if e.AllocsOp <= 0 || e.NsOp <= 0 {
+			t.Errorf("%s: non-positive measurement: %+v", e.Name, e)
+		}
+		if e.MetricName == "" {
+			t.Errorf("%s: missing headline metric name", e.Name)
+		}
+	}
+	if snap.Scale != "quick" {
+		t.Errorf("scale = %q, want quick", snap.Scale)
+	}
+}
+
+// TestJSONDefaultPath checks the BENCH_<stamp>.json default naming.
+func TestJSONDefaultPath(t *testing.T) {
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+	if _, err := runBuf(t, "-quick", "-exp", "e6", "-json"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	m, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(m) != 1 {
+		t.Fatalf("expected one BENCH_*.json, got %v (err %v)", m, err)
+	}
+}
+
 // TestNoMatch rejects experiment names that match nothing.
 func TestNoMatch(t *testing.T) {
-	if _, err := capture(t, func() error { return run([]string{"-exp", "e42"}) }); err == nil {
+	if _, err := runBuf(t, "-exp", "e42"); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestBadFlag(t *testing.T) {
-	if _, err := capture(t, func() error { return run([]string{"-nope"}) }); err == nil {
+	if _, err := runBuf(t, "-nope"); err == nil {
 		t.Fatal("bad flag accepted")
 	}
 }

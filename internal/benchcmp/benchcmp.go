@@ -1,0 +1,166 @@
+// Package benchcmp defines the benchmark snapshot format written by
+// `rdpbench -json` and compares two snapshots against regression
+// thresholds. It is the library behind `make bench-compare`, which
+// gates changes on the committed bench/baseline.json.
+//
+// The three measured quantities regress differently and are gated
+// differently:
+//
+//   - allocs/op is deterministic for the single-goroutine simulator (up
+//     to sync.Pool clearing at GC boundaries), so it is gated strictly:
+//     a modest ratio above baseline fails.
+//   - ns/op depends on the machine and on CI noise, so by default it is
+//     reported but not gated. Set NsRatio to gate it locally.
+//   - the headline metric (delivery ratio, retransmission count, …) is
+//     a determinism check, not a performance one: the simulation is
+//     seeded, so any drift means behavior changed. It is compared
+//     near-exactly.
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// Entry is one experiment's measurement within a snapshot.
+type Entry struct {
+	Name       string  `json:"name"`
+	NsOp       float64 `json:"ns_op"`
+	AllocsOp   float64 `json:"allocs_op"`
+	BytesOp    float64 `json:"bytes_op,omitempty"`
+	MetricName string  `json:"metric_name,omitempty"`
+	Metric     float64 `json:"metric"`
+}
+
+// Snapshot is one full rdpbench -json run.
+type Snapshot struct {
+	Stamp   string  `json:"stamp,omitempty"`
+	Go      string  `json:"go,omitempty"`
+	Scale   string  `json:"scale,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+	Entries []Entry `json:"entries"`
+}
+
+// Load reads a snapshot file.
+func Load(path string) (Snapshot, error) {
+	var s Snapshot
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(b, &s); err != nil {
+		return s, fmt.Errorf("benchcmp: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Save writes a snapshot file (indented, trailing newline).
+func Save(path string, s Snapshot) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Options sets the regression thresholds.
+type Options struct {
+	// AllocRatio fails an entry whose allocs/op exceeds baseline by this
+	// factor. Zero disables the gate; DefaultOptions sets 1.25.
+	AllocRatio float64
+	// NsRatio fails an entry whose ns/op exceeds baseline by this
+	// factor. Zero (the default) reports times without gating them.
+	NsRatio float64
+	// MetricTol is the relative tolerance for the headline metric.
+	// DefaultOptions sets 1e-9 — effectively exact for seeded runs.
+	MetricTol float64
+}
+
+// DefaultOptions returns the thresholds used by make bench-compare.
+func DefaultOptions() Options {
+	return Options{AllocRatio: 1.25, NsRatio: 0, MetricTol: 1e-9}
+}
+
+// Finding is one per-entry, per-quantity comparison outcome.
+type Finding struct {
+	Name     string  // experiment name
+	Field    string  // "allocs/op", "ns/op", "metric", "missing"
+	Old, New float64 // baseline and current values
+	Limit    float64 // threshold that applied (ratio or tolerance)
+	Bad      bool    // true when this finding fails the gate
+}
+
+func (f Finding) String() string {
+	switch f.Field {
+	case "missing":
+		return fmt.Sprintf("%-8s MISSING from current snapshot", f.Name)
+	case "metric":
+		status := "ok"
+		if f.Bad {
+			status = "DRIFT"
+		}
+		return fmt.Sprintf("%-8s %-9s %14.6g -> %-14.6g %s", f.Name, f.Field, f.Old, f.New, status)
+	default:
+		ratio := math.Inf(1)
+		if f.Old != 0 {
+			ratio = f.New / f.Old
+		} else if f.New == 0 {
+			ratio = 1
+		}
+		status := fmt.Sprintf("%.3fx", ratio)
+		if f.Bad {
+			status += " REGRESSED"
+		}
+		return fmt.Sprintf("%-8s %-9s %14.6g -> %-14.6g %s", f.Name, f.Field, f.Old, f.New, status)
+	}
+}
+
+// Compare checks cur against base. It returns every per-entry finding
+// (gated or informational) and whether any finding failed. Entries only
+// present in cur are ignored — new experiments are not regressions;
+// entries missing from cur fail.
+func Compare(base, cur Snapshot, o Options) (findings []Finding, failed bool) {
+	curBy := make(map[string]Entry, len(cur.Entries))
+	for _, e := range cur.Entries {
+		curBy[e.Name] = e
+	}
+	baseEntries := append([]Entry(nil), base.Entries...)
+	sort.Slice(baseEntries, func(i, j int) bool { return baseEntries[i].Name < baseEntries[j].Name })
+	for _, b := range baseEntries {
+		c, ok := curBy[b.Name]
+		if !ok {
+			findings = append(findings, Finding{Name: b.Name, Field: "missing", Bad: true})
+			failed = true
+			continue
+		}
+		af := Finding{Name: b.Name, Field: "allocs/op", Old: b.AllocsOp, New: c.AllocsOp, Limit: o.AllocRatio}
+		if o.AllocRatio > 0 && c.AllocsOp > b.AllocsOp*o.AllocRatio {
+			af.Bad, failed = true, true
+		}
+		findings = append(findings, af)
+		nf := Finding{Name: b.Name, Field: "ns/op", Old: b.NsOp, New: c.NsOp, Limit: o.NsRatio}
+		if o.NsRatio > 0 && c.NsOp > b.NsOp*o.NsRatio {
+			nf.Bad, failed = true, true
+		}
+		findings = append(findings, nf)
+		mf := Finding{Name: b.Name, Field: "metric", Old: b.Metric, New: c.Metric, Limit: o.MetricTol}
+		if o.MetricTol > 0 && !withinTol(b.Metric, c.Metric, o.MetricTol) {
+			mf.Bad, failed = true, true
+		}
+		findings = append(findings, mf)
+	}
+	return findings, failed
+}
+
+// withinTol reports |a-b| <= tol*max(|a|,|b|), with exact equality
+// always passing (covers a == b == 0).
+func withinTol(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*scale
+}

@@ -1,0 +1,123 @@
+package benchcmp
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func baseSnap() Snapshot {
+	return Snapshot{
+		Stamp: "base",
+		Entries: []Entry{
+			{Name: "e1", NsOp: 1e6, AllocsOp: 1000, MetricName: "ratio", Metric: 1.0},
+			{Name: "e2", NsOp: 2e6, AllocsOp: 2000, MetricName: "dups", Metric: 42},
+		},
+	}
+}
+
+// TestIdenticalPasses: a snapshot compared against itself never fails.
+func TestIdenticalPasses(t *testing.T) {
+	s := baseSnap()
+	findings, failed := Compare(s, s, DefaultOptions())
+	if failed {
+		t.Fatalf("identical snapshots failed: %+v", findings)
+	}
+	if len(findings) != 6 { // 3 fields × 2 entries
+		t.Errorf("got %d findings, want 6", len(findings))
+	}
+}
+
+// TestNoiseWithinThresholdPasses: allocs and time may drift a little
+// (pool clearing at GC boundaries, machine noise) without failing.
+func TestNoiseWithinThresholdPasses(t *testing.T) {
+	cur := baseSnap()
+	cur.Entries[0].AllocsOp = 1100 // +10% < 1.25x
+	cur.Entries[0].NsOp = 5e6      // ns not gated by default
+	if findings, failed := Compare(baseSnap(), cur, DefaultOptions()); failed {
+		t.Fatalf("within-threshold drift failed: %+v", findings)
+	}
+}
+
+// TestAllocRegressionFails: the synthetic regression the harness must
+// catch — allocs/op jumping past the threshold.
+func TestAllocRegressionFails(t *testing.T) {
+	cur := baseSnap()
+	cur.Entries[1].AllocsOp = 2000 * 1.5
+	findings, failed := Compare(baseSnap(), cur, DefaultOptions())
+	if !failed {
+		t.Fatal("1.5x allocs/op regression not caught")
+	}
+	var hit bool
+	for _, f := range findings {
+		if f.Name == "e2" && f.Field == "allocs/op" && f.Bad {
+			hit = true
+		}
+		if f.Name == "e1" && f.Bad {
+			t.Errorf("unregressed entry flagged: %+v", f)
+		}
+	}
+	if !hit {
+		t.Errorf("regressed entry not flagged: %+v", findings)
+	}
+}
+
+// TestMetricDriftFails: the headline metric is a determinism check, so
+// even a small drift fails.
+func TestMetricDriftFails(t *testing.T) {
+	cur := baseSnap()
+	cur.Entries[0].Metric = 0.9999
+	if _, failed := Compare(baseSnap(), cur, DefaultOptions()); !failed {
+		t.Fatal("headline metric drift not caught")
+	}
+}
+
+// TestMissingEntryFails: an experiment disappearing from the snapshot
+// is a regression, while a new one is not.
+func TestMissingEntryFails(t *testing.T) {
+	cur := baseSnap()
+	cur.Entries = cur.Entries[:1]
+	if _, failed := Compare(baseSnap(), cur, DefaultOptions()); !failed {
+		t.Fatal("missing entry not caught")
+	}
+	cur = baseSnap()
+	cur.Entries = append(cur.Entries, Entry{Name: "e13", AllocsOp: 1, Metric: 1})
+	if findings, failed := Compare(baseSnap(), cur, DefaultOptions()); failed {
+		t.Fatalf("extra entry treated as regression: %+v", findings)
+	}
+}
+
+// TestNsGatingOptIn: setting NsRatio turns time into a gate.
+func TestNsGatingOptIn(t *testing.T) {
+	cur := baseSnap()
+	cur.Entries[0].NsOp = 10e6
+	opts := DefaultOptions()
+	opts.NsRatio = 2.0
+	if _, failed := Compare(baseSnap(), cur, opts); !failed {
+		t.Fatal("10x ns/op with NsRatio=2 not caught")
+	}
+}
+
+// TestSaveLoadRoundTrip exercises the file format.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "snap.json")
+	want := baseSnap()
+	if err := Save(p, want); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := Load(p)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(got.Entries) != len(want.Entries) || got.Stamp != want.Stamp {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if got.Entries[1].Metric != 42 {
+		t.Errorf("metric lost in round trip: %+v", got.Entries[1])
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}

@@ -21,6 +21,7 @@ package causal
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Matrix is an n×n counter matrix; Matrix[j][k] counts messages sent
@@ -40,10 +41,16 @@ func NewMatrix(n int) Matrix {
 // Clone returns a deep copy of the matrix.
 func (m Matrix) Clone() Matrix {
 	c := NewMatrix(len(m))
-	for i := range m {
-		copy(c[i], m[i])
-	}
+	c.CopyFrom(m)
 	return c
+}
+
+// CopyFrom overwrites m with the contents of o. Both matrices must have
+// the same dimensions.
+func (m Matrix) CopyFrom(o Matrix) {
+	for i := range m {
+		copy(m[i], o[i])
+	}
 }
 
 // MaxInPlace sets m to the element-wise maximum of m and o.
@@ -74,6 +81,62 @@ type pending struct {
 	seq     uint64 // arrival order, for stable delivery of concurrent msgs
 }
 
+// pool recycles the per-message allocations of a causal group: the SENT
+// snapshot each Send takes and the buffer entry each Receive creates.
+// The mutex makes recycling race-clean when different endpoints of one
+// group run under different locks (the livenet arrangement); under the
+// single-threaded kernel it is uncontended.
+type pool struct {
+	mu   sync.Mutex
+	n    int
+	mats []Matrix
+	pend []*pending
+}
+
+func (p *pool) getMatrix() Matrix {
+	p.mu.Lock()
+	var m Matrix
+	if k := len(p.mats); k > 0 {
+		m = p.mats[k-1]
+		p.mats[k-1] = nil
+		p.mats = p.mats[:k-1]
+	}
+	p.mu.Unlock()
+	if m == nil {
+		m = NewMatrix(p.n)
+	}
+	return m
+}
+
+func (p *pool) putMatrix(m Matrix) {
+	p.mu.Lock()
+	p.mats = append(p.mats, m)
+	p.mu.Unlock()
+}
+
+func (p *pool) getPending() *pending {
+	p.mu.Lock()
+	var pd *pending
+	if k := len(p.pend); k > 0 {
+		pd = p.pend[k-1]
+		p.pend[k-1] = nil
+		p.pend = p.pend[:k-1]
+	}
+	p.mu.Unlock()
+	if pd == nil {
+		pd = new(pending)
+	}
+	return pd
+}
+
+func (p *pool) putPending(pd *pending) {
+	pd.st = Stamp{}
+	pd.payload = nil
+	p.mu.Lock()
+	p.pend = append(p.pend, pd)
+	p.mu.Unlock()
+}
+
 // Endpoint is one process's view of the causal group. Endpoints are not
 // safe for concurrent use; the simulation kernel serializes access, and
 // the livenet runtime guards each endpoint with the owning node's loop.
@@ -85,17 +148,46 @@ type Endpoint struct {
 	buffer  []*pending
 	nextSeq uint64
 	deliver Deliver
+	pool    *pool // non-nil when recycling is enabled for the group
 
 	// Buffered counts the high-water mark of the delay buffer, exported
 	// for the causal-layer micro-bench.
 	Buffered int
 }
 
+// Option configures a causal group.
+type Option func(*groupConfig)
+
+type groupConfig struct {
+	pooled bool
+}
+
+// Pooled enables recycling of stamp matrices and buffer entries through
+// a group-shared free list: Send draws its SENT snapshot from the pool
+// and delivery returns it, so the steady state allocates nothing per
+// message. It is only sound when every stamp handed to Receive is
+// delivered AT MOST ONCE — a transport that can duplicate a delivery
+// (two Receive calls sharing one Stamp) would recycle the matrix twice
+// and corrupt later stamps. Callers must leave pooling off on such
+// paths (netsim disables it when faults can duplicate frames below a
+// deduplicating ARQ).
+func Pooled(on bool) Option {
+	return func(c *groupConfig) { c.pooled = on }
+}
+
 // Group creates n endpoints forming one causal group. deliver is invoked
 // on each endpoint's behalf when a message becomes deliverable; it
 // receives the destination endpoint index via closure (callers typically
 // create one closure per endpoint with MakeDeliver).
-func Group(n int, deliver func(dst int, payload any)) []*Endpoint {
+func Group(n int, deliver func(dst int, payload any), opts ...Option) []*Endpoint {
+	var cfg groupConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var pl *pool
+	if cfg.pooled {
+		pl = &pool{n: n}
+	}
 	eps := make([]*Endpoint, n)
 	for i := 0; i < n; i++ {
 		i := i
@@ -105,6 +197,7 @@ func Group(n int, deliver func(dst int, payload any)) []*Endpoint {
 			sent:    NewMatrix(n),
 			deliv:   make([]uint64, n),
 			deliver: func(p any) { deliver(i, p) },
+			pool:    pl,
 		}
 	}
 	return eps
@@ -119,7 +212,14 @@ func (e *Endpoint) Send(dst int) Stamp {
 	if dst < 0 || dst >= e.n {
 		panic(fmt.Sprintf("causal: destination %d out of range [0,%d)", dst, e.n))
 	}
-	st := Stamp{From: e.idx, Sent: e.sent.Clone()}
+	var snap Matrix
+	if e.pool != nil {
+		snap = e.pool.getMatrix()
+		snap.CopyFrom(e.sent)
+	} else {
+		snap = e.sent.Clone()
+	}
+	st := Stamp{From: e.idx, Sent: snap}
 	e.sent[e.idx][dst]++
 	return st
 }
@@ -129,7 +229,13 @@ func (e *Endpoint) Send(dst int) Stamp {
 // messages that become deliverable are flushed, in arrival order);
 // otherwise it is buffered.
 func (e *Endpoint) Receive(st Stamp, payload any) {
-	p := &pending{st: st, payload: payload, seq: e.nextSeq}
+	var p *pending
+	if e.pool != nil {
+		p = e.pool.getPending()
+	} else {
+		p = new(pending)
+	}
+	p.st, p.payload, p.seq = st, payload, e.nextSeq
 	e.nextSeq++
 	e.buffer = append(e.buffer, p)
 	if len(e.buffer) > e.Buffered {
@@ -179,7 +285,15 @@ func (e *Endpoint) flush() {
 		if p.st.From != e.idx {
 			e.sent[p.st.From][e.idx]++
 		}
-		e.deliver(p.payload)
+		payload := p.payload
+		if e.pool != nil {
+			// The stamp's matrix and the buffer entry are dead once the
+			// message is delivered (see Pooled for the at-most-once
+			// requirement this relies on).
+			e.pool.putMatrix(p.st.Sent)
+			e.pool.putPending(p)
+		}
+		e.deliver(payload)
 	}
 }
 

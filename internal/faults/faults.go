@@ -217,12 +217,12 @@ func (inj *Injector) LoadFactor(at time.Duration) float64 {
 func (inj *Injector) Schedule(crash, restart func(ids.MSS)) {
 	for _, c := range inj.plan.Crashes {
 		c := c
-		inj.k.After(c.At, func() {
+		inj.k.Defer(c.At, func() {
 			inj.Stats.Crashes.Inc()
 			crash(c.MSS)
 		})
 		if c.RestartAt > c.At {
-			inj.k.After(c.RestartAt, func() {
+			inj.k.Defer(c.RestartAt, func() {
 				inj.Stats.Restarts.Inc()
 				restart(c.MSS)
 			})

@@ -154,6 +154,13 @@ func (r *Runtime) After(delay time.Duration, fn func()) sim.Canceler {
 	return liveTimer{r: r, e: e}
 }
 
+// Defer implements sim.Scheduler: like After without a cancellation
+// handle. The live runtime has no free list — wall-clock scheduling is
+// not a hot path — so this simply drops the handle.
+func (r *Runtime) Defer(delay time.Duration, fn func()) {
+	r.After(delay, fn)
+}
+
 // timerLoop pops due events in (deadline, seq) order and posts them to
 // the dispatcher.
 func (r *Runtime) timerLoop() {

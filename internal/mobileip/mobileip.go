@@ -303,7 +303,7 @@ func (s *mipServer) HandleMessage(from ids.NodeID, m msg.Message) {
 		return
 	}
 	delay := s.w.cfg.ServerProc.Sample(s.rng)
-	s.w.Kernel.After(delay, func() {
+	s.w.Kernel.Defer(delay, func() {
 		reply := append([]byte("re:"), v.Payload...)
 		s.w.Wired.Send(s.id.Node(), s.w.home[v.MH].Node(),
 			msg.MIPData{MH: v.MH, Req: v.Req, Payload: reply})
@@ -356,7 +356,7 @@ func (mn *MobileNode) send(m msg.Request) {
 }
 
 func (mn *MobileNode) scheduleRetry(m msg.Request) {
-	mn.w.Kernel.After(mn.w.cfg.RequestTimeout, func() {
+	mn.w.Kernel.Defer(mn.w.cfg.RequestTimeout, func() {
 		if mn.seen[m.Req] {
 			return
 		}

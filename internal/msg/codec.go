@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/ids"
 )
@@ -13,6 +14,12 @@ import (
 // are length-prefixed with a uint32. The format is intentionally simple:
 // the simulator moves millions of messages and the codec sits on the hot
 // path of the livenet runtime.
+//
+// Two encode entry points exist: Encode allocates a fresh buffer, and
+// AppendEncode appends to a caller-owned one so steady-state encoding
+// reuses storage. Decode mirrors that split: it allocates copies of all
+// variable-length fields, while DecodeInto fills a caller-owned struct
+// and aliases payloads into the input buffer, allocating nothing.
 const codecVersion = 1
 
 // Codec errors. ErrTruncated and ErrBadMessage are matched by callers
@@ -29,11 +36,27 @@ var (
 // prefix from causing a huge allocation.
 const maxSliceLen = 1 << 24
 
-// Encode serializes a message. It never fails for messages constructed
-// through this package's types; the error return guards against a
-// user-defined Message implementation with an unknown kind.
+// Encode serializes a message into a fresh buffer. It never fails for
+// messages constructed through this package's types; the error return
+// guards against a user-defined Message implementation with an unknown
+// kind.
 func Encode(m Message) ([]byte, error) {
-	e := encoder{buf: make([]byte, 0, 64)}
+	return AppendEncode(make([]byte, 0, 64), m)
+}
+
+// AppendEncode serializes a message, appending to dst (which may be
+// nil). It returns the extended buffer, so a caller that recycles its
+// buffer across messages encodes without allocating.
+func AppendEncode(dst []byte, m Message) ([]byte, error) {
+	e := encoder{buf: dst}
+	if err := e.message(m); err != nil {
+		return nil, err
+	}
+	return e.buf, nil
+}
+
+// message appends one full version+kind+fields encoding.
+func (e *encoder) message(m Message) error {
 	e.u8(codecVersion)
 	e.u8(uint8(m.Kind()))
 	switch v := m.(type) {
@@ -139,17 +162,21 @@ func Encode(m Message) ([]byte, error) {
 		e.u8(v.Hops)
 	case LinkFrame:
 		if v.Inner == nil {
-			return nil, fmt.Errorf("%w: nil inner message", ErrBadKind)
+			return fmt.Errorf("%w: nil inner message", ErrBadKind)
 		}
 		if k := v.Inner.Kind(); k == KindLinkFrame || k == KindLinkAck {
-			return nil, ErrBadNesting
+			return ErrBadNesting
 		}
-		inner, err := Encode(v.Inner)
-		if err != nil {
-			return nil, err
-		}
+		// The inner message is encoded in place behind a length
+		// placeholder (patched below) instead of through a recursive
+		// Encode, so framing costs no intermediate buffer.
 		e.u64(v.Seq)
-		e.bytes(inner)
+		lenAt := len(e.buf)
+		e.u32(0)
+		if err := e.message(v.Inner); err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint32(e.buf[lenAt:], uint32(len(e.buf)-lenAt-4))
 	case LinkAck:
 		e.u64(v.Seq)
 	case RegConfirm:
@@ -194,13 +221,197 @@ func Encode(m Message) ([]byte, error) {
 		e.proxy(v.NewProxy)
 		e.u32(uint32(v.MH))
 	default:
-		return nil, fmt.Errorf("%w: %T", ErrBadKind, m)
+		return fmt.Errorf("%w: %T", ErrBadKind, m)
 	}
-	return e.buf, nil
+	return nil
+}
+
+// Per-kind field decoders, shared by Decode (which boxes the result
+// into the Message interface) and DecodeInto (which writes it straight
+// into a caller-owned struct). Each reads exactly the fields its encode
+// case wrote; errors latch in the decoder.
+
+func decJoin(d *decoder) Join   { return Join{MH: ids.MH(d.u32())} }
+func decLeave(d *decoder) Leave { return Leave{MH: ids.MH(d.u32())} }
+func decGreet(d *decoder) Greet { return Greet{MH: ids.MH(d.u32()), OldMSS: ids.MSS(d.u32())} }
+
+func decRequest(d *decoder) Request {
+	return Request{Req: d.req(), Server: ids.Server(d.u32()), Payload: d.bytes()}
+}
+
+func decResultDeliver(d *decoder) ResultDeliver {
+	return ResultDeliver{Req: d.req(), Payload: d.bytes(), DelPref: d.bool()}
+}
+
+func decAckMH(d *decoder) AckMH {
+	return AckMH{MH: ids.MH(d.u32()), Req: d.req(), HaveOutstanding: d.bool()}
+}
+
+func decDereg(d *decoder) Dereg {
+	return Dereg{MH: ids.MH(d.u32()), NewMSS: ids.MSS(d.u32())}
+}
+
+func decDeregAck(d *decoder) DeregAck {
+	return DeregAck{MH: ids.MH(d.u32()), Pref: d.pref()}
+}
+
+func decRequestForward(d *decoder) RequestForward {
+	return RequestForward{Proxy: d.proxy(), Req: d.req(), Server: ids.Server(d.u32()), Payload: d.bytes()}
+}
+
+func decUpdateCurrentLoc(d *decoder) UpdateCurrentLoc {
+	return UpdateCurrentLoc{Proxy: d.proxy(), MH: ids.MH(d.u32()), NewLoc: ids.MSS(d.u32())}
+}
+
+func decResultForward(d *decoder) ResultForward {
+	return ResultForward{Proxy: d.proxy(), MH: ids.MH(d.u32()), Req: d.req(), Payload: d.bytes(), DelPref: d.bool()}
+}
+
+func decAckForward(d *decoder) AckForward {
+	return AckForward{Proxy: d.proxy(), MH: ids.MH(d.u32()), Req: d.req(), DelProxy: d.bool()}
+}
+
+func decDelPrefOnly(d *decoder) DelPrefOnly {
+	return DelPrefOnly{Proxy: d.proxy(), MH: ids.MH(d.u32())}
+}
+
+func decServerRequest(d *decoder) ServerRequest {
+	return ServerRequest{Proxy: d.proxy(), Req: d.req(), Payload: d.bytes()}
+}
+
+func decServerResult(d *decoder) ServerResult {
+	return ServerResult{Proxy: d.proxy(), Req: d.req(), Payload: d.bytes()}
+}
+
+func decServerAck(d *decoder) ServerAck { return ServerAck{Req: d.req()} }
+
+func decMIPRegister(d *decoder) MIPRegister {
+	return MIPRegister{MH: ids.MH(d.u32()), CareOf: ids.MSS(d.u32())}
+}
+
+func decMIPData(d *decoder) MIPData {
+	return MIPData{MH: ids.MH(d.u32()), Req: d.req(), Payload: d.bytes()}
+}
+
+func decMIPTunnel(d *decoder) MIPTunnel {
+	return MIPTunnel{MH: ids.MH(d.u32()), Req: d.req(), Payload: d.bytes()}
+}
+
+func decImageTransfer(d *decoder) ImageTransfer {
+	it := ImageTransfer{MH: ids.MH(d.u32())}
+	n := d.len()
+	if n > 0 && d.err == nil {
+		it.Pending = make([]ids.RequestID, 0, n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		it.Pending = append(it.Pending, d.req())
+	}
+	n = d.len()
+	if n > 0 && d.err == nil {
+		it.Results = make([][]byte, 0, n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		it.Results = append(it.Results, d.bytes())
+	}
+	return it
+}
+
+func decTISQuery(d *decoder) TISQuery {
+	return TISQuery{
+		QID:    d.u64(),
+		Origin: ids.Server(d.u32()),
+		Op:     TISOp(d.u8()),
+		Region: d.u32(),
+		Value:  int32(d.u32()),
+		Hops:   d.u8(),
+		Proxy:  d.proxy(),
+		Req:    d.req(),
+		Data:   d.bytes(),
+	}
+}
+
+func decTISDeliver(d *decoder) TISDeliver {
+	return TISDeliver{
+		Member: ids.MH(d.u32()),
+		Group:  d.u32(),
+		Seq:    d.u64(),
+		Data:   d.bytes(),
+	}
+}
+
+func decTISReply(d *decoder) TISReply {
+	return TISReply{
+		QID:    d.u64(),
+		Region: d.u32(),
+		Value:  int32(d.u32()),
+		Stamp:  int64(d.u64()),
+		Hops:   d.u8(),
+	}
+}
+
+// decLinkFrame decodes the frame header and recursively decodes the
+// inner message (which always allocates; link frames are not on the
+// zero-alloc path).
+func decLinkFrame(d *decoder) (LinkFrame, error) {
+	seq := d.u64()
+	body := d.bytes()
+	if d.err != nil {
+		return LinkFrame{}, d.err
+	}
+	inner, err := Decode(body)
+	if err != nil {
+		return LinkFrame{}, fmt.Errorf("msg: link frame inner: %w", err)
+	}
+	if k := inner.Kind(); k == KindLinkFrame || k == KindLinkAck {
+		return LinkFrame{}, ErrBadNesting
+	}
+	return LinkFrame{Seq: seq, Inner: inner}, nil
+}
+
+func decLinkAck(d *decoder) LinkAck { return LinkAck{Seq: d.u64()} }
+
+func decRegConfirm(d *decoder) RegConfirm { return RegConfirm{MH: ids.MH(d.u32())} }
+func decBusy(d *decoder) Busy             { return Busy{Req: d.req()} }
+func decAdmit(d *decoder) Admit           { return Admit{Req: d.req()} }
+
+func decMigOffer(d *decoder) MigOffer {
+	return MigOffer{Proxy: d.proxy(), MH: ids.MH(d.u32()), Pending: d.u32(), HostLoad: d.u32(), LoadCheck: d.bool()}
+}
+
+func decMigCommit(d *decoder) MigCommit {
+	return MigCommit{Proxy: d.proxy(), NewProxy: d.proxy(), MH: ids.MH(d.u32()), Accept: d.bool()}
+}
+
+func decMigState(d *decoder) MigState {
+	ms := MigState{Proxy: d.proxy(), NewProxy: d.proxy(), MH: ids.MH(d.u32()), CurrentLoc: ids.MSS(d.u32())}
+	n := d.len()
+	if n > 0 && d.err == nil {
+		ms.Reqs = make([]MigReqState, 0, n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		ms.Reqs = append(ms.Reqs, MigReqState{
+			Req:       d.req(),
+			Server:    ids.Server(d.u32()),
+			Payload:   d.bytes(),
+			Result:    d.bytes(),
+			HasResult: d.bool(),
+			Forwarded: d.bool(),
+		})
+	}
+	return ms
+}
+
+func decPrefRedirect(d *decoder) PrefRedirect {
+	return PrefRedirect{MH: ids.MH(d.u32()), OldProxy: d.proxy(), NewProxy: d.proxy(), Req: d.req(), Confirm: d.bool()}
+}
+
+func decMigGC(d *decoder) MigGC {
+	return MigGC{OldProxy: d.proxy(), NewProxy: d.proxy(), MH: ids.MH(d.u32())}
 }
 
 // Decode parses a message previously produced by Encode. It rejects
-// unknown versions and kinds, truncated input, and trailing bytes.
+// unknown versions and kinds, truncated input, and trailing bytes. All
+// variable-length fields are copied, so the result does not retain b.
 func Decode(b []byte) (Message, error) {
 	d := decoder{buf: b}
 	if v := d.u8(); d.err == nil && v != codecVersion {
@@ -210,125 +421,75 @@ func Decode(b []byte) (Message, error) {
 	var m Message
 	switch kind {
 	case KindJoin:
-		m = Join{MH: ids.MH(d.u32())}
+		m = decJoin(&d)
 	case KindLeave:
-		m = Leave{MH: ids.MH(d.u32())}
+		m = decLeave(&d)
 	case KindGreet:
-		m = Greet{MH: ids.MH(d.u32()), OldMSS: ids.MSS(d.u32())}
+		m = decGreet(&d)
 	case KindRequest:
-		m = Request{Req: d.req(), Server: ids.Server(d.u32()), Payload: d.bytes()}
+		m = decRequest(&d)
 	case KindResultDeliver:
-		m = ResultDeliver{Req: d.req(), Payload: d.bytes(), DelPref: d.bool()}
+		m = decResultDeliver(&d)
 	case KindAckMH:
-		m = AckMH{MH: ids.MH(d.u32()), Req: d.req(), HaveOutstanding: d.bool()}
+		m = decAckMH(&d)
 	case KindDereg:
-		m = Dereg{MH: ids.MH(d.u32()), NewMSS: ids.MSS(d.u32())}
+		m = decDereg(&d)
 	case KindDeregAck:
-		m = DeregAck{MH: ids.MH(d.u32()), Pref: d.pref()}
+		m = decDeregAck(&d)
 	case KindRequestForward:
-		m = RequestForward{Proxy: d.proxy(), Req: d.req(), Server: ids.Server(d.u32()), Payload: d.bytes()}
+		m = decRequestForward(&d)
 	case KindUpdateCurrentLoc:
-		m = UpdateCurrentLoc{Proxy: d.proxy(), MH: ids.MH(d.u32()), NewLoc: ids.MSS(d.u32())}
+		m = decUpdateCurrentLoc(&d)
 	case KindResultForward:
-		m = ResultForward{Proxy: d.proxy(), MH: ids.MH(d.u32()), Req: d.req(), Payload: d.bytes(), DelPref: d.bool()}
+		m = decResultForward(&d)
 	case KindAckForward:
-		m = AckForward{Proxy: d.proxy(), MH: ids.MH(d.u32()), Req: d.req(), DelProxy: d.bool()}
+		m = decAckForward(&d)
 	case KindDelPrefOnly:
-		m = DelPrefOnly{Proxy: d.proxy(), MH: ids.MH(d.u32())}
+		m = decDelPrefOnly(&d)
 	case KindServerRequest:
-		m = ServerRequest{Proxy: d.proxy(), Req: d.req(), Payload: d.bytes()}
+		m = decServerRequest(&d)
 	case KindServerResult:
-		m = ServerResult{Proxy: d.proxy(), Req: d.req(), Payload: d.bytes()}
+		m = decServerResult(&d)
 	case KindServerAck:
-		m = ServerAck{Req: d.req()}
+		m = decServerAck(&d)
 	case KindMIPRegister:
-		m = MIPRegister{MH: ids.MH(d.u32()), CareOf: ids.MSS(d.u32())}
+		m = decMIPRegister(&d)
 	case KindMIPData:
-		m = MIPData{MH: ids.MH(d.u32()), Req: d.req(), Payload: d.bytes()}
+		m = decMIPData(&d)
 	case KindMIPTunnel:
-		m = MIPTunnel{MH: ids.MH(d.u32()), Req: d.req(), Payload: d.bytes()}
+		m = decMIPTunnel(&d)
 	case KindImageTransfer:
-		it := ImageTransfer{MH: ids.MH(d.u32())}
-		n := d.len()
-		for i := 0; i < n && d.err == nil; i++ {
-			it.Pending = append(it.Pending, d.req())
-		}
-		n = d.len()
-		for i := 0; i < n && d.err == nil; i++ {
-			it.Results = append(it.Results, d.bytes())
-		}
-		m = it
+		m = decImageTransfer(&d)
 	case KindTISQuery:
-		m = TISQuery{
-			QID:    d.u64(),
-			Origin: ids.Server(d.u32()),
-			Op:     TISOp(d.u8()),
-			Region: d.u32(),
-			Value:  int32(d.u32()),
-			Hops:   d.u8(),
-			Proxy:  d.proxy(),
-			Req:    d.req(),
-			Data:   d.bytes(),
-		}
+		m = decTISQuery(&d)
 	case KindTISDeliver:
-		m = TISDeliver{
-			Member: ids.MH(d.u32()),
-			Group:  d.u32(),
-			Seq:    d.u64(),
-			Data:   d.bytes(),
-		}
+		m = decTISDeliver(&d)
 	case KindTISReply:
-		m = TISReply{
-			QID:    d.u64(),
-			Region: d.u32(),
-			Value:  int32(d.u32()),
-			Stamp:  int64(d.u64()),
-			Hops:   d.u8(),
-		}
+		m = decTISReply(&d)
 	case KindLinkFrame:
-		seq := d.u64()
-		body := d.bytes()
-		if d.err != nil {
-			return nil, d.err
-		}
-		inner, err := Decode(body)
+		lf, err := decLinkFrame(&d)
 		if err != nil {
-			return nil, fmt.Errorf("msg: link frame inner: %w", err)
+			return nil, err
 		}
-		if k := inner.Kind(); k == KindLinkFrame || k == KindLinkAck {
-			return nil, ErrBadNesting
-		}
-		m = LinkFrame{Seq: seq, Inner: inner}
+		m = lf
 	case KindLinkAck:
-		m = LinkAck{Seq: d.u64()}
+		m = decLinkAck(&d)
 	case KindRegConfirm:
-		m = RegConfirm{MH: ids.MH(d.u32())}
+		m = decRegConfirm(&d)
 	case KindBusy:
-		m = Busy{Req: d.req()}
+		m = decBusy(&d)
 	case KindAdmit:
-		m = Admit{Req: d.req()}
+		m = decAdmit(&d)
 	case KindMigOffer:
-		m = MigOffer{Proxy: d.proxy(), MH: ids.MH(d.u32()), Pending: d.u32(), HostLoad: d.u32(), LoadCheck: d.bool()}
+		m = decMigOffer(&d)
 	case KindMigCommit:
-		m = MigCommit{Proxy: d.proxy(), NewProxy: d.proxy(), MH: ids.MH(d.u32()), Accept: d.bool()}
+		m = decMigCommit(&d)
 	case KindMigState:
-		ms := MigState{Proxy: d.proxy(), NewProxy: d.proxy(), MH: ids.MH(d.u32()), CurrentLoc: ids.MSS(d.u32())}
-		n := d.len()
-		for i := 0; i < n && d.err == nil; i++ {
-			ms.Reqs = append(ms.Reqs, MigReqState{
-				Req:       d.req(),
-				Server:    ids.Server(d.u32()),
-				Payload:   d.bytes(),
-				Result:    d.bytes(),
-				HasResult: d.bool(),
-				Forwarded: d.bool(),
-			})
-		}
-		m = ms
+		m = decMigState(&d)
 	case KindPrefRedirect:
-		m = PrefRedirect{MH: ids.MH(d.u32()), OldProxy: d.proxy(), NewProxy: d.proxy(), Req: d.req(), Confirm: d.bool()}
+		m = decPrefRedirect(&d)
 	case KindMigGC:
-		m = MigGC{OldProxy: d.proxy(), NewProxy: d.proxy(), MH: ids.MH(d.u32())}
+		m = decMigGC(&d)
 	default:
 		if d.err != nil {
 			return nil, d.err
@@ -342,6 +503,111 @@ func Decode(b []byte) (Message, error) {
 		return nil, ErrTrailing
 	}
 	return m, nil
+}
+
+// DecodeInto parses a message of a statically known kind into the
+// caller-owned *dst, avoiding the interface boxing of Decode. In this
+// mode variable-length fields ALIAS the input buffer instead of copying
+// it: the decoded message is only valid while b is, which makes the
+// common transport round trip (read frame, decode, handle, recycle
+// buffer) allocation-free. A LinkFrame destination still allocates for
+// its inner message.
+//
+// The wire kind must match dst's kind; a mismatch reports ErrBadKind
+// without touching *dst.
+func DecodeInto[M Message](b []byte, dst *M) error {
+	d := decoder{buf: b, alias: true}
+	if v := d.u8(); d.err == nil && v != codecVersion {
+		return fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	kind := Kind(d.u8())
+	if d.err != nil {
+		return d.err
+	}
+	if want := (*dst).Kind(); kind != want {
+		return fmt.Errorf("%w: decoding kind %d into %T", ErrBadKind, uint8(kind), *dst)
+	}
+	switch p := any(dst).(type) {
+	case *Join:
+		*p = decJoin(&d)
+	case *Leave:
+		*p = decLeave(&d)
+	case *Greet:
+		*p = decGreet(&d)
+	case *Request:
+		*p = decRequest(&d)
+	case *ResultDeliver:
+		*p = decResultDeliver(&d)
+	case *AckMH:
+		*p = decAckMH(&d)
+	case *Dereg:
+		*p = decDereg(&d)
+	case *DeregAck:
+		*p = decDeregAck(&d)
+	case *RequestForward:
+		*p = decRequestForward(&d)
+	case *UpdateCurrentLoc:
+		*p = decUpdateCurrentLoc(&d)
+	case *ResultForward:
+		*p = decResultForward(&d)
+	case *AckForward:
+		*p = decAckForward(&d)
+	case *DelPrefOnly:
+		*p = decDelPrefOnly(&d)
+	case *ServerRequest:
+		*p = decServerRequest(&d)
+	case *ServerResult:
+		*p = decServerResult(&d)
+	case *ServerAck:
+		*p = decServerAck(&d)
+	case *MIPRegister:
+		*p = decMIPRegister(&d)
+	case *MIPData:
+		*p = decMIPData(&d)
+	case *MIPTunnel:
+		*p = decMIPTunnel(&d)
+	case *ImageTransfer:
+		*p = decImageTransfer(&d)
+	case *TISQuery:
+		*p = decTISQuery(&d)
+	case *TISDeliver:
+		*p = decTISDeliver(&d)
+	case *TISReply:
+		*p = decTISReply(&d)
+	case *LinkFrame:
+		lf, err := decLinkFrame(&d)
+		if err != nil {
+			return err
+		}
+		*p = lf
+	case *LinkAck:
+		*p = decLinkAck(&d)
+	case *RegConfirm:
+		*p = decRegConfirm(&d)
+	case *Busy:
+		*p = decBusy(&d)
+	case *Admit:
+		*p = decAdmit(&d)
+	case *MigOffer:
+		*p = decMigOffer(&d)
+	case *MigCommit:
+		*p = decMigCommit(&d)
+	case *MigState:
+		*p = decMigState(&d)
+	case *PrefRedirect:
+		*p = decPrefRedirect(&d)
+	case *MigGC:
+		*p = decMigGC(&d)
+	default:
+		return fmt.Errorf("%w: %T", ErrBadKind, dst)
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.buf) != d.off {
+		return ErrTrailing
+	}
+	return nil
 }
 
 // encoder appends fields to a buffer.
@@ -381,11 +647,14 @@ func (e *encoder) pref(p Pref) {
 	e.bool(p.RKpR)
 }
 
-// decoder consumes fields from a buffer, latching the first error.
+// decoder consumes fields from a buffer, latching the first error. With
+// alias set, bytes() returns subslices of the input instead of copies
+// (the DecodeInto contract).
 type decoder struct {
-	buf []byte
-	off int
-	err error
+	buf   []byte
+	off   int
+	err   error
+	alias bool
 }
 
 func (d *decoder) fail() {
@@ -457,6 +726,11 @@ func (d *decoder) bytes() []byte {
 	if n == 0 {
 		return nil
 	}
+	if d.alias {
+		b := d.buf[d.off : d.off+n : d.off+n]
+		d.off += n
+		return b
+	}
 	b := make([]byte, n)
 	copy(b, d.buf[d.off:d.off+n])
 	d.off += n
@@ -475,13 +749,39 @@ func (d *decoder) pref() Pref {
 	return Pref{Proxy: d.proxy(), RKpR: d.bool()}
 }
 
+// encBufPool recycles scratch encode buffers across goroutines for the
+// encode-and-discard and encode-and-write paths (WireSize, transports).
+var encBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
+// GetBuffer returns a pooled scratch buffer (length 0) for use with
+// AppendEncode. Return it with PutBuffer once the encoding has been
+// consumed.
+func GetBuffer() *[]byte { return encBufPool.Get().(*[]byte) }
+
+// PutBuffer recycles a buffer obtained from GetBuffer. The caller must
+// not retain any view of the buffer afterwards.
+func PutBuffer(b *[]byte) {
+	*b = (*b)[:0]
+	encBufPool.Put(b)
+}
+
 // WireSize returns the encoded size of a message in bytes without
 // retaining the encoding. It is used by the metrics layer to account
-// hand-off state volume (experiment E6).
+// hand-off state volume (experiment E6); the scratch buffer is pooled,
+// so measuring costs no allocation in the steady state.
 func WireSize(m Message) int {
-	b, err := Encode(m)
+	bp := encBufPool.Get().(*[]byte)
+	b, err := AppendEncode((*bp)[:0], m)
+	n := len(b)
+	*bp = b[:0]
+	encBufPool.Put(bp)
 	if err != nil {
 		return 0
 	}
-	return len(b)
+	return n
 }

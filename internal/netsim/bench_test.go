@@ -1,0 +1,79 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// BenchmarkWiredDelivery measures the steady-state cost of one wired
+// causal send+deliver: stamp snapshot (pooled), transit scheduling
+// (kernel free list, no cancel handle), and RST delivery. This is the
+// per-hop cost every simulated protocol message pays.
+func BenchmarkWiredDelivery(b *testing.B) {
+	k := sim.NewKernel(1)
+	members := staticMembers()
+	w := NewWired(k, members, WiredConfig{Latency: Constant(time.Millisecond), Causal: true}, nil)
+	for _, n := range members {
+		w.Register(n, HandlerFunc(func(ids.NodeID, msg.Message) {}))
+	}
+	from, to := ids.MSS(1).Node(), ids.MSS(2).Node()
+	m := msg.Dereg{MH: 7, NewMSS: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Send(from, to, m)
+		k.Run()
+	}
+}
+
+// BenchmarkWiredDeliveryUncausal isolates the transport without RST
+// stamps, for comparison with BenchmarkWiredDelivery.
+func BenchmarkWiredDeliveryUncausal(b *testing.B) {
+	k := sim.NewKernel(1)
+	members := staticMembers()
+	w := NewWired(k, members, WiredConfig{Latency: Constant(time.Millisecond)}, nil)
+	for _, n := range members {
+		w.Register(n, HandlerFunc(func(ids.NodeID, msg.Message) {}))
+	}
+	from, to := ids.MSS(1).Node(), ids.MSS(2).Node()
+	m := msg.Dereg{MH: 7, NewMSS: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Send(from, to, m)
+		k.Run()
+	}
+}
+
+// TestWiredDeliveryAllocBudget pins the per-message delivery cost on
+// the fault-free causal path. The budget is deliberately small but not
+// zero: the boxed sim payload and the causal receive entry still cost a
+// couple of allocations per hop; what the budget guards is the removal
+// of the per-hop matrix clone and timer handle, which used to dominate.
+func TestWiredDeliveryAllocBudget(t *testing.T) {
+	k := sim.NewKernel(1)
+	members := staticMembers()
+	w := NewWired(k, members, WiredConfig{Latency: Constant(time.Millisecond), Causal: true}, nil)
+	for _, n := range members {
+		w.Register(n, HandlerFunc(func(ids.NodeID, msg.Message) {}))
+	}
+	from, to := ids.MSS(1).Node(), ids.MSS(2).Node()
+	var m msg.Message = msg.Dereg{MH: 7, NewMSS: 2}
+	// Warm up pools and the kernel free list.
+	for i := 0; i < 32; i++ {
+		w.Send(from, to, m)
+		k.Run()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		w.Send(from, to, m)
+		k.Run()
+	})
+	const budget = 4
+	if avg > budget {
+		t.Errorf("wired causal delivery: %.1f allocs/op, budget %d", avg, budget)
+	}
+}

@@ -259,10 +259,16 @@ func NewWired(k sim.Scheduler, members []ids.NodeID, cfg WiredConfig, obs Observ
 		}
 		w.index[n] = i
 	}
+	// Stamp recycling needs at-most-once delivery per stamp: with ARQ the
+	// receiver dedups frames, and without faults nothing duplicates. A
+	// faulty link without ARQ can fire the same stamp twice (duplication
+	// fault), and the sequencer hook replays fires adversarially — both
+	// must keep the allocating path.
+	pooled := cfg.Seq == nil && (cfg.Faults == nil || cfg.ARQ.Enabled)
 	w.eps = causal.Group(len(members), func(dst int, payload any) {
 		p := payload.(wiredPayload)
 		w.deliver(p)
-	})
+	}, causal.Pooled(pooled))
 	return w
 }
 
@@ -319,12 +325,15 @@ func (w *Wired) transmitRaw(from, to ids.NodeID, m msg.Message, fire func()) {
 		w.observe(EventDroppedLoss, from, to, m)
 		return
 	}
-	deliver := func() {
-		if w.cfg.Down != nil && w.cfg.Down(to) {
-			w.observe(EventDroppedUnreachable, from, to, m)
-			return
+	deliver := fire
+	if w.cfg.Down != nil {
+		deliver = func() {
+			if w.cfg.Down(to) {
+				w.observe(EventDroppedUnreachable, from, to, m)
+				return
+			}
+			fire()
 		}
-		fire()
 	}
 	w.enqueue(from, to, m, f, deliver)
 }
@@ -334,15 +343,25 @@ func (w *Wired) transmitRaw(from, to ids.NodeID, m msg.Message, fire func()) {
 // per-link queue bound: an attempt that finds the link full is shed —
 // observed as EventShed and never scheduled.
 func (w *Wired) enqueue(from, to ids.NodeID, m msg.Message, f LinkFault, deliver func()) {
+	if w.cfg.QueueLimit <= 0 {
+		// Unbounded link: no occupancy to track, so the delivery closure
+		// schedules directly (the common configuration's zero-extra-alloc
+		// path).
+		w.k.Defer(w.sampleLatency(from, to)+f.Delay, deliver)
+		if f.Duplicate {
+			w.k.Defer(w.sampleLatency(from, to)+f.Delay, deliver)
+		}
+		return
+	}
 	key := linkKey{from: from, to: to}
 	attempt := func() {
-		if w.cfg.QueueLimit > 0 && w.queued[key] >= w.cfg.QueueLimit {
+		if w.queued[key] >= w.cfg.QueueLimit {
 			w.shed++
 			w.observe(EventShed, from, to, m)
 			return
 		}
 		w.queued[key]++
-		w.k.After(w.sampleLatency(from, to)+f.Delay, func() {
+		w.k.Defer(w.sampleLatency(from, to)+f.Delay, func() {
 			w.queued[key]--
 			deliver()
 		})
@@ -591,14 +610,18 @@ func wirelessControl(m msg.Message) bool {
 // directed link already has QueueLimit frames in flight, in which case
 // the frame is shed.
 func (w *Wireless) sendOrShed(from, to ids.NodeID, m msg.Message, fire func()) {
+	if w.cfg.QueueLimit <= 0 {
+		w.k.Defer(w.fifoDelay(from, to), fire)
+		return
+	}
 	key := linkKey{from: from, to: to}
-	if w.cfg.QueueLimit > 0 && w.queued[key] >= w.cfg.QueueLimit {
+	if w.queued[key] >= w.cfg.QueueLimit {
 		w.shed++
 		w.observe(EventShed, from, to, m)
 		return
 	}
 	w.queued[key]++
-	w.k.After(w.fifoDelay(from, to), func() {
+	w.k.Defer(w.fifoDelay(from, to), func() {
 		w.queued[key]--
 		fire()
 	})
@@ -643,7 +666,7 @@ func (w *Wireless) SendDownlink(from ids.MSS, to ids.MH, m msg.Message) {
 		// Admission signaling (reg-confirm, admit, busy) rides the
 		// beacon exchange: outside the bounded data queue, so a control
 		// reply can never pin the link and starve a result delivery.
-		w.k.After(w.fifoDelay(from.Node(), to.Node()), fire)
+		w.k.Defer(w.fifoDelay(from.Node(), to.Node()), fire)
 		return
 	}
 	w.sendOrShed(from.Node(), to.Node(), m, fire)
@@ -687,7 +710,7 @@ func (w *Wireless) SendUplink(from ids.MH, to ids.MSS, m msg.Message) {
 		// Registration control rides the reliable beacon exchange; it is
 		// never shed and does not occupy the bounded data queue (a lost
 		// join would desynchronize the cell model).
-		w.k.After(w.fifoDelay(from.Node(), to.Node()), fire)
+		w.k.Defer(w.fifoDelay(from.Node(), to.Node()), fire)
 		return
 	}
 	w.sendOrShed(from.Node(), to.Node(), m, fire)

@@ -118,7 +118,7 @@ func (c *Client) Invoke(server ids.Server, payload []byte, onReply ReplyFunc) id
 
 // schedule arms the retransmission timer for one invocation.
 func (c *Client) schedule(inv *invocation) {
-	c.world.Kernel.After(inv.backoff, func() { c.fire(inv) })
+	c.world.Kernel.Defer(inv.backoff, func() { c.fire(inv) })
 }
 
 // fire retransmits an unanswered invocation when possible and re-arms

@@ -133,7 +133,7 @@ func (h *MHNode) refreshGreet() {
 // scheduleRefresh re-greets the current respMss on a fixed period while
 // the MH is active (see Config.GreetRefresh).
 func (h *MHNode) scheduleRefresh() {
-	h.w.Kernel.After(h.w.cfg.GreetRefresh, func() {
+	h.w.Kernel.Defer(h.w.cfg.GreetRefresh, func() {
 		if !h.joined {
 			return
 		}
@@ -188,7 +188,7 @@ func (h *MHNode) IssueRequest(server ids.Server, payload []byte) ids.RequestID {
 // covered by the delivery guarantee and are never abandoned; abandoning
 // stops the busy-retry machinery for this request.
 func (h *MHNode) scheduleDeadline(req ids.RequestID) {
-	h.w.Kernel.After(h.w.cfg.RequestDeadline, func() {
+	h.w.Kernel.Defer(h.w.cfg.RequestDeadline, func() {
 		if h.seen[req] || h.admitted[req] {
 			return
 		}
@@ -207,7 +207,7 @@ func (h *MHNode) scheduleDeadline(req ids.RequestID) {
 // wireless delivery was lost (the proxy re-forwards the stored result on
 // a duplicate request).
 func (h *MHNode) scheduleRetry(m msg.Request) {
-	h.w.Kernel.After(h.w.cfg.RequestTimeout, func() {
+	h.w.Kernel.Defer(h.w.cfg.RequestTimeout, func() {
 		if h.seen[m.Req] || h.abandoned[m.Req] || !h.joined {
 			return
 		}
@@ -324,7 +324,7 @@ func (h *MHNode) onBusy(req ids.RequestID) {
 	}
 	attempt := h.busyAttempts[req]
 	h.busyAttempts[req] = attempt + 1
-	h.w.Kernel.After(h.backoff(attempt), func() {
+	h.w.Kernel.Defer(h.backoff(attempt), func() {
 		if _, live := h.pending[req]; !live || h.seen[req] || h.admitted[req] || h.abandoned[req] {
 			return
 		}

@@ -366,7 +366,7 @@ func (n *MSSNode) forwardThroughTombstone(t *tombstone, from ids.NodeID, m msg.M
 func (n *MSSNode) armTombstoneGC(t *tombstone) {
 	t.gcEpoch++
 	epoch := t.gcEpoch
-	n.w.Kernel.After(n.w.cfg.Migration.Linger(), func() {
+	n.w.Kernel.Defer(n.w.cfg.Migration.Linger(), func() {
 		if n.w.down[n.id] {
 			return // restoreFromStore re-arms journaled tombstones
 		}

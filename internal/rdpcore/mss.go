@@ -120,6 +120,9 @@ type MSSNode struct {
 	// (control/acks, admitted result traffic, new requests); see classOf.
 	inbox         classInbox
 	procScheduled bool
+	// procFn caches the processNext method value so scheduleProcessing
+	// does not materialize a fresh closure per processed message.
+	procFn func()
 }
 
 // classInbox is the station's priority inbox: one FIFO queue per
@@ -163,7 +166,7 @@ func (b *classInbox) pop() (inboxItem, bool) {
 
 // newMSSNode constructs a station bound to a world.
 func newMSSNode(id ids.MSS, w *World) *MSSNode {
-	return &MSSNode{
+	n := &MSSNode{
 		id:              id,
 		w:               w,
 		localMhs:        make(map[ids.MH]bool),
@@ -183,6 +186,8 @@ func newMSSNode(id ids.MSS, w *World) *MSSNode {
 		lastAttempt:     make(map[ids.MH]sim.Time),
 		reqAttempt:      make(map[ids.RequestID]sim.Time),
 	}
+	n.procFn = n.processNext
+	return n
 }
 
 // ID returns the station identifier.
@@ -328,7 +333,7 @@ func (n *MSSNode) scheduleProcessing() {
 		return
 	}
 	n.procScheduled = true
-	n.w.Kernel.After(n.procDelay(), n.processNext)
+	n.w.Kernel.Defer(n.procDelay(), n.procFn)
 }
 
 // processNext pops one inbox item — lowest priority class first — and
@@ -533,7 +538,7 @@ func (n *MSSNode) sendDereg(old ids.MSS, mh ids.MH) {
 }
 
 func (n *MSSNode) armHandoffTimer(old ids.MSS, mh ids.MH) {
-	n.w.Kernel.After(n.w.cfg.HandoffTimeout, func() {
+	n.w.Kernel.Defer(n.w.cfg.HandoffTimeout, func() {
 		if n.w.down[n.id] {
 			return // we crashed ourselves; the arrival is gone
 		}
@@ -941,7 +946,7 @@ func (n *MSSNode) sendWired(to ids.NodeID, m msg.Message) {
 func (n *MSSNode) sendToStation(to ids.MSS, m msg.Message) {
 	if to == n.id {
 		local := m
-		n.w.Kernel.After(0, func() { n.process(n.id.Node(), local) })
+		n.w.Kernel.Defer(0, func() { n.process(n.id.Node(), local) })
 		return
 	}
 	n.sendWired(to.Node(), m)

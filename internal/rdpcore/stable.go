@@ -252,7 +252,17 @@ func (n *MSSNode) restoreFromStore() {
 	if rec.nextSeq > n.nextProxySeq {
 		n.nextProxySeq = rec.nextSeq
 	}
-	for seq, pr := range rec.proxies {
+	// Journal maps are iterated in sorted key order: restoring arms
+	// timers (tombstone GC below), and arming them in Go's randomized
+	// map order would shuffle kernel event sequence numbers, making
+	// post-crash runs diverge under the same seed.
+	proxySeqs := make([]int, 0, len(rec.proxies))
+	for seq := range rec.proxies {
+		proxySeqs = append(proxySeqs, int(seq))
+	}
+	sort.Ints(proxySeqs)
+	for _, s := range proxySeqs {
+		seq, pr := uint32(s), rec.proxies[uint32(s)]
 		// createdAt restarts at the restart instant; the station's
 		// ProxySeconds accounting loses the pre-crash span.
 		p := newProxy(pr.id, pr.mh, n)
@@ -266,7 +276,13 @@ func (n *MSSNode) restoreFromStore() {
 		}
 		n.proxies[seq] = p
 	}
-	for seq, tr := range rec.tombstones {
+	tombSeqs := make([]int, 0, len(rec.tombstones))
+	for seq := range rec.tombstones {
+		tombSeqs = append(tombSeqs, int(seq))
+	}
+	sort.Ints(tombSeqs)
+	for _, s := range tombSeqs {
+		seq, tr := uint32(s), rec.tombstones[uint32(s)]
 		t := &tombstone{
 			oldProxy:       tr.oldProxy,
 			newProxy:       tr.newProxy,

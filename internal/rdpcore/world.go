@@ -518,7 +518,7 @@ func (w *World) RestartMSS(id ids.MSS) {
 		return
 	}
 	n.restoreFromStore()
-	w.Kernel.After(w.cfg.RecoveryGrace, func() {
+	w.Kernel.Defer(w.cfg.RecoveryGrace, func() {
 		if w.down[id] {
 			return
 		}
@@ -538,7 +538,7 @@ func (w *World) Reachable(mss ids.MSS, mh ids.MH) bool { return w.reachable(mss,
 // Schedule runs fn after the given delay of scheduler time — the way
 // driver code injects actions (requests, migrations) into a running
 // world.
-func (w *World) Schedule(after time.Duration, fn func()) { w.Kernel.After(after, fn) }
+func (w *World) Schedule(after time.Duration, fn func()) { w.Kernel.Defer(after, fn) }
 
 // RunUntil advances the simulation to the given virtual instant. It
 // panics on a live-runtime world, which advances by itself in real time.

@@ -89,7 +89,7 @@ func (s *AppServer) HandleMessage(from ids.NodeID, m msg.Message) {
 	case msg.ServerRequest:
 		s.pending[v.Req] = v.Proxy
 		delay := s.proc.Sample(s.rng)
-		s.kernel.After(delay, func() {
+		s.kernel.Defer(delay, func() {
 			s.Served.Inc()
 			reply := s.handler(v.Payload)
 			// Read the live binding: a pref_redirect may have rebound it

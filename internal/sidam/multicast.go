@@ -130,7 +130,7 @@ func (n *Network) MailboxOwner(mh ids.MH) ids.Server {
 func (t *TIS) routeOrExec(owner ids.Server, q msg.TISQuery, exec func()) {
 	if owner == t.id {
 		delay := t.net.cfg.LocalProc.Sample(t.ensureRNG())
-		t.kernel().After(delay, exec)
+		t.kernel().Defer(delay, exec)
 		return
 	}
 	t.net.Stats.RemoteOps.Inc()

@@ -372,7 +372,7 @@ func (t *TIS) handleClient(v msg.ServerRequest) {
 	owner := t.net.Owner(region)
 	if owner == t.id {
 		delay := t.net.cfg.LocalProc.Sample(t.ensureRNG())
-		t.kernel().After(delay, func() { t.execute(op, region, value, v.Proxy, v.Req) })
+		t.kernel().Defer(delay, func() { t.execute(op, region, value, v.Proxy, v.Req) })
 		return
 	}
 	if op == OpQuery && t.net.cfg.CacheTTL > 0 {
@@ -383,7 +383,7 @@ func (t *TIS) handleClient(v msg.ServerRequest) {
 			t.net.Stats.CacheHits.Inc()
 			delay := t.net.cfg.LocalProc.Sample(t.ensureRNG())
 			r := c.Reading
-			t.kernel().After(delay, func() { t.reply(v.Proxy, v.Req, r) })
+			t.kernel().Defer(delay, func() { t.reply(v.Proxy, v.Req, r) })
 			return
 		}
 		t.net.Stats.CacheMisses.Inc()
@@ -419,7 +419,7 @@ func (t *TIS) forward(q msg.TISQuery) {
 	q.Hops++
 	t.net.Stats.HopsTotal.Inc()
 	delay := t.net.cfg.HopProc.Sample(t.ensureRNG())
-	t.kernel().After(delay, func() {
+	t.kernel().Defer(delay, func() {
 		t.net.world.Wired.Send(t.id.Node(), next.Node(), q)
 	})
 }
@@ -432,7 +432,7 @@ func (t *TIS) handleTISQuery(q msg.TISQuery) {
 		return
 	}
 	delay := t.net.cfg.LocalProc.Sample(t.ensureRNG())
-	t.kernel().After(delay, func() {
+	t.kernel().Defer(delay, func() {
 		switch q.Op {
 		case msg.TISOpQuery:
 			r := t.readingOf(q.Region)

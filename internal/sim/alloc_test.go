@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestKernelAllocBudget pins the scheduling fast path to zero
+// allocations in the steady state: once the free list and the heap's
+// backing array are warm, Defer+Step must recycle events rather than
+// allocate them. testing.AllocsPerRun fails loudly if the free list
+// regresses (e.g. an event leaks or a closure sneaks in).
+func TestKernelAllocBudget(t *testing.T) {
+	k := NewKernel(1)
+	fn := func() {}
+	// Warm up: grow the heap's backing array and populate the free list.
+	for i := 0; i < 64; i++ {
+		k.Defer(time.Duration(i)*time.Microsecond, fn)
+	}
+	k.Run()
+
+	if avg := testing.AllocsPerRun(500, func() {
+		k.Defer(time.Microsecond, fn)
+		if !k.Step() {
+			panic("kernel empty")
+		}
+	}); avg != 0 {
+		t.Errorf("Defer+Step steady state: %.1f allocs/op, budget 0", avg)
+	}
+}
+
+// TestTimerAllocBudget documents the cost of the cancellable path: one
+// Timer handle per After, and nothing else once warm.
+func TestTimerAllocBudget(t *testing.T) {
+	k := NewKernel(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		k.Defer(0, fn)
+	}
+	k.Run()
+
+	if avg := testing.AllocsPerRun(500, func() {
+		k.After(time.Microsecond, fn)
+		k.Step()
+	}); avg > 1 {
+		t.Errorf("After+Step steady state: %.1f allocs/op, budget 1 (the Timer handle)", avg)
+	}
+}
+
+// TestFreeListReuseIsGuarded: a Timer kept across its event's firing
+// must not cancel the recycled event that now occupies the same slot.
+func TestFreeListReuseIsGuarded(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	tm := k.After(time.Millisecond, func() { fired++ })
+	k.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	// The event is now on the free list; schedule again so it is reused.
+	k.Defer(time.Millisecond, func() { fired++ })
+	if tm.Cancel() {
+		t.Error("stale Timer canceled a recycled event")
+	}
+	k.Run()
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2 (recycled event must still run)", fired)
+	}
+}
+
+// BenchmarkKernelDefer measures the no-handle scheduling fast path
+// (compare BenchmarkKernelThroughput, which uses After and pays for the
+// Timer handle).
+func BenchmarkKernelDefer(b *testing.B) {
+	k := NewKernel(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		k.Defer(time.Microsecond, tick)
+	}
+	k.Defer(0, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.RunLimit(uint64(b.N))
+}

@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -23,47 +22,15 @@ type Time time.Duration
 // String renders the instant as a duration, e.g. "1.5s".
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is one scheduled callback.
+// event is one scheduled callback. Events are recycled through the
+// kernel's free list once fired or cancel-popped, so the steady-state
+// event rate causes no allocation; seq doubles as a generation counter
+// that keeps stale Timer handles from cancelling a recycled event.
 type event struct {
 	at       Time
 	seq      uint64 // insertion order; breaks ties deterministically
 	fn       func()
 	canceled bool
-	index    int // heap index, -1 once popped
-}
-
-// eventHeap orders events by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
 }
 
 // Kernel is the discrete-event scheduler. It is not safe for concurrent
@@ -71,7 +38,8 @@ func (h *eventHeap) Pop() any {
 // from within event callbacks, which amounts to the same thing).
 type Kernel struct {
 	now     Time
-	queue   eventHeap
+	queue   []*event // binary heap ordered by (at, seq)
+	free    []*event // retired events awaiting reuse
 	rng     *RNG
 	nextSeq uint64
 	stopped bool
@@ -104,16 +72,20 @@ func (k *Kernel) Pending() int {
 	return n
 }
 
-// Timer is a handle to a scheduled event.
+// Timer is a handle to a scheduled event. It remembers the event's
+// generation (seq): once the event has fired or been cancelled the
+// kernel recycles it, and a stale handle observing a different seq
+// knows its event is gone.
 type Timer struct {
-	e *event
+	e   *event
+	seq uint64
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled timer is a no-op. It reports whether the event was
 // still pending.
 func (t *Timer) Cancel() bool {
-	if t == nil || t.e == nil || t.e.canceled || t.e.index == -1 {
+	if t == nil || t.e == nil || t.e.seq != t.seq || t.e.canceled {
 		return false
 	}
 	t.e.canceled = true
@@ -133,16 +105,106 @@ func (k *Kernel) After(delay time.Duration, fn func()) Canceler {
 // At schedules fn for the given absolute virtual instant. Instants in
 // the past are clamped to now.
 func (k *Kernel) At(at Time, fn func()) Canceler {
+	e := k.schedule(at, fn)
+	return &Timer{e: e, seq: e.seq}
+}
+
+// Defer schedules fn like After but returns no cancellation handle, so
+// the steady-state cost is zero allocations (the event comes from the
+// free list). It is the right call for the fire-and-forget schedules
+// that dominate the hot path — message deliveries, processing steps.
+func (k *Kernel) Defer(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	k.schedule(k.now+Time(delay), fn)
+}
+
+// schedule allocates (or recycles) an event and pushes it on the heap.
+func (k *Kernel) schedule(at Time, fn func()) *event {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
 	if at < k.now {
 		at = k.now
 	}
-	e := &event{at: at, seq: k.nextSeq, fn: fn}
+	var e *event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		e = new(event)
+	}
+	e.at, e.seq, e.fn, e.canceled = at, k.nextSeq, fn, false
 	k.nextSeq++
-	heap.Push(&k.queue, e)
-	return &Timer{e: e}
+	k.push(e)
+	return e
+}
+
+// retire returns a popped event to the free list. canceled stays set so
+// a stale Timer holding the event sees it as spent until reuse bumps
+// its seq.
+func (k *Kernel) retire(e *event) {
+	e.fn = nil
+	e.canceled = true
+	k.free = append(k.free, e)
+}
+
+// eventLess orders events by (at, seq).
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends an event and restores the heap invariant. The sift loops
+// are inlined (vs container/heap) so scheduling costs no interface
+// conversions or indirect Less/Swap calls.
+func (k *Kernel) push(e *event) {
+	k.queue = append(k.queue, e)
+	q := k.queue
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(e, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = e
+}
+
+// pop removes and returns the minimum event.
+func (k *Kernel) pop() *event {
+	q := k.queue
+	top := q[0]
+	n := len(q) - 1
+	e := q[n]
+	q[n] = nil
+	k.queue = q[:n]
+	if n > 0 {
+		q = k.queue
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if r := c + 1; r < n && eventLess(q[r], q[c]) {
+				c = r
+			}
+			if !eventLess(q[c], e) {
+				break
+			}
+			q[i] = q[c]
+			i = c
+		}
+		q[i] = e
+	}
+	return top
 }
 
 // Step executes the next pending event. It reports whether an event was
@@ -152,13 +214,16 @@ func (k *Kernel) Step() bool {
 		return false
 	}
 	for len(k.queue) > 0 {
-		e := heap.Pop(&k.queue).(*event)
+		e := k.pop()
 		if e.canceled {
+			k.retire(e)
 			continue
 		}
 		k.now = e.at
 		k.steps++
-		e.fn()
+		fn := e.fn
+		k.retire(e)
+		fn()
 		return true
 	}
 	return false
@@ -208,7 +273,7 @@ func (k *Kernel) peek() *event {
 		if e := k.queue[0]; !e.canceled {
 			return e
 		}
-		heap.Pop(&k.queue)
+		k.retire(k.pop())
 	}
 	return nil
 }

@@ -23,6 +23,10 @@ type Scheduler interface {
 	// After schedules fn to run after delay; fn runs serialized with all
 	// other callbacks.
 	After(delay time.Duration, fn func()) Canceler
+	// Defer schedules fn like After but without a cancellation handle.
+	// Implementations use it as the allocation-free fast path for the
+	// fire-and-forget schedules that dominate message-level hot paths.
+	Defer(delay time.Duration, fn func())
 	// RNG returns the scheduler's deterministic random source.
 	RNG() *RNG
 }

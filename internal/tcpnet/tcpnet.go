@@ -435,15 +435,21 @@ func (n *Net) write(f frame) {
 	if err != nil {
 		return // endpoint gone (shutdown)
 	}
-	b, err := encodeFrame(f)
+	bp := msg.GetBuffer()
+	b, err := appendFrame(*bp, f)
 	if err != nil {
+		msg.PutBuffer(bp)
 		panic(fmt.Sprintf("tcpnet: encode: %v", err))
 	}
-	if _, err := conn.Write(b); err != nil {
+	*bp = b[:0]
+	_, err = conn.Write(b)
+	size := len(b)
+	msg.PutBuffer(bp)
+	if err != nil {
 		n.dropConn(f.from, dest)
 		return
 	}
-	n.countFrame(f.layer, len(b))
+	n.countFrame(f.layer, size)
 }
 
 func (n *Net) conn(from, to ids.NodeID) (net.Conn, error) {
@@ -489,35 +495,42 @@ type frame struct {
 	stamp     causal.Matrix
 }
 
-// encodeFrame serializes a frame (header + stamp + message).
+// encodeFrame serializes a frame (header + stamp + message) into a
+// fresh buffer. The write path uses appendFrame with a pooled buffer
+// instead.
 func encodeFrame(f frame) ([]byte, error) {
-	body, err := msg.Encode(f.m)
-	if err != nil {
-		return nil, err
-	}
-	var stamp []byte
-	if f.hasStamp {
-		nn := len(f.stamp)
-		stamp = make([]byte, 8+nn*nn*8)
-		binary.BigEndian.PutUint32(stamp[0:], uint32(f.stampFrom))
-		binary.BigEndian.PutUint32(stamp[4:], uint32(nn))
-		off := 8
-		for i := 0; i < nn; i++ {
-			for j := 0; j < nn; j++ {
-				binary.BigEndian.PutUint64(stamp[off:], f.stamp[i][j])
-				off += 8
-			}
-		}
-	}
-	out := make([]byte, 0, 19+len(stamp)+len(body))
+	return appendFrame(nil, f)
+}
+
+// appendFrame serializes a frame onto dst, writing the stamp and the
+// message body in place (behind length placeholders patched afterwards)
+// so framing needs no intermediate buffers.
+func appendFrame(dst []byte, f frame) ([]byte, error) {
+	out := dst
 	out = append(out, byte(f.layer), byte(f.from.Kind))
 	out = binary.BigEndian.AppendUint32(out, f.from.Num)
 	out = append(out, byte(f.to.Kind))
 	out = binary.BigEndian.AppendUint32(out, f.to.Num)
-	out = binary.BigEndian.AppendUint32(out, uint32(len(stamp)))
-	out = append(out, stamp...)
-	out = binary.BigEndian.AppendUint32(out, uint32(len(body)))
-	out = append(out, body...)
+	stampLenAt := len(out)
+	out = binary.BigEndian.AppendUint32(out, 0)
+	if f.hasStamp {
+		nn := len(f.stamp)
+		out = binary.BigEndian.AppendUint32(out, uint32(f.stampFrom))
+		out = binary.BigEndian.AppendUint32(out, uint32(nn))
+		for i := 0; i < nn; i++ {
+			for j := 0; j < nn; j++ {
+				out = binary.BigEndian.AppendUint64(out, f.stamp[i][j])
+			}
+		}
+		binary.BigEndian.PutUint32(out[stampLenAt:], uint32(len(out)-stampLenAt-4))
+	}
+	bodyLenAt := len(out)
+	out = binary.BigEndian.AppendUint32(out, 0)
+	out, err := msg.AppendEncode(out, f.m)
+	if err != nil {
+		return nil, err
+	}
+	binary.BigEndian.PutUint32(out[bodyLenAt:], uint32(len(out)-bodyLenAt-4))
 	return out, nil
 }
 
