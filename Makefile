@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race race bench cover fmt vet check experiments examples explore viz bench-baseline bench-compare
+.PHONY: all build test test-race race bench cover fmt vet check experiments examples explore viz bench-baseline bench-compare bench-profile
 
 all: build test
 
@@ -19,13 +19,16 @@ test-race:
 race: test-race
 
 # check is the full pre-commit gate: formatting, vet, build, tests,
-# and the race sweep.
+# the parallel-engine race sweep (the determinism property tests under
+# the race detector — first, because a data race there invalidates the
+# rest), and the whole-tree race sweep.
 check:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi
 	go vet ./...
 	go build ./...
 	go test ./...
+	go test -race ./internal/psim ./internal/sim
 	go test -race ./...
 
 bench:
@@ -44,6 +47,11 @@ bench-compare:
 	go run ./cmd/rdpbench -quick -json -out /tmp/rdpbench.$$$$/current.json >/dev/null && \
 	go run ./cmd/benchcmp -base bench/baseline.json -new /tmp/rdpbench.$$$$/current.json; \
 	status=$$?; rm -rf /tmp/rdpbench.$$$$; exit $$status
+
+# Profile a quick evaluation pass: writes cpu.pprof and mem.pprof in the
+# repo root (gitignored) for `go tool pprof`.
+bench-profile:
+	go run ./cmd/rdpbench -quick -cpuprofile cpu.pprof -memprofile mem.pprof
 
 cover:
 	go test -cover ./...

@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's evaluation: one Benchmark per
-// experiment table (DESIGN.md E1–E12) plus the Figure 3/4 and
+// experiment table (DESIGN.md E1–E13) plus the Figure 3/4 and
 // migration scenario replays. Each iteration runs the full experiment at test scale and
 // reports its headline quantity as a custom metric, so
 //
@@ -315,4 +315,26 @@ func BenchmarkE11Overload(b *testing.B) {
 	b.ReportMetric(protGoodput, "protected-goodput%")
 	b.ReportMetric(unprotGoodput, "unprotected-goodput%")
 	b.ReportMetric(lostAdmitted, "lost-admitted")
+}
+
+// BenchmarkE13ParallelScale regenerates E13 at bench scale: the sharded
+// conservative engine across its region sweep. Reported metrics: the
+// minimum delivery ratio across all partitions (must be 1.0) and
+// whether every partitioned run reproduced the 1-region headline
+// (1 = all equal).
+func BenchmarkE13ParallelScale(b *testing.B) {
+	minRatio, allEq := 1.0, 1.0
+	for i := 0; i < b.N; i++ {
+		minRatio, allEq = 1.0, 1.0
+		for _, r := range experiments.E13Scale(int64(i+1), benchScale(), nil, 0) {
+			if r.Ratio < minRatio {
+				minRatio = r.Ratio
+			}
+			if !r.HeadlineEq {
+				allEq = 0
+			}
+		}
+	}
+	b.ReportMetric(minRatio, "min-delivery-ratio")
+	b.ReportMetric(allEq, "headline-eq")
 }

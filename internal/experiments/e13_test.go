@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+// TestE13QuickSweep runs the quick-scale E13 sweep and enforces the
+// experiment's gates: perfect delivery, no duplicates, no protocol
+// violations, no stragglers, and exact headline equality between the
+// 1-region baseline and every partitioned run of a tier.
+func TestE13QuickSweep(t *testing.T) {
+	rows := E13Scale(1, SmallScale(), nil, 0)
+	if len(rows) == 0 {
+		t.Fatal("empty sweep")
+	}
+	for _, r := range rows {
+		if r.Ratio != 1.0 {
+			t.Errorf("cells=%d regions=%d: ratio %.6f, want 1.0", r.Cells, r.Regions, r.Ratio)
+		}
+		if r.Duplicates != 0 {
+			t.Errorf("cells=%d regions=%d: %d duplicate deliveries", r.Cells, r.Regions, r.Duplicates)
+		}
+		if r.Missing != 0 {
+			t.Errorf("cells=%d regions=%d: %d undelivered requests", r.Cells, r.Regions, r.Missing)
+		}
+		if r.Violations != 0 {
+			t.Errorf("cells=%d regions=%d: %d protocol violations", r.Cells, r.Regions, r.Violations)
+		}
+		if !r.HeadlineEq {
+			t.Errorf("cells=%d regions=%d: headline differs from the 1-region run", r.Cells, r.Regions)
+		}
+		if r.Issued == 0 {
+			t.Errorf("cells=%d regions=%d: no requests issued", r.Cells, r.Regions)
+		}
+	}
+	// Multi-region rows must actually exchange traffic — a sweep where no
+	// frame ever crosses a border would not test the engine.
+	var crossed bool
+	for _, r := range rows {
+		if r.Regions > 1 && r.CrossFrames > 0 {
+			crossed = true
+		}
+	}
+	if !crossed {
+		t.Error("no multi-region row recorded any cross-region frames")
+	}
+}

@@ -1,0 +1,500 @@
+// Package psim is the conservative parallel simulation engine: it
+// partitions an rdpcore world by station into R regions, drives each
+// region on its own sim.Kernel (own seeded RNG, own event free list),
+// and synchronizes the regions in lock-step windows of width equal to
+// the lookahead — the minimum wired latency between regions, in the
+// style of Chandy–Misra null-message algorithms.
+//
+// Within a window [T, T+lookahead) every region executes its pending
+// events independently: no wired frame sent inside the window can
+// arrive at another region before T+lookahead, wireless traffic never
+// leaves a region (an MH talks only to the station of its current
+// cell), and a host migrating between regions is radio-silent for
+// exactly one lookahead while its transfer frame is in flight. At the
+// window barrier the coordinator gathers every cross-region frame the
+// regions emitted, merges them in deterministic (arrival time, source
+// region, sequence) order, and injects them into the destination
+// kernels before opening the next window. Because each region's event
+// order and RNG stream depend only on its own inputs — and those inputs
+// are merged deterministically — a run with W worker threads is
+// byte-identical to the same partition run serially (Workers=1), and a
+// different worker count can never change a metric.
+//
+// Mobile hosts are driven by pre-generated per-host scripts (AddMH)
+// rather than live callbacks, so the workload itself is independent of
+// the partition: the same seed issues the same requests with the same
+// identifiers no matter how many regions execute them.
+package psim
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/netsim"
+	"repro/internal/rdpcore"
+	"repro/internal/sim"
+)
+
+// Config parameterizes a partitioned world.
+type Config struct {
+	// Base is the world configuration every region inherits. The global
+	// station set is Base.Stations (or ids.MSS(1..NumMSS)); servers
+	// likewise. Base.Seed drives the per-region kernels through SubSeed.
+	Base rdpcore.Config
+	// Regions is the number of partitions R.
+	Regions int
+	// Workers is the number of OS threads stepping regions. 0 means
+	// GOMAXPROCS, 1 means serial execution on the calling goroutine —
+	// the reference the determinism tests compare against. Workers never
+	// affects results, only wall-clock time.
+	Workers int
+	// Lookahead is the conservative window width. Every cross-region
+	// wired latency sample must be >= Lookahead (the region link panics
+	// otherwise); the minimum wired latency of the topology is the
+	// largest sound choice.
+	Lookahead time.Duration
+	// AssignStation maps a station to its region; nil assigns contiguous
+	// blocks of the station list. Every region must receive at least one
+	// station.
+	AssignStation func(ids.MSS) int
+	// AssignServer maps a server to its region; nil deals servers
+	// round-robin.
+	AssignServer func(ids.Server) int
+}
+
+// Issued records one scripted request for post-run verification.
+type Issued struct {
+	MH  ids.MH
+	Req ids.RequestID
+}
+
+// frame is one unit of cross-region traffic — a wired message or a
+// migrating host — parked at the coordinator until its arrival window.
+// Frames are ordered by (arrival, src, seq): arrival for causality, the
+// (src, seq) pair to break same-instant ties identically on every run.
+type frame struct {
+	arrival sim.Time
+	src     int
+	seq     uint64
+	dst     int
+	fire    func()
+}
+
+// region is one partition: a full rdpcore world over the region's
+// stations and servers, on a private kernel.
+type region struct {
+	idx    int
+	kernel *sim.Kernel
+	world  *rdpcore.World
+	link   *netsim.RegionLink
+	// outbox collects the frames emitted during the current window; the
+	// coordinator drains it at the barrier. Only the region's own worker
+	// touches it inside a window.
+	outbox  []frame
+	nextSeq uint64
+	issued  []Issued
+}
+
+// World is the partitioned simulation.
+type World struct {
+	cfg           Config
+	lookahead     sim.Time
+	regions       []*region
+	stationRegion map[ids.MSS]int
+	serverRegion  map[ids.Server]int
+	pending       frameHeap
+	scripts       map[ids.MH]*script
+	workers       int
+	crossFrames   int64
+}
+
+// netObsRelay forwards network events to a target bound after the
+// region world exists: the substrates are built before the world but
+// need an observer at construction time. The target is set once, while
+// construction is still single-threaded.
+type netObsRelay struct{ target netsim.Observer }
+
+func (o *netObsRelay) observe(at sim.Time, layer netsim.Layer, kind netsim.EventKind, from, to ids.NodeID, m msg.Message) {
+	if o.target != nil {
+		o.target(at, layer, kind, from, to, m)
+	}
+}
+
+// New builds a partitioned world. It panics on configurations the
+// engine cannot run correctly — see the validation messages for the
+// exact rules (the important one: no MH-side timers, because a host's
+// timers cannot follow it across a region transfer).
+func New(cfg Config) *World {
+	if cfg.Regions < 1 {
+		panic("psim: Regions must be >= 1")
+	}
+	if cfg.Lookahead <= 0 {
+		panic("psim: Lookahead must be positive")
+	}
+	validateBase(cfg.Base, cfg.Regions)
+
+	stations := cfg.Base.Stations
+	if stations == nil {
+		for i := 1; i <= cfg.Base.NumMSS; i++ {
+			stations = append(stations, ids.MSS(i))
+		}
+	}
+	servers := cfg.Base.ServerIDs
+	if servers == nil {
+		for i := 1; i <= cfg.Base.NumServers; i++ {
+			servers = append(servers, ids.Server(i))
+		}
+	}
+	if cfg.Regions > len(stations) {
+		panic(fmt.Sprintf("psim: %d regions for %d stations", cfg.Regions, len(stations)))
+	}
+
+	pw := &World{
+		cfg:           cfg,
+		lookahead:     sim.Time(cfg.Lookahead),
+		stationRegion: make(map[ids.MSS]int, len(stations)),
+		serverRegion:  make(map[ids.Server]int, len(servers)),
+		scripts:       make(map[ids.MH]*script),
+	}
+	regionStations := make([][]ids.MSS, cfg.Regions)
+	regionServers := make([][]ids.Server, cfg.Regions)
+	for i, id := range stations {
+		r := i * cfg.Regions / len(stations)
+		if cfg.AssignStation != nil {
+			r = cfg.AssignStation(id)
+		}
+		if r < 0 || r >= cfg.Regions {
+			panic(fmt.Sprintf("psim: station %v assigned to region %d of %d", id, r, cfg.Regions))
+		}
+		pw.stationRegion[id] = r
+		regionStations[r] = append(regionStations[r], id)
+	}
+	for i, id := range servers {
+		r := i % cfg.Regions
+		if cfg.AssignServer != nil {
+			r = cfg.AssignServer(id)
+		}
+		if r < 0 || r >= cfg.Regions {
+			panic(fmt.Sprintf("psim: server %v assigned to region %d of %d", id, r, cfg.Regions))
+		}
+		pw.serverRegion[id] = r
+		regionServers[r] = append(regionServers[r], id)
+	}
+	for idx := 0; idx < cfg.Regions; idx++ {
+		if len(regionStations[idx]) == 0 {
+			panic(fmt.Sprintf("psim: region %d has no stations", idx))
+		}
+	}
+
+	pw.workers = cfg.Workers
+	if pw.workers <= 0 {
+		pw.workers = runtime.GOMAXPROCS(0)
+	}
+	if pw.workers > cfg.Regions {
+		pw.workers = cfg.Regions
+	}
+
+	for idx := 0; idx < cfg.Regions; idx++ {
+		pw.regions = append(pw.regions, pw.buildRegion(idx, regionStations[idx], regionServers[idx]))
+	}
+	return pw
+}
+
+// buildRegion assembles one partition: kernel, intra-region wired
+// substrate, the cross-region link wrapped around it, and the region's
+// rdpcore world. Construction order is fixed so each kernel's RNG
+// stream is identical on every run.
+func (pw *World) buildRegion(idx int, stations []ids.MSS, servers []ids.Server) *region {
+	k := sim.NewKernel(SubSeed(pw.cfg.Base.Seed, int64(idx)))
+	members := make([]ids.NodeID, 0, len(stations)+len(servers))
+	for _, id := range stations {
+		members = append(members, id.Node())
+	}
+	for _, id := range servers {
+		members = append(members, id.Node())
+	}
+	r := &region{idx: idx, kernel: k}
+	relay := &netObsRelay{}
+	wired := netsim.NewWired(k, members, netsim.WiredConfig{
+		Latency:     pw.cfg.Base.WiredLatency,
+		Causal:      pw.cfg.Base.Causal,
+		PairLatency: pw.cfg.Base.WiredPairLatency,
+		QueueLimit:  pw.cfg.Base.WiredQueueLimit,
+	}, relay.observe)
+	r.link = netsim.NewRegionLink(k, netsim.RegionLinkConfig{
+		Local:        wired,
+		LocalMembers: members,
+		Latency:      pw.cfg.Base.WiredLatency,
+		PairLatency:  pw.cfg.Base.WiredPairLatency,
+		Lookahead:    pw.cfg.Lookahead,
+		Emit:         func(f netsim.CrossFrame) { pw.emitWired(r, f) },
+	}, relay.observe)
+	rcfg := pw.cfg.Base
+	rcfg.Stations = stations
+	// Non-nil even when the region hosts no servers: a nil ServerIDs
+	// would fall back to the default 1..NumServers construction.
+	rcfg.ServerIDs = append([]ids.Server{}, servers...)
+	r.world = rdpcore.NewWorldWith(k, rcfg, r.link, nil)
+	relay.target = r.world.NetObserver()
+	return r
+}
+
+// validateBase rejects configurations the partitioned engine cannot
+// honor.
+func validateBase(base rdpcore.Config, regions int) {
+	if base.WiredFaults != nil || base.WiredARQ.Enabled {
+		panic("psim: wired faults/ARQ are not supported across regions")
+	}
+	if base.WiredSeq != nil || base.WirelessSeq != nil {
+		panic("psim: adversarial sequencers are not supported")
+	}
+	if regions == 1 {
+		return
+	}
+	// A mobile host's self-armed timers (retry, refresh, deadline, busy
+	// backoff) are events on the kernel that scheduled them; after a
+	// region transfer they would fire on the old region's kernel and
+	// race with the host's new owner. Scripted workloads replace them.
+	if base.RequestTimeout != 0 || base.GreetRefresh != 0 ||
+		base.RequestDeadline != 0 || base.BusyRetryBase != 0 {
+		panic("psim: MH-side timers (RequestTimeout/GreetRefresh/RequestDeadline/BusyRetryBase) must be zero with Regions > 1")
+	}
+	if base.Observer != nil {
+		panic("psim: a shared Config.Observer would run on multiple region threads; use per-region stats instead")
+	}
+}
+
+// nodeRegion maps a wired host to its owning region.
+func (pw *World) nodeRegion(n ids.NodeID) int {
+	switch n.Kind {
+	case ids.KindMSS:
+		if r, ok := pw.stationRegion[ids.MSS(n.Num)]; ok {
+			return r
+		}
+	case ids.KindServer:
+		if r, ok := pw.serverRegion[ids.Server(n.Num)]; ok {
+			return r
+		}
+	}
+	panic(fmt.Sprintf("psim: %v belongs to no region", n))
+}
+
+// emitWired parks an outbound wired frame in the source region's
+// outbox. Runs on the source region's worker, inside a window.
+func (pw *World) emitWired(r *region, f netsim.CrossFrame) {
+	dst := pw.nodeRegion(f.To)
+	dr := pw.regions[dst]
+	r.outbox = append(r.outbox, frame{
+		arrival: f.Arrival,
+		src:     r.idx,
+		seq:     r.nextSeq,
+		dst:     dst,
+		fire:    func() { dr.link.Deliver(f) },
+	})
+	r.nextSeq++
+}
+
+// RunUntil advances the whole partitioned simulation to instant d,
+// window by window. Like the serial kernel's RunUntil, events stamped
+// exactly d still execute, and every region's clock reads d afterwards.
+func (pw *World) RunUntil(d time.Duration) {
+	stepLimit := sim.Time(d) + 1
+	pool := pw.startPool()
+	for {
+		t, ok := pw.low()
+		if !ok || t >= stepLimit {
+			break
+		}
+		end := t + pw.lookahead
+		if end > stepLimit {
+			end = stepLimit
+		}
+		pw.inject(end)
+		pw.step(pool, end)
+		pw.collect()
+	}
+	pool.stop()
+	for _, r := range pw.regions {
+		r.kernel.AdvanceTo(sim.Time(d))
+	}
+}
+
+// low returns the earliest instant at which anything can happen: the
+// minimum over region kernels' next events and parked frame arrivals.
+// Starting each window there (rather than at the previous window's end)
+// skips idle stretches in one hop.
+func (pw *World) low() (sim.Time, bool) {
+	var best sim.Time
+	ok := false
+	for _, r := range pw.regions {
+		if at, has := r.kernel.NextEventAt(); has && (!ok || at < best) {
+			best, ok = at, true
+		}
+	}
+	if len(pw.pending) > 0 {
+		if a := pw.pending[0].arrival; !ok || a < best {
+			best, ok = a, true
+		}
+	}
+	return best, ok
+}
+
+// inject moves every parked frame with arrival < end into its
+// destination kernel, in (arrival, src, seq) order. It runs between
+// windows, single-threaded; kernel insertion order fixes the tie-break
+// among same-instant frames, making the merge deterministic.
+func (pw *World) inject(end sim.Time) {
+	for len(pw.pending) > 0 && pw.pending[0].arrival < end {
+		f := pw.pending.pop()
+		pw.regions[f.dst].kernel.DeferAt(f.arrival, f.fire)
+	}
+}
+
+// step executes one window on every region, in parallel when a pool is
+// running.
+func (pw *World) step(p *pool, end sim.Time) {
+	if p == nil {
+		for _, r := range pw.regions {
+			r.kernel.StepUntil(end)
+		}
+		return
+	}
+	p.run(end)
+}
+
+// collect drains every region's outbox into the pending heap, in region
+// order (the frames' own (arrival, src, seq) keys make the heap order
+// independent of drain order; region order keeps it reproducible
+// anyway).
+func (pw *World) collect() {
+	for _, r := range pw.regions {
+		for _, f := range r.outbox {
+			pw.pending.push(f)
+			pw.crossFrames++
+		}
+		r.outbox = r.outbox[:0]
+	}
+}
+
+// pool runs the per-window region stepping on persistent worker
+// goroutines. Regions are dealt round-robin; the barrier is two channel
+// rounds per window (start fan-out, done fan-in), which also carry the
+// happens-before edges that hand region state between the coordinator
+// and the workers.
+type pool struct {
+	start []chan sim.Time
+	done  chan struct{}
+}
+
+func (pw *World) startPool() *pool {
+	if pw.workers <= 1 {
+		return nil
+	}
+	p := &pool{done: make(chan struct{}, pw.workers)}
+	for w := 0; w < pw.workers; w++ {
+		var regs []*region
+		for i := w; i < len(pw.regions); i += pw.workers {
+			regs = append(regs, pw.regions[i])
+		}
+		ch := make(chan sim.Time)
+		p.start = append(p.start, ch)
+		go func(regs []*region, ch chan sim.Time) {
+			for end := range ch {
+				for _, r := range regs {
+					r.kernel.StepUntil(end)
+				}
+				p.done <- struct{}{}
+			}
+		}(regs, ch)
+	}
+	return p
+}
+
+func (p *pool) run(end sim.Time) {
+	for _, ch := range p.start {
+		ch <- end
+	}
+	for range p.start {
+		<-p.done
+	}
+}
+
+func (p *pool) stop() {
+	if p == nil {
+		return
+	}
+	for _, ch := range p.start {
+		close(ch)
+	}
+}
+
+// frameHeap is a binary min-heap of frames ordered by
+// (arrival, src, seq).
+type frameHeap []frame
+
+func frameLess(a, b frame) bool {
+	if a.arrival != b.arrival {
+		return a.arrival < b.arrival
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+func (h *frameHeap) push(f frame) {
+	*h = append(*h, f)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !frameLess(f, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = f
+}
+
+func (h *frameHeap) pop() frame {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	f := q[n]
+	q[n] = frame{}
+	*h = q[:n]
+	if n > 0 {
+		q = q[:n]
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if r := c + 1; r < n && frameLess(q[r], q[c]) {
+				c = r
+			}
+			if !frameLess(q[c], f) {
+				break
+			}
+			q[i] = q[c]
+			i = c
+		}
+		q[i] = f
+	}
+	return top
+}
+
+// SubSeed derives region and per-entity seeds from a master seed
+// (splitmix64 over the pair): independent streams that are stable
+// across runs and partitions.
+func SubSeed(seed, idx int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(idx+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

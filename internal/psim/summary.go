@@ -1,0 +1,115 @@
+package psim
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/rdpcore"
+)
+
+// Summary aggregates the headline metrics over all regions. These are
+// the partition-invariant numbers: scripted workloads issue the same
+// requests under any partition, the protocol delivers every one of them
+// exactly once, so Issued, Delivered, Ratio and Duplicates must agree
+// between a 1-region and an R-region run of the same seed. The
+// remaining fields are exact across worker counts for a fixed
+// partition, but may legitimately differ across partitions (a region
+// transfer delays a migrating host by one lookahead, shifting hand-off
+// and retransmission timing).
+type Summary struct {
+	Issued     int64
+	Delivered  int64
+	Ratio      float64
+	Duplicates int64
+
+	Handoffs        int64
+	Retransmissions int64
+	UpdateCurrLocs  int64
+	AckForwards     int64
+	WirelessDrops   int64
+	WiredDrops      int64
+	NetworkShed     int64
+	Violations      int64
+
+	// CrossFrames counts frames that crossed a region boundary (wired
+	// messages + host transfers); zero with one region.
+	CrossFrames int64
+	// Steps sums executed events over all region kernels.
+	Steps uint64
+}
+
+// Summary computes the aggregate. Call after RunUntil returns (it reads
+// per-region state single-threaded).
+func (pw *World) Summary() Summary {
+	var s Summary
+	for _, r := range pw.regions {
+		st := r.world.Stats
+		s.Issued += st.RequestsIssued.Value()
+		s.Delivered += st.ResultsDelivered.Value()
+		s.Duplicates += st.DuplicateDeliveries.Value()
+		s.Handoffs += st.Handoffs.Value()
+		s.Retransmissions += st.Retransmissions.Value()
+		s.UpdateCurrLocs += st.UpdateCurrLocs.Value()
+		s.AckForwards += st.AckForwards.Value()
+		s.WirelessDrops += st.WirelessDrops.Value()
+		s.WiredDrops += st.WiredDrops.Value()
+		s.NetworkShed += st.NetworkShed.Value()
+		s.Violations += st.Violations.Value()
+		s.Steps += r.kernel.Steps()
+	}
+	s.CrossFrames = pw.crossFrames
+	if s.Issued > 0 {
+		s.Ratio = float64(s.Delivered) / float64(s.Issued)
+	}
+	return s
+}
+
+// RegionStats returns each region's stats, in region order — the
+// fine-grained view behind Summary, used by the determinism tests to
+// compare serial and parallel runs counter by counter.
+func (pw *World) RegionStats() []*rdpcore.Stats {
+	out := make([]*rdpcore.Stats, len(pw.regions))
+	for i, r := range pw.regions {
+		out[i] = r.world.Stats
+	}
+	return out
+}
+
+// Regions returns the partition count.
+func (pw *World) Regions() int { return len(pw.regions) }
+
+// IssuedRequests returns every scripted request recorded during the
+// run, grouped by the region that issued it (region order, issue order
+// within a region).
+func (pw *World) IssuedRequests() [][]Issued {
+	out := make([][]Issued, len(pw.regions))
+	for i, r := range pw.regions {
+		out[i] = append([]Issued(nil), r.issued...)
+	}
+	return out
+}
+
+// MissingResults returns the scripted requests whose results never
+// reached their hosts — empty after a run with sufficient drain time,
+// per the delivery guarantee. Call after RunUntil.
+func (pw *World) MissingResults() []Issued {
+	var missing []Issued
+	for _, r := range pw.regions {
+		for _, iss := range r.issued {
+			if !pw.findMH(iss.MH).Seen(iss.Req) {
+				missing = append(missing, iss)
+			}
+		}
+	}
+	return missing
+}
+
+// findMH locates a host's node in whichever region currently owns it.
+func (pw *World) findMH(id ids.MH) *rdpcore.MHNode {
+	for _, r := range pw.regions {
+		if h, ok := r.world.MHs[id]; ok {
+			return h
+		}
+	}
+	panic(fmt.Sprintf("psim: %v not attached to any region", id))
+}

@@ -22,6 +22,13 @@ type Config struct {
 	// ids.MSS(1..NumMSS); servers are ids.Server(1..NumServers).
 	NumMSS     int
 	NumServers int
+	// Stations, when non-nil, overrides the default station set — the
+	// region-aware construction used by the parallel engine
+	// (internal/psim), where each region's world simulates only its own
+	// subset of the global stations. NumMSS is ignored when set.
+	Stations []ids.MSS
+	// ServerIDs likewise overrides ids.Server(1..NumServers).
+	ServerIDs []ids.Server
 
 	// WiredLatency and WirelessLatency model the substrates; defaults
 	// are 5ms wired, 20ms wireless (t_wired and t_wireless of §5).
@@ -232,15 +239,29 @@ func NewWorldOn(sched sim.Scheduler, cfg Config) *World {
 // configured from cfg). Custom transports — e.g. tcpnet's real TCP
 // sockets — must deliver messages serialized on the given scheduler.
 func NewWorldWith(sched sim.Scheduler, cfg Config, wired netsim.WiredTransport, wireless netsim.WirelessTransport) *World {
-	if cfg.NumMSS < 1 {
-		panic("rdpcore: Config.NumMSS must be >= 1")
+	stations := cfg.Stations
+	if stations == nil {
+		if cfg.NumMSS < 1 {
+			panic("rdpcore: Config.NumMSS must be >= 1")
+		}
+		for i := 1; i <= cfg.NumMSS; i++ {
+			stations = append(stations, ids.MSS(i))
+		}
+	} else if len(stations) == 0 {
+		panic("rdpcore: Config.Stations must not be empty")
+	}
+	servers := cfg.ServerIDs
+	if servers == nil {
+		for i := 1; i <= cfg.NumServers; i++ {
+			servers = append(servers, ids.Server(i))
+		}
 	}
 	w := &World{
 		cfg:     cfg,
 		Stats:   NewStats(),
 		Kernel:  sched,
-		MSSs:    make(map[ids.MSS]*MSSNode, cfg.NumMSS),
-		Servers: make(map[ids.Server]*server.AppServer, cfg.NumServers),
+		MSSs:    make(map[ids.MSS]*MSSNode, len(stations)),
+		Servers: make(map[ids.Server]*server.AppServer, len(servers)),
 		MHs:     make(map[ids.MH]*MHNode),
 		loc:     make(map[ids.MH]ids.MSS),
 		active:  make(map[ids.MH]bool),
@@ -248,13 +269,13 @@ func NewWorldWith(sched sim.Scheduler, cfg Config, wired netsim.WiredTransport, 
 		store:   newStableStore(),
 	}
 
-	members := make([]ids.NodeID, 0, cfg.NumMSS+cfg.NumServers)
-	for i := 1; i <= cfg.NumMSS; i++ {
-		w.mssList = append(w.mssList, ids.MSS(i))
-		members = append(members, ids.MSS(i).Node())
+	members := make([]ids.NodeID, 0, len(stations)+len(servers))
+	for _, id := range stations {
+		w.mssList = append(w.mssList, id)
+		members = append(members, id.Node())
 	}
-	for i := 1; i <= cfg.NumServers; i++ {
-		members = append(members, ids.Server(i).Node())
+	for _, id := range servers {
+		members = append(members, id.Node())
 	}
 
 	obs := w.statsObserver(cfg.Observer)
@@ -289,13 +310,20 @@ func NewWorldWith(sched sim.Scheduler, cfg Config, wired netsim.WiredTransport, 
 		w.Wired.Register(id.Node(), n)
 		w.Wireless.RegisterMSS(id, n)
 	}
-	for i := 1; i <= cfg.NumServers; i++ {
-		id := ids.Server(i)
+	for _, id := range servers {
 		s := server.New(id, w.Kernel, w.Wired, cfg.ServerProc, cfg.ServerHandler)
 		w.Servers[id] = s
 		w.Wired.Register(id.Node(), s)
 	}
 	return w
+}
+
+// NetObserver returns the world's network-event observer — the internal
+// accounting chained with Config.Observer. Custom transports built
+// before the world exists (the parallel engine's per-region substrates)
+// bind it after construction so their events reach the same stats.
+func (w *World) NetObserver() netsim.Observer {
+	return w.statsObserver(w.cfg.Observer)
 }
 
 // statsObserver chains the world's internal accounting with an optional
@@ -415,6 +443,51 @@ func (w *World) Migrate(id ids.MH, cell ids.MSS) {
 	}
 	w.loc[id] = cell
 	if w.active[id] {
+		h.onMigrate(cell)
+	}
+}
+
+// DetachMH removes a mobile host from this world without ending its
+// protocol life: the node object — respMss belief, duplicate-detection
+// set, outstanding requests — survives and can be re-attached to another
+// world with AttachMH. This is the parallel engine's region hand-off:
+// the host is radio-silent while in transit between region worlds, and
+// its protocol state at the stations stays put (the next greet reaches
+// the old respMss over the wired path exactly as in a serial world). It
+// reports whether the host was active at detach time.
+func (w *World) DetachMH(id ids.MH) (h *MHNode, active bool) {
+	h, ok := w.MHs[id]
+	if !ok {
+		panic(fmt.Sprintf("rdpcore: unknown MH %v", id))
+	}
+	active = w.active[id]
+	delete(w.MHs, id)
+	delete(w.loc, id)
+	delete(w.active, id)
+	return h, active
+}
+
+// AttachMH inserts a detached mobile host into this world in the given
+// cell. An active host greets the cell's station immediately, naming its
+// old respMss — which lives in another region's world, so the hand-off
+// runs over the cross-region wired path. An inactive host is carried
+// silently and greets on the next SetActive, as §2 prescribes.
+func (w *World) AttachMH(h *MHNode, cell ids.MSS, active bool) {
+	if h == nil {
+		panic("rdpcore: AttachMH of nil host")
+	}
+	if _, dup := w.MHs[h.id]; dup {
+		panic(fmt.Sprintf("rdpcore: duplicate MH %v", h.id))
+	}
+	if _, ok := w.MSSs[cell]; !ok {
+		panic(fmt.Sprintf("rdpcore: unknown cell %v", cell))
+	}
+	h.w = w
+	w.MHs[h.id] = h
+	w.Wireless.RegisterMH(h.id, h)
+	w.loc[h.id] = cell
+	w.active[h.id] = active
+	if active && h.joined {
 		h.onMigrate(cell)
 	}
 }

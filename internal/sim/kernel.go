@@ -204,7 +204,37 @@ func (k *Kernel) pop() *event {
 		}
 		q[i] = e
 	}
+	k.maybeShrink(n)
 	return top
+}
+
+// shrinkMinCap is the queue capacity below which the heap never shrinks:
+// small steady-state queues keep their backing array so the common case
+// stays allocation-free. Only a genuine burst (thousands of concurrent
+// events) trips the release path.
+const shrinkMinCap = 1024
+
+// maybeShrink releases most of a burst's memory once the queue drains
+// below a quarter of its capacity: without it the heap's backing array —
+// and, through the free list, every event the burst allocated — stays
+// pinned at the high-water mark for the rest of the run. Halving per
+// shrink keeps the cost amortized O(1) per pop.
+func (k *Kernel) maybeShrink(n int) {
+	c := cap(k.queue)
+	if c < shrinkMinCap || n >= c/4 {
+		return
+	}
+	nc := c / 2
+	nq := make([]*event, n, nc)
+	copy(nq, k.queue)
+	k.queue = nq
+	// The free list grew to the same burst size; cap it at the shrunk
+	// queue capacity so the retired events can be collected too.
+	if len(k.free) > nc {
+		nf := make([]*event, nc)
+		copy(nf, k.free[:nc])
+		k.free = nf
+	}
 }
 
 // Step executes the next pending event. It reports whether an event was
@@ -248,6 +278,57 @@ func (k *Kernel) RunUntil(deadline Time) {
 	if k.now < deadline {
 		k.now = deadline
 	}
+}
+
+// StepUntil executes every event with timestamp strictly below limit and
+// reports how many ran. Unlike RunUntil it does not advance the clock to
+// limit afterwards: the clock stays at the last executed event, so a
+// caller can keep injecting events anywhere in [now, limit) between
+// windows. It is the kernel barrier primitive of the conservative
+// parallel engine (internal/psim): each region steps its kernel through
+// the window [T, T+lookahead) and then synchronizes.
+func (k *Kernel) StepUntil(limit Time) uint64 {
+	var ran uint64
+	for !k.stopped {
+		next := k.peek()
+		if next == nil || next.at >= limit {
+			break
+		}
+		k.Step()
+		ran++
+	}
+	return ran
+}
+
+// NextEventAt returns the timestamp of the earliest pending event; ok is
+// false when nothing is scheduled.
+func (k *Kernel) NextEventAt() (at Time, ok bool) {
+	e := k.peek()
+	if e == nil {
+		return 0, false
+	}
+	return e.at, true
+}
+
+// DeferAt schedules fn at the absolute instant at with no cancellation
+// handle — the zero-allocation analogue of At, used to inject
+// cross-region frames at their precomputed arrival instants. Instants in
+// the past are clamped to now.
+func (k *Kernel) DeferAt(at Time, fn func()) { k.schedule(at, fn) }
+
+// AdvanceTo moves the clock forward to t without executing anything. It
+// panics if a pending event precedes t — virtual time must not skip an
+// unprocessed event. Used by window runners to align region clocks at
+// the end of a run (the serial RunUntil's final clock advance, factored
+// out).
+func (k *Kernel) AdvanceTo(t Time) {
+	if t <= k.now {
+		return
+	}
+	if e := k.peek(); e != nil && e.at < t {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) would skip event at %v", t, e.at))
+	}
+	k.now = t
 }
 
 // RunLimit executes at most n events; it reports how many ran. It guards

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// StepUntil must execute strictly below the limit and leave the clock at
+// the last executed event, so callers can inject more work anywhere in
+// [now, limit) between windows.
+func TestStepUntilIsExclusiveAndKeepsClock(t *testing.T) {
+	k := NewKernel(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond} {
+		d := d
+		k.After(d, func() { fired = append(fired, d) })
+	}
+	ran := k.StepUntil(Time(2 * time.Millisecond))
+	if ran != 1 || len(fired) != 1 || fired[0] != 1*time.Millisecond {
+		t.Fatalf("StepUntil(2ms): ran=%d fired=%v", ran, fired)
+	}
+	if k.Now() != Time(1*time.Millisecond) {
+		t.Fatalf("clock advanced to %v, want 1ms (limit must not drag the clock)", k.Now())
+	}
+	// An event injected inside the already-stepped window must still run
+	// in timestamp order on the next window.
+	k.DeferAt(Time(1500*time.Microsecond), func() { fired = append(fired, 1500*time.Microsecond) })
+	k.StepUntil(Time(4 * time.Millisecond))
+	want := []time.Duration{1 * time.Millisecond, 1500 * time.Microsecond, 2 * time.Millisecond, 3 * time.Millisecond}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestStepUntilBoundaryEventStaysQueued(t *testing.T) {
+	k := NewKernel(1)
+	ran := false
+	k.After(5*time.Millisecond, func() { ran = true })
+	if n := k.StepUntil(Time(5 * time.Millisecond)); n != 0 || ran {
+		t.Fatalf("event at the limit executed (n=%d ran=%v); window is [_, limit)", n, ran)
+	}
+	if n := k.StepUntil(Time(5*time.Millisecond + 1)); n != 1 || !ran {
+		t.Fatalf("event just below the next limit did not execute (n=%d ran=%v)", n, ran)
+	}
+}
+
+func TestNextEventAt(t *testing.T) {
+	k := NewKernel(1)
+	if _, ok := k.NextEventAt(); ok {
+		t.Fatal("empty kernel reported a next event")
+	}
+	tm := k.At(Time(7*time.Millisecond), func() {})
+	k.After(3*time.Millisecond, func() {})
+	if at, ok := k.NextEventAt(); !ok || at != Time(3*time.Millisecond) {
+		t.Fatalf("NextEventAt = %v,%v; want 3ms,true", at, ok)
+	}
+	// Cancelled events must be invisible.
+	k.Step()
+	tm.Cancel()
+	if _, ok := k.NextEventAt(); ok {
+		t.Fatal("cancelled event visible through NextEventAt")
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	k := NewKernel(1)
+	k.AdvanceTo(Time(10 * time.Millisecond))
+	if k.Now() != Time(10*time.Millisecond) {
+		t.Fatalf("Now = %v, want 10ms", k.Now())
+	}
+	k.AdvanceTo(Time(5 * time.Millisecond)) // backwards: no-op
+	if k.Now() != Time(10*time.Millisecond) {
+		t.Fatalf("AdvanceTo moved the clock backwards to %v", k.Now())
+	}
+	k.After(1*time.Millisecond, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo past a pending event did not panic")
+		}
+	}()
+	k.AdvanceTo(Time(20 * time.Millisecond))
+}
+
+// A burst that inflates the heap must not pin its high-water backing
+// array (or the matching free-list growth) for the rest of the run.
+func TestQueueShrinksAfterBurst(t *testing.T) {
+	k := NewKernel(1)
+	const burst = 1 << 15
+	for i := 0; i < burst; i++ {
+		k.Defer(time.Duration(i)*time.Microsecond, func() {})
+	}
+	if cap(k.queue) < burst {
+		t.Fatalf("burst did not grow the heap: cap=%d", cap(k.queue))
+	}
+	k.Run()
+	if c := cap(k.queue); c >= shrinkMinCap {
+		t.Fatalf("drained queue kept cap=%d, want < %d", c, shrinkMinCap)
+	}
+	if f := len(k.free); f > shrinkMinCap {
+		t.Fatalf("free list kept %d retired events, want <= %d", f, shrinkMinCap)
+	}
+	// The kernel must still work after shrinking.
+	ran := 0
+	for i := 0; i < 100; i++ {
+		k.Defer(time.Duration(i)*time.Microsecond, func() { ran++ })
+	}
+	k.Run()
+	if ran != 100 {
+		t.Fatalf("post-shrink events ran %d/100", ran)
+	}
+}
+
+// Steady-state alloc budget around the shrink path: a sawtooth load that
+// repeatedly grows to a sub-threshold size and drains must stay
+// allocation-free once warm (the shrink threshold exists precisely so
+// the common case never reallocates).
+func TestShrinkDoesNotBreakSteadyStateAllocs(t *testing.T) {
+	k := NewKernel(1)
+	saw := func() {
+		for i := 0; i < shrinkMinCap/2; i++ {
+			k.Defer(time.Duration(i), func() {})
+		}
+		k.Run()
+	}
+	saw() // warm the free list and heap
+	allocs := testing.AllocsPerRun(20, saw)
+	if allocs > 0 {
+		t.Fatalf("sub-threshold sawtooth allocates %.1f/run, want 0", allocs)
+	}
+}
