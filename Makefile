@@ -49,8 +49,11 @@ bench-compare:
 	status=$$?; rm -rf /tmp/rdpbench.$$$$; exit $$status
 
 # Profile a quick evaluation pass: writes cpu.pprof and mem.pprof in the
-# repo root (gitignored) for `go tool pprof`.
+# repo root (gitignored) for `go tool pprof`. Stale profiles from an
+# earlier run are removed first, so a failed pass can't leave an old
+# profile masquerading as this run's.
 bench-profile:
+	rm -f cpu.pprof mem.pprof
 	go run ./cmd/rdpbench -quick -cpuprofile cpu.pprof -memprofile mem.pprof
 
 cover:

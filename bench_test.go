@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's evaluation: one Benchmark per
-// experiment table (DESIGN.md E1–E13) plus the Figure 3/4 and
+// experiment table (DESIGN.md E1–E13, E17) plus the Figure 3/4 and
 // migration scenario replays. Each iteration runs the full experiment at test scale and
 // reports its headline quantity as a custom metric, so
 //
@@ -211,6 +211,30 @@ func BenchmarkMigrationReplay(b *testing.B) {
 			b.Fatal("migration replay did not complete a migration")
 		}
 	}
+}
+
+// BenchmarkE17Disconnect regenerates E17 at bench scale: disconnection
+// windows × MSS crashes × proxy migration over the offline queue,
+// atomic batches and the station result cache. Reported metrics: total
+// lost requests plus partially-delivered batches across the sweep (must
+// be 0), total clean batch aborts (the stranded batches on the long
+// rows — must be > 0, proving the deadline path runs), and the minimum
+// cache hit ratio (must be ≥ 0.5 on the repeated-query workload).
+func BenchmarkE17Disconnect(b *testing.B) {
+	var lostPartial, aborted, minHit float64
+	for i := 0; i < b.N; i++ {
+		lostPartial, aborted, minHit = 0, 0, 1
+		for _, r := range experiments.E17Disconnected(int64(i+1), benchScale()) {
+			lostPartial += float64(r.Lost + r.BatchPartial)
+			aborted += float64(r.BatchAborted)
+			if r.HitRatio < minHit {
+				minHit = r.HitRatio
+			}
+		}
+	}
+	b.ReportMetric(lostPartial, "lost+partial")
+	b.ReportMetric(aborted, "clean-aborts")
+	b.ReportMetric(minHit, "min-hit-ratio")
 }
 
 // BenchmarkTCPRoundTrip measures one request→result round trip over the

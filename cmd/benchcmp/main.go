@@ -38,6 +38,7 @@ func run(args []string, stdout io.Writer) (int, error) {
 		allocRatio = fs.Float64("alloc-ratio", 0, "allocs/op regression threshold (0 = default 1.25)")
 		nsRatio    = fs.Float64("ns-ratio", 0, "ns/op regression threshold (0 = report only)")
 		metricTol  = fs.Float64("metric-tol", 0, "headline metric relative tolerance (0 = default 1e-9)")
+		only       = fs.String("only", "", "compare only the named experiment (for single-experiment smoke gates)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -52,6 +53,13 @@ func run(args []string, stdout io.Writer) (int, error) {
 	cur, err := benchcmp.Load(*newPath)
 	if err != nil {
 		return 2, err
+	}
+	if *only != "" {
+		base = filter(base, *only)
+		cur = filter(cur, *only)
+		if len(base.Entries) == 0 {
+			return 2, fmt.Errorf("no entry %q in baseline %s", *only, *basePath)
+		}
 	}
 	opts := benchcmp.DefaultOptions()
 	if *allocRatio > 0 {
@@ -75,4 +83,18 @@ func run(args []string, stdout io.Writer) (int, error) {
 	}
 	fmt.Fprintln(stdout, "PASS: within thresholds")
 	return 0, nil
+}
+
+// filter narrows a snapshot to the single named entry, so a smoke job
+// that regenerated one experiment can gate it against the full
+// committed baseline without tripping the missing-entry check.
+func filter(s benchcmp.Snapshot, name string) benchcmp.Snapshot {
+	kept := s.Entries[:0:0]
+	for _, e := range s.Entries {
+		if e.Name == name {
+			kept = append(kept, e)
+		}
+	}
+	s.Entries = kept
+	return s
 }

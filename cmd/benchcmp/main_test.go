@@ -63,6 +63,50 @@ func TestLooseThresholdOverride(t *testing.T) {
 	}
 }
 
+// TestOnlyFilterIgnoresOtherBaseEntries compares a single-experiment
+// snapshot against a multi-entry baseline: without -only the other
+// baseline entries count as missing and fail; with -only the gate
+// narrows to the named experiment (the e17-smoke CI shape).
+func TestOnlyFilterIgnoresOtherBaseEntries(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if err := benchcmp.Save(base, benchcmp.Snapshot{
+		Stamp: "base",
+		Entries: []benchcmp.Entry{
+			{Name: "e1", NsOp: 1e6, AllocsOp: 1000, MetricName: "ratio", Metric: 1},
+			{Name: "e17", NsOp: 1e6, AllocsOp: 1000, MetricName: "guarded", Metric: 0.7},
+		},
+	}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	cur := filepath.Join(dir, "cur.json")
+	if err := benchcmp.Save(cur, benchcmp.Snapshot{
+		Stamp: "cur",
+		Entries: []benchcmp.Entry{
+			{Name: "e17", NsOp: 1.1e6, AllocsOp: 1010, MetricName: "guarded", Metric: 0.7},
+		},
+	}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+
+	var out bytes.Buffer
+	code, err := run([]string{"-base", base, "-new", cur}, &out)
+	if err != nil || code != 1 {
+		t.Fatalf("unfiltered compare: code=%d err=%v, want missing-entry failure\n%s", code, err, out.String())
+	}
+
+	out.Reset()
+	code, err = run([]string{"-only", "e17", "-base", base, "-new", cur}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("-only e17: code=%d err=%v\n%s", code, err, out.String())
+	}
+
+	out.Reset()
+	if _, err := run([]string{"-only", "e99", "-base", base, "-new", cur}, &out); err == nil {
+		t.Fatal("-only with unknown experiment accepted")
+	}
+}
+
 func TestMissingNewFlag(t *testing.T) {
 	var out bytes.Buffer
 	if _, err := run(nil, &out); err == nil {

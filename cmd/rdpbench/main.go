@@ -1,5 +1,5 @@
 // Command rdpbench regenerates the evaluation of the RDP paper: every
-// experiment of DESIGN.md (E1–E13) as a printed table. Run all of them,
+// experiment of DESIGN.md (E1–E13, E17) as a printed table. Run all of them,
 // or a subset:
 //
 //	rdpbench                 # everything, standard scale
@@ -69,6 +69,7 @@ var allRuns = []runSpec{
 	{"e11", printE11, metricE11},
 	{"e12", printE12, metricE12},
 	{"e13", printE13, metricE13},
+	{"e17", printE17, metricE17},
 }
 
 // e13RegionList/e13Workers carry the -regions/-serial flags into the
@@ -82,7 +83,7 @@ var (
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("rdpbench", flag.ContinueOnError)
 	var (
-		expFlag = fs.String("exp", "all", "comma-separated experiments to run (e1..e13, or all)")
+		expFlag = fs.String("exp", "all", "comma-separated experiments to run (e1..e13, e17, or all)")
 		seed    = fs.Int64("seed", 1, "random seed")
 		quick   = fs.Bool("quick", false, "reduced scale for a fast pass")
 		csv     = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
@@ -116,22 +117,35 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			os.Remove(*cpuProf)
 			return err
 		}
-		defer pprof.StopCPUProfile()
+		// Runs on every exit path, early errors included: the profile is
+		// flushed by StopCPUProfile before the close, and a close failure
+		// (full disk, dead NFS handle) is reported instead of silently
+		// truncating the profile.
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "rdpbench: cpuprofile:", err)
+			}
+		}()
 	}
 	if *memProf != "" {
+		// Create up front so an unwritable path fails before the run, not
+		// after minutes of benchmarking.
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
 		defer func() {
-			f, err := os.Create(*memProf)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "rdpbench: memprofile:", err)
-				return
-			}
-			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rdpbench: memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "rdpbench: memprofile:", err)
 			}
 		}()
@@ -155,7 +169,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if len(sel) == 0 {
-		return fmt.Errorf("no experiment matched %q (use e1..e13 or all)", *expFlag)
+		return fmt.Errorf("no experiment matched %q (use e1..e13, e17, or all)", *expFlag)
 	}
 
 	if *jsonOut {
@@ -504,6 +518,36 @@ func printE13(r *renderer, seed int64, sc experiments.Scale) {
 			dur(row.Wall), f(row.Speedup, 2), fmt.Sprint(row.HeadlineEq))
 	}
 	r.emit(t)
+}
+
+func printE17(r *renderer, seed int64, sc experiments.Scale) {
+	r.header("E17", "disconnected operation: offline queue + atomic batches + station result cache")
+	t := metrics.NewTable("disc-dur", "crashes", "migration", "issued", "delivered", "lost", "replayed",
+		"batches", "b-del", "b-abort", "b-partial", "migrations", "hits", "misses", "stale", "hit-ratio")
+	for _, row := range experiments.E17Disconnected(seed, sc) {
+		t.AddRow(dur(row.DisconnectDur), strconv.Itoa(row.Crashes), fmt.Sprint(row.Migration),
+			d(row.Issued), d(row.Delivered), d(row.Lost), d(row.Replayed),
+			d(row.Batches), d(row.BatchDelivered), d(row.BatchAborted), d(row.BatchPartial),
+			d(row.Migrations), d(row.CacheHits), d(row.CacheMisses), d(row.CacheStale), f(row.HitRatio, 4))
+	}
+	r.emit(t)
+}
+
+// metricE17 is the snapshot headline: the minimum cache hit ratio
+// across the sweep, forced to -1 whenever any row loses a request or
+// partially delivers a batch — benchcmp then fails the e17-smoke gate
+// on either a broken guarantee or a collapsed cache.
+func metricE17(seed int64, sc experiments.Scale) (string, float64) {
+	min := 1.0
+	for _, row := range experiments.E17Disconnected(seed, sc) {
+		if row.Lost > 0 || row.BatchPartial > 0 {
+			return "guarded_min_hit_ratio", -1
+		}
+		if row.HitRatio < min {
+			min = row.HitRatio
+		}
+	}
+	return "guarded_min_hit_ratio", min
 }
 
 // metricE13 is the snapshot headline: total delivered across the sweep.

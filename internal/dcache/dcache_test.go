@@ -1,0 +1,132 @@
+package dcache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func key(server uint32, payload string) Key {
+	return Key{Server: 1, Digest: Digest([]byte(payload))}
+}
+
+func TestDisabledConfig(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero config must be disabled")
+	}
+	if (Config{TTL: time.Second}).Enabled() {
+		t.Error("TTL alone (unbounded storage) must be disabled")
+	}
+	if c := New(Config{}); c != nil {
+		t.Error("New(disabled) must return nil")
+	}
+	// Every method must tolerate the nil cache.
+	var c *Cache
+	if _, out := c.Get(key(1, "q"), 0); out != Miss {
+		t.Errorf("nil Get outcome = %v, want miss", out)
+	}
+	c.Put(key(1, "q"), []byte("r"), 0)
+	if c.Len() != 0 || c.Bytes() != 0 || c.Evictions() != 0 {
+		t.Error("nil cache reports non-zero accounting")
+	}
+}
+
+func TestHitMissStale(t *testing.T) {
+	c := New(Config{TTL: 10 * time.Second, MaxEntries: 8})
+	k := key(1, "query")
+	if _, out := c.Get(k, 0); out != Miss {
+		t.Fatalf("empty cache Get = %v, want miss", out)
+	}
+	c.Put(k, []byte("result"), time.Second)
+	got, out := c.Get(k, 5*time.Second)
+	if out != Hit || string(got) != "result" {
+		t.Fatalf("Get = %q,%v; want result,hit", got, out)
+	}
+	// Past the TTL the entry is stale: reported once, then gone.
+	if _, out := c.Get(k, 12*time.Second); out != Stale {
+		t.Fatalf("expired Get = %v, want stale", out)
+	}
+	if _, out := c.Get(k, 12*time.Second); out != Miss {
+		t.Fatalf("Get after stale eviction = %v, want miss", out)
+	}
+	if c.Len() != 0 {
+		t.Errorf("stale entry not removed: len=%d", c.Len())
+	}
+}
+
+func TestLRUEvictionByEntries(t *testing.T) {
+	c := New(Config{MaxEntries: 3})
+	for i := 0; i < 3; i++ {
+		c.Put(key(1, fmt.Sprint("q", i)), []byte("r"), 0)
+	}
+	// Touch q0 so q1 becomes the LRU victim.
+	if _, out := c.Get(key(1, "q0"), 0); out != Hit {
+		t.Fatal("expected q0 hit")
+	}
+	c.Put(key(1, "q3"), []byte("r"), 0)
+	if _, out := c.Get(key(1, "q1"), 0); out != Miss {
+		t.Error("q1 should have been the LRU eviction victim")
+	}
+	for _, q := range []string{"q0", "q2", "q3"} {
+		if _, out := c.Get(key(1, q), 0); out != Hit {
+			t.Errorf("%s evicted; want it retained", q)
+		}
+	}
+	if c.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1", c.Evictions())
+	}
+}
+
+func TestByteBudgetEviction(t *testing.T) {
+	c := New(Config{MaxBytes: 100})
+	c.Put(key(1, "a"), make([]byte, 60), 0)
+	c.Put(key(1, "b"), make([]byte, 30), 0)
+	if c.Bytes() != 90 {
+		t.Fatalf("bytes = %d, want 90", c.Bytes())
+	}
+	// 40 more bytes must push out the LRU entry ("a").
+	c.Put(key(1, "c"), make([]byte, 40), 0)
+	if _, out := c.Get(key(1, "a"), 0); out != Miss {
+		t.Error("oldest entry survived the byte budget")
+	}
+	if c.Bytes() != 70 || c.Len() != 2 {
+		t.Errorf("bytes=%d len=%d, want 70/2", c.Bytes(), c.Len())
+	}
+	// An oversized payload is refused outright, evicting nothing.
+	c.Put(key(1, "huge"), make([]byte, 101), 0)
+	if c.Len() != 2 {
+		t.Error("oversized payload disturbed the cache")
+	}
+}
+
+func TestPutReplaceAdjustsBytes(t *testing.T) {
+	c := New(Config{MaxBytes: 100})
+	k := key(1, "q")
+	c.Put(k, make([]byte, 80), 0)
+	c.Put(k, make([]byte, 10), time.Second)
+	if c.Bytes() != 10 || c.Len() != 1 {
+		t.Errorf("bytes=%d len=%d after replace, want 10/1", c.Bytes(), c.Len())
+	}
+	// The replacement refreshed storedAt, so TTL counts from the second Put.
+	c2 := New(Config{TTL: 5 * time.Second, MaxEntries: 4})
+	c2.Put(k, []byte("old"), 0)
+	c2.Put(k, []byte("new"), 4*time.Second)
+	if got, out := c2.Get(k, 8*time.Second); out != Hit || string(got) != "new" {
+		t.Errorf("Get after replace = %q,%v; want new,hit", got, out)
+	}
+}
+
+func TestDigestDistinguishesPayloads(t *testing.T) {
+	if Digest([]byte("a")) == Digest([]byte("b")) {
+		t.Error("digest collision on trivial inputs")
+	}
+	if Digest(nil) != Digest([]byte{}) {
+		t.Error("nil and empty payloads must digest equally")
+	}
+	// Same digest, different server => different key.
+	k1 := Key{Server: 1, Digest: Digest([]byte("q"))}
+	k2 := Key{Server: 2, Digest: Digest([]byte("q"))}
+	if k1 == k2 {
+		t.Error("server must be part of the key")
+	}
+}

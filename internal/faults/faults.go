@@ -58,6 +58,16 @@ type Crash struct {
 	RestartAt time.Duration
 }
 
+// Disconnect schedules one MH disconnection window (E17): the host
+// drops off the radio at At — issued requests journal to the offline
+// queue — and reconnects at ReconnectAt, replaying the queue. A zero
+// ReconnectAt leaves the host disconnected for the rest of the run.
+type Disconnect struct {
+	MH          ids.MH
+	At          time.Duration
+	ReconnectAt time.Duration
+}
+
 // Slowdown makes one MSS process every inbox message Extra slower
 // during [Start, End) — the slow-station fault mode of E11 (an
 // overloaded or thermally throttled support station, not a crashed
@@ -88,6 +98,8 @@ type Plan struct {
 	Partitions []Partition
 	// Crashes lists MSS crash/restart windows.
 	Crashes []Crash
+	// Disconnects lists MH disconnection windows (E17).
+	Disconnects []Disconnect
 	// Slowdowns lists timed per-station processing slowdowns.
 	Slowdowns []Slowdown
 	// Spikes lists timed offered-load multipliers.
@@ -106,6 +118,9 @@ type Stats struct {
 	// Crashes and Restarts count executed schedule entries.
 	Crashes  metrics.Counter
 	Restarts metrics.Counter
+	// Disconnects and Reconnects count executed disconnection windows.
+	Disconnects metrics.Counter
+	Reconnects  metrics.Counter
 }
 
 // Injector executes a Plan. It implements netsim.FaultHook.
@@ -225,6 +240,24 @@ func (inj *Injector) Schedule(crash, restart func(ids.MSS)) {
 			inj.k.Defer(c.RestartAt, func() {
 				inj.Stats.Restarts.Inc()
 				restart(c.MSS)
+			})
+		}
+	}
+}
+
+// ScheduleDisconnects arms the plan's MH disconnection windows. The
+// callbacks are typically World.Disconnect and World.Reconnect.
+func (inj *Injector) ScheduleDisconnects(disconnect, reconnect func(ids.MH)) {
+	for _, d := range inj.plan.Disconnects {
+		d := d
+		inj.k.Defer(d.At, func() {
+			inj.Stats.Disconnects.Inc()
+			disconnect(d.MH)
+		})
+		if d.ReconnectAt > d.At {
+			inj.k.Defer(d.ReconnectAt, func() {
+				inj.Stats.Reconnects.Inc()
+				reconnect(d.MH)
 			})
 		}
 	}

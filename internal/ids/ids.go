@@ -187,3 +187,36 @@ func (r RequestID) Less(o RequestID) bool {
 	}
 	return r.Seq < o.Seq
 }
+
+// BatchID identifies an atomic request batch opened by a mobile host.
+// Like RequestID, Seq is assigned by the origin MH and is unique per MH,
+// so a batch is identifiable across hand-offs, proxy migrations and
+// MSS crashes without any global coordination.
+type BatchID struct {
+	Origin MH
+	Seq    uint32
+}
+
+// NoBatch is the zero, invalid batch identifier. A request carrying
+// NoBatch is an ordinary, non-batched request.
+var NoBatch = BatchID{}
+
+// Valid reports whether the identifier denotes an actual batch.
+func (b BatchID) Valid() bool { return b.Origin.Valid() }
+
+// String returns e.g. "batch(mh3#7)".
+func (b BatchID) String() string {
+	if !b.Valid() {
+		return "batch(nil)"
+	}
+	return "batch(" + b.Origin.String() + "#" + strconv.FormatUint(uint64(b.Seq), 10) + ")"
+}
+
+// Less orders batch identifiers first by origin, then by sequence
+// number, mirroring RequestID.Less for deterministic iteration.
+func (b BatchID) Less(o BatchID) bool {
+	if b.Origin != o.Origin {
+		return b.Origin < o.Origin
+	}
+	return b.Seq < o.Seq
+}

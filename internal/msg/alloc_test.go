@@ -201,6 +201,14 @@ func decodeIntoReencode(m Message, enc []byte) ([]byte, error) {
 		return viaDecodeInto[PrefRedirect](enc)
 	case MigGC:
 		return viaDecodeInto[MigGC](enc)
+	case BatchOpen:
+		return viaDecodeInto[BatchOpen](enc)
+	case BatchItem:
+		return viaDecodeInto[BatchItem](enc)
+	case BatchCommit:
+		return viaDecodeInto[BatchCommit](enc)
+	case BatchAbort:
+		return viaDecodeInto[BatchAbort](enc)
 	}
 	return nil, ErrBadKind
 }

@@ -209,6 +209,15 @@ func (e *encoder) message(m Message) error {
 			e.bytes(r.Result)
 			e.bool(r.HasResult)
 			e.bool(r.Forwarded)
+			e.batch(r.Batch)
+		}
+		e.u32(uint32(len(v.Batches)))
+		for _, b := range v.Batches {
+			e.batch(b.Batch)
+			e.u32(b.Expected)
+			e.bool(b.Committed)
+			e.bool(b.Released)
+			e.bool(b.Aborted)
 		}
 	case PrefRedirect:
 		e.u32(uint32(v.MH))
@@ -220,6 +229,30 @@ func (e *encoder) message(m Message) error {
 		e.proxy(v.OldProxy)
 		e.proxy(v.NewProxy)
 		e.u32(uint32(v.MH))
+	case BatchOpen:
+		e.proxy(v.Proxy)
+		e.u32(uint32(v.MH))
+		e.batch(v.Batch)
+	case BatchItem:
+		e.proxy(v.Proxy)
+		e.u32(uint32(v.MH))
+		e.batch(v.Batch)
+		e.req(v.Req)
+		e.u32(uint32(v.Server))
+		e.bytes(v.Payload)
+	case BatchCommit:
+		e.proxy(v.Proxy)
+		e.u32(uint32(v.MH))
+		e.batch(v.Batch)
+		e.u32(v.Count)
+	case BatchAbort:
+		e.proxy(v.Proxy)
+		e.u32(uint32(v.MH))
+		e.batch(v.Batch)
+		e.u32(uint32(len(v.Reqs)))
+		for _, r := range v.Reqs {
+			e.req(r)
+		}
 	default:
 		return fmt.Errorf("%w: %T", ErrBadKind, m)
 	}
@@ -396,6 +429,20 @@ func decMigState(d *decoder) MigState {
 			Result:    d.bytes(),
 			HasResult: d.bool(),
 			Forwarded: d.bool(),
+			Batch:     d.batch(),
+		})
+	}
+	n = d.len()
+	if n > 0 && d.err == nil {
+		ms.Batches = make([]MigBatchState, 0, n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		ms.Batches = append(ms.Batches, MigBatchState{
+			Batch:     d.batch(),
+			Expected:  d.u32(),
+			Committed: d.bool(),
+			Released:  d.bool(),
+			Aborted:   d.bool(),
 		})
 	}
 	return ms
@@ -407,6 +454,37 @@ func decPrefRedirect(d *decoder) PrefRedirect {
 
 func decMigGC(d *decoder) MigGC {
 	return MigGC{OldProxy: d.proxy(), NewProxy: d.proxy(), MH: ids.MH(d.u32())}
+}
+
+func decBatchOpen(d *decoder) BatchOpen {
+	return BatchOpen{Proxy: d.proxy(), MH: ids.MH(d.u32()), Batch: d.batch()}
+}
+
+func decBatchItem(d *decoder) BatchItem {
+	return BatchItem{
+		Proxy:   d.proxy(),
+		MH:      ids.MH(d.u32()),
+		Batch:   d.batch(),
+		Req:     d.req(),
+		Server:  ids.Server(d.u32()),
+		Payload: d.bytes(),
+	}
+}
+
+func decBatchCommit(d *decoder) BatchCommit {
+	return BatchCommit{Proxy: d.proxy(), MH: ids.MH(d.u32()), Batch: d.batch(), Count: d.u32()}
+}
+
+func decBatchAbort(d *decoder) BatchAbort {
+	ba := BatchAbort{Proxy: d.proxy(), MH: ids.MH(d.u32()), Batch: d.batch()}
+	n := d.len()
+	if n > 0 && d.err == nil {
+		ba.Reqs = make([]ids.RequestID, 0, n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		ba.Reqs = append(ba.Reqs, d.req())
+	}
+	return ba
 }
 
 // Decode parses a message previously produced by Encode. It rejects
@@ -490,6 +568,14 @@ func Decode(b []byte) (Message, error) {
 		m = decPrefRedirect(&d)
 	case KindMigGC:
 		m = decMigGC(&d)
+	case KindBatchOpen:
+		m = decBatchOpen(&d)
+	case KindBatchItem:
+		m = decBatchItem(&d)
+	case KindBatchCommit:
+		m = decBatchCommit(&d)
+	case KindBatchAbort:
+		m = decBatchAbort(&d)
 	default:
 		if d.err != nil {
 			return nil, d.err
@@ -598,6 +684,14 @@ func DecodeInto[M Message](b []byte, dst *M) error {
 		*p = decPrefRedirect(&d)
 	case *MigGC:
 		*p = decMigGC(&d)
+	case *BatchOpen:
+		*p = decBatchOpen(&d)
+	case *BatchItem:
+		*p = decBatchItem(&d)
+	case *BatchCommit:
+		*p = decBatchCommit(&d)
+	case *BatchAbort:
+		*p = decBatchAbort(&d)
 	default:
 		return fmt.Errorf("%w: %T", ErrBadKind, dst)
 	}
@@ -645,6 +739,11 @@ func (e *encoder) proxy(p ids.ProxyID) {
 func (e *encoder) pref(p Pref) {
 	e.proxy(p.Proxy)
 	e.bool(p.RKpR)
+}
+
+func (e *encoder) batch(b ids.BatchID) {
+	e.u32(uint32(b.Origin))
+	e.u32(b.Seq)
 }
 
 // decoder consumes fields from a buffer, latching the first error. With
@@ -747,6 +846,10 @@ func (d *decoder) proxy() ids.ProxyID {
 
 func (d *decoder) pref() Pref {
 	return Pref{Proxy: d.proxy(), RKpR: d.bool()}
+}
+
+func (d *decoder) batch() ids.BatchID {
+	return ids.BatchID{Origin: ids.MH(d.u32()), Seq: d.u32()}
 }
 
 // encBufPool recycles scratch encode buffers across goroutines for the

@@ -59,11 +59,19 @@ func sampleMessages() []Message {
 			CurrentLoc: 4,
 			Reqs: []MigReqState{
 				{Req: req, Server: 1, Payload: []byte("q"), Result: []byte("r"), HasResult: true, Forwarded: true},
-				{Req: ids.RequestID{Origin: 3, Seq: 42}, Server: 2, Payload: []byte("q2")},
+				{Req: ids.RequestID{Origin: 3, Seq: 42}, Server: 2, Payload: []byte("q2"), Batch: ids.BatchID{Origin: 3, Seq: 1}},
+			},
+			Batches: []MigBatchState{
+				{Batch: ids.BatchID{Origin: 3, Seq: 1}, Expected: 2, Committed: true},
+				{Batch: ids.BatchID{Origin: 3, Seq: 2}, Aborted: true},
 			},
 		},
 		PrefRedirect{MH: 3, OldProxy: prx, NewProxy: ids.ProxyID{Host: 4, Seq: 9}, Req: req, Confirm: true},
 		MigGC{OldProxy: prx, NewProxy: ids.ProxyID{Host: 4, Seq: 9}, MH: 3},
+		BatchOpen{Proxy: prx, MH: 3, Batch: ids.BatchID{Origin: 3, Seq: 1}},
+		BatchItem{Proxy: prx, MH: 3, Batch: ids.BatchID{Origin: 3, Seq: 1}, Req: req, Server: 1, Payload: []byte("bq")},
+		BatchCommit{Proxy: prx, MH: 3, Batch: ids.BatchID{Origin: 3, Seq: 1}, Count: 2},
+		BatchAbort{Proxy: prx, MH: 3, Batch: ids.BatchID{Origin: 3, Seq: 1}, Reqs: []ids.RequestID{req, {Origin: 3, Seq: 42}}},
 	}
 }
 

@@ -40,6 +40,29 @@ func FuzzDecodeLinkFrames(f *testing.F) {
 				{Req: ids.RequestID{Origin: 3, Seq: 9}, Server: 1, Payload: []byte("q"), Result: []byte("res"), HasResult: true, Forwarded: true},
 			},
 		}},
+		// Atomic-batch messages (E17), bare and ARQ-framed, including a
+		// MigState carrying batch-tagged requests so the extended
+		// requestList/batchList codec is fuzz-covered from day one.
+		BatchOpen{Proxy: ids.ProxyID{Host: 1, Seq: 2}, MH: 3, Batch: ids.BatchID{Origin: 3, Seq: 1}},
+		BatchItem{Proxy: ids.ProxyID{Host: 1, Seq: 2}, MH: 3, Batch: ids.BatchID{Origin: 3, Seq: 1}, Req: ids.RequestID{Origin: 3, Seq: 9}, Server: 1, Payload: []byte("bq")},
+		BatchCommit{MH: 3, Batch: ids.BatchID{Origin: 3, Seq: 1}, Count: 3},
+		LinkFrame{Seq: 12, Inner: BatchAbort{
+			Proxy: ids.ProxyID{Host: 1, Seq: 2},
+			MH:    3,
+			Batch: ids.BatchID{Origin: 3, Seq: 1},
+			Reqs:  []ids.RequestID{{Origin: 3, Seq: 9}, {Origin: 3, Seq: 10}},
+		}},
+		LinkFrame{Seq: 13, Inner: MigState{
+			Proxy:    ids.ProxyID{Host: 1, Seq: 2},
+			NewProxy: ids.ProxyID{Host: 2, Seq: 7},
+			MH:       3,
+			Reqs: []MigReqState{
+				{Req: ids.RequestID{Origin: 3, Seq: 9}, Server: 1, Payload: []byte("q"), Batch: ids.BatchID{Origin: 3, Seq: 1}},
+			},
+			Batches: []MigBatchState{
+				{Batch: ids.BatchID{Origin: 3, Seq: 1}, Expected: 1, Committed: true, Released: false},
+			},
+		}},
 	}
 	for _, m := range seeds {
 		b, err := Encode(m)

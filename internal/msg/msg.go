@@ -95,6 +95,13 @@ const (
 	KindPrefRedirect
 	KindMigGC
 
+	// Atomic request batches (disconnected operation, E17): open a
+	// batch, add member requests, seal it, and the proxy-side abort.
+	KindBatchOpen
+	KindBatchItem
+	KindBatchCommit
+	KindBatchAbort
+
 	kindSentinel // one past the last valid kind
 )
 
@@ -133,6 +140,10 @@ var kindNames = [...]string{
 	KindMigState:         "mig-state",
 	KindPrefRedirect:     "pref-redirect",
 	KindMigGC:            "mig-gc",
+	KindBatchOpen:        "batch-open",
+	KindBatchItem:        "batch-item",
+	KindBatchCommit:      "batch-commit",
+	KindBatchAbort:       "batch-abort",
 }
 
 // String returns the trace tag of the kind, e.g. "update-currl".
@@ -521,17 +532,37 @@ type MigReqState struct {
 	Result    []byte
 	HasResult bool
 	Forwarded bool
+	Batch     ids.BatchID // batch membership; zero for ordinary requests
+}
+
+// MigBatchState is one atomic batch's control state within a migrating
+// proxy: the batch identity, the committed member count (zero until
+// commit arrives), and whether the batch has been sealed or released.
+// The adopting host re-arms the batch deadline from scratch — the
+// deadline is a per-host conservative bound, not a global clock.
+// Aborted entries carry the abort memo: the decision to refuse a batch
+// must survive migration (and crashes), or a replayed batch could be
+// delivered after its members were told to abandon it.
+type MigBatchState struct {
+	Batch     ids.BatchID
+	Expected  uint32
+	Committed bool
+	Released  bool
+	Aborted   bool
 }
 
 // MigState transfers the full proxy state from the old host to the
 // target that accepted the offer. CurrentLoc is the proxy's view of the
-// MH's station at snapshot time; Reqs is the requestList in issue order.
+// MH's station at snapshot time; Reqs is the requestList in issue order;
+// Batches carries the control state of every atomic batch with members
+// in Reqs.
 type MigState struct {
 	Proxy      ids.ProxyID // old identity
 	NewProxy   ids.ProxyID // identity at the target
 	MH         ids.MH
 	CurrentLoc ids.MSS
 	Reqs       []MigReqState
+	Batches    []MigBatchState
 }
 
 // PrefRedirect announces that OldProxy has migrated to NewProxy. Three
@@ -556,6 +587,58 @@ type MigGC struct {
 	OldProxy ids.ProxyID
 	NewProxy ids.ProxyID
 	MH       ids.MH
+}
+
+// ---------------------------------------------------------------------
+// Atomic request batches (disconnected operation, E17). Like the
+// Request/RequestForward pair, each batch message serves both legs of
+// its journey: Proxy is zero on the wireless uplink from the MH and is
+// filled in when the respMss forwards the message to the proxy host, so
+// tombstones can rebind it after a migration.
+
+// BatchOpen opens an atomic request batch at the MH's proxy. Member
+// results are withheld until every member's result is present and the
+// batch is committed — delivery is all-or-nothing.
+type BatchOpen struct {
+	Proxy ids.ProxyID // zero uplink; proxy identity on the wired forward
+	MH    ids.MH
+	Batch ids.BatchID
+}
+
+// BatchItem adds one member request to an open batch. It carries the
+// same routing payload as Request; the proxy tags the request with the
+// batch so its result is withheld until the batch releases.
+type BatchItem struct {
+	Proxy   ids.ProxyID
+	MH      ids.MH
+	Batch   ids.BatchID
+	Req     ids.RequestID
+	Server  ids.Server
+	Payload []byte
+}
+
+// BatchCommit seals the batch. Count is the total number of members the
+// MH placed in the batch; the proxy releases delivery once it holds
+// results for all Count members (commit may overtake late items only in
+// count, never in causal order on a single path — Count makes release
+// correct across replay and migration too).
+type BatchCommit struct {
+	Proxy ids.ProxyID
+	MH    ids.MH
+	Batch ids.BatchID
+	Count uint32
+}
+
+// BatchAbort tears a batch down without delivering any member result:
+// the proxy's batch deadline expired before commit-plus-results. It is
+// sent to the MH's current station and relayed downlink so the MH can
+// abandon the member requests; Reqs lists the members known to the
+// proxy at abort time.
+type BatchAbort struct {
+	Proxy ids.ProxyID
+	MH    ids.MH
+	Batch ids.BatchID
+	Reqs  []ids.RequestID
 }
 
 // ---------------------------------------------------------------------
@@ -594,6 +677,10 @@ func (MigCommit) Kind() Kind        { return KindMigCommit }
 func (MigState) Kind() Kind         { return KindMigState }
 func (PrefRedirect) Kind() Kind     { return KindPrefRedirect }
 func (MigGC) Kind() Kind            { return KindMigGC }
+func (BatchOpen) Kind() Kind        { return KindBatchOpen }
+func (BatchItem) Kind() Kind        { return KindBatchItem }
+func (BatchCommit) Kind() Kind      { return KindBatchCommit }
+func (BatchAbort) Kind() Kind       { return KindBatchAbort }
 
 // ---------------------------------------------------------------------
 // String methods (trace rendering).
@@ -684,6 +771,18 @@ func (m PrefRedirect) String() string {
 func (m MigGC) String() string {
 	return fmt.Sprintf("mig-gc(%v->%v,%v)", m.OldProxy, m.NewProxy, m.MH)
 }
+func (m BatchOpen) String() string {
+	return fmt.Sprintf("batch-open(%v,%v,%v)", m.Proxy, m.MH, m.Batch)
+}
+func (m BatchItem) String() string {
+	return fmt.Sprintf("batch-item(%v,%v,%v->%v,%dB)", m.Proxy, m.Batch, m.Req, m.Server, len(m.Payload))
+}
+func (m BatchCommit) String() string {
+	return fmt.Sprintf("batch-commit(%v,%v,count=%d)", m.Proxy, m.Batch, m.Count)
+}
+func (m BatchAbort) String() string {
+	return fmt.Sprintf("batch-abort(%v,%v,reqs=%d)", m.Proxy, m.Batch, len(m.Reqs))
+}
 
 // Compile-time interface checks.
 var (
@@ -720,4 +819,8 @@ var (
 	_ Message = MigState{}
 	_ Message = PrefRedirect{}
 	_ Message = MigGC{}
+	_ Message = BatchOpen{}
+	_ Message = BatchItem{}
+	_ Message = BatchCommit{}
+	_ Message = BatchAbort{}
 )

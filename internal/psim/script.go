@@ -22,6 +22,13 @@ const (
 	EvActivate
 	// EvRequest issues a service request to Server with Payload.
 	EvRequest
+	// EvDisconnect drops the host off the radio in place (E17):
+	// requests it issues while disconnected journal into the offline
+	// queue instead of reaching the station.
+	EvDisconnect
+	// EvReconnect brings the host back on the air, re-registering and
+	// replaying its offline queue in issue order.
+	EvReconnect
 	// EvFlush is the end-of-run delivery sweep: an inactive host wakes
 	// (greeting its station), an active host re-greets in place. Either
 	// way the station announces the host's location to its proxy, which
@@ -100,6 +107,10 @@ func (pw *World) exec(r *region, s *script) {
 		r.issued = append(r.issued, Issued{MH: s.id, Req: req})
 	case EvDeactivate:
 		r.world.SetActive(s.id, false)
+	case EvDisconnect:
+		r.world.Disconnect(s.id)
+	case EvReconnect:
+		r.world.Reconnect(s.id)
 	case EvFlush:
 		if r.world.IsActive(s.id) {
 			r.world.Refresh(s.id)
@@ -107,6 +118,12 @@ func (pw *World) exec(r *region, s *script) {
 			r.world.SetActive(s.id, true)
 		}
 	case EvMigrate, EvActivate:
+		if ev.Kind == EvMigrate && r.world.IsDisconnected(s.id) {
+			// Out of coverage: the move is suppressed (the serial E17
+			// driver does the same) — in particular the host must not
+			// transfer regions, which would drop its disconnected state.
+			break
+		}
 		dst, ok := pw.stationRegion[ev.Cell]
 		if !ok {
 			panic(fmt.Sprintf("psim: script of %v targets unknown cell %v", s.id, ev.Cell))

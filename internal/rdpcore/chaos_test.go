@@ -177,9 +177,14 @@ type chaosParams struct {
 	// migrate turns on hop-threshold proxy migration, so migration
 	// episodes race the crash windows, the partition and (with overload)
 	// the load spike.
-	migrate  bool
-	horizon  time.Duration
-	drainFor time.Duration
+	migrate bool
+	// disconnect takes every third MH out of radio coverage for a
+	// twelve-second window overlapping both crash windows (E17):
+	// requests issued inside the window journal to the offline queue
+	// and must replay to completion after reconnection.
+	disconnect bool
+	horizon    time.Duration
+	drainFor   time.Duration
 }
 
 // chaosPlan builds the fault schedule for a run: lossy, duplicating,
@@ -260,6 +265,17 @@ func chaos(t *testing.T, p chaosParams) (w *World, missing, total, admittedLost 
 		}
 	}
 
+	if p.disconnect {
+		// The window overlaps the MSS 2 outage entirely and opens
+		// against the MSS 4 crash instant, so replay races restart
+		// recovery and (with p.migrate) in-flight migrations.
+		for i := 1; i <= p.mhs; i += 3 {
+			plan.Disconnects = append(plan.Disconnects, faults.Disconnect{
+				MH: ids.MH(i), At: 14 * time.Second, ReconnectAt: 26 * time.Second,
+			})
+		}
+	}
+
 	// The injector draws from its own forked RNG stream, so the workload
 	// below is identical with and without recovery.
 	k := sim.NewKernel(cfg.Seed)
@@ -270,6 +286,7 @@ func chaos(t *testing.T, p chaosParams) (w *World, missing, total, admittedLost 
 	}
 	w = NewWorldOn(k, cfg)
 	inj.Schedule(w.CrashMSS, w.RestartMSS)
+	inj.ScheduleDisconnects(w.Disconnect, w.Reconnect)
 
 	cells := w.StationList()
 	issueUntil := p.horizon - p.drainFor
@@ -286,7 +303,9 @@ func chaos(t *testing.T, p chaosParams) (w *World, missing, total, admittedLost 
 		for _, ev := range workload.Itinerary(rng, mob, start, issueUntil) {
 			ev := ev
 			w.Kernel.After(ev.At, func() {
-				if ev.Kind == workload.EvMigrate {
+				// A host out of coverage stays put (the E17 drivers
+				// suppress moves the same way); no-op without p.disconnect.
+				if ev.Kind == workload.EvMigrate && !w.IsDisconnected(mhID) {
 					w.Migrate(mhID, ev.Cell)
 				}
 			})
@@ -488,6 +507,94 @@ func TestChaosMigrationOverloadAdmittedNeverLost(t *testing.T) {
 				t.Errorf("invariants at end: %v", err)
 			}
 		})
+	}
+}
+
+// TestChaosDisconnectRecovery soaks the E17 disconnected-operation
+// machinery under the full E10 fault plan: every third MH loses radio
+// coverage for twelve seconds spanning both MSS crash windows, keeps
+// issuing into the offline queue, and replays it on reconnection. Every
+// request — journaled or not — must still be delivered by the end of
+// the drain, with bounded duplicates.
+func TestChaosDisconnectRecovery(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w, missing, total, _ := chaos(t, chaosParams{
+				seed: seed, mhs: 8, cells: 5, recovery: true, disconnect: true,
+				horizon: 60 * time.Second, drainFor: 30 * time.Second,
+			})
+			if missing != 0 {
+				t.Errorf("%d of %d requests undelivered with disconnections (offlineQueued=%d offlineReplayed=%d)",
+					missing, total, w.Stats.OfflineQueued.Value(), w.Stats.OfflineReplayed.Value())
+			}
+			if w.Stats.OfflineQueued.Value() == 0 {
+				t.Error("OfflineQueued = 0; no request ever hit the offline queue")
+			}
+			if w.Stats.OfflineReplayed.Value() == 0 {
+				t.Error("OfflineReplayed = 0; reconnection never replayed the queue")
+			}
+			if dup, del := w.Stats.DuplicateDeliveries.Value(), w.Stats.ResultsDelivered.Value(); dup*10 > del {
+				t.Errorf("DuplicateDeliveries = %d of %d delivered; duplicate storm", dup, del)
+			}
+			if err := w.CheckInvariants(); err != nil {
+				t.Errorf("invariants at end: %v", err)
+			}
+		})
+	}
+}
+
+// TestChaosDisconnectMigrationCrash composes disconnection windows with
+// proxy migration under the crash plan: offline replay lands while
+// proxies are migrating between stations and stations are restarting
+// from their journals. Delivery must stay complete and migration must
+// still engage.
+func TestChaosDisconnectMigrationCrash(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w, missing, total, _ := chaos(t, chaosParams{
+				seed: seed, mhs: 8, cells: 5, recovery: true, migrate: true, disconnect: true,
+				horizon: 60 * time.Second, drainFor: 30 * time.Second,
+			})
+			if missing != 0 {
+				t.Errorf("%d of %d requests undelivered with disconnect+migration (migCompleted=%d offlineReplayed=%d)",
+					missing, total, w.Stats.MigCompleted.Value(), w.Stats.OfflineReplayed.Value())
+			}
+			if w.Stats.MigCompleted.Value() == 0 {
+				t.Error("MigCompleted = 0; migration never engaged under disconnect chaos")
+			}
+			if w.Stats.OfflineReplayed.Value() == 0 {
+				t.Error("OfflineReplayed = 0; reconnection never replayed the queue")
+			}
+			if dup, del := w.Stats.DuplicateDeliveries.Value(), w.Stats.ResultsDelivered.Value(); dup*10 > del {
+				t.Errorf("DuplicateDeliveries = %d of %d delivered; duplicate storm", dup, del)
+			}
+			if err := w.CheckInvariants(); err != nil {
+				t.Errorf("invariants at end: %v", err)
+			}
+		})
+	}
+}
+
+// TestChaosDisconnectDeterminism replays a disconnect+migration chaos
+// seed twice: the disconnection windows, offline replay and everything
+// they race must be deterministic.
+func TestChaosDisconnectDeterminism(t *testing.T) {
+	run := func() [5]int64 {
+		w, missing, _, _ := chaos(t, chaosParams{
+			seed: 4, mhs: 6, cells: 5, recovery: true, migrate: true, disconnect: true,
+			horizon: 45 * time.Second, drainFor: 20 * time.Second,
+		})
+		return [5]int64{
+			w.Stats.ResultsDelivered.Value(),
+			w.Stats.OfflineQueued.Value(),
+			w.Stats.OfflineReplayed.Value(),
+			w.Stats.MigCompleted.Value(),
+			int64(missing),
+		}
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed diverged with disconnections on: %v vs %v", a, b)
 	}
 }
 

@@ -1,12 +1,24 @@
 package rdpcore
 
 import (
+	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/ids"
 	"repro/internal/msg"
 	"repro/internal/sim"
 )
+
+// sortRequestIDs and sortBatchIDs order identifier slices for
+// deterministic timer arming and replay.
+func sortRequestIDs(s []ids.RequestID) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Less(s[j]) })
+}
+
+func sortBatchIDs(s []ids.BatchID) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Less(s[j]) })
+}
 
 // MHNode is a mobile host (§2): a disconnected computer with a
 // system-wide unique identification that is either active or inactive,
@@ -37,7 +49,13 @@ type MHNode struct {
 	// on the next activation (a minimal QRPC-style request queue; the
 	// paper cites Rover's QRPC as the complementary mechanism for
 	// reliable request sending).
-	queued []msg.Request
+	queued []msg.Message
+	// offline holds requests issued while disconnected (out of coverage
+	// entirely, E17), in issue order. The queue is journaled through the
+	// world's stable store on every mutation and replayed verbatim on
+	// reconnection; the proxy's request memoization and the MH's own
+	// seen-set make the replay idempotent.
+	offline []msg.Message
 
 	// admitted marks requests the responsible MSS acknowledged past
 	// admission control (msg.Admit): they are covered by the delivery
@@ -57,9 +75,41 @@ type MHNode struct {
 	// stream (golden traces depend on the default draw order).
 	rng *sim.RNG
 
+	// timers tracks every pending kernel timer this host armed (refresh
+	// beacons, request retries, deadlines, busy backoffs, batch retries)
+	// so detach and leave can cancel them: a detached host must leak no
+	// kernel events (its timers would otherwise fire against a world it
+	// no longer inhabits). timerSeq keys the map.
+	timers   map[uint64]sim.Canceler
+	timerSeq uint64
+	// retryMsgs retains the message behind each live retry chain and
+	// deadlines the set of armed request deadlines, so timers cancelled
+	// at detach can re-arm from live state on attach.
+	retryMsgs map[ids.RequestID]msg.Message
+	deadlines map[ids.RequestID]bool
+
+	// --- Atomic request batches (E17) ---
+
+	nextBatchSeq uint32
+	// batches holds this host's batch bookkeeping; batchOf maps member
+	// requests back to their batch.
+	batches map[ids.BatchID]*mhBatch
+	batchOf map[ids.RequestID]ids.BatchID
+
 	// onResult, when set, observes every result delivery (first or
 	// duplicate) for application callbacks and tests.
 	onResult func(req ids.RequestID, payload []byte, duplicate bool)
+}
+
+// mhBatch is the client side of one atomic batch: the control messages
+// it re-sends until the batch resolves, and the member set it uses to
+// detect resolution (all delivered, or aborted).
+type mhBatch struct {
+	id        ids.BatchID
+	open      msg.BatchOpen
+	items     []msg.BatchItem
+	committed bool
+	aborted   bool
 }
 
 // newMHNode constructs a mobile host bound to a world.
@@ -74,6 +124,74 @@ func newMHNode(id ids.MH, w *World) *MHNode {
 		abandoned:    make(map[ids.RequestID]bool),
 		pending:      make(map[ids.RequestID]msg.Request),
 		busyAttempts: make(map[ids.RequestID]int),
+		timers:       make(map[uint64]sim.Canceler),
+		retryMsgs:    make(map[ids.RequestID]msg.Message),
+		deadlines:    make(map[ids.RequestID]bool),
+		batches:      make(map[ids.BatchID]*mhBatch),
+		batchOf:      make(map[ids.RequestID]ids.BatchID),
+	}
+}
+
+// after arms a tracked kernel timer: the handle is retained until the
+// callback fires or cancelTimers sweeps it, so no detached host leaves
+// events behind in the kernel.
+func (h *MHNode) after(d time.Duration, fn func()) {
+	h.timerSeq++
+	id := h.timerSeq
+	h.timers[id] = h.w.Kernel.After(d, func() {
+		delete(h.timers, id)
+		fn()
+	})
+}
+
+// cancelTimers cancels every pending timer (detach, leave). Cancellation
+// order does not matter: cancelling never schedules events, so map
+// iteration order cannot perturb the kernel's event sequence.
+func (h *MHNode) cancelTimers() {
+	for id, c := range h.timers {
+		c.Cancel()
+		delete(h.timers, id)
+	}
+}
+
+// rearmTimers rebuilds the timer set from live state after an attach:
+// the refresh beacon, one retry chain per un-answered tracked request,
+// one full deadline per armed request (conservatively restarted — a
+// deadline never fires early), and the retry chain of every unresolved
+// committed batch. Requests and batches are armed in sorted order so
+// the kernel event sequence stays a pure function of the seed.
+func (h *MHNode) rearmTimers() {
+	if !h.joined {
+		return
+	}
+	if h.w.cfg.GreetRefresh > 0 {
+		h.scheduleRefresh()
+	}
+	reqs := make([]ids.RequestID, 0, len(h.retryMsgs))
+	for req := range h.retryMsgs {
+		reqs = append(reqs, req)
+	}
+	sortRequestIDs(reqs)
+	for _, req := range reqs {
+		h.scheduleRetry(req, h.retryMsgs[req])
+	}
+	dls := make([]ids.RequestID, 0, len(h.deadlines))
+	for req := range h.deadlines {
+		dls = append(dls, req)
+	}
+	sortRequestIDs(dls)
+	for _, req := range dls {
+		h.scheduleDeadline(req)
+	}
+	bs := make([]ids.BatchID, 0, len(h.batches))
+	for id, b := range h.batches {
+		if b.committed && !h.batchResolved(b) {
+			bs = append(bs, id)
+		}
+	}
+	sortBatchIDs(bs)
+	for _, id := range bs {
+		h.scheduleBatchRetry(h.batches[id])
 	}
 }
 
@@ -131,13 +249,14 @@ func (h *MHNode) refreshGreet() {
 }
 
 // scheduleRefresh re-greets the current respMss on a fixed period while
-// the MH is active (see Config.GreetRefresh).
+// the MH is active (see Config.GreetRefresh). A disconnected host skips
+// the beacon (its radio is gone) but keeps the period running.
 func (h *MHNode) scheduleRefresh() {
-	h.w.Kernel.Defer(h.w.cfg.GreetRefresh, func() {
+	h.after(h.w.cfg.GreetRefresh, func() {
 		if !h.joined {
 			return
 		}
-		if h.w.IsActive(h.id) {
+		if h.w.IsActive(h.id) && !h.w.IsDisconnected(h.id) {
 			h.refreshGreet()
 		}
 		h.scheduleRefresh()
@@ -153,6 +272,11 @@ func (h *MHNode) leave() {
 	}
 	h.uplink(msg.Leave{MH: h.id})
 	h.joined = false
+	// The membership is over: its timers must not fire into a later
+	// rejoin, and the retry/deadline bookkeeping dies with it.
+	h.cancelTimers()
+	h.retryMsgs = make(map[ids.RequestID]msg.Message)
+	h.deadlines = make(map[ids.RequestID]bool)
 }
 
 // IssueRequest creates a new service request and transmits it through
@@ -169,18 +293,85 @@ func (h *MHNode) IssueRequest(server ids.Server, payload []byte) ids.RequestID {
 	if h.w.cfg.BusyRetryBase > 0 {
 		h.pending[req] = m
 	}
-	if h.w.IsActive(h.id) && h.joined {
-		h.uplink(m)
-	} else {
-		h.queued = append(h.queued, m)
+	if h.joined && h.w.IsActive(h.id) && h.w.IsDisconnected(h.id) {
+		// Out of coverage: journal for in-order replay on reconnection
+		// (E17). Retry and deadline timers arm at replay time, not now —
+		// a long disconnection must not retry into a dead radio or
+		// abandon a request the network never saw.
+		h.queueOffline(m)
+		return req
 	}
+	h.transmit(m)
+	h.armRequestTimers(req, m)
+	return req
+}
+
+// transmit routes an outbound protocol message by the host's current
+// connectivity: up the radio when possible, into the activation queue
+// while inactive or departed, into the journaled offline queue while
+// disconnected (E17).
+func (h *MHNode) transmit(m msg.Message) {
+	switch {
+	case !h.joined || !h.w.IsActive(h.id):
+		h.queued = append(h.queued, m)
+	case h.w.IsDisconnected(h.id):
+		h.queueOffline(m)
+	default:
+		h.uplink(m)
+	}
+}
+
+// queueOffline journals one message into the offline queue (E17): the
+// queue rides the E10 stable-store machinery (write-through on every
+// mutation) and replays in issue order on reconnection.
+func (h *MHNode) queueOffline(m msg.Message) {
+	h.offline = append(h.offline, m)
+	h.w.persistOffline(h.id, h.offline)
+	h.w.Stats.OfflineQueued.Inc()
+}
+
+// armRequestTimers starts the retry chain and the deadline for one
+// tracked request, where configured.
+func (h *MHNode) armRequestTimers(req ids.RequestID, m msg.Message) {
 	if h.w.cfg.RequestTimeout > 0 {
-		h.scheduleRetry(m)
+		h.retryMsgs[req] = m
+		h.scheduleRetry(req, m)
 	}
 	if h.w.cfg.RequestDeadline > 0 {
+		h.deadlines[req] = true
 		h.scheduleDeadline(req)
 	}
-	return req
+}
+
+// onReconnect is invoked by the World when a disconnected MH regains
+// coverage: re-greet the current cell's station (announcing the host's
+// location re-forwards any stranded results), then replay the offline
+// queue in issue order. Replay is idempotent — the proxy memoizes
+// requests and the MH's own seen-set drops answered ones — and each
+// replayed request arms its retry/deadline machinery only now, so the
+// disconnection window never counts against the deadline.
+func (h *MHNode) onReconnect(cell ids.MSS) {
+	old := h.greetOld(h.respMss)
+	h.respMss = cell
+	h.uplink(msg.Greet{MH: h.id, OldMSS: old})
+	offline := h.offline
+	h.offline = nil
+	h.w.persistOffline(h.id, nil)
+	for _, m := range offline {
+		switch v := m.(type) {
+		case msg.Request:
+			if h.seen[v.Req] || h.abandoned[v.Req] {
+				continue
+			}
+			h.armRequestTimers(v.Req, m)
+		case msg.BatchItem:
+			if h.seen[v.Req] || h.abandoned[v.Req] {
+				continue
+			}
+		}
+		h.w.Stats.OfflineReplayed.Inc()
+		h.uplink(m)
+	}
 }
 
 // scheduleDeadline abandons a request that is still un-admitted when its
@@ -188,7 +379,8 @@ func (h *MHNode) IssueRequest(server ids.Server, payload []byte) ids.RequestID {
 // covered by the delivery guarantee and are never abandoned; abandoning
 // stops the busy-retry machinery for this request.
 func (h *MHNode) scheduleDeadline(req ids.RequestID) {
-	h.w.Kernel.Defer(h.w.cfg.RequestDeadline, func() {
+	h.after(h.w.cfg.RequestDeadline, func() {
+		delete(h.deadlines, req)
 		if h.seen[req] || h.admitted[req] {
 			return
 		}
@@ -196,6 +388,7 @@ func (h *MHNode) scheduleDeadline(req ids.RequestID) {
 		delete(h.outstanding, req)
 		delete(h.pending, req)
 		delete(h.busyAttempts, req)
+		delete(h.retryMsgs, req)
 		h.w.Stats.RequestsAbandoned.Inc()
 	})
 }
@@ -206,16 +399,19 @@ func (h *MHNode) scheduleDeadline(req ids.RequestID) {
 // it to QRPC, §4) — and lets a stationary MH recover a result whose
 // wireless delivery was lost (the proxy re-forwards the stored result on
 // a duplicate request).
-func (h *MHNode) scheduleRetry(m msg.Request) {
-	h.w.Kernel.Defer(h.w.cfg.RequestTimeout, func() {
-		if h.seen[m.Req] || h.abandoned[m.Req] || !h.joined {
+// A disconnected host skips the resend (dead radio) but keeps the chain
+// alive for after reconnection.
+func (h *MHNode) scheduleRetry(req ids.RequestID, m msg.Message) {
+	h.after(h.w.cfg.RequestTimeout, func() {
+		if h.seen[req] || h.abandoned[req] || !h.joined {
+			delete(h.retryMsgs, req)
 			return
 		}
-		if h.w.IsActive(h.id) {
+		if h.w.IsActive(h.id) && !h.w.IsDisconnected(h.id) {
 			h.w.Stats.RequestRetries.Inc()
 			h.uplink(m)
 		}
-		h.scheduleRetry(m)
+		h.scheduleRetry(req, m)
 	})
 }
 
@@ -225,7 +421,8 @@ func (h *MHNode) scheduleRetry(m msg.Request) {
 // while the host cannot transmit. The proxy deduplicates re-arrivals
 // and re-forwards a stored result, so retransmission is always safe.
 func (h *MHNode) Retransmit(req ids.RequestID, server ids.Server, payload []byte) {
-	if h.seen[req] || h.abandoned[req] || !h.joined || !h.w.IsActive(h.id) {
+	if h.seen[req] || h.abandoned[req] || !h.joined || !h.w.IsActive(h.id) ||
+		h.w.IsDisconnected(h.id) {
 		return
 	}
 	h.w.Stats.RequestRetries.Inc()
@@ -253,7 +450,9 @@ func (h *MHNode) onActivate(cell ids.MSS) {
 	queued := h.queued
 	h.queued = nil
 	for _, m := range queued {
-		h.uplink(m)
+		// Routed, not blindly uplinked: a host that wakes up outside
+		// coverage journals its queue for the eventual reconnection.
+		h.transmit(m)
 	}
 }
 
@@ -278,10 +477,15 @@ func (h *MHNode) HandleMessage(from ids.NodeID, m msg.Message) {
 		h.admitted[a.Req] = true
 		delete(h.pending, a.Req)
 		delete(h.busyAttempts, a.Req)
+		delete(h.deadlines, a.Req)
 		return
 	}
 	if b, ok := m.(msg.Busy); ok {
 		h.onBusy(b.Req)
+		return
+	}
+	if a, ok := m.(msg.BatchAbort); ok {
+		h.onBatchAbort(a)
 		return
 	}
 	r, ok := m.(msg.ResultDeliver)
@@ -294,6 +498,9 @@ func (h *MHNode) HandleMessage(from ids.NodeID, m msg.Message) {
 	delete(h.outstanding, r.Req)
 	delete(h.pending, r.Req)
 	delete(h.busyAttempts, r.Req)
+	delete(h.retryMsgs, r.Req)
+	delete(h.deadlines, r.Req)
+	delete(h.batchOf, r.Req)
 	if duplicate {
 		h.w.Stats.DuplicateDeliveries.Inc()
 	} else {
@@ -324,11 +531,11 @@ func (h *MHNode) onBusy(req ids.RequestID) {
 	}
 	attempt := h.busyAttempts[req]
 	h.busyAttempts[req] = attempt + 1
-	h.w.Kernel.Defer(h.backoff(attempt), func() {
+	h.after(h.backoff(attempt), func() {
 		if _, live := h.pending[req]; !live || h.seen[req] || h.admitted[req] || h.abandoned[req] {
 			return
 		}
-		if !h.joined || !h.w.IsActive(h.id) {
+		if !h.joined || !h.w.IsActive(h.id) || h.w.IsDisconnected(h.id) {
 			return
 		}
 		h.w.Stats.BusyRetries.Inc()
@@ -356,6 +563,154 @@ func (h *MHNode) backoff(attempt int) time.Duration {
 		h.rng = h.w.Kernel.RNG().Fork()
 	}
 	return d + h.rng.Uniform(0, d/2)
+}
+
+// ---------------------------------------------------------------------
+// Atomic request batches (E17).
+
+// BeginBatch opens a new atomic request batch: no member result is
+// delivered until the whole batch is deliverable (committed with every
+// member result present at the proxy), and the proxy-side deadline
+// (Config.BatchDeadline) aborts the batch as a unit — all or nothing.
+func (h *MHNode) BeginBatch() ids.BatchID {
+	h.nextBatchSeq++
+	id := ids.BatchID{Origin: h.id, Seq: h.nextBatchSeq}
+	b := &mhBatch{id: id, open: msg.BatchOpen{MH: h.id, Batch: id}}
+	h.batches[id] = b
+	h.transmit(b.open)
+	return id
+}
+
+// BatchRequest issues one member request inside an open batch. Its
+// result arrives through the normal delivery path, but only once the
+// whole batch releases. It panics on an unknown or closed batch —
+// batches are driver-local objects, so that is a programming error.
+func (h *MHNode) BatchRequest(batch ids.BatchID, server ids.Server, payload []byte) ids.RequestID {
+	b := h.batches[batch]
+	if b == nil || b.committed || b.aborted {
+		panic(fmt.Sprintf("rdpcore: BatchRequest on closed batch %v", batch))
+	}
+	h.nextSeq++
+	req := ids.RequestID{Origin: h.id, Seq: h.nextSeq}
+	h.issuedAt[req] = h.w.Kernel.Now()
+	h.outstanding[req] = true
+	h.batchOf[req] = batch
+	h.w.Stats.RequestsIssued.Inc()
+	it := msg.BatchItem{MH: h.id, Batch: batch, Req: req, Server: server, Payload: payload}
+	b.items = append(b.items, it)
+	h.transmit(it)
+	return req
+}
+
+// CommitBatch seals the batch. From here the retry chain re-offers the
+// whole batch (open, unseen items, commit) on the request-timeout
+// period until every member result arrived or the proxy aborted it —
+// the batch-level analogue of scheduleRetry.
+func (h *MHNode) CommitBatch(batch ids.BatchID) {
+	b := h.batches[batch]
+	if b == nil || b.committed || b.aborted {
+		return
+	}
+	b.committed = true
+	h.transmit(msg.BatchCommit{MH: h.id, Batch: batch, Count: uint32(len(b.items))})
+	h.scheduleBatchRetry(b)
+}
+
+// batchResolved reports whether the batch needs no further client
+// action: aborted, or committed with every member result delivered.
+func (h *MHNode) batchResolved(b *mhBatch) bool {
+	if b.aborted {
+		return true
+	}
+	if !b.committed {
+		return false
+	}
+	for _, it := range b.items {
+		if !h.seen[it.Req] {
+			return false
+		}
+	}
+	return true
+}
+
+// scheduleBatchRetry keeps re-offering a committed batch until it
+// resolves. Like scheduleRetry it skips the resend while the host
+// cannot transmit, keeping the chain alive for later.
+func (h *MHNode) scheduleBatchRetry(b *mhBatch) {
+	if h.w.cfg.RequestTimeout <= 0 {
+		return
+	}
+	h.after(h.w.cfg.RequestTimeout, func() {
+		if h.batchResolved(b) || !h.joined {
+			return
+		}
+		if h.w.IsActive(h.id) && !h.w.IsDisconnected(h.id) {
+			h.w.Stats.RequestRetries.Inc()
+			h.uplink(b.open)
+			for _, it := range b.items {
+				if !h.seen[it.Req] {
+					h.uplink(it)
+				}
+			}
+			h.uplink(msg.BatchCommit{MH: h.id, Batch: b.id, Count: uint32(len(b.items))})
+		}
+		h.scheduleBatchRetry(b)
+	})
+}
+
+// onBatchAbort abandons every member of an aborted batch: the proxy's
+// deadline expired before the batch became deliverable, and atomicity
+// means no member may be delivered afterwards. A delivered member at
+// abort time would be a partial delivery — the proxy guarantees this
+// cannot happen, so it is counted as a violation.
+func (h *MHNode) onBatchAbort(a msg.BatchAbort) {
+	// Union the abort's member list with our own: a re-abort from a
+	// migrated proxy incarnation carries an empty list (the memo travels
+	// without members), but this host knows exactly what it issued.
+	reqs := append([]ids.RequestID(nil), a.Reqs...)
+	if b := h.batches[a.Batch]; b != nil {
+		b.aborted = true
+		for _, it := range b.items {
+			reqs = append(reqs, it.Req)
+		}
+	}
+	handled := make(map[ids.RequestID]bool, len(reqs))
+	for _, req := range reqs {
+		if handled[req] {
+			continue
+		}
+		handled[req] = true
+		if h.seen[req] {
+			h.w.Stats.Violations.Inc()
+			continue
+		}
+		if h.abandoned[req] {
+			continue
+		}
+		h.abandoned[req] = true
+		delete(h.outstanding, req)
+		delete(h.pending, req)
+		delete(h.busyAttempts, req)
+		delete(h.retryMsgs, req)
+		delete(h.deadlines, req)
+		delete(h.batchOf, req)
+	}
+}
+
+// BatchStatus reports the terminal view of a batch at this host: how
+// many member results have been delivered, the member count, and
+// whether the batch was aborted (experiment and test hook).
+func (h *MHNode) BatchStatus(id ids.BatchID) (delivered, members int, aborted bool) {
+	b := h.batches[id]
+	if b == nil {
+		return 0, 0, false
+	}
+	for _, it := range b.items {
+		if h.seen[it.Req] {
+			delivered++
+		}
+	}
+	return delivered, len(b.items), b.aborted
 }
 
 // uplink transmits over the wireless link to the current respMss.

@@ -176,10 +176,23 @@ func (n *MSSNode) migrateOut(p *Proxy, newID ids.ProxyID) {
 		st.Reqs = append(st.Reqs, msg.MigReqState{
 			Req: req, Server: r.server, Payload: r.payload,
 			Result: r.result, HasResult: r.hasResult, Forwarded: r.forwarded,
+			Batch: r.batch,
 		})
 		if !r.hasResult {
 			t.pendingServers[r.server] = true
 		}
+	}
+	// Batch state (E17) moves with the proxy: open batches keep their
+	// commit/release progress, and abort memos travel so the new
+	// incarnation answers replayed batch traffic with the same abort.
+	for _, id := range p.batchOrder {
+		b := p.batches[id]
+		st.Batches = append(st.Batches, msg.MigBatchState{
+			Batch: b.id, Expected: b.expected, Committed: b.committed, Released: b.released,
+		})
+	}
+	for _, id := range p.abortOrder {
+		st.Batches = append(st.Batches, msg.MigBatchState{Batch: id, Aborted: true})
 	}
 	delete(n.proxies, p.id.Seq)
 	n.unpersistProxy(p.id.Seq)
@@ -219,8 +232,34 @@ func (n *MSSNode) handleMigState(m msg.MigState) {
 		p.reqs[r.Req] = &proxyReq{
 			server: r.Server, payload: r.Payload,
 			result: r.Result, hasResult: r.HasResult, forwarded: r.Forwarded,
+			batch: r.Batch,
 		}
 		p.order = append(p.order, r.Req)
+	}
+	// Rebuild batch state: members are recovered from the requests' batch
+	// tags (snapshot order = registration order); abort memos arrive with
+	// empty member lists — the MH-side abort handler merges in its own
+	// member knowledge. Unreleased live batches get a fresh, full
+	// deadline at the new host.
+	for _, bs := range m.Batches {
+		if bs.Aborted {
+			if _, ok := p.abortedBatches[bs.Batch]; !ok {
+				p.abortedBatches[bs.Batch] = nil
+				p.abortOrder = append(p.abortOrder, bs.Batch)
+			}
+			continue
+		}
+		b := &proxyBatch{id: bs.Batch, expected: bs.Expected, committed: bs.Committed, released: bs.Released}
+		for _, req := range p.order {
+			if p.reqs[req].batch == bs.Batch {
+				b.members = append(b.members, req)
+			}
+		}
+		p.batches[bs.Batch] = b
+		p.batchOrder = append(p.batchOrder, bs.Batch)
+		if !b.released {
+			p.armBatchDeadline(b)
+		}
 	}
 	n.proxies[m.NewProxy.Seq] = p
 	n.persistProxy(p)
@@ -342,6 +381,15 @@ func (n *MSSNode) forwardThroughTombstone(t *tombstone, from ids.NodeID, m msg.M
 		v.Proxy = t.newProxy
 		fwd = v
 	case msg.UpdateCurrentLoc:
+		v.Proxy = t.newProxy
+		fwd = v
+	case msg.BatchOpen:
+		v.Proxy = t.newProxy
+		fwd = v
+	case msg.BatchItem:
+		v.Proxy = t.newProxy
+		fwd = v
+	case msg.BatchCommit:
 		v.Proxy = t.newProxy
 		fwd = v
 	default:

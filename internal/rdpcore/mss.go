@@ -3,6 +3,7 @@ package rdpcore
 import (
 	"time"
 
+	"repro/internal/dcache"
 	"repro/internal/ids"
 	"repro/internal/msg"
 	"repro/internal/sim"
@@ -112,6 +113,16 @@ type MSSNode struct {
 	lastAttempt map[ids.MH]sim.Time
 	reqAttempt  map[ids.RequestID]sim.Time
 
+	// cache is the station's result cache (E17): proxies hosted here
+	// consult it before issuing server requests and feed it every reply.
+	// Volatile — rebuilt empty on crash (stale answers across a crash
+	// would be worse than cold misses); nil when the cache is disabled.
+	cache *dcache.Cache
+	// batchEpochSeq numbers batch-deadline timers so stale closures
+	// (armed by a pre-crash or pre-migration incarnation) can detect they
+	// were superseded. Monotonic across crashes, like nextProxySeq.
+	batchEpochSeq uint64
+
 	// inbox implements the priority rule of §3.1 ("higher priority is
 	// given to forwarding Ack messages than to engaging in any new
 	// Hand-off transactions") when per-message processing delay is
@@ -185,6 +196,7 @@ func newMSSNode(id ids.MSS, w *World) *MSSNode {
 		deferredUpdate:  make(map[ids.MH]bool),
 		lastAttempt:     make(map[ids.MH]sim.Time),
 		reqAttempt:      make(map[ids.RequestID]sim.Time),
+		cache:           dcache.New(w.cfg.ResultCache),
 	}
 	n.procFn = n.processNext
 	return n
@@ -257,11 +269,17 @@ func (n *MSSNode) procDelay() time.Duration {
 // everything) or plain FIFO applies.
 func (n *MSSNode) classOf(m msg.Message) int {
 	if n.w.cfg.PriorityClasses {
-		switch m.Kind() {
-		case msg.KindRequest:
+		switch v := m.(type) {
+		case msg.Request:
 			return 2
-		case msg.KindServerResult, msg.KindResultForward, msg.KindRequestForward:
+		case msg.ServerResult, msg.ResultForward, msg.RequestForward:
 			return 1
+		case msg.BatchOpen:
+			return batchClass(v.Proxy)
+		case msg.BatchItem:
+			return batchClass(v.Proxy)
+		case msg.BatchCommit:
+			return batchClass(v.Proxy)
 		default:
 			return 0
 		}
@@ -270,6 +288,17 @@ func (n *MSSNode) classOf(m msg.Message) int {
 		return 1
 	}
 	return 0
+}
+
+// batchClass places batch traffic in the priority scheme: on the
+// wireless uplink leg (Proxy still unset) it is new work like a plain
+// request; once addressed to a proxy it is admitted work in progress.
+// BatchAbort is control traffic and stays in class 0.
+func batchClass(proxy ids.ProxyID) int {
+	if proxy == ids.NoProxy {
+		return 2
+	}
+	return 1
 }
 
 // admissionEnabled reports whether any admission-control bound is
@@ -393,6 +422,14 @@ func (n *MSSNode) process(from ids.NodeID, m msg.Message) {
 		n.handlePrefRedirect(from, v)
 	case msg.MigGC:
 		n.handleMigGC(v)
+	case msg.BatchOpen:
+		n.handleBatchOpen(from, v)
+	case msg.BatchItem:
+		n.handleBatchItem(from, v)
+	case msg.BatchCommit:
+		n.handleBatchCommit(from, v)
+	case msg.BatchAbort:
+		n.handleBatchAbort(from, v)
 	default:
 		n.w.Stats.OrphanMessages.Inc()
 	}
@@ -932,6 +969,226 @@ func (n *MSSNode) handleServerResult(from ids.NodeID, m msg.ServerResult) {
 		return
 	}
 	p.onServerResult(m.Req, m.Payload)
+}
+
+// cacheLookup consults the station's result cache (E17) for the result
+// of an identical earlier request. Stale entries count separately: the
+// TTL expired between storing and asking.
+func (n *MSSNode) cacheLookup(server ids.Server, payload []byte) ([]byte, bool) {
+	if n.cache == nil {
+		return nil, false
+	}
+	key := dcache.Key{Server: server, Digest: dcache.Digest(payload)}
+	result, outcome := n.cache.Get(key, time.Duration(n.w.Kernel.Now()))
+	switch outcome {
+	case dcache.Hit:
+		n.w.Stats.CacheHits.Inc()
+		return result, true
+	case dcache.Stale:
+		n.w.Stats.CacheStale.Inc()
+	default:
+		n.w.Stats.CacheMisses.Inc()
+	}
+	return nil, false
+}
+
+// cacheStore feeds a fresh server result into the station's cache.
+func (n *MSSNode) cacheStore(server ids.Server, reqPayload, result []byte) {
+	if n.cache == nil {
+		return
+	}
+	before := n.cache.Evictions()
+	key := dcache.Key{Server: server, Digest: dcache.Digest(reqPayload)}
+	n.cache.Put(key, result, time.Duration(n.w.Kernel.Now()))
+	if d := n.cache.Evictions() - before; d > 0 {
+		n.w.Stats.CacheEvictions.Add(d)
+	}
+}
+
+// --- Atomic request batches (E17) ------------------------------------
+//
+// Batch messages travel two legs, distinguished by the Proxy field: the
+// wireless uplink leg (Proxy unset) is routed by the respMss like a
+// plain request — buffered during hand-offs, forwarded along the
+// responsibility chain, creating the proxy if the pref is empty — and
+// the wired leg (Proxy set) is delivered to the hosting station's proxy
+// like a RequestForward. Batch traffic bypasses admission control:
+// refusing a single member of a half-transmitted batch would force the
+// whole batch toward its abort deadline, turning overload shedding into
+// batch aborts; the batch deadline itself is the back-pressure.
+
+// batchUplinkRoute applies the respMss routing preamble shared by every
+// uplink batch message: buffer during a pending hand-off, pass along the
+// forwarding chain when responsibility moved on. It reports whether the
+// caller should continue processing locally.
+func (n *MSSNode) batchUplinkRoute(from ids.NodeID, mh ids.MH, m msg.Message) bool {
+	if arr, ok := n.arriving[mh]; ok {
+		arr.buffered = append(arr.buffered, inboxItem{from: from, m: m})
+		return false
+	}
+	if !n.localMhs[mh] {
+		if next, ok := n.forwardTo[mh]; ok {
+			n.sendWired(next.Node(), m)
+			return false
+		}
+		n.w.Stats.OrphanMessages.Inc()
+		return false
+	}
+	return true
+}
+
+// batchProxyRef resolves (creating if necessary) the proxy for a
+// responsible MH's batch traffic, mirroring handleRequest's pref logic:
+// batch activity keeps the proxy alive (RKpR cleared). It returns the
+// proxy object when hosted locally, or just the remote identity.
+func (n *MSSNode) batchProxyRef(mh ids.MH) (ids.ProxyID, *Proxy) {
+	pref := n.prefs[mh]
+	if pref == nil {
+		pref = &msg.Pref{}
+		n.prefs[mh] = pref
+	}
+	pref.RKpR = false
+	if !pref.HasProxy() {
+		n.nextProxySeq++
+		n.persistSeq()
+		id := ids.ProxyID{Host: n.id, Seq: n.nextProxySeq}
+		p := newProxy(id, mh, n)
+		n.proxies[id.Seq] = p
+		pref.Proxy = id
+		n.persistMH(mh)
+		n.w.Stats.ProxiesCreated.Inc()
+		n.w.Stats.ProxyCreations[n.id]++
+		return id, p
+	}
+	n.persistMH(mh)
+	if pref.Proxy.Host == n.id {
+		if p := n.proxies[pref.Proxy.Seq]; p != nil {
+			return pref.Proxy, p
+		}
+		n.w.Stats.Violations.Inc() // pref points at a proxy we no longer host
+		return ids.NoProxy, nil
+	}
+	return pref.Proxy, nil
+}
+
+// handleBatchOpen routes a batch_open on either leg.
+func (n *MSSNode) handleBatchOpen(from ids.NodeID, m msg.BatchOpen) {
+	if m.Proxy != ids.NoProxy {
+		p := n.proxies[m.Proxy.Seq]
+		if p == nil || p.id != m.Proxy {
+			if n.redirectOrHold(m.Proxy, from, m) {
+				return
+			}
+			n.w.Stats.OrphanMessages.Inc()
+			return
+		}
+		p.onBatchOpen(m.Batch)
+		return
+	}
+	if !n.batchUplinkRoute(from, m.MH, m) {
+		return
+	}
+	id, p := n.batchProxyRef(m.MH)
+	if p != nil {
+		p.onBatchOpen(m.Batch)
+		return
+	}
+	if id == ids.NoProxy {
+		return
+	}
+	m.Proxy = id
+	n.sendWired(id.Host.Node(), m)
+}
+
+// handleBatchItem routes a batch member, recording it in the routing
+// ledger like an admitted request (§3.3 proxy-removal accounting).
+func (n *MSSNode) handleBatchItem(from ids.NodeID, m msg.BatchItem) {
+	if m.Proxy != ids.NoProxy {
+		p := n.proxies[m.Proxy.Seq]
+		if p == nil || p.id != m.Proxy {
+			if n.redirectOrHold(m.Proxy, from, m) {
+				return
+			}
+			n.w.Stats.OrphanMessages.Inc()
+			return
+		}
+		p.onBatchItem(m)
+		return
+	}
+	if !n.batchUplinkRoute(from, m.MH, m) {
+		return
+	}
+	if n.outstanding[m.MH] == nil {
+		n.outstanding[m.MH] = make(map[ids.RequestID]bool)
+	}
+	n.outstanding[m.MH][m.Req] = true
+	id, p := n.batchProxyRef(m.MH)
+	if p != nil {
+		p.onBatchItem(m)
+		return
+	}
+	if id == ids.NoProxy {
+		return
+	}
+	m.Proxy = id
+	n.sendWired(id.Host.Node(), m)
+}
+
+// handleBatchCommit routes a batch_commit on either leg.
+func (n *MSSNode) handleBatchCommit(from ids.NodeID, m msg.BatchCommit) {
+	if m.Proxy != ids.NoProxy {
+		p := n.proxies[m.Proxy.Seq]
+		if p == nil || p.id != m.Proxy {
+			if n.redirectOrHold(m.Proxy, from, m) {
+				return
+			}
+			n.w.Stats.OrphanMessages.Inc()
+			return
+		}
+		p.onBatchCommit(m)
+		return
+	}
+	if !n.batchUplinkRoute(from, m.MH, m) {
+		return
+	}
+	id, p := n.batchProxyRef(m.MH)
+	if p != nil {
+		p.onBatchCommit(m)
+		return
+	}
+	if id == ids.NoProxy {
+		return
+	}
+	m.Proxy = id
+	n.sendWired(id.Host.Node(), m)
+}
+
+// handleBatchAbort delivers a batch abort to the MH through its current
+// respMss, scrubbing the aborted members from the routing ledger — they
+// will never be acked and must not block proxy removal (§3.3).
+func (n *MSSNode) handleBatchAbort(from ids.NodeID, m msg.BatchAbort) {
+	if arr, ok := n.arriving[m.MH]; ok {
+		arr.buffered = append(arr.buffered, inboxItem{from: from, m: m})
+		return
+	}
+	if !n.localMhs[m.MH] {
+		if next, ok := n.forwardTo[m.MH]; ok {
+			n.sendWired(next.Node(), m)
+			return
+		}
+		n.w.Stats.OrphanMessages.Inc()
+		return
+	}
+	if set := n.outstanding[m.MH]; set != nil {
+		for _, req := range m.Reqs {
+			delete(set, req)
+		}
+		if len(set) == 0 {
+			delete(n.outstanding, m.MH)
+		}
+		n.persistMH(m.MH)
+	}
+	n.w.Wireless.SendDownlink(n.id, m.MH, m)
 }
 
 // sendWired transmits to another static host over the wired network.

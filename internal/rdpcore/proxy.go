@@ -16,6 +16,25 @@ type proxyReq struct {
 	result    []byte
 	hasResult bool
 	forwarded bool // result forwarded at least once (retransmission accounting)
+	// batch, when valid, marks this request a member of an atomic batch
+	// (E17): its result is withheld until the batch releases.
+	batch ids.BatchID
+}
+
+// proxyBatch is the proxy side of one atomic batch (E17): the member
+// set in arrival order, the commit's member count, and the release
+// flag. Released batches stay as memos so late duplicate items cannot
+// re-execute a completed computation; aborted ones move to the aborted
+// memo instead.
+type proxyBatch struct {
+	id        ids.BatchID
+	members   []ids.RequestID
+	expected  uint32 // commit's member count; 0 until committed
+	committed bool
+	released  bool
+	// deadlineEpoch invalidates superseded deadline timers (a restored
+	// or migrated incarnation re-arms its own; see armBatchDeadline).
+	deadlineEpoch uint64
 }
 
 // Proxy is the paper's proxy-for-requests (§3.1): created at the MH's
@@ -31,6 +50,15 @@ type Proxy struct {
 	reqs       map[ids.RequestID]*proxyReq
 	order      []ids.RequestID // insertion order; keeps iteration deterministic
 	createdAt  sim.Time
+
+	// Atomic batch state (E17). batchOrder/abortOrder keep map iteration
+	// deterministic for persistence and migration transfer. abortedBatches
+	// is the durable abort memo: batch id -> member list at abort time, so
+	// a late or replayed batch message is answered with the same abort.
+	batches        map[ids.BatchID]*proxyBatch
+	batchOrder     []ids.BatchID
+	abortedBatches map[ids.BatchID][]ids.RequestID
+	abortOrder     []ids.BatchID
 
 	// remoteForwards counts results forwarded to a station other than the
 	// host since creation or installation here, and lastMigAttempt is the
@@ -53,6 +81,8 @@ func newProxy(id ids.ProxyID, mh ids.MH, host *MSSNode) *Proxy {
 		host:           host,
 		currentLoc:     host.id,
 		reqs:           make(map[ids.RequestID]*proxyReq),
+		batches:        make(map[ids.BatchID]*proxyBatch),
+		abortedBatches: make(map[ids.BatchID][]ids.RequestID),
 		createdAt:      host.w.Kernel.Now(),
 		lastMigAttempt: host.w.Kernel.Now() - sim.Time(host.w.cfg.Migration.MinInterval),
 	}
@@ -85,6 +115,14 @@ func (p *Proxy) addRequest(req ids.RequestID, server ids.Server, payload []byte)
 	r := &proxyReq{server: server, payload: payload}
 	p.reqs[req] = r
 	p.order = append(p.order, req)
+	if result, ok := p.host.cacheLookup(server, payload); ok {
+		// Answered from the station's result cache (E17): no server
+		// round-trip. The cached copy is forwarded like a fresh result.
+		r.result = result
+		r.hasResult = true
+		p.forwardResult(req, r) // persists inside
+		return
+	}
 	p.host.persistProxy(p)
 	p.host.sendWired(server.Node(), msg.ServerRequest{Proxy: p.id, Req: req, Payload: payload})
 }
@@ -104,6 +142,14 @@ func (p *Proxy) onServerResult(req ids.RequestID, payload []byte) {
 	}
 	r.result = payload
 	r.hasResult = true
+	p.host.cacheStore(r.server, r.payload, payload)
+	if r.batch.Valid() {
+		// Batch members are withheld until the whole batch is complete;
+		// this result may be the one that releases it.
+		p.host.persistProxy(p)
+		p.checkBatchRelease(p.batches[r.batch])
+		return
+	}
 	p.forwardResult(req, r)
 }
 
@@ -111,6 +157,17 @@ func (p *Proxy) onServerResult(req ids.RequestID, payload []byte) {
 // del-pref when this is the proxy's only pending request (§3.3: the
 // flag rides on "the result of the last pending request").
 func (p *Proxy) forwardResult(req ids.RequestID, r *proxyReq) {
+	if r.batch.Valid() {
+		// Atomicity gate (E17): no member result ever leaves the proxy
+		// before its batch releases. This single check covers every
+		// forwarding path — fresh results, location updates, crash
+		// recovery resends — so an aborted batch delivers nothing and a
+		// released one delivers everything.
+		if b := p.batches[r.batch]; b == nil || !b.released {
+			p.host.w.Stats.BatchResultsWithheld.Inc()
+			return
+		}
+	}
 	delPref := len(p.reqs) == 1
 	if r.forwarded {
 		p.host.w.Stats.Retransmissions.Inc()
@@ -180,4 +237,171 @@ func (p *Proxy) onAck(req ids.RequestID, delProxy bool) (deleted bool) {
 		}
 	}
 	return false
+}
+
+// --- Atomic request batches (E17) ------------------------------------
+//
+// The proxy is the batch coordinator: it collects member results but
+// withholds every one of them (forwardResult gate) until the commit has
+// arrived and all members have results, then releases the batch and
+// forwards the members in order. A batch that misses its deadline is
+// aborted: members are dropped, the MH is told to abandon them, and the
+// abort memo persists so replayed batch traffic gets the same answer.
+
+// ensureBatch returns the batch record for id, creating it on first
+// contact (any member/commit message may arrive first after a retry).
+func (p *Proxy) ensureBatch(id ids.BatchID) *proxyBatch {
+	if b, ok := p.batches[id]; ok {
+		return b
+	}
+	b := &proxyBatch{id: id}
+	p.batches[id] = b
+	p.batchOrder = append(p.batchOrder, id)
+	p.host.w.Stats.BatchesOpened.Inc()
+	p.host.persistProxy(p)
+	p.armBatchDeadline(b)
+	return b
+}
+
+// onBatchOpen registers a batch. A re-open of an aborted batch (retry
+// raced the abort) is answered with the abort again.
+func (p *Proxy) onBatchOpen(id ids.BatchID) {
+	if reqs, ok := p.abortedBatches[id]; ok {
+		p.sendAbort(id, reqs)
+		return
+	}
+	p.ensureBatch(id)
+}
+
+// onBatchItem registers one batch member and issues it to the server
+// (or answers it from the cache).
+func (p *Proxy) onBatchItem(m msg.BatchItem) {
+	if reqs, ok := p.abortedBatches[m.Batch]; ok {
+		p.sendAbort(m.Batch, reqs)
+		return
+	}
+	b := p.ensureBatch(m.Batch)
+	if b.released {
+		// Late duplicate of an already-delivered batch: the members were
+		// forwarded (and possibly acked away); never re-execute.
+		return
+	}
+	if _, ok := p.reqs[m.Req]; ok {
+		return // duplicate member (retry); first registration wins
+	}
+	r := &proxyReq{server: m.Server, payload: m.Payload, batch: m.Batch}
+	p.reqs[m.Req] = r
+	p.order = append(p.order, m.Req)
+	b.members = append(b.members, m.Req)
+	if result, ok := p.host.cacheLookup(m.Server, m.Payload); ok {
+		r.result = result
+		r.hasResult = true
+		p.host.persistProxy(p)
+		p.checkBatchRelease(b)
+		return
+	}
+	p.host.persistProxy(p)
+	p.host.sendWired(m.Server.Node(), msg.ServerRequest{Proxy: p.id, Req: m.Req, Payload: m.Payload})
+}
+
+// onBatchCommit seals the member set. The commit's count is the
+// completeness criterion: release waits until that many members are
+// registered and all hold results.
+func (p *Proxy) onBatchCommit(m msg.BatchCommit) {
+	if reqs, ok := p.abortedBatches[m.Batch]; ok {
+		p.sendAbort(m.Batch, reqs)
+		return
+	}
+	b := p.ensureBatch(m.Batch)
+	if b.committed {
+		p.checkBatchRelease(b) // duplicate commit (retry); just re-check
+		return
+	}
+	b.committed = true
+	b.expected = m.Count
+	p.host.w.Stats.BatchesCommitted.Inc()
+	p.host.persistProxy(p)
+	p.checkBatchRelease(b)
+}
+
+// checkBatchRelease releases the batch once it is committed, fully
+// registered, and every member holds a result; then all members are
+// forwarded in registration order.
+func (p *Proxy) checkBatchRelease(b *proxyBatch) {
+	if b == nil || b.released || !b.committed || uint32(len(b.members)) != b.expected {
+		return
+	}
+	for _, req := range b.members {
+		if r, ok := p.reqs[req]; !ok || !r.hasResult {
+			return
+		}
+	}
+	b.released = true
+	p.host.persistProxy(p)
+	for _, req := range b.members {
+		p.forwardResult(req, p.reqs[req])
+	}
+}
+
+// abortBatch drops every member, records the abort memo, and notifies
+// the MH. Exactly-once for aborted members means exactly-zero: the
+// forwardResult gate guarantees none was ever delivered.
+func (p *Proxy) abortBatch(b *proxyBatch) {
+	reqs := append([]ids.RequestID(nil), b.members...)
+	for _, req := range reqs {
+		delete(p.reqs, req)
+		for i, q := range p.order {
+			if q == req {
+				p.order = append(p.order[:i], p.order[i+1:]...)
+				break
+			}
+		}
+	}
+	delete(p.batches, b.id)
+	for i, id := range p.batchOrder {
+		if id == b.id {
+			p.batchOrder = append(p.batchOrder[:i], p.batchOrder[i+1:]...)
+			break
+		}
+	}
+	p.abortedBatches[b.id] = reqs
+	p.abortOrder = append(p.abortOrder, b.id)
+	p.host.persistProxy(p)
+	p.host.w.Stats.BatchesAborted.Inc()
+	p.sendAbort(b.id, reqs)
+}
+
+func (p *Proxy) sendAbort(id ids.BatchID, reqs []ids.RequestID) {
+	p.host.sendToStation(p.currentLoc, msg.BatchAbort{Proxy: p.id, MH: p.mh, Batch: id, Reqs: reqs})
+}
+
+// armBatchDeadline starts the batch's abort timer. The epoch guard (a
+// station-level counter that survives crashes) keeps timers armed by a
+// previous incarnation from aborting a restored or migrated batch; each
+// incarnation arms its own fresh, full deadline — conservative, but
+// deadline precision across crashes is not part of the atomicity
+// contract.
+func (p *Proxy) armBatchDeadline(b *proxyBatch) {
+	if p.host.w.cfg.BatchDeadline <= 0 {
+		return
+	}
+	host := p.host
+	host.batchEpochSeq++
+	epoch := host.batchEpochSeq
+	b.deadlineEpoch = epoch
+	proxyID, batchID := p.id, b.id
+	host.w.Kernel.Defer(host.w.cfg.BatchDeadline, func() {
+		if host.w.down[host.id] {
+			return
+		}
+		cur, ok := host.proxies[proxyID.Seq]
+		if !ok || cur.id != proxyID {
+			return
+		}
+		bb, ok := cur.batches[batchID]
+		if !ok || bb.released || bb.deadlineEpoch != epoch {
+			return
+		}
+		cur.abortBatch(bb)
+	})
 }

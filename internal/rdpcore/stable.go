@@ -3,6 +3,7 @@ package rdpcore
 import (
 	"sort"
 
+	"repro/internal/dcache"
 	"repro/internal/ids"
 	"repro/internal/msg"
 	"repro/internal/sim"
@@ -36,6 +37,24 @@ type proxyReqRecord struct {
 	result    []byte
 	hasResult bool
 	forwarded bool
+	batch     ids.BatchID
+}
+
+// proxyBatchRecord is the journaled image of one atomic batch (E17).
+type proxyBatchRecord struct {
+	id        ids.BatchID
+	members   []ids.RequestID
+	expected  uint32
+	committed bool
+	released  bool
+}
+
+// proxyAbortRecord journals a batch-abort memo: the decision to refuse
+// a batch must survive the crash, or replayed batch traffic could be
+// accepted (and delivered) after the MH was told to abandon it.
+type proxyAbortRecord struct {
+	id   ids.BatchID
+	reqs []ids.RequestID
 }
 
 // proxyRecord is the journaled image of one hosted proxy.
@@ -43,7 +62,9 @@ type proxyRecord struct {
 	id         ids.ProxyID
 	mh         ids.MH
 	currentLoc ids.MSS
-	reqs       []proxyReqRecord // insertion order
+	reqs       []proxyReqRecord   // insertion order
+	batches    []proxyBatchRecord // batchOrder
+	aborted    []proxyAbortRecord // abortOrder
 }
 
 // tombstoneRecord is the journaled image of a migration tombstone: the
@@ -71,11 +92,17 @@ type stationRecord struct {
 // the stations).
 type stableStore struct {
 	stations map[ids.MSS]*stationRecord
-	writes   int64
+	// offline journals each disconnected MH's offline request queue
+	// (E17); see World.persistOffline.
+	offline map[ids.MH][]msg.Message
+	writes  int64
 }
 
 func newStableStore() *stableStore {
-	return &stableStore{stations: make(map[ids.MSS]*stationRecord)}
+	return &stableStore{
+		stations: make(map[ids.MSS]*stationRecord),
+		offline:  make(map[ids.MH][]msg.Message),
+	}
 }
 
 func (s *stableStore) station(id ids.MSS) *stationRecord {
@@ -137,6 +164,19 @@ func (n *MSSNode) persistProxy(p *Proxy) {
 		pr.reqs = append(pr.reqs, proxyReqRecord{
 			req: req, server: r.server, payload: r.payload,
 			result: r.result, hasResult: r.hasResult, forwarded: r.forwarded,
+			batch: r.batch,
+		})
+	}
+	for _, id := range p.batchOrder {
+		b := p.batches[id]
+		pr.batches = append(pr.batches, proxyBatchRecord{
+			id: b.id, members: append([]ids.RequestID(nil), b.members...),
+			expected: b.expected, committed: b.committed, released: b.released,
+		})
+	}
+	for _, id := range p.abortOrder {
+		pr.aborted = append(pr.aborted, proxyAbortRecord{
+			id: id, reqs: append([]ids.RequestID(nil), p.abortedBatches[id]...),
 		})
 	}
 	rec.proxies[p.id.Seq] = pr
@@ -208,6 +248,10 @@ func (n *MSSNode) crash() {
 	n.deferredUpdate = make(map[ids.MH]bool)
 	n.lastAttempt = make(map[ids.MH]sim.Time)
 	n.reqAttempt = make(map[ids.RequestID]sim.Time)
+	// The result cache is volatile by design (dcache doc): rebuilding it
+	// empty costs recomputation, never correctness. batchEpochSeq is NOT
+	// reset — it invalidates batch-deadline timers armed before the crash.
+	n.cache = dcache.New(n.w.cfg.ResultCache)
 	n.localMhs = make(map[ids.MH]bool)
 	n.prefs = make(map[ids.MH]*msg.Pref)
 	n.outstanding = make(map[ids.MH]map[ids.RequestID]bool)
@@ -271,8 +315,28 @@ func (n *MSSNode) restoreFromStore() {
 			p.reqs[rr.req] = &proxyReq{
 				server: rr.server, payload: rr.payload,
 				result: rr.result, hasResult: rr.hasResult, forwarded: rr.forwarded,
+				batch: rr.batch,
 			}
 			p.order = append(p.order, rr.req)
+		}
+		for _, br := range pr.batches {
+			b := &proxyBatch{
+				id: br.id, members: append([]ids.RequestID(nil), br.members...),
+				expected: br.expected, committed: br.committed, released: br.released,
+			}
+			p.batches[b.id] = b
+			p.batchOrder = append(p.batchOrder, b.id)
+			if !b.released {
+				// A fresh, full deadline per incarnation: pre-crash timers
+				// are invalidated by the epoch guard, and deadline
+				// precision across crashes is outside the atomicity
+				// contract.
+				p.armBatchDeadline(b)
+			}
+		}
+		for _, ar := range pr.aborted {
+			p.abortedBatches[ar.id] = append([]ids.RequestID(nil), ar.reqs...)
+			p.abortOrder = append(p.abortOrder, ar.id)
 		}
 		n.proxies[seq] = p
 	}
@@ -324,6 +388,13 @@ func (n *MSSNode) recoveryResend() {
 			} else {
 				n.sendWired(r.server.Node(), msg.ServerRequest{Proxy: p.id, Req: req, Payload: r.payload})
 			}
+		}
+		// A crash can land between the journal write that completed a
+		// batch's last member and the one that recorded its release;
+		// re-judge every restored batch. (The forwardResult calls above
+		// withheld any unreleased members.)
+		for _, id := range p.batchOrder {
+			p.checkBatchRelease(p.batches[id])
 		}
 	}
 	mhs := make([]int, 0, len(n.localMhs))

@@ -124,6 +124,29 @@ type Stats struct {
 	ForwardCount  metrics.Counter
 	ForwardHopMax metrics.Peak
 
+	// CacheHits, CacheMisses and CacheStale count result-cache lookups at
+	// proxy hosts (internal/dcache, E17): a hit answers a repeated query
+	// at the MSS without a server round trip, a stale lookup found an
+	// entry past its TTL (evicted, re-executed). CacheEvictions counts
+	// entries pushed out by the byte/entry budget.
+	CacheHits      metrics.Counter
+	CacheMisses    metrics.Counter
+	CacheStale     metrics.Counter
+	CacheEvictions metrics.Counter
+	// OfflineQueued counts requests journaled by a disconnected MH
+	// instead of being transmitted; OfflineReplayed counts queued
+	// requests re-issued in order on reconnection (E17).
+	OfflineQueued   metrics.Counter
+	OfflineReplayed metrics.Counter
+	// BatchesOpened/Committed/Aborted track atomic request batches at
+	// proxies (E17). BatchResultsWithheld counts member results the proxy
+	// held back because their batch had not released yet — each one is a
+	// partial delivery prevented.
+	BatchesOpened        metrics.Counter
+	BatchesCommitted     metrics.Counter
+	BatchesAborted       metrics.Counter
+	BatchResultsWithheld metrics.Counter
+
 	// InboxPeak tracks the deepest station inbox seen anywhere: the
 	// queue-growth measurement of E11 (unbounded growth past saturation
 	// without admission control; bounded by the high-watermark with it).

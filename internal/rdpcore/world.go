@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/dcache"
 	"repro/internal/ids"
 	"repro/internal/msg"
 	"repro/internal/netsim"
@@ -175,6 +176,23 @@ type Config struct {
 	// defaults to the flat metric (0 to itself, 1 to everyone else); E12
 	// installs proxymig.RingDistance to match its ring latency topology.
 	StationDistance func(a, b ids.MSS) int
+
+	// --- Disconnected operation (E17; internal/dcache) ---
+
+	// ResultCache configures the per-station result cache consulted by
+	// proxies before issuing a ServerRequest: a repeated query (same
+	// server, same payload digest) within the TTL is answered at the MSS
+	// without re-executing. The zero value disables caching, keeping
+	// every message trace byte-identical to the uncached protocol. The
+	// cache is volatile: a station crash clears it.
+	ResultCache dcache.Config
+	// BatchDeadline, when positive, bounds how long a proxy waits for an
+	// atomic batch to become deliverable (committed with every member
+	// result present). On expiry the proxy aborts the batch: member
+	// requests are dropped undelivered and the MH is told to abandon
+	// them — all-or-nothing, so a deadline can never yield a partial
+	// batch. Zero means batches wait forever.
+	BatchDeadline time.Duration
 }
 
 // DefaultConfig returns a configuration matching the paper's model: 3
@@ -211,6 +229,12 @@ type World struct {
 	mssList []ids.MSS
 	loc     map[ids.MH]ids.MSS
 	active  map[ids.MH]bool
+
+	// disconnected marks hosts whose radio is gone entirely (out of
+	// coverage), as opposed to merely inactive: no frame reaches them in
+	// either direction, and requests they issue are journaled for replay
+	// on reconnection (E17 disconnected operation).
+	disconnected map[ids.MH]bool
 
 	// down marks crashed stations; see CrashMSS/RestartMSS. store is the
 	// in-sim stable storage stations journal to when Config.Checkpoint is
@@ -267,6 +291,8 @@ func NewWorldWith(sched sim.Scheduler, cfg Config, wired netsim.WiredTransport, 
 		active:  make(map[ids.MH]bool),
 		down:    make(map[ids.MSS]bool),
 		store:   newStableStore(),
+
+		disconnected: make(map[ids.MH]bool),
 	}
 
 	members := make([]ids.NodeID, 0, len(stations)+len(servers))
@@ -464,6 +490,11 @@ func (w *World) DetachMH(id ids.MH) (h *MHNode, active bool) {
 	delete(w.MHs, id)
 	delete(w.loc, id)
 	delete(w.active, id)
+	delete(w.disconnected, id)
+	// The host is radio-silent in transit: stop its retransmit, deadline
+	// and refresh timers so a detached host leaks no kernel events. The
+	// timers re-arm from live state on the next attach-side activity.
+	h.cancelTimers()
 	return h, active
 }
 
@@ -490,6 +521,25 @@ func (w *World) AttachMH(h *MHNode, cell ids.MSS, active bool) {
 	if active && h.joined {
 		h.onMigrate(cell)
 	}
+	// Rebuild the timer set DetachMH cancelled (refresh beacon, retry
+	// chains, deadlines, batch retries) from the host's live state.
+	h.rearmTimers()
+}
+
+// persistOffline journals an MH's offline request queue through the E10
+// stable store (write-through on every mutation, like the stations'
+// records); an empty queue erases the record. Gated on Checkpoint like
+// every other journal write.
+func (w *World) persistOffline(mh ids.MH, queue []msg.Message) {
+	if !w.cfg.Checkpoint {
+		return
+	}
+	if len(queue) == 0 {
+		delete(w.store.offline, mh)
+	} else {
+		w.store.offline[mh] = append([]msg.Message(nil), queue...)
+	}
+	w.store.writes++
 }
 
 // SetActive switches the MH between the active and inactive states of
@@ -519,6 +569,41 @@ func (w *World) Refresh(id ids.MH) {
 	h.refreshGreet()
 }
 
+// Disconnect takes the MH out of radio coverage entirely (E17's
+// long-disconnection fault mode): no frame reaches it in either
+// direction, and requests it issues are journaled in issue order for
+// replay on Reconnect. Unlike SetActive(false), the host itself keeps
+// running — disconnected operation, not dormancy. No-op if already
+// disconnected.
+func (w *World) Disconnect(id ids.MH) {
+	if _, ok := w.MHs[id]; !ok {
+		panic(fmt.Sprintf("rdpcore: unknown MH %v", id))
+	}
+	w.disconnected[id] = true
+}
+
+// Reconnect restores the MH's radio. The host re-greets its station
+// (announcing its location so stranded results re-forward) and replays
+// its offline request queue in issue order; replayed requests
+// deduplicate against the MH's own seen-set, the proxy's request
+// memoization and the result cache. No-op if not disconnected.
+func (w *World) Reconnect(id ids.MH) {
+	h, ok := w.MHs[id]
+	if !ok {
+		panic(fmt.Sprintf("rdpcore: unknown MH %v", id))
+	}
+	if !w.disconnected[id] {
+		return
+	}
+	delete(w.disconnected, id)
+	if w.active[id] && h.joined {
+		h.onReconnect(w.loc[id])
+	}
+}
+
+// IsDisconnected reports whether the MH is currently out of coverage.
+func (w *World) IsDisconnected(id ids.MH) bool { return w.disconnected[id] }
+
 // InCell reports whether the MH is currently located in the cell of the
 // given station.
 func (w *World) InCell(id ids.MH, cell ids.MSS) bool { return w.loc[id] == cell }
@@ -543,10 +628,10 @@ func (w *World) distance(a, b ids.MSS) int {
 }
 
 // reachable implements the wireless gate: in the station's cell and
-// active, and the station's radio itself up (a crashed station neither
-// transmits nor receives).
+// active, not disconnected, and the station's radio itself up (a
+// crashed station neither transmits nor receives).
 func (w *World) reachable(mss ids.MSS, mh ids.MH) bool {
-	return w.loc[mh] == mss && w.active[mh] && !w.down[mss]
+	return w.loc[mh] == mss && w.active[mh] && !w.down[mss] && !w.disconnected[mh]
 }
 
 // nodeDown is the wired substrate's down gate: frames addressed to a
@@ -741,6 +826,11 @@ func (w *World) CheckQuiescent() error {
 		for _, p := range st.proxies {
 			if !referenced[p.id] {
 				return fmt.Errorf("quiescence: proxy %v for %v is orphaned (pending=%d)", p.id, p.mh, p.Pending())
+			}
+			for _, bid := range p.batchOrder {
+				if !p.batches[bid].released {
+					return fmt.Errorf("quiescence: proxy %v still holds unreleased batch %v", p.id, bid)
+				}
 			}
 		}
 		if len(st.arriving) > 0 {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/netsim"
+	"repro/internal/sim"
 )
 
 // quickWorld builds a small world with constant latencies and the given
@@ -500,6 +501,56 @@ func TestLeaveAndRejoinLifecycle(t *testing.T) {
 	}
 	if err := w.CheckInvariants(); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestDetachAttachLeaksNoKernelTimers pins the kernel event count
+// across detach/attach cycles. DetachMH must cancel every tracked MH
+// timer — refresh beacon, per-request retry chains, batch retries — so
+// a host bouncing between region worlds cannot leave orphaned events
+// behind; a single untracked Scheduler.Defer in any MH path would grow
+// the pending set by one event per cycle and fail the equality below.
+func TestDetachAttachLeaksNoKernelTimers(t *testing.T) {
+	w := quickWorld(func(cfg *Config) {
+		cfg.GreetRefresh = 100 * time.Millisecond
+		cfg.RequestTimeout = 300 * time.Millisecond
+		// The server never answers inside the horizon, so the retry
+		// chains and the batch retry stay permanently armed.
+		cfg.ServerProc = netsim.Constant(time.Hour)
+	})
+	kernel := w.Kernel.(*sim.Kernel) // virtual worlds always run on the event kernel
+	mh := w.AddMH(1, 1)
+	w.Schedule(0, func() {
+		mh.IssueRequest(1, []byte("slow"))
+		b := mh.BeginBatch()
+		mh.BatchRequest(b, 1, []byte("member"))
+		mh.CommitBatch(b)
+	})
+	at := 500 * time.Millisecond
+	w.RunUntil(at)
+
+	baseline := -1
+	for cycle := 0; cycle < 4; cycle++ {
+		h, active := w.DetachMH(1)
+		if !active {
+			t.Fatalf("cycle %d: host detached inactive", cycle)
+		}
+		if n := len(h.timers); n != 0 {
+			t.Fatalf("cycle %d: %d tracked timers survive DetachMH", cycle, n)
+		}
+		// Drain the frames in flight at detach time; what remains must
+		// be cycle-invariant (only the parked server completions).
+		at += 2 * time.Second
+		w.RunUntil(at)
+		if pend := kernel.Pending(); baseline < 0 {
+			baseline = pend
+		} else if pend != baseline {
+			t.Fatalf("cycle %d: %d kernel events pending after detach, want %d — timers leak across detach/attach",
+				cycle, pend, baseline)
+		}
+		w.AttachMH(h, ids.MSS(cycle%4+1), true)
+		at += time.Second
+		w.RunUntil(at)
 	}
 }
 
