@@ -29,6 +29,7 @@ check:
 	go build ./...
 	go test ./...
 	go test -race ./internal/psim ./internal/sim
+	go test -race -run TestChaosMHCrash ./internal/rdpcore
 	go test -race ./...
 
 bench:

@@ -237,6 +237,32 @@ func BenchmarkE17Disconnect(b *testing.B) {
 	b.ReportMetric(minHit, "min-hit-ratio")
 }
 
+// BenchmarkE18MHCrash regenerates E18 at bench scale: mobile-host
+// crash/amnesia windows × disconnections × MSS crashes × proxy
+// migration under incarnation-scoped delivery and lease reclamation.
+// Reported metrics: survivor-scope losses plus cross-incarnation
+// deliveries plus partial batches across the sweep (must be 0), total
+// proxies reclaimed by the lease GC (must be > 0, proving orphan
+// reclamation runs), and total stale-incarnation drops (the scrub
+// machinery engaging).
+func BenchmarkE18MHCrash(b *testing.B) {
+	var violations, reclaimed, staleDrops float64
+	for i := 0; i < b.N; i++ {
+		violations, reclaimed, staleDrops = 0, 0, 0
+		for _, r := range experiments.E18MHCrash(int64(i+1), benchScale()) {
+			violations += float64(r.Lost + r.CrossIncDeliveries + r.BatchPartial)
+			if r.Leaked != "" {
+				violations++
+			}
+			reclaimed += float64(r.Reclaimed)
+			staleDrops += float64(r.StaleDrops)
+		}
+	}
+	b.ReportMetric(violations, "violations")
+	b.ReportMetric(reclaimed, "reclaimed")
+	b.ReportMetric(staleDrops, "stale-drops")
+}
+
 // BenchmarkTCPRoundTrip measures one request→result round trip over the
 // real-socket transport (internal/tcpnet): MH radio frame to the
 // station's TCP endpoint, causally stamped wired frame to the server,

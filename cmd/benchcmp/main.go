@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/benchcmp"
 )
@@ -38,7 +39,7 @@ func run(args []string, stdout io.Writer) (int, error) {
 		allocRatio = fs.Float64("alloc-ratio", 0, "allocs/op regression threshold (0 = default 1.25)")
 		nsRatio    = fs.Float64("ns-ratio", 0, "ns/op regression threshold (0 = report only)")
 		metricTol  = fs.Float64("metric-tol", 0, "headline metric relative tolerance (0 = default 1e-9)")
-		only       = fs.String("only", "", "compare only the named experiment (for single-experiment smoke gates)")
+		only       = fs.String("only", "", "comma-separated experiments to compare (for smoke gates over a subset)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -55,10 +56,13 @@ func run(args []string, stdout io.Writer) (int, error) {
 		return 2, err
 	}
 	if *only != "" {
-		base = filter(base, *only)
-		cur = filter(cur, *only)
-		if len(base.Entries) == 0 {
-			return 2, fmt.Errorf("no entry %q in baseline %s", *only, *basePath)
+		names := strings.Split(*only, ",")
+		base = filter(base, names)
+		cur = filter(cur, names)
+		for _, name := range names {
+			if !hasEntry(base, strings.TrimSpace(name)) {
+				return 2, fmt.Errorf("no entry %q in baseline %s", strings.TrimSpace(name), *basePath)
+			}
 		}
 	}
 	opts := benchcmp.DefaultOptions()
@@ -85,16 +89,30 @@ func run(args []string, stdout io.Writer) (int, error) {
 	return 0, nil
 }
 
-// filter narrows a snapshot to the single named entry, so a smoke job
-// that regenerated one experiment can gate it against the full
+// filter narrows a snapshot to the named entries, so a smoke job that
+// regenerated a handful of experiments can gate them against the full
 // committed baseline without tripping the missing-entry check.
-func filter(s benchcmp.Snapshot, name string) benchcmp.Snapshot {
+func filter(s benchcmp.Snapshot, names []string) benchcmp.Snapshot {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[strings.TrimSpace(n)] = true
+	}
 	kept := s.Entries[:0:0]
 	for _, e := range s.Entries {
-		if e.Name == name {
+		if want[e.Name] {
 			kept = append(kept, e)
 		}
 	}
 	s.Entries = kept
 	return s
+}
+
+// hasEntry reports whether the snapshot contains the named experiment.
+func hasEntry(s benchcmp.Snapshot, name string) bool {
+	for _, e := range s.Entries {
+		if e.Name == name {
+			return true
+		}
+	}
+	return false
 }

@@ -107,6 +107,46 @@ func TestOnlyFilterIgnoresOtherBaseEntries(t *testing.T) {
 	}
 }
 
+// TestOnlyFilterCommaList gates several experiments at once — the shape
+// a smoke job uses when it regenerates two related experiments but not
+// the whole suite.
+func TestOnlyFilterCommaList(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if err := benchcmp.Save(base, benchcmp.Snapshot{
+		Stamp: "base",
+		Entries: []benchcmp.Entry{
+			{Name: "e1", NsOp: 1e6, AllocsOp: 1000, MetricName: "ratio", Metric: 1},
+			{Name: "e17", NsOp: 1e6, AllocsOp: 1000, MetricName: "guarded", Metric: 0.7},
+			{Name: "e18", NsOp: 1e6, AllocsOp: 1000, MetricName: "guarded", Metric: 0.9},
+		},
+	}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	cur := filepath.Join(dir, "cur.json")
+	if err := benchcmp.Save(cur, benchcmp.Snapshot{
+		Stamp: "cur",
+		Entries: []benchcmp.Entry{
+			{Name: "e17", NsOp: 1.1e6, AllocsOp: 1010, MetricName: "guarded", Metric: 0.7},
+			{Name: "e18", NsOp: 1.1e6, AllocsOp: 1010, MetricName: "guarded", Metric: 0.9},
+		},
+	}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+
+	var out bytes.Buffer
+	code, err := run([]string{"-only", "e17, e18", "-base", base, "-new", cur}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("-only e17,e18: code=%d err=%v\n%s", code, err, out.String())
+	}
+
+	out.Reset()
+	_, err = run([]string{"-only", "e17,e99", "-base", base, "-new", cur}, &out)
+	if err == nil || !strings.Contains(err.Error(), "e99") {
+		t.Fatalf("-only with one unknown name: err=%v, want complaint about e99", err)
+	}
+}
+
 func TestMissingNewFlag(t *testing.T) {
 	var out bytes.Buffer
 	if _, err := run(nil, &out); err == nil {

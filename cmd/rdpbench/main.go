@@ -1,5 +1,5 @@
 // Command rdpbench regenerates the evaluation of the RDP paper: every
-// experiment of DESIGN.md (E1–E13, E17) as a printed table. Run all of them,
+// experiment of DESIGN.md (E1–E13, E17, E18) as a printed table. Run all of them,
 // or a subset:
 //
 //	rdpbench                 # everything, standard scale
@@ -70,6 +70,7 @@ var allRuns = []runSpec{
 	{"e12", printE12, metricE12},
 	{"e13", printE13, metricE13},
 	{"e17", printE17, metricE17},
+	{"e18", printE18, metricE18},
 }
 
 // e13RegionList/e13Workers carry the -regions/-serial flags into the
@@ -83,7 +84,7 @@ var (
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("rdpbench", flag.ContinueOnError)
 	var (
-		expFlag = fs.String("exp", "all", "comma-separated experiments to run (e1..e13, e17, or all)")
+		expFlag = fs.String("exp", "all", "comma-separated experiments to run (e1..e13, e17, e18, or all)")
 		seed    = fs.Int64("seed", 1, "random seed")
 		quick   = fs.Bool("quick", false, "reduced scale for a fast pass")
 		csv     = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
@@ -169,7 +170,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if len(sel) == 0 {
-		return fmt.Errorf("no experiment matched %q (use e1..e13, e17, or all)", *expFlag)
+		return fmt.Errorf("no experiment matched %q (use e1..e13, e17, e18, or all)", *expFlag)
 	}
 
 	if *jsonOut {
@@ -548,6 +549,47 @@ func metricE17(seed int64, sc experiments.Scale) (string, float64) {
 		}
 	}
 	return "guarded_min_hit_ratio", min
+}
+
+func printE18(r *renderer, seed int64, sc experiments.Scale) {
+	r.header("E18", "mobile-host crash/amnesia recovery: incarnation-scoped delivery + lease-based orphan reclamation")
+	t := metrics.NewTable("disc-dur", "mss-crash", "migration", "mh-crash", "mh-restart", "issued", "delivered",
+		"lost", "orphaned", "x-inc", "reclaimed", "heartbeats", "stale-drops", "journal-drops",
+		"migrations", "batches", "b-del", "b-abort", "b-partial", "leaked")
+	for _, row := range experiments.E18MHCrash(seed, sc) {
+		leaked := "none"
+		if row.Leaked != "" {
+			leaked = row.Leaked
+		}
+		t.AddRow(dur(row.DisconnectDur), strconv.Itoa(row.MSSCrashes), fmt.Sprint(row.Migration),
+			d(row.MHCrashes), d(row.MHRestarts), d(row.Issued), d(row.Delivered),
+			d(row.Lost), d(row.Orphaned), d(row.CrossIncDeliveries), d(row.Reclaimed),
+			d(row.Heartbeats), d(row.StaleDrops), d(row.DroppedOffline), d(row.Migrations),
+			d(row.Batches), d(row.BatchDelivered), d(row.BatchAborted), d(row.BatchPartial), leaked)
+	}
+	r.emit(t)
+}
+
+// metricE18 is the snapshot headline: the survivor-scope delivery ratio
+// across the sweep, forced to -1 whenever any row loses a survivor
+// request, delivers a result across an incarnation boundary, partially
+// delivers a batch, or leaks dead-incarnation proxy state past the
+// quiescence sweep — benchcmp then fails the e18-smoke gate on any
+// broken guarantee.
+func metricE18(seed int64, sc experiments.Scale) (string, float64) {
+	var issued, delivered, orphaned int64
+	for _, row := range experiments.E18MHCrash(seed, sc) {
+		if row.Lost > 0 || row.CrossIncDeliveries > 0 || row.BatchPartial > 0 || row.Leaked != "" {
+			return "guarded_survivor_delivery", -1
+		}
+		issued += row.Issued
+		delivered += row.Delivered
+		orphaned += row.Orphaned
+	}
+	if survivors := issued - orphaned; survivors > 0 {
+		return "guarded_survivor_delivery", float64(delivered) / float64(survivors)
+	}
+	return "guarded_survivor_delivery", -1
 }
 
 // metricE13 is the snapshot headline: total delivered across the sweep.

@@ -68,6 +68,18 @@ type Disconnect struct {
 	ReconnectAt time.Duration
 }
 
+// MHCrash schedules one mobile-host crash/restart window (E18): the
+// host crashes at At — losing ALL volatile state (seen-set, outstanding
+// table, in-flight batches, backoff timers) — and reboots at RestartAt
+// under a fresh incarnation number drawn from its non-volatile flash.
+// A zero RestartAt leaves the host dead for the rest of the run; its
+// orphaned proxy is reclaimed by the lease GC.
+type MHCrash struct {
+	MH        ids.MH
+	At        time.Duration
+	RestartAt time.Duration
+}
+
 // Slowdown makes one MSS process every inbox message Extra slower
 // during [Start, End) — the slow-station fault mode of E11 (an
 // overloaded or thermally throttled support station, not a crashed
@@ -100,6 +112,8 @@ type Plan struct {
 	Crashes []Crash
 	// Disconnects lists MH disconnection windows (E17).
 	Disconnects []Disconnect
+	// MHCrashes lists MH crash/restart windows (E18).
+	MHCrashes []MHCrash
 	// Slowdowns lists timed per-station processing slowdowns.
 	Slowdowns []Slowdown
 	// Spikes lists timed offered-load multipliers.
@@ -121,6 +135,10 @@ type Stats struct {
 	// Disconnects and Reconnects count executed disconnection windows.
 	Disconnects metrics.Counter
 	Reconnects  metrics.Counter
+	// MHCrashes and MHRestarts count executed mobile-host outage
+	// windows (E18).
+	MHCrashes  metrics.Counter
+	MHRestarts metrics.Counter
 }
 
 // Injector executes a Plan. It implements netsim.FaultHook.
@@ -258,6 +276,24 @@ func (inj *Injector) ScheduleDisconnects(disconnect, reconnect func(ids.MH)) {
 			inj.k.Defer(d.ReconnectAt, func() {
 				inj.Stats.Reconnects.Inc()
 				reconnect(d.MH)
+			})
+		}
+	}
+}
+
+// ScheduleMHCrashes arms the plan's mobile-host crash/restart windows.
+// The callbacks are typically World.CrashMH and World.RestartMH.
+func (inj *Injector) ScheduleMHCrashes(crash, restart func(ids.MH)) {
+	for _, c := range inj.plan.MHCrashes {
+		c := c
+		inj.k.Defer(c.At, func() {
+			inj.Stats.MHCrashes.Inc()
+			crash(c.MH)
+		})
+		if c.RestartAt > c.At {
+			inj.k.Defer(c.RestartAt, func() {
+				inj.Stats.MHRestarts.Inc()
+				restart(c.MH)
 			})
 		}
 	}

@@ -188,6 +188,28 @@ func (r RequestID) Less(o RequestID) bool {
 	return r.Seq < o.Seq
 }
 
+// Incarnation numbers a mobile host's boot epoch. The counter lives in
+// the host's non-volatile flash — it is the one datum an MH reboot does
+// NOT lose — and increments monotonically on every restart after a
+// crash. A host that never crashes stays at incarnation 1 forever.
+// Requests, forwarded results and lease heartbeats carry the issuing
+// incarnation so stations and proxies can recognize traffic that
+// belongs to a dead (pre-crash) epoch of the host and refuse to deliver
+// it (E18's amnesia guarantee: a rebooted host, having lost its
+// duplicate-detection seen-set, must never be handed a result its
+// previous self asked for).
+type Incarnation uint32
+
+// FirstIncarnation is the boot epoch of a host that has never crashed.
+// Incarnation 0 is reserved as "unknown" (legacy traffic from code
+// paths that predate incarnation tracking is treated as first-epoch).
+const FirstIncarnation Incarnation = 1
+
+// String returns e.g. "inc2".
+func (i Incarnation) String() string {
+	return "inc" + strconv.FormatUint(uint64(i), 10)
+}
+
 // BatchID identifies an atomic request batch opened by a mobile host.
 // Like RequestID, Seq is assigned by the origin MH and is unique per MH,
 // so a batch is identifiable across hand-offs, proxy migrations and

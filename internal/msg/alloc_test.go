@@ -76,9 +76,9 @@ func TestDecodeIntoAliasesInput(t *testing.T) {
 	if len(dst.Payload) == 0 {
 		t.Fatal("empty payload")
 	}
-	// The wire layout ends payload-then-DelPref, so the payload's last
-	// byte sits just before the trailing bool.
-	enc[len(enc)-2] ^= 0xFF
+	// The wire layout ends payload, DelPref, Inc, so the payload's last
+	// byte sits just before the trailing bool + u32 incarnation.
+	enc[len(enc)-6] ^= 0xFF
 	if dst.Payload[len(dst.Payload)-1] == 0xAB {
 		t.Error("DecodeInto copied the payload; expected it to alias the input")
 	}
@@ -209,6 +209,12 @@ func decodeIntoReencode(m Message, enc []byte) ([]byte, error) {
 		return viaDecodeInto[BatchCommit](enc)
 	case BatchAbort:
 		return viaDecodeInto[BatchAbort](enc)
+	case Register:
+		return viaDecodeInto[Register](enc)
+	case LeaseHeartbeat:
+		return viaDecodeInto[LeaseHeartbeat](enc)
+	case ReclaimMemo:
+		return viaDecodeInto[ReclaimMemo](enc)
 	}
 	return nil, ErrBadKind
 }

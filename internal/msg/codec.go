@@ -67,14 +67,17 @@ func (e *encoder) message(m Message) error {
 	case Greet:
 		e.u32(uint32(v.MH))
 		e.u32(uint32(v.OldMSS))
+		e.inc(v.Inc)
 	case Request:
 		e.req(v.Req)
 		e.u32(uint32(v.Server))
 		e.bytes(v.Payload)
+		e.inc(v.Inc)
 	case ResultDeliver:
 		e.req(v.Req)
 		e.bytes(v.Payload)
 		e.bool(v.DelPref)
+		e.inc(v.Inc)
 	case AckMH:
 		e.u32(uint32(v.MH))
 		e.req(v.Req)
@@ -85,11 +88,13 @@ func (e *encoder) message(m Message) error {
 	case DeregAck:
 		e.u32(uint32(v.MH))
 		e.pref(v.Pref)
+		e.inc(v.Inc)
 	case RequestForward:
 		e.proxy(v.Proxy)
 		e.req(v.Req)
 		e.u32(uint32(v.Server))
 		e.bytes(v.Payload)
+		e.inc(v.Inc)
 	case UpdateCurrentLoc:
 		e.proxy(v.Proxy)
 		e.u32(uint32(v.MH))
@@ -100,6 +105,7 @@ func (e *encoder) message(m Message) error {
 		e.req(v.Req)
 		e.bytes(v.Payload)
 		e.bool(v.DelPref)
+		e.inc(v.Inc)
 	case AckForward:
 		e.proxy(v.Proxy)
 		e.u32(uint32(v.MH))
@@ -210,6 +216,7 @@ func (e *encoder) message(m Message) error {
 			e.bool(r.HasResult)
 			e.bool(r.Forwarded)
 			e.batch(r.Batch)
+			e.inc(r.Inc)
 		}
 		e.u32(uint32(len(v.Batches)))
 		for _, b := range v.Batches {
@@ -218,7 +225,9 @@ func (e *encoder) message(m Message) error {
 			e.bool(b.Committed)
 			e.bool(b.Released)
 			e.bool(b.Aborted)
+			e.inc(b.Inc)
 		}
+		e.inc(v.LeaseInc)
 	case PrefRedirect:
 		e.u32(uint32(v.MH))
 		e.proxy(v.OldProxy)
@@ -233,6 +242,7 @@ func (e *encoder) message(m Message) error {
 		e.proxy(v.Proxy)
 		e.u32(uint32(v.MH))
 		e.batch(v.Batch)
+		e.inc(v.Inc)
 	case BatchItem:
 		e.proxy(v.Proxy)
 		e.u32(uint32(v.MH))
@@ -240,6 +250,7 @@ func (e *encoder) message(m Message) error {
 		e.req(v.Req)
 		e.u32(uint32(v.Server))
 		e.bytes(v.Payload)
+		e.inc(v.Inc)
 	case BatchCommit:
 		e.proxy(v.Proxy)
 		e.u32(uint32(v.MH))
@@ -253,6 +264,17 @@ func (e *encoder) message(m Message) error {
 		for _, r := range v.Reqs {
 			e.req(r)
 		}
+	case Register:
+		e.u32(uint32(v.MH))
+		e.inc(v.Inc)
+	case LeaseHeartbeat:
+		e.proxy(v.Proxy)
+		e.u32(uint32(v.MH))
+		e.inc(v.Inc)
+	case ReclaimMemo:
+		e.proxy(v.Proxy)
+		e.u32(uint32(v.MH))
+		e.inc(v.Inc)
 	default:
 		return fmt.Errorf("%w: %T", ErrBadKind, m)
 	}
@@ -266,14 +288,16 @@ func (e *encoder) message(m Message) error {
 
 func decJoin(d *decoder) Join   { return Join{MH: ids.MH(d.u32())} }
 func decLeave(d *decoder) Leave { return Leave{MH: ids.MH(d.u32())} }
-func decGreet(d *decoder) Greet { return Greet{MH: ids.MH(d.u32()), OldMSS: ids.MSS(d.u32())} }
+func decGreet(d *decoder) Greet {
+	return Greet{MH: ids.MH(d.u32()), OldMSS: ids.MSS(d.u32()), Inc: d.inc()}
+}
 
 func decRequest(d *decoder) Request {
-	return Request{Req: d.req(), Server: ids.Server(d.u32()), Payload: d.bytes()}
+	return Request{Req: d.req(), Server: ids.Server(d.u32()), Payload: d.bytes(), Inc: d.inc()}
 }
 
 func decResultDeliver(d *decoder) ResultDeliver {
-	return ResultDeliver{Req: d.req(), Payload: d.bytes(), DelPref: d.bool()}
+	return ResultDeliver{Req: d.req(), Payload: d.bytes(), DelPref: d.bool(), Inc: d.inc()}
 }
 
 func decAckMH(d *decoder) AckMH {
@@ -285,11 +309,11 @@ func decDereg(d *decoder) Dereg {
 }
 
 func decDeregAck(d *decoder) DeregAck {
-	return DeregAck{MH: ids.MH(d.u32()), Pref: d.pref()}
+	return DeregAck{MH: ids.MH(d.u32()), Pref: d.pref(), Inc: d.inc()}
 }
 
 func decRequestForward(d *decoder) RequestForward {
-	return RequestForward{Proxy: d.proxy(), Req: d.req(), Server: ids.Server(d.u32()), Payload: d.bytes()}
+	return RequestForward{Proxy: d.proxy(), Req: d.req(), Server: ids.Server(d.u32()), Payload: d.bytes(), Inc: d.inc()}
 }
 
 func decUpdateCurrentLoc(d *decoder) UpdateCurrentLoc {
@@ -297,7 +321,7 @@ func decUpdateCurrentLoc(d *decoder) UpdateCurrentLoc {
 }
 
 func decResultForward(d *decoder) ResultForward {
-	return ResultForward{Proxy: d.proxy(), MH: ids.MH(d.u32()), Req: d.req(), Payload: d.bytes(), DelPref: d.bool()}
+	return ResultForward{Proxy: d.proxy(), MH: ids.MH(d.u32()), Req: d.req(), Payload: d.bytes(), DelPref: d.bool(), Inc: d.inc()}
 }
 
 func decAckForward(d *decoder) AckForward {
@@ -430,6 +454,7 @@ func decMigState(d *decoder) MigState {
 			HasResult: d.bool(),
 			Forwarded: d.bool(),
 			Batch:     d.batch(),
+			Inc:       d.inc(),
 		})
 	}
 	n = d.len()
@@ -443,8 +468,10 @@ func decMigState(d *decoder) MigState {
 			Committed: d.bool(),
 			Released:  d.bool(),
 			Aborted:   d.bool(),
+			Inc:       d.inc(),
 		})
 	}
+	ms.LeaseInc = d.inc()
 	return ms
 }
 
@@ -457,7 +484,7 @@ func decMigGC(d *decoder) MigGC {
 }
 
 func decBatchOpen(d *decoder) BatchOpen {
-	return BatchOpen{Proxy: d.proxy(), MH: ids.MH(d.u32()), Batch: d.batch()}
+	return BatchOpen{Proxy: d.proxy(), MH: ids.MH(d.u32()), Batch: d.batch(), Inc: d.inc()}
 }
 
 func decBatchItem(d *decoder) BatchItem {
@@ -468,6 +495,7 @@ func decBatchItem(d *decoder) BatchItem {
 		Req:     d.req(),
 		Server:  ids.Server(d.u32()),
 		Payload: d.bytes(),
+		Inc:     d.inc(),
 	}
 }
 
@@ -485,6 +513,18 @@ func decBatchAbort(d *decoder) BatchAbort {
 		ba.Reqs = append(ba.Reqs, d.req())
 	}
 	return ba
+}
+
+func decRegister(d *decoder) Register {
+	return Register{MH: ids.MH(d.u32()), Inc: d.inc()}
+}
+
+func decLeaseHeartbeat(d *decoder) LeaseHeartbeat {
+	return LeaseHeartbeat{Proxy: d.proxy(), MH: ids.MH(d.u32()), Inc: d.inc()}
+}
+
+func decReclaimMemo(d *decoder) ReclaimMemo {
+	return ReclaimMemo{Proxy: d.proxy(), MH: ids.MH(d.u32()), Inc: d.inc()}
 }
 
 // Decode parses a message previously produced by Encode. It rejects
@@ -576,6 +616,12 @@ func Decode(b []byte) (Message, error) {
 		m = decBatchCommit(&d)
 	case KindBatchAbort:
 		m = decBatchAbort(&d)
+	case KindRegister:
+		m = decRegister(&d)
+	case KindLeaseHeartbeat:
+		m = decLeaseHeartbeat(&d)
+	case KindReclaimMemo:
+		m = decReclaimMemo(&d)
 	default:
 		if d.err != nil {
 			return nil, d.err
@@ -692,6 +738,12 @@ func DecodeInto[M Message](b []byte, dst *M) error {
 		*p = decBatchCommit(&d)
 	case *BatchAbort:
 		*p = decBatchAbort(&d)
+	case *Register:
+		*p = decRegister(&d)
+	case *LeaseHeartbeat:
+		*p = decLeaseHeartbeat(&d)
+	case *ReclaimMemo:
+		*p = decReclaimMemo(&d)
 	default:
 		return fmt.Errorf("%w: %T", ErrBadKind, dst)
 	}
@@ -745,6 +797,8 @@ func (e *encoder) batch(b ids.BatchID) {
 	e.u32(uint32(b.Origin))
 	e.u32(b.Seq)
 }
+
+func (e *encoder) inc(i ids.Incarnation) { e.u32(uint32(i)) }
 
 // decoder consumes fields from a buffer, latching the first error. With
 // alias set, bytes() returns subslices of the input instead of copies
@@ -851,6 +905,8 @@ func (d *decoder) pref() Pref {
 func (d *decoder) batch() ids.BatchID {
 	return ids.BatchID{Origin: ids.MH(d.u32()), Seq: d.u32()}
 }
+
+func (d *decoder) inc() ids.Incarnation { return ids.Incarnation(d.u32()) }
 
 // encBufPool recycles scratch encode buffers across goroutines for the
 // encode-and-discard and encode-and-write paths (WireSize, transports).

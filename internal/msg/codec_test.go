@@ -19,9 +19,9 @@ func sampleMessages() []Message {
 	return []Message{
 		Join{MH: 3},
 		Leave{MH: 3},
-		Greet{MH: 3, OldMSS: 2},
-		Request{Req: req, Server: 1, Payload: []byte("query traffic zone 4")},
-		ResultDeliver{Req: req, Payload: []byte("result"), DelPref: true},
+		Greet{MH: 3, OldMSS: 2, Inc: 2},
+		Request{Req: req, Server: 1, Payload: []byte("query traffic zone 4"), Inc: 1},
+		ResultDeliver{Req: req, Payload: []byte("result"), DelPref: true, Inc: 1},
 		AckMH{MH: 3, Req: req},
 		Dereg{MH: 3, NewMSS: 4},
 		DeregAck{MH: 3, Pref: Pref{Proxy: prx, RKpR: true}},
@@ -58,13 +58,14 @@ func sampleMessages() []Message {
 			MH:         3,
 			CurrentLoc: 4,
 			Reqs: []MigReqState{
-				{Req: req, Server: 1, Payload: []byte("q"), Result: []byte("r"), HasResult: true, Forwarded: true},
-				{Req: ids.RequestID{Origin: 3, Seq: 42}, Server: 2, Payload: []byte("q2"), Batch: ids.BatchID{Origin: 3, Seq: 1}},
+				{Req: req, Server: 1, Payload: []byte("q"), Result: []byte("r"), HasResult: true, Forwarded: true, Inc: 1},
+				{Req: ids.RequestID{Origin: 3, Seq: 42}, Server: 2, Payload: []byte("q2"), Batch: ids.BatchID{Origin: 3, Seq: 1}, Inc: 2},
 			},
 			Batches: []MigBatchState{
-				{Batch: ids.BatchID{Origin: 3, Seq: 1}, Expected: 2, Committed: true},
+				{Batch: ids.BatchID{Origin: 3, Seq: 1}, Expected: 2, Committed: true, Inc: 2},
 				{Batch: ids.BatchID{Origin: 3, Seq: 2}, Aborted: true},
 			},
+			LeaseInc: 2,
 		},
 		PrefRedirect{MH: 3, OldProxy: prx, NewProxy: ids.ProxyID{Host: 4, Seq: 9}, Req: req, Confirm: true},
 		MigGC{OldProxy: prx, NewProxy: ids.ProxyID{Host: 4, Seq: 9}, MH: 3},
@@ -72,6 +73,9 @@ func sampleMessages() []Message {
 		BatchItem{Proxy: prx, MH: 3, Batch: ids.BatchID{Origin: 3, Seq: 1}, Req: req, Server: 1, Payload: []byte("bq")},
 		BatchCommit{Proxy: prx, MH: 3, Batch: ids.BatchID{Origin: 3, Seq: 1}, Count: 2},
 		BatchAbort{Proxy: prx, MH: 3, Batch: ids.BatchID{Origin: 3, Seq: 1}, Reqs: []ids.RequestID{req, {Origin: 3, Seq: 42}}},
+		Register{MH: 3, Inc: 2},
+		LeaseHeartbeat{Proxy: prx, MH: 3, Inc: 2},
+		ReclaimMemo{Proxy: prx, MH: 3, Inc: 1},
 	}
 }
 

@@ -63,6 +63,25 @@ func FuzzDecodeLinkFrames(f *testing.F) {
 				{Batch: ids.BatchID{Origin: 3, Seq: 1}, Expected: 1, Committed: true, Released: false},
 			},
 		}},
+		// Crash/amnesia-recovery messages (E18), bare and ARQ-framed,
+		// plus a migration transfer that carries incarnation-stamped
+		// request/batch/lease state so the Inc codec paths are
+		// fuzz-covered from day one.
+		Register{MH: 3, Inc: 2},
+		LeaseHeartbeat{Proxy: ids.ProxyID{Host: 1, Seq: 2}, MH: 3, Inc: 2},
+		LinkFrame{Seq: 14, Inner: ReclaimMemo{Proxy: ids.ProxyID{Host: 1, Seq: 2}, MH: 3, Inc: 1}},
+		LinkFrame{Seq: 15, Inner: MigState{
+			Proxy:    ids.ProxyID{Host: 1, Seq: 2},
+			NewProxy: ids.ProxyID{Host: 2, Seq: 7},
+			MH:       3,
+			LeaseInc: 3,
+			Reqs: []MigReqState{
+				{Req: ids.RequestID{Origin: 3, Seq: 9}, Server: 1, Payload: []byte("q"), Inc: 2},
+			},
+			Batches: []MigBatchState{
+				{Batch: ids.BatchID{Origin: 3, Seq: 1}, Expected: 1, Inc: 3},
+			},
+		}},
 	}
 	for _, m := range seeds {
 		b, err := Encode(m)

@@ -102,6 +102,13 @@ const (
 	KindBatchCommit
 	KindBatchAbort
 
+	// Mobile-host crash/amnesia recovery (E18): incarnation-bearing
+	// re-registration after a reboot, the proxy-lease heartbeat, and
+	// the durable reclaim memo recording a lease-GC'd proxy.
+	KindRegister
+	KindLeaseHeartbeat
+	KindReclaimMemo
+
 	kindSentinel // one past the last valid kind
 )
 
@@ -144,6 +151,9 @@ var kindNames = [...]string{
 	KindBatchItem:        "batch-item",
 	KindBatchCommit:      "batch-commit",
 	KindBatchAbort:       "batch-abort",
+	KindRegister:         "register",
+	KindLeaseHeartbeat:   "lease-hb",
+	KindReclaimMemo:      "reclaim-memo",
 }
 
 // String returns the trace tag of the kind, e.g. "update-currl".
@@ -203,27 +213,35 @@ type Leave struct {
 // Greet is sent by an MH entering a new cell, or on reactivation in the
 // same cell. OldMSS is the station responsible for the cell the MH is
 // leaving; if OldMSS equals the receiving station no hand-off is started
-// (paper §2, §3.2).
+// (paper §2, §3.2). Inc is the host's boot incarnation (E18); stations
+// treat 0 as "first incarnation".
 type Greet struct {
 	MH     ids.MH
 	OldMSS ids.MSS
+	Inc    ids.Incarnation
 }
 
 // Request is a service request from an MH to its respMss, to be routed
-// to (or creating) the MH's proxy (paper §3.1).
+// to (or creating) the MH's proxy (paper §3.1). Inc stamps the issuing
+// incarnation of the host (E18): a request from a dead incarnation must
+// never produce a delivery to the rebooted host.
 type Request struct {
 	Req     ids.RequestID
 	Server  ids.Server
 	Payload []byte
+	Inc     ids.Incarnation
 }
 
 // ResultDeliver carries a request result over the wireless link from the
 // respMss to the MH. DelPref is the piggy-backed del-pref flag: true when
-// the proxy has no other pending request (paper §3.3).
+// the proxy has no other pending request (paper §3.3). Inc is the
+// incarnation that issued the request; the MH refuses delivery when it
+// does not match its current incarnation (post-amnesia duplicate guard).
 type ResultDeliver struct {
 	Req     ids.RequestID
 	Payload []byte
 	DelPref bool
+	Inc     ids.Incarnation
 }
 
 // AckMH is the MH's acknowledgment for a delivered result (paper
@@ -250,10 +268,13 @@ type Dereg struct {
 }
 
 // DeregAck transfers responsibility for the MH (with its pref) to the
-// new respMss.
+// new respMss. Inc carries the old station's record of the host's
+// registered incarnation, so incarnation knowledge survives hand-offs
+// the same way the pref does (E18).
 type DeregAck struct {
 	MH   ids.MH
 	Pref Pref
+	Inc  ids.Incarnation
 }
 
 // ---------------------------------------------------------------------
@@ -267,6 +288,7 @@ type RequestForward struct {
 	Req     ids.RequestID
 	Server  ids.Server
 	Payload []byte
+	Inc     ids.Incarnation // issuing incarnation of the origin MH (E18)
 }
 
 // UpdateCurrentLoc updates the proxy's currentLoc variable after a
@@ -287,6 +309,7 @@ type ResultForward struct {
 	Req     ids.RequestID
 	Payload []byte
 	DelPref bool
+	Inc     ids.Incarnation // incarnation that issued Req; stale => never delivered (E18)
 }
 
 // AckForward relays an MH's Ack from its respMss to the proxy. DelProxy
@@ -532,7 +555,8 @@ type MigReqState struct {
 	Result    []byte
 	HasResult bool
 	Forwarded bool
-	Batch     ids.BatchID // batch membership; zero for ordinary requests
+	Batch     ids.BatchID     // batch membership; zero for ordinary requests
+	Inc       ids.Incarnation // issuing incarnation of the origin MH (E18)
 }
 
 // MigBatchState is one atomic batch's control state within a migrating
@@ -549,6 +573,7 @@ type MigBatchState struct {
 	Committed bool
 	Released  bool
 	Aborted   bool
+	Inc       ids.Incarnation // opening incarnation of the batch (E18)
 }
 
 // MigState transfers the full proxy state from the old host to the
@@ -563,6 +588,11 @@ type MigState struct {
 	CurrentLoc ids.MSS
 	Reqs       []MigReqState
 	Batches    []MigBatchState
+	// LeaseInc is the newest incarnation the migrating proxy's lease has
+	// heard for its MH; the adopting host installs it and re-arms the
+	// lease-expiry timer from scratch (E18 — lease state survives
+	// migration the way batch state does).
+	LeaseInc ids.Incarnation
 }
 
 // PrefRedirect announces that OldProxy has migrated to NewProxy. Three
@@ -603,6 +633,7 @@ type BatchOpen struct {
 	Proxy ids.ProxyID // zero uplink; proxy identity on the wired forward
 	MH    ids.MH
 	Batch ids.BatchID
+	Inc   ids.Incarnation // opening incarnation of the MH (E18)
 }
 
 // BatchItem adds one member request to an open batch. It carries the
@@ -615,6 +646,7 @@ type BatchItem struct {
 	Req     ids.RequestID
 	Server  ids.Server
 	Payload []byte
+	Inc     ids.Incarnation // issuing incarnation of the MH (E18)
 }
 
 // BatchCommit seals the batch. Count is the total number of members the
@@ -639,6 +671,47 @@ type BatchAbort struct {
 	MH    ids.MH
 	Batch ids.BatchID
 	Reqs  []ids.RequestID
+}
+
+// ---------------------------------------------------------------------
+// Mobile-host crash/amnesia recovery (E18).
+
+// Register is the incarnation-bearing registration a rebooted mobile
+// host sends to the station responsible for its cell: "I am MH m, now
+// in incarnation i". Unlike Join (a first boot, implicitly incarnation
+// 1) and Greet (a cell change), Register re-asserts an existing
+// registration in place under a fresh incarnation. The station records
+// the incarnation durably, scrubs per-MH state belonging to older
+// incarnations (outstanding-request ledger entries, held results) and
+// confirms with RegConfirm.
+type Register struct {
+	MH  ids.MH
+	Inc ids.Incarnation
+}
+
+// LeaseHeartbeat renews the lease on a mobile host's proxy. The host's
+// respMss sends it to the proxy's host while the registration is alive;
+// it names the newest incarnation the station has registered. A
+// heartbeat carrying a newer incarnation than the proxy's lease tells
+// the proxy host the older incarnation is dead: requests (and batches)
+// it left behind are scrubbed. A proxy whose lease sees no heartbeat
+// for Config.LeaseTTL is reclaimed entirely (E18 orphan GC).
+type LeaseHeartbeat struct {
+	Proxy ids.ProxyID
+	MH    ids.MH
+	Inc   ids.Incarnation
+}
+
+// ReclaimMemo records (and announces) the lease-GC reclamation of an
+// orphaned proxy. The proxy host journals the memo durably before
+// dropping the proxy — the decision must survive its own crash — and
+// sends it to the MH's last known respMss so the stale pref and any
+// outstanding-ledger entries are scrubbed there too. Inc is the lease's
+// last known incarnation at reclaim time.
+type ReclaimMemo struct {
+	Proxy ids.ProxyID
+	MH    ids.MH
+	Inc   ids.Incarnation
 }
 
 // ---------------------------------------------------------------------
@@ -681,6 +754,9 @@ func (BatchOpen) Kind() Kind        { return KindBatchOpen }
 func (BatchItem) Kind() Kind        { return KindBatchItem }
 func (BatchCommit) Kind() Kind      { return KindBatchCommit }
 func (BatchAbort) Kind() Kind       { return KindBatchAbort }
+func (Register) Kind() Kind         { return KindRegister }
+func (LeaseHeartbeat) Kind() Kind   { return KindLeaseHeartbeat }
+func (ReclaimMemo) Kind() Kind      { return KindReclaimMemo }
 
 // ---------------------------------------------------------------------
 // String methods (trace rendering).
@@ -783,6 +859,15 @@ func (m BatchCommit) String() string {
 func (m BatchAbort) String() string {
 	return fmt.Sprintf("batch-abort(%v,%v,reqs=%d)", m.Proxy, m.Batch, len(m.Reqs))
 }
+func (m Register) String() string {
+	return fmt.Sprintf("register(%v,%v)", m.MH, m.Inc)
+}
+func (m LeaseHeartbeat) String() string {
+	return fmt.Sprintf("lease-hb(%v,%v,%v)", m.Proxy, m.MH, m.Inc)
+}
+func (m ReclaimMemo) String() string {
+	return fmt.Sprintf("reclaim-memo(%v,%v,%v)", m.Proxy, m.MH, m.Inc)
+}
 
 // Compile-time interface checks.
 var (
@@ -823,4 +908,7 @@ var (
 	_ Message = BatchItem{}
 	_ Message = BatchCommit{}
 	_ Message = BatchAbort{}
+	_ Message = Register{}
+	_ Message = LeaseHeartbeat{}
+	_ Message = ReclaimMemo{}
 )

@@ -232,6 +232,109 @@ func TestSerialMatchesParallelE12(t *testing.T) {
 	}
 }
 
+// injectCrash splices an EvCrash (and, unless permanent, an EvRestart)
+// into a sorted script, keeping it sorted.
+func injectCrash(events []psim.MHEvent, crashAt, restartAt time.Duration) []psim.MHEvent {
+	extra := []psim.MHEvent{{At: crashAt, Kind: psim.EvCrash}}
+	if restartAt > 0 {
+		extra = append(extra, psim.MHEvent{At: restartAt, Kind: psim.EvRestart})
+	}
+	out := make([]psim.MHEvent, 0, len(events)+len(extra))
+	for _, ev := range events {
+		for len(extra) > 0 && extra[0].At <= ev.At {
+			out = append(out, extra[0])
+			extra = extra[1:]
+		}
+		out = append(out, ev)
+	}
+	return append(out, extra...)
+}
+
+// TestSerialMatchesParallelMHCrash injects MH crash/restart events
+// (E18) into the E1-shaped world with lease GC enabled and requires
+// exact serial/parallel equality — incarnation counters, crash flags,
+// and offline journals must survive region transfers bit-for-bit, and
+// the lease heartbeat/reclaim machinery must not introduce any
+// scheduling nondeterminism. One victim never restarts, so permanent
+// orphan reclamation is exercised too.
+func TestSerialMatchesParallelMHCrash(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const horizon = 6 * time.Second
+	const mhs = 24
+	buildCrash := func(workers int, seed int64, assign map[ids.MSS]int) *psim.World {
+		base := e1Base(seed)
+		base.LeaseTTL = time.Second
+		pw := psim.New(psim.Config{
+			Base:          base,
+			Regions:       3,
+			Workers:       workers,
+			Lookahead:     2 * time.Millisecond,
+			AssignStation: func(id ids.MSS) int { return assign[id] },
+		})
+		cells := cellList(base.NumMSS)
+		scfg := psim.ScriptConfig{
+			Mobility: workload.Mobility{
+				Picker:            workload.UniformCells{Cells: cells},
+				Residence:         netsim.Exponential{MeanDelay: 800 * time.Millisecond, Floor: 100 * time.Millisecond},
+				InactiveProb:      0.25,
+				InactiveDur:       netsim.Exponential{MeanDelay: 600 * time.Millisecond, Floor: 100 * time.Millisecond},
+				MoveWhileInactive: 0.4,
+			},
+			Requests: workload.Requests{
+				Interarrival: netsim.Exponential{MeanDelay: 900 * time.Millisecond, Floor: 50 * time.Millisecond},
+				Servers:      serverList(base.NumServers),
+				PayloadBytes: 32,
+			},
+			Horizon: horizon,
+		}
+		lastVictim := 0
+		for i := 1; i <= mhs; i += 4 {
+			lastVictim = i
+		}
+		for i := 1; i <= mhs; i++ {
+			id := ids.MH(i)
+			start, events := psim.BuildScript(base.Seed, id, cells, scfg)
+			if i%4 == 1 {
+				restartAt := 3500 * time.Millisecond
+				if i == lastVictim {
+					restartAt = 0 // permanent casualty: reclaimed by lease expiry
+				}
+				events = injectCrash(events, 2500*time.Millisecond, restartAt)
+			}
+			pw.AddMH(id, start, events)
+		}
+		return pw
+	}
+	for trial := 0; trial < 2; trial++ {
+		seed := int64(700 + rng.Intn(1000))
+		assign := randomAssignment(rng, 8, 3)
+		serial := buildCrash(1, seed, assign)
+		serial.RunUntil(horizon + horizon/2)
+		parallel := buildCrash(4, seed, assign)
+		parallel.RunUntil(horizon + horizon/2)
+		assertRunsEqual(t, serial, parallel, "mhcrash")
+		if v := serial.Summary().Violations; v != 0 {
+			t.Fatalf("trial %d: %d protocol violations", trial, v)
+		}
+		// The run must actually exercise the E18 machinery on both
+		// engines, or the equality above proves nothing.
+		for name, w := range map[string]*psim.World{"serial": serial, "parallel": parallel} {
+			var crashes, restarts, beats int64
+			for _, s := range w.RegionStats() {
+				crashes += s.MHCrashes.Value()
+				restarts += s.MHRestarts.Value()
+				beats += s.LeaseHeartbeats.Value()
+			}
+			if crashes != 6 || restarts != 5 {
+				t.Errorf("trial %d %s: %d crashes / %d restarts, want 6/5", trial, name, crashes, restarts)
+			}
+			if beats == 0 {
+				t.Errorf("trial %d %s: lease heartbeats never ran", trial, name)
+			}
+		}
+	}
+}
+
 // TestHeadlineIsPartitionInvariant runs the constant-latency topology
 // under three different partitions of the same seed: the headline
 // metrics must agree exactly, the ratio must be exactly 1, and no

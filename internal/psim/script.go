@@ -35,6 +35,14 @@ const (
 	// re-forwards any undelivered result — the mechanism behind the
 	// delivery-ratio-1.0 guarantee at the measurement horizon.
 	EvFlush
+	// EvCrash power-fails the host in place (E18): volatile protocol
+	// state is lost and only the incarnation counter and offline journal
+	// survive in stable store.
+	EvCrash
+	// EvRestart reboots a crashed host under its next incarnation; the
+	// reboot registration lets lease GC scrub the dead incarnation's
+	// proxy state.
+	EvRestart
 )
 
 // MHEvent is one scripted action. Scripts are generated up front from
@@ -104,13 +112,19 @@ func (pw *World) exec(r *region, s *script) {
 	case EvRequest:
 		h := r.world.MHs[s.id]
 		req := h.IssueRequest(ev.Server, ev.Payload)
-		r.issued = append(r.issued, Issued{MH: s.id, Req: req})
+		if req.Seq != 0 { // crashed hosts refuse issues (E18)
+			r.issued = append(r.issued, Issued{MH: s.id, Req: req})
+		}
 	case EvDeactivate:
 		r.world.SetActive(s.id, false)
 	case EvDisconnect:
 		r.world.Disconnect(s.id)
 	case EvReconnect:
 		r.world.Reconnect(s.id)
+	case EvCrash:
+		r.world.CrashMH(s.id)
+	case EvRestart:
+		r.world.RestartMH(s.id)
 	case EvFlush:
 		if r.world.IsActive(s.id) {
 			r.world.Refresh(s.id)
@@ -118,10 +132,11 @@ func (pw *World) exec(r *region, s *script) {
 			r.world.SetActive(s.id, true)
 		}
 	case EvMigrate, EvActivate:
-		if ev.Kind == EvMigrate && r.world.IsDisconnected(s.id) {
-			// Out of coverage: the move is suppressed (the serial E17
-			// driver does the same) — in particular the host must not
-			// transfer regions, which would drop its disconnected state.
+		if ev.Kind == EvMigrate && (r.world.IsDisconnected(s.id) || r.world.IsCrashed(s.id)) {
+			// Out of coverage or powered off: the move is suppressed (the
+			// serial E17/E18 drivers do the same) — in particular the host
+			// must not transfer regions, which would drop its disconnected
+			// or crashed state along with its incarnation counter.
 			break
 		}
 		dst, ok := pw.stationRegion[ev.Cell]

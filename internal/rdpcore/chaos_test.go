@@ -183,8 +183,15 @@ type chaosParams struct {
 	// requests issued inside the window journal to the offline queue
 	// and must replay to completion after reconnection.
 	disconnect bool
-	horizon    time.Duration
-	drainFor   time.Duration
+	// mhcrash crashes every fourth MH with amnesia mid-run (E18): the
+	// victims reboot under a fresh incarnation three seconds later —
+	// except the last, which stays dead so the lease GC must reclaim
+	// whatever it orphaned. Delivery is then judged incarnation-scoped:
+	// requests issued by a dead incarnation are exempt, everything else
+	// must still arrive.
+	mhcrash  bool
+	horizon  time.Duration
+	drainFor time.Duration
 }
 
 // chaosPlan builds the fault schedule for a run: lossy, duplicating,
@@ -276,6 +283,20 @@ func chaos(t *testing.T, p chaosParams) (w *World, missing, total, admittedLost 
 		}
 	}
 
+	if p.mhcrash {
+		// The crash instant sits inside the disconnection window (with
+		// p.disconnect, victim 1 reboots while still out of coverage and
+		// must filter its offline journal) and between the two MSS
+		// outages. The last victim never restarts.
+		cfg.LeaseTTL = 5 * time.Second
+		for i := 1; i <= p.mhs; i += 4 {
+			plan.MHCrashes = append(plan.MHCrashes, faults.MHCrash{
+				MH: ids.MH(i), At: 20 * time.Second, RestartAt: 23 * time.Second,
+			})
+		}
+		plan.MHCrashes[len(plan.MHCrashes)-1].RestartAt = 0
+	}
+
 	// The injector draws from its own forked RNG stream, so the workload
 	// below is identical with and without recovery.
 	k := sim.NewKernel(cfg.Seed)
@@ -287,10 +308,19 @@ func chaos(t *testing.T, p chaosParams) (w *World, missing, total, admittedLost 
 	w = NewWorldOn(k, cfg)
 	inj.Schedule(w.CrashMSS, w.RestartMSS)
 	inj.ScheduleDisconnects(w.Disconnect, w.Reconnect)
+	inj.ScheduleMHCrashes(w.CrashMH, w.RestartMH)
 
 	cells := w.StationList()
 	issueUntil := p.horizon - p.drainFor
-	reqs := make(map[ids.MH][]ids.RequestID)
+	// Each request is remembered with the incarnation that issued it:
+	// the delivery judgment below exempts requests whose incarnation
+	// died (without p.mhcrash every incarnation is FirstIncarnation and
+	// nothing is exempt).
+	type chaosReq struct {
+		req ids.RequestID
+		inc ids.Incarnation
+	}
+	reqs := make(map[ids.MH][]chaosReq)
 	for i := 1; i <= p.mhs; i++ {
 		mhID := ids.MH(i)
 		rng := w.Kernel.RNG().Fork()
@@ -329,7 +359,9 @@ func chaos(t *testing.T, p chaosParams) (w *World, missing, total, admittedLost 
 			for c := 0; c < copies; c++ {
 				at := a.At + time.Duration(c)*7*time.Millisecond
 				w.Kernel.After(at, func() {
-					reqs[mhID] = append(reqs[mhID], mh.IssueRequest(a.Server, a.Payload))
+					if r := mh.IssueRequest(a.Server, a.Payload); r.Seq != 0 {
+						reqs[mhID] = append(reqs[mhID], chaosReq{req: r, inc: w.IncarnationOf(mhID)})
+					}
 				})
 			}
 		}
@@ -339,11 +371,16 @@ func chaos(t *testing.T, p chaosParams) (w *World, missing, total, admittedLost 
 
 	for mhID, rs := range reqs {
 		mh := w.MHs[mhID]
-		for _, r := range rs {
+		for _, cr := range rs {
+			if w.IsCrashed(mhID) || cr.inc != w.IncarnationOf(mhID) {
+				// The issuing incarnation died with its memory (E18);
+				// the delivery guarantee covers survivors only.
+				continue
+			}
 			total++
-			if !mh.Seen(r) {
+			if !mh.Seen(cr.req) {
 				missing++
-				if mh.Admitted(r) {
+				if mh.Admitted(cr.req) {
 					admittedLost++
 				}
 			}
@@ -617,6 +654,129 @@ func TestChaosMigrationDeterminism(t *testing.T) {
 	a, b := run(), run()
 	if a != b {
 		t.Errorf("same seed diverged with migration on: %v vs %v", a, b)
+	}
+}
+
+// TestChaosMHCrashRecovery soaks the E18 mobile-host failure model
+// under the full E10 fault plan: every fourth MH crashes with amnesia
+// mid-run and reboots under a fresh incarnation (the last victim stays
+// dead). Every surviving-incarnation request must be delivered, the
+// lease machinery must have engaged, and quiescence must show no proxy
+// state owned by a dead incarnation.
+func TestChaosMHCrashRecovery(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w, missing, total, _ := chaos(t, chaosParams{
+				seed: seed, mhs: 8, cells: 5, recovery: true, mhcrash: true,
+				horizon: 60 * time.Second, drainFor: 30 * time.Second,
+			})
+			if missing != 0 {
+				t.Errorf("%d of %d survivor requests undelivered (staleDrops=%d reclaimed=%d heartbeats=%d)",
+					missing, total, w.Stats.StaleIncarnationDrops.Value(),
+					w.Stats.ProxiesReclaimed.Value(), w.Stats.LeaseHeartbeats.Value())
+			}
+			if got := w.Stats.MHCrashes.Value(); got != 2 {
+				t.Errorf("MHCrashes = %d, want 2 (plan executed?)", got)
+			}
+			if got := w.Stats.MHRestarts.Value(); got != 1 {
+				t.Errorf("MHRestarts = %d, want 1 (one victim is permanent)", got)
+			}
+			if w.Stats.LeaseHeartbeats.Value() == 0 {
+				t.Error("LeaseHeartbeats = 0; the lease machinery never engaged")
+			}
+			if dup, del := w.Stats.DuplicateDeliveries.Value(), w.Stats.ResultsDelivered.Value(); dup*10 > del {
+				t.Errorf("DuplicateDeliveries = %d of %d delivered; duplicate storm", dup, del)
+			}
+			if err := w.CheckQuiescent(); err != nil {
+				t.Errorf("quiescence at end: %v", err)
+			}
+		})
+	}
+}
+
+// TestChaosMHCrashMigration races host crashes against proxy migration:
+// a victim's proxy may be mid-transfer when its owner dies, so the
+// lease state must survive the MigState handoff and the reclaim memo
+// must chase the forwarding pointers. Survivor delivery stays complete
+// and migration still engages.
+func TestChaosMHCrashMigration(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w, missing, total, _ := chaos(t, chaosParams{
+				seed: seed, mhs: 8, cells: 5, recovery: true, mhcrash: true, migrate: true,
+				horizon: 60 * time.Second, drainFor: 30 * time.Second,
+			})
+			if missing != 0 {
+				t.Errorf("%d of %d survivor requests undelivered with migration on (migCompleted=%d reclaimed=%d)",
+					missing, total, w.Stats.MigCompleted.Value(), w.Stats.ProxiesReclaimed.Value())
+			}
+			if w.Stats.MigCompleted.Value() == 0 {
+				t.Error("MigCompleted = 0; migration never engaged under MH-crash chaos")
+			}
+			if dup, del := w.Stats.DuplicateDeliveries.Value(), w.Stats.ResultsDelivered.Value(); dup*10 > del {
+				t.Errorf("DuplicateDeliveries = %d of %d delivered; duplicate storm", dup, del)
+			}
+			if err := w.CheckQuiescent(); err != nil {
+				t.Errorf("quiescence at end: %v", err)
+			}
+		})
+	}
+}
+
+// TestChaosMHCrashDisconnect composes host crashes with disconnection
+// windows: victim 1 is also a disconnect victim, so it crashes out of
+// coverage, reboots still out of coverage, and must discard its
+// dead-incarnation offline journal at the reboot instead of replaying
+// it on reconnection.
+func TestChaosMHCrashDisconnect(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w, missing, total, _ := chaos(t, chaosParams{
+				seed: seed, mhs: 8, cells: 5, recovery: true, mhcrash: true, disconnect: true,
+				horizon: 60 * time.Second, drainFor: 30 * time.Second,
+			})
+			if missing != 0 {
+				t.Errorf("%d of %d survivor requests undelivered with disconnections (offlineReplayed=%d droppedStale=%d)",
+					missing, total, w.Stats.OfflineReplayed.Value(), w.Stats.OfflineDroppedStale.Value())
+			}
+			if w.Stats.OfflineQueued.Value() == 0 {
+				t.Error("OfflineQueued = 0; no request ever hit the offline queue")
+			}
+			if w.Stats.OfflineDroppedStale.Value() == 0 {
+				t.Error("OfflineDroppedStale = 0; the reboot never filtered a dead-incarnation journal")
+			}
+			if dup, del := w.Stats.DuplicateDeliveries.Value(), w.Stats.ResultsDelivered.Value(); dup*10 > del {
+				t.Errorf("DuplicateDeliveries = %d of %d delivered; duplicate storm", dup, del)
+			}
+			if err := w.CheckQuiescent(); err != nil {
+				t.Errorf("quiescence at end: %v", err)
+			}
+		})
+	}
+}
+
+// TestChaosMHCrashDeterminism replays the full composition — host
+// crashes, disconnections and migration under the E10 fault plan —
+// twice: incarnation bumps, lease timers, reclaim memos and journal
+// filtering must all be pure functions of the seed.
+func TestChaosMHCrashDeterminism(t *testing.T) {
+	run := func() [6]int64 {
+		w, missing, _, _ := chaos(t, chaosParams{
+			seed: 5, mhs: 6, cells: 5, recovery: true, mhcrash: true, migrate: true, disconnect: true,
+			horizon: 45 * time.Second, drainFor: 20 * time.Second,
+		})
+		return [6]int64{
+			w.Stats.ResultsDelivered.Value(),
+			w.Stats.ProxiesReclaimed.Value(),
+			w.Stats.StaleIncarnationDrops.Value(),
+			w.Stats.LeaseHeartbeats.Value(),
+			w.Stats.OfflineDroppedStale.Value(),
+			int64(missing),
+		}
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed diverged with MH crashes on: %v vs %v", a, b)
 	}
 }
 

@@ -1,0 +1,59 @@
+package rdpcore
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// This file implements the checksummed record log used by the
+// byte-serialized journals in the stable store (the E17 offline queue
+// and the E18 reclaim-memo log). Each record is framed as
+//
+//	u32 body length | u64 FNV-64a of body | body
+//
+// so a torn or bit-flipped write is detected on replay: the scan stops
+// at the first record whose frame or checksum does not verify and
+// discards it together with everything after it (a corrupt prefix
+// cannot vouch for its suffix — later records may have been relocated
+// by the same failure). Recovery therefore yields the longest verified
+// prefix, mirroring how production write-ahead logs truncate at the
+// first bad record.
+
+const journalHeaderLen = 4 + 8
+
+// journalAppend frames body as one checksummed record at the end of
+// log and returns the grown log.
+func journalAppend(log []byte, body []byte) []byte {
+	var hdr [journalHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	h := fnv.New64a()
+	h.Write(body)
+	binary.BigEndian.PutUint64(hdr[4:12], h.Sum64())
+	log = append(log, hdr[:]...)
+	return append(log, body...)
+}
+
+// journalScan walks the log and returns every record body up to (not
+// including) the first corrupt or truncated record. The returned bodies
+// alias the log. truncated reports whether anything was discarded.
+func journalScan(log []byte) (records [][]byte, truncated bool) {
+	for len(log) > 0 {
+		if len(log) < journalHeaderLen {
+			return records, true
+		}
+		n := int(binary.BigEndian.Uint32(log[0:4]))
+		sum := binary.BigEndian.Uint64(log[4:12])
+		if n > len(log)-journalHeaderLen {
+			return records, true
+		}
+		body := log[journalHeaderLen : journalHeaderLen+n]
+		h := fnv.New64a()
+		h.Write(body)
+		if h.Sum64() != sum {
+			return records, true
+		}
+		records = append(records, body)
+		log = log[journalHeaderLen+n:]
+	}
+	return records, false
+}

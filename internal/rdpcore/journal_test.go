@@ -1,0 +1,95 @@
+package rdpcore
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+func TestJournalScanTruncatesAtFirstCorruptRecord(t *testing.T) {
+	var log []byte
+	for _, b := range []string{"alpha", "beta", "gamma"} {
+		log = journalAppend(log, []byte(b))
+	}
+	recs, trunc := journalScan(log)
+	if trunc || len(recs) != 3 {
+		t.Fatalf("pristine scan: %d records, truncated=%v", len(recs), trunc)
+	}
+	if string(recs[0]) != "alpha" || string(recs[2]) != "gamma" {
+		t.Fatalf("bodies corrupted on the happy path: %q", recs)
+	}
+
+	// A bit flip inside the second record's body must truncate the scan
+	// to the first record: the corrupt record AND everything after it
+	// are discarded (a bad prefix cannot vouch for its suffix).
+	bad := append([]byte(nil), log...)
+	bad[journalHeaderLen+len("alpha")+journalHeaderLen+1] ^= 0xff
+	recs, trunc = journalScan(bad)
+	if !trunc {
+		t.Error("bit flip not detected")
+	}
+	if len(recs) != 1 || string(recs[0]) != "alpha" {
+		t.Errorf("scan after bit flip = %q, want just alpha", recs)
+	}
+
+	// A torn tail (write cut off mid-record) keeps every whole record.
+	recs, trunc = journalScan(log[: len(log)-3 : len(log)-3])
+	if !trunc || len(recs) != 2 {
+		t.Errorf("torn tail: %d records, truncated=%v; want 2, true", len(recs), trunc)
+	}
+
+	// A corrupt length field cannot read past the log.
+	bad = append([]byte(nil), log...)
+	binary.BigEndian.PutUint32(bad[0:4], 1<<30)
+	recs, trunc = journalScan(bad)
+	if !trunc || len(recs) != 0 {
+		t.Errorf("huge length field: %d records, truncated=%v; want 0, true", len(recs), trunc)
+	}
+}
+
+// TestOfflineJournalCorruptionRecoversVerifiedPrefix is the end-to-end
+// regression for the checksummed stable store: an MH journals five
+// offline requests, a byte of the third record is flipped in "flash",
+// and the reboot replay must recover exactly the two verified records —
+// counting one truncation — instead of resurrecting garbage or wedging.
+func TestOfflineJournalCorruptionRecoversVerifiedPrefix(t *testing.T) {
+	cfg := recoveryConfig(1)
+	w := NewWorld(cfg)
+	mhID := ids.MH(1)
+	mh := w.AddMH(mhID, 1)
+	w.RunUntil(200 * time.Millisecond)
+
+	w.Disconnect(mhID)
+	for i := 0; i < 5; i++ {
+		mh.IssueRequest(1, []byte{byte(i)})
+	}
+	log := w.store.offline[mhID]
+	if len(log) == 0 {
+		t.Fatal("offline journal empty after disconnected issues")
+	}
+
+	// Flip the first body byte of the third record.
+	off := 0
+	for i := 0; i < 2; i++ {
+		off += journalHeaderLen + int(binary.BigEndian.Uint32(log[off:off+4]))
+	}
+	log[off+journalHeaderLen] ^= 0x01
+
+	w.CrashMH(mhID)
+	w.RestartMH(mhID)
+
+	if got := w.Stats.JournalTruncations.Value(); got != 1 {
+		t.Errorf("JournalTruncations = %d, want 1", got)
+	}
+	// The verified prefix is two records; both were issued by the dead
+	// incarnation, so the reboot filter discards them — but it must see
+	// exactly those two, nothing corrupt, nothing past the corruption.
+	if got := w.Stats.OfflineDroppedStale.Value(); got != 2 {
+		t.Errorf("OfflineDroppedStale = %d, want 2 (the verified prefix)", got)
+	}
+	if rest := w.store.offline[mhID]; len(rest) != 0 {
+		t.Errorf("store still holds %d journal bytes after reboot drained it", len(rest))
+	}
+}

@@ -36,6 +36,20 @@ type MHNode struct {
 	// old respMss: a station that never actually registered the MH (its
 	// greet was lost to a crash) must not anchor the hand-off chain.
 	regOld ids.MSS
+	// inc is the host's current incarnation number (E18), mirrored from
+	// the world's non-volatile flash word. It is stamped on every
+	// registration and request so that, after a crash-with-amnesia and
+	// restart, state belonging to the dead incarnation can be recognized
+	// and scrubbed everywhere — and a result addressed to a dead
+	// incarnation is never delivered to its successor.
+	inc ids.Incarnation
+	// Transfer stash (psim region hand-over): DetachMH parks the host's
+	// world-resident durable state — incarnation word, crash flag,
+	// offline journal — here so AttachMH restores it in the destination
+	// world. The flash chip travels with the device.
+	xferInc     ids.Incarnation
+	xferCrashed bool
+	xferJournal []byte
 
 	nextSeq  uint32
 	seen     map[ids.RequestID]bool
@@ -117,6 +131,7 @@ func newMHNode(id ids.MH, w *World) *MHNode {
 	return &MHNode{
 		id:           id,
 		w:            w,
+		inc:          ids.FirstIncarnation,
 		seen:         make(map[ids.RequestID]bool),
 		issuedAt:     make(map[ids.RequestID]sim.Time),
 		outstanding:  make(map[ids.RequestID]bool),
@@ -245,7 +260,7 @@ func (h *MHNode) greetOld(prev ids.MSS) ids.MSS {
 
 // refreshGreet re-sends a registration beacon to the current respMss.
 func (h *MHNode) refreshGreet() {
-	h.uplink(msg.Greet{MH: h.id, OldMSS: h.greetOld(h.respMss)})
+	h.uplink(msg.Greet{MH: h.id, OldMSS: h.greetOld(h.respMss), Inc: h.inc})
 }
 
 // scheduleRefresh re-greets the current respMss on a fixed period while
@@ -279,17 +294,101 @@ func (h *MHNode) leave() {
 	h.deadlines = make(map[ids.RequestID]bool)
 }
 
+// crash wipes the host's volatile state (E18, World.CrashMH): every
+// timer, the duplicate-detection seen-set, the outstanding/admitted/
+// abandoned/pending bookkeeping, the activation and offline queues, the
+// batch objects, and both sequence counters. Only what the model puts
+// in non-volatile flash survives: the incarnation counter (held by the
+// World) and the journaled offline queue in the stable store. The
+// membership itself survives too — the host never sent a Leave, so the
+// system still considers it registered; it is the *memory* that died.
+func (h *MHNode) crash() {
+	h.cancelTimers()
+	h.regOld = 0
+	h.nextSeq = 0
+	h.nextBatchSeq = 0
+	h.seen = make(map[ids.RequestID]bool)
+	h.issuedAt = make(map[ids.RequestID]sim.Time)
+	h.outstanding = make(map[ids.RequestID]bool)
+	h.queued = nil
+	h.offline = nil
+	h.admitted = make(map[ids.RequestID]bool)
+	h.abandoned = make(map[ids.RequestID]bool)
+	h.pending = make(map[ids.RequestID]msg.Request)
+	h.busyAttempts = make(map[ids.RequestID]int)
+	h.retryMsgs = make(map[ids.RequestID]msg.Message)
+	h.deadlines = make(map[ids.RequestID]bool)
+	h.batches = make(map[ids.BatchID]*mhBatch)
+	h.batchOf = make(map[ids.RequestID]ids.BatchID)
+}
+
+// reboot brings a crashed host back under a fresh incarnation (E18,
+// World.RestartMH). The journaled offline queue is replayed through the
+// incarnation filter: every entry was written by a dead incarnation
+// (nothing of the current one can predate the reboot), so each is
+// discarded and counted — the requests died with the memory that
+// tracked them, and replaying them would resurrect computations with no
+// owner. The host then re-registers with the station of the cell it
+// woke up in, carrying the new incarnation so stale proxy and station
+// state can be scrubbed everywhere.
+func (h *MHNode) reboot(inc ids.Incarnation) {
+	h.inc = inc
+	cell := h.w.loc[h.id]
+	h.respMss = cell
+	kept := h.offline[:0]
+	for _, m := range h.w.loadOffline(h.id) {
+		stale := true
+		switch v := m.(type) {
+		case msg.Request:
+			stale = normInc(v.Inc) != normInc(inc)
+		case msg.BatchOpen:
+			stale = normInc(v.Inc) != normInc(inc)
+		case msg.BatchItem:
+			stale = normInc(v.Inc) != normInc(inc)
+		case msg.BatchCommit:
+			// BatchCommit carries no incarnation; it is live only while
+			// the host still knows the batch it seals.
+			stale = h.batches[v.Batch] == nil
+		}
+		if stale {
+			h.w.Stats.OfflineDroppedStale.Inc()
+			continue
+		}
+		kept = append(kept, m)
+	}
+	h.offline = kept
+	h.w.persistOffline(h.id, h.offline)
+	if !h.joined {
+		return
+	}
+	if h.w.cfg.GreetRefresh > 0 {
+		h.scheduleRefresh()
+	}
+	if h.w.IsActive(h.id) && !h.w.IsDisconnected(h.id) {
+		// Register announces the new incarnation: the station bumps its
+		// own record, scrubs stale held state, and immediately
+		// heartbeats the proxy so orphaned entries are swept without
+		// waiting for a lease period.
+		h.uplink(msg.Register{MH: h.id, Inc: inc})
+	}
+}
+
 // IssueRequest creates a new service request and transmits it through
 // the current respMss (§3.1). While inactive the request is queued and
 // sent on the next activation. The returned identifier lets callers
 // correlate the eventual result.
 func (h *MHNode) IssueRequest(server ids.Server, payload []byte) ids.RequestID {
+	if h.w.IsCrashed(h.id) {
+		// A crashed host runs no code; the driver's scheduled request
+		// simply never happens (E18).
+		return ids.RequestID{}
+	}
 	h.nextSeq++
 	req := ids.RequestID{Origin: h.id, Seq: h.nextSeq}
 	h.issuedAt[req] = h.w.Kernel.Now()
 	h.outstanding[req] = true
 	h.w.Stats.RequestsIssued.Inc()
-	m := msg.Request{Req: req, Server: server, Payload: payload}
+	m := msg.Request{Req: req, Server: server, Payload: payload, Inc: h.inc}
 	if h.w.cfg.BusyRetryBase > 0 {
 		h.pending[req] = m
 	}
@@ -353,7 +452,7 @@ func (h *MHNode) armRequestTimers(req ids.RequestID, m msg.Message) {
 func (h *MHNode) onReconnect(cell ids.MSS) {
 	old := h.greetOld(h.respMss)
 	h.respMss = cell
-	h.uplink(msg.Greet{MH: h.id, OldMSS: old})
+	h.uplink(msg.Greet{MH: h.id, OldMSS: old, Inc: h.inc})
 	offline := h.offline
 	h.offline = nil
 	h.w.persistOffline(h.id, nil)
@@ -422,11 +521,11 @@ func (h *MHNode) scheduleRetry(req ids.RequestID, m msg.Message) {
 // and re-forwards a stored result, so retransmission is always safe.
 func (h *MHNode) Retransmit(req ids.RequestID, server ids.Server, payload []byte) {
 	if h.seen[req] || h.abandoned[req] || !h.joined || !h.w.IsActive(h.id) ||
-		h.w.IsDisconnected(h.id) {
+		h.w.IsDisconnected(h.id) || h.w.IsCrashed(h.id) {
 		return
 	}
 	h.w.Stats.RequestRetries.Inc()
-	h.uplink(msg.Request{Req: req, Server: server, Payload: payload})
+	h.uplink(msg.Request{Req: req, Server: server, Payload: payload, Inc: h.inc})
 }
 
 // onMigrate is invoked by the World when the (active) MH enters a new
@@ -436,7 +535,7 @@ func (h *MHNode) Retransmit(req ids.RequestID, server ids.Server, payload []byte
 func (h *MHNode) onMigrate(newCell ids.MSS) {
 	old := h.greetOld(h.respMss)
 	h.respMss = newCell
-	h.uplink(msg.Greet{MH: h.id, OldMSS: old})
+	h.uplink(msg.Greet{MH: h.id, OldMSS: old, Inc: h.inc})
 }
 
 // onActivate is invoked by the World when the MH becomes active. It
@@ -446,7 +545,7 @@ func (h *MHNode) onMigrate(newCell ids.MSS) {
 func (h *MHNode) onActivate(cell ids.MSS) {
 	old := h.greetOld(h.respMss)
 	h.respMss = cell
-	h.uplink(msg.Greet{MH: h.id, OldMSS: old})
+	h.uplink(msg.Greet{MH: h.id, OldMSS: old, Inc: h.inc})
 	queued := h.queued
 	h.queued = nil
 	for _, m := range queued {
@@ -491,6 +590,14 @@ func (h *MHNode) HandleMessage(from ids.NodeID, m msg.Message) {
 	r, ok := m.(msg.ResultDeliver)
 	if !ok {
 		h.w.Stats.OrphanMessages.Inc()
+		return
+	}
+	if normInc(r.Inc) != normInc(h.inc) {
+		// A result addressed to a dead incarnation of this host (E18):
+		// the request's issuer lost its memory, so delivering would hand
+		// an answer to a computation that no longer exists. Dropped
+		// without an ack — the lease machinery retires the proxy state.
+		h.w.Stats.StaleIncarnationDrops.Inc()
 		return
 	}
 	duplicate := h.seen[r.Req]
@@ -573,9 +680,12 @@ func (h *MHNode) backoff(attempt int) time.Duration {
 // member result present at the proxy), and the proxy-side deadline
 // (Config.BatchDeadline) aborts the batch as a unit — all or nothing.
 func (h *MHNode) BeginBatch() ids.BatchID {
+	if h.w.IsCrashed(h.id) {
+		return ids.BatchID{}
+	}
 	h.nextBatchSeq++
 	id := ids.BatchID{Origin: h.id, Seq: h.nextBatchSeq}
-	b := &mhBatch{id: id, open: msg.BatchOpen{MH: h.id, Batch: id}}
+	b := &mhBatch{id: id, open: msg.BatchOpen{MH: h.id, Batch: id, Inc: h.inc}}
 	h.batches[id] = b
 	h.transmit(b.open)
 	return id
@@ -586,6 +696,9 @@ func (h *MHNode) BeginBatch() ids.BatchID {
 // whole batch releases. It panics on an unknown or closed batch —
 // batches are driver-local objects, so that is a programming error.
 func (h *MHNode) BatchRequest(batch ids.BatchID, server ids.Server, payload []byte) ids.RequestID {
+	if h.w.IsCrashed(h.id) {
+		return ids.RequestID{}
+	}
 	b := h.batches[batch]
 	if b == nil || b.committed || b.aborted {
 		panic(fmt.Sprintf("rdpcore: BatchRequest on closed batch %v", batch))
@@ -596,7 +709,7 @@ func (h *MHNode) BatchRequest(batch ids.BatchID, server ids.Server, payload []by
 	h.outstanding[req] = true
 	h.batchOf[req] = batch
 	h.w.Stats.RequestsIssued.Inc()
-	it := msg.BatchItem{MH: h.id, Batch: batch, Req: req, Server: server, Payload: payload}
+	it := msg.BatchItem{MH: h.id, Batch: batch, Req: req, Server: server, Payload: payload, Inc: h.inc}
 	b.items = append(b.items, it)
 	h.transmit(it)
 	return req
@@ -607,6 +720,9 @@ func (h *MHNode) BatchRequest(batch ids.BatchID, server ids.Server, payload []by
 // period until every member result arrived or the proxy aborted it —
 // the batch-level analogue of scheduleRetry.
 func (h *MHNode) CommitBatch(batch ids.BatchID) {
+	if h.w.IsCrashed(h.id) {
+		return
+	}
 	b := h.batches[batch]
 	if b == nil || b.committed || b.aborted {
 		return

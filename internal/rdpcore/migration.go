@@ -171,12 +171,15 @@ func (n *MSSNode) migrateOut(p *Proxy, newID ids.ProxyID) {
 		mh:             p.mh,
 		pendingServers: make(map[ids.Server]bool),
 	}
+	// The lease's vouched-for incarnation moves with the proxy (E18);
+	// the lease clock itself restarts at the new host.
+	st.LeaseInc = p.leaseInc
 	for _, req := range p.order {
 		r := p.reqs[req]
 		st.Reqs = append(st.Reqs, msg.MigReqState{
 			Req: req, Server: r.server, Payload: r.payload,
 			Result: r.result, HasResult: r.hasResult, Forwarded: r.forwarded,
-			Batch: r.batch,
+			Batch: r.batch, Inc: r.inc,
 		})
 		if !r.hasResult {
 			t.pendingServers[r.server] = true
@@ -189,6 +192,7 @@ func (n *MSSNode) migrateOut(p *Proxy, newID ids.ProxyID) {
 		b := p.batches[id]
 		st.Batches = append(st.Batches, msg.MigBatchState{
 			Batch: b.id, Expected: b.expected, Committed: b.committed, Released: b.released,
+			Inc: b.inc,
 		})
 	}
 	for _, id := range p.abortOrder {
@@ -225,6 +229,7 @@ func (n *MSSNode) handleMigState(m msg.MigState) {
 	// identity is still uniquely ours and the install proceeds.
 	p := newProxy(m.NewProxy, m.MH, n)
 	p.currentLoc = m.CurrentLoc
+	p.leaseInc = m.LeaseInc
 	// The install itself counts as a migration attempt: an MH ping-ponging
 	// between cells must not drag its proxy along inside the cooldown.
 	p.lastMigAttempt = n.w.Kernel.Now()
@@ -232,7 +237,7 @@ func (n *MSSNode) handleMigState(m msg.MigState) {
 		p.reqs[r.Req] = &proxyReq{
 			server: r.Server, payload: r.Payload,
 			result: r.Result, hasResult: r.HasResult, forwarded: r.Forwarded,
-			batch: r.Batch,
+			batch: r.Batch, inc: r.Inc,
 		}
 		p.order = append(p.order, r.Req)
 	}
@@ -249,7 +254,7 @@ func (n *MSSNode) handleMigState(m msg.MigState) {
 			}
 			continue
 		}
-		b := &proxyBatch{id: bs.Batch, expected: bs.Expected, committed: bs.Committed, released: bs.Released}
+		b := &proxyBatch{id: bs.Batch, expected: bs.Expected, committed: bs.Committed, released: bs.Released, inc: bs.Inc}
 		for _, req := range p.order {
 			if p.reqs[req].batch == bs.Batch {
 				b.members = append(b.members, req)
@@ -263,6 +268,7 @@ func (n *MSSNode) handleMigState(m msg.MigState) {
 	}
 	n.proxies[m.NewProxy.Seq] = p
 	n.persistProxy(p)
+	p.armLease()                     // fresh lease at the new host (E18)
 	n.w.Stats.ProxyCreations[n.id]++ // placement accounting (E12 fairness)
 	// Rebind the local pref, or chase it along the hand-off chain if the
 	// MH deregistered between commit and install.
@@ -390,6 +396,9 @@ func (n *MSSNode) forwardThroughTombstone(t *tombstone, from ids.NodeID, m msg.M
 		v.Proxy = t.newProxy
 		fwd = v
 	case msg.BatchCommit:
+		v.Proxy = t.newProxy
+		fwd = v
+	case msg.LeaseHeartbeat:
 		v.Proxy = t.newProxy
 		fwd = v
 	default:

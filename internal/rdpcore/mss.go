@@ -1,6 +1,7 @@
 package rdpcore
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/dcache"
@@ -49,14 +50,21 @@ type MSSNode struct {
 	localMhs map[ids.MH]bool
 	// prefs holds one proxy reference per responsible MH (§3.1).
 	prefs map[ids.MH]*msg.Pref
+	// incs records, per responsible MH, the newest incarnation this
+	// station has registered (E18). Requests, greets and registrations
+	// carry the issuing incarnation; learning a newer one scrubs every
+	// piece of per-MH state owned by the dead ones (see noteInc). A
+	// missing entry means the first incarnation — the pre-E18 world.
+	incs map[ids.MH]ids.Incarnation
 	// outstanding tracks, per MH, the requests this station has routed
-	// whose Acks it has not yet seen. §3.3 confirms proxy removal "only
-	// if ... RKpR = true and for all of MH's requests the corresponding
-	// Ack has been received" — the RKpR flag alone is not enough, because
-	// a request can pass through before the del-pref result arrives and
-	// arms the flag. Like the pref's other local context, this knowledge
-	// is not transferred on hand-off.
-	outstanding map[ids.MH]map[ids.RequestID]bool
+	// whose Acks it has not yet seen, tagged with the incarnation that
+	// issued each. §3.3 confirms proxy removal "only if ... RKpR = true
+	// and for all of MH's requests the corresponding Ack has been
+	// received" — the RKpR flag alone is not enough, because a request
+	// can pass through before the del-pref result arrives and arms the
+	// flag. Like the pref's other local context, this knowledge is not
+	// transferred on hand-off.
+	outstanding map[ids.MH]map[ids.RequestID]ids.Incarnation
 	// proxies are the proxy objects hosted at this station, by sequence.
 	proxies      map[uint32]*Proxy
 	nextProxySeq uint32
@@ -122,6 +130,12 @@ type MSSNode struct {
 	// (armed by a pre-crash or pre-migration incarnation) can detect they
 	// were superseded. Monotonic across crashes, like nextProxySeq.
 	batchEpochSeq uint64
+	// leaseEpochSeq numbers lease-expiry timers the same way (E18).
+	leaseEpochSeq uint64
+	// reclaims mirrors the durable reclaim-memo log (stable.go): every
+	// proxy this station has reclaimed, with the respMss the memo was
+	// addressed to, so recovery can re-send memos the crash swallowed.
+	reclaims []reclaimRecord
 
 	// inbox implements the priority rule of §3.1 ("higher priority is
 	// given to forwarding Ack messages than to engaging in any new
@@ -175,6 +189,12 @@ func (b *classInbox) pop() (inboxItem, bool) {
 	return inboxItem{}, false
 }
 
+// reclaimRecord is one entry of the station's reclaim-memo log (E18).
+type reclaimRecord struct {
+	dest ids.MSS
+	memo msg.ReclaimMemo
+}
+
 // newMSSNode constructs a station bound to a world.
 func newMSSNode(id ids.MSS, w *World) *MSSNode {
 	n := &MSSNode{
@@ -182,7 +202,8 @@ func newMSSNode(id ids.MSS, w *World) *MSSNode {
 		w:               w,
 		localMhs:        make(map[ids.MH]bool),
 		prefs:           make(map[ids.MH]*msg.Pref),
-		outstanding:     make(map[ids.MH]map[ids.RequestID]bool),
+		incs:            make(map[ids.MH]ids.Incarnation),
+		outstanding:     make(map[ids.MH]map[ids.RequestID]ids.Incarnation),
 		proxies:         make(map[uint32]*Proxy),
 		ignoreAcks:      make(map[ids.MH]bool),
 		forwardTo:       make(map[ids.MH]ids.MSS),
@@ -199,6 +220,7 @@ func newMSSNode(id ids.MSS, w *World) *MSSNode {
 		cache:           dcache.New(w.cfg.ResultCache),
 	}
 	n.procFn = n.processNext
+	n.armLeaseBeat()
 	return n
 }
 
@@ -326,7 +348,7 @@ func (n *MSSNode) refuseAdmission(m msg.Request) bool {
 	if !n.localMhs[mh] {
 		return false
 	}
-	if n.outstanding[mh][m.Req] {
+	if _, ok := n.outstanding[mh][m.Req]; ok {
 		return false // already admitted; the delivery guarantee covers it
 	}
 	refuse := false
@@ -430,9 +452,197 @@ func (n *MSSNode) process(from ids.NodeID, m msg.Message) {
 		n.handleBatchCommit(from, v)
 	case msg.BatchAbort:
 		n.handleBatchAbort(from, v)
+	case msg.Register:
+		n.handleRegister(v)
+	case msg.LeaseHeartbeat:
+		n.handleLeaseHeartbeat(from, v)
+	case msg.ReclaimMemo:
+		n.handleReclaimMemo(from, v)
 	default:
 		n.w.Stats.OrphanMessages.Inc()
 	}
+}
+
+// --- Mobile-host incarnations (E18) -----------------------------------
+
+// incOf returns the newest incarnation registered for mh (first if none
+// is known).
+func (n *MSSNode) incOf(mh ids.MH) ids.Incarnation { return normInc(n.incs[mh]) }
+
+// noteInc records that mh is running incarnation inc. Learning a newer
+// incarnation than the registered one means the host crashed and
+// rebooted since we last heard from it: every admitted-but-unacked
+// request and every held result owned by the dead incarnations is
+// scrubbed — the reborn host has no memory of them and will never
+// acknowledge anything on their behalf.
+func (n *MSSNode) noteInc(mh ids.MH, inc ids.Incarnation) {
+	if inc == 0 || !incLess(n.incs[mh], inc) {
+		return
+	}
+	n.incs[mh] = inc
+	if set := n.outstanding[mh]; set != nil {
+		for req, old := range set {
+			if incLess(old, inc) {
+				delete(set, req)
+				n.w.Stats.StaleIncarnationDrops.Inc()
+			}
+		}
+		if len(set) == 0 {
+			delete(n.outstanding, mh)
+		}
+	}
+	if held := n.held[mh]; len(held) > 0 {
+		keep := held[:0]
+		for _, r := range held {
+			if incLess(r.Inc, inc) {
+				n.w.Stats.StaleIncarnationDrops.Inc()
+				continue
+			}
+			keep = append(keep, r)
+		}
+		if len(keep) == 0 {
+			delete(n.held, mh)
+		} else {
+			n.held[mh] = keep
+		}
+	}
+	n.persistMH(mh)
+}
+
+// handleRegister processes the re-registration a rebooted host sends
+// under its fresh incarnation: record the incarnation (scrubbing what
+// the dead ones owned), then run the registration itself through the
+// greet path — it already handles every placement case (responsible,
+// forwarded-away, wholly unknown) — and finally vouch for the host
+// immediately so its proxy learns the new incarnation without waiting
+// for the next heartbeat round.
+func (n *MSSNode) handleRegister(m msg.Register) {
+	n.noteInc(m.MH, m.Inc)
+	n.handleGreet(msg.Greet{MH: m.MH, OldMSS: n.id, Inc: m.Inc})
+	n.beatOne(m.MH)
+}
+
+// handleLeaseHeartbeat renews a hosted proxy's incarnation lease.
+func (n *MSSNode) handleLeaseHeartbeat(from ids.NodeID, m msg.LeaseHeartbeat) {
+	p := n.proxies[m.Proxy.Seq]
+	if p == nil || p.id != m.Proxy {
+		if n.redirectOrHold(m.Proxy, from, m) {
+			return
+		}
+		n.w.Stats.OrphanMessages.Inc()
+		return
+	}
+	p.renewLease(m.Inc)
+}
+
+// handleReclaimMemo is the respMss side of proxy reclamation: the named
+// proxy no longer exists, so a pref still pointing at it is emptied (the
+// next request builds a fresh proxy) and every ledger entry owned by an
+// incarnation the memo covers is scrubbed. The memo chases a moved
+// registration along the forwarding chain like any per-MH traffic.
+func (n *MSSNode) handleReclaimMemo(from ids.NodeID, m msg.ReclaimMemo) {
+	if arr, ok := n.arriving[m.MH]; ok {
+		arr.deferred = append(arr.deferred, inboxItem{from: from, m: m})
+		return
+	}
+	if !n.localMhs[m.MH] {
+		if next, ok := n.forwardTo[m.MH]; ok {
+			n.sendWired(next.Node(), m)
+			return
+		}
+		n.w.Stats.OrphanMessages.Inc()
+		return
+	}
+	if pref := n.prefs[m.MH]; pref != nil && pref.Proxy == m.Proxy {
+		pref.Proxy = ids.NoProxy
+		pref.RKpR = false
+	}
+	if set := n.outstanding[m.MH]; set != nil {
+		for req, inc := range set {
+			if !incLess(m.Inc, inc) { // inc <= memo's incarnation
+				delete(set, req)
+			}
+		}
+		if len(set) == 0 {
+			delete(n.outstanding, m.MH)
+		}
+	}
+	n.persistMH(m.MH)
+}
+
+// armLeaseBeat starts the station's heartbeat loop (E18): every
+// LeaseTTL/3 the station vouches for each registered host whose pref
+// names a proxy. The loop dies with a crash (restoreFromStore re-arms
+// it) and is never armed when leases are disabled.
+func (n *MSSNode) armLeaseBeat() {
+	ttl := n.w.cfg.LeaseTTL
+	if ttl <= 0 {
+		return
+	}
+	n.w.Kernel.Defer(ttl/3, func() {
+		if n.w.down[n.id] {
+			return
+		}
+		n.leaseBeat()
+		n.armLeaseBeat()
+	})
+}
+
+// leaseBeat sends one heartbeat round, in sorted MH order so the wire
+// traffic is deterministic.
+func (n *MSSNode) leaseBeat() {
+	mhs := make([]int, 0, len(n.localMhs))
+	for mh := range n.localMhs {
+		mhs = append(mhs, int(mh))
+	}
+	sort.Ints(mhs)
+	for _, m := range mhs {
+		n.beatOne(ids.MH(m))
+	}
+}
+
+// beatOne vouches for one registered host. A host the radio layer knows
+// to be crashed gets no vouching — the station's periodic page of the
+// host goes unanswered — so its proxy's lease runs out and the orphan
+// is reclaimed. A merely disconnected or inactive host keeps its lease:
+// the station is still its registrar and its state must survive the
+// coverage gap (E17 semantics).
+func (n *MSSNode) beatOne(mh ids.MH) {
+	if n.w.cfg.LeaseTTL <= 0 || !n.localMhs[mh] {
+		return
+	}
+	pref := n.prefs[mh]
+	if pref == nil || !pref.HasProxy() {
+		return
+	}
+	if n.w.IsCrashed(mh) {
+		return
+	}
+	n.sendToStation(pref.Proxy.Host,
+		msg.LeaseHeartbeat{Proxy: pref.Proxy, MH: mh, Inc: n.incOf(mh)})
+}
+
+// reclaimProxy removes an orphaned proxy (lease expired, or everything
+// it held belonged to dead incarnations), journals the reclaim memo
+// durably, and tells the MH's last known respMss so the dangling pref
+// is dropped. memoInc bounds the scrub at the receiver: only ledger
+// entries of incarnations <= memoInc are dead — requests a surviving
+// incarnation has in flight must not be swept up.
+func (n *MSSNode) reclaimProxy(p *Proxy, memoInc ids.Incarnation) {
+	if cur, ok := n.proxies[p.id.Seq]; !ok || cur != p {
+		return
+	}
+	delete(n.proxies, p.id.Seq)
+	n.unpersistProxy(p.id.Seq)
+	n.w.Stats.ProxiesReclaimed.Inc()
+	n.w.Stats.ProxySeconds[n.id] += time.Duration(n.w.Kernel.Now() - p.createdAt)
+	rr := reclaimRecord{
+		dest: p.currentLoc,
+		memo: msg.ReclaimMemo{Proxy: p.id, MH: p.mh, Inc: memoInc},
+	}
+	n.reclaims = append(n.reclaims, rr)
+	n.persistReclaim(rr.dest, rr.memo)
+	n.sendToStation(rr.dest, rr.memo)
 }
 
 // handleJoin registers a new MH in the cell (§2).
@@ -468,6 +678,7 @@ func (n *MSSNode) handleLeave(m msg.Leave) {
 	delete(n.heldAcksPending, m.MH)
 	delete(n.deferredUpdate, m.MH)
 	delete(n.outstanding, m.MH)
+	delete(n.incs, m.MH)
 	n.persistMH(m.MH)
 }
 
@@ -476,6 +687,7 @@ func (n *MSSNode) handleLeave(m msg.Leave) {
 // triggers only an update_currentLoc (plus delivery of any held
 // results).
 func (n *MSSNode) handleGreet(m msg.Greet) {
+	n.noteInc(m.MH, m.Inc)
 	if arr, ok := n.arriving[m.MH]; ok {
 		if n.w.cfg.RegConfirm && m.OldMSS == arr.oldMSS {
 			// A registration-refresh beacon repeating the greet that
@@ -617,6 +829,16 @@ func (n *MSSNode) handleRequest(from ids.NodeID, m msg.Request) {
 		n.w.Stats.OrphanMessages.Inc()
 		return
 	}
+	// Incarnation gates (E18): a request from a dead incarnation is a
+	// ghost — its issuer lost all memory of it, so admitting it would
+	// promise a delivery nobody will ever acknowledge. A request from a
+	// *newer* incarnation than the registered one means the host's
+	// re-registration was lost; the request itself is the proof of life.
+	if incLess(m.Inc, n.incOf(mh)) {
+		n.w.Stats.StaleIncarnationDrops.Inc()
+		return
+	}
+	n.noteInc(mh, m.Inc)
 	pref := n.prefs[mh]
 	if pref == nil {
 		pref = &msg.Pref{}
@@ -624,9 +846,9 @@ func (n *MSSNode) handleRequest(from ids.NodeID, m msg.Request) {
 	}
 	pref.RKpR = false // §3.3: a new request re-arms the proxy
 	if n.outstanding[mh] == nil {
-		n.outstanding[mh] = make(map[ids.RequestID]bool)
+		n.outstanding[mh] = make(map[ids.RequestID]ids.Incarnation)
 	}
-	n.outstanding[mh][m.Req] = true
+	n.outstanding[mh][m.Req] = normInc(m.Inc)
 	if !pref.HasProxy() {
 		n.nextProxySeq++
 		n.persistSeq()
@@ -637,14 +859,15 @@ func (n *MSSNode) handleRequest(from ids.NodeID, m msg.Request) {
 		n.persistMH(mh)
 		n.w.Stats.ProxiesCreated.Inc()
 		n.w.Stats.ProxyCreations[n.id]++
-		p.addRequest(m.Req, m.Server, m.Payload)
+		p.armLease()
+		p.addRequest(m.Req, m.Server, m.Payload, m.Inc)
 		n.sendAdmit(mh, m.Req)
 		return
 	}
 	n.persistMH(mh)
 	if pref.Proxy.Host == n.id {
 		if p := n.proxies[pref.Proxy.Seq]; p != nil {
-			p.addRequest(m.Req, m.Server, m.Payload)
+			p.addRequest(m.Req, m.Server, m.Payload, m.Inc)
 			n.sendAdmit(mh, m.Req)
 			return
 		}
@@ -652,7 +875,7 @@ func (n *MSSNode) handleRequest(from ids.NodeID, m msg.Request) {
 		return
 	}
 	n.sendWired(pref.Proxy.Host.Node(),
-		msg.RequestForward{Proxy: pref.Proxy, Req: m.Req, Server: m.Server, Payload: m.Payload})
+		msg.RequestForward{Proxy: pref.Proxy, Req: m.Req, Server: m.Server, Payload: m.Payload, Inc: m.Inc})
 	n.sendAdmit(mh, m.Req)
 }
 
@@ -745,14 +968,18 @@ func (n *MSSNode) handleDereg(from ids.NodeID, m msg.Dereg) {
 		if p, ok := n.prefs[m.MH]; ok {
 			pref = *p
 		}
+		// The deregack carries the registered incarnation (E18): the new
+		// respMss must not vouch for (or gate against) an older one.
+		inc := n.incs[m.MH]
 		delete(n.localMhs, m.MH)
 		delete(n.prefs, m.MH)
 		delete(n.held, m.MH)
 		delete(n.heldAcksPending, m.MH)
 		delete(n.deferredUpdate, m.MH)
 		delete(n.outstanding, m.MH)
+		delete(n.incs, m.MH)
 		n.persistMH(m.MH)
-		n.sendWired(m.NewMSS.Node(), msg.DeregAck{MH: m.MH, Pref: pref})
+		n.sendWired(m.NewMSS.Node(), msg.DeregAck{MH: m.MH, Pref: pref, Inc: inc})
 		return
 	}
 	if next, ok := n.forwardTo[m.MH]; ok {
@@ -774,6 +1001,7 @@ func (n *MSSNode) handleDereg(from ids.NodeID, m msg.Dereg) {
 // proxy learns the new location, and traffic buffered during the
 // hand-off is processed.
 func (n *MSSNode) handleDeregAck(m msg.DeregAck) {
+	n.noteInc(m.MH, m.Inc)
 	arr := n.arriving[m.MH]
 	delete(n.arriving, m.MH)
 	n.localMhs[m.MH] = true
@@ -824,7 +1052,7 @@ func (n *MSSNode) handleRequestForward(from ids.NodeID, m msg.RequestForward) {
 		n.w.Stats.OrphanMessages.Inc()
 		return
 	}
-	p.addRequest(m.Req, m.Server, m.Payload)
+	p.addRequest(m.Req, m.Server, m.Payload, m.Inc)
 }
 
 // handleUpdateCurrentLoc updates a hosted proxy's currentLoc.
@@ -847,13 +1075,24 @@ func (n *MSSNode) handleUpdateCurrentLoc(from ids.NodeID, m msg.UpdateCurrentLoc
 // keeps no copy: "the MSS can discard the result message after a single
 // attempt to forward it".
 func (n *MSSNode) handleResultForward(m msg.ResultForward) {
+	// Incarnation gate (E18): a result for a dead incarnation of the MH
+	// must never reach the radio — the reborn host has no memory of the
+	// request and would either drop it (wasted delivery) or, worse, have
+	// reused the identifier. Acking it back instead lets the proxy
+	// retire the orphaned entry.
+	if incLess(m.Inc, n.incOf(m.MH)) {
+		n.w.Stats.StaleIncarnationDrops.Inc()
+		n.sendToStation(m.Proxy.Host,
+			msg.AckForward{Proxy: m.Proxy, MH: m.MH, Req: m.Req})
+		return
+	}
 	if m.DelPref {
 		if pref, ok := n.prefs[m.MH]; ok && pref.Proxy == m.Proxy {
 			pref.RKpR = true
 			n.persistMH(m.MH)
 		}
 	}
-	deliver := msg.ResultDeliver{Req: m.Req, Payload: m.Payload, DelPref: m.DelPref}
+	deliver := msg.ResultDeliver{Req: m.Req, Payload: m.Payload, DelPref: m.DelPref, Inc: m.Inc}
 	if n.w.cfg.HoldForInactive && n.localMhs[m.MH] &&
 		n.w.InCell(m.MH, n.id) && !n.w.IsActive(m.MH) {
 		n.held[m.MH] = append(n.held[m.MH], deliver)
@@ -1058,6 +1297,7 @@ func (n *MSSNode) batchProxyRef(mh ids.MH) (ids.ProxyID, *Proxy) {
 		n.persistMH(mh)
 		n.w.Stats.ProxiesCreated.Inc()
 		n.w.Stats.ProxyCreations[n.id]++
+		p.armLease()
 		return id, p
 	}
 	n.persistMH(mh)
@@ -1082,15 +1322,20 @@ func (n *MSSNode) handleBatchOpen(from ids.NodeID, m msg.BatchOpen) {
 			n.w.Stats.OrphanMessages.Inc()
 			return
 		}
-		p.onBatchOpen(m.Batch)
+		p.onBatchOpen(m.Batch, m.Inc)
 		return
 	}
 	if !n.batchUplinkRoute(from, m.MH, m) {
 		return
 	}
+	if incLess(m.Inc, n.incOf(m.MH)) {
+		n.w.Stats.StaleIncarnationDrops.Inc()
+		return
+	}
+	n.noteInc(m.MH, m.Inc)
 	id, p := n.batchProxyRef(m.MH)
 	if p != nil {
-		p.onBatchOpen(m.Batch)
+		p.onBatchOpen(m.Batch, m.Inc)
 		return
 	}
 	if id == ids.NoProxy {
@@ -1118,10 +1363,15 @@ func (n *MSSNode) handleBatchItem(from ids.NodeID, m msg.BatchItem) {
 	if !n.batchUplinkRoute(from, m.MH, m) {
 		return
 	}
-	if n.outstanding[m.MH] == nil {
-		n.outstanding[m.MH] = make(map[ids.RequestID]bool)
+	if incLess(m.Inc, n.incOf(m.MH)) {
+		n.w.Stats.StaleIncarnationDrops.Inc()
+		return
 	}
-	n.outstanding[m.MH][m.Req] = true
+	n.noteInc(m.MH, m.Inc)
+	if n.outstanding[m.MH] == nil {
+		n.outstanding[m.MH] = make(map[ids.RequestID]ids.Incarnation)
+	}
+	n.outstanding[m.MH][m.Req] = normInc(m.Inc)
 	id, p := n.batchProxyRef(m.MH)
 	if p != nil {
 		p.onBatchItem(m)

@@ -19,6 +19,11 @@ type proxyReq struct {
 	// batch, when valid, marks this request a member of an atomic batch
 	// (E17): its result is withheld until the batch releases.
 	batch ids.BatchID
+	// inc is the MH incarnation that issued the request (E18). A
+	// rebooted host restarts its sequence counter, so the same
+	// RequestID can name two different requests across a crash; the
+	// incarnation disambiguates them.
+	inc ids.Incarnation
 }
 
 // proxyBatch is the proxy side of one atomic batch (E17): the member
@@ -35,6 +40,8 @@ type proxyBatch struct {
 	// deadlineEpoch invalidates superseded deadline timers (a restored
 	// or migrated incarnation re-arms its own; see armBatchDeadline).
 	deadlineEpoch uint64
+	// inc is the MH incarnation that opened the batch (E18).
+	inc ids.Incarnation
 }
 
 // Proxy is the paper's proxy-for-requests (§3.1): created at the MH's
@@ -69,7 +76,31 @@ type Proxy struct {
 	// observations, deliberately volatile across crash recovery.
 	remoteForwards int
 	lastMigAttempt sim.Time
+
+	// Incarnation lease (E18, Config.LeaseTTL > 0): the MH's respMss
+	// heartbeats every proxy it holds a preference for; a heartbeat
+	// carrying a newer incarnation scrubs state owned by dead ones, and
+	// a lease that expires without renewal reclaims the orphan. leaseInc
+	// is the newest vouched-for incarnation, leaseAt the last renewal
+	// instant, and leaseEpoch invalidates superseded expiry timers
+	// (same pattern as deadlineEpoch above).
+	leaseInc   ids.Incarnation
+	leaseAt    sim.Time
+	leaseEpoch uint64
 }
+
+// normInc maps the zero "unknown" incarnation onto the first one: a
+// message or record without incarnation information is, by definition,
+// from the pre-E18 world where every host was on its first boot.
+func normInc(i ids.Incarnation) ids.Incarnation {
+	if i == 0 {
+		return ids.FirstIncarnation
+	}
+	return i
+}
+
+// incLess orders two incarnation tags after normalization.
+func incLess(a, b ids.Incarnation) bool { return normInc(a) < normInc(b) }
 
 // newProxy creates a proxy hosted at host on behalf of mh. Its
 // currentLoc starts as the hosting station itself, since the proxy is
@@ -105,16 +136,34 @@ func (p *Proxy) Pending() int { return len(p.reqs) }
 // registration (client-side retry) is not re-issued to the server; if
 // the result is already stored it is re-forwarded instead, which is what
 // lets a stationary MH recover from a lost wireless delivery.
-func (p *Proxy) addRequest(req ids.RequestID, server ids.Server, payload []byte) {
-	if r, ok := p.reqs[req]; ok {
-		if r.hasResult {
-			p.forwardResult(req, r)
+//
+// Incarnation arbitration (E18): an amnesiac reboot restarts the MH's
+// sequence counter, so the same RequestID can arrive twice meaning two
+// different requests. A registration from an older incarnation than the
+// stored entry is a ghost retry of a dead host and is dropped; one from
+// a newer incarnation is a brand-new request that reuses the identifier,
+// so the orphaned entry is replaced and the new request executed.
+func (p *Proxy) addRequest(req ids.RequestID, server ids.Server, payload []byte, inc ids.Incarnation) {
+	r, ok := p.reqs[req]
+	if ok {
+		if incLess(inc, r.inc) {
+			p.host.w.Stats.StaleIncarnationDrops.Inc()
+			return
 		}
-		return
+		if !incLess(r.inc, inc) {
+			if r.hasResult {
+				p.forwardResult(req, r)
+			}
+			return
+		}
+		p.detachFromBatch(req, r)
+		r.server, r.payload, r.inc = server, payload, inc
+		r.result, r.hasResult, r.forwarded = nil, false, false
+	} else {
+		r = &proxyReq{server: server, payload: payload, inc: inc}
+		p.reqs[req] = r
+		p.order = append(p.order, req)
 	}
-	r := &proxyReq{server: server, payload: payload}
-	p.reqs[req] = r
-	p.order = append(p.order, req)
 	if result, ok := p.host.cacheLookup(server, payload); ok {
 		// Answered from the station's result cache (E17): no server
 		// round-trip. The cached copy is forwarded like a fresh result.
@@ -125,6 +174,25 @@ func (p *Proxy) addRequest(req ids.RequestID, server ids.Server, payload []byte)
 	}
 	p.host.persistProxy(p)
 	p.host.sendWired(server.Node(), msg.ServerRequest{Proxy: p.id, Req: req, Payload: payload})
+}
+
+// detachFromBatch removes a replaced request from its old batch's
+// member list (the batch belonged to a dead incarnation; its release
+// bookkeeping must not wait on an identifier that now names something
+// else).
+func (p *Proxy) detachFromBatch(req ids.RequestID, r *proxyReq) {
+	if !r.batch.Valid() {
+		return
+	}
+	if b := p.batches[r.batch]; b != nil {
+		for i, q := range b.members {
+			if q == req {
+				b.members = append(b.members[:i], b.members[i+1:]...)
+				break
+			}
+		}
+	}
+	r.batch = ids.BatchID{}
 }
 
 // onServerResult stores the server's reply and forwards it to the MH's
@@ -175,7 +243,7 @@ func (p *Proxy) forwardResult(req ids.RequestID, r *proxyReq) {
 	r.forwarded = true
 	p.host.persistProxy(p) // result + forwarded flag reach stable store
 	p.host.w.Stats.ResultForwards[p.host.id]++
-	fwd := msg.ResultForward{Proxy: p.id, MH: p.mh, Req: req, Payload: r.result, DelPref: delPref}
+	fwd := msg.ResultForward{Proxy: p.id, MH: p.mh, Req: req, Payload: r.result, DelPref: delPref, Inc: r.inc}
 	p.host.sendToStation(p.currentLoc, fwd)
 	// Every forward is a migration-policy observation (migration.go); a
 	// fired trigger only sends an offer, so the proxy stays intact here.
@@ -250,11 +318,30 @@ func (p *Proxy) onAck(req ids.RequestID, delProxy bool) (deleted bool) {
 
 // ensureBatch returns the batch record for id, creating it on first
 // contact (any member/commit message may arrive first after a retry).
-func (p *Proxy) ensureBatch(id ids.BatchID) *proxyBatch {
+//
+// Incarnation arbitration (E18) mirrors addRequest: batch identifiers
+// restart with the host's sequence counter, so inc decides whether a
+// colliding identifier is a ghost (older — drop, nil returned), the
+// same batch (equal or unknown), or a reuse by a rebooted host (newer —
+// the orphaned record is torn down and replaced).
+func (p *Proxy) ensureBatch(id ids.BatchID, inc ids.Incarnation) *proxyBatch {
 	if b, ok := p.batches[id]; ok {
-		return b
+		if inc != 0 {
+			if incLess(inc, b.inc) {
+				p.host.w.Stats.StaleIncarnationDrops.Inc()
+				return nil
+			}
+			if incLess(b.inc, inc) {
+				p.dropBatch(b)
+			} else {
+				b.inc = inc
+				return b
+			}
+		} else {
+			return b
+		}
 	}
-	b := &proxyBatch{id: id}
+	b := &proxyBatch{id: id, inc: inc}
 	p.batches[id] = b
 	p.batchOrder = append(p.batchOrder, id)
 	p.host.w.Stats.BatchesOpened.Inc()
@@ -263,14 +350,38 @@ func (p *Proxy) ensureBatch(id ids.BatchID) *proxyBatch {
 	return b
 }
 
+// dropBatch silently discards a batch owned by a dead incarnation: its
+// members leave the requestList and the record disappears. Unlike
+// abortBatch, no abort memo is kept and nobody is notified — the owner
+// no longer exists to care.
+func (p *Proxy) dropBatch(b *proxyBatch) {
+	for _, req := range b.members {
+		delete(p.reqs, req)
+		for i, q := range p.order {
+			if q == req {
+				p.order = append(p.order[:i], p.order[i+1:]...)
+				break
+			}
+		}
+	}
+	delete(p.batches, b.id)
+	for i, id := range p.batchOrder {
+		if id == b.id {
+			p.batchOrder = append(p.batchOrder[:i], p.batchOrder[i+1:]...)
+			break
+		}
+	}
+	p.host.persistProxy(p)
+}
+
 // onBatchOpen registers a batch. A re-open of an aborted batch (retry
 // raced the abort) is answered with the abort again.
-func (p *Proxy) onBatchOpen(id ids.BatchID) {
+func (p *Proxy) onBatchOpen(id ids.BatchID, inc ids.Incarnation) {
 	if reqs, ok := p.abortedBatches[id]; ok {
 		p.sendAbort(id, reqs)
 		return
 	}
-	p.ensureBatch(id)
+	p.ensureBatch(id, inc)
 }
 
 // onBatchItem registers one batch member and issues it to the server
@@ -280,7 +391,10 @@ func (p *Proxy) onBatchItem(m msg.BatchItem) {
 		p.sendAbort(m.Batch, reqs)
 		return
 	}
-	b := p.ensureBatch(m.Batch)
+	b := p.ensureBatch(m.Batch, m.Inc)
+	if b == nil {
+		return
+	}
 	if b.released {
 		// Late duplicate of an already-delivered batch: the members were
 		// forwarded (and possibly acked away); never re-execute.
@@ -289,7 +403,7 @@ func (p *Proxy) onBatchItem(m msg.BatchItem) {
 	if _, ok := p.reqs[m.Req]; ok {
 		return // duplicate member (retry); first registration wins
 	}
-	r := &proxyReq{server: m.Server, payload: m.Payload, batch: m.Batch}
+	r := &proxyReq{server: m.Server, payload: m.Payload, batch: m.Batch, inc: m.Inc}
 	p.reqs[m.Req] = r
 	p.order = append(p.order, m.Req)
 	b.members = append(b.members, m.Req)
@@ -312,7 +426,9 @@ func (p *Proxy) onBatchCommit(m msg.BatchCommit) {
 		p.sendAbort(m.Batch, reqs)
 		return
 	}
-	b := p.ensureBatch(m.Batch)
+	// BatchCommit carries no incarnation; the open/items that precede it
+	// already settled the batch's ownership.
+	b := p.ensureBatch(m.Batch, 0)
 	if b.committed {
 		p.checkBatchRelease(b) // duplicate commit (retry); just re-check
 		return
@@ -404,4 +520,91 @@ func (p *Proxy) armBatchDeadline(b *proxyBatch) {
 		}
 		cur.abortBatch(bb)
 	})
+}
+
+// --- Incarnation leases (E18) -----------------------------------------
+//
+// A proxy exists on behalf of one incarnation of one mobile host. When
+// the host crashes and loses its memory, nothing in the base protocol
+// ever acknowledges the stored results — the proxy would sit pending
+// forever. Under Config.LeaseTTL the MH's respMss vouches for its
+// registered hosts with periodic heartbeats; a proxy whose lease
+// expires unrenewed is reclaimed, and a heartbeat carrying a newer
+// incarnation scrubs everything owned by dead ones.
+
+// armLease (re)starts the proxy's lease-expiry timer. The epoch guard
+// invalidates timers armed by earlier renewals or by a pre-crash
+// incarnation of the hosting station (leaseEpochSeq survives crashes,
+// like batchEpochSeq).
+func (p *Proxy) armLease() {
+	host := p.host
+	ttl := host.w.cfg.LeaseTTL
+	if ttl <= 0 {
+		return
+	}
+	host.leaseEpochSeq++
+	epoch := host.leaseEpochSeq
+	p.leaseEpoch = epoch
+	p.leaseAt = host.w.Kernel.Now()
+	proxyID := p.id
+	host.w.Kernel.Defer(ttl, func() {
+		if host.w.down[host.id] {
+			return
+		}
+		cur, ok := host.proxies[proxyID.Seq]
+		if !ok || cur.id != proxyID || cur.leaseEpoch != epoch {
+			return
+		}
+		// No renewal for a full TTL: the host (and every incarnation up
+		// to the last one vouched for) is presumed dead.
+		host.reclaimProxy(cur, normInc(cur.leaseInc))
+	})
+}
+
+// renewLease processes one heartbeat. A newer incarnation than the one
+// last vouched for means the host rebooted: state owned by older
+// incarnations is scrubbed, and a proxy left completely empty by the
+// scrub is reclaimed on the spot (the pref at the respMss is dropped by
+// the reclaim memo, so the next request builds a fresh proxy).
+func (p *Proxy) renewLease(inc ids.Incarnation) {
+	p.host.w.Stats.LeaseHeartbeats.Inc()
+	if incLess(p.leaseInc, inc) {
+		p.scrubStale(inc)
+		p.leaseInc = inc
+		p.host.persistProxy(p)
+		if len(p.reqs) == 0 && len(p.batches) == 0 {
+			// Only the incarnations below inc are dead; the memo must not
+			// sweep up requests the live incarnation has in flight.
+			p.host.reclaimProxy(p, inc-1)
+			return
+		}
+	}
+	p.armLease()
+}
+
+// scrubStale drops every request and batch owned by an incarnation
+// older than inc. No abort or ack flows anywhere: the owner lost its
+// memory of all of it, and the incarnation gates keep any replayed
+// traffic from resurrecting it.
+func (p *Proxy) scrubStale(inc ids.Incarnation) {
+	var deadBatches []*proxyBatch
+	for _, id := range p.batchOrder {
+		if b := p.batches[id]; b != nil && incLess(b.inc, inc) {
+			deadBatches = append(deadBatches, b)
+		}
+	}
+	for _, b := range deadBatches {
+		p.dropBatch(b)
+	}
+	var keep []ids.RequestID
+	for _, req := range p.order {
+		r := p.reqs[req]
+		if r != nil && incLess(r.inc, inc) {
+			delete(p.reqs, req)
+			p.host.w.Stats.StaleIncarnationDrops.Inc()
+			continue
+		}
+		keep = append(keep, req)
+	}
+	p.order = keep
 }

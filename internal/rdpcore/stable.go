@@ -1,6 +1,7 @@
 package rdpcore
 
 import (
+	"encoding/binary"
 	"sort"
 
 	"repro/internal/dcache"
@@ -26,7 +27,12 @@ type mhRecord struct {
 	ignoreAcks  bool
 	forwardTo   ids.MSS
 	hasForward  bool
-	outstanding map[ids.RequestID]bool
+	// inc is the newest incarnation of the MH this station has
+	// registered (E18); outstanding tags each admitted request with the
+	// incarnation that issued it, so a restart can still scrub entries
+	// orphaned by a pre-crash reboot of the host.
+	inc         ids.Incarnation
+	outstanding map[ids.RequestID]ids.Incarnation
 }
 
 // proxyReqRecord is one journaled requestList entry.
@@ -38,6 +44,7 @@ type proxyReqRecord struct {
 	hasResult bool
 	forwarded bool
 	batch     ids.BatchID
+	inc       ids.Incarnation
 }
 
 // proxyBatchRecord is the journaled image of one atomic batch (E17).
@@ -47,6 +54,7 @@ type proxyBatchRecord struct {
 	expected  uint32
 	committed bool
 	released  bool
+	inc       ids.Incarnation
 }
 
 // proxyAbortRecord journals a batch-abort memo: the decision to refuse
@@ -65,6 +73,9 @@ type proxyRecord struct {
 	reqs       []proxyReqRecord   // insertion order
 	batches    []proxyBatchRecord // batchOrder
 	aborted    []proxyAbortRecord // abortOrder
+	// leaseInc is the newest MH incarnation a lease heartbeat has
+	// vouched for (E18); the lease clock itself restarts on recovery.
+	leaseInc ids.Incarnation
 }
 
 // tombstoneRecord is the journaled image of a migration tombstone: the
@@ -85,6 +96,12 @@ type stationRecord struct {
 	proxies    map[uint32]*proxyRecord
 	tombstones map[uint32]*tombstoneRecord
 	nextSeq    uint32
+	// reclaims is a checksummed record log (journal.go) of proxy
+	// reclamation memos (E18): each record is a u32 destination MSS
+	// followed by the wire encoding of the ReclaimMemo. The memo must
+	// survive a crash of the reclaiming host, or the preference that
+	// pointed at the reclaimed proxy could dangle forever.
+	reclaims []byte
 }
 
 // stableStore is the world's stable storage: per-station journals that
@@ -93,15 +110,16 @@ type stationRecord struct {
 type stableStore struct {
 	stations map[ids.MSS]*stationRecord
 	// offline journals each disconnected MH's offline request queue
-	// (E17); see World.persistOffline.
-	offline map[ids.MH][]msg.Message
+	// (E17) as a checksummed record log of wire-encoded messages; see
+	// World.persistOffline.
+	offline map[ids.MH][]byte
 	writes  int64
 }
 
 func newStableStore() *stableStore {
 	return &stableStore{
 		stations: make(map[ids.MSS]*stationRecord),
-		offline:  make(map[ids.MH][]msg.Message),
+		offline:  make(map[ids.MH][]byte),
 	}
 }
 
@@ -137,10 +155,11 @@ func (n *MSSNode) persistMH(mh ids.MH) {
 	if f, ok := n.forwardTo[mh]; ok {
 		r.forwardTo, r.hasForward = f, true
 	}
+	r.inc = n.incs[mh]
 	if set := n.outstanding[mh]; len(set) > 0 {
-		r.outstanding = make(map[ids.RequestID]bool, len(set))
-		for req := range set {
-			r.outstanding[req] = true
+		r.outstanding = make(map[ids.RequestID]ids.Incarnation, len(set))
+		for req, inc := range set {
+			r.outstanding[req] = inc
 		}
 	}
 	if !r.responsible && !r.hasPref && !r.ignoreAcks && !r.hasForward {
@@ -158,13 +177,13 @@ func (n *MSSNode) persistProxy(p *Proxy) {
 		return
 	}
 	rec := n.w.store.station(n.id)
-	pr := &proxyRecord{id: p.id, mh: p.mh, currentLoc: p.currentLoc}
+	pr := &proxyRecord{id: p.id, mh: p.mh, currentLoc: p.currentLoc, leaseInc: p.leaseInc}
 	for _, req := range p.order {
 		r := p.reqs[req]
 		pr.reqs = append(pr.reqs, proxyReqRecord{
 			req: req, server: r.server, payload: r.payload,
 			result: r.result, hasResult: r.hasResult, forwarded: r.forwarded,
-			batch: r.batch,
+			batch: r.batch, inc: r.inc,
 		})
 	}
 	for _, id := range p.batchOrder {
@@ -172,6 +191,7 @@ func (n *MSSNode) persistProxy(p *Proxy) {
 		pr.batches = append(pr.batches, proxyBatchRecord{
 			id: b.id, members: append([]ids.RequestID(nil), b.members...),
 			expected: b.expected, committed: b.committed, released: b.released,
+			inc: b.inc,
 		})
 	}
 	for _, id := range p.abortOrder {
@@ -232,6 +252,26 @@ func (n *MSSNode) persistSeq() {
 	n.w.store.writes++
 }
 
+// persistReclaim appends one reclamation memo to the station's durable
+// reclaim log (E18). Unlike the snapshot journals above, the log is
+// append-only and checksummed per record, so a torn write surfaces as a
+// truncation on replay instead of silent corruption.
+func (n *MSSNode) persistReclaim(dest ids.MSS, memo msg.ReclaimMemo) {
+	if !n.w.cfg.Checkpoint {
+		return
+	}
+	enc, err := msg.Encode(memo)
+	if err != nil {
+		return
+	}
+	body := make([]byte, 4, 4+len(enc))
+	binary.BigEndian.PutUint32(body, uint32(dest))
+	body = append(body, enc...)
+	rec := n.w.store.station(n.id)
+	rec.reclaims = journalAppend(rec.reclaims, body)
+	n.w.store.writes++
+}
+
 // crash wipes the station's memory. Volatile state — message queues,
 // pending hand-offs and parked deregs, held results, deferred-update
 // bookkeeping — is gone in every configuration; the protocol state is
@@ -254,10 +294,12 @@ func (n *MSSNode) crash() {
 	n.cache = dcache.New(n.w.cfg.ResultCache)
 	n.localMhs = make(map[ids.MH]bool)
 	n.prefs = make(map[ids.MH]*msg.Pref)
-	n.outstanding = make(map[ids.MH]map[ids.RequestID]bool)
+	n.incs = make(map[ids.MH]ids.Incarnation)
+	n.outstanding = make(map[ids.MH]map[ids.RequestID]ids.Incarnation)
 	n.proxies = make(map[uint32]*Proxy)
 	n.ignoreAcks = make(map[ids.MH]bool)
 	n.forwardTo = make(map[ids.MH]ids.MSS)
+	n.reclaims = nil
 	// Migration state: tombstones are recoverable from the journal;
 	// inbound reservations and outbound-offer clocks are volatile (the
 	// reserved sequence numbers were persisted at allocation, so a
@@ -285,10 +327,13 @@ func (n *MSSNode) restoreFromStore() {
 		if r.hasForward {
 			n.forwardTo[mh] = r.forwardTo
 		}
+		if r.inc > ids.FirstIncarnation {
+			n.incs[mh] = r.inc
+		}
 		if len(r.outstanding) > 0 {
-			set := make(map[ids.RequestID]bool, len(r.outstanding))
-			for req := range r.outstanding {
-				set[req] = true
+			set := make(map[ids.RequestID]ids.Incarnation, len(r.outstanding))
+			for req, inc := range r.outstanding {
+				set[req] = inc
 			}
 			n.outstanding[mh] = set
 		}
@@ -311,11 +356,12 @@ func (n *MSSNode) restoreFromStore() {
 		// ProxySeconds accounting loses the pre-crash span.
 		p := newProxy(pr.id, pr.mh, n)
 		p.currentLoc = pr.currentLoc
+		p.leaseInc = pr.leaseInc
 		for _, rr := range pr.reqs {
 			p.reqs[rr.req] = &proxyReq{
 				server: rr.server, payload: rr.payload,
 				result: rr.result, hasResult: rr.hasResult, forwarded: rr.forwarded,
-				batch: rr.batch,
+				batch: rr.batch, inc: rr.inc,
 			}
 			p.order = append(p.order, rr.req)
 		}
@@ -323,6 +369,7 @@ func (n *MSSNode) restoreFromStore() {
 			b := &proxyBatch{
 				id: br.id, members: append([]ids.RequestID(nil), br.members...),
 				expected: br.expected, committed: br.committed, released: br.released,
+				inc: br.inc,
 			}
 			p.batches[b.id] = b
 			p.batchOrder = append(p.batchOrder, b.id)
@@ -339,6 +386,10 @@ func (n *MSSNode) restoreFromStore() {
 			p.abortOrder = append(p.abortOrder, ar.id)
 		}
 		n.proxies[seq] = p
+		// The lease clock restarts with a fresh, full TTL: pre-crash
+		// expiry timers are invalidated by the epoch guard, and the next
+		// heartbeat renews the lease anyway.
+		p.armLease()
 	}
 	tombSeqs := make([]int, 0, len(rec.tombstones))
 	for seq := range rec.tombstones {
@@ -363,6 +414,37 @@ func (n *MSSNode) restoreFromStore() {
 			n.armTombstoneGC(t)
 		}
 	}
+	// Replay the durable reclaim log (E18). The scan verifies each
+	// record's checksum and truncates at the first corrupt one; whatever
+	// survives is re-sent by recoveryResend below.
+	if raw := rec.reclaims; len(raw) > 0 {
+		records, truncated := journalScan(raw)
+		if truncated {
+			n.w.Stats.JournalTruncations.Inc()
+			// Rewrite the log as its verified prefix so the corrupt tail
+			// is not re-scanned (and re-counted) on the next restart.
+			clean := []byte(nil)
+			for _, body := range records {
+				clean = journalAppend(clean, body)
+			}
+			rec.reclaims = clean
+		}
+		for _, body := range records {
+			if len(body) < 4 {
+				continue
+			}
+			dest := ids.MSS(binary.BigEndian.Uint32(body[:4]))
+			m, err := msg.Decode(body[4:])
+			if err != nil {
+				continue
+			}
+			if memo, ok := m.(msg.ReclaimMemo); ok {
+				n.reclaims = append(n.reclaims, reclaimRecord{dest: dest, memo: memo})
+			}
+		}
+	}
+	// The heartbeat loop died with the crash; re-arm it.
+	n.armLeaseBeat()
 }
 
 // recoveryResend runs after RecoveryGrace: for every restored proxy it
@@ -409,5 +491,12 @@ func (n *MSSNode) recoveryResend() {
 			n.w.Stats.RecoveryResends.Inc()
 			n.sendUpdateCurrLoc(pref.Proxy, mh)
 		}
+	}
+	// Re-send every journaled reclamation memo (E18): the crash may have
+	// landed between the journal write and the wire send, and the memo
+	// is idempotent at the receiver.
+	for _, rr := range n.reclaims {
+		n.w.Stats.RecoveryResends.Inc()
+		n.sendToStation(rr.dest, rr.memo)
 	}
 }

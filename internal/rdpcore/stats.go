@@ -147,6 +147,34 @@ type Stats struct {
 	BatchesAborted       metrics.Counter
 	BatchResultsWithheld metrics.Counter
 
+	// MHCrashes and MHRestarts count mobile-host outages executed by the
+	// World (E18's failure model: a crash wipes the host's volatile
+	// state — seen-set, outstanding table, in-flight batches, timers —
+	// and a restart reboots it under a fresh incarnation).
+	MHCrashes  metrics.Counter
+	MHRestarts metrics.Counter
+	// StaleIncarnationDrops counts results (and batch traffic) refused
+	// because they belonged to a dead incarnation of their MH: the
+	// amnesia guard that keeps a rebooted host from receiving answers
+	// its previous self asked for. Each drop is acked back to the proxy
+	// so the orphaned request state is scrubbed, not retried forever.
+	StaleIncarnationDrops metrics.Counter
+	// LeaseHeartbeats counts proxy-lease renewals processed at proxy
+	// hosts; ProxiesReclaimed counts proxies garbage-collected by the
+	// lease GC because their owner's incarnation died (no heartbeat for
+	// Config.LeaseTTL, or a heartbeat announcing a newer incarnation
+	// left the proxy empty).
+	LeaseHeartbeats  metrics.Counter
+	ProxiesReclaimed metrics.Counter
+	// OfflineDroppedStale counts offline-journal entries skipped at
+	// replay because they were journaled by a dead incarnation (E18
+	// scoping of the E17 offline queue).
+	OfflineDroppedStale metrics.Counter
+	// JournalTruncations counts checksummed-journal recoveries that
+	// found a corrupt record and truncated the journal there (stable
+	// store hardening; see internal/rdpcore/journal.go).
+	JournalTruncations metrics.Counter
+
 	// InboxPeak tracks the deepest station inbox seen anywhere: the
 	// queue-growth measurement of E11 (unbounded growth past saturation
 	// without admission control; bounded by the high-watermark with it).

@@ -193,6 +193,19 @@ type Config struct {
 	// them — all-or-nothing, so a deadline can never yield a partial
 	// batch. Zero means batches wait forever.
 	BatchDeadline time.Duration
+
+	// --- Mobile-host crash/amnesia recovery (E18) ---
+
+	// LeaseTTL, when positive, enables incarnation-scoped delivery and
+	// lease-based orphan reclamation: every responsible station
+	// heartbeats the proxies of its registered hosts (period LeaseTTL/3,
+	// skipping hosts it can tell are crashed), and a proxy whose lease
+	// goes unrenewed for a full LeaseTTL reclaims itself — its state is
+	// orphaned by a host that lost its volatile memory (CrashMH) and
+	// will re-register under a fresh incarnation. Zero disables the
+	// whole machinery (heartbeats, reclamation, and the dead-incarnation
+	// quiescence checks), keeping E1–E17 traces byte-identical.
+	LeaseTTL time.Duration
 }
 
 // DefaultConfig returns a configuration matching the paper's model: 3
@@ -235,6 +248,15 @@ type World struct {
 	// either direction, and requests they issue are journaled for replay
 	// on reconnection (E17 disconnected operation).
 	disconnected map[ids.MH]bool
+
+	// crashedMH marks hosts that fail-stopped with amnesia (E18): the
+	// host is dead to the radio and its volatile protocol state is gone.
+	// mhInc is each host's incarnation counter, modeled as a tiny
+	// non-volatile flash word on the device: it lives in the World (not
+	// the node) precisely so a crash cannot wipe it, and RestartMH bumps
+	// it before reboot.
+	crashedMH map[ids.MH]bool
+	mhInc     map[ids.MH]ids.Incarnation
 
 	// down marks crashed stations; see CrashMSS/RestartMSS. store is the
 	// in-sim stable storage stations journal to when Config.Checkpoint is
@@ -293,6 +315,8 @@ func NewWorldWith(sched sim.Scheduler, cfg Config, wired netsim.WiredTransport, 
 		store:   newStableStore(),
 
 		disconnected: make(map[ids.MH]bool),
+		crashedMH:    make(map[ids.MH]bool),
+		mhInc:        make(map[ids.MH]ids.Incarnation),
 	}
 
 	members := make([]ids.NodeID, 0, len(stations)+len(servers))
@@ -419,6 +443,7 @@ func (w *World) AddMH(id ids.MH, cell ids.MSS) *MHNode {
 	w.Wireless.RegisterMH(id, h)
 	w.loc[id] = cell
 	w.active[id] = true
+	w.mhInc[id] = ids.FirstIncarnation
 	h.join(cell)
 	return h
 }
@@ -468,7 +493,9 @@ func (w *World) Migrate(id ids.MH, cell ids.MSS) {
 		return
 	}
 	w.loc[id] = cell
-	if w.active[id] {
+	if w.active[id] && !w.crashedMH[id] {
+		// A crashed host is carried silently; it greets from the cell it
+		// reboots in (E18).
 		h.onMigrate(cell)
 	}
 }
@@ -487,10 +514,20 @@ func (w *World) DetachMH(id ids.MH) (h *MHNode, active bool) {
 		panic(fmt.Sprintf("rdpcore: unknown MH %v", id))
 	}
 	active = w.active[id]
+	// The device's flash chip travels with it: park the incarnation
+	// counter, crash flag, and offline journal on the node so AttachMH
+	// restores them in the destination world (E18) — otherwise a region
+	// transfer would be an accidental amnesia wipe.
+	h.xferInc = w.mhInc[id]
+	h.xferCrashed = w.crashedMH[id]
+	h.xferJournal = w.store.offline[id]
 	delete(w.MHs, id)
 	delete(w.loc, id)
 	delete(w.active, id)
 	delete(w.disconnected, id)
+	delete(w.mhInc, id)
+	delete(w.crashedMH, id)
+	delete(w.store.offline, id)
 	// The host is radio-silent in transit: stop its retransmit, deadline
 	// and refresh timers so a detached host leaks no kernel events. The
 	// timers re-arm from live state on the next attach-side activity.
@@ -518,7 +555,19 @@ func (w *World) AttachMH(h *MHNode, cell ids.MSS, active bool) {
 	w.Wireless.RegisterMH(h.id, h)
 	w.loc[h.id] = cell
 	w.active[h.id] = active
-	if active && h.joined {
+	// Restore the flash chip DetachMH parked on the node — before any
+	// greet, so the radio model sees a crashed host as unreachable.
+	if h.xferInc != 0 {
+		w.mhInc[h.id] = h.xferInc
+	}
+	if h.xferCrashed {
+		w.crashedMH[h.id] = true
+	}
+	if len(h.xferJournal) != 0 {
+		w.store.offline[h.id] = h.xferJournal
+	}
+	h.xferInc, h.xferCrashed, h.xferJournal = 0, false, nil
+	if active && h.joined && !w.crashedMH[h.id] {
 		h.onMigrate(cell)
 	}
 	// Rebuild the timer set DetachMH cancelled (refresh beacon, retry
@@ -529,7 +578,10 @@ func (w *World) AttachMH(h *MHNode, cell ids.MSS, active bool) {
 // persistOffline journals an MH's offline request queue through the E10
 // stable store (write-through on every mutation, like the stations'
 // records); an empty queue erases the record. Gated on Checkpoint like
-// every other journal write.
+// every other journal write. The record is a checksummed byte log
+// (journal.go): each message is wire-encoded and framed with a length
+// and an FNV-64a, so a torn write is detected at replay time instead of
+// resurrecting garbage requests.
 func (w *World) persistOffline(mh ids.MH, queue []msg.Message) {
 	if !w.cfg.Checkpoint {
 		return
@@ -537,9 +589,53 @@ func (w *World) persistOffline(mh ids.MH, queue []msg.Message) {
 	if len(queue) == 0 {
 		delete(w.store.offline, mh)
 	} else {
-		w.store.offline[mh] = append([]msg.Message(nil), queue...)
+		var log []byte
+		for _, m := range queue {
+			body, err := msg.Encode(m)
+			if err != nil {
+				// Non-wire message in the queue (not produced by the
+				// protocol); skip it rather than poison the journal.
+				continue
+			}
+			log = journalAppend(log, body)
+		}
+		w.store.offline[mh] = log
 	}
 	w.store.writes++
+}
+
+// loadOffline decodes an MH's journaled offline queue from the stable
+// store, verifying each record's checksum. A corrupt record truncates
+// the replay at the longest verified prefix (JournalTruncations counts
+// it) and the store is rewritten to that prefix.
+func (w *World) loadOffline(mh ids.MH) []msg.Message {
+	log := w.store.offline[mh]
+	if len(log) == 0 {
+		return nil
+	}
+	records, truncated := journalScan(log)
+	if truncated {
+		w.Stats.JournalTruncations.Inc()
+		var good []byte
+		for _, body := range records {
+			good = journalAppend(good, body)
+		}
+		if len(good) == 0 {
+			delete(w.store.offline, mh)
+		} else {
+			w.store.offline[mh] = good
+		}
+		w.store.writes++
+	}
+	queue := make([]msg.Message, 0, len(records))
+	for _, body := range records {
+		m, err := msg.Decode(body)
+		if err != nil {
+			continue // checksummed but undecodable: never replay garbage
+		}
+		queue = append(queue, m)
+	}
+	return queue
 }
 
 // SetActive switches the MH between the active and inactive states of
@@ -553,7 +649,7 @@ func (w *World) SetActive(id ids.MH, activeNow bool) {
 		return
 	}
 	w.active[id] = activeNow
-	if activeNow {
+	if activeNow && !w.crashedMH[id] {
 		h.onActivate(w.loc[id])
 	}
 }
@@ -596,7 +692,7 @@ func (w *World) Reconnect(id ids.MH) {
 		return
 	}
 	delete(w.disconnected, id)
-	if w.active[id] && h.joined {
+	if w.active[id] && h.joined && !w.crashedMH[id] {
 		h.onReconnect(w.loc[id])
 	}
 }
@@ -628,10 +724,11 @@ func (w *World) distance(a, b ids.MSS) int {
 }
 
 // reachable implements the wireless gate: in the station's cell and
-// active, not disconnected, and the station's radio itself up (a
-// crashed station neither transmits nor receives).
+// active, not disconnected, not crashed, and the station's radio itself
+// up (a crashed station neither transmits nor receives).
 func (w *World) reachable(mss ids.MSS, mh ids.MH) bool {
-	return w.loc[mh] == mss && w.active[mh] && !w.down[mss] && !w.disconnected[mh]
+	return w.loc[mh] == mss && w.active[mh] && !w.down[mss] &&
+		!w.disconnected[mh] && !w.crashedMH[mh]
 }
 
 // nodeDown is the wired substrate's down gate: frames addressed to a
@@ -682,6 +779,65 @@ func (w *World) RestartMSS(id ids.MSS) {
 		}
 		n.recoveryResend()
 	})
+}
+
+// IsCrashed reports whether the MH is currently crashed (E18). Stations
+// consult it as the radio-level liveness probe behind their lease
+// heartbeats: a cellular station can distinguish a dead handset from a
+// merely silent one at the link layer, which the simulation abstracts
+// into this one predicate.
+func (w *World) IsCrashed(id ids.MH) bool { return w.crashedMH[id] }
+
+// IncarnationOf returns the MH's current incarnation number — the
+// monotonic counter in the host's non-volatile flash that survives
+// crashes and is bumped on every restart (E18).
+func (w *World) IncarnationOf(id ids.MH) ids.Incarnation { return w.mhInc[id] }
+
+// CrashMH fail-stops a mobile host with amnesia (E18): its radio goes
+// dead and every piece of volatile protocol state — the seen-set, the
+// outstanding/admitted/pending bookkeeping, the activation queue, the
+// batch objects, all timers — is lost. Only the incarnation counter
+// (non-volatile flash) and the journaled offline queue survive. The
+// host's proxies and any in-flight results addressed to the dead
+// incarnation are left orphaned; the lease machinery (Config.LeaseTTL)
+// reclaims them. No-op if already crashed.
+func (w *World) CrashMH(id ids.MH) {
+	h, ok := w.MHs[id]
+	if !ok {
+		panic(fmt.Sprintf("rdpcore: unknown MH %v", id))
+	}
+	if w.crashedMH[id] {
+		return
+	}
+	w.crashedMH[id] = true
+	w.Stats.MHCrashes.Inc()
+	h.crash()
+}
+
+// RestartMH reboots a crashed mobile host under a fresh incarnation:
+// the flash counter is bumped, the surviving offline journal is
+// replayed through the incarnation filter (entries issued by the dead
+// incarnation are discarded — their requests died with the memory that
+// tracked them), and the host re-registers with the station of its
+// current cell, carrying the new incarnation so stale state everywhere
+// can be scrubbed. No-op if not crashed.
+func (w *World) RestartMH(id ids.MH) {
+	h, ok := w.MHs[id]
+	if !ok {
+		panic(fmt.Sprintf("rdpcore: unknown MH %v", id))
+	}
+	if !w.crashedMH[id] {
+		return
+	}
+	delete(w.crashedMH, id)
+	w.Stats.MHRestarts.Inc()
+	inc := w.mhInc[id]
+	if inc == 0 {
+		inc = ids.FirstIncarnation
+	}
+	inc++
+	w.mhInc[id] = inc
+	h.reboot(inc)
 }
 
 // CheckpointWrites returns the number of journal writes stations have
@@ -830,6 +986,28 @@ func (w *World) CheckQuiescent() error {
 			for _, bid := range p.batchOrder {
 				if !p.batches[bid].released {
 					return fmt.Errorf("quiescence: proxy %v still holds unreleased batch %v", p.id, bid)
+				}
+			}
+			if w.cfg.LeaseTTL > 0 {
+				// E18: once traffic drains, no proxy state may belong to
+				// a dead incarnation — the lease machinery must have
+				// scrubbed or reclaimed it.
+				cur := w.mhInc[p.mh]
+				if incLess(p.leaseInc, cur) {
+					return fmt.Errorf("quiescence: proxy %v leased to dead incarnation %v of %v (current %v)",
+						p.id, normInc(p.leaseInc), p.mh, normInc(cur))
+				}
+				for req, r := range p.reqs {
+					if incLess(r.inc, cur) {
+						return fmt.Errorf("quiescence: proxy %v holds request %v from dead incarnation %v of %v",
+							p.id, req, normInc(r.inc), p.mh)
+					}
+				}
+				for bid, b := range p.batches {
+					if incLess(b.inc, cur) {
+						return fmt.Errorf("quiescence: proxy %v holds batch %v from dead incarnation %v of %v",
+							p.id, bid, normInc(b.inc), p.mh)
+					}
 				}
 			}
 		}
