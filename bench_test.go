@@ -367,6 +367,27 @@ func BenchmarkE11Overload(b *testing.B) {
 	b.ReportMetric(lostAdmitted, "lost-admitted")
 }
 
+// BenchmarkE15WindowedTransport regenerates E15 at bench scale: the
+// windowed wireless transport against stop-and-wait across the loss ×
+// overload grid. Reported metrics: goodput of both transports at the
+// headline point (10% loss, 2x offered load), their ratio (must stay
+// ≥ 2), and the windowed p99 result latency in milliseconds.
+func BenchmarkE15WindowedTransport(b *testing.B) {
+	var windowed, stopwait, ratio, p99ms float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.E15WindowedTransport(int64(i+1), benchScale())
+		if w, s, ok := experiments.E15Headline(rows); ok && s.GoodputPct > 0 {
+			windowed, stopwait = w.GoodputPct, s.GoodputPct
+			ratio = w.GoodputPct / s.GoodputPct
+			p99ms = float64(w.P99Latency.Milliseconds())
+		}
+	}
+	b.ReportMetric(windowed, "windowed-goodput%")
+	b.ReportMetric(stopwait, "stopwait-goodput%")
+	b.ReportMetric(ratio, "goodput-ratio")
+	b.ReportMetric(p99ms, "windowed-p99-ms")
+}
+
 // BenchmarkE13ParallelScale regenerates E13 at bench scale: the sharded
 // conservative engine across its region sweep. Reported metrics: the
 // minimum delivery ratio across all partitions (must be 1.0) and

@@ -39,6 +39,7 @@ func run(args []string, stdout io.Writer) (int, error) {
 		allocRatio = fs.Float64("alloc-ratio", 0, "allocs/op regression threshold (0 = default 1.25)")
 		nsRatio    = fs.Float64("ns-ratio", 0, "ns/op regression threshold (0 = report only)")
 		metricTol  = fs.Float64("metric-tol", 0, "headline metric relative tolerance (0 = default 1e-9)")
+		regressRat = fs.Float64("regress-ratio", 0, "lower-is-better metric regression threshold (0 = default 1.10)")
 		only       = fs.String("only", "", "comma-separated experiments to compare (for smoke gates over a subset)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -74,6 +75,9 @@ func run(args []string, stdout io.Writer) (int, error) {
 	}
 	if *metricTol > 0 {
 		opts.MetricTol = *metricTol
+	}
+	if *regressRat > 0 {
+		opts.RegressRatio = *regressRat
 	}
 	findings, failed := benchcmp.Compare(base, cur, opts)
 	fmt.Fprintf(stdout, "baseline %s (%s) vs current %s (%s)\n",

@@ -1,5 +1,5 @@
 // Command rdpbench regenerates the evaluation of the RDP paper: every
-// experiment of DESIGN.md (E1–E13, E17, E18) as a printed table. Run all of them,
+// experiment of DESIGN.md (E1–E13, E15, E17, E18) as a printed table. Run all of them,
 // or a subset:
 //
 //	rdpbench                 # everything, standard scale
@@ -69,8 +69,18 @@ var allRuns = []runSpec{
 	{"e11", printE11, metricE11},
 	{"e12", printE12, metricE12},
 	{"e13", printE13, metricE13},
+	{"e15", printE15, metricE15},
+	{"e15lat", printE15Lat, metricE15Lat},
 	{"e17", printE17, metricE17},
 	{"e18", printE18, metricE18},
+}
+
+// auxFuncs attaches informational measurements to a -json snapshot
+// entry (benchcmp.Entry.Aux). They ride the snapshot but are never
+// gated by benchcmp; experiments memoize their sweeps, so computing
+// them after the timed metric run costs nothing.
+var auxFuncs = map[string]func(seed int64, sc experiments.Scale) map[string]float64{
+	"e15": auxE15,
 }
 
 // e13RegionList/e13Workers carry the -regions/-serial flags into the
@@ -84,7 +94,7 @@ var (
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("rdpbench", flag.ContinueOnError)
 	var (
-		expFlag = fs.String("exp", "all", "comma-separated experiments to run (e1..e13, e17, e18, or all)")
+		expFlag = fs.String("exp", "all", "comma-separated experiments to run (e1..e13, e15, e15lat, e17, e18, or all)")
 		seed    = fs.Int64("seed", 1, "random seed")
 		quick   = fs.Bool("quick", false, "reduced scale for a fast pass")
 		csv     = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
@@ -170,7 +180,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if len(sel) == 0 {
-		return fmt.Errorf("no experiment matched %q (use e1..e13, e17, e18, or all)", *expFlag)
+		return fmt.Errorf("no experiment matched %q (use e1..e13, e15, e15lat, e17, e18, or all)", *expFlag)
 	}
 
 	if *jsonOut {
@@ -231,14 +241,20 @@ func runJSON(stdout io.Writer, sel []runSpec, seed int64, sc experiments.Scale, 
 		name, val := r.metric(seed, sc)
 		ns := time.Since(t0).Nanoseconds()
 		runtime.ReadMemStats(&ms1)
-		snap.Entries = append(snap.Entries, benchcmp.Entry{
+		e := benchcmp.Entry{
 			Name:       r.name,
 			NsOp:       float64(ns),
 			AllocsOp:   float64(ms1.Mallocs - ms0.Mallocs),
 			BytesOp:    float64(ms1.TotalAlloc - ms0.TotalAlloc),
 			MetricName: name,
 			Metric:     val,
-		})
+		}
+		// Aux rides outside the timed window: the sweep behind it is
+		// already memoized by the metric call above.
+		if fn := auxFuncs[r.name]; fn != nil {
+			e.Aux = fn(seed, sc)
+		}
+		snap.Entries = append(snap.Entries, e)
 		fmt.Fprintf(stdout, "%-5s %12d ns %12d allocs  %s=%g\n",
 			r.name, ns, ms1.Mallocs-ms0.Mallocs, name, val)
 	}
@@ -519,6 +535,105 @@ func printE13(r *renderer, seed int64, sc experiments.Scale) {
 			dur(row.Wall), f(row.Speedup, 2), fmt.Sprint(row.HeadlineEq))
 	}
 	r.emit(t)
+}
+
+func printE15(r *renderer, seed int64, sc experiments.Scale) {
+	r.header("E15", "windowed wireless transport: coalescing + AIMD window vs stop-and-wait and I-TCP")
+	t := metrics.NewTable("loss", "offered-x", "transport", "offered", "delivered", "goodput%", "p99-lat",
+		"retrans", "resets", "frames", "msgs/frame", "dups", "lost-admitted")
+	for _, row := range experiments.E15WindowedTransport(seed, sc) {
+		perFrame := 0.0
+		if row.Frames > 0 {
+			perFrame = float64(row.FrameMsgs) / float64(row.Frames)
+		}
+		lost := d(row.LostAdmitted)
+		if row.LostAdmitted < 0 {
+			lost = "-" // the I-TCP baseline has no admission accounting
+		}
+		t.AddRow(f(row.Loss, 2), f(row.OfferedX, 1), row.Transport, d(row.Offered), d(row.Delivered),
+			f(row.GoodputPct, 1), dur(row.P99Latency), d(row.Retransmits), d(row.Resets),
+			d(row.Frames), f(perFrame, 2), d(row.Duplicates), lost)
+	}
+	r.emit(t)
+
+	fmt.Fprintln(r.w, "\nE15b — per-link transport profile (RTT/RTO/cwnd histograms, WTP rows only)")
+	t2 := metrics.NewTable("loss", "offered-x", "transport", "rtt-p50", "rtt-p99", "rto-p50", "cwnd-mean", "retrans")
+	for _, row := range experiments.E15WindowedTransport(seed, sc) {
+		if row.CwndMean == 0 { // plain and I-TCP rows carry no WTP link state
+			continue
+		}
+		t2.AddRow(f(row.Loss, 2), f(row.OfferedX, 1), row.Transport, dur(row.RttP50), dur(row.RttP99),
+			dur(row.RtoP50), f(row.CwndMean, 2), d(row.Retransmits))
+	}
+	r.emit(t2)
+}
+
+// printE15Lat is the table half of the e15lat snapshot entry; the grid
+// is the same memoized sweep, focused on the latency columns.
+func printE15Lat(r *renderer, seed int64, sc experiments.Scale) {
+	r.header("E15lat", "windowed wireless transport: p99 result latency at the headline grid point")
+	t := metrics.NewTable("loss", "offered-x", "transport", "p99-lat")
+	for _, row := range experiments.E15WindowedTransport(seed, sc) {
+		if row.Loss != 0.10 || row.OfferedX != 2 {
+			continue
+		}
+		t.AddRow(f(row.Loss, 2), f(row.OfferedX, 1), row.Transport, dur(row.P99Latency))
+	}
+	r.emit(t)
+}
+
+// metricE15 is the snapshot headline: windowed over stop-and-wait
+// goodput at the headline grid point (10% loss, 2× the stop-and-wait
+// ceiling), forced to -1 whenever a windowed row breaks a guarantee —
+// a lost admitted request, a duplicate delivery, or headline p99 worse
+// than stop-and-wait — so the e15-smoke benchcmp gate fails on a broken
+// transport, not just a slow one.
+func metricE15(seed int64, sc experiments.Scale) (string, float64) {
+	rows := experiments.E15WindowedTransport(seed, sc)
+	for _, row := range rows {
+		if row.Transport == "windowed" && (row.LostAdmitted != 0 || row.Duplicates != 0) {
+			return "guarded_goodput_ratio", -1
+		}
+	}
+	w, s, ok := experiments.E15Headline(rows)
+	if !ok || s.GoodputPct <= 0 || w.P99Latency > s.P99Latency {
+		return "guarded_goodput_ratio", -1
+	}
+	return "guarded_goodput_ratio", w.GoodputPct / s.GoodputPct
+}
+
+// auxE15 records the windowed transport's link profile at the headline
+// grid point — the RTT/RTO/cwnd histogram summaries and the
+// retransmission counter — in the snapshot's informational aux map, so
+// the trajectory of committed snapshots keeps the transport's shape
+// alongside the gated goodput ratio.
+func auxE15(seed int64, sc experiments.Scale) map[string]float64 {
+	w, _, ok := experiments.E15Headline(experiments.E15WindowedTransport(seed, sc))
+	if !ok {
+		return nil
+	}
+	ms := float64(time.Millisecond)
+	return map[string]float64{
+		"rtt_p50_ms":       float64(w.RttP50) / ms,
+		"rtt_p99_ms":       float64(w.RttP99) / ms,
+		"rto_p50_ms":       float64(w.RtoP50) / ms,
+		"cwnd_mean_frames": w.CwndMean,
+		"retransmits":      float64(w.Retransmits),
+		"frames":           float64(w.Frames),
+		"frame_msgs":       float64(w.FrameMsgs),
+	}
+}
+
+// metricE15Lat is the latency half of the E15 gate: the windowed
+// transport's p99 result latency at the headline grid point, in
+// milliseconds. benchcmp treats p99_latency_ms as regress-only
+// (lower is better), so CI fails only when the tail grows.
+func metricE15Lat(seed int64, sc experiments.Scale) (string, float64) {
+	w, _, ok := experiments.E15Headline(experiments.E15WindowedTransport(seed, sc))
+	if !ok {
+		return "p99_latency_ms", -1
+	}
+	return "p99_latency_ms", float64(w.P99Latency) / float64(time.Millisecond)
 }
 
 func printE17(r *renderer, seed int64, sc experiments.Scale) {

@@ -5,6 +5,7 @@
 //
 //	rdpviz -scenario fig3            # Figure 3: migration chases a result
 //	rdpviz -scenario fig4 -drops     # Figure 4, including lost frames
+//	rdpviz -scenario e15 -drops      # E15: windowed downlink, coalescing, SACK, RTO repair
 //	rdpviz -scenario fig3 -width 18  # wider lanes for long labels
 package main
 
@@ -27,7 +28,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rdpviz", flag.ContinueOnError)
 	var (
-		scenario = fs.String("scenario", "fig3", "scenario to draw: fig3 or fig4")
+		scenario = fs.String("scenario", "fig3", "scenario to draw: fig3, fig4 or e15")
 		width    = fs.Int("width", 14, "columns per node lane")
 		drops    = fs.Bool("drops", false, "draw dropped frames (head 'x')")
 	)
@@ -43,8 +44,13 @@ func run(args []string) error {
 	case "fig4":
 		fmt.Println("Figure 4 — three overlapping requests on one proxy; del-pref / RKpR / del-proxy life-cycle.")
 		experiments.ReplayFigure4(rec.Observe)
+	case "e15":
+		fmt.Println("E15 — three results over the windowed downlink: coalesced wtp-data frames, a dropped")
+		fmt.Println("frame (run with -drops to see it), the SACK from the out-of-order arrival, and the")
+		fmt.Println("RTO retransmission that repairs the hole.")
+		experiments.ReplayE15Windowed(rec.Observe)
 	default:
-		return fmt.Errorf("unknown scenario %q (fig3 or fig4)", *scenario)
+		return fmt.Errorf("unknown scenario %q (fig3, fig4 or e15)", *scenario)
 	}
 	fmt.Println()
 	fmt.Print(rec.Diagram(trace.DiagramOptions{LaneWidth: *width, ShowDrops: *drops}))

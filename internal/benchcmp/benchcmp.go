@@ -14,7 +14,10 @@
 //   - the headline metric (delivery ratio, retransmission count, …) is
 //     a determinism check, not a performance one: the simulation is
 //     seeded, so any drift means behavior changed. It is compared
-//     near-exactly.
+//     near-exactly — except for metrics registered as lower-is-better
+//     (Options.Directions), which are gated regress-only: latency may
+//     improve across changes without invalidating the baseline, and
+//     fails only when it grows past RegressRatio.
 package benchcmp
 
 import (
@@ -33,6 +36,11 @@ type Entry struct {
 	BytesOp    float64 `json:"bytes_op,omitempty"`
 	MetricName string  `json:"metric_name,omitempty"`
 	Metric     float64 `json:"metric"`
+	// Aux carries informational per-experiment measurements (transport
+	// RTT/RTO/cwnd profiles, retransmission counts, …). Compare never
+	// gates on them: they exist so the snapshot trajectory records more
+	// than the single gated headline.
+	Aux map[string]float64 `json:"aux,omitempty"`
 }
 
 // Snapshot is one full rdpbench -json run.
@@ -77,11 +85,38 @@ type Options struct {
 	// MetricTol is the relative tolerance for the headline metric.
 	// DefaultOptions sets 1e-9 — effectively exact for seeded runs.
 	MetricTol float64
+	// Directions maps a metric name (Entry.MetricName) to its gating
+	// direction. Unlisted metrics use DirExact. DefaultOptions registers
+	// p99_latency_ms as DirLowerBetter.
+	Directions map[string]Direction
+	// RegressRatio fails a DirLowerBetter metric whose value exceeds
+	// baseline by this factor. Zero disables the gate; DefaultOptions
+	// sets 1.10.
+	RegressRatio float64
 }
+
+// Direction selects how an entry's headline metric is gated.
+type Direction int
+
+const (
+	// DirExact treats any drift beyond MetricTol as failure — the
+	// default, right for metrics that are determinism checks.
+	DirExact Direction = iota
+	// DirLowerBetter gates only regressions: the metric may shrink
+	// freely (an improvement), and fails when it exceeds baseline by
+	// RegressRatio. Right for latency-like measurements.
+	DirLowerBetter
+)
 
 // DefaultOptions returns the thresholds used by make bench-compare.
 func DefaultOptions() Options {
-	return Options{AllocRatio: 1.25, NsRatio: 0, MetricTol: 1e-9}
+	return Options{
+		AllocRatio:   1.25,
+		NsRatio:      0,
+		MetricTol:    1e-9,
+		Directions:   map[string]Direction{"p99_latency_ms": DirLowerBetter},
+		RegressRatio: 1.10,
+	}
 }
 
 // Finding is one per-entry, per-quantity comparison outcome.
@@ -147,8 +182,19 @@ func Compare(base, cur Snapshot, o Options) (findings []Finding, failed bool) {
 		}
 		findings = append(findings, nf)
 		mf := Finding{Name: b.Name, Field: "metric", Old: b.Metric, New: c.Metric, Limit: o.MetricTol}
-		if o.MetricTol > 0 && !withinTol(b.Metric, c.Metric, o.MetricTol) {
-			mf.Bad, failed = true, true
+		switch o.Directions[b.MetricName] {
+		case DirLowerBetter:
+			mf.Limit = o.RegressRatio
+			// A negative current value is a guard sentinel (-1), never a
+			// fast run; it must not slip under a lower-is-better gate.
+			if (o.RegressRatio > 0 && c.Metric > b.Metric*o.RegressRatio) ||
+				(c.Metric < 0 && b.Metric >= 0) {
+				mf.Bad, failed = true, true
+			}
+		default:
+			if o.MetricTol > 0 && !withinTol(b.Metric, c.Metric, o.MetricTol) {
+				mf.Bad, failed = true, true
+			}
 		}
 		findings = append(findings, mf)
 	}

@@ -86,6 +86,68 @@ func TestMissingEntryFails(t *testing.T) {
 	}
 }
 
+func latSnap(p99 float64) Snapshot {
+	return Snapshot{
+		Stamp: "base",
+		Entries: []Entry{
+			{Name: "e15lat", NsOp: 1e6, AllocsOp: 100, MetricName: "p99_latency_ms", Metric: p99},
+		},
+	}
+}
+
+// TestLowerBetterImprovementPasses: a registered lower-is-better metric
+// may shrink arbitrarily without tripping the exact-drift gate.
+func TestLowerBetterImprovementPasses(t *testing.T) {
+	if findings, failed := Compare(latSnap(250), latSnap(80), DefaultOptions()); failed {
+		t.Fatalf("p99 improvement treated as regression: %+v", findings)
+	}
+}
+
+// TestLowerBetterNoisePasses: growth under RegressRatio is tolerated —
+// the point of the direction flag is that latency is gated, not pinned.
+func TestLowerBetterNoisePasses(t *testing.T) {
+	if findings, failed := Compare(latSnap(250), latSnap(250*1.05), DefaultOptions()); failed {
+		t.Fatalf("+5%% p99 under the 1.10 threshold failed: %+v", findings)
+	}
+}
+
+// TestLowerBetterRegressionFails: growth past RegressRatio fails.
+func TestLowerBetterRegressionFails(t *testing.T) {
+	findings, failed := Compare(latSnap(250), latSnap(250*1.5), DefaultOptions())
+	if !failed {
+		t.Fatal("+50% p99 regression not caught")
+	}
+	var hit bool
+	for _, f := range findings {
+		if f.Name == "e15lat" && f.Field == "metric" && f.Bad {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("regressed metric not flagged: %+v", findings)
+	}
+}
+
+// TestLowerBetterGuardSentinelFails: a -1 guard value must fail even
+// though it is numerically "lower" than any real latency.
+func TestLowerBetterGuardSentinelFails(t *testing.T) {
+	if _, failed := Compare(latSnap(250), latSnap(-1), DefaultOptions()); !failed {
+		t.Fatal("-1 guard sentinel slipped under the lower-is-better gate")
+	}
+}
+
+// TestUnlistedMetricStaysExact: direction flags apply by metric name;
+// everything else keeps the near-exact determinism gate.
+func TestUnlistedMetricStaysExact(t *testing.T) {
+	base := latSnap(250)
+	base.Entries[0].MetricName = "delivered_total"
+	cur := latSnap(249)
+	cur.Entries[0].MetricName = "delivered_total"
+	if _, failed := Compare(base, cur, DefaultOptions()); !failed {
+		t.Fatal("drift on an unlisted metric not caught")
+	}
+}
+
 // TestNsGatingOptIn: setting NsRatio turns time into a gate.
 func TestNsGatingOptIn(t *testing.T) {
 	cur := baseSnap()

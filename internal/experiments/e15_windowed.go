@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/itcp"
+	"repro/internal/msg"
+	"repro/internal/netsim"
+	"repro/internal/rdpcore"
+	"repro/internal/workload"
+	"repro/internal/wtp"
+)
+
+// E15 radio-capacity model. Every mobile host owns one directed
+// downlink from its station, so the contended resource is the radio
+// link itself, not the station inbox (stations process instantly and
+// the wired side is fast). With constant one-way latencies the
+// stop-and-wait ceiling of a link is one frame per radio round trip:
+// 1/(2·25ms) = 20 frames/s. The sweep offers multiples of that ceiling
+// per host, crossed with the E10-style loss grid, and compares four
+// transports over the identical seeded workload:
+//
+//	windowed  — the E15 transport at its defaults (window 32, AIMD
+//	            cwnd, SACK fast retransmit, downlink coalescing)
+//	stopwait  — the same code degenerated to one un-coalesced frame in
+//	            flight (Window 1, MTU 1, immediate flush): the
+//	            pre-E15 wireless ARQ discipline
+//	plain     — no wireless ARQ at all; admitted results lost to the
+//	            radio stay lost (GreetRefresh is off so nothing
+//	            re-forwards them — the row documents why a bare lossy
+//	            downlink breaks the delivery guarantee)
+//	itcp      — the I-TCP baseline with its wireless TCP hop carried
+//	            by the same windowed transport, for a cross-protocol
+//	            reference on equal terms
+const (
+	e15WiredOneWay    = 2 * time.Millisecond
+	e15WirelessOneWay = 25 * time.Millisecond
+)
+
+// e15LinkRate is one downlink's stop-and-wait ceiling in frames/second.
+func e15LinkRate() float64 { return 1.0 / (2 * e15WirelessOneWay).Seconds() }
+
+// e15MHs caps the host count: links are independent and identical, so
+// extra hosts multiply cost without adding information.
+func e15MHs(sc Scale) int {
+	if sc.MHs > 8 {
+		return 8
+	}
+	return sc.MHs
+}
+
+// E15Row is one sweep point of experiment E15.
+type E15Row struct {
+	Loss      float64
+	OfferedX  float64 // offered load per host as a multiple of the stop-and-wait ceiling
+	Transport string
+	Offered   int64
+	Delivered int64
+	// GoodputPct is results delivered during the issuing horizon as a
+	// percentage of the requests offered in it (the drain after the
+	// horizon earns no credit).
+	GoodputPct float64
+	P99Latency time.Duration
+	// Windowed-transport counters (zero on the plain rows).
+	Retransmits int64
+	Resets      int64
+	Frames      int64
+	FrameMsgs   int64
+	Duplicates  int64
+	// LostAdmitted counts requests the station admitted but never
+	// delivered by the end of the run (-1 on the itcp rows, which have
+	// no admission accounting). Nonzero is expected where the row's
+	// transport cannot keep up — a stop-and-wait backlog past the
+	// drain, or plain losses — and is a violation only for windowed.
+	LostAdmitted int64
+	// Transport profile from the world's WTP histograms (RDP rows with
+	// the transport on; zero for plain and itcp): Karn-valid RTT
+	// samples, the smoothed RTO after each, and the congestion window
+	// in frames after every change.
+	RttP50   time.Duration
+	RttP99   time.Duration
+	RtoP50   time.Duration
+	CwndMean float64
+}
+
+// e15Memo caches the sweep per (seed, scale): rdpbench exposes two
+// snapshot entries (e15 goodput ratio, e15lat p99) over one run.
+var (
+	e15Mu   sync.Mutex
+	e15Memo = map[e15Key][]E15Row{}
+)
+
+type e15Key struct {
+	seed    int64
+	mhs     int
+	horizon time.Duration
+}
+
+// E15WindowedTransport runs the loss × load × transport grid. Expected
+// shape: the windowed transport holds goodput near the offered load at
+// every point (coalescing lifts the per-frame ceiling, the window
+// keeps the pipe full, SACK recovery absorbs loss), while stop-and-wait
+// saturates at its per-link ceiling — before loss — and collapses
+// further as every drop costs a full RTO. Plain tracks (1-loss) until
+// it silently sheds admitted results; I-TCP over the same windowed hop
+// matches windowed RDP.
+func E15WindowedTransport(seed int64, sc Scale) []E15Row {
+	e15Mu.Lock()
+	defer e15Mu.Unlock()
+	key := e15Key{seed: seed, mhs: sc.MHs, horizon: sc.Horizon}
+	if rows, ok := e15Memo[key]; ok {
+		return rows
+	}
+	var rows []E15Row
+	for _, loss := range []float64{0.05, 0.10, 0.20} {
+		for _, mult := range []float64{1, 2} {
+			for _, tr := range []string{"windowed", "stopwait", "plain", "itcp"} {
+				if tr == "itcp" {
+					rows = append(rows, e15RunITCP(seed, sc, loss, mult))
+				} else {
+					rows = append(rows, e15Run(seed, sc, loss, mult, tr))
+				}
+			}
+		}
+	}
+	e15Memo[key] = rows
+	return rows
+}
+
+// e15Config assembles one RDP sweep point. The E11 admission stack is
+// armed (high-water far above the instant-processing inbox) purely for
+// its accounting: the explicit Admit makes LostAdmitted a measured
+// guarantee, not an inference. GreetRefresh stays off so the windowed
+// transport — not proxy-level greet recovery — is what carries the
+// delivery guarantee across the lossy radio.
+func e15Config(seed int64, loss float64, transport string) rdpcore.Config {
+	cfg := baseConfig(seed)
+	cfg.WiredLatency = netsim.Constant(e15WiredOneWay)
+	cfg.WirelessLatency = netsim.Constant(e15WirelessOneWay)
+	cfg.ServerProc = netsim.Constant(time.Millisecond)
+	cfg.WirelessLoss = loss
+	cfg.WirelessQueueLimit = 1024
+	cfg.AdmissionHighWater = 64
+	switch transport {
+	case "windowed":
+		cfg.WirelessWTP = wtp.Config{Enabled: true}
+	case "stopwait":
+		cfg.WirelessWTP = wtp.Config{Enabled: true, Window: 1, MTU: 1, CoalesceDelay: -1}
+	}
+	return cfg
+}
+
+// e15Run executes one RDP sweep point and gathers its row.
+func e15Run(seed int64, sc Scale, loss, mult float64, transport string) E15Row {
+	cfg := e15Config(seed, loss, transport)
+	w := rdpcore.NewWorld(cfg)
+	horizon := sc.Horizon
+
+	type pendingReq struct {
+		mh  ids.MH
+		req ids.RequestID
+	}
+	var reqs []pendingReq
+	mean := time.Duration(float64(time.Second) / (e15LinkRate() * mult))
+	for i := 1; i <= e15MHs(sc); i++ {
+		mhID := ids.MH(i)
+		rng := w.Kernel.RNG().Fork()
+		mh := w.AddMH(mhID, ids.MSS(i%cfg.NumMSS+1))
+		reqCfg := workload.Requests{
+			Interarrival: netsim.Exponential{MeanDelay: mean, Floor: time.Millisecond},
+			Servers:      serverList(w),
+			PayloadBytes: 32,
+		}
+		for _, a := range workload.Schedule(rng, reqCfg, horizon) {
+			a := a
+			w.Schedule(a.At, func() {
+				reqs = append(reqs, pendingReq{mh: mhID, req: mh.IssueRequest(a.Server, a.Payload)})
+			})
+		}
+	}
+	var deliveredAtHorizon int64
+	w.Schedule(horizon, func() { deliveredAtHorizon = w.Stats.ResultsDelivered.Value() })
+	w.RunUntil(horizon + horizon/2)
+
+	var lostAdmitted int64
+	for _, pr := range reqs {
+		mh := w.MHs[pr.mh]
+		if mh.Admitted(pr.req) && !mh.Seen(pr.req) {
+			lostAdmitted++
+		}
+	}
+	offered := int64(len(reqs))
+	goodput := 0.0
+	if offered > 0 {
+		goodput = 100 * float64(deliveredAtHorizon) / float64(offered)
+	}
+	return E15Row{
+		Loss:         loss,
+		OfferedX:     mult,
+		Transport:    transport,
+		Offered:      offered,
+		Delivered:    w.Stats.ResultsDelivered.Value(),
+		GoodputPct:   goodput,
+		P99Latency:   w.Stats.ResultLatency.Quantile(0.99),
+		Retransmits:  w.Stats.WTPRetransmits.Value(),
+		Resets:       w.Stats.WTPResets.Value(),
+		Frames:       w.Stats.WTPFrames.Value(),
+		FrameMsgs:    w.Stats.WTPFrameMsgs.Value(),
+		Duplicates:   w.Stats.DuplicateDeliveries.Value(),
+		LostAdmitted: lostAdmitted,
+		RttP50:       w.Stats.WTPRtt.Quantile(0.50),
+		RttP99:       w.Stats.WTPRtt.Quantile(0.99),
+		RtoP50:       w.Stats.WTPRto.Quantile(0.50),
+		CwndMean:     float64(w.Stats.WTPCwnd.Mean()),
+	}
+}
+
+// e15RunITCP executes the cross-protocol baseline point: the I-TCP
+// world from E6 with its downlink carried by the windowed transport.
+func e15RunITCP(seed int64, sc Scale, loss, mult float64) E15Row {
+	icfg := itcp.DefaultConfig()
+	icfg.Seed = seed
+	icfg.NumMSS = 8
+	icfg.NumServers = 2
+	icfg.WiredLatency = netsim.Constant(e15WiredOneWay)
+	icfg.WirelessLatency = netsim.Constant(e15WirelessOneWay)
+	icfg.ServerProc = netsim.Constant(time.Millisecond)
+	icfg.WirelessLoss = loss
+	icfg.WirelessWTP = wtp.Config{Enabled: true}
+	iw := itcp.NewWorld(icfg)
+	horizon := sc.Horizon
+
+	servers := []ids.Server{1, 2}
+	var offered int64
+	mean := time.Duration(float64(time.Second) / (e15LinkRate() * mult))
+	for i := 1; i <= e15MHs(sc); i++ {
+		rng := iw.Kernel.RNG().Fork()
+		m := iw.AddMH(ids.MH(i), ids.MSS(i%icfg.NumMSS+1))
+		reqCfg := workload.Requests{
+			Interarrival: netsim.Exponential{MeanDelay: mean, Floor: time.Millisecond},
+			Servers:      servers,
+			PayloadBytes: 32,
+		}
+		for _, a := range workload.Schedule(rng, reqCfg, horizon) {
+			a := a
+			iw.Kernel.After(a.At, func() {
+				m.IssueRequest(a.Server, a.Payload)
+				offered++
+			})
+		}
+	}
+	var deliveredAtHorizon int64
+	iw.Kernel.After(horizon, func() { deliveredAtHorizon = iw.Stats.ResultsDelivered.Value() })
+	iw.RunUntil(horizon + horizon/2)
+
+	retrans, _, resets, frames, msgs, _ := iw.Wireless.WTPStats()
+	goodput := 0.0
+	if offered > 0 {
+		goodput = 100 * float64(deliveredAtHorizon) / float64(offered)
+	}
+	return E15Row{
+		Loss:         loss,
+		OfferedX:     mult,
+		Transport:    "itcp",
+		Offered:      offered,
+		Delivered:    iw.Stats.ResultsDelivered.Value(),
+		GoodputPct:   goodput,
+		P99Latency:   iw.Stats.ResultLatency.Quantile(0.99),
+		Retransmits:  retrans,
+		Resets:       resets,
+		Frames:       frames,
+		FrameMsgs:    msgs,
+		Duplicates:   iw.Stats.Duplicates.Value(),
+		LostAdmitted: -1,
+	}
+}
+
+// ReplayE15Windowed reruns a deterministic miniature of the windowed
+// downlink for tracing: three quick requests whose results coalesce
+// into wtp-data frames, with the very first data frame force-dropped so
+// the trace shows the SACK from the out-of-order arrival and the RTO
+// retransmission that repairs the hole. Attach a trace recorder through
+// obs to print the message flow (drops render with ShowDrops).
+func ReplayE15Windowed(obs netsim.Observer) *rdpcore.World {
+	cfg := rdpcore.DefaultConfig()
+	cfg.NumMSS = 2
+	cfg.WiredLatency = netsim.Constant(5 * time.Millisecond)
+	cfg.WirelessLatency = netsim.Constant(10 * time.Millisecond)
+	cfg.ServerProc = &scriptedProc{delays: []time.Duration{
+		30 * time.Millisecond, 32 * time.Millisecond, 34 * time.Millisecond,
+	}}
+	cfg.Observer = obs
+	cfg.WirelessWTP = wtp.Config{Enabled: true, Window: 4, CoalesceDelay: 5 * time.Millisecond}
+	dropped := false
+	cfg.WirelessDropFilter = func(from, to ids.NodeID, m msg.Message) bool {
+		if m.Kind() == msg.KindWtpData && !dropped {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	w := rdpcore.NewWorld(cfg)
+	mh := w.AddMH(1, 1)
+	w.Schedule(0, func() { mh.IssueRequest(1, []byte("A")) })
+	w.Schedule(2*time.Millisecond, func() { mh.IssueRequest(1, []byte("B")) })
+	w.Schedule(4*time.Millisecond, func() { mh.IssueRequest(1, []byte("C")) })
+	w.RunUntil(2 * time.Second)
+	return w
+}
+
+// E15Headline extracts the windowed and stop-and-wait rows at the
+// headline grid point — 10% loss, 2× the stop-and-wait ceiling — used
+// for the snapshot metrics and their CI gate.
+func E15Headline(rows []E15Row) (windowed, stopwait E15Row, ok bool) {
+	var haveW, haveS bool
+	for _, r := range rows {
+		if r.Loss == 0.10 && r.OfferedX == 2 {
+			switch r.Transport {
+			case "windowed":
+				windowed, haveW = r, true
+			case "stopwait":
+				stopwait, haveS = r, true
+			}
+		}
+	}
+	return windowed, stopwait, haveW && haveS
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import "testing"
+
+// TestE15WindowedBeatsStopAndWait is the acceptance test for E15. At
+// the headline grid point (10% loss, offered at twice the stop-and-wait
+// ceiling) the windowed transport must at least double stop-and-wait
+// goodput while keeping p99 latency no worse; across the whole grid the
+// windowed rows must never lose an admitted request, never duplicate a
+// delivery, and actually coalesce (more messages than frames).
+func TestE15WindowedBeatsStopAndWait(t *testing.T) {
+	rows := E15WindowedTransport(1, SmallScale())
+	if len(rows) != 24 {
+		t.Fatalf("rows = %d, want 24 (3 losses x 2 loads x 4 transports)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Offered == 0 {
+			t.Fatalf("loss=%.2f x%.0f %s: no requests offered", r.Loss, r.OfferedX, r.Transport)
+		}
+		if r.Transport != "windowed" {
+			continue
+		}
+		if r.LostAdmitted != 0 {
+			t.Errorf("windowed loss=%.2f x%.0f: %d admitted requests lost, want 0",
+				r.Loss, r.OfferedX, r.LostAdmitted)
+		}
+		if r.Duplicates != 0 {
+			t.Errorf("windowed loss=%.2f x%.0f: %d duplicate deliveries, want 0",
+				r.Loss, r.OfferedX, r.Duplicates)
+		}
+		if r.Resets != 0 {
+			t.Errorf("windowed loss=%.2f x%.0f: %d link resets on an always-reachable host",
+				r.Loss, r.OfferedX, r.Resets)
+		}
+		if r.Frames >= r.FrameMsgs && r.OfferedX >= 2 {
+			t.Errorf("windowed loss=%.2f x%.0f: frames=%d msgs=%d; coalescing never engaged",
+				r.Loss, r.OfferedX, r.Frames, r.FrameMsgs)
+		}
+	}
+
+	w, s, ok := E15Headline(rows)
+	if !ok {
+		t.Fatal("headline rows (loss=0.10, x2) missing from the sweep")
+	}
+	if s.GoodputPct <= 0 || w.GoodputPct < 2*s.GoodputPct {
+		t.Errorf("headline goodput: windowed %.1f%% vs stopwait %.1f%%, want >= 2x",
+			w.GoodputPct, s.GoodputPct)
+	}
+	if w.P99Latency > s.P99Latency {
+		t.Errorf("headline p99: windowed %v worse than stopwait %v", w.P99Latency, s.P99Latency)
+	}
+	// Stop-and-wait past its ceiling must show the backlog the windowed
+	// transport avoids: admitted requests still queued when the run ends.
+	if s.LostAdmitted == 0 {
+		t.Error("stopwait at 2x ceiling drained its backlog; the sweep is not stressing the link")
+	}
+}
+
+// TestE15Deterministic replays one seed through the memo-bypassing
+// single-point runner and expects identical rows: the whole sweep flows
+// from forked streams of each world's seeded RNG.
+func TestE15Deterministic(t *testing.T) {
+	a := e15Run(3, SmallScale(), 0.10, 2, "windowed")
+	b := e15Run(3, SmallScale(), 0.10, 2, "windowed")
+	if a != b {
+		t.Errorf("rows differ between runs:\n  %+v\n  %+v", a, b)
+	}
+	ia := e15RunITCP(3, SmallScale(), 0.10, 2)
+	ib := e15RunITCP(3, SmallScale(), 0.10, 2)
+	if ia != ib {
+		t.Errorf("itcp rows differ between runs:\n  %+v\n  %+v", ia, ib)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/wtp"
 )
 
 // Config parameterizes an I-TCP world.
@@ -36,6 +37,10 @@ type Config struct {
 	WirelessLoss    float64
 	ServerProc      netsim.LatencyModel
 	Observer        netsim.Observer
+	// WirelessWTP, when enabled, carries the downlink over the windowed
+	// wireless transport — I-TCP's wireless TCP hop, which E15 compares
+	// against the RDP-side windowed link on equal terms.
+	WirelessWTP wtp.Config
 }
 
 // DefaultConfig mirrors rdpcore.DefaultConfig's network parameters.
@@ -136,6 +141,7 @@ func NewWorld(cfg Config) *World {
 		Latency:   cfg.WirelessLatency,
 		LossProb:  cfg.WirelessLoss,
 		Reachable: func(mss ids.MSS, mh ids.MH) bool { return w.loc[mh] == mss && w.active[mh] },
+		WTP:       cfg.WirelessWTP,
 	}, obs)
 
 	for _, id := range w.mssList {

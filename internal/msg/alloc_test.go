@@ -215,6 +215,10 @@ func decodeIntoReencode(m Message, enc []byte) ([]byte, error) {
 		return viaDecodeInto[LeaseHeartbeat](enc)
 	case ReclaimMemo:
 		return viaDecodeInto[ReclaimMemo](enc)
+	case WtpData:
+		return viaDecodeInto[WtpData](enc)
+	case WtpAck:
+		return viaDecodeInto[WtpAck](enc)
 	}
 	return nil, ErrBadKind
 }

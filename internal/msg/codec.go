@@ -275,6 +275,34 @@ func (e *encoder) message(m Message) error {
 		e.proxy(v.Proxy)
 		e.u32(uint32(v.MH))
 		e.inc(v.Inc)
+	case WtpData:
+		e.u64(v.Epoch)
+		e.u64(v.Seq)
+		e.u32(uint32(len(v.Inner)))
+		for _, in := range v.Inner {
+			if in == nil {
+				return fmt.Errorf("%w: nil inner message", ErrBadKind)
+			}
+			if k := in.Kind(); k == KindLinkFrame || k == KindLinkAck || k == KindWtpData || k == KindWtpAck {
+				return ErrBadNesting
+			}
+			// Same in-place framing trick as LinkFrame: each inner
+			// message sits behind a patched length prefix, so a
+			// coalesced frame costs no intermediate buffers.
+			lenAt := len(e.buf)
+			e.u32(0)
+			if err := e.message(in); err != nil {
+				return err
+			}
+			binary.BigEndian.PutUint32(e.buf[lenAt:], uint32(len(e.buf)-lenAt-4))
+		}
+	case WtpAck:
+		e.u64(v.Epoch)
+		e.u64(v.Cum)
+		e.u32(uint32(len(v.Sacks)))
+		for _, s := range v.Sacks {
+			e.u64(s)
+		}
 	default:
 		return fmt.Errorf("%w: %T", ErrBadKind, m)
 	}
@@ -527,6 +555,47 @@ func decReclaimMemo(d *decoder) ReclaimMemo {
 	return ReclaimMemo{Proxy: d.proxy(), MH: ids.MH(d.u32()), Inc: d.inc()}
 }
 
+// decWtpData decodes the frame header and recursively decodes each
+// coalesced inner message (which always allocates; windowed frames, like
+// link frames, are not on the zero-alloc path).
+func decWtpData(d *decoder) (WtpData, error) {
+	f := WtpData{Epoch: d.u64(), Seq: d.u64()}
+	n := d.len()
+	if n > 0 && d.err == nil {
+		f.Inner = make([]Message, 0, n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		body := d.bytes()
+		if d.err != nil {
+			break
+		}
+		in, err := Decode(body)
+		if err != nil {
+			return WtpData{}, fmt.Errorf("msg: wtp frame inner: %w", err)
+		}
+		if k := in.Kind(); k == KindLinkFrame || k == KindLinkAck || k == KindWtpData || k == KindWtpAck {
+			return WtpData{}, ErrBadNesting
+		}
+		f.Inner = append(f.Inner, in)
+	}
+	if d.err != nil {
+		return WtpData{}, d.err
+	}
+	return f, nil
+}
+
+func decWtpAck(d *decoder) WtpAck {
+	a := WtpAck{Epoch: d.u64(), Cum: d.u64()}
+	n := d.len()
+	if n > 0 && d.err == nil {
+		a.Sacks = make([]uint64, 0, n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		a.Sacks = append(a.Sacks, d.u64())
+	}
+	return a
+}
+
 // Decode parses a message previously produced by Encode. It rejects
 // unknown versions and kinds, truncated input, and trailing bytes. All
 // variable-length fields are copied, so the result does not retain b.
@@ -622,6 +691,14 @@ func Decode(b []byte) (Message, error) {
 		m = decLeaseHeartbeat(&d)
 	case KindReclaimMemo:
 		m = decReclaimMemo(&d)
+	case KindWtpData:
+		f, err := decWtpData(&d)
+		if err != nil {
+			return nil, err
+		}
+		m = f
+	case KindWtpAck:
+		m = decWtpAck(&d)
 	default:
 		if d.err != nil {
 			return nil, d.err
@@ -744,6 +821,14 @@ func DecodeInto[M Message](b []byte, dst *M) error {
 		*p = decLeaseHeartbeat(&d)
 	case *ReclaimMemo:
 		*p = decReclaimMemo(&d)
+	case *WtpData:
+		f, err := decWtpData(&d)
+		if err != nil {
+			return err
+		}
+		*p = f
+	case *WtpAck:
+		*p = decWtpAck(&d)
 	default:
 		return fmt.Errorf("%w: %T", ErrBadKind, dst)
 	}

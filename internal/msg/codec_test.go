@@ -76,6 +76,11 @@ func sampleMessages() []Message {
 		Register{MH: 3, Inc: 2},
 		LeaseHeartbeat{Proxy: prx, MH: 3, Inc: 2},
 		ReclaimMemo{Proxy: prx, MH: 3, Inc: 1},
+		WtpData{Epoch: 1, Seq: 9, Inner: []Message{
+			ResultDeliver{Req: req, Payload: []byte("r1"), Inc: 1},
+			AckMH{MH: 3, Req: req},
+		}},
+		WtpAck{Epoch: 1, Cum: 8, Sacks: []uint64{10, 12}},
 	}
 }
 

@@ -82,6 +82,17 @@ func FuzzDecodeLinkFrames(f *testing.F) {
 				{Batch: ids.BatchID{Origin: 3, Seq: 1}, Expected: 1, Inc: 3},
 			},
 		}},
+		// Windowed-transport frames (E15): a coalesced multi-message data
+		// frame, an empty frame, and a selective ack, so the nested
+		// inner-list codec is fuzz-covered from day one.
+		WtpData{Epoch: 1, Seq: 4, Inner: []Message{
+			ResultDeliver{Req: ids.RequestID{Origin: 3, Seq: 9}, Payload: []byte("r1"), Inc: 1},
+			ResultDeliver{Req: ids.RequestID{Origin: 3, Seq: 10}, Payload: []byte("r2"), DelPref: true, Inc: 1},
+			AckMH{MH: 3, Req: ids.RequestID{Origin: 3, Seq: 8}},
+		}},
+		WtpData{Epoch: 2, Seq: 0},
+		WtpAck{Epoch: 1, Cum: 3, Sacks: []uint64{5, 7, 9}},
+		WtpAck{Epoch: 2, Cum: 0},
 	}
 	for _, m := range seeds {
 		b, err := Encode(m)
@@ -101,6 +112,20 @@ func FuzzDecodeLinkFrames(f *testing.F) {
 	e.u8(uint8(KindLinkFrame))
 	e.u64(9)
 	e.bytes(inner)
+	f.Add(e.buf)
+	// And the windowed-transport variant: a WtpData frame whose inner
+	// list smuggles in a WtpAck. Same rejection requirement.
+	wack, err := Encode(WtpAck{Epoch: 1, Cum: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	e = encoder{}
+	e.u8(codecVersion)
+	e.u8(uint8(KindWtpData))
+	e.u64(1)
+	e.u64(3)
+	e.u32(1)
+	e.bytes(wack)
 	f.Add(e.buf)
 	f.Add([]byte{})
 	f.Add([]byte{codecVersion, 0xFF, 0xFF, 0xFF})

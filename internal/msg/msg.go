@@ -109,6 +109,12 @@ const (
 	KindLeaseHeartbeat
 	KindReclaimMemo
 
+	// Windowed wireless transport (E15, internal/wtp): a coalesced
+	// sliding-window data frame carrying several inner messages, and
+	// its cumulative + selective acknowledgment.
+	KindWtpData
+	KindWtpAck
+
 	kindSentinel // one past the last valid kind
 )
 
@@ -154,6 +160,8 @@ var kindNames = [...]string{
 	KindRegister:         "register",
 	KindLeaseHeartbeat:   "lease-hb",
 	KindReclaimMemo:      "reclaim-memo",
+	KindWtpData:          "wtp-data",
+	KindWtpAck:           "wtp-ack",
 }
 
 // String returns the trace tag of the kind, e.g. "update-currl".
@@ -714,6 +722,30 @@ type ReclaimMemo struct {
 	Inc   ids.Incarnation
 }
 
+// WtpData is one windowed-wireless-transport data frame (E15,
+// internal/wtp): a link-layer envelope like LinkFrame, but carrying a
+// whole coalesced batch of downlink messages under one sequence number.
+// Epoch scopes the sequence space — a sender that gives up on an
+// unreachable host resets its link and bumps the epoch, so frames and
+// acks of the abandoned generation are ignored by both ends. Inner
+// messages must themselves be application messages: link-layer kinds
+// (LinkFrame, LinkAck, WtpData, WtpAck) do not nest.
+type WtpData struct {
+	Epoch uint64
+	Seq   uint64
+	Inner []Message
+}
+
+// WtpAck acknowledges WtpData frames: Cum is the cumulative in-order
+// watermark (every sequence number at or below it is delivered) and
+// Sacks lists out-of-order frames held by the receiver for reordering
+// (selective acknowledgment, ascending).
+type WtpAck struct {
+	Epoch uint64
+	Cum   uint64
+	Sacks []uint64
+}
+
 // ---------------------------------------------------------------------
 // Kind methods.
 
@@ -757,6 +789,8 @@ func (BatchAbort) Kind() Kind       { return KindBatchAbort }
 func (Register) Kind() Kind         { return KindRegister }
 func (LeaseHeartbeat) Kind() Kind   { return KindLeaseHeartbeat }
 func (ReclaimMemo) Kind() Kind      { return KindReclaimMemo }
+func (WtpData) Kind() Kind          { return KindWtpData }
+func (WtpAck) Kind() Kind           { return KindWtpAck }
 
 // ---------------------------------------------------------------------
 // String methods (trace rendering).
@@ -868,6 +902,12 @@ func (m LeaseHeartbeat) String() string {
 func (m ReclaimMemo) String() string {
 	return fmt.Sprintf("reclaim-memo(%v,%v,%v)", m.Proxy, m.MH, m.Inc)
 }
+func (m WtpData) String() string {
+	return fmt.Sprintf("wtp-data(ep=%d,seq=%d,msgs=%d)", m.Epoch, m.Seq, len(m.Inner))
+}
+func (m WtpAck) String() string {
+	return fmt.Sprintf("wtp-ack(ep=%d,cum=%d,sacks=%d)", m.Epoch, m.Cum, len(m.Sacks))
+}
 
 // Compile-time interface checks.
 var (
@@ -911,4 +951,6 @@ var (
 	_ Message = Register{}
 	_ Message = LeaseHeartbeat{}
 	_ Message = ReclaimMemo{}
+	_ Message = WtpData{}
+	_ Message = WtpAck{}
 )

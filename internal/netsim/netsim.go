@@ -23,6 +23,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/msg"
 	"repro/internal/sim"
+	"repro/internal/wtp"
 )
 
 // Handler consumes messages delivered to a node.
@@ -542,6 +543,15 @@ type WirelessConfig struct {
 	// result arrives, shedding it on every recovery cycle — a livelock
 	// the control plane must not be able to cause.
 	QueueLimit int
+	// WTP, when enabled, routes downlink data through the windowed
+	// wireless transport (E15): per-(MSS, MH) sliding-window ARQ with
+	// selective acks, RTT-driven retransmission and AIMD congestion
+	// control, plus coalescing of small results into MTU-sized frames.
+	// Control signaling still rides the beacon exchange, and the
+	// Sequencer hook (adversarial-order testing) bypasses the window.
+	// Off — the default — the legacy per-message path is untouched, so
+	// pre-E15 experiments stay byte-identical.
+	WTP wtp.Config
 }
 
 // Wireless models every cell's radio link. There is one Wireless value
@@ -562,6 +572,12 @@ type Wireless struct {
 	lastRx   map[linkKey]sim.Time // per-link FIFO horizon
 	queued   map[linkKey]int      // frames in flight per directed link
 	shed     int64                // frames shed by full link queues
+
+	// Windowed-transport state (E15), allocated only when cfg.WTP is
+	// enabled. Like the wired ARQ state, it is part of the network
+	// fabric keyed by directed (MSS, MH) link.
+	wtpOut map[linkKey]*wtp.Sender
+	wtpIn  map[linkKey]*wtp.Receiver
 }
 
 // linkKey identifies one directed radio link.
@@ -578,7 +594,7 @@ func NewWireless(k sim.Scheduler, cfg WirelessConfig, obs Observer) *Wireless {
 	if cfg.Reachable == nil {
 		panic("netsim: WirelessConfig.Reachable is required")
 	}
-	return &Wireless{
+	w := &Wireless{
 		k:        k,
 		cfg:      cfg,
 		rng:      k.RNG().Fork(),
@@ -588,6 +604,11 @@ func NewWireless(k sim.Scheduler, cfg WirelessConfig, obs Observer) *Wireless {
 		lastRx:   make(map[linkKey]sim.Time),
 		queued:   make(map[linkKey]int),
 	}
+	if cfg.WTP.Enabled {
+		w.wtpOut = make(map[linkKey]*wtp.Sender)
+		w.wtpIn = make(map[linkKey]*wtp.Receiver)
+	}
+	return w
 }
 
 // Shed returns the number of frames shed by full radio link queues.
@@ -605,6 +626,11 @@ func wirelessControl(m msg.Message) bool {
 	}
 	return false
 }
+
+// WirelessControl reports whether m is beacon-channel control signaling
+// (see WirelessConfig.QueueLimit). Exported for mirrored transports —
+// tcpnet keeps control traffic out of its windowed links the same way.
+func WirelessControl(m msg.Message) bool { return wirelessControl(m) }
 
 // sendOrShed schedules fire after the link's FIFO delay, unless the
 // directed link already has QueueLimit frames in flight, in which case
@@ -669,7 +695,117 @@ func (w *Wireless) SendDownlink(from ids.MSS, to ids.MH, m msg.Message) {
 		w.k.Defer(w.fifoDelay(from.Node(), to.Node()), fire)
 		return
 	}
+	if w.cfg.WTP.Enabled {
+		// Windowed transport: the message joins the per-link coalescing
+		// buffer and travels inside a WtpData frame; the sender decides
+		// when (window, congestion, retransmission).
+		w.wtpSender(from, to).Queue(m)
+		return
+	}
 	w.sendOrShed(from.Node(), to.Node(), m, fire)
+}
+
+// wtpSender returns (creating on first use) the windowed-transport
+// sender of a directed downlink.
+func (w *Wireless) wtpSender(from ids.MSS, to ids.MH) *wtp.Sender {
+	key := linkKey{from: from.Node(), to: to.Node()}
+	s, ok := w.wtpOut[key]
+	if !ok {
+		s = wtp.NewSender(w.k, w.cfg.WTP, func(f msg.WtpData) {
+			w.transmitWtpFrame(from, to, f)
+		})
+		w.wtpOut[key] = s
+	}
+	return s
+}
+
+// transmitWtpFrame is one physical transmission attempt of a windowed
+// data frame: subject to the bounded link queue at send time and to
+// reachability, random loss and the drop filter at delivery time —
+// exactly the gates a plain downlink message passes. Frame-level fates
+// (loss, shed, unreachable) are observed with the WtpData envelope; the
+// coalesced messages inside observe EventSent at Queue time and
+// EventDelivered when the receiver hands them up in order.
+func (w *Wireless) transmitWtpFrame(from ids.MSS, to ids.MH, f msg.WtpData) {
+	fire := func() {
+		if !w.cfg.Reachable(from, to) {
+			w.observe(EventDroppedUnreachable, from.Node(), to.Node(), f)
+			return
+		}
+		if w.rng.Prob(w.cfg.LossProb) || w.filtered(from.Node(), to.Node(), f) {
+			w.observe(EventDroppedLoss, from.Node(), to.Node(), f)
+			return
+		}
+		h := w.mhs[to]
+		if h == nil {
+			w.observe(EventDroppedUnreachable, from.Node(), to.Node(), f)
+			return
+		}
+		w.receiveWtpFrame(from, to, f, h)
+	}
+	w.sendOrShed(from.Node(), to.Node(), f, fire)
+}
+
+// receiveWtpFrame runs at the mobile end of a windowed downlink: the
+// receiver reorders and dedups, newly in-order messages go up to the
+// handler, and every live frame is acknowledged (cumulative watermark
+// plus selective blocks) on the reverse link.
+func (w *Wireless) receiveWtpFrame(from ids.MSS, to ids.MH, f msg.WtpData, h Handler) {
+	key := linkKey{from: from.Node(), to: to.Node()}
+	r, ok := w.wtpIn[key]
+	if !ok {
+		r = wtp.NewReceiver(w.cfg.WTP)
+		w.wtpIn[key] = r
+	}
+	deliver, ack, live := r.Accept(f)
+	if !live {
+		return // dead epoch: the sender reset and moved on
+	}
+	// The frame itself is observed as delivered (tracing sees the
+	// transport's arrows, not just the payloads); drop accounting never
+	// counts wireless deliveries, so stats are unaffected.
+	w.observe(EventDelivered, from.Node(), to.Node(), f)
+	for _, in := range deliver {
+		w.observe(EventDelivered, from.Node(), to.Node(), in)
+		h.HandleMessage(from.Node(), in)
+	}
+	w.sendWtpAck(from, to, ack)
+}
+
+// sendWtpAck returns an acknowledgment on the reverse radio link. Acks
+// are subject to random loss (a lost ack costs one retransmission) but,
+// like the beacon control traffic, ride outside the bounded data queue;
+// they terminate inside the transport, never at the station handler.
+func (w *Wireless) sendWtpAck(from ids.MSS, to ids.MH, a msg.WtpAck) {
+	if w.rng.Prob(w.cfg.LossProb) {
+		w.observe(EventDroppedLoss, to.Node(), from.Node(), a)
+		return
+	}
+	key := linkKey{from: from.Node(), to: to.Node()}
+	w.k.Defer(w.fifoDelay(to.Node(), from.Node()), func() {
+		if s, ok := w.wtpOut[key]; ok {
+			w.observe(EventDelivered, to.Node(), from.Node(), a)
+			s.OnAck(a)
+		}
+	})
+}
+
+// WTPStats aggregates windowed-transport counters over all downlinks:
+// total retransmissions (timeout + fast), fast retransmissions, link
+// resets, first-transmission frames, messages carried by them, and
+// duplicate frames seen by receivers. All zero when WTP is off.
+func (w *Wireless) WTPStats() (retransmits, fast, resets, frames, msgs, dups int64) {
+	for _, s := range w.wtpOut {
+		retransmits += s.Retransmits
+		fast += s.FastRetransmits
+		resets += s.Resets
+		frames += s.FramesSent
+		msgs += s.MsgsFramed
+	}
+	for _, r := range w.wtpIn {
+		dups += r.Duplicates
+	}
+	return
 }
 
 // SendUplink transmits from a mobile host to a station. The MH must be

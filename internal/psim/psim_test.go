@@ -27,6 +27,7 @@ import (
 	"repro/internal/psim"
 	"repro/internal/rdpcore"
 	"repro/internal/workload"
+	"repro/internal/wtp"
 )
 
 // e1Base mirrors the experiments package's standard operating point:
@@ -157,6 +158,9 @@ func assertRunsEqual(t *testing.T, serial, parallel *psim.World, label string) {
 			{"MigCompleted", a.MigCompleted.Value(), b.MigCompleted.Value()},
 			{"PrefRedirects", a.PrefRedirects.Value(), b.PrefRedirects.Value()},
 			{"ForwardHops", a.ForwardHops.Value(), b.ForwardHops.Value()},
+			{"WTPRetransmits", a.WTPRetransmits.Value(), b.WTPRetransmits.Value()},
+			{"WTPFrames", a.WTPFrames.Value(), b.WTPFrames.Value()},
+			{"WTPFrameMsgs", a.WTPFrameMsgs.Value(), b.WTPFrameMsgs.Value()},
 			{"Violations", a.Violations.Value(), b.Violations.Value()},
 		}
 		for _, p := range pairs {
@@ -330,6 +334,49 @@ func TestSerialMatchesParallelMHCrash(t *testing.T) {
 			}
 			if beats == 0 {
 				t.Errorf("trial %d %s: lease heartbeats never ran", trial, name)
+			}
+		}
+	}
+}
+
+// TestSerialMatchesParallelWTP turns on the E15 windowed wireless
+// transport with a 10% lossy radio in the E1-shaped world and requires
+// exact serial/parallel equality: RTO timers, fast-retransmit triggers,
+// cwnd evolution and coalescing all schedule through the region kernel,
+// so the window machinery must stay a pure function of seed and
+// partition even while MHs carry their downlink state across region
+// transfers.
+func TestSerialMatchesParallelWTP(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const horizon = 6 * time.Second
+	for trial := 0; trial < 2; trial++ {
+		seed := int64(300 + rng.Intn(1000))
+		regions := 2 + rng.Intn(3)
+		base := e1Base(seed)
+		base.WirelessWTP = wtp.Config{Enabled: true}
+		base.WirelessLoss = 0.10
+		assign := randomAssignment(rng, base.NumMSS, regions)
+		mob := workload.UniformCells{Cells: cellList(base.NumMSS)}
+
+		serial := build(t, base, regions, 1, 24, horizon, assign, mob)
+		serial.RunUntil(horizon + horizon/2)
+		parallel := build(t, base, regions, 4, 24, horizon, assign, mob)
+		parallel.RunUntil(horizon + horizon/2)
+
+		assertRunsEqual(t, serial, parallel, "wtp")
+		// The equality proves nothing unless the transport engaged and the
+		// lossy radio actually forced retransmissions on both engines.
+		for name, w := range map[string]*psim.World{"serial": serial, "parallel": parallel} {
+			var frames, retrans int64
+			for _, s := range w.RegionStats() {
+				frames += s.WTPFrames.Value()
+				retrans += s.WTPRetransmits.Value()
+			}
+			if frames == 0 {
+				t.Errorf("trial %d %s: WTPFrames = 0; windowed transport never engaged", trial, name)
+			}
+			if retrans == 0 {
+				t.Errorf("trial %d %s: WTPRetransmits = 0; lossy radio never exercised the window", trial, name)
 			}
 		}
 	}

@@ -175,6 +175,19 @@ type Stats struct {
 	// store hardening; see internal/rdpcore/journal.go).
 	JournalTruncations metrics.Counter
 
+	// WTPRetransmits counts windowed-transport frame retransmissions
+	// (timeout and sack-gap fast retransmissions) on the wireless
+	// downlinks; WTPResets counts links that exhausted MaxRetries and
+	// dropped their queue (the silent-loss fallback the proxy-level
+	// recovery machinery absorbs); WTPFrames counts first transmissions
+	// of coalesced data frames and WTPFrameMsgs the messages they
+	// carried, so WTPFrameMsgs/WTPFrames is the mean coalescing factor.
+	// All zero unless Config.WirelessWTP is enabled (E15).
+	WTPRetransmits metrics.Counter
+	WTPResets      metrics.Counter
+	WTPFrames      metrics.Counter
+	WTPFrameMsgs   metrics.Counter
+
 	// InboxPeak tracks the deepest station inbox seen anywhere: the
 	// queue-growth measurement of E11 (unbounded growth past saturation
 	// without admission control; bounded by the high-watermark with it).
@@ -184,6 +197,13 @@ type Stats struct {
 	ResultLatency metrics.Histogram
 	// HandoffLatency measures greet -> deregack completion per hand-off.
 	HandoffLatency metrics.Histogram
+	// WTPRtt and WTPRto record the windowed transport's Karn-valid
+	// round-trip samples and the smoothed RTO after each; WTPCwnd
+	// records the congestion window (in frames, as a Duration so the
+	// histogram reservoir applies) after every change (E15).
+	WTPRtt  metrics.Histogram
+	WTPRto  metrics.Histogram
+	WTPCwnd metrics.Histogram
 
 	// ProxySeconds integrates, per station, virtual time spent hosting
 	// proxies (E5 load metric). ProxyCreations counts proxy placements

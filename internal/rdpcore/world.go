@@ -11,6 +11,7 @@ import (
 	"repro/internal/proxymig"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/wtp"
 )
 
 // Config parameterizes a World. DefaultConfig supplies values matching
@@ -206,6 +207,18 @@ type Config struct {
 	// whole machinery (heartbeats, reclamation, and the dead-incarnation
 	// quiescence checks), keeping E1–E17 traces byte-identical.
 	LeaseTTL time.Duration
+
+	// --- Windowed wireless transport (E15) ---
+
+	// WirelessWTP, when enabled, routes downlink result traffic through
+	// internal/wtp: per-(MSS, MH) sliding-window ARQ with selective
+	// acks, Jacobson/Karn RTT estimation, AIMD congestion control and
+	// MTU-budgeted coalescing of small results into shared frames. The
+	// world attaches its Stats hooks (RTT/RTO/cwnd histograms,
+	// retransmission and reset counters) before handing the config to
+	// netsim. Disabled — the default — the wireless path is untouched
+	// and E1–E18 traces stay byte-identical.
+	WirelessWTP wtp.Config
 }
 
 // DefaultConfig returns a configuration matching the paper's model: 3
@@ -350,6 +363,7 @@ func NewWorldWith(sched sim.Scheduler, cfg Config, wired netsim.WiredTransport, 
 			Seq:        cfg.WirelessSeq,
 			DropFilter: cfg.WirelessDropFilter,
 			QueueLimit: cfg.WirelessQueueLimit,
+			WTP:        w.wtpConfig(cfg.WirelessWTP),
 		}, obs)
 	}
 	w.Wireless = wireless
@@ -367,6 +381,57 @@ func NewWorldWith(sched sim.Scheduler, cfg Config, wired netsim.WiredTransport, 
 	}
 	return w
 }
+
+// wtpConfig chains the world's Stats accounting onto the user's
+// windowed-transport hooks (any hooks already set keep firing). The
+// parallel engine reuses it so every region's links feed the shared
+// Stats exactly like the serial world's.
+func (w *World) wtpConfig(c wtp.Config) wtp.Config {
+	if !c.Enabled {
+		return c
+	}
+	userRTT, userCwnd, userRtx, userFrame := c.OnRTTSample, c.OnCwnd, c.OnRetransmit, c.OnFrame
+	c.OnRTTSample = func(rtt, rto time.Duration) {
+		w.Stats.WTPRtt.Observe(rtt)
+		w.Stats.WTPRto.Observe(rto)
+		if userRTT != nil {
+			userRTT(rtt, rto)
+		}
+	}
+	c.OnCwnd = func(cwnd int) {
+		w.Stats.WTPCwnd.Observe(time.Duration(cwnd))
+		if userCwnd != nil {
+			userCwnd(cwnd)
+		}
+	}
+	c.OnRetransmit = func() {
+		w.Stats.WTPRetransmits.Inc()
+		if userRtx != nil {
+			userRtx()
+		}
+	}
+	c.OnFrame = func(msgs int) {
+		w.Stats.WTPFrames.Inc()
+		w.Stats.WTPFrameMsgs.Add(int64(msgs))
+		if userFrame != nil {
+			userFrame(msgs)
+		}
+	}
+	userReset := c.OnReset
+	c.OnReset = func(dropped int) {
+		w.Stats.WTPResets.Inc()
+		if userReset != nil {
+			userReset(dropped)
+		}
+	}
+	return c
+}
+
+// WTPConfig returns Config.WirelessWTP with the world's Stats hooks
+// attached (see wtpConfig). Custom transports built outside the world —
+// the parallel engine's per-region substrates, tcpnet — use it so their
+// windowed links account to the same Stats.
+func (w *World) WTPConfig() wtp.Config { return w.wtpConfig(w.cfg.WirelessWTP) }
 
 // NetObserver returns the world's network-event observer — the internal
 // accounting chained with Config.Observer. Custom transports built

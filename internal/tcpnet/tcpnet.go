@@ -29,6 +29,7 @@ import (
 	"repro/internal/livenet"
 	"repro/internal/msg"
 	"repro/internal/netsim"
+	"repro/internal/wtp"
 )
 
 // frame layout: layer(1) fromKind(1) fromNum(4) toKind(1) toNum(4)
@@ -64,6 +65,12 @@ type Net struct {
 	arqIn     map[connKey]*netsim.ARQReceiver
 	wiredLoss func(from, to ids.NodeID, m msg.Message) bool
 	sendLimit int
+
+	// Windowed wireless transport (EnableWTP), sharing internal/wtp's
+	// sender/receiver halves per directed downlink. Dispatcher-only.
+	wtpCfg wtp.Config
+	wtpOut map[connKey]*wtp.Sender
+	wtpIn  map[connKey]*wtp.Receiver
 
 	stats struct {
 		sync.Mutex
@@ -177,6 +184,45 @@ func (n *Net) EnableARQ(cfg netsim.ARQConfig) {
 	n.arqCfg = cfg
 	n.arqOut = make(map[connKey]*arqLink)
 	n.arqIn = make(map[connKey]*netsim.ARQReceiver)
+}
+
+// EnableWTP layers the windowed wireless transport (internal/wtp, E15)
+// over every downlink, exactly as Wireless layers it over simulated
+// radio links and the way EnableARQ mirrors the wired ARQ: coalesced
+// WtpData frames ride the same TCP path as plain radio frames, the
+// radio gate still applies at the receiving edge, acks travel the
+// reverse direction, and control signaling (netsim.WirelessControl)
+// bypasses the window. Retransmission and coalescing timers run on the
+// runtime's dispatcher. Call before Start.
+func (n *Net) EnableWTP(cfg wtp.Config) {
+	cfg.Enabled = true
+	n.wtpCfg = cfg
+	n.wtpOut = make(map[connKey]*wtp.Sender)
+	n.wtpIn = make(map[connKey]*wtp.Receiver)
+}
+
+// WTPRetransmits sums windowed-transport retransmissions across all
+// downlinks. Dispatcher-only, like the transport state it reads.
+func (n *Net) WTPRetransmits() int64 {
+	var total int64
+	for _, s := range n.wtpOut {
+		total += s.Retransmits
+	}
+	return total
+}
+
+// wtpLinkFor returns (creating on first use) the send-side windowed
+// transport of the from→to downlink.
+func (n *Net) wtpLinkFor(from ids.MSS, to ids.MH) *wtp.Sender {
+	key := connKey{from: from.Node(), to: to.Node()}
+	s := n.wtpOut[key]
+	if s == nil {
+		s = wtp.NewSender(n.rt, n.wtpCfg, func(f msg.WtpData) {
+			n.write(frame{layer: netsim.LayerWireless, from: from.Node(), to: to.Node(), m: f, via: from.Node()})
+		})
+		n.wtpOut[key] = s
+	}
+	return s
 }
 
 // SetWiredLoss installs a wired loss filter for fault testing: a frame
@@ -341,8 +387,39 @@ func (n *Net) dispatch(f frame) {
 			if n.reachable == nil || !n.reachable(mss, mh) {
 				return
 			}
+			if wf, isWtp := f.m.(msg.WtpData); isWtp && n.wtpCfg.Enabled {
+				// Windowed frame: reorder/dedup at the mobile edge, hand
+				// the coalesced messages up in order, ack on the reverse
+				// link (terminating at the serving station's endpoint).
+				key := connKey{from: f.from, to: f.to}
+				r := n.wtpIn[key]
+				if r == nil {
+					r = wtp.NewReceiver(n.wtpCfg)
+					n.wtpIn[key] = r
+				}
+				deliver, ack, live := r.Accept(wf)
+				if !live {
+					return
+				}
+				h := n.mhHandlers[mh]
+				for _, in := range deliver {
+					if h != nil {
+						h.HandleMessage(f.from, in)
+					}
+				}
+				n.write(frame{layer: netsim.LayerWireless, from: f.to, to: f.from, m: ack, via: f.from})
+				return
+			}
 			if h := n.mhHandlers[mh]; h != nil {
 				h.HandleMessage(f.from, f.m)
+			}
+			return
+		}
+		if wa, isAck := f.m.(msg.WtpAck); isAck && n.wtpCfg.Enabled {
+			// Transport ack: terminates inside the sender, never at the
+			// station's protocol handler.
+			if s := n.wtpOut[connKey{from: f.to, to: f.from}]; s != nil {
+				s.OnAck(wa)
 			}
 			return
 		}
@@ -396,6 +473,10 @@ func (n *Net) Register(node ids.NodeID, h netsim.Handler) {
 // still in the cell, still active — applies at delivery time there,
 // mirroring netsim's delivery-time reachability check.
 func (n *Net) SendDownlink(from ids.MSS, to ids.MH, m msg.Message) {
+	if n.wtpCfg.Enabled && !netsim.WirelessControl(m) {
+		n.wtpLinkFor(from, to).Queue(m)
+		return
+	}
 	n.write(frame{layer: netsim.LayerWireless, from: from.Node(), to: to.Node(), m: m, via: from.Node()})
 }
 

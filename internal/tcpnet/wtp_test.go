@@ -1,0 +1,152 @@
+package tcpnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/livenet"
+	"repro/internal/rdpcore"
+	"repro/internal/wtp"
+)
+
+// wtpWorld is tcpWorld with the windowed wireless transport enabled
+// before the endpoints start, the way EnableARQ is layered in.
+func wtpWorld(t *testing.T, cfg rdpcore.Config) (*rdpcore.World, *livenet.Runtime, *Net) {
+	t.Helper()
+	rt := livenet.New(cfg.Seed)
+	members := make([]ids.NodeID, 0, cfg.NumMSS+cfg.NumServers)
+	for i := 1; i <= cfg.NumMSS; i++ {
+		members = append(members, ids.MSS(i).Node())
+	}
+	for i := 1; i <= cfg.NumServers; i++ {
+		members = append(members, ids.Server(i).Node())
+	}
+	n := New(rt, members)
+	n.EnableWTP(wtp.Config{CoalesceDelay: time.Millisecond})
+	if err := n.Start(); err != nil {
+		t.Fatalf("tcpnet start: %v", err)
+	}
+	w := rdpcore.NewWorldWith(rt, cfg, n, n)
+	n.SetReachable(w.Reachable)
+	rt.Start()
+	t.Cleanup(func() {
+		rt.Stop()
+		n.Close()
+	})
+	return w, rt, n
+}
+
+// TestWTPOverTCP drives a burst of requests through real sockets with
+// the windowed downlink: every result must arrive exactly once, in
+// coalesced WtpData frames rather than one radio frame per message.
+func TestWTPOverTCP(t *testing.T) {
+	w, rt, n := wtpWorld(t, testConfig())
+	const requests = 20
+	var (
+		mu   sync.Mutex
+		got  int
+		dups int
+	)
+	rt.Do(func() {
+		mh := w.AddMH(1, 1)
+		mh.OnResult(func(_ ids.RequestID, _ []byte, dup bool) {
+			mu.Lock()
+			if dup {
+				dups++
+			} else {
+				got++
+			}
+			mu.Unlock()
+		})
+		for r := 0; r < requests; r++ {
+			mh.IssueRequest(1, []byte{byte(r)})
+		}
+	})
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		mu.Lock()
+		done := got >= requests
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			mu.Lock()
+			t.Fatalf("only %d of %d results delivered over the windowed link", got, requests)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if dups != 0 {
+		t.Errorf("%d duplicate deliveries", dups)
+	}
+	rt.Do(func() {
+		var frames, msgs int64
+		for _, s := range n.wtpOut {
+			frames += s.FramesSent
+			msgs += s.MsgsFramed
+		}
+		if msgs != requests {
+			t.Errorf("MsgsFramed = %d, want %d", msgs, requests)
+		}
+		if frames == 0 || frames > msgs {
+			t.Errorf("FramesSent = %d for %d messages", frames, msgs)
+		}
+		if err := w.CheckInvariants(); err != nil {
+			t.Errorf("invariants: %v", err)
+		}
+	})
+}
+
+// TestWTPOverTCPMigration migrates the host mid-stream: the old
+// station's windowed link goes unreachable (its frames are dropped at
+// the radio gate) while proxy-level recovery re-forwards through the
+// new station's own link. Nothing may be lost or duplicated.
+func TestWTPOverTCPMigration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock soak")
+	}
+	w, rt, _ := wtpWorld(t, testConfig())
+	const requests = 10
+	var (
+		mu  sync.Mutex
+		got int
+	)
+	rt.Do(func() {
+		mh := w.AddMH(1, 1)
+		mh.OnResult(func(_ ids.RequestID, _ []byte, dup bool) {
+			if dup {
+				return
+			}
+			mu.Lock()
+			got++
+			mu.Unlock()
+		})
+	})
+	for r := 0; r < requests; r++ {
+		rt.Do(func() { w.MHs[1].IssueRequest(1, []byte{byte(r)}) })
+		time.Sleep(10 * time.Millisecond)
+		rt.Do(func() { w.Migrate(1, ids.MSS(r%3+1)) })
+		time.Sleep(10 * time.Millisecond)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		mu.Lock()
+		done := got >= requests
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			mu.Lock()
+			t.Fatalf("only %d of %d results delivered across migrations", got, requests)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	rt.Do(func() {
+		if err := w.CheckInvariants(); err != nil {
+			t.Errorf("invariants: %v", err)
+		}
+	})
+}

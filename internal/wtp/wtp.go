@@ -1,0 +1,620 @@
+// Package wtp implements the windowed wireless transport (E15): a
+// per-(MSS, MH) sliding-window ARQ with cumulative + selective
+// acknowledgments, Jacobson/Karn round-trip estimation driving the
+// retransmission timeout, an AIMD congestion window (slow start,
+// halve-on-loss), and downlink coalescing — many small results destined
+// for one mobile merge into a single frame up to an MTU budget.
+//
+// The package is substrate-agnostic and deliberately free of any
+// randomness: all state advances through the deterministic
+// sim.Scheduler, so a windowed link inside a psim region replays
+// identically under any worker count. netsim.Wireless drives it with
+// simulated radio frames; tcpnet mirrors it over real sockets the way
+// EnableARQ mirrors the wired stop-and-wait ARQ.
+//
+// Contrast with netsim.ARQSender (the E10 link layer): that protocol
+// retransmits each frame independently with no window, no congestion
+// response and no batching — fine for the fast wired backbone, but on a
+// lossy high-latency radio link it serializes one frame per round trip.
+// wtp keeps min(Window, cwnd) frames in flight and packs multiple
+// results per frame, which is where the E15 goodput multiple comes
+// from.
+package wtp
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// Config parameterizes one direction of a windowed link. The zero value
+// (with Enabled set) gives a sensible radio-link tuning; every knob has
+// a documented default.
+type Config struct {
+	// Enabled turns the windowed transport on. Off, the owning
+	// substrate must not touch this package at all — the legacy path
+	// stays byte-identical.
+	Enabled bool
+
+	// Window caps the frames in flight regardless of the congestion
+	// window (default 32). Window 1 with MTU 1 degenerates to a classic
+	// stop-and-wait ARQ — the E15 baseline rows use exactly that.
+	Window int
+
+	// MTU is the coalescing byte budget per data frame (default 1024).
+	// A frame closes as soon as adding the next message would exceed
+	// it; a single oversized message still travels alone.
+	MTU int
+
+	// CoalesceDelay bounds how long a partially filled frame may wait
+	// for more traffic before it is flushed (default 2ms). Negative
+	// disables the delay: every queued message flushes immediately.
+	CoalesceDelay time.Duration
+
+	// InitialRTO seeds the retransmission timeout before the first RTT
+	// sample (default 100ms). MinRTO/MaxRTO clamp the estimator
+	// (defaults 20ms / 2s).
+	InitialRTO time.Duration
+	MinRTO     time.Duration
+	MaxRTO     time.Duration
+
+	// InitialCwnd is the slow-start entry window in frames (default 2).
+	InitialCwnd int
+
+	// DupThresh is the selective-ack gap count that triggers a fast
+	// retransmission (default 3, TCP's classic dupack threshold).
+	DupThresh int
+
+	// MaxRetries bounds the transmission attempts per frame (default
+	// 12). A frame that exhausts it resets the link: every pending
+	// frame is dropped and the epoch bumps, restoring the paper's
+	// silent-loss semantics so the proxy-level recovery machinery
+	// (re-greets, request retries) takes over for an unreachable host.
+	MaxRetries int
+
+	// MaxSacks caps the selective-ack blocks carried per ack frame
+	// (default 32).
+	MaxSacks int
+
+	// Metric hooks, all optional and invoked synchronously on the
+	// kernel goroutine. OnRTTSample fires per Karn-valid sample with
+	// the new smoothed RTO; OnCwnd after every congestion-window
+	// change; OnRetransmit per timeout or fast retransmission; OnFrame
+	// at each first transmission with the coalesced message count;
+	// OnReset when a link gives up, with the messages dropped.
+	OnRTTSample  func(rtt, rto time.Duration)
+	OnCwnd       func(cwnd int)
+	OnRetransmit func()
+	OnFrame      func(msgs int)
+	OnReset      func(droppedMsgs int)
+}
+
+func (c Config) window() int {
+	if c.Window > 0 {
+		return c.Window
+	}
+	return 32
+}
+
+func (c Config) mtu() int {
+	if c.MTU > 0 {
+		return c.MTU
+	}
+	return 1024
+}
+
+func (c Config) coalesceDelay() time.Duration {
+	if c.CoalesceDelay < 0 {
+		return 0
+	}
+	if c.CoalesceDelay == 0 {
+		return 2 * time.Millisecond
+	}
+	return c.CoalesceDelay
+}
+
+func (c Config) initialRTO() time.Duration {
+	if c.InitialRTO > 0 {
+		return c.InitialRTO
+	}
+	return 100 * time.Millisecond
+}
+
+func (c Config) minRTO() time.Duration {
+	if c.MinRTO > 0 {
+		return c.MinRTO
+	}
+	return 20 * time.Millisecond
+}
+
+func (c Config) maxRTO() time.Duration {
+	if c.MaxRTO > 0 {
+		return c.MaxRTO
+	}
+	return 2 * time.Second
+}
+
+func (c Config) initialCwnd() int {
+	if c.InitialCwnd > 0 {
+		return c.InitialCwnd
+	}
+	return 2
+}
+
+func (c Config) dupThresh() int {
+	if c.DupThresh > 0 {
+		return c.DupThresh
+	}
+	return 3
+}
+
+func (c Config) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	return 12
+}
+
+func (c Config) maxSacks() int {
+	if c.MaxSacks > 0 {
+		return c.MaxSacks
+	}
+	return 32
+}
+
+// frame is one in-flight (or backlogged) data frame.
+type frame struct {
+	seq     uint64
+	inner   []msg.Message
+	attempt int // transmissions so far (0 = still backlogged)
+	sentAt  sim.Time
+	rtxed   bool // ever retransmitted: Karn's rule bars its RTT sample
+	gapAcks int  // acks seen that advanced past this hole
+	timer   sim.Canceler
+}
+
+// Sender is the transmit half of one directed windowed link. All
+// methods must be called from the owning kernel's goroutine.
+type Sender struct {
+	k        sim.Scheduler
+	cfg      Config
+	transmit func(msg.WtpData)
+
+	epoch   uint64
+	nextSeq uint64
+
+	// Coalescing buffer: messages accepted but not yet framed.
+	pend      []msg.Message
+	pendBytes int
+	flush     sim.Canceler
+
+	backlog []uint64          // framed, waiting for the window to open
+	pending map[uint64]*frame // transmitted, not yet acknowledged
+
+	// Congestion and RTT state.
+	cwnd     float64
+	ssthresh float64
+	srtt     time.Duration
+	rttvar   time.Duration
+	rto      time.Duration
+	// recoverSeq implements one-cut-per-loss-event (NewReno style):
+	// losses at or below it belong to an already-penalized event.
+	recoverSeq uint64
+
+	// Counters, exported for tests and substrate-level aggregation.
+	Retransmits     int64
+	FastRetransmits int64
+	Resets          int64
+	FramesSent      int64 // first transmissions
+	MsgsFramed      int64 // messages carried by first transmissions
+}
+
+// NewSender builds a sender that emits frames via transmit. The
+// callback owns actual delivery (radio simulation, socket write); the
+// sender only decides what to send when.
+func NewSender(k sim.Scheduler, cfg Config, transmit func(msg.WtpData)) *Sender {
+	s := &Sender{
+		k:        k,
+		cfg:      cfg,
+		transmit: transmit,
+		pending:  make(map[uint64]*frame),
+		cwnd:     float64(cfg.initialCwnd()),
+		ssthresh: float64(cfg.window()),
+		rto:      cfg.initialRTO(),
+	}
+	return s
+}
+
+// Epoch returns the current link epoch (bumped by every reset).
+func (s *Sender) Epoch() uint64 { return s.epoch }
+
+// Cwnd returns the current congestion window in frames.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// RTO returns the current retransmission timeout.
+func (s *Sender) RTO() time.Duration { return s.rto }
+
+// SRTT returns the smoothed round-trip estimate (0 before any sample).
+func (s *Sender) SRTT() time.Duration { return s.srtt }
+
+// Outstanding reports frames transmitted and not yet acknowledged.
+func (s *Sender) Outstanding() int { return len(s.pending) }
+
+// Backlog reports frames and unframed messages waiting for the window.
+func (s *Sender) Backlog() int { return len(s.backlog) + len(s.pend) }
+
+// Queue accepts one message for (coalesced) reliable delivery.
+func (s *Sender) Queue(m msg.Message) {
+	sz := msg.WireSize(m)
+	if len(s.pend) > 0 && s.pendBytes+sz > s.cfg.mtu() {
+		s.flushNow()
+	}
+	s.pend = append(s.pend, m)
+	s.pendBytes += sz
+	if s.pendBytes >= s.cfg.mtu() {
+		s.flushNow()
+		return
+	}
+	if s.flush == nil {
+		d := s.cfg.coalesceDelay()
+		if d <= 0 {
+			s.flushNow()
+			return
+		}
+		s.flush = s.k.After(d, func() {
+			s.flush = nil
+			s.flushNow()
+		})
+	}
+}
+
+// flushNow closes the coalescing buffer into one frame and pumps.
+func (s *Sender) flushNow() {
+	if s.flush != nil {
+		s.flush.Cancel()
+		s.flush = nil
+	}
+	if len(s.pend) == 0 {
+		return
+	}
+	s.nextSeq++
+	f := &frame{seq: s.nextSeq, inner: s.pend}
+	s.pend = nil
+	s.pendBytes = 0
+	s.pending[f.seq] = f
+	s.backlog = append(s.backlog, f.seq)
+	s.pump()
+}
+
+// effWindow is the effective send window: min(Window, floor(cwnd)),
+// never below 1 so the link cannot deadlock.
+func (s *Sender) effWindow() int {
+	w := int(s.cwnd)
+	if max := s.cfg.window(); w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// inflight counts transmitted-but-unacked frames (backlogged frames
+// live in pending too but have not consumed window yet).
+func (s *Sender) inflight() int { return len(s.pending) - len(s.backlog) }
+
+// pump transmits backlogged frames while the window has room.
+func (s *Sender) pump() {
+	for len(s.backlog) > 0 && s.inflight() < s.effWindow() {
+		seq := s.backlog[0]
+		s.backlog = s.backlog[1:]
+		f, ok := s.pending[seq]
+		if !ok {
+			continue
+		}
+		s.sendFrame(f)
+	}
+}
+
+// sendFrame performs one transmission attempt of f and arms its timer.
+func (s *Sender) sendFrame(f *frame) {
+	f.attempt++
+	if f.attempt == 1 {
+		f.sentAt = s.k.Now()
+		s.FramesSent++
+		s.MsgsFramed += int64(len(f.inner))
+		if s.cfg.OnFrame != nil {
+			s.cfg.OnFrame(len(f.inner))
+		}
+	}
+	s.transmit(msg.WtpData{Epoch: s.epoch, Seq: f.seq, Inner: f.inner})
+	s.arm(f)
+}
+
+// arm schedules f's retransmission with per-frame exponential backoff
+// over the current smoothed RTO.
+func (s *Sender) arm(f *frame) {
+	d := s.rto
+	max := s.cfg.maxRTO()
+	for i := 1; i < f.attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	epoch := s.epoch
+	f.timer = s.k.After(d, func() {
+		if s.epoch != epoch {
+			return
+		}
+		if cur, live := s.pending[f.seq]; !live || cur != f {
+			return
+		}
+		if f.attempt >= s.cfg.maxRetries() {
+			s.reset()
+			return
+		}
+		s.onLoss(f.seq)
+		f.rtxed = true
+		s.Retransmits++
+		if s.cfg.OnRetransmit != nil {
+			s.cfg.OnRetransmit()
+		}
+		s.sendFrame(f)
+	})
+}
+
+// onLoss applies the multiplicative decrease once per loss event: the
+// congestion window halves (slow-start threshold follows) unless a cut
+// already covered this sequence range.
+func (s *Sender) onLoss(seq uint64) {
+	if seq <= s.recoverSeq {
+		return
+	}
+	s.recoverSeq = s.nextSeq
+	s.ssthresh = s.cwnd / 2
+	if s.ssthresh < 1 {
+		s.ssthresh = 1
+	}
+	s.cwnd = s.ssthresh
+	if s.cfg.OnCwnd != nil {
+		s.cfg.OnCwnd(int(s.cwnd))
+	}
+}
+
+// ackFrame retires one frame: timer off, Karn-valid RTT sample,
+// additive (or slow-start) window growth.
+func (s *Sender) ackFrame(f *frame) {
+	if f.timer != nil {
+		f.timer.Cancel()
+		f.timer = nil
+	}
+	delete(s.pending, f.seq)
+	if f.attempt >= 1 && !f.rtxed {
+		s.sampleRTT(time.Duration(s.k.Now() - f.sentAt))
+	}
+	if s.cwnd < s.ssthresh {
+		s.cwnd++ // slow start: one frame per acked frame
+	} else {
+		s.cwnd += 1 / s.cwnd // congestion avoidance: ~one per RTT
+	}
+	if max := float64(s.cfg.window()); s.cwnd > max {
+		s.cwnd = max
+	}
+	if s.cfg.OnCwnd != nil {
+		s.cfg.OnCwnd(int(s.cwnd))
+	}
+}
+
+// sampleRTT folds one round-trip sample into the Jacobson estimator
+// and recomputes the RTO: srtt + max(4·rttvar, MinRTO), clamped to
+// [MinRTO, MaxRTO]. The slack floor is the RFC 6298 granularity guard:
+// on a constant-delay link rttvar decays toward zero and a bare
+// srtt + 4·rttvar converges to exactly one round trip, so the timer
+// would race every ack and retransmit frames that are merely in
+// flight.
+func (s *Sender) sampleRTT(rtt time.Duration) {
+	if rtt < 0 {
+		return
+	}
+	if s.srtt == 0 {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+	} else {
+		diff := s.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + rtt) / 8
+	}
+	slack := 4 * s.rttvar
+	if min := s.cfg.minRTO(); slack < min {
+		slack = min
+	}
+	s.rto = s.srtt + slack
+	if min := s.cfg.minRTO(); s.rto < min {
+		s.rto = min
+	}
+	if max := s.cfg.maxRTO(); s.rto > max {
+		s.rto = max
+	}
+	if s.cfg.OnRTTSample != nil {
+		s.cfg.OnRTTSample(rtt, s.rto)
+	}
+}
+
+// OnAck processes one acknowledgment frame from the receiver.
+func (s *Sender) OnAck(a msg.WtpAck) {
+	if a.Epoch != s.epoch {
+		return // stale epoch: a reset outran this ack
+	}
+	// Cumulative portion: everything at or below Cum is delivered.
+	// Iterate the pending map via the backlog-free seq range; pending
+	// is small (≤ Window + backlog), so a scan is fine — but keep it
+	// deterministic by collecting and sorting.
+	var acked []uint64
+	for seq := range s.pending {
+		if seq <= a.Cum {
+			acked = append(acked, seq)
+		}
+	}
+	sort.Slice(acked, func(i, j int) bool { return acked[i] < acked[j] })
+	for _, seq := range acked {
+		s.ackFrame(s.pending[seq])
+	}
+	// Selective portion: sacked frames are held by the receiver for
+	// reordering; they are as delivered as the cumulative ones.
+	topSack := a.Cum
+	for _, seq := range a.Sacks {
+		if seq > topSack {
+			topSack = seq
+		}
+		if f, ok := s.pending[seq]; ok {
+			s.ackFrame(f)
+		}
+	}
+	// Gap detection: every in-flight frame below the highest sacked
+	// sequence was overtaken; enough overtakes trigger one fast
+	// retransmission (and one window cut per loss event).
+	if topSack > a.Cum {
+		var holes []uint64
+		for seq, f := range s.pending {
+			if seq < topSack && f.attempt > 0 {
+				holes = append(holes, seq)
+			}
+		}
+		sort.Slice(holes, func(i, j int) bool { return holes[i] < holes[j] })
+		for _, seq := range holes {
+			f := s.pending[seq]
+			f.gapAcks++
+			if f.gapAcks >= s.cfg.dupThresh() {
+				f.gapAcks = 0
+				s.onLoss(seq)
+				f.rtxed = true
+				s.FastRetransmits++
+				s.Retransmits++
+				if s.cfg.OnRetransmit != nil {
+					s.cfg.OnRetransmit()
+				}
+				if f.timer != nil {
+					f.timer.Cancel()
+				}
+				s.sendFrame(f)
+			}
+		}
+	}
+	s.pump()
+}
+
+// Reset abandons the link: every pending, backlogged and coalescing
+// message is dropped, the epoch bumps (so stale frames and acks are
+// ignored on both ends), and the congestion state returns to its
+// initial tuning. The higher layers' recovery machinery — proxy
+// retransmission on re-greet, client request retries — owns whatever
+// was dropped, exactly as it owns a plain radio loss.
+func (s *Sender) Reset() { s.reset() }
+
+func (s *Sender) reset() {
+	dropped := len(s.pend)
+	for _, f := range s.pending {
+		if f.timer != nil {
+			f.timer.Cancel()
+		}
+		dropped += len(f.inner)
+	}
+	s.pending = make(map[uint64]*frame)
+	s.backlog = nil
+	s.pend = nil
+	s.pendBytes = 0
+	if s.flush != nil {
+		s.flush.Cancel()
+		s.flush = nil
+	}
+	s.epoch++
+	s.nextSeq = 0
+	s.recoverSeq = 0
+	s.cwnd = float64(s.cfg.initialCwnd())
+	s.ssthresh = float64(s.cfg.window())
+	s.srtt = 0
+	s.rttvar = 0
+	s.rto = s.cfg.initialRTO()
+	s.Resets++
+	if s.cfg.OnReset != nil {
+		s.cfg.OnReset(dropped)
+	}
+}
+
+// Receiver is the receive half: it reorders frames into sequence
+// order, produces one ack per arriving frame (cumulative watermark +
+// selective blocks), and hands back the coalesced messages ready for
+// in-order delivery.
+type Receiver struct {
+	cfg   Config
+	epoch uint64
+	cum   uint64 // every seq <= cum delivered
+	ahead map[uint64][]msg.Message
+
+	// Duplicates counts redundant data frames (retransmissions that
+	// lost the race with their ack).
+	Duplicates int64
+}
+
+// NewReceiver returns an empty receiver.
+func NewReceiver(cfg Config) *Receiver {
+	return &Receiver{cfg: cfg, ahead: make(map[uint64][]msg.Message)}
+}
+
+// Cum returns the in-order delivery watermark (test hook).
+func (r *Receiver) Cum() uint64 { return r.cum }
+
+// Accept processes one data frame. ok=false means the frame belongs to
+// a dead epoch and must be ignored entirely (no ack — the sender that
+// cares has moved on). Otherwise deliver holds the messages newly
+// deliverable in sequence order (possibly none) and ack is the
+// acknowledgment to send back.
+func (r *Receiver) Accept(f msg.WtpData) (deliver []msg.Message, ack msg.WtpAck, ok bool) {
+	if f.Epoch < r.epoch {
+		return nil, msg.WtpAck{}, false
+	}
+	if f.Epoch > r.epoch {
+		// The sender reset: adopt the new epoch with fresh state.
+		r.epoch = f.Epoch
+		r.cum = 0
+		r.ahead = make(map[uint64][]msg.Message)
+	}
+	_, buffered := r.ahead[f.Seq]
+	switch {
+	case f.Seq <= r.cum || buffered:
+		r.Duplicates++
+	default:
+		if f.Inner == nil {
+			f.Inner = []msg.Message{} // presence must survive an empty frame
+		}
+		r.ahead[f.Seq] = f.Inner
+		for {
+			inner, ok := r.ahead[r.cum+1]
+			if !ok {
+				break
+			}
+			deliver = append(deliver, inner...)
+			delete(r.ahead, r.cum+1)
+			r.cum++
+		}
+	}
+	ack = msg.WtpAck{Epoch: r.epoch, Cum: r.cum}
+	if len(r.ahead) > 0 {
+		sacks := make([]uint64, 0, len(r.ahead))
+		for seq := range r.ahead {
+			sacks = append(sacks, seq)
+		}
+		sort.Slice(sacks, func(i, j int) bool { return sacks[i] < sacks[j] })
+		if max := r.cfg.maxSacks(); len(sacks) > max {
+			sacks = sacks[:max]
+		}
+		ack.Sacks = sacks
+	}
+	return deliver, ack, true
+}
