@@ -19,9 +19,10 @@ test-race:
 race: test-race
 
 # check is the full pre-commit gate: formatting, vet, build, tests,
-# the parallel-engine race sweep (the determinism property tests under
-# the race detector — first, because a data race there invalidates the
-# rest), and the whole-tree race sweep.
+# the parallel-engine race sweep (the E14 serial==parallel property
+# harness and the kernel arena under the race detector — first, because
+# a data race there invalidates the rest), and the whole-tree race
+# sweep.
 check:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi

@@ -409,3 +409,25 @@ func BenchmarkE13ParallelScale(b *testing.B) {
 	b.ReportMetric(minRatio, "min-delivery-ratio")
 	b.ReportMetric(allEq, "headline-eq")
 }
+
+// BenchmarkE14WorkerScale regenerates E14 at bench scale: the
+// multi-core engine's worker sweep at a fixed partition. Reported
+// metrics: the minimum delivery ratio across all rows (must be 1.0) and
+// whether every row's full Summary matched the Workers=1 baseline
+// (1 = all equal) — worker count must never change a byte.
+func BenchmarkE14WorkerScale(b *testing.B) {
+	minRatio, allEq := 1.0, 1.0
+	for i := 0; i < b.N; i++ {
+		minRatio, allEq = 1.0, 1.0
+		for _, r := range experiments.E14Scale(int64(i+1), benchScale(), nil, nil, false) {
+			if r.Ratio < minRatio {
+				minRatio = r.Ratio
+			}
+			if !r.HeadlineEq {
+				allEq = 0
+			}
+		}
+	}
+	b.ReportMetric(minRatio, "min-delivery-ratio")
+	b.ReportMetric(allEq, "headline-eq")
+}

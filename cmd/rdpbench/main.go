@@ -1,5 +1,5 @@
 // Command rdpbench regenerates the evaluation of the RDP paper: every
-// experiment of DESIGN.md (E1–E13, E15, E17, E18) as a printed table. Run all of them,
+// experiment of DESIGN.md (E1–E15, E17, E18) as a printed table. Run all of them,
 // or a subset:
 //
 //	rdpbench                 # everything, standard scale
@@ -9,6 +9,7 @@
 //	rdpbench -parallel 4     # run experiments concurrently
 //	rdpbench -json           # write a BENCH_<stamp>.json snapshot
 //	rdpbench -exp e13 -regions 2 -serial   # e13 at a fixed partition, serial
+//	rdpbench -exp e14 -e14tier 64:50000:16:3 -workers 8 -steal   # one e14 smoke row
 //	rdpbench -cpuprofile cpu.pprof         # profile the run
 //
 // Experiments are independent simulations, so -parallel runs them on
@@ -69,6 +70,7 @@ var allRuns = []runSpec{
 	{"e11", printE11, metricE11},
 	{"e12", printE12, metricE12},
 	{"e13", printE13, metricE13},
+	{"e14", printE14, metricE14},
 	{"e15", printE15, metricE15},
 	{"e15lat", printE15Lat, metricE15Lat},
 	{"e17", printE17, metricE17},
@@ -91,10 +93,18 @@ var (
 	e13Workers    int   // 0 = one worker per core, 1 = serial
 )
 
+// e14TierList/e14WorkerList/e14Steal carry the -e14tier/-workers/-steal
+// flags into the E14 spec functions the same way.
+var (
+	e14TierList   []experiments.E14Tier // nil = the scale's default tiers
+	e14WorkerList []int                 // nil = the scale's worker sweep
+	e14Steal      bool                  // run every e14 row under work stealing
+)
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("rdpbench", flag.ContinueOnError)
 	var (
-		expFlag = fs.String("exp", "all", "comma-separated experiments to run (e1..e13, e15, e15lat, e17, e18, or all)")
+		expFlag = fs.String("exp", "all", "comma-separated experiments to run (e1..e15, e15lat, e17, e18, or all)")
 		seed    = fs.Int64("seed", 1, "random seed")
 		quick   = fs.Bool("quick", false, "reduced scale for a fast pass")
 		csv     = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
@@ -103,6 +113,9 @@ func run(args []string, stdout io.Writer) error {
 		outFlag = fs.String("out", "", "snapshot path for -json (default BENCH_<stamp>.json)")
 		regions = fs.String("regions", "", "comma-separated region counts for e13 (default: the scale's sweep)")
 		serial  = fs.Bool("serial", false, "run the e13 parallel engine with one worker (the serial reference)")
+		workers = fs.String("workers", "", "comma-separated worker counts for e14 (default: the scale's sweep)")
+		steal   = fs.Bool("steal", false, "run every e14 row under per-window work stealing")
+		e14tier = fs.String("e14tier", "", "e14 tier override as cells:mhs:regions:horizonSec (the CI smoke tier)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
@@ -122,6 +135,25 @@ func run(args []string, stdout io.Writer) error {
 	e13Workers = 0
 	if *serial {
 		e13Workers = 1
+	}
+	e14WorkerList = nil
+	if *workers != "" {
+		for _, s := range strings.Split(*workers, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -workers value %q", s)
+			}
+			e14WorkerList = append(e14WorkerList, n)
+		}
+	}
+	e14Steal = *steal
+	e14TierList = nil
+	if *e14tier != "" {
+		tier, ok := experiments.ParseE14Tier(*e14tier)
+		if !ok {
+			return fmt.Errorf("bad -e14tier value %q (want cells:mhs:regions:horizonSec)", *e14tier)
+		}
+		e14TierList = []experiments.E14Tier{tier}
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -180,7 +212,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if len(sel) == 0 {
-		return fmt.Errorf("no experiment matched %q (use e1..e13, e15, e15lat, e17, e18, or all)", *expFlag)
+		return fmt.Errorf("no experiment matched %q (use e1..e15, e15lat, e17, e18, or all)", *expFlag)
 	}
 
 	if *jsonOut {
@@ -705,6 +737,40 @@ func metricE18(seed int64, sc experiments.Scale) (string, float64) {
 		return "guarded_survivor_delivery", float64(delivered) / float64(survivors)
 	}
 	return "guarded_survivor_delivery", -1
+}
+
+func printE14(r *renderer, seed int64, sc experiments.Scale) {
+	r.header("E14", "multi-core engine: worker count never changes a byte; wall-clock and RSS at scale")
+	t := metrics.NewTable("cells", "mhs", "regions", "workers", "steal", "cores", "issued", "delivered",
+		"ratio", "dups", "missing", "xframes", "build", "wall", "speedup", "peak-rss", "headline-eq")
+	for _, row := range experiments.E14Scale(seed, sc, e14TierList, e14WorkerList, e14Steal) {
+		t.AddRow(strconv.Itoa(row.Cells), strconv.Itoa(row.MHs), strconv.Itoa(row.Regions),
+			strconv.Itoa(row.Workers), fmt.Sprint(row.Steal), strconv.Itoa(row.Cores),
+			d(row.Issued), d(row.Delivered), f(row.Ratio, 4), d(row.Duplicates),
+			strconv.Itoa(row.Missing), d(row.CrossFrames), dur(row.Build), dur(row.Wall),
+			f(row.Speedup, 2), mib(row.PeakRSS), fmt.Sprint(row.HeadlineEq))
+	}
+	r.emit(t)
+}
+
+// mib renders a byte count as mebibytes for the E14 peak-RSS column.
+func mib(v uint64) string { return f(float64(v)/(1<<20), 0) + "MiB" }
+
+// metricE14 is the snapshot headline: total delivered across the sweep,
+// forced to -1 whenever a row breaks full-Summary equality with its
+// tier's baseline row. The e14-smoke CI job compares -workers 1,
+// -workers 8, and -workers 8 -steal snapshots of the same tier with
+// benchcmp, so the metric must be worker-invariant — which is exactly
+// the property E14 pins.
+func metricE14(seed int64, sc experiments.Scale) (string, float64) {
+	var delivered int64
+	for _, row := range experiments.E14Scale(seed, sc, e14TierList, e14WorkerList, e14Steal) {
+		if !row.HeadlineEq {
+			return "delivered_total", -1
+		}
+		delivered += row.Delivered
+	}
+	return "delivered_total", float64(delivered)
 }
 
 // metricE13 is the snapshot headline: total delivered across the sweep.

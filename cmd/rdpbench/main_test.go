@@ -140,6 +140,32 @@ func TestJSONDefaultPath(t *testing.T) {
 	}
 }
 
+// TestE14SmokeFlags runs the e14 CI-smoke shape — a single tier
+// override at a single worker count under work stealing — and checks
+// the row comes back clean.
+func TestE14SmokeFlags(t *testing.T) {
+	out, err := runBuf(t, "-quick", "-exp", "e14", "-e14tier", "8:200:4:2", "-workers", "2", "-steal")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "=== E14") {
+		t.Fatalf("output missing E14 header:\n%s", out)
+	}
+	if !strings.Contains(out, "true") {
+		t.Errorf("E14 smoke row not marked steal/headline-eq true:\n%s", out)
+	}
+}
+
+// TestBadE14Flags rejects malformed -e14tier and -workers values.
+func TestBadE14Flags(t *testing.T) {
+	if _, err := runBuf(t, "-exp", "e14", "-e14tier", "8:200:4"); err == nil {
+		t.Error("short -e14tier accepted")
+	}
+	if _, err := runBuf(t, "-exp", "e14", "-workers", "0"); err == nil {
+		t.Error("-workers 0 accepted")
+	}
+}
+
 // TestNoMatch rejects experiment names that match nothing.
 func TestNoMatch(t *testing.T) {
 	if _, err := runBuf(t, "-exp", "e42"); err == nil {

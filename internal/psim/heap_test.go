@@ -1,0 +1,157 @@
+package psim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestFrameHeapPopOrder is the ordering property: whatever order frames
+// are pushed in — including duplicate keys and adversarial permutations
+// — pop returns them exactly sorted by (arrival, src, seq).
+func TestFrameHeapPopOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		frames := make([]frame, n)
+		for i := range frames {
+			frames[i] = frame{
+				// Small ranges force key collisions so the src and seq
+				// tie-breaks are actually exercised.
+				arrival: sim.Time(rng.Intn(8)),
+				src:     rng.Intn(4),
+				seq:     uint64(rng.Intn(6)),
+			}
+		}
+		want := append([]frame(nil), frames...)
+		sort.SliceStable(want, func(a, b int) bool { return frameLess(want[a], want[b]) })
+
+		var h frameHeap
+		for _, i := range rng.Perm(n) {
+			h.push(frames[i])
+		}
+		for i := 0; i < n; i++ {
+			got := h.pop()
+			// Equal keys are interchangeable; compare keys, not identity.
+			if got.arrival != want[i].arrival || got.src != want[i].src || got.seq != want[i].seq {
+				t.Fatalf("trial %d: pop %d = (%d,%d,%d), want (%d,%d,%d)", trial, i,
+					got.arrival, got.src, got.seq, want[i].arrival, want[i].src, want[i].seq)
+			}
+			if i > 0 && frameLess(got, want[i-1]) {
+				t.Fatalf("trial %d: pop %d went backwards", trial, i)
+			}
+		}
+		if len(h) != 0 {
+			t.Fatalf("trial %d: %d frames left after draining", trial, len(h))
+		}
+	}
+}
+
+// TestFrameHeapShrink exercises the grow/shrink thresholds with random
+// push/pop bursts: the backing array must halve once the heap drains
+// below a quarter of its capacity, must never shrink below
+// frameShrinkMinCap, and the ordering invariant must survive every
+// resize.
+func TestFrameHeapShrink(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	var h frameHeap
+	var next uint64
+	live := 0
+	push := func(k int) {
+		for i := 0; i < k; i++ {
+			h.push(frame{arrival: sim.Time(rng.Intn(1000)), seq: next})
+			next++
+			live++
+		}
+	}
+	popChecked := func(k int) {
+		last := frame{arrival: -1}
+		for i := 0; i < k && live > 0; i++ {
+			f := h.pop()
+			if i > 0 && frameLess(f, last) {
+				t.Fatalf("pop out of order after resize: %d < %d", f.arrival, last.arrival)
+			}
+			last = f
+			live--
+		}
+	}
+
+	// Burst far past the shrink floor, then drain: capacity must come
+	// back down once len < cap/4.
+	push(4 * frameShrinkMinCap)
+	grown := cap(h)
+	if grown < 4*frameShrinkMinCap {
+		t.Fatalf("cap %d after %d pushes", grown, 4*frameShrinkMinCap)
+	}
+	popChecked(live - frameShrinkMinCap/8)
+	if cap(h) >= grown {
+		t.Errorf("cap %d never shrank from %d after draining to %d", cap(h), grown, len(h))
+	}
+
+	// Below the floor the capacity must hold steady no matter how empty
+	// the heap gets.
+	push(frameShrinkMinCap / 2)
+	small := cap(h)
+	popChecked(live)
+	if small >= frameShrinkMinCap && cap(h) < frameShrinkMinCap/4 {
+		t.Errorf("cap %d shrank below the %d floor region", cap(h), frameShrinkMinCap)
+	}
+
+	// Fuzz the thresholds: random interleaved bursts, constantly checking
+	// order; shrink decisions must never lose a frame.
+	for round := 0; round < 200; round++ {
+		if rng.Intn(2) == 0 {
+			push(rng.Intn(300))
+		} else {
+			popChecked(rng.Intn(400))
+		}
+		if len(h) != live {
+			t.Fatalf("round %d: heap len %d, want %d", round, len(h), live)
+		}
+	}
+	popChecked(live)
+	if len(h) != 0 {
+		t.Fatalf("%d frames left after final drain", len(h))
+	}
+}
+
+// TestBalancePlanSkew pins the dealer half of the load-imbalance
+// regression at the unit level: one region with ~90% of the weight gets
+// a worker to itself under LPT, and every region is dealt exactly once.
+func TestBalancePlanSkew(t *testing.T) {
+	weights := []int64{91, 4, 3, 2, 1}
+	plan := balancePlan(weights, 2)
+	seen := make(map[int]bool)
+	for _, regs := range plan {
+		for _, ri := range regs {
+			if seen[ri] {
+				t.Fatalf("region %d dealt twice: %v", ri, plan)
+			}
+			seen[ri] = true
+		}
+	}
+	if len(seen) != len(weights) {
+		t.Fatalf("dealt %d regions, want %d: %v", len(seen), len(weights), plan)
+	}
+	for w, regs := range plan {
+		for _, ri := range regs {
+			if ri == 0 && len(regs) != 1 {
+				t.Errorf("worker %d holds the 90%% region plus %v", w, regs)
+			}
+		}
+	}
+}
+
+// TestWeightOrderTies pins the deterministic tie-breaks: equal weights
+// order by ascending region index.
+func TestWeightOrderTies(t *testing.T) {
+	order := weightOrder([]int64{5, 9, 5, 9, 1})
+	want := []int{1, 3, 0, 2, 4}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

@@ -10,25 +10,36 @@
 // arrive at another region before T+lookahead, wireless traffic never
 // leaves a region (an MH talks only to the station of its current
 // cell), and a host migrating between regions is radio-silent for
-// exactly one lookahead while its transfer frame is in flight. At the
-// window barrier the coordinator gathers every cross-region frame the
-// regions emitted, merges them in deterministic (arrival time, source
-// region, sequence) order, and injects them into the destination
-// kernels before opening the next window. Because each region's event
-// order and RNG stream depend only on its own inputs — and those inputs
-// are merged deterministically — a run with W worker threads is
+// exactly one lookahead while its transfer frame is in flight. Each
+// region parks the cross-region frames it emits in its own
+// (arrival, seq)-ordered heap — drained by the worker that stepped it,
+// at the barrier, with no coordinator-side copying — and before the
+// next window opens the coordinator k-way-merges the heap tops in
+// deterministic (arrival time, source region, sequence) order straight
+// into the destination kernels. Because each region's event order and
+// RNG stream depend only on its own inputs — and those inputs are
+// merged deterministically — a run with W worker threads is
 // byte-identical to the same partition run serially (Workers=1), and a
-// different worker count can never change a metric.
+// different worker count can never change a metric. The same argument
+// covers how regions are dealt to workers: the size-aware static plan
+// (regions weighted by resident-host count, largest-first onto the
+// lightest worker) and the optional per-window work-stealing mode both
+// guarantee that exactly one worker steps each region per window, so
+// neither can change a byte of output — only wall-clock time.
 //
-// Mobile hosts are driven by pre-generated per-host scripts (AddMH)
-// rather than live callbacks, so the workload itself is independent of
-// the partition: the same seed issues the same requests with the same
-// identifiers no matter how many regions execute them.
+// Mobile hosts are driven by pre-generated per-host scripts (AddMH,
+// or AddMHs for bulk parallel construction) rather than live
+// callbacks, so the workload itself is independent of the partition:
+// the same seed issues the same requests with the same identifiers no
+// matter how many regions execute them.
 package psim
 
 import (
 	"fmt"
 	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ids"
@@ -51,6 +62,15 @@ type Config struct {
 	// the reference the determinism tests compare against. Workers never
 	// affects results, only wall-clock time.
 	Workers int
+	// WorkSteal switches the worker pool from the size-aware static
+	// assignment to per-window work stealing: the coordinator re-sorts
+	// regions by current resident-host count before each window and the
+	// workers pull from the shared list through an atomic cursor, so a
+	// region whose population ballooned mid-run cannot strand the static
+	// plan. Exactly one worker still steps each region per window, so
+	// results stay byte-identical to the serial run; only wall-clock
+	// time changes.
+	WorkSteal bool
 	// Lookahead is the conservative window width. Every cross-region
 	// wired latency sample must be >= Lookahead (the region link panics
 	// otherwise); the minimum wired latency of the topology is the
@@ -72,7 +92,7 @@ type Issued struct {
 }
 
 // frame is one unit of cross-region traffic — a wired message or a
-// migrating host — parked at the coordinator until its arrival window.
+// migrating host — parked at its source region until its arrival window.
 // Frames are ordered by (arrival, src, seq): arrival for causality, the
 // (src, seq) pair to break same-instant ties identically on every run.
 type frame struct {
@@ -91,11 +111,21 @@ type region struct {
 	world  *rdpcore.World
 	link   *netsim.RegionLink
 	// outbox collects the frames emitted during the current window; the
-	// coordinator drains it at the barrier. Only the region's own worker
-	// touches it inside a window.
-	outbox  []frame
-	nextSeq uint64
-	issued  []Issued
+	// worker that stepped the region drains it into parked at the
+	// barrier. Only the region's own worker touches either inside a
+	// window, so collection costs the coordinator nothing.
+	outbox []frame
+	// parked holds drained frames ordered by (arrival, seq) — src is
+	// constant per region — until the coordinator's k-way merge injects
+	// them into their destination kernels.
+	parked      frameHeap
+	nextSeq     uint64
+	issued      []Issued
+	crossFrames int64
+	// stepPanic records a panic recovered during this region's window
+	// step; the coordinator re-raises it after the barrier so a dying
+	// region cannot deadlock the other workers.
+	stepPanic any
 }
 
 // World is the partitioned simulation.
@@ -105,10 +135,8 @@ type World struct {
 	regions       []*region
 	stationRegion map[ids.MSS]int
 	serverRegion  map[ids.Server]int
-	pending       frameHeap
 	scripts       map[ids.MH]*script
 	workers       int
-	crossFrames   int64
 }
 
 // netObsRelay forwards network events to a target bound after the
@@ -123,10 +151,13 @@ func (o *netObsRelay) observe(at sim.Time, layer netsim.Layer, kind netsim.Event
 	}
 }
 
-// New builds a partitioned world. It panics on configurations the
-// engine cannot run correctly — see the validation messages for the
-// exact rules (the important one: no MH-side timers, because a host's
-// timers cannot follow it across a region transfer).
+// New builds a partitioned world; with Workers > 1 the regions are
+// constructed in parallel (each region's kernel, substrates and world
+// are fully independent, so construction order across regions is not
+// observable). It panics on configurations the engine cannot run
+// correctly — see the validation messages for the exact rules (the
+// important one: no MH-side timers, because a host's timers cannot
+// follow it across a region transfer).
 func New(cfg Config) *World {
 	if cfg.Regions < 1 {
 		panic("psim: Regions must be >= 1")
@@ -197,10 +228,67 @@ func New(cfg Config) *World {
 		pw.workers = cfg.Regions
 	}
 
-	for idx := 0; idx < cfg.Regions; idx++ {
-		pw.regions = append(pw.regions, pw.buildRegion(idx, regionStations[idx], regionServers[idx]))
-	}
+	pw.regions = make([]*region, cfg.Regions)
+	pw.parfor(cfg.Regions, func(idx int) {
+		pw.regions[idx] = pw.buildRegion(idx, regionStations[idx], regionServers[idx])
+	})
 	return pw
+}
+
+// parfor runs fn(0..n-1) on up to pw.workers goroutines in contiguous
+// chunks; with one worker it runs inline. fn must only touch state owned
+// by its index — parfor provides the fork/join happens-before edges and
+// nothing else.
+func (pw *World) parfor(n int, fn func(i int)) {
+	w := pw.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < w; c++ {
+		lo, hi := c*n/w, (c+1)*n/w
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// parforChunks is parfor with chunk visibility: fn is called once per
+// chunk with its worker slot and index range, so callers can accumulate
+// into per-chunk partials and reduce them deterministically afterwards.
+func (pw *World) parforChunks(n int, fn func(chunk, lo, hi int)) int {
+	w := pw.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return 1
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < w; c++ {
+		lo, hi := c*n/w, (c+1)*n/w
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			fn(c, lo, hi)
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	return w
 }
 
 // buildRegion assembles one partition: kernel, intra-region wired
@@ -297,12 +385,38 @@ func (pw *World) emitWired(r *region, f netsim.CrossFrame) {
 	r.nextSeq++
 }
 
+// drain moves the window's outbox into the region's parked heap — the
+// per-region half of the barrier, executed by whichever worker stepped
+// the region, so frame collection parallelizes with the windows
+// themselves and the coordinator never copies a frame.
+func (r *region) drain() {
+	if len(r.outbox) == 0 {
+		return
+	}
+	r.crossFrames += int64(len(r.outbox))
+	for i := range r.outbox {
+		r.parked.push(r.outbox[i])
+		r.outbox[i] = frame{}
+	}
+	r.outbox = r.outbox[:0]
+}
+
 // RunUntil advances the whole partitioned simulation to instant d,
 // window by window. Like the serial kernel's RunUntil, events stamped
 // exactly d still execute, and every region's clock reads d afterwards.
+// A panic inside a region (serial or parallel) propagates to the
+// caller; with a pool running, the workers are shut down first so the
+// barrier cannot deadlock.
 func (pw *World) RunUntil(d time.Duration) {
 	stepLimit := sim.Time(d) + 1
 	pool := pw.startPool()
+	defer pool.stop()
+	var arena *sim.Arena
+	if pool == nil {
+		// Serial: all regions step on this goroutine in turn, so one
+		// shared arena recycles every region's retired events.
+		arena = sim.NewArena()
+	}
 	for {
 		t, ok := pw.low()
 		if !ok || t >= stepLimit {
@@ -313,12 +427,45 @@ func (pw *World) RunUntil(d time.Duration) {
 			end = stepLimit
 		}
 		pw.inject(end)
-		pw.step(pool, end)
-		pw.collect()
+		if pool == nil {
+			for _, r := range pw.regions {
+				stepRegion(r, end, arena)
+			}
+			pw.raiseRegionPanics()
+		} else {
+			pool.run(end)
+		}
 	}
-	pool.stop()
 	for _, r := range pw.regions {
 		r.kernel.AdvanceTo(sim.Time(d))
+	}
+}
+
+// stepRegion executes one region's window — kernel steps, then the
+// barrier drain — with the worker's shared arena attached and any panic
+// captured for deterministic re-raise after the barrier.
+func stepRegion(r *region, end sim.Time, arena *sim.Arena) {
+	defer func() {
+		r.kernel.SetArena(nil)
+		if v := recover(); v != nil {
+			r.stepPanic = v
+		}
+	}()
+	r.kernel.SetArena(arena)
+	r.kernel.StepUntil(end)
+	r.drain()
+}
+
+// raiseRegionPanics re-raises the first (lowest-region-index) panic
+// captured during the window, wrapped with its region. Scanning in
+// region order keeps the propagated panic deterministic even when
+// several regions die in the same window on different workers.
+func (pw *World) raiseRegionPanics() {
+	for _, r := range pw.regions {
+		if v := r.stepPanic; v != nil {
+			r.stepPanic = nil
+			panic(fmt.Sprintf("psim: region %d panicked: %v", r.idx, v))
+		}
 	}
 }
 
@@ -333,93 +480,189 @@ func (pw *World) low() (sim.Time, bool) {
 		if at, has := r.kernel.NextEventAt(); has && (!ok || at < best) {
 			best, ok = at, true
 		}
-	}
-	if len(pw.pending) > 0 {
-		if a := pw.pending[0].arrival; !ok || a < best {
-			best, ok = a, true
+		if len(r.parked) > 0 {
+			if a := r.parked[0].arrival; !ok || a < best {
+				best, ok = a, true
+			}
 		}
 	}
 	return best, ok
 }
 
-// inject moves every parked frame with arrival < end into its
-// destination kernel, in (arrival, src, seq) order. It runs between
-// windows, single-threaded; kernel insertion order fixes the tie-break
-// among same-instant frames, making the merge deterministic.
+// inject k-way-merges the regions' parked heaps, moving every frame
+// with arrival < end into its destination kernel in (arrival, src, seq)
+// order. It runs between windows, single-threaded; kernel insertion
+// order fixes the tie-break among same-instant frames, making the merge
+// deterministic. Each heap's top is its region's minimum, so comparing
+// tops yields the same global order the old coordinator-side heap did —
+// without ever copying a frame into a coordinator buffer.
 func (pw *World) inject(end sim.Time) {
-	for len(pw.pending) > 0 && pw.pending[0].arrival < end {
-		f := pw.pending.pop()
+	for {
+		best := -1
+		for i, r := range pw.regions {
+			if len(r.parked) == 0 || r.parked[0].arrival >= end {
+				continue
+			}
+			if best < 0 || frameLess(r.parked[0], pw.regions[best].parked[0]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		f := pw.regions[best].parked.pop()
 		pw.regions[f.dst].kernel.DeferAt(f.arrival, f.fire)
 	}
 }
 
-// step executes one window on every region, in parallel when a pool is
-// running.
-func (pw *World) step(p *pool, end sim.Time) {
-	if p == nil {
-		for _, r := range pw.regions {
-			r.kernel.StepUntil(end)
-		}
-		return
-	}
-	p.run(end)
-}
-
-// collect drains every region's outbox into the pending heap, in region
-// order (the frames' own (arrival, src, seq) keys make the heap order
-// independent of drain order; region order keeps it reproducible
-// anyway).
-func (pw *World) collect() {
-	for _, r := range pw.regions {
-		for _, f := range r.outbox {
-			pw.pending.push(f)
-			pw.crossFrames++
-		}
-		r.outbox = r.outbox[:0]
-	}
-}
-
 // pool runs the per-window region stepping on persistent worker
-// goroutines. Regions are dealt round-robin; the barrier is two channel
+// goroutines. Regions are dealt by the size-aware static plan (or
+// pulled through the work-stealing cursor); the barrier is two channel
 // rounds per window (start fan-out, done fan-in), which also carry the
 // happens-before edges that hand region state between the coordinator
-// and the workers.
+// and the workers. Each worker owns a sim.Arena, so every region it
+// steps recycles events from one shared pool.
 type pool struct {
+	pw    *World
 	start []chan sim.Time
 	done  chan struct{}
+	// plan is the static assignment (nil under WorkSteal): plan[w] lists
+	// the region indices worker w steps each window.
+	plan [][]int
+	// order and next implement work stealing: order is re-sorted by
+	// current region weight before each window and workers pull indices
+	// through the atomic cursor.
+	order []int
+	next  atomic.Int64
 }
+
+// regionWeights returns each region's current step weight: one unit of
+// baseline station load plus one per resident mobile host. Reading the
+// region worlds is only safe between windows (or before the run).
+func (pw *World) regionWeights() []int64 {
+	weights := make([]int64, len(pw.regions))
+	for i, r := range pw.regions {
+		weights[i] = 1 + int64(len(r.world.MHs))
+	}
+	return weights
+}
+
+// balancePlan deals regions to workers with the longest-processing-time
+// heuristic: regions sorted by descending weight (ties broken by lower
+// index), each assigned to the currently lightest worker (ties broken
+// by lower worker index). A region holding most of the hosts therefore
+// gets a worker to itself while the small regions share the rest —
+// round-robin dealing would chain it to whatever shares its stripe.
+func balancePlan(weights []int64, workers int) [][]int {
+	order := weightOrder(weights)
+	plan := make([][]int, workers)
+	load := make([]int64, workers)
+	for _, ri := range order {
+		w := 0
+		for i := 1; i < workers; i++ {
+			if load[i] < load[w] {
+				w = i
+			}
+		}
+		plan[w] = append(plan[w], ri)
+		load[w] += weights[ri]
+	}
+	return plan
+}
+
+// weightOrder returns region indices sorted by (weight desc, index asc).
+func weightOrder(weights []int64) []int {
+	order := make([]int, len(weights))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		wa, wb := weights[order[a]], weights[order[b]]
+		if wa != wb {
+			return wa > wb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// WorkerPlan returns the size-aware static assignment the pool would
+// start with right now: plan[w] lists the region indices dealt to
+// worker w, loads[w] the summed weights of those regions. It exists for
+// the load-balance regression tests; the assignment never affects
+// results, only wall-clock time.
+func (pw *World) WorkerPlan() (plan [][]int, loads []int64) {
+	weights := pw.regionWeights()
+	plan = balancePlan(weights, pw.workers)
+	loads = make([]int64, len(plan))
+	for w, regs := range plan {
+		for _, ri := range regs {
+			loads[w] += weights[ri]
+		}
+	}
+	return plan, loads
+}
+
+// RegionWeights returns each region's current step weight (1 + resident
+// hosts), in region order. Call between RunUntil slices or before/after
+// a run.
+func (pw *World) RegionWeights() []int64 { return pw.regionWeights() }
 
 func (pw *World) startPool() *pool {
 	if pw.workers <= 1 {
 		return nil
 	}
-	p := &pool{done: make(chan struct{}, pw.workers)}
+	p := &pool{pw: pw, done: make(chan struct{}, pw.workers)}
+	if pw.cfg.WorkSteal {
+		p.order = make([]int, len(pw.regions))
+	} else {
+		p.plan = balancePlan(pw.regionWeights(), pw.workers)
+	}
 	for w := 0; w < pw.workers; w++ {
-		var regs []*region
-		for i := w; i < len(pw.regions); i += pw.workers {
-			regs = append(regs, pw.regions[i])
-		}
 		ch := make(chan sim.Time)
 		p.start = append(p.start, ch)
-		go func(regs []*region, ch chan sim.Time) {
-			for end := range ch {
-				for _, r := range regs {
-					r.kernel.StepUntil(end)
-				}
-				p.done <- struct{}{}
-			}
-		}(regs, ch)
+		go p.worker(w, ch)
 	}
 	return p
 }
 
+// worker steps its regions every window until the start channel closes.
+// The arena lives as long as the worker: every region it steps — static
+// plan or stolen — recycles retired events through it.
+func (p *pool) worker(w int, ch chan sim.Time) {
+	arena := sim.NewArena()
+	for end := range ch {
+		if p.plan != nil {
+			for _, ri := range p.plan[w] {
+				stepRegion(p.pw.regions[ri], end, arena)
+			}
+		} else {
+			for {
+				i := p.next.Add(1) - 1
+				if i >= int64(len(p.order)) {
+					break
+				}
+				stepRegion(p.pw.regions[p.order[i]], end, arena)
+			}
+		}
+		p.done <- struct{}{}
+	}
+}
+
 func (p *pool) run(end sim.Time) {
+	if p.order != nil {
+		// Work stealing: heaviest regions first, so a giant region starts
+		// on some worker immediately while the tail packs around it.
+		copy(p.order, weightOrder(p.pw.regionWeights()))
+		p.next.Store(0)
+	}
 	for _, ch := range p.start {
 		ch <- end
 	}
 	for range p.start {
 		<-p.done
 	}
+	p.pw.raiseRegionPanics()
 }
 
 func (p *pool) stop() {
@@ -486,7 +729,28 @@ func (h *frameHeap) pop() frame {
 		}
 		q[i] = f
 	}
+	h.maybeShrink(n)
 	return top
+}
+
+// frameShrinkMinCap is the heap capacity below which pop never shrinks
+// the backing array: steady-state parking stays allocation-free, and
+// only a genuine cross-traffic burst trips the release path.
+const frameShrinkMinCap = 1024
+
+// maybeShrink halves the backing array once the heap drains below a
+// quarter of its capacity, releasing a burst's frames (and the closures
+// they pin) instead of holding the high-water mark for the rest of the
+// run. Halving per shrink keeps the cost amortized O(1) per pop —
+// the same policy as the kernel's event queue.
+func (h *frameHeap) maybeShrink(n int) {
+	c := cap(*h)
+	if c < frameShrinkMinCap || n >= c/4 {
+		return
+	}
+	nq := make(frameHeap, n, c/2)
+	copy(nq, *h)
+	*h = nq
 }
 
 // SubSeed derives region and per-entity seeds from a master seed

@@ -38,26 +38,52 @@ type Summary struct {
 	Steps uint64
 }
 
-// Summary computes the aggregate. Call after RunUntil returns (it reads
-// per-region state single-threaded).
+// add accumulates one region's counters into the partial.
+func (s *Summary) add(r *region) {
+	st := r.world.Stats
+	s.Issued += st.RequestsIssued.Value()
+	s.Delivered += st.ResultsDelivered.Value()
+	s.Duplicates += st.DuplicateDeliveries.Value()
+	s.Handoffs += st.Handoffs.Value()
+	s.Retransmissions += st.Retransmissions.Value()
+	s.UpdateCurrLocs += st.UpdateCurrLocs.Value()
+	s.AckForwards += st.AckForwards.Value()
+	s.WirelessDrops += st.WirelessDrops.Value()
+	s.WiredDrops += st.WiredDrops.Value()
+	s.NetworkShed += st.NetworkShed.Value()
+	s.Violations += st.Violations.Value()
+	s.CrossFrames += r.crossFrames
+	s.Steps += r.kernel.Steps()
+}
+
+// Summary computes the aggregate. Call after RunUntil returns. With
+// Workers > 1 the per-region sums are computed in parallel shards and
+// reduced in worker order; integer addition is associative and the
+// shard boundaries are a pure function of (regions, workers), so the
+// result is identical to the serial sum.
 func (pw *World) Summary() Summary {
+	partials := make([]Summary, pw.workers)
+	pw.parforChunks(len(pw.regions), func(chunk, lo, hi int) {
+		for _, r := range pw.regions[lo:hi] {
+			partials[chunk].add(r)
+		}
+	})
 	var s Summary
-	for _, r := range pw.regions {
-		st := r.world.Stats
-		s.Issued += st.RequestsIssued.Value()
-		s.Delivered += st.ResultsDelivered.Value()
-		s.Duplicates += st.DuplicateDeliveries.Value()
-		s.Handoffs += st.Handoffs.Value()
-		s.Retransmissions += st.Retransmissions.Value()
-		s.UpdateCurrLocs += st.UpdateCurrLocs.Value()
-		s.AckForwards += st.AckForwards.Value()
-		s.WirelessDrops += st.WirelessDrops.Value()
-		s.WiredDrops += st.WiredDrops.Value()
-		s.NetworkShed += st.NetworkShed.Value()
-		s.Violations += st.Violations.Value()
-		s.Steps += r.kernel.Steps()
+	for i := range partials {
+		s.Issued += partials[i].Issued
+		s.Delivered += partials[i].Delivered
+		s.Duplicates += partials[i].Duplicates
+		s.Handoffs += partials[i].Handoffs
+		s.Retransmissions += partials[i].Retransmissions
+		s.UpdateCurrLocs += partials[i].UpdateCurrLocs
+		s.AckForwards += partials[i].AckForwards
+		s.WirelessDrops += partials[i].WirelessDrops
+		s.WiredDrops += partials[i].WiredDrops
+		s.NetworkShed += partials[i].NetworkShed
+		s.Violations += partials[i].Violations
+		s.CrossFrames += partials[i].CrossFrames
+		s.Steps += partials[i].Steps
 	}
-	s.CrossFrames = pw.crossFrames
 	if s.Issued > 0 {
 		s.Ratio = float64(s.Delivered) / float64(s.Issued)
 	}
@@ -91,25 +117,34 @@ func (pw *World) IssuedRequests() [][]Issued {
 
 // MissingResults returns the scripted requests whose results never
 // reached their hosts — empty after a run with sufficient drain time,
-// per the delivery guarantee. Call after RunUntil.
+// per the delivery guarantee. Call after RunUntil. The scan
+// parallelizes over issuing regions (MHNode.Seen is a read of settled
+// post-run state through an index built up front), and the shards
+// concatenate in region order, so the report is deterministic.
 func (pw *World) MissingResults() []Issued {
-	var missing []Issued
+	// Merged host index, built serially: a host issued in one region may
+	// have migrated and finished the run owned by another.
+	nodes := make(map[ids.MH]*rdpcore.MHNode, len(pw.scripts))
 	for _, r := range pw.regions {
-		for _, iss := range r.issued {
-			if !pw.findMH(iss.MH).Seen(iss.Req) {
-				missing = append(missing, iss)
+		for id, h := range r.world.MHs {
+			nodes[id] = h
+		}
+	}
+	perRegion := make([][]Issued, len(pw.regions))
+	pw.parfor(len(pw.regions), func(i int) {
+		for _, iss := range pw.regions[i].issued {
+			h, ok := nodes[iss.MH]
+			if !ok {
+				panic(fmt.Sprintf("psim: %v not attached to any region", iss.MH))
+			}
+			if !h.Seen(iss.Req) {
+				perRegion[i] = append(perRegion[i], iss)
 			}
 		}
+	})
+	var missing []Issued
+	for _, m := range perRegion {
+		missing = append(missing, m...)
 	}
 	return missing
-}
-
-// findMH locates a host's node in whichever region currently owns it.
-func (pw *World) findMH(id ids.MH) *rdpcore.MHNode {
-	for _, r := range pw.regions {
-		if h, ok := r.world.MHs[id]; ok {
-			return h
-		}
-	}
-	panic(fmt.Sprintf("psim: %v not attached to any region", id))
 }

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestArenaRecyclesAcrossKernels: with an arena attached, retired
+// events land in the shared pool and a second kernel attached to the
+// same arena reuses them instead of allocating — the memory-footprint
+// property the parallel engine's per-worker arenas rely on.
+func TestArenaRecyclesAcrossKernels(t *testing.T) {
+	a := NewArena()
+	k1 := NewKernel(1)
+	k1.SetArena(a)
+	fn := func() {}
+	for i := 0; i < 32; i++ {
+		k1.Defer(time.Duration(i)*time.Microsecond, fn)
+	}
+	k1.Run()
+	if len(a.free) != 32 {
+		t.Fatalf("arena holds %d events after 32 retires, want 32", len(a.free))
+	}
+	if len(k1.free) != 0 {
+		t.Fatalf("kernel free list holds %d events despite arena", len(k1.free))
+	}
+
+	k2 := NewKernel(2)
+	k2.SetArena(a)
+	if avg := testing.AllocsPerRun(20, func() {
+		k2.Defer(time.Microsecond, fn)
+		if !k2.Step() {
+			panic("kernel empty")
+		}
+	}); avg != 0 {
+		t.Errorf("second kernel on warm arena: %.1f allocs/op, budget 0", avg)
+	}
+}
+
+// TestArenaDetach: SetArena(nil) returns the kernel to its private free
+// list; events retired afterwards stay local.
+func TestArenaDetach(t *testing.T) {
+	a := NewArena()
+	k := NewKernel(1)
+	k.SetArena(a)
+	k.Defer(0, func() {})
+	k.Run()
+	if len(a.free) != 1 {
+		t.Fatalf("arena holds %d events, want 1", len(a.free))
+	}
+	k.SetArena(nil)
+	k.Defer(0, func() {})
+	k.Run()
+	if len(k.free) != 1 || len(a.free) != 1 {
+		t.Fatalf("after detach: kernel free %d (want 1), arena free %d (want 1)", len(k.free), len(a.free))
+	}
+}
+
+// TestArenaPreservesDeterminism: recycling order is not observable —
+// the same program with and without an arena produces the same event
+// sequence and final clock.
+func TestArenaPreservesDeterminism(t *testing.T) {
+	runSeq := func(arena *Arena) ([]int, Time) {
+		k := NewKernel(9)
+		if arena != nil {
+			k.SetArena(arena)
+		}
+		var seq []int
+		var tick func(i int) func()
+		tick = func(i int) func() {
+			return func() {
+				seq = append(seq, i)
+				if i < 40 {
+					k.Defer(time.Duration(k.RNG().Intn(5))*time.Microsecond, tick(i+1))
+				}
+			}
+		}
+		k.Defer(0, tick(0))
+		k.Run()
+		return seq, k.Now()
+	}
+	plain, plainNow := runSeq(nil)
+	pooled, pooledNow := runSeq(NewArena())
+	if plainNow != pooledNow {
+		t.Fatalf("final clock differs: %v vs %v", plainNow, pooledNow)
+	}
+	if len(plain) != len(pooled) {
+		t.Fatalf("sequence lengths differ: %d vs %d", len(plain), len(pooled))
+	}
+	for i := range plain {
+		if plain[i] != pooled[i] {
+			t.Fatalf("sequence diverges at %d: %d vs %d", i, plain[i], pooled[i])
+		}
+	}
+}

@@ -40,11 +40,39 @@ type Kernel struct {
 	now     Time
 	queue   []*event // binary heap ordered by (at, seq)
 	free    []*event // retired events awaiting reuse
+	arena   *Arena   // optional shared free list; see SetArena
 	rng     *RNG
 	nextSeq uint64
 	stopped bool
 	steps   uint64
 }
+
+// Arena is a free list of retired events shared between kernels. Without
+// it every kernel pins its own burst high-water mark of event structs;
+// with an arena, kernels that execute on the same OS thread in turn —
+// the parallel engine's regions, dealt to one worker — recycle a single
+// pool sized to the worker's peak, not the sum of per-kernel peaks.
+//
+// An Arena is not safe for concurrent use: at most one kernel may have
+// it attached at a time, and the attach/detach calls must be serialized
+// with that kernel's stepping (the parallel engine attaches it around
+// each region's window step, on the worker goroutine).
+type Arena struct {
+	free []*event
+}
+
+// NewArena returns an empty shared free list.
+func NewArena() *Arena { return &Arena{} }
+
+// SetArena routes the kernel's event recycling through a: retired events
+// are returned to the arena, and new events draw from it before falling
+// back to the kernel's own free list (which drains first and then stays
+// empty while attached). Passing nil reverts to the private free list.
+// Events already queued are unaffected — an arena can be attached and
+// detached freely between steps. Recycling order is not observable:
+// events carry no identity beyond the seq the kernel assigns fresh on
+// every schedule, so runs with and without an arena are byte-identical.
+func (k *Kernel) SetArena(a *Arena) { k.arena = a }
 
 // NewKernel returns a kernel whose random source is seeded with seed.
 // Equal seeds yield identical simulations.
@@ -133,7 +161,14 @@ func (k *Kernel) schedule(at Time, fn func()) *event {
 		e = k.free[n-1]
 		k.free[n-1] = nil
 		k.free = k.free[:n-1]
-	} else {
+	} else if k.arena != nil {
+		if n := len(k.arena.free); n > 0 {
+			e = k.arena.free[n-1]
+			k.arena.free[n-1] = nil
+			k.arena.free = k.arena.free[:n-1]
+		}
+	}
+	if e == nil {
 		e = new(event)
 	}
 	e.at, e.seq, e.fn, e.canceled = at, k.nextSeq, fn, false
@@ -142,12 +177,16 @@ func (k *Kernel) schedule(at Time, fn func()) *event {
 	return e
 }
 
-// retire returns a popped event to the free list. canceled stays set so
-// a stale Timer holding the event sees it as spent until reuse bumps
-// its seq.
+// retire returns a popped event to the free list (the shared arena when
+// one is attached). canceled stays set so a stale Timer holding the
+// event sees it as spent until reuse bumps its seq.
 func (k *Kernel) retire(e *event) {
 	e.fn = nil
 	e.canceled = true
+	if k.arena != nil {
+		k.arena.free = append(k.arena.free, e)
+		return
+	}
 	k.free = append(k.free, e)
 }
 
