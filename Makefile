@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race race bench cover fmt vet check experiments examples explore viz bench-baseline bench-compare bench-profile
+.PHONY: all build test test-race race bench cover fmt vet check experiments examples explore viz bench-baseline bench-compare bench-profile bench-profile-test
 
 all: build test
 
@@ -51,12 +51,21 @@ bench-compare:
 	status=$$?; rm -rf /tmp/rdpbench.$$$$; exit $$status
 
 # Profile a quick evaluation pass: writes cpu.pprof and mem.pprof in the
-# repo root (gitignored) for `go tool pprof`. Stale profiles from an
-# earlier run are removed first, so a failed pass can't leave an old
+# repo root (gitignored) for `go tool pprof`. The script removes stale
+# profiles up front and, via an EXIT trap, removes partial ones when the
+# run errors or panics mid-experiment — a failed pass can't leave a
 # profile masquerading as this run's.
 bench-profile:
-	rm -f cpu.pprof mem.pprof
-	go run ./cmd/rdpbench -quick -cpuprofile cpu.pprof -memprofile mem.pprof
+	sh scripts/bench-profile.sh
+
+# Verify the bench-profile cleanup: a run that fails (unknown
+# experiment) must exit nonzero and leave no .prof files behind.
+bench-profile-test:
+	@if sh scripts/bench-profile.sh -exp does-not-exist >/dev/null 2>&1; then \
+		echo "bench-profile-test: failing run exited 0"; exit 1; fi
+	@if [ -e cpu.pprof ] || [ -e mem.pprof ]; then \
+		echo "bench-profile-test: stale profiles left behind"; exit 1; fi
+	@echo "bench-profile-test: ok"
 
 cover:
 	go test -cover ./...

@@ -3,6 +3,10 @@
 //
 //	benchcmp -base bench/baseline.json -new /tmp/current.json
 //
+// With -trajectory it instead reads every dated BENCH_*.json snapshot
+// under -bench-dir in stamp order and prints the per-experiment
+// headline-metric history — the growth record nothing rendered before.
+//
 // Allocation counts are gated strictly (the simulator is deterministic,
 // so allocs/op barely moves between runs of the same code), wall times
 // are reported but not gated by default (CI machines are noisy), and
@@ -16,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/benchcmp"
@@ -41,9 +47,14 @@ func run(args []string, stdout io.Writer) (int, error) {
 		metricTol  = fs.Float64("metric-tol", 0, "headline metric relative tolerance (0 = default 1e-9)")
 		regressRat = fs.Float64("regress-ratio", 0, "lower-is-better metric regression threshold (0 = default 1.10)")
 		only       = fs.String("only", "", "comma-separated experiments to compare (for smoke gates over a subset)")
+		trajectory = fs.Bool("trajectory", false, "print the headline-metric history across bench-dir's BENCH_*.json snapshots")
+		benchDir   = fs.String("bench-dir", "bench", "directory holding dated BENCH_*.json snapshots (with -trajectory)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
+	}
+	if *trajectory {
+		return runTrajectory(*benchDir, stdout)
 	}
 	if *newPath == "" {
 		return 2, fmt.Errorf("missing -new snapshot")
@@ -90,6 +101,43 @@ func run(args []string, stdout io.Writer) (int, error) {
 		return 1, nil
 	}
 	fmt.Fprintln(stdout, "PASS: within thresholds")
+	return 0, nil
+}
+
+// runTrajectory loads every BENCH_*.json under dir in name order (the
+// names embed UTC stamps, so lexical order is chronological) and prints
+// the per-experiment headline-metric history.
+func runTrajectory(dir string, stdout io.Writer) (int, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return 2, err
+	}
+	if len(paths) == 0 {
+		return 2, fmt.Errorf("no BENCH_*.json snapshots in %s", dir)
+	}
+	sort.Strings(paths)
+	var (
+		labels []string
+		snaps  []benchcmp.Snapshot
+	)
+	for _, p := range paths {
+		s, err := benchcmp.Load(p)
+		if err != nil {
+			return 2, err
+		}
+		label := s.Stamp
+		if label == "" {
+			label = strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "BENCH_"), ".json")
+		}
+		labels = append(labels, label)
+		snaps = append(snaps, s)
+	}
+	table, err := benchcmp.FormatTrajectory(labels, snaps)
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprintf(stdout, "headline-metric trajectory across %d snapshots in %s\n", len(snaps), dir)
+	fmt.Fprint(stdout, table)
 	return 0, nil
 }
 

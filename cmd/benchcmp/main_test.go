@@ -147,6 +147,45 @@ func TestOnlyFilterCommaList(t *testing.T) {
 	}
 }
 
+// TestTrajectoryMode renders the history table from dated snapshots in
+// a bench dir, without needing -new at all.
+func TestTrajectoryMode(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, "BENCH_20260101T000000Z.json", 1000)
+	p := filepath.Join(dir, "BENCH_20260201T000000Z.json")
+	if err := benchcmp.Save(p, benchcmp.Snapshot{
+		Stamp: "20260201T000000Z",
+		Entries: []benchcmp.Entry{
+			{Name: "e1", NsOp: 1e6, AllocsOp: 1000, MetricName: "ratio", Metric: 1},
+			{Name: "e16", NsOp: 1e6, AllocsOp: 1000, MetricName: "state_reduction_ratio", Metric: 13.5},
+		},
+	}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	// baseline.json must not count as a trajectory point.
+	writeSnap(t, dir, "baseline.json", 1000)
+
+	var out bytes.Buffer
+	code, err := run([]string{"-trajectory", "-bench-dir", dir}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("trajectory: code=%d err=%v\n%s", code, err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "2 snapshots") {
+		t.Errorf("baseline.json counted as a snapshot:\n%s", s)
+	}
+	for _, want := range []string{"e1", "e16", "state_reduction_ratio", "13.5", "-"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in trajectory output:\n%s", want, s)
+		}
+	}
+
+	out.Reset()
+	if _, err := run([]string{"-trajectory", "-bench-dir", t.TempDir()}, &out); err == nil {
+		t.Fatal("empty bench dir accepted")
+	}
+}
+
 func TestMissingNewFlag(t *testing.T) {
 	var out bytes.Buffer
 	if _, err := run(nil, &out); err == nil {

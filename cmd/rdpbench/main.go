@@ -1,5 +1,5 @@
 // Command rdpbench regenerates the evaluation of the RDP paper: every
-// experiment of DESIGN.md (E1–E15, E17, E18) as a printed table. Run all of them,
+// experiment of DESIGN.md (E1–E18) as a printed table. Run all of them,
 // or a subset:
 //
 //	rdpbench                 # everything, standard scale
@@ -73,6 +73,7 @@ var allRuns = []runSpec{
 	{"e14", printE14, metricE14},
 	{"e15", printE15, metricE15},
 	{"e15lat", printE15Lat, metricE15Lat},
+	{"e16", printE16, metricE16},
 	{"e17", printE17, metricE17},
 	{"e18", printE18, metricE18},
 }
@@ -104,7 +105,7 @@ var (
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("rdpbench", flag.ContinueOnError)
 	var (
-		expFlag = fs.String("exp", "all", "comma-separated experiments to run (e1..e15, e15lat, e17, e18, or all)")
+		expFlag = fs.String("exp", "all", "comma-separated experiments to run (e1..e18, e15lat, or all)")
 		seed    = fs.Int64("seed", 1, "random seed")
 		quick   = fs.Bool("quick", false, "reduced scale for a fast pass")
 		csv     = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
@@ -212,7 +213,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if len(sel) == 0 {
-		return fmt.Errorf("no experiment matched %q (use e1..e15, e15lat, e17, e18, or all)", *expFlag)
+		return fmt.Errorf("no experiment matched %q (use e1..e18, e15lat, or all)", *expFlag)
 	}
 
 	if *jsonOut {
@@ -668,6 +669,56 @@ func metricE15Lat(seed int64, sc experiments.Scale) (string, float64) {
 	return "p99_latency_ms", float64(w.P99Latency) / float64(time.Millisecond)
 }
 
+func printE16(r *renderer, seed int64, sc experiments.Scale) {
+	r.header("E16", "aggregated location state: O(hosts) → O(cells·servers) station memory at subscriber scale")
+	t := metrics.NewTable("mhs", "stations", "mode", "issued", "delivered", "dups", "missing",
+		"state-B/MSS", "outstanding", "signaling", "handoffs", "shared-proxies", "notifs",
+		"state-redux", "sig-redux", "peak-rss", "wall")
+	for _, row := range experiments.E16Aggregation(seed, sc) {
+		mode := "faithful"
+		if row.Aggregated {
+			mode = "aggregated"
+		}
+		redux, sig := "-", "-"
+		if row.Aggregated && row.Reduction != 0 {
+			redux, sig = f(row.Reduction, 1)+"x", f(row.SigReduction, 1)+"x"
+		}
+		t.AddRow(strconv.Itoa(row.MHs), strconv.Itoa(row.Stations), mode,
+			d(row.Issued), d(row.Delivered), d(row.Duplicates), strconv.Itoa(row.Missing),
+			f(row.PerMSS, 0), d(row.Outstanding), d(row.Signaling), d(row.Handoffs),
+			d(row.SharedProxies), d(row.Notifications), redux, sig,
+			metrics.FormatBytes(row.PeakRSS, row.PeakRSSOK), dur(row.Wall))
+	}
+	r.emit(t)
+}
+
+// metricE16 is the snapshot headline: the minimum guarded state
+// reduction across the paired tiers. Each pair's guard (computed by the
+// sweep itself) licenses the ratio only when both representations
+// delivered exactly the same results with zero losses and duplicates,
+// and the unpaired 1M top tier must be equally clean — any violation
+// forces -1, so the e16-smoke benchcmp gate fails on a representation
+// that cheats on delivery, not just one that stops shrinking state.
+// benchcmp registers state_reduction_ratio as DirHigherBetter.
+func metricE16(seed int64, sc experiments.Scale) (string, float64) {
+	min := -1.0
+	for _, row := range experiments.E16Aggregation(seed, sc) {
+		if row.Missing != 0 || row.Duplicates != 0 {
+			return "state_reduction_ratio", -1
+		}
+		if !row.Aggregated {
+			continue
+		}
+		if row.Reduction < 0 {
+			return "state_reduction_ratio", -1
+		}
+		if row.Reduction > 0 && (min < 0 || row.Reduction < min) {
+			min = row.Reduction
+		}
+	}
+	return "state_reduction_ratio", min
+}
+
 func printE17(r *renderer, seed int64, sc experiments.Scale) {
 	r.header("E17", "disconnected operation: offline queue + atomic batches + station result cache")
 	t := metrics.NewTable("disc-dur", "crashes", "migration", "issued", "delivered", "lost", "replayed",
@@ -748,13 +799,10 @@ func printE14(r *renderer, seed int64, sc experiments.Scale) {
 			strconv.Itoa(row.Workers), fmt.Sprint(row.Steal), strconv.Itoa(row.Cores),
 			d(row.Issued), d(row.Delivered), f(row.Ratio, 4), d(row.Duplicates),
 			strconv.Itoa(row.Missing), d(row.CrossFrames), dur(row.Build), dur(row.Wall),
-			f(row.Speedup, 2), mib(row.PeakRSS), fmt.Sprint(row.HeadlineEq))
+			f(row.Speedup, 2), metrics.FormatBytes(row.PeakRSS, row.PeakRSSOK), fmt.Sprint(row.HeadlineEq))
 	}
 	r.emit(t)
 }
-
-// mib renders a byte count as mebibytes for the E14 peak-RSS column.
-func mib(v uint64) string { return f(float64(v)/(1<<20), 0) + "MiB" }
 
 // metricE14 is the snapshot headline: total delivered across the sweep,
 // forced to -1 whenever a row breaks full-Summary equality with its

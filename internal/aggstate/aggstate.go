@@ -1,0 +1,297 @@
+// Package aggstate provides the compact membership structure behind
+// E16's aggregated location state: a sorted set of uint32 keys (mobile
+// host identifiers) held in roaring-style chunked containers, plus a
+// delta-encoded wire form for shipping memberships inside aggregate
+// protocol messages and checkpoint records.
+//
+// Layout: keys are split into a 16-bit chunk prefix and a 16-bit low
+// part. Each chunk holds its low parts either as a sorted uint16 array
+// (sparse) or as a 65536-bit bitmap (dense); containers promote at
+// arrayMax members and demote again when churn empties them out, so
+// MemBytes tracks the true resident cost of a membership whatever its
+// density. Iteration is always in ascending key order, which keeps
+// every consumer deterministic.
+package aggstate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+const (
+	// arrayMax is the promotion threshold: a chunk with more members
+	// becomes a bitmap (8 KiB), the break-even point against a sorted
+	// uint16 array of the same cardinality.
+	arrayMax = 4096
+	// demoteMin is the demotion threshold: a bitmap chunk that shrinks
+	// below it converts back to an array, with hysteresis against
+	// promote/demote flapping at the boundary.
+	demoteMin = 2048
+	// bmWords is the bitmap length in 64-bit words (65536 bits).
+	bmWords = 65536 / 64
+)
+
+// Set is a compact sorted set of uint32 keys. The zero value is an
+// empty set ready for use.
+type Set struct {
+	chunks []*chunk
+	n      int
+}
+
+type chunk struct {
+	hi  uint16
+	arr []uint16 // sorted low parts; nil once promoted
+	bm  []uint64 // bitmap of low parts; nil while an array
+}
+
+func split(v uint32) (hi, lo uint16) { return uint16(v >> 16), uint16(v) }
+
+// find locates the chunk index for hi, and whether it exists.
+func (s *Set) find(hi uint16) (int, bool) {
+	i := sort.Search(len(s.chunks), func(i int) bool { return s.chunks[i].hi >= hi })
+	return i, i < len(s.chunks) && s.chunks[i].hi == hi
+}
+
+// Add inserts v, reporting whether the set changed.
+func (s *Set) Add(v uint32) bool {
+	hi, lo := split(v)
+	i, ok := s.find(hi)
+	if !ok {
+		c := &chunk{hi: hi, arr: []uint16{lo}}
+		s.chunks = append(s.chunks, nil)
+		copy(s.chunks[i+1:], s.chunks[i:])
+		s.chunks[i] = c
+		s.n++
+		return true
+	}
+	c := s.chunks[i]
+	if c.bm != nil {
+		w, b := lo>>6, uint64(1)<<(lo&63)
+		if c.bm[w]&b != 0 {
+			return false
+		}
+		c.bm[w] |= b
+		s.n++
+		return true
+	}
+	j := sort.Search(len(c.arr), func(j int) bool { return c.arr[j] >= lo })
+	if j < len(c.arr) && c.arr[j] == lo {
+		return false
+	}
+	c.arr = append(c.arr, 0)
+	copy(c.arr[j+1:], c.arr[j:])
+	c.arr[j] = lo
+	s.n++
+	if len(c.arr) > arrayMax {
+		c.promote()
+	}
+	return true
+}
+
+// Remove deletes v, reporting whether the set changed. An emptied chunk
+// is released entirely.
+func (s *Set) Remove(v uint32) bool {
+	hi, lo := split(v)
+	i, ok := s.find(hi)
+	if !ok {
+		return false
+	}
+	c := s.chunks[i]
+	if c.bm != nil {
+		w, b := lo>>6, uint64(1)<<(lo&63)
+		if c.bm[w]&b == 0 {
+			return false
+		}
+		c.bm[w] &^= b
+		s.n--
+		if n := c.card(); n == 0 {
+			s.dropChunk(i)
+		} else if n < demoteMin {
+			c.demote()
+		}
+		return true
+	}
+	j := sort.Search(len(c.arr), func(j int) bool { return c.arr[j] >= lo })
+	if j >= len(c.arr) || c.arr[j] != lo {
+		return false
+	}
+	c.arr = append(c.arr[:j], c.arr[j+1:]...)
+	s.n--
+	if len(c.arr) == 0 {
+		s.dropChunk(i)
+	}
+	return true
+}
+
+func (s *Set) dropChunk(i int) {
+	copy(s.chunks[i:], s.chunks[i+1:])
+	s.chunks[len(s.chunks)-1] = nil
+	s.chunks = s.chunks[:len(s.chunks)-1]
+}
+
+// Contains reports membership of v.
+func (s *Set) Contains(v uint32) bool {
+	hi, lo := split(v)
+	i, ok := s.find(hi)
+	if !ok {
+		return false
+	}
+	c := s.chunks[i]
+	if c.bm != nil {
+		return c.bm[lo>>6]&(uint64(1)<<(lo&63)) != 0
+	}
+	j := sort.Search(len(c.arr), func(j int) bool { return c.arr[j] >= lo })
+	return j < len(c.arr) && c.arr[j] == lo
+}
+
+// Len returns the number of members.
+func (s *Set) Len() int { return s.n }
+
+// ForEach visits every member in ascending order.
+func (s *Set) ForEach(fn func(uint32)) {
+	for _, c := range s.chunks {
+		base := uint32(c.hi) << 16
+		if c.bm != nil {
+			for w, word := range c.bm {
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					fn(base | uint32(w<<6+b))
+					word &= word - 1
+				}
+			}
+			continue
+		}
+		for _, lo := range c.arr {
+			fn(base | uint32(lo))
+		}
+	}
+}
+
+// Members returns the sorted member slice (convenience for tests and
+// small sets; allocates).
+func (s *Set) Members() []uint32 {
+	out := make([]uint32, 0, s.n)
+	s.ForEach(func(v uint32) { out = append(out, v) })
+	return out
+}
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	out := &Set{n: s.n, chunks: make([]*chunk, len(s.chunks))}
+	for i, c := range s.chunks {
+		cc := &chunk{hi: c.hi}
+		if c.bm != nil {
+			cc.bm = append([]uint64(nil), c.bm...)
+		} else {
+			cc.arr = append([]uint16(nil), c.arr...)
+		}
+		out.chunks[i] = cc
+	}
+	return out
+}
+
+// MemBytes estimates the resident heap cost of the set: container
+// headers plus backing storage at capacity. The model matches the
+// StateBytes accounting in rdpcore (documented constants, not
+// unsafe.Sizeof probing) so experiment rows are reproducible across
+// architectures.
+func (s *Set) MemBytes() int {
+	// Set header (slice header + count) plus per-chunk pointer.
+	b := 32 + 8*cap(s.chunks)
+	for _, c := range s.chunks {
+		b += 56 // chunk struct: hi + two slice headers, rounded
+		if c.bm != nil {
+			b += 8 * bmWords
+		} else {
+			b += 2 * cap(c.arr)
+		}
+	}
+	return b
+}
+
+func (c *chunk) promote() {
+	bm := make([]uint64, bmWords)
+	for _, lo := range c.arr {
+		bm[lo>>6] |= uint64(1) << (lo & 63)
+	}
+	c.bm, c.arr = bm, nil
+}
+
+func (c *chunk) demote() {
+	arr := make([]uint16, 0, demoteMin)
+	for w, word := range c.bm {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			arr = append(arr, uint16(w<<6+b))
+			word &= word - 1
+		}
+	}
+	c.arr, c.bm = arr, nil
+}
+
+func (c *chunk) card() int {
+	n := 0
+	for _, w := range c.bm {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// AppendDelta appends the set's delta-encoded wire form to dst: a
+// uvarint member count followed by uvarint gaps between consecutive
+// (ascending) members — the first gap is the first member itself, every
+// later gap is strictly positive. Dense memberships of sequential host
+// identifiers collapse to one byte per member.
+func (s *Set) AppendDelta(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(s.n))
+	prev := uint64(0)
+	first := true
+	s.ForEach(func(v uint32) {
+		d := uint64(v) - prev
+		if first {
+			d = uint64(v)
+			first = false
+		}
+		dst = binary.AppendUvarint(dst, d)
+		prev = uint64(v)
+	})
+	return dst
+}
+
+// DecodeDelta parses a delta-encoded membership produced by
+// AppendDelta. It rejects short input, non-monotonic gaps and values
+// past the uint32 range, so it is safe on untrusted bytes.
+func DecodeDelta(b []byte) (*Set, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("aggstate: bad member count")
+	}
+	if count > uint64(len(b))*8 { // each member needs >= 1 bit of input
+		return nil, fmt.Errorf("aggstate: member count %d exceeds input", count)
+	}
+	b = b[n:]
+	s := &Set{}
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		d, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("aggstate: truncated member %d", i)
+		}
+		b = b[n:]
+		v := prev + d
+		if i > 0 && d == 0 {
+			return nil, fmt.Errorf("aggstate: non-increasing member %d", i)
+		}
+		if v > 1<<32-1 {
+			return nil, fmt.Errorf("aggstate: member %d out of range", i)
+		}
+		prev = v
+		s.Add(uint32(v))
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("aggstate: %d trailing bytes", len(b))
+	}
+	return s, nil
+}

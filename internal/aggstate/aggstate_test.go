@@ -1,0 +1,158 @@
+package aggstate
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestSetAgainstMapModel churns a Set against a map reference across
+// the array/bitmap promotion boundary in both directions.
+func TestSetAgainstMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	s := &Set{}
+	model := map[uint32]bool{}
+	for i := 0; i < 200000; i++ {
+		// Two dense chunks plus a sparse tail exercises promotion,
+		// demotion and chunk drop.
+		v := uint32(rng.Intn(3 * 65536))
+		if rng.Intn(3) == 0 {
+			if s.Remove(v) != model[v] {
+				t.Fatalf("Remove(%d) changed=%v, model=%v", v, !model[v], model[v])
+			}
+			delete(model, v)
+		} else {
+			if s.Add(v) == model[v] {
+				t.Fatalf("Add(%d) changed=%v, model has=%v", v, !model[v], model[v])
+			}
+			model[v] = true
+		}
+	}
+	if s.Len() != len(model) {
+		t.Fatalf("Len=%d, model=%d", s.Len(), len(model))
+	}
+	for v := range model {
+		if !s.Contains(v) {
+			t.Fatalf("missing %d", v)
+		}
+	}
+	prev := int64(-1)
+	count := 0
+	s.ForEach(func(v uint32) {
+		if int64(v) <= prev {
+			t.Fatalf("iteration not ascending: %d after %d", v, prev)
+		}
+		if !model[v] {
+			t.Fatalf("phantom member %d", v)
+		}
+		prev = int64(v)
+		count++
+	})
+	if count != len(model) {
+		t.Fatalf("iterated %d members, model has %d", count, len(model))
+	}
+}
+
+// TestPromoteDemote pins the container transitions and that MemBytes
+// shrinks again after heavy removal.
+func TestPromoteDemote(t *testing.T) {
+	s := &Set{}
+	for v := uint32(0); v <= arrayMax; v++ {
+		s.Add(v)
+	}
+	if s.chunks[0].bm == nil {
+		t.Fatalf("chunk not promoted at %d members", s.Len())
+	}
+	dense := s.MemBytes()
+	for v := uint32(100); v <= arrayMax; v++ {
+		s.Remove(v)
+	}
+	if s.chunks[0].bm != nil {
+		t.Fatalf("chunk not demoted at %d members", s.Len())
+	}
+	if got := s.MemBytes(); got >= dense {
+		t.Fatalf("MemBytes did not shrink after demotion: %d >= %d", got, dense)
+	}
+	for v := uint32(0); v < 100; v++ {
+		s.Remove(v)
+	}
+	if s.Len() != 0 || len(s.chunks) != 0 {
+		t.Fatalf("emptied set retains chunks: len=%d chunks=%d", s.Len(), len(s.chunks))
+	}
+}
+
+// TestDeltaRoundTrip checks encode/decode identity on assorted shapes.
+func TestDeltaRoundTrip(t *testing.T) {
+	shapes := [][]uint32{
+		nil,
+		{0},
+		{0, 1, 2, 3, 4},
+		{7, 70, 700, 70000, 7000000, 4294967295},
+	}
+	rng := rand.New(rand.NewSource(7))
+	dense := make([]uint32, 0, 9000)
+	seen := map[uint32]bool{}
+	for len(dense) < 9000 {
+		v := uint32(rng.Intn(20000))
+		if !seen[v] {
+			seen[v] = true
+			dense = append(dense, v)
+		}
+	}
+	shapes = append(shapes, dense)
+	for i, vs := range shapes {
+		s := &Set{}
+		for _, v := range vs {
+			s.Add(v)
+		}
+		enc := s.AppendDelta(nil)
+		got, err := DecodeDelta(enc)
+		if err != nil {
+			t.Fatalf("shape %d: decode: %v", i, err)
+		}
+		if got.Len() != s.Len() {
+			t.Fatalf("shape %d: len %d != %d", i, got.Len(), s.Len())
+		}
+		if !bytes.Equal(got.AppendDelta(nil), enc) {
+			t.Fatalf("shape %d: re-encode differs", i)
+		}
+	}
+}
+
+// TestDecodeDeltaRejects feeds malformed inputs; none may decode.
+func TestDecodeDeltaRejects(t *testing.T) {
+	bad := [][]byte{
+		{},                 // no count
+		{2, 1},             // truncated members
+		{2, 1, 0},          // zero gap after first member
+		{3, 1, 1, 1, 9},    // trailing bytes
+		{255, 255, 255, 1}, // count exceeds input
+		{2, 255, 255, 255, 255, 255, 255, 255, 255, 255, 1, 1}, // out of uint32 range
+	}
+	for i, b := range bad {
+		if s, err := DecodeDelta(b); err == nil {
+			t.Fatalf("input %d decoded to %d members, want error", i, s.Len())
+		}
+	}
+}
+
+// TestCloneIndependence verifies Clone shares no storage.
+func TestCloneIndependence(t *testing.T) {
+	s := &Set{}
+	for v := uint32(0); v < 5000; v++ {
+		s.Add(v * 3)
+	}
+	c := s.Clone()
+	s.Remove(3)
+	s.Add(1)
+	if !c.Contains(3) || c.Contains(1) {
+		t.Fatalf("clone shares storage with original")
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := &Set{}
+	for i := 0; i < b.N; i++ {
+		s.Add(uint32(i))
+	}
+}

@@ -90,8 +90,9 @@ type Options struct {
 	// p99_latency_ms as DirLowerBetter.
 	Directions map[string]Direction
 	// RegressRatio fails a DirLowerBetter metric whose value exceeds
-	// baseline by this factor. Zero disables the gate; DefaultOptions
-	// sets 1.10.
+	// baseline by this factor, and a DirHigherBetter metric that falls
+	// below baseline divided by it. Zero disables the gate;
+	// DefaultOptions sets 1.10.
 	RegressRatio float64
 }
 
@@ -106,15 +107,22 @@ const (
 	// freely (an improvement), and fails when it exceeds baseline by
 	// RegressRatio. Right for latency-like measurements.
 	DirLowerBetter
+	// DirHigherBetter is the mirror image: the metric may grow freely,
+	// and fails when it falls below baseline divided by RegressRatio.
+	// Right for reduction ratios and throughput-like measurements.
+	DirHigherBetter
 )
 
 // DefaultOptions returns the thresholds used by make bench-compare.
 func DefaultOptions() Options {
 	return Options{
-		AllocRatio:   1.25,
-		NsRatio:      0,
-		MetricTol:    1e-9,
-		Directions:   map[string]Direction{"p99_latency_ms": DirLowerBetter},
+		AllocRatio: 1.25,
+		NsRatio:    0,
+		MetricTol:  1e-9,
+		Directions: map[string]Direction{
+			"p99_latency_ms":        DirLowerBetter,
+			"state_reduction_ratio": DirHigherBetter,
+		},
 		RegressRatio: 1.10,
 	}
 }
@@ -188,6 +196,15 @@ func Compare(base, cur Snapshot, o Options) (findings []Finding, failed bool) {
 			// A negative current value is a guard sentinel (-1), never a
 			// fast run; it must not slip under a lower-is-better gate.
 			if (o.RegressRatio > 0 && c.Metric > b.Metric*o.RegressRatio) ||
+				(c.Metric < 0 && b.Metric >= 0) {
+				mf.Bad, failed = true, true
+			}
+		case DirHigherBetter:
+			mf.Limit = o.RegressRatio
+			// The -1 guard sentinel is caught by the shrink test itself
+			// (it is below any positive baseline's floor), but keep the
+			// explicit check for a zero baseline.
+			if (o.RegressRatio > 0 && c.Metric*o.RegressRatio < b.Metric) ||
 				(c.Metric < 0 && b.Metric >= 0) {
 				mf.Bad, failed = true, true
 			}

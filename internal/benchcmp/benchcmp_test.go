@@ -136,6 +136,59 @@ func TestLowerBetterGuardSentinelFails(t *testing.T) {
 	}
 }
 
+func ratioSnap(r float64) Snapshot {
+	return Snapshot{
+		Stamp: "base",
+		Entries: []Entry{
+			{Name: "e16", NsOp: 1e6, AllocsOp: 100, MetricName: "state_reduction_ratio", Metric: r},
+		},
+	}
+}
+
+// TestHigherBetterImprovementPasses: a registered higher-is-better
+// metric may grow arbitrarily without tripping the exact-drift gate.
+func TestHigherBetterImprovementPasses(t *testing.T) {
+	if findings, failed := Compare(ratioSnap(12), ratioSnap(40), DefaultOptions()); failed {
+		t.Fatalf("reduction-ratio improvement treated as regression: %+v", findings)
+	}
+}
+
+// TestHigherBetterNoisePasses: shrinkage within RegressRatio is
+// tolerated.
+func TestHigherBetterNoisePasses(t *testing.T) {
+	if findings, failed := Compare(ratioSnap(12), ratioSnap(12/1.05), DefaultOptions()); failed {
+		t.Fatalf("-5%% reduction ratio under the 1.10 threshold failed: %+v", findings)
+	}
+}
+
+// TestHigherBetterRegressionFails: shrinkage past RegressRatio fails.
+func TestHigherBetterRegressionFails(t *testing.T) {
+	findings, failed := Compare(ratioSnap(12), ratioSnap(12/1.5), DefaultOptions())
+	if !failed {
+		t.Fatal("-33% reduction ratio regression not caught")
+	}
+	var hit bool
+	for _, f := range findings {
+		if f.Name == "e16" && f.Field == "metric" && f.Bad {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("regressed metric not flagged: %+v", findings)
+	}
+}
+
+// TestHigherBetterGuardSentinelFails: the -1 guard value fails against
+// both a positive and a zero baseline.
+func TestHigherBetterGuardSentinelFails(t *testing.T) {
+	if _, failed := Compare(ratioSnap(12), ratioSnap(-1), DefaultOptions()); !failed {
+		t.Fatal("-1 guard sentinel passed the higher-is-better gate")
+	}
+	if _, failed := Compare(ratioSnap(0), ratioSnap(-1), DefaultOptions()); !failed {
+		t.Fatal("-1 guard sentinel passed against a zero baseline")
+	}
+}
+
 // TestUnlistedMetricStaysExact: direction flags apply by metric name;
 // everything else keeps the near-exact determinism gate.
 func TestUnlistedMetricStaysExact(t *testing.T) {

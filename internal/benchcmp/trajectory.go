@@ -1,0 +1,74 @@
+package benchcmp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTrajectory renders the per-experiment headline-metric history
+// across an ordered snapshot sequence (oldest first) as a plain-text
+// table: one row per experiment, one column per snapshot. labels names
+// the columns (typically the BENCH_<stamp>.json file stamps) and must
+// be the same length as snaps.
+//
+// Rows appear in first-appearance order across the sequence, so the
+// table reads as the repo's growth history: experiments added later
+// show "-" in the columns before they existed. A metric whose name
+// changed between snapshots keeps one row per name — a rename is a
+// visible discontinuity, not a silent splice.
+func FormatTrajectory(labels []string, snaps []Snapshot) (string, error) {
+	if len(labels) != len(snaps) {
+		return "", fmt.Errorf("benchcmp: %d labels for %d snapshots", len(labels), len(snaps))
+	}
+	if len(snaps) == 0 {
+		return "", fmt.Errorf("benchcmp: no snapshots")
+	}
+	type rowKey struct{ name, metric string }
+	var order []rowKey
+	seen := map[rowKey]bool{}
+	cells := map[rowKey][]string{}
+	for si, s := range snaps {
+		for _, e := range s.Entries {
+			k := rowKey{e.Name, e.MetricName}
+			if !seen[k] {
+				seen[k] = true
+				order = append(order, k)
+				cells[k] = make([]string, len(snaps))
+			}
+			cells[k][si] = fmt.Sprintf("%.6g", e.Metric)
+		}
+	}
+
+	header := append([]string{"exp", "metric"}, labels...)
+	rows := [][]string{header}
+	for _, k := range order {
+		row := []string{k.name, k.metric}
+		for _, c := range cells[k] {
+			if c == "" {
+				c = "-"
+			}
+			row = append(row, c)
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,55 @@
+package benchcmp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFormatTrajectory renders a three-snapshot history where one
+// experiment appears mid-sequence, and checks row order, the "-"
+// placeholder and the metric values.
+func TestFormatTrajectory(t *testing.T) {
+	snaps := []Snapshot{
+		{Entries: []Entry{
+			{Name: "e1", MetricName: "min_delivery_ratio", Metric: 1},
+		}},
+		{Entries: []Entry{
+			{Name: "e1", MetricName: "min_delivery_ratio", Metric: 1},
+			{Name: "e16", MetricName: "state_reduction_ratio", Metric: 11.5},
+		}},
+		{Entries: []Entry{
+			{Name: "e1", MetricName: "min_delivery_ratio", Metric: 0.999},
+			{Name: "e16", MetricName: "state_reduction_ratio", Metric: 14.25},
+		}},
+	}
+	out, err := FormatTrajectory([]string{"a", "b", "c"}, snaps)
+	if err != nil {
+		t.Fatalf("format: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 rows:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "exp") || !strings.Contains(lines[0], "a") {
+		t.Errorf("bad header: %q", lines[0])
+	}
+	e1 := strings.Fields(lines[1])
+	if e1[0] != "e1" || e1[2] != "1" || e1[4] != "0.999" {
+		t.Errorf("bad e1 row: %q", lines[1])
+	}
+	e16 := strings.Fields(lines[2])
+	if e16[0] != "e16" || e16[2] != "-" || e16[3] != "11.5" || e16[4] != "14.25" {
+		t.Errorf("bad e16 row: %q", lines[2])
+	}
+}
+
+// TestFormatTrajectoryRejects pins the error cases: empty sequence and
+// mismatched label count.
+func TestFormatTrajectoryRejects(t *testing.T) {
+	if _, err := FormatTrajectory(nil, nil); err == nil {
+		t.Fatal("empty sequence accepted")
+	}
+	if _, err := FormatTrajectory([]string{"a"}, []Snapshot{{}, {}}); err == nil {
+		t.Fatal("label/snapshot length mismatch accepted")
+	}
+}

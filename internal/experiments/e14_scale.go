@@ -1,13 +1,13 @@
 package experiments
 
 import (
-	"os"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/metrics"
 	"repro/internal/psim"
 )
 
@@ -72,8 +72,11 @@ type E14Row struct {
 	Speedup float64
 	// PeakRSS is the process resident-set high-water mark (bytes) after
 	// the row — monotone across rows, so the tier's last row bounds the
-	// whole sweep.
-	PeakRSS uint64
+	// whole sweep. PeakRSSOK is false where the probe is unavailable
+	// (no procfs); the table then prints an explicit "n/a" instead of a
+	// lookalike number from a different scale.
+	PeakRSS   uint64
+	PeakRSSOK bool
 	// HeadlineEq reports whether the row's full Summary — every counter,
 	// not just issued/delivered — equals the tier's Workers=1 row. The
 	// partition is fixed, so equality is exact by the engine's
@@ -115,6 +118,7 @@ func E14Run(seed int64, tier E14Tier, workers int, steal bool) (E14Row, psim.Sum
 	pw.RunUntil(tier.Horizon + tier.Horizon/2)
 	wall := time.Since(t0)
 
+	rss, rssOK := metrics.PeakRSS()
 	s := pw.Summary()
 	return E14Row{
 		E14Tier:     tier,
@@ -131,7 +135,8 @@ func E14Run(seed int64, tier E14Tier, workers int, steal bool) (E14Row, psim.Sum
 		Steps:       s.Steps,
 		Build:       build,
 		Wall:        wall,
-		PeakRSS:     peakRSS(),
+		PeakRSS:     rss,
+		PeakRSSOK:   rssOK,
 	}, s
 }
 
@@ -225,26 +230,4 @@ func E14Scale(seed int64, sc Scale, tiers []E14Tier, workers []int, steal bool) 
 		}
 	}
 	return out
-}
-
-// peakRSS returns the process resident-set high-water mark in bytes
-// (VmHWM from /proc/self/status), falling back to the Go runtime's
-// total OS-obtained memory where procfs is unavailable.
-func peakRSS() uint64 {
-	if b, err := os.ReadFile("/proc/self/status"); err == nil {
-		for _, line := range strings.Split(string(b), "\n") {
-			if !strings.HasPrefix(line, "VmHWM:") {
-				continue
-			}
-			fields := strings.Fields(line)
-			if len(fields) >= 2 {
-				if kb, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
-					return kb * 1024
-				}
-			}
-		}
-	}
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	return ms.Sys
 }

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// PeakRSS returns the process resident-set high-water mark in bytes
+// (VmHWM from /proc/self/status) and whether the probe is available on
+// this platform. Callers must treat ok=false as "unavailable" and say
+// so (print "n/a"), rather than substituting a lookalike number: the
+// Go runtime's own counters measure the heap, not the process, and a
+// silent fallback would let an experiment table mix the two scales on
+// different machines without any visible marker.
+func PeakRSS() (bytes uint64, ok bool) {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0, false
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb * 1024, true
+	}
+	return 0, false
+}
+
+// FormatBytes renders a byte count as a human-readable quantity for
+// experiment tables ("2.9GB", "412MB"), or "n/a" when ok is false —
+// the explicit unavailable marker for platforms without a peak-RSS
+// probe.
+func FormatBytes(bytes uint64, ok bool) string {
+	if !ok {
+		return "n/a"
+	}
+	const (
+		kb = 1 << 10
+		mb = 1 << 20
+		gb = 1 << 30
+	)
+	switch {
+	case bytes >= gb:
+		return strconv.FormatFloat(float64(bytes)/gb, 'f', 1, 64) + "GB"
+	case bytes >= mb:
+		return strconv.FormatFloat(float64(bytes)/mb, 'f', 0, 64) + "MB"
+	case bytes >= kb:
+		return strconv.FormatFloat(float64(bytes)/kb, 'f', 0, 64) + "KB"
+	default:
+		return strconv.FormatUint(bytes, 10) + "B"
+	}
+}

@@ -219,6 +219,10 @@ func decodeIntoReencode(m Message, enc []byte) ([]byte, error) {
 		return viaDecodeInto[WtpData](enc)
 	case WtpAck:
 		return viaDecodeInto[WtpAck](enc)
+	case GroupUpdateLoc:
+		return viaDecodeInto[GroupUpdateLoc](enc)
+	case GroupAckForward:
+		return viaDecodeInto[GroupAckForward](enc)
 	}
 	return nil, ErrBadKind
 }

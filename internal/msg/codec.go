@@ -303,6 +303,17 @@ func (e *encoder) message(m Message) error {
 		for _, s := range v.Sacks {
 			e.u64(s)
 		}
+	case GroupUpdateLoc:
+		e.proxy(v.Proxy)
+		e.u32(uint32(v.NewLoc))
+		e.bytes(v.Members)
+	case GroupAckForward:
+		e.proxy(v.Proxy)
+		e.bytes(v.Members)
+		e.u32(uint32(len(v.Seqs)))
+		for _, s := range v.Seqs {
+			e.u32(s)
+		}
 	default:
 		return fmt.Errorf("%w: %T", ErrBadKind, m)
 	}
@@ -596,6 +607,22 @@ func decWtpAck(d *decoder) WtpAck {
 	return a
 }
 
+func decGroupUpdateLoc(d *decoder) GroupUpdateLoc {
+	return GroupUpdateLoc{Proxy: d.proxy(), NewLoc: ids.MSS(d.u32()), Members: d.bytes()}
+}
+
+func decGroupAckForward(d *decoder) GroupAckForward {
+	g := GroupAckForward{Proxy: d.proxy(), Members: d.bytes()}
+	n := d.len()
+	if n > 0 && d.err == nil {
+		g.Seqs = make([]uint32, 0, n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		g.Seqs = append(g.Seqs, d.u32())
+	}
+	return g
+}
+
 // Decode parses a message previously produced by Encode. It rejects
 // unknown versions and kinds, truncated input, and trailing bytes. All
 // variable-length fields are copied, so the result does not retain b.
@@ -699,6 +726,10 @@ func Decode(b []byte) (Message, error) {
 		m = f
 	case KindWtpAck:
 		m = decWtpAck(&d)
+	case KindGroupUpdateLoc:
+		m = decGroupUpdateLoc(&d)
+	case KindGroupAckForward:
+		m = decGroupAckForward(&d)
 	default:
 		if d.err != nil {
 			return nil, d.err
@@ -829,6 +860,10 @@ func DecodeInto[M Message](b []byte, dst *M) error {
 		*p = f
 	case *WtpAck:
 		*p = decWtpAck(&d)
+	case *GroupUpdateLoc:
+		*p = decGroupUpdateLoc(&d)
+	case *GroupAckForward:
+		*p = decGroupAckForward(&d)
 	default:
 		return fmt.Errorf("%w: %T", ErrBadKind, dst)
 	}

@@ -81,6 +81,8 @@ func sampleMessages() []Message {
 			AckMH{MH: 3, Req: req},
 		}},
 		WtpAck{Epoch: 1, Cum: 8, Sacks: []uint64{10, 12}},
+		GroupUpdateLoc{Proxy: prx, NewLoc: 4, Members: []byte{3, 1, 1, 1}},
+		GroupAckForward{Proxy: prx, Members: []byte{2, 3, 1}, Seqs: []uint32{7, 9}},
 	}
 }
 

@@ -93,6 +93,15 @@ func FuzzDecodeLinkFrames(f *testing.F) {
 		WtpData{Epoch: 2, Seq: 0},
 		WtpAck{Epoch: 1, Cum: 3, Sacks: []uint64{5, 7, 9}},
 		WtpAck{Epoch: 2, Cum: 0},
+		// Aggregated-state messages (E16): a coalesced hand-off location
+		// update and a batched forwarded-result ack, each carrying a
+		// delta-encoded member set (here the literal bytes for {1,2,3}),
+		// plus empty-set variants, so the opaque-membership codec paths
+		// are fuzz-covered from day one.
+		GroupUpdateLoc{Proxy: ids.ProxyID{Host: 1, Seq: 1<<31 | 2}, NewLoc: 5, Members: []byte{3, 1, 1, 1}},
+		GroupUpdateLoc{Proxy: ids.ProxyID{Host: 1, Seq: 1<<31 | 2}, NewLoc: 6},
+		GroupAckForward{Proxy: ids.ProxyID{Host: 1, Seq: 1<<31 | 2}, Members: []byte{3, 1, 1, 1}, Seqs: []uint32{4, 5, 6}},
+		GroupAckForward{Proxy: ids.ProxyID{Host: 2, Seq: 1<<31 | 1}},
 	}
 	for _, m := range seeds {
 		b, err := Encode(m)

@@ -115,6 +115,13 @@ const (
 	KindWtpData
 	KindWtpAck
 
+	// Aggregated location state (E16): batched membership updates for
+	// shared group proxies — a coalesced hand-off location update and a
+	// coalesced forwarded-result acknowledgment, each carrying a
+	// delta-encoded member set instead of one message per mobile host.
+	KindGroupUpdateLoc
+	KindGroupAckForward
+
 	kindSentinel // one past the last valid kind
 )
 
@@ -162,6 +169,8 @@ var kindNames = [...]string{
 	KindReclaimMemo:      "reclaim-memo",
 	KindWtpData:          "wtp-data",
 	KindWtpAck:           "wtp-ack",
+	KindGroupUpdateLoc:   "group-update-loc",
+	KindGroupAckForward:  "group-ack-fwd",
 }
 
 // String returns the trace tag of the kind, e.g. "update-currl".
@@ -746,6 +755,29 @@ type WtpAck struct {
 	Sacks []uint64
 }
 
+// GroupUpdateLoc batches hand-off location updates for a shared group
+// proxy (E16 aggregated state): every mobile host in Members now
+// resides at NewLoc. Members is an aggstate delta-encoded set of MH
+// identifiers — opaque bytes at this layer, so the codec stays
+// independent of the membership structure. One frame replaces a
+// per-host UpdateCurrentLoc storm after a cell hand-off wave.
+type GroupUpdateLoc struct {
+	Proxy   ids.ProxyID
+	NewLoc  ids.MSS
+	Members []byte
+}
+
+// GroupAckForward batches forwarded-result acknowledgments for a
+// shared group proxy: member i of the delta-encoded Members set (in
+// its ascending iteration order) acknowledges its own request with
+// sequence number Seqs[i]. len(Seqs) must equal the decoded member
+// count; the proxy validates the pairing on receipt.
+type GroupAckForward struct {
+	Proxy   ids.ProxyID
+	Members []byte
+	Seqs    []uint32
+}
+
 // ---------------------------------------------------------------------
 // Kind methods.
 
@@ -791,6 +823,8 @@ func (LeaseHeartbeat) Kind() Kind   { return KindLeaseHeartbeat }
 func (ReclaimMemo) Kind() Kind      { return KindReclaimMemo }
 func (WtpData) Kind() Kind          { return KindWtpData }
 func (WtpAck) Kind() Kind           { return KindWtpAck }
+func (GroupUpdateLoc) Kind() Kind   { return KindGroupUpdateLoc }
+func (GroupAckForward) Kind() Kind  { return KindGroupAckForward }
 
 // ---------------------------------------------------------------------
 // String methods (trace rendering).
@@ -908,6 +942,12 @@ func (m WtpData) String() string {
 func (m WtpAck) String() string {
 	return fmt.Sprintf("wtp-ack(ep=%d,cum=%d,sacks=%d)", m.Epoch, m.Cum, len(m.Sacks))
 }
+func (m GroupUpdateLoc) String() string {
+	return fmt.Sprintf("group-update-loc(%v,new=%v,%dB)", m.Proxy, m.NewLoc, len(m.Members))
+}
+func (m GroupAckForward) String() string {
+	return fmt.Sprintf("group-ack-fwd(%v,%dB,seqs=%d)", m.Proxy, len(m.Members), len(m.Seqs))
+}
 
 // Compile-time interface checks.
 var (
@@ -953,4 +993,6 @@ var (
 	_ Message = ReclaimMemo{}
 	_ Message = WtpData{}
 	_ Message = WtpAck{}
+	_ Message = GroupUpdateLoc{}
+	_ Message = GroupAckForward{}
 )

@@ -194,6 +194,32 @@ func TestSkewedPartitionBalance(t *testing.T) {
 	assertRunsEqual(t, serial, parallel, "skewed")
 }
 
+// TestPropAggregatedSerialParallel extends the serial==parallel
+// property to the E16 aggregated representation, and pins the stronger
+// claim behind it: with no GroupTopic the set-backed tables are a pure
+// data-structure swap, so a faithful serial run, an aggregated serial
+// run and an aggregated parallel run of the same seed must all produce
+// identical summaries and region stats.
+func TestPropAggregatedSerialParallel(t *testing.T) {
+	const horizon = 3 * time.Second
+	faithfulBase := e1Base(1234)
+	aggBase := faithfulBase
+	aggBase.AggregatedState = true
+
+	faithful := buildProp(faithfulBase, 3, 1, false, nil, 20, horizon, false)
+	faithful.RunUntil(horizon + horizon/2)
+	serial := buildProp(aggBase, 3, 1, false, nil, 20, horizon, false)
+	serial.RunUntil(horizon + horizon/2)
+	parallel := buildProp(aggBase, 3, 4, true, nil, 20, horizon, true)
+	parallel.RunUntil(horizon + horizon/2)
+
+	assertRunsEqual(t, faithful, serial, "aggregated vs faithful representation")
+	assertRunsEqual(t, serial, parallel, "aggregated serial vs parallel")
+	if s := serial.Summary(); s.Issued == 0 {
+		t.Fatal("workload issued nothing")
+	}
+}
+
 // waitGoroutines polls until the goroutine count drops back to at most
 // base (workers unwind asynchronously after pool.stop closes their
 // channels).

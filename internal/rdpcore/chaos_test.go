@@ -196,8 +196,13 @@ type chaosParams struct {
 	// so window timers, SACK recovery and link resets race hand-offs,
 	// station crashes and incarnation bumps.
 	windowed bool
-	horizon  time.Duration
-	drainFor time.Duration
+	// aggregated switches the stations to the E16 aggregated location
+	// representation (set-backed responsibility and pref tables) with no
+	// GroupTopic, so sharing never engages: the run must be externally
+	// indistinguishable from the faithful representation.
+	aggregated bool
+	horizon    time.Duration
+	drainFor   time.Duration
 }
 
 // chaosPlan builds the fault schedule for a run: lossy, duplicating,
@@ -252,6 +257,10 @@ func chaos(t *testing.T, p chaosParams) (w *World, missing, total, admittedLost 
 	if p.windowed {
 		cfg.WirelessWTP = wtp.Config{Enabled: true}
 		cfg.WirelessLoss = 0.10
+	}
+
+	if p.aggregated {
+		cfg.AggregatedState = true // representation only; GroupTopic stays nil
 	}
 
 	plan := chaosPlan()
@@ -858,6 +867,64 @@ func TestChaosWindowedTransportDeterminism(t *testing.T) {
 	a, b := run(), run()
 	if a != b {
 		t.Errorf("same seed diverged over the windowed transport: %v vs %v", a, b)
+	}
+}
+
+// TestChaosAggregatedRecovery soaks the E16 aggregated location
+// representation under the full composition — wired loss, a partition,
+// MSS crash/restart windows, proxy migration, disconnection windows and
+// amnesiac MH crashes — and demands the same headline guarantee as the
+// faithful runs: every surviving-incarnation request delivered, no
+// duplicate storm, clean quiescence. The set-backed tables must survive
+// journal restores and hand-off races byte-for-byte.
+func TestChaosAggregatedRecovery(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w, missing, total, _ := chaos(t, chaosParams{
+				seed: seed, mhs: 8, cells: 5, recovery: true,
+				migrate: true, disconnect: true, mhcrash: true, aggregated: true,
+				horizon: 60 * time.Second, drainFor: 30 * time.Second,
+			})
+			if missing != 0 {
+				t.Errorf("%d of %d survivor requests undelivered in aggregated mode (migCompleted=%d recoveryResends=%d)",
+					missing, total, w.Stats.MigCompleted.Value(), w.Stats.RecoveryResends.Value())
+			}
+			if dup, del := w.Stats.DuplicateDeliveries.Value(), w.Stats.ResultsDelivered.Value(); dup*10 > del {
+				t.Errorf("DuplicateDeliveries = %d of %d delivered; duplicate storm", dup, del)
+			}
+			if err := w.CheckQuiescent(); err != nil {
+				t.Errorf("quiescence at end: %v", err)
+			}
+		})
+	}
+}
+
+// TestChaosAggregatedEquivalence runs the identical seed and fault plan
+// under both representations. With no GroupTopic the aggregation is a
+// pure data-structure swap, so every externally observable counter —
+// deliveries, drops, hand-offs, migrations, lease activity, what was
+// missed — must match exactly.
+func TestChaosAggregatedEquivalence(t *testing.T) {
+	run := func(agg bool) [8]int64 {
+		w, missing, _, _ := chaos(t, chaosParams{
+			seed: 7, mhs: 6, cells: 5, recovery: true,
+			migrate: true, disconnect: true, mhcrash: true, aggregated: agg,
+			horizon: 45 * time.Second, drainFor: 20 * time.Second,
+		})
+		return [8]int64{
+			w.Stats.RequestsIssued.Value(),
+			w.Stats.ResultsDelivered.Value(),
+			w.Stats.DuplicateDeliveries.Value(),
+			w.Stats.Handoffs.Value(),
+			w.Stats.MigCompleted.Value(),
+			w.Stats.ProxiesReclaimed.Value(),
+			w.Stats.WiredDrops.Value(),
+			int64(missing),
+		}
+	}
+	f, a := run(false), run(true)
+	if f != a {
+		t.Errorf("aggregated representation diverged from faithful: %v vs %v", f, a)
 	}
 }
 

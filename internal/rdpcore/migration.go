@@ -119,7 +119,7 @@ func (n *MSSNode) maybeMigrate(p *Proxy, dist int) {
 // cheap and final for this offer; the old host's next trigger may try
 // again.
 func (n *MSSNode) handleMigOffer(m msg.MigOffer) {
-	refuse := !n.localMhs[m.MH] // the MH moved on (or never arrived)
+	refuse := !n.localMhs.contains(m.MH) // the MH moved on (or never arrived)
 	if q := n.w.cfg.ProxyQuota; q > 0 && len(n.proxies)+len(n.migInbound) >= q {
 		refuse = true // inbound migration is proxy-quota pressure
 	}
@@ -272,8 +272,9 @@ func (n *MSSNode) handleMigState(m msg.MigState) {
 	n.w.Stats.ProxyCreations[n.id]++ // placement accounting (E12 fairness)
 	// Rebind the local pref, or chase it along the hand-off chain if the
 	// MH deregistered between commit and install.
-	if pref, ok := n.prefs[m.MH]; ok && n.localMhs[m.MH] && pref.Proxy == m.Proxy {
+	if pref, ok := n.prefs.get(m.MH); ok && n.localMhs.contains(m.MH) && pref.Proxy == m.Proxy {
 		pref.Proxy = m.NewProxy
+		n.prefs.set(m.MH, pref)
 		n.persistMH(m.MH)
 		n.w.Stats.PrefRedirects.Inc()
 	} else if next, ok := n.forwardTo[m.MH]; ok {
@@ -286,7 +287,7 @@ func (n *MSSNode) handleMigState(m msg.MigState) {
 	// station (the common trigger case), the single forwarding attempt
 	// already happened toward here — re-sending would only manufacture
 	// duplicates.
-	if n.localMhs[m.MH] && p.currentLoc != n.id {
+	if n.localMhs.contains(m.MH) && p.currentLoc != n.id {
 		p.onUpdateLoc(n.id)
 	}
 	// Announce the new pref to every server still owing a reply; each
@@ -332,8 +333,9 @@ func (n *MSSNode) handlePrefRedirect(from ids.NodeID, m msg.PrefRedirect) {
 		arr.deferred = append(arr.deferred, inboxItem{from: from, m: m})
 		return
 	}
-	if pref, ok := n.prefs[m.MH]; ok && pref.Proxy == m.OldProxy {
+	if pref, ok := n.prefs.get(m.MH); ok && pref.Proxy == m.OldProxy {
 		pref.Proxy = m.NewProxy
+		n.prefs.set(m.MH, pref)
 		n.persistMH(m.MH)
 		n.w.Stats.PrefRedirects.Inc()
 		return

@@ -1,9 +1,9 @@
 package rdpcore
 
 import (
-	"sort"
 	"time"
 
+	"repro/internal/aggstate"
 	"repro/internal/dcache"
 	"repro/internal/ids"
 	"repro/internal/msg"
@@ -47,9 +47,11 @@ type MSSNode struct {
 	w  *World
 
 	// localMhs is the set of MHs this station is responsible for (§2).
-	localMhs map[ids.MH]bool
-	// prefs holds one proxy reference per responsible MH (§3.1).
-	prefs map[ids.MH]*msg.Pref
+	localMhs *hostSet
+	// prefs holds one proxy reference per responsible MH (§3.1). Both
+	// containers switch representation under Config.AggregatedState
+	// (aggtable.go, E16).
+	prefs *prefTable
 	// incs records, per responsible MH, the newest incarnation this
 	// station has registered (E18). Requests, greets and registrations
 	// carry the issuing incarnation; learning a newer one scrubs every
@@ -68,6 +70,20 @@ type MSSNode struct {
 	// proxies are the proxy objects hosted at this station, by sequence.
 	proxies      map[uint32]*Proxy
 	nextProxySeq uint32
+	// groupProxies are the shared group proxies hosted here (E16), keyed
+	// by sequence (always carrying the shared bit); topicProxies maps a
+	// (server, topic) pair to the hosting sequence so joins dedup onto
+	// one proxy per group. See groupproxy.go.
+	groupProxies map[uint32]*GroupProxy
+	topicProxies map[groupKey]uint32
+	// aggLocBuf and aggAckBuf coalesce per-MH group-proxy signaling
+	// (hand-off location updates, forwarded-result acks) into
+	// delta-encoded group messages over Config.AggFlushDelay. Volatile:
+	// a crash loses the buffers and recovery re-announces.
+	aggLocBuf   map[ids.ProxyID]*aggstate.Set
+	aggAckBuf   map[ids.ProxyID]*groupAckBuf
+	aggLocArmed bool
+	aggAckArmed bool
 	// tombstones are the forwarding stubs of proxies that migrated away,
 	// keyed by the departed proxy's sequence; migInbound reserves the
 	// identities of accepted inbound migrations whose mig_state has not
@@ -200,11 +216,15 @@ func newMSSNode(id ids.MSS, w *World) *MSSNode {
 	n := &MSSNode{
 		id:              id,
 		w:               w,
-		localMhs:        make(map[ids.MH]bool),
-		prefs:           make(map[ids.MH]*msg.Pref),
+		localMhs:        newHostSet(w.cfg.AggregatedState),
+		prefs:           newPrefTable(w.cfg.AggregatedState),
 		incs:            make(map[ids.MH]ids.Incarnation),
 		outstanding:     make(map[ids.MH]map[ids.RequestID]ids.Incarnation),
 		proxies:         make(map[uint32]*Proxy),
+		groupProxies:    make(map[uint32]*GroupProxy),
+		topicProxies:    make(map[groupKey]uint32),
+		aggLocBuf:       make(map[ids.ProxyID]*aggstate.Set),
+		aggAckBuf:       make(map[ids.ProxyID]*groupAckBuf),
 		ignoreAcks:      make(map[ids.MH]bool),
 		forwardTo:       make(map[ids.MH]ids.MSS),
 		arriving:        make(map[ids.MH]*arrival),
@@ -229,16 +249,12 @@ func (n *MSSNode) ID() ids.MSS { return n.id }
 
 // Responsible reports whether the station currently holds
 // responsibility for mh.
-func (n *MSSNode) Responsible(mh ids.MH) bool { return n.localMhs[mh] }
+func (n *MSSNode) Responsible(mh ids.MH) bool { return n.localMhs.contains(mh) }
 
 // PrefOf returns a copy of the pref held for mh and whether one exists
 // (test and invariant-checking hook).
 func (n *MSSNode) PrefOf(mh ids.MH) (msg.Pref, bool) {
-	p, ok := n.prefs[mh]
-	if !ok {
-		return msg.Pref{}, false
-	}
-	return *p, true
+	return n.prefs.get(mh)
 }
 
 // HostedProxies returns the number of proxies currently hosted here.
@@ -345,7 +361,7 @@ func (n *MSSNode) refuseAdmission(m msg.Request) bool {
 	if _, ok := n.arriving[mh]; ok {
 		return false
 	}
-	if !n.localMhs[mh] {
+	if !n.localMhs.contains(mh) {
 		return false
 	}
 	if _, ok := n.outstanding[mh][m.Req]; ok {
@@ -358,7 +374,7 @@ func (n *MSSNode) refuseAdmission(m msg.Request) bool {
 	// An accepted inbound migration is committed proxy storage the
 	// mig_state has merely not yet filled; it counts against the quota.
 	if q := n.w.cfg.ProxyQuota; q > 0 && len(n.proxies)+len(n.migInbound) >= q {
-		if pref := n.prefs[mh]; pref == nil || !pref.HasProxy() {
+		if pref, ok := n.prefs.get(mh); !ok || !pref.HasProxy() {
 			refuse = true // needs a proxy we have no room for
 		}
 	}
@@ -458,6 +474,10 @@ func (n *MSSNode) process(from ids.NodeID, m msg.Message) {
 		n.handleLeaseHeartbeat(from, v)
 	case msg.ReclaimMemo:
 		n.handleReclaimMemo(from, v)
+	case msg.GroupUpdateLoc:
+		n.handleGroupUpdateLoc(v)
+	case msg.GroupAckForward:
+		n.handleGroupAckForward(v)
 	default:
 		n.w.Stats.OrphanMessages.Inc()
 	}
@@ -545,7 +565,7 @@ func (n *MSSNode) handleReclaimMemo(from ids.NodeID, m msg.ReclaimMemo) {
 		arr.deferred = append(arr.deferred, inboxItem{from: from, m: m})
 		return
 	}
-	if !n.localMhs[m.MH] {
+	if !n.localMhs.contains(m.MH) {
 		if next, ok := n.forwardTo[m.MH]; ok {
 			n.sendWired(next.Node(), m)
 			return
@@ -553,9 +573,10 @@ func (n *MSSNode) handleReclaimMemo(from ids.NodeID, m msg.ReclaimMemo) {
 		n.w.Stats.OrphanMessages.Inc()
 		return
 	}
-	if pref := n.prefs[m.MH]; pref != nil && pref.Proxy == m.Proxy {
+	if pref, ok := n.prefs.get(m.MH); ok && pref.Proxy == m.Proxy {
 		pref.Proxy = ids.NoProxy
 		pref.RKpR = false
+		n.prefs.set(m.MH, pref)
 	}
 	if set := n.outstanding[m.MH]; set != nil {
 		for req, inc := range set {
@@ -589,16 +610,9 @@ func (n *MSSNode) armLeaseBeat() {
 }
 
 // leaseBeat sends one heartbeat round, in sorted MH order so the wire
-// traffic is deterministic.
+// traffic is deterministic (hostSet.forEach iterates ascending).
 func (n *MSSNode) leaseBeat() {
-	mhs := make([]int, 0, len(n.localMhs))
-	for mh := range n.localMhs {
-		mhs = append(mhs, int(mh))
-	}
-	sort.Ints(mhs)
-	for _, m := range mhs {
-		n.beatOne(ids.MH(m))
-	}
+	n.localMhs.forEach(n.beatOne)
 }
 
 // beatOne vouches for one registered host. A host the radio layer knows
@@ -608,11 +622,14 @@ func (n *MSSNode) leaseBeat() {
 // the station is still its registrar and its state must survive the
 // coverage gap (E17 semantics).
 func (n *MSSNode) beatOne(mh ids.MH) {
-	if n.w.cfg.LeaseTTL <= 0 || !n.localMhs[mh] {
+	if n.w.cfg.LeaseTTL <= 0 || !n.localMhs.contains(mh) {
 		return
 	}
-	pref := n.prefs[mh]
-	if pref == nil || !pref.HasProxy() {
+	pref, ok := n.prefs.get(mh)
+	if !ok || !pref.HasProxy() || isSharedProxy(pref.Proxy) {
+		// Shared group proxies take no per-MH leases (E16): they are
+		// durable per-(cell, server, topic) infrastructure, not per-host
+		// state an amnesiac host could orphan.
 		return
 	}
 	if n.w.IsCrashed(mh) {
@@ -647,11 +664,11 @@ func (n *MSSNode) reclaimProxy(p *Proxy, memoInc ids.Incarnation) {
 
 // handleJoin registers a new MH in the cell (§2).
 func (n *MSSNode) handleJoin(m msg.Join) {
-	n.localMhs[m.MH] = true
+	n.localMhs.add(m.MH)
 	delete(n.ignoreAcks, m.MH)
 	delete(n.forwardTo, m.MH)
-	if _, ok := n.prefs[m.MH]; !ok {
-		n.prefs[m.MH] = &msg.Pref{}
+	if !n.prefs.has(m.MH) {
+		n.prefs.set(m.MH, msg.Pref{})
 	}
 	n.persistMH(m.MH)
 	n.sendRegConfirm(m.MH)
@@ -669,11 +686,15 @@ func (n *MSSNode) handleJoin(m msg.Join) {
 // has acknowledged everything; a live proxy at departure is a protocol
 // violation.
 func (n *MSSNode) handleLeave(m msg.Leave) {
-	if p, ok := n.prefs[m.MH]; ok && p.HasProxy() {
+	// A shared group-proxy pref is exempt: it is durable routing
+	// infrastructure, not per-request state — membership is pruned
+	// lazily at the proxy (E16), so holding one at departure violates
+	// nothing.
+	if p, ok := n.prefs.get(m.MH); ok && p.HasProxy() && !isSharedProxy(p.Proxy) {
 		n.w.Stats.Violations.Inc()
 	}
-	delete(n.localMhs, m.MH)
-	delete(n.prefs, m.MH)
+	n.localMhs.remove(m.MH)
+	n.prefs.delete(m.MH)
 	delete(n.held, m.MH)
 	delete(n.heldAcksPending, m.MH)
 	delete(n.deferredUpdate, m.MH)
@@ -704,7 +725,7 @@ func (n *MSSNode) handleGreet(m msg.Greet) {
 	if m.OldMSS == n.id {
 		// Reactivation within the same cell: "no Hand-off is initiated".
 		n.w.Stats.Reactivations.Inc()
-		if !n.localMhs[m.MH] {
+		if !n.localMhs.contains(m.MH) {
 			if next, ok := n.forwardTo[m.MH]; ok {
 				// The MH believes it is registered here, but an earlier
 				// hand-off chain (greets reordered across radio links)
@@ -724,7 +745,7 @@ func (n *MSSNode) handleGreet(m msg.Greet) {
 		n.reactivateInPlace(m.MH)
 		return
 	}
-	if n.w.cfg.RegConfirm && n.localMhs[m.MH] {
+	if n.w.cfg.RegConfirm && n.localMhs.contains(m.MH) {
 		// Already responsible although the MH names another old station:
 		// its confirmation for our registration was lost, or the deregack
 		// re-establishing us outran this greet after our restart. Starting
@@ -748,7 +769,7 @@ func (n *MSSNode) handleGreet(m msg.Greet) {
 // deliveries) and flush held results.
 func (n *MSSNode) reactivateInPlace(mh ids.MH) {
 	delete(n.deferredUpdate, mh) // recomputed below
-	if pref, ok := n.prefs[mh]; ok && pref.HasProxy() {
+	if pref, ok := n.prefs.get(mh); ok && pref.HasProxy() {
 		if n.w.cfg.GreetRefresh > 0 {
 			// With refresh beacons on, a greet can land between a
 			// delivery attempt to the (reachable) MH and the return of
@@ -769,7 +790,7 @@ func (n *MSSNode) reactivateInPlace(mh ids.MH) {
 			// proxy is not prompted into a redundant retransmission.
 			n.deferredUpdate[mh] = true
 		} else {
-			n.sendUpdateCurrLoc(pref.Proxy, mh)
+			n.announceLoc(pref.Proxy, mh)
 		}
 	}
 	n.deliverHeld(mh)
@@ -818,7 +839,7 @@ func (n *MSSNode) handleRequest(from ids.NodeID, m msg.Request) {
 		arr.buffered = append(arr.buffered, inboxItem{from: from, m: m})
 		return
 	}
-	if !n.localMhs[mh] {
+	if !n.localMhs.contains(mh) {
 		// In flight across a completed hand-off: pass it along the chain
 		// of responsibility; it ends at the MH's current (or arriving)
 		// station.
@@ -839,23 +860,33 @@ func (n *MSSNode) handleRequest(from ids.NodeID, m msg.Request) {
 		return
 	}
 	n.noteInc(mh, m.Inc)
-	pref := n.prefs[mh]
-	if pref == nil {
-		pref = &msg.Pref{}
-		n.prefs[mh] = pref
-	}
-	pref.RKpR = false // §3.3: a new request re-arms the proxy
+	pref, _ := n.prefs.get(mh) // registered MHs always have an entry
+	pref.RKpR = false          // §3.3: a new request re-arms the proxy
 	if n.outstanding[mh] == nil {
 		n.outstanding[mh] = make(map[ids.RequestID]ids.Incarnation)
 	}
 	n.outstanding[mh][m.Req] = normInc(m.Inc)
 	if !pref.HasProxy() {
+		// Shared group proxy (E16): a groupable request binds the MH to
+		// the cell's per-(server, topic) proxy instead of building one of
+		// its own. The pref it installs is the proxy's shared identity —
+		// the MH's only proxy reference, so every later request of this
+		// MH routes through the same group host.
+		if g := n.sharedGroupFor(m.Server, m.Payload); g != nil {
+			pref.Proxy = g.id
+			n.prefs.set(mh, pref)
+			n.persistMH(mh)
+			g.join(mh, n.id, m.Req, m.Server, m.Payload, m.Inc)
+			n.sendAdmit(mh, m.Req)
+			return
+		}
 		n.nextProxySeq++
 		n.persistSeq()
 		id := ids.ProxyID{Host: n.id, Seq: n.nextProxySeq}
 		p := newProxy(id, mh, n)
 		n.proxies[id.Seq] = p
 		pref.Proxy = id
+		n.prefs.set(mh, pref)
 		n.persistMH(mh)
 		n.w.Stats.ProxiesCreated.Inc()
 		n.w.Stats.ProxyCreations[n.id]++
@@ -864,7 +895,17 @@ func (n *MSSNode) handleRequest(from ids.NodeID, m msg.Request) {
 		n.sendAdmit(mh, m.Req)
 		return
 	}
+	n.prefs.set(mh, pref)
 	n.persistMH(mh)
+	if isSharedProxy(pref.Proxy) && pref.Proxy.Host == n.id {
+		if g := n.groupProxies[pref.Proxy.Seq]; g != nil && g.id == pref.Proxy {
+			g.join(mh, n.id, m.Req, m.Server, m.Payload, m.Inc)
+			n.sendAdmit(mh, m.Req)
+			return
+		}
+		n.w.Stats.Violations.Inc() // pref points at a group we no longer host
+		return
+	}
 	if pref.Proxy.Host == n.id {
 		if p := n.proxies[pref.Proxy.Seq]; p != nil {
 			p.addRequest(m.Req, m.Server, m.Payload, m.Inc)
@@ -874,6 +915,8 @@ func (n *MSSNode) handleRequest(from ids.NodeID, m msg.Request) {
 		n.w.Stats.Violations.Inc() // pref points at a proxy we no longer host
 		return
 	}
+	// A remote shared proxy takes the same forward: the host joins the
+	// MH into the matching group entry (handleRequestForward).
 	n.sendWired(pref.Proxy.Host.Node(),
 		msg.RequestForward{Proxy: pref.Proxy, Req: m.Req, Server: m.Server, Payload: m.Payload, Inc: m.Inc})
 	n.sendAdmit(mh, m.Req)
@@ -901,12 +944,12 @@ func (n *MSSNode) handleAckMH(from ids.NodeID, m msg.AckMH) {
 		// ARQ well after the Ack — and must be suppressed when it lands.
 		n.reqAttempt[m.Req] = n.w.Kernel.Now()
 	}
-	if !n.localMhs[m.MH] {
+	if !n.localMhs.contains(m.MH) {
 		n.w.Stats.OrphanMessages.Inc()
 		return
 	}
-	pref := n.prefs[m.MH]
-	if pref == nil || !pref.HasProxy() {
+	pref, ok := n.prefs.get(m.MH)
+	if !ok || !pref.HasProxy() {
 		// Ack for an already-completed request (duplicate delivery ack
 		// after the proxy was confirmed dead); nothing to relay.
 		n.w.Stats.OrphanMessages.Inc()
@@ -919,6 +962,15 @@ func (n *MSSNode) handleAckMH(from ids.NodeID, m msg.AckMH) {
 			delete(n.outstanding, m.MH)
 		}
 	}
+	if isSharedProxy(pref.Proxy) {
+		// Shared prefs are never deleted (E16): the group proxy is durable
+		// cell infrastructure, so §3.3 removal does not apply. The ack is
+		// coalesced with other members' acks into one group_ack_forward.
+		n.persistMH(m.MH)
+		n.bufferGroupAck(pref.Proxy, m.MH, m.Req.Seq)
+		n.noteHeldAck(m.MH, m.Req)
+		return
+	}
 	// §3.3 removal condition: RKpR armed AND every request of the MH has
 	// been answered — judged both from this station's routing knowledge
 	// and from the MH's own statement on the Ack (the latter covers
@@ -929,6 +981,7 @@ func (n *MSSNode) handleAckMH(from ids.NodeID, m msg.AckMH) {
 		// §3.3: erase the proxy address and confirm removal.
 		pref.Proxy = ids.NoProxy
 		pref.RKpR = false
+		n.prefs.set(m.MH, pref)
 	}
 	n.persistMH(m.MH)
 	n.w.Stats.AckForwards.Inc()
@@ -950,7 +1003,7 @@ func (n *MSSNode) handleAckMH(from ids.NodeID, m msg.AckMH) {
 // wherever it sent the pref. Only a station that is itself *about to
 // receive* the pref defers the dereg until its registration completes.
 func (n *MSSNode) handleDereg(from ids.NodeID, m msg.Dereg) {
-	if m.NewMSS == n.id && n.localMhs[m.MH] && n.arriving[m.MH] == nil {
+	if m.NewMSS == n.id && n.localMhs.contains(m.MH) && n.arriving[m.MH] == nil {
 		// A re-issued Dereg of ours returned along the forwarding chain
 		// after its hand-off already completed (the deregack outran it,
 		// typically held by ARQ across our crash window): we are
@@ -961,18 +1014,15 @@ func (n *MSSNode) handleDereg(from ids.NodeID, m msg.Dereg) {
 		// the normal path below.)
 		return
 	}
-	if n.localMhs[m.MH] {
+	if n.localMhs.contains(m.MH) {
 		n.ignoreAcks[m.MH] = true
 		n.forwardTo[m.MH] = m.NewMSS
-		var pref msg.Pref
-		if p, ok := n.prefs[m.MH]; ok {
-			pref = *p
-		}
+		pref, _ := n.prefs.get(m.MH)
 		// The deregack carries the registered incarnation (E18): the new
 		// respMss must not vouch for (or gate against) an older one.
 		inc := n.incs[m.MH]
-		delete(n.localMhs, m.MH)
-		delete(n.prefs, m.MH)
+		n.localMhs.remove(m.MH)
+		n.prefs.delete(m.MH)
 		delete(n.held, m.MH)
 		delete(n.heldAcksPending, m.MH)
 		delete(n.deferredUpdate, m.MH)
@@ -1004,11 +1054,11 @@ func (n *MSSNode) handleDeregAck(m msg.DeregAck) {
 	n.noteInc(m.MH, m.Inc)
 	arr := n.arriving[m.MH]
 	delete(n.arriving, m.MH)
-	n.localMhs[m.MH] = true
+	n.localMhs.add(m.MH)
 	delete(n.ignoreAcks, m.MH)
 	delete(n.forwardTo, m.MH)
 	pref := m.Pref
-	n.prefs[m.MH] = &pref
+	n.prefs.set(m.MH, pref)
 	n.persistMH(m.MH)
 	n.sendRegConfirm(m.MH)
 	n.w.Stats.Handoffs.Inc()
@@ -1016,7 +1066,7 @@ func (n *MSSNode) handleDeregAck(m msg.DeregAck) {
 		n.w.Stats.HandoffLatency.Observe(time.Duration(n.w.Kernel.Now() - arr.greetAt))
 	}
 	if pref.HasProxy() {
-		n.sendUpdateCurrLoc(pref.Proxy, m.MH)
+		n.announceLoc(pref.Proxy, m.MH)
 	}
 	if arr != nil {
 		for _, it := range arr.buffered {
@@ -1044,6 +1094,18 @@ func (n *MSSNode) sendUpdateCurrLoc(proxy ids.ProxyID, mh ids.MH) {
 
 // handleRequestForward delivers a forwarded request to a hosted proxy.
 func (n *MSSNode) handleRequestForward(from ids.NodeID, m msg.RequestForward) {
+	if isSharedProxy(m.Proxy) {
+		// A member MH moved to another cell but kept its shared pref; its
+		// later request arrives here as a forward and (re-)joins the group
+		// with the sender station as its delivery location (E16).
+		g := n.groupProxies[m.Proxy.Seq]
+		if g == nil || g.id != m.Proxy {
+			n.w.Stats.OrphanMessages.Inc()
+			return
+		}
+		g.join(m.Req.Origin, from.MSS(), m.Req, m.Server, m.Payload, m.Inc)
+		return
+	}
 	p := n.proxies[m.Proxy.Seq]
 	if p == nil || p.id != m.Proxy {
 		if n.redirectOrHold(m.Proxy, from, m) {
@@ -1057,6 +1119,20 @@ func (n *MSSNode) handleRequestForward(from ids.NodeID, m msg.RequestForward) {
 
 // handleUpdateCurrentLoc updates a hosted proxy's currentLoc.
 func (n *MSSNode) handleUpdateCurrentLoc(from ids.NodeID, m msg.UpdateCurrentLoc) {
+	if isSharedProxy(m.Proxy) {
+		// A single-member location update addressed to a group proxy
+		// (sent by stations running without coalescing, or by the
+		// faithful update path on a mixed deployment).
+		g := n.groupProxies[m.Proxy.Seq]
+		if g == nil || g.id != m.Proxy {
+			n.w.Stats.OrphanMessages.Inc()
+			return
+		}
+		var one aggstate.Set
+		one.Add(uint32(m.MH))
+		g.updateLoc(&one, m.NewLoc)
+		return
+	}
 	p := n.proxies[m.Proxy.Seq]
 	if p == nil || p.id != m.Proxy {
 		if n.redirectOrHold(m.Proxy, from, m) {
@@ -1087,13 +1163,14 @@ func (n *MSSNode) handleResultForward(m msg.ResultForward) {
 		return
 	}
 	if m.DelPref {
-		if pref, ok := n.prefs[m.MH]; ok && pref.Proxy == m.Proxy {
+		if pref, ok := n.prefs.get(m.MH); ok && pref.Proxy == m.Proxy {
 			pref.RKpR = true
+			n.prefs.set(m.MH, pref)
 			n.persistMH(m.MH)
 		}
 	}
 	deliver := msg.ResultDeliver{Req: m.Req, Payload: m.Payload, DelPref: m.DelPref, Inc: m.Inc}
-	if n.w.cfg.HoldForInactive && n.localMhs[m.MH] &&
+	if n.w.cfg.HoldForInactive && n.localMhs.contains(m.MH) &&
 		n.w.InCell(m.MH, n.id) && !n.w.IsActive(m.MH) {
 		n.held[m.MH] = append(n.held[m.MH], deliver)
 		n.w.Stats.HeldResults.Inc()
@@ -1163,15 +1240,16 @@ func (n *MSSNode) noteHeldAck(mh ids.MH, req ids.RequestID) {
 		return
 	}
 	delete(n.deferredUpdate, mh)
-	if pref, ok := n.prefs[mh]; ok && pref.HasProxy() {
-		n.sendUpdateCurrLoc(pref.Proxy, mh)
+	if pref, ok := n.prefs.get(mh); ok && pref.HasProxy() {
+		n.announceLoc(pref.Proxy, mh)
 	}
 }
 
 // handleDelPrefOnly arms RKpR without a result payload (Fig. 4 case).
 func (n *MSSNode) handleDelPrefOnly(m msg.DelPrefOnly) {
-	if pref, ok := n.prefs[m.MH]; ok && pref.Proxy == m.Proxy {
+	if pref, ok := n.prefs.get(m.MH); ok && pref.Proxy == m.Proxy {
 		pref.RKpR = true
+		n.prefs.set(m.MH, pref)
 		n.persistMH(m.MH)
 		return
 	}
@@ -1181,6 +1259,17 @@ func (n *MSSNode) handleDelPrefOnly(m msg.DelPrefOnly) {
 // handleAckForward hands a relayed Ack to a hosted proxy, deleting the
 // proxy when del-proxy is confirmed (§3.3).
 func (n *MSSNode) handleAckForward(from ids.NodeID, m msg.AckForward) {
+	if isSharedProxy(m.Proxy) {
+		// Single-member ack for a group entry (stale-incarnation bounce or
+		// uncoalesced deployment). DelProxy never applies to group proxies.
+		g := n.groupProxies[m.Proxy.Seq]
+		if g == nil || g.id != m.Proxy {
+			n.w.Stats.OrphanMessages.Inc()
+			return
+		}
+		g.ack(m.MH, m.Req.Seq)
+		return
+	}
 	p := n.proxies[m.Proxy.Seq]
 	if p == nil || p.id != m.Proxy {
 		if n.redirectOrHold(m.Proxy, from, m) {
@@ -1199,6 +1288,15 @@ func (n *MSSNode) handleAckForward(from ids.NodeID, m msg.AckForward) {
 
 // handleServerResult hands a server reply to the addressed proxy.
 func (n *MSSNode) handleServerResult(from ids.NodeID, m msg.ServerResult) {
+	if isSharedProxy(m.Proxy) {
+		g := n.groupProxies[m.Proxy.Seq]
+		if g == nil || g.id != m.Proxy {
+			n.w.Stats.OrphanMessages.Inc()
+			return
+		}
+		g.onServerResult(m.Req, m.Payload)
+		return
+	}
 	p := n.proxies[m.Proxy.Seq]
 	if p == nil || p.id != m.Proxy {
 		if n.redirectOrHold(m.Proxy, from, m) {
@@ -1265,7 +1363,7 @@ func (n *MSSNode) batchUplinkRoute(from ids.NodeID, mh ids.MH, m msg.Message) bo
 		arr.buffered = append(arr.buffered, inboxItem{from: from, m: m})
 		return false
 	}
-	if !n.localMhs[mh] {
+	if !n.localMhs.contains(mh) {
 		if next, ok := n.forwardTo[mh]; ok {
 			n.sendWired(next.Node(), m)
 			return false
@@ -1281,11 +1379,7 @@ func (n *MSSNode) batchUplinkRoute(from ids.NodeID, mh ids.MH, m msg.Message) bo
 // batch activity keeps the proxy alive (RKpR cleared). It returns the
 // proxy object when hosted locally, or just the remote identity.
 func (n *MSSNode) batchProxyRef(mh ids.MH) (ids.ProxyID, *Proxy) {
-	pref := n.prefs[mh]
-	if pref == nil {
-		pref = &msg.Pref{}
-		n.prefs[mh] = pref
-	}
+	pref, _ := n.prefs.get(mh)
 	pref.RKpR = false
 	if !pref.HasProxy() {
 		n.nextProxySeq++
@@ -1294,13 +1388,21 @@ func (n *MSSNode) batchProxyRef(mh ids.MH) (ids.ProxyID, *Proxy) {
 		p := newProxy(id, mh, n)
 		n.proxies[id.Seq] = p
 		pref.Proxy = id
+		n.prefs.set(mh, pref)
 		n.persistMH(mh)
 		n.w.Stats.ProxiesCreated.Inc()
 		n.w.Stats.ProxyCreations[n.id]++
 		p.armLease()
 		return id, p
 	}
+	n.prefs.set(mh, pref)
 	n.persistMH(mh)
+	if isSharedProxy(pref.Proxy) {
+		// Batches and shared group prefs are an unsupported combination:
+		// return the bare remote identity, so the wired leg lands at the
+		// group host and is counted as an orphan there (documented).
+		return pref.Proxy, nil
+	}
 	if pref.Proxy.Host == n.id {
 		if p := n.proxies[pref.Proxy.Seq]; p != nil {
 			return pref.Proxy, p
@@ -1421,7 +1523,7 @@ func (n *MSSNode) handleBatchAbort(from ids.NodeID, m msg.BatchAbort) {
 		arr.buffered = append(arr.buffered, inboxItem{from: from, m: m})
 		return
 	}
-	if !n.localMhs[m.MH] {
+	if !n.localMhs.contains(m.MH) {
 		if next, ok := n.forwardTo[m.MH]; ok {
 			n.sendWired(next.Node(), m)
 			return

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"sort"
 
+	"repro/internal/aggstate"
 	"repro/internal/dcache"
 	"repro/internal/ids"
 	"repro/internal/msg"
@@ -78,6 +79,40 @@ type proxyRecord struct {
 	leaseInc ids.Incarnation
 }
 
+// groupWaiterRecord journals one member subscription of a shared entry
+// (E16).
+type groupWaiterRecord struct {
+	mh        ids.MH
+	seq       uint32
+	inc       ids.Incarnation
+	acked     bool
+	forwarded bool
+}
+
+// groupEntryRecord journals one shared entry of a group proxy.
+type groupEntryRecord struct {
+	server    ids.Server
+	payload   []byte
+	leaderReq ids.RequestID
+	result    []byte
+	hasResult bool
+	waiters   []groupWaiterRecord
+}
+
+// groupRecord is the journaled image of one shared group proxy (E16):
+// identity, the delta-encoded member set, the location exceptions, and
+// every in-flight entry. Group proxies journal whole images like
+// per-request proxies do; the snapshot is O(members) bytes, but group
+// membership mutates far less often than it is read.
+type groupRecord struct {
+	id        ids.ProxyID
+	server    ids.Server
+	topic     uint32
+	members   []byte // aggstate delta encoding
+	memberLoc map[ids.MH]ids.MSS
+	entries   []groupEntryRecord // entryOrder
+}
+
 // tombstoneRecord is the journaled image of a migration tombstone: the
 // old-to-new identity map plus the servers still owing a pref
 // confirmation. A crash mid-migration must not lose the redirect — the
@@ -94,6 +129,7 @@ type tombstoneRecord struct {
 type stationRecord struct {
 	mhs        map[ids.MH]*mhRecord
 	proxies    map[uint32]*proxyRecord
+	groups     map[uint32]*groupRecord
 	tombstones map[uint32]*tombstoneRecord
 	nextSeq    uint32
 	// reclaims is a checksummed record log (journal.go) of proxy
@@ -129,6 +165,7 @@ func (s *stableStore) station(id ids.MSS) *stationRecord {
 		rec = &stationRecord{
 			mhs:        make(map[ids.MH]*mhRecord),
 			proxies:    make(map[uint32]*proxyRecord),
+			groups:     make(map[uint32]*groupRecord),
 			tombstones: make(map[uint32]*tombstoneRecord),
 		}
 		s.stations[id] = rec
@@ -146,11 +183,11 @@ func (n *MSSNode) persistMH(mh ids.MH) {
 	}
 	rec := n.w.store.station(n.id)
 	r := &mhRecord{
-		responsible: n.localMhs[mh],
+		responsible: n.localMhs.contains(mh),
 		ignoreAcks:  n.ignoreAcks[mh],
 	}
-	if p, ok := n.prefs[mh]; ok {
-		r.pref, r.hasPref = *p, true
+	if p, ok := n.prefs.get(mh); ok {
+		r.pref, r.hasPref = p, true
 	}
 	if f, ok := n.forwardTo[mh]; ok {
 		r.forwardTo, r.hasForward = f, true
@@ -200,6 +237,43 @@ func (n *MSSNode) persistProxy(p *Proxy) {
 		})
 	}
 	rec.proxies[p.id.Seq] = pr
+	n.w.store.writes++
+}
+
+// persistGroup journals the full image of a hosted group proxy (E16).
+// Call it after any membership, location or entry mutation. Groups are
+// never deleted, so there is no unpersist counterpart.
+func (n *MSSNode) persistGroup(g *GroupProxy) {
+	if !n.w.cfg.Checkpoint {
+		return
+	}
+	rec := n.w.store.station(n.id)
+	gr := &groupRecord{
+		id:      g.id,
+		server:  g.server,
+		topic:   g.topic,
+		members: g.members.AppendDelta(nil),
+	}
+	if len(g.memberLoc) > 0 {
+		gr.memberLoc = make(map[ids.MH]ids.MSS, len(g.memberLoc))
+		for mh, loc := range g.memberLoc {
+			gr.memberLoc[mh] = loc
+		}
+	}
+	for _, key := range g.entryOrder {
+		e := g.entries[key]
+		er := groupEntryRecord{
+			server: e.server, payload: e.payload, leaderReq: e.leaderReq,
+			result: e.result, hasResult: e.hasResult,
+		}
+		for _, w := range e.waiters {
+			er.waiters = append(er.waiters, groupWaiterRecord{
+				mh: w.mh, seq: w.seq, inc: w.inc, acked: w.acked, forwarded: w.forwarded,
+			})
+		}
+		gr.entries = append(gr.entries, er)
+	}
+	rec.groups[g.id.Seq] = gr
 	n.w.store.writes++
 }
 
@@ -292,8 +366,16 @@ func (n *MSSNode) crash() {
 	// empty costs recomputation, never correctness. batchEpochSeq is NOT
 	// reset — it invalidates batch-deadline timers armed before the crash.
 	n.cache = dcache.New(n.w.cfg.ResultCache)
-	n.localMhs = make(map[ids.MH]bool)
-	n.prefs = make(map[ids.MH]*msg.Pref)
+	n.localMhs = newHostSet(n.w.cfg.AggregatedState)
+	n.prefs = newPrefTable(n.w.cfg.AggregatedState)
+	// Group proxies are recoverable from the journal; the signaling
+	// coalescing buffers are volatile (a stale flush timer finds empty
+	// buffers and does nothing).
+	n.groupProxies = make(map[uint32]*GroupProxy)
+	n.topicProxies = make(map[groupKey]uint32)
+	n.aggLocBuf = make(map[ids.ProxyID]*aggstate.Set)
+	n.aggAckBuf = make(map[ids.ProxyID]*groupAckBuf)
+	n.aggLocArmed, n.aggAckArmed = false, false
 	n.incs = make(map[ids.MH]ids.Incarnation)
 	n.outstanding = make(map[ids.MH]map[ids.RequestID]ids.Incarnation)
 	n.proxies = make(map[uint32]*Proxy)
@@ -315,11 +397,10 @@ func (n *MSSNode) restoreFromStore() {
 	rec := n.w.store.station(n.id)
 	for mh, r := range rec.mhs {
 		if r.responsible {
-			n.localMhs[mh] = true
+			n.localMhs.add(mh)
 		}
 		if r.hasPref {
-			pref := r.pref
-			n.prefs[mh] = &pref
+			n.prefs.set(mh, r.pref)
 		}
 		if r.ignoreAcks {
 			n.ignoreAcks[mh] = true
@@ -390,6 +471,55 @@ func (n *MSSNode) restoreFromStore() {
 		// expiry timers are invalidated by the epoch guard, and the next
 		// heartbeat renews the lease anyway.
 		p.armLease()
+	}
+	groupSeqs := make([]int, 0, len(rec.groups))
+	for seq := range rec.groups {
+		groupSeqs = append(groupSeqs, int(seq))
+	}
+	sort.Ints(groupSeqs)
+	for _, s := range groupSeqs {
+		seq, gr := uint32(s), rec.groups[uint32(s)]
+		g := &GroupProxy{
+			id:        gr.id,
+			host:      n,
+			server:    gr.server,
+			topic:     gr.topic,
+			memberLoc: make(map[ids.MH]ids.MSS, len(gr.memberLoc)),
+			entries:   make(map[dcache.Key]*sharedEntry),
+			createdAt: n.w.Kernel.Now(),
+		}
+		if set, err := aggstate.DecodeDelta(gr.members); err == nil {
+			g.members = *set
+		}
+		for mh, loc := range gr.memberLoc {
+			g.memberLoc[mh] = loc
+		}
+		for _, er := range gr.entries {
+			e := &sharedEntry{
+				server: er.server, payload: er.payload, leaderReq: er.leaderReq,
+				result: er.result, hasResult: er.hasResult,
+			}
+			for _, wr := range er.waiters {
+				e.entrants.Add(uint32(wr.mh))
+				if !wr.acked {
+					e.unacked++
+				}
+				e.waiters = append(e.waiters, sharedWaiter{
+					mh: wr.mh, seq: wr.seq, inc: wr.inc, acked: wr.acked, forwarded: wr.forwarded,
+				})
+			}
+			if e.hasResult {
+				e.ackIdx = make(map[waiterKey]int, len(e.waiters))
+				for i := range e.waiters {
+					e.ackIdx[waiterKey{mh: e.waiters[i].mh, seq: e.waiters[i].seq}] = i
+				}
+			}
+			key := dcache.Key{Server: er.server, Digest: dcache.Digest(er.payload)}
+			g.entries[key] = e
+			g.entryOrder = append(g.entryOrder, key)
+		}
+		n.groupProxies[seq] = g
+		n.topicProxies[groupKey{server: gr.server, topic: gr.topic}] = seq
 	}
 	tombSeqs := make([]int, 0, len(rec.tombstones))
 	for seq := range rec.tombstones {
@@ -479,19 +609,39 @@ func (n *MSSNode) recoveryResend() {
 			p.checkBatchRelease(p.batches[id])
 		}
 	}
-	mhs := make([]int, 0, len(n.localMhs))
-	for mh := range n.localMhs {
-		mhs = append(mhs, int(mh))
+	// Restored group proxies (E16): re-issue the server request of every
+	// result-less entry and re-fan-out every stored, still-unacked
+	// result — the group analogue of the per-proxy loop above.
+	gseqs := make([]int, 0, len(n.groupProxies))
+	for seq := range n.groupProxies {
+		gseqs = append(gseqs, int(seq))
 	}
-	sort.Ints(mhs)
-	for _, m := range mhs {
-		mh := ids.MH(m)
-		pref := n.prefs[mh]
-		if pref != nil && pref.HasProxy() && pref.Proxy.Host != n.id {
-			n.w.Stats.RecoveryResends.Inc()
-			n.sendUpdateCurrLoc(pref.Proxy, mh)
+	sort.Ints(gseqs)
+	for _, s := range gseqs {
+		g := n.groupProxies[uint32(s)]
+		for _, key := range g.entryOrder {
+			e := g.entries[key]
+			if !e.hasResult {
+				n.w.Stats.RecoveryResends.Inc()
+				n.sendWired(e.server.Node(),
+					msg.ServerRequest{Proxy: g.id, Req: e.leaderReq, Payload: e.payload})
+				continue
+			}
+			for i := range e.waiters {
+				if !e.waiters[i].acked {
+					n.w.Stats.RecoveryResends.Inc()
+					g.forward(e, i)
+				}
+			}
 		}
 	}
+	n.localMhs.forEach(func(mh ids.MH) {
+		pref, ok := n.prefs.get(mh)
+		if ok && pref.HasProxy() && pref.Proxy.Host != n.id {
+			n.w.Stats.RecoveryResends.Inc()
+			n.announceLoc(pref.Proxy, mh)
+		}
+	})
 	// Re-send every journaled reclamation memo (E18): the crash may have
 	// landed between the journal write and the wire send, and the memo
 	// is idempotent at the receiver.

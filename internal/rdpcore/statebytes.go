@@ -1,0 +1,119 @@
+package rdpcore
+
+// This file defines the E16 state-accounting model: a deterministic
+// byte count of the location/subscription state a station holds, under
+// either representation. The constants model Go's real costs (map
+// bucket share + key/value + heap object headers) but are fixed by
+// contract, so experiments measure representation, not allocator noise,
+// and the regression test can assert exact counts.
+//
+// The model covers exactly the state the aggregation changes or could
+// plausibly change: responsibility membership, the pref table, hosted
+// proxies (private and group) with their request/entry lists, and the
+// incarnation table. The outstanding-request routing ledger is the same
+// size in both modes — it is per-(MH, in-flight request) transient
+// state by nature — and is reported separately (OutstandingBytes) so
+// the headline ratio compares representations, not workload phase.
+
+const (
+	// Faithful per-MH containers.
+	bytesHostEntry = 48 // one localMhs map entry
+	bytesPrefEntry = 80 // one prefs map entry + heap-allocated Pref
+	// Aggregated pref-table group record: map entry keyed by Pref value
+	// plus the member-set header (the set's payload is MemBytes).
+	bytesPrefGroup = 64
+	// Incarnation table entry (identical in both modes).
+	bytesIncEntry = 52
+	// Private proxy: struct + map/slice headers, and one requestList
+	// entry (excluding the variable payload/result bytes, added per
+	// request).
+	bytesProxy    = 160
+	bytesProxyReq = 120
+	// Group proxy: struct + maps, one shared entry (again excluding
+	// payload/result), one waiter, one memberLoc exception, and one
+	// ackIdx element (only while a result is in fan-out).
+	bytesGroupProxy = 128
+	bytesGroupEntry = 96
+	bytesWaiter     = 16
+	bytesMemberLoc  = 16
+	bytesAckIdx     = 16
+	// Outstanding ledger: per-MH map header plus per-request entry.
+	bytesOutstandingMH  = 48
+	bytesOutstandingReq = 56
+)
+
+// stateBytes is the responsibility set's footprint under the model.
+func (h *hostSet) stateBytes() int {
+	if !h.agg {
+		return len(h.m) * bytesHostEntry
+	}
+	return h.s.MemBytes()
+}
+
+// stateBytes is the pref table's footprint under the model.
+func (t *prefTable) stateBytes() int {
+	if !t.agg {
+		return len(t.byMH) * bytesPrefEntry
+	}
+	total := 0
+	for _, set := range t.groups {
+		total += bytesPrefGroup + set.MemBytes()
+	}
+	return total
+}
+
+// StateBytes returns the station's modeled location/subscription state
+// footprint: responsibility set, pref table, incarnation table, and
+// every hosted proxy with its stored requests and results.
+func (n *MSSNode) StateBytes() int {
+	total := n.localMhs.stateBytes() + n.prefs.stateBytes()
+	total += len(n.incs) * bytesIncEntry
+	for _, p := range n.proxies {
+		total += bytesProxy
+		for _, req := range p.order {
+			r := p.reqs[req]
+			total += bytesProxyReq + len(r.payload) + len(r.result)
+		}
+	}
+	for _, g := range n.groupProxies {
+		total += bytesGroupProxy + g.members.MemBytes() + len(g.memberLoc)*bytesMemberLoc
+		for _, key := range g.entryOrder {
+			e := g.entries[key]
+			total += bytesGroupEntry + len(e.payload) + len(e.result)
+			total += len(e.waiters)*bytesWaiter + e.entrants.MemBytes()
+			if e.ackIdx != nil {
+				total += len(e.ackIdx) * bytesAckIdx
+			}
+		}
+	}
+	return total
+}
+
+// OutstandingBytes returns the modeled footprint of the station's
+// outstanding-request routing ledger, identical in both representations
+// (reported separately from StateBytes; see file comment).
+func (n *MSSNode) OutstandingBytes() int {
+	total := 0
+	for _, set := range n.outstanding {
+		total += bytesOutstandingMH + len(set)*bytesOutstandingReq
+	}
+	return total
+}
+
+// StateBytes sums the modeled station state over the whole world.
+func (w *World) StateBytes() int64 {
+	var total int64
+	for _, id := range w.mssList {
+		total += int64(w.MSSs[id].StateBytes())
+	}
+	return total
+}
+
+// OutstandingBytes sums the outstanding-ledger footprint over the world.
+func (w *World) OutstandingBytes() int64 {
+	var total int64
+	for _, id := range w.mssList {
+		total += int64(w.MSSs[id].OutstandingBytes())
+	}
+	return total
+}

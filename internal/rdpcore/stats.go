@@ -175,6 +175,23 @@ type Stats struct {
 	// store hardening; see internal/rdpcore/journal.go).
 	JournalTruncations metrics.Counter
 
+	// SharedProxies counts group proxies created (E16: one per
+	// (cell, server, topic) that sees a groupable request);
+	// SharedJoins counts member subscriptions into group entries (the
+	// aggregated analogue of per-request proxy registrations);
+	// GroupFanouts counts result forwards issued by group proxies (each
+	// serves one member from the entry's single server round-trip).
+	SharedProxies metrics.Counter
+	SharedJoins   metrics.Counter
+	GroupFanouts  metrics.Counter
+	// GroupUpdateLocs and GroupAckForwards count the coalesced hand-off
+	// signaling messages (E16): each replaces up to |members| faithful
+	// update_currentLoc / Ack-forward messages. The E16 signaling
+	// metric is 2·Handoffs + UpdateCurrLocs + GroupUpdateLocs +
+	// AckForwards + GroupAckForwards.
+	GroupUpdateLocs  metrics.Counter
+	GroupAckForwards metrics.Counter
+
 	// WTPRetransmits counts windowed-transport frame retransmissions
 	// (timeout and sack-gap fast retransmissions) on the wireless
 	// downlinks; WTPResets counts links that exhausted MaxRetries and

@@ -219,6 +219,32 @@ type Config struct {
 	// netsim. Disabled — the default — the wireless path is untouched
 	// and E1–E18 traces stay byte-identical.
 	WirelessWTP wtp.Config
+
+	// --- Aggregated location state (E16) ---
+
+	// AggregatedState switches every station's per-MH state containers
+	// (responsibility set, pref table) from hash maps to compact
+	// aggregate structures: members by distinct pref value, membership
+	// as chunked sorted/bitmap sets (internal/aggstate). The protocol's
+	// message traces are unchanged by the representation alone; only
+	// memory drops. Combined with GroupTopic it additionally enables
+	// shared group proxies. Off — the default — keeps the faithful
+	// representation and byte-identical traces.
+	AggregatedState bool
+	// GroupTopic, when set together with AggregatedState, classifies a
+	// request at its respMss: a (server, payload) pair mapped to a topic
+	// (ok=true) is served through a shared group proxy — one proxy per
+	// (cell, server, topic) instead of one per MH — whose fan-out state
+	// is aggregate membership rather than per-host request lists.
+	// Requests it declines (ok=false) take the paper-faithful per-MH
+	// proxy path unchanged. Nil disables group proxies entirely.
+	GroupTopic func(ids.Server, []byte) (topic uint32, ok bool)
+	// AggFlushDelay is the coalescing window for group-proxy signaling
+	// from a respMss: hand-off location updates and forwarded-result
+	// acks for the same shared proxy buffer for this long and leave as
+	// one delta-encoded GroupUpdateLoc/GroupAckForward. Zero sends each
+	// immediately (single-member messages).
+	AggFlushDelay time.Duration
 }
 
 // DefaultConfig returns a configuration matching the paper's model: 3
@@ -963,41 +989,47 @@ func (w *World) TotalProxies() int {
 //  3. Every pref pointing at a proxy refers to a proxy that exists at
 //     the named host.
 func (w *World) CheckInvariants() error {
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
 	refOwner := make(map[ids.MH]ids.ProxyID)
 	for _, id := range w.mssList {
 		st := w.MSSs[id]
-		for mh, pref := range st.prefs {
+		st.prefs.forEach(func(mh ids.MH, pref msg.Pref) {
 			if !pref.HasProxy() {
-				continue
+				return
 			}
 			if prev, dup := refOwner[mh]; dup && prev != pref.Proxy {
-				return fmt.Errorf("invariant 1: %v referenced by prefs for both %v and %v", mh, prev, pref.Proxy)
+				fail(fmt.Errorf("invariant 1: %v referenced by prefs for both %v and %v", mh, prev, pref.Proxy))
 			}
 			refOwner[mh] = pref.Proxy
-		}
+		})
 	}
 	respOwner := make(map[ids.MH]ids.MSS)
 	for _, id := range w.mssList {
 		st := w.MSSs[id]
-		for mh := range st.localMhs {
+		st.localMhs.forEach(func(mh ids.MH) {
 			if prev, dup := respOwner[mh]; dup {
-				return fmt.Errorf("invariant 2: %v responsible at both %v and %v", mh, prev, id)
+				fail(fmt.Errorf("invariant 2: %v responsible at both %v and %v", mh, prev, id))
 			}
 			respOwner[mh] = id
-		}
+		})
 	}
 	for _, id := range w.mssList {
 		st := w.MSSs[id]
-		for mh, pref := range st.prefs {
+		st.prefs.forEach(func(mh ids.MH, pref msg.Pref) {
 			if !pref.HasProxy() {
-				continue
+				return
 			}
 			if err := w.resolveProxyRef(mh, pref.Proxy); err != nil {
-				return err
+				fail(err)
 			}
-		}
+		})
 	}
-	return nil
+	return firstErr
 }
 
 // resolveProxyRef checks invariant 3 for one proxy reference: following
@@ -1009,6 +1041,14 @@ func (w *World) resolveProxyRef(mh ids.MH, p ids.ProxyID) error {
 		host, ok := w.MSSs[p.Host]
 		if !ok {
 			return fmt.Errorf("invariant 3: pref of %v names unknown host %v", mh, p.Host)
+		}
+		if isSharedProxy(p) {
+			// Group proxies (E16) never migrate and are never deleted, so
+			// the reference must resolve directly at the named host.
+			if g := host.groupProxies[p.Seq]; g != nil && g.id == p {
+				return nil
+			}
+			return fmt.Errorf("invariant 3: pref of %v names dead group proxy %v", mh, p)
 		}
 		if q := host.proxies[p.Seq]; q != nil && q.id == p {
 			return nil
@@ -1036,11 +1076,11 @@ func (w *World) CheckQuiescent() error {
 	}
 	referenced := make(map[ids.ProxyID]bool)
 	for _, st := range w.MSSs {
-		for _, pref := range st.prefs {
+		st.prefs.forEach(func(_ ids.MH, pref msg.Pref) {
 			if pref.HasProxy() {
 				referenced[pref.Proxy] = true
 			}
-		}
+		})
 	}
 	for _, id := range w.mssList {
 		st := w.MSSs[id]
@@ -1075,6 +1115,17 @@ func (w *World) CheckQuiescent() error {
 					}
 				}
 			}
+		}
+		for _, g := range st.groupProxies {
+			// Group proxies themselves persist (durable infrastructure),
+			// but their entries must have drained: every subscribed member
+			// acknowledged its fan-out.
+			if len(g.entries) > 0 {
+				return fmt.Errorf("quiescence: group proxy %v still has %d open entries", g.id, len(g.entries))
+			}
+		}
+		if len(st.aggLocBuf) > 0 || len(st.aggAckBuf) > 0 {
+			return fmt.Errorf("quiescence: %v still has buffered group signaling", id)
 		}
 		if len(st.arriving) > 0 {
 			return fmt.Errorf("quiescence: %v still has %d pending hand-offs", id, len(st.arriving))

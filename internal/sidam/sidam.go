@@ -95,6 +95,20 @@ func encodeOp(op Op, region uint32, value int32) []byte {
 	return b
 }
 
+// SubscribeTopic is a rdpcore.Config.GroupTopic classifier for SIDAM
+// workloads: subscription requests name their region as the topic, so
+// every subscriber to a region in the same cell shares one group proxy
+// (identical payloads, identical notification stream). Queries and
+// updates are declined and keep paper-faithful private proxies — their
+// results are caller-specific.
+func SubscribeTopic(_ ids.Server, payload []byte) (uint32, bool) {
+	op, region, _, err := DecodeOp(payload)
+	if err != nil || op != OpSubscribe {
+		return 0, false
+	}
+	return region, true
+}
+
 // DecodeOp parses a client payload.
 func DecodeOp(b []byte) (op Op, region uint32, value int32, err error) {
 	if len(b) != 9 {

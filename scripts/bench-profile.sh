@@ -1,0 +1,22 @@
+#!/bin/sh
+# Profile a quick evaluation pass: writes cpu.pprof and mem.pprof in
+# the repo root (gitignored) for `go tool pprof`. The profile files are
+# created by rdpbench before the run starts, so a run that errors out or
+# panics mid-experiment would otherwise leave partial profiles behind —
+# the EXIT trap removes them unless the run finished cleanly, and stale
+# profiles from an earlier run are removed up front. Extra arguments are
+# passed through to rdpbench (e.g. -exp e16).
+set -u
+cd "$(dirname "$0")/.."
+
+rm -f cpu.pprof mem.pprof
+ok=0
+cleanup() {
+	if [ "$ok" -ne 1 ]; then
+		rm -f cpu.pprof mem.pprof
+	fi
+}
+trap cleanup EXIT INT TERM
+
+go run ./cmd/rdpbench -quick -cpuprofile cpu.pprof -memprofile mem.pprof "$@" || exit "$?"
+ok=1
